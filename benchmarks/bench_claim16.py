@@ -1,0 +1,104 @@
+"""E19 (extension) — Claim 16 and the Theorem 17 recurrence, numerically.
+
+Two proof-internal checks Theorem 17 relies on:
+
+* **Claim 16** — the good-node/surface trade-off balances no lower
+  than ``L/2``.  The continuous equation (6) obeys this only for
+  ``L >= 4d`` (case 1); for small ``L`` the paper waves at "an easy
+  (though tedious) case analysis".  This experiment reconstructs that
+  analysis: the continuous balance point genuinely dips below ``L/2``
+  for ``L < 4d``, and the *discrete* structure (bad nodes hold
+  ``d+1..2d`` packets; a second Property-8 step) restores the bound —
+  exhaustively checked for every small load and feasible bad count.
+
+* **The decay recurrence** — iterating Lemma 15's guaranteed two-step
+  drop literally, from ``Phi(0) = k*M``, always terminates within the
+  closed-form ``(4d)^(1-1/d) * k^(1/d) * M`` that the phase argument
+  extracts from it.
+"""
+
+from bench_util import emit_table, once
+
+from repro.potential.bounds import theorem17_bound
+from repro.potential.recurrence import (
+    claim16_b0,
+    decay_steps,
+    verify_claim16_case2,
+)
+
+
+def _claim16():
+    rows = []
+    for d in (2, 3, 4):
+        dip = 0
+        for L in range(1, 4 * d):
+            if claim16_b0(float(L), d) < L / 2 - 1e-9:
+                dip += 1
+        violations = sum(
+            len(verify_claim16_case2(L, d)) for L in range(0, 6 * d + 1)
+        )
+        b0_large = claim16_b0(float(10 * d), d)
+        rows.append(
+            [
+                d,
+                f"{dip}/{4 * d - 1}",
+                violations,
+                b0_large,
+                10 * d / 2,
+                b0_large >= 10 * d / 2,
+            ]
+        )
+    return rows
+
+
+def _recurrence():
+    rows = []
+    for d in (2, 3):
+        for side in (8, 16):
+            M = 4 * side
+            for k in (16, 256):
+                iterated = decay_steps(k * M, M, d)
+                closed = theorem17_bound(d, k, M)
+                rows.append([d, side, k, iterated, closed, iterated / closed])
+    return rows
+
+
+def test_e19a_claim16(benchmark):
+    rows = once(benchmark, _claim16)
+    emit_table(
+        "E19a",
+        "Claim 16 — continuous dip below L/2 vs the discrete rescue",
+        [
+            "d",
+            "L<4d with continuous B0 < L/2",
+            "discrete case-2 violations",
+            "B0 at L=10d",
+            "L/2",
+            "case-1 holds",
+        ],
+        rows,
+        notes=(
+            "Column 2 shows the continuous relaxation really fails on "
+            "small loads (why the paper needs its case analysis); "
+            "column 3 shows the reconstructed discrete analysis has "
+            "zero violations."
+        ),
+    )
+    for row in rows:
+        assert row[2] == 0
+        assert row[5]
+
+
+def test_e19b_decay_recurrence(benchmark):
+    rows = once(benchmark, _recurrence)
+    emit_table(
+        "E19b",
+        "Theorem 17 — iterated Lemma 15 recurrence vs the closed form",
+        ["d", "n", "k", "iterated steps", "closed form", "ratio"],
+        rows,
+        notes=(
+            "The phase argument's closed form over-estimates the "
+            "literal recurrence by the (1+eps) phase slack only."
+        ),
+    )
+    assert all(row[3] <= row[4] + 2 for row in rows)

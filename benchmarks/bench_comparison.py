@@ -1,0 +1,112 @@
+"""E10 — algorithm comparison grid (greedy variants vs structured).
+
+Routes identical instances under every greedy policy plus the buffered
+dimension-order comparator and reports routing time, deflections,
+stretch, and buffer use.  Reproduces the qualitative claims of
+Sections 1 and 6: greedy hot-potato routing is near-optimal on typical
+loads, needs no buffers, and the restricted-priority discipline costs
+essentially nothing over plain greed.
+"""
+
+from bench_util import emit_table, once
+
+from repro.algorithms import DimensionOrderPolicy, make_policy
+from repro.analysis.stats import summarize
+from repro.core.buffered_engine import BufferedEngine
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.workloads import (
+    random_many_to_many,
+    random_permutation,
+    single_target,
+    transpose,
+)
+
+POLICIES = (
+    "restricted-priority",
+    "fewest-good-directions",
+    "plain-greedy",
+    "randomized-greedy",
+    "fixed-priority",
+    "destination-order",
+    "closest-first",
+)
+SEEDS = (0, 1, 2)
+
+
+def _workloads(mesh, seed):
+    return [
+        ("random-128", random_many_to_many(mesh, k=128, seed=seed)),
+        ("permutation", random_permutation(mesh, seed=seed)),
+        ("transpose", transpose(mesh)),
+        ("hotspot-100", single_target(mesh, k=100, seed=seed)),
+    ]
+
+
+def _run():
+    mesh = Mesh(2, 16)
+    rows = []
+    for label_index, (label, _) in enumerate(_workloads(mesh, 0)):
+        d_max = None
+        for policy_name in POLICIES:
+            times, deflections, stretches = [], [], []
+            for seed in SEEDS:
+                problem = _workloads(mesh, seed)[label_index][1]
+                d_max = problem.d_max
+                result = HotPotatoEngine(
+                    problem,
+                    make_policy(policy_name),
+                    seed=seed,
+                ).run()
+                assert result.completed
+                times.append(result.total_steps)
+                deflections.append(result.total_deflections)
+                stretches.append(result.average_stretch)
+            rows.append(
+                [
+                    label,
+                    policy_name,
+                    summarize(times).mean,
+                    summarize(deflections).mean,
+                    summarize(stretches).mean,
+                    "0 (hot-potato)",
+                ]
+            )
+        # Structured buffered comparator.
+        times, buffers = [], []
+        for seed in SEEDS:
+            problem = _workloads(mesh, seed)[label_index][1]
+            engine = BufferedEngine(problem, DimensionOrderPolicy())
+            result = engine.run()
+            assert result.completed
+            times.append(result.total_steps)
+            buffers.append(engine.max_buffer_seen)
+        rows.append(
+            [
+                label,
+                "dimension-order (buffered)",
+                summarize(times).mean,
+                0.0,
+                1.0,
+                f"{max(buffers)} max queue",
+            ]
+        )
+        rows.append([f"(d_max {label} = {d_max})", "", "", "", "", ""])
+    return rows
+
+
+def test_e10_comparison_grid(benchmark):
+    rows = once(benchmark, _run)
+    emit_table(
+        "E10",
+        "Algorithm comparison — mean T / deflections / stretch / buffers "
+        "(n=16, 3 seeds)",
+        ["workload", "algorithm", "T mean", "deflections", "stretch", "buffering"],
+        rows,
+        notes=(
+            "Greedy hot-potato variants land within a small factor of "
+            "d_max with zero buffering; the structured baseline matches "
+            "on time but pays in queue space."
+        ),
+    )
+    assert rows  # table produced; per-cell assertions live in tests/

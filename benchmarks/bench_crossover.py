@@ -1,0 +1,123 @@
+"""E16 (extension) — the bounds landscape in k (Section 6's admission).
+
+Section 6: "The dependence of our result on the number of packets in
+the system is suboptimal.  A natural open problem is to improve the
+bound for sparse requests."  This experiment maps that statement:
+for a fixed mesh it tabulates, across k,
+
+* Theorem 20's whole-class bound ``8*sqrt(2)*n*sqrt(k)``;
+* the per-algorithm linear bounds the community later proved
+  (``2k + d_max`` for fixed priorities, [BRS]/[BTS], Section 6.1) and
+  the earlier Brassil–Cruz ``diam + P + 2(k-1)`` for destination
+  order;
+* measured times of the corresponding algorithms.
+
+Findings this experiment certifies: (1) the analytic crossover where
+``sqrt(k)`` would beat ``2k`` sits at ``k = 32 n^2`` — **eight times
+the mesh's injection capacity** ``4n^2``, so within feasible loads the
+linear per-algorithm bounds are always numerically tighter, which is
+exactly the suboptimality the paper concedes; (2) Theorem 20 is the
+only bound here that covers *every* algorithm of its class rather than
+one priority scheme; (3) all bounds hold on their algorithms.
+"""
+
+from bench_util import emit_table, once
+
+from repro.algorithms import (
+    DestinationOrderPolicy,
+    FixedPriorityPolicy,
+    RestrictedPriorityPolicy,
+    brassil_cruz_time_bound,
+    snake_walk_length,
+)
+from repro.analysis.stats import summarize
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.potential.bounds import theorem20_bound
+from repro.workloads import random_many_to_many
+from repro.workloads.random_uniform import max_packets
+
+SIDE = 16
+KS = (2, 8, 32, 128, 512, 896)
+SEEDS = (0, 1, 2)
+
+
+def _run():
+    mesh = Mesh(2, SIDE)
+    assert max(KS) <= max_packets(mesh)
+    rows = []
+    for k in KS:
+        t_restricted, t_fixed, t_dest = [], [], []
+        d_max = 0
+        walk = 0
+        for seed in SEEDS:
+            problem = random_many_to_many(mesh, k=k, seed=seed)
+            d_max = max(d_max, problem.d_max)
+            walk = max(
+                walk,
+                snake_walk_length(
+                    mesh, [r.destination for r in problem.requests]
+                ),
+            )
+            t_restricted.append(
+                HotPotatoEngine(
+                    problem, RestrictedPriorityPolicy(), seed=seed
+                ).run().total_steps
+            )
+            t_fixed.append(
+                HotPotatoEngine(
+                    problem, FixedPriorityPolicy(), seed=seed
+                ).run().total_steps
+            )
+            t_dest.append(
+                HotPotatoEngine(
+                    problem, DestinationOrderPolicy(), seed=seed
+                ).run().total_steps
+            )
+        rows.append(
+            [
+                k,
+                summarize(t_restricted).mean,
+                theorem20_bound(SIDE, k),
+                max(t_fixed),
+                2 * k + d_max,
+                max(t_dest),
+                brassil_cruz_time_bound(mesh.diameter, walk, k),
+            ]
+        )
+    return rows
+
+
+def test_e16_bounds_landscape(benchmark):
+    rows = once(benchmark, _run)
+    capacity = max_packets(Mesh(2, SIDE))
+    crossover = 32 * SIDE * SIDE
+    emit_table(
+        "E16",
+        f"Bounds landscape in k on the {SIDE}x{SIDE} mesh",
+        [
+            "k",
+            "T restr (mean)",
+            "Thm20 (class)",
+            "T fixed (max)",
+            "2k+dmax [BRS]",
+            "T dest (max)",
+            "BC diam+P+2(k-1)",
+        ],
+        rows,
+        notes=(
+            f"sqrt(k)-vs-2k crossover at k = 32n^2 = {crossover}, but "
+            f"injection capacity is only {capacity}: within feasible "
+            "loads the linear per-algorithm bounds are numerically "
+            "tighter — the Section 6 'suboptimal in k' admission, "
+            "measured.  Theorem 20 remains the only *whole-class* "
+            "bound in the table."
+        ),
+    )
+    for k, t_r, thm20, t_f, linear, t_d, bc in rows:
+        assert t_r <= thm20
+        assert t_f <= linear
+        assert t_d <= bc
+        # The feasible-range fact the docstring states:
+        assert linear < thm20
+    assert crossover > capacity

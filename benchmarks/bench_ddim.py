@@ -1,0 +1,77 @@
+"""E9 — Section 5: the d-dimensional class and its bound.
+
+Runs the fewest-good-directions (max-advance) policy on meshes of
+dimension 2, 3, and 4 and reports measured routing times against the
+Section 5 bound 4^(d+1-1/d) * d^(1-1/d) * k^(1/d) * n^(d-1), plus the
+practice-vs-bound inversion the paper's conclusions discuss: more
+dimensions route *faster* although the bound *worsens*.
+"""
+
+from bench_util import emit_table, once
+
+from repro.algorithms import FewestGoodDirectionsPolicy
+from repro.analysis.stats import summarize
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.potential.bounds import section5_bound
+from repro.workloads import random_many_to_many
+
+CASES = [
+    (2, 8),
+    (2, 16),
+    (3, 4),
+    (3, 6),
+    (4, 3),
+]
+SEEDS = (0, 1, 2)
+
+
+def _run():
+    rows = []
+    for dimension, side in CASES:
+        mesh = Mesh(dimension, side)
+        for load in (0.5, 1.0):
+            k = max(1, int(load * mesh.num_nodes))
+            times = []
+            for seed in SEEDS:
+                problem = random_many_to_many(mesh, k=k, seed=seed)
+                result = HotPotatoEngine(
+                    problem, FewestGoodDirectionsPolicy(), seed=seed
+                ).run()
+                assert result.completed
+                times.append(result.total_steps)
+            summary = summarize(times)
+            bound = section5_bound(dimension, side, k)
+            rows.append(
+                [
+                    dimension,
+                    side,
+                    k,
+                    summary.mean,
+                    summary.maximum,
+                    bound,
+                    summary.maximum / bound,
+                ]
+            )
+    return rows
+
+
+def test_e9_section5_bound(benchmark):
+    rows = once(benchmark, _run)
+    emit_table(
+        "E9",
+        "Section 5 — d-dimensional meshes vs 4^(d+1-1/d) d^(1-1/d) k^(1/d) n^(d-1)",
+        ["d", "n", "k", "T mean", "T max", "bound", "max/bound"],
+        rows,
+        notes=(
+            "Same node count, same k: 3-D routes faster than 2-D in "
+            "practice while its analytic bound is larger — the "
+            "Section 6 open-problem gap, measured."
+        ),
+    )
+    assert all(row[6] <= 1.0 for row in rows)
+    # The practice-vs-bound inversion at 64 nodes (8x8 vs 4^3).
+    t2 = [r for r in rows if r[0] == 2 and r[1] == 8 and r[2] == 64]
+    t3 = [r for r in rows if r[0] == 3 and r[1] == 4 and r[2] == 64]
+    assert t3[0][3] <= t2[0][3] + 2
+    assert section5_bound(3, 4, 64) > section5_bound(2, 8, 64)

@@ -1,0 +1,61 @@
+"""E6 — Claim 13: the isoperimetric inequality on unit-cube volumes.
+
+Measures ``surface / (2d * V^((d-1)/d))`` over thousands of random
+volumes per dimension (compact blobs, stringy blobs, scatters, and the
+extremal cubes).  Claim 13 says the ratio is >= 1 everywhere; cubes
+achieve exactly 1.
+"""
+
+import random
+
+from bench_util import emit_table, once
+
+from repro.mesh.geometry import box_volume, surface_size
+from repro.potential.isoperimetric import (
+    claim_13_ratio,
+    random_blob,
+    random_scatter,
+)
+
+DIMENSIONS = (2, 3, 4)
+TRIALS = 300
+
+
+def _run():
+    rows = []
+    rng = random.Random(99)
+    for dimension in DIMENSIONS:
+        for shape, generator in (
+            ("compact blob", lambda d, s: random_blob(d, s, rng, spread=1.0)),
+            ("stringy blob", lambda d, s: random_blob(d, s, rng, spread=0.1)),
+            ("scatter", lambda d, s: random_scatter(d, min(s, 5**d), 5, rng)),
+        ):
+            ratios = []
+            for _ in range(TRIALS):
+                size = rng.randint(1, 60)
+                ratios.append(claim_13_ratio(generator(dimension, size)))
+            rows.append(
+                [dimension, shape, TRIALS, min(ratios), max(ratios)]
+            )
+        # Extremal case: perfect cubes meet the bound with equality.
+        side = {2: 6, 3: 4, 4: 3}[dimension]
+        cube = box_volume((0,) * dimension, (side,) * dimension)
+        rows.append(
+            [dimension, f"cube {side}^{dimension}", 1, claim_13_ratio(cube), claim_13_ratio(cube)]
+        )
+    return rows
+
+
+def test_e6_claim13(benchmark):
+    rows = once(benchmark, _run)
+    emit_table(
+        "E6",
+        "Claim 13 — surface(V) / (2d * V^((d-1)/d)) over random volumes",
+        ["d", "shape", "trials", "min ratio", "max ratio"],
+        rows,
+        notes="Claim 13 <=> min ratio >= 1; cubes sit exactly at 1.",
+    )
+    for row in rows:
+        assert row[3] >= 1.0 - 1e-9
+        if str(row[1]).startswith("cube"):
+            assert abs(row[3] - 1.0) < 1e-9

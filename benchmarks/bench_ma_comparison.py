@@ -1,0 +1,89 @@
+"""E21 (extension) — deflection vs store-and-forward under load ([Ma]).
+
+The head-to-head the paper's introduction cites (Maxemchuk 1989):
+identical continuous traffic through (a) a bufferless deflection
+fabric and (b) a buffered dimension-order fabric.  Expected shape,
+which this experiment certifies: indistinguishable latency and
+throughput below saturation; past it, buffering sustains higher
+throughput at the price of deep in-fabric queues — precisely the
+hardware the optical/fine-grained systems of Section 1 cannot afford.
+"""
+
+from bench_util import emit_table, once
+
+from repro.algorithms import DimensionOrderPolicy, RestrictedPriorityPolicy
+from repro.dynamic import (
+    BernoulliTraffic,
+    BufferedDynamicEngine,
+    DynamicEngine,
+)
+from repro.mesh.topology import Mesh
+
+RATES = (0.05, 0.15, 0.25, 0.35, 0.45)
+HORIZON = 700
+WARMUP = 150
+
+
+def _run():
+    mesh = Mesh(2, 12)
+    rows = []
+    for rate in RATES:
+        hot = DynamicEngine(
+            mesh,
+            RestrictedPriorityPolicy(),
+            BernoulliTraffic(rate),
+            seed=1,
+            warmup=WARMUP,
+        ).run(HORIZON)
+        buffered_engine = BufferedDynamicEngine(
+            mesh,
+            DimensionOrderPolicy(),
+            BernoulliTraffic(rate),
+            seed=1,
+            warmup=WARMUP,
+        )
+        buffered = buffered_engine.run(HORIZON)
+        rows.append(
+            [
+                rate,
+                hot.mean_latency,
+                buffered.mean_latency,
+                hot.throughput,
+                buffered.throughput,
+                hot.deflection_rate,
+                buffered_engine.max_queue_seen,
+            ]
+        )
+    return rows
+
+
+def test_e21_deflection_vs_store_and_forward(benchmark):
+    rows = once(benchmark, _run)
+    emit_table(
+        "E21",
+        "Deflection vs store-and-forward under identical traffic (12x12)",
+        [
+            "load",
+            "lat hot-potato",
+            "lat buffered",
+            "thr hot-potato",
+            "thr buffered",
+            "deflect rate",
+            "max queue (buf)",
+        ],
+        rows,
+        notes=(
+            "Below saturation the two disciplines are "
+            "indistinguishable; past it, buffers buy throughput at the "
+            "cost of deep in-fabric queues — the [Ma] trade the "
+            "paper's introduction invokes."
+        ),
+    )
+    # Below saturation: near-identical latency and throughput.
+    for row in rows[:2]:
+        assert abs(row[1] - row[2]) / row[2] < 0.25
+        assert abs(row[3] - row[4]) / row[4] < 0.1
+    # Past saturation: buffered throughput wins; queues are deep.
+    last = rows[-1]
+    assert last[4] > last[3]
+    assert last[6] > 4

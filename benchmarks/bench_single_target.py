@@ -1,0 +1,69 @@
+"""E12 — single-target routing vs the d_max + k bound (Section 6.1).
+
+Sweeps the hot-spot batch size for the closest-first greedy specialist
+and reports measured time against the d_max + k bound that [BTS]'s
+algorithm matches exactly, plus the absorption-rate lower bound
+ceil(k / 2d) (the target absorbs at most 2d packets per step).
+"""
+
+import math
+
+from bench_util import emit_table, once
+
+from repro.algorithms import ClosestFirstPolicy, RestrictedPriorityPolicy
+from repro.analysis.stats import summarize
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.workloads import single_target
+
+KS = (10, 25, 50, 100, 150)
+SEEDS = (0, 1, 2)
+
+
+def _run():
+    mesh = Mesh(2, 16)
+    rows = []
+    for k in KS:
+        for label, policy_factory in (
+            ("closest-first", ClosestFirstPolicy),
+            ("restricted-priority", RestrictedPriorityPolicy),
+        ):
+            times, bounds = [], []
+            for seed in SEEDS:
+                problem = single_target(mesh, k=k, seed=seed)
+                result = HotPotatoEngine(
+                    problem, policy_factory(), seed=seed
+                ).run()
+                assert result.completed
+                times.append(result.total_steps)
+                bounds.append(problem.d_max + k)
+            summary = summarize(times)
+            rows.append(
+                [
+                    k,
+                    label,
+                    summary.mean,
+                    summary.maximum,
+                    math.ceil(k / 4),
+                    max(bounds),
+                    summary.maximum / max(bounds),
+                ]
+            )
+    return rows
+
+
+def test_e12_single_target(benchmark):
+    rows = once(benchmark, _run)
+    emit_table(
+        "E12",
+        "Single target — T vs absorption lower bound and d_max + k",
+        ["k", "algorithm", "T mean", "T max", "ceil(k/2d)", "d_max+k", "max/(d_max+k)"],
+        rows,
+        notes=(
+            "The greedy specialist sits between the absorption lower "
+            "bound and the [BTS] d_max + k line."
+        ),
+    )
+    for row in rows:
+        assert row[3] <= row[5]
+        assert row[3] >= row[4]

@@ -1,0 +1,78 @@
+"""E2 — Theorem 17: the generic potential bound, instantiated per run.
+
+For each run, measures Phi(0) and reports the two forms of the generic
+bound: the worst case ``(4d)^(1-1/d) * k^(1/d) * M`` and the
+instance-specific phase-decay form ``(2d)^((d-1)/d) * Phi(0)^(1/d) *
+(2M)^((d-1)/d)`` from the Theorem 17 proof.  Both must dominate the
+measured routing time; the instance form is the tighter of the two.
+"""
+
+from bench_util import emit_table, once
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.potential.bounds import (
+    phase_decay_bound,
+    theorem17_bound,
+)
+from repro.potential.restricted import RestrictedPotential
+from repro.workloads import (
+    quadrant_flood,
+    random_many_to_many,
+    random_permutation,
+    single_target,
+)
+
+
+def _cases():
+    mesh = Mesh(2, 16)
+    return [
+        ("random-64", random_many_to_many(mesh, k=64, seed=0)),
+        ("random-256", random_many_to_many(mesh, k=256, seed=1)),
+        ("hotspot-100", single_target(mesh, k=100, seed=2)),
+        ("flood", quadrant_flood(mesh, seed=3)),
+        ("permutation", random_permutation(mesh, seed=4)),
+    ]
+
+
+def _run():
+    rows = []
+    for label, problem in _cases():
+        tracker = RestrictedPotential()
+        engine = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(),
+            seed=7,
+            observers=[tracker],
+        )
+        result = engine.run()
+        assert result.completed
+        generic = theorem17_bound(2, problem.k, tracker.M)
+        instance = phase_decay_bound(tracker.initial_total, tracker.M, 2)
+        rows.append(
+            [
+                label,
+                problem.k,
+                tracker.initial_total,
+                result.total_steps,
+                instance,
+                generic,
+                result.total_steps / instance,
+            ]
+        )
+    return rows
+
+
+def test_e2_theorem17_bounds(benchmark):
+    rows = once(benchmark, _run)
+    emit_table(
+        "E2",
+        "Theorem 17 — measured T vs instance and worst-case bounds",
+        ["workload", "k", "Phi(0)", "T", "inst bound", "generic bound", "T/inst"],
+        rows,
+        notes="instance bound = phase-decay form with measured Phi(0); "
+        "generic = (4d)^(1-1/d) k^(1/d) M.",
+    )
+    for row in rows:
+        assert row[3] <= row[4] <= row[5] + 1e-9

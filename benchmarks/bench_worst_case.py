@@ -1,0 +1,85 @@
+"""E22 (extension) — adversarial search for slow permutations ([BCS]).
+
+Section 6.1: [BCS] constructed permutations forcing ``Ω(n^2)`` steps
+for a restricted-priority algorithm — Theorem 20's analysis is tight
+for the class.  Their construction is intricate; this experiment asks
+the complementary empirical question: *how far does generic local
+search get?*  Hill-climbing over destination swaps (best of several
+restarts, including a reversal-seeded start) barely degrades the
+greedy algorithms — a robustness result consistent with three decades
+of "greedy is hard to break by accident" folklore, and a measurement
+of how special the [BCS] construction must be.
+"""
+
+from bench_util import emit_table, once
+
+from repro.algorithms import (
+    FixedPriorityPolicy,
+    PlainGreedyPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.analysis.worst_case import search_with_restarts
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.potential.bounds import permutation_remark_bound
+from repro.workloads import random_permutation, reversal
+
+SIDE = 8
+
+
+def _run():
+    mesh = Mesh(2, SIDE)
+    rows = []
+    for label, factory in (
+        ("restricted-priority", RestrictedPriorityPolicy),
+        ("plain-greedy", PlainGreedyPolicy),
+        ("fixed-priority", FixedPriorityPolicy),
+    ):
+        typical = HotPotatoEngine(
+            random_permutation(mesh, seed=0), factory(), seed=0
+        ).run().total_steps
+        structured = HotPotatoEngine(
+            reversal(mesh), factory(), seed=0
+        ).run().total_steps
+        found = search_with_restarts(
+            mesh, factory, restarts=2, iterations=120, seed=7
+        )
+        rows.append(
+            [
+                label,
+                typical,
+                structured,
+                found.steps,
+                found.steps / typical,
+                permutation_remark_bound(SIDE),
+            ]
+        )
+    return rows
+
+
+def test_e22_adversarial_search(benchmark):
+    rows = once(benchmark, _run)
+    emit_table(
+        "E22",
+        f"Adversarial permutation search on the {SIDE}x{SIDE} mesh "
+        f"(hill climbing, 2 restarts x 120 swaps)",
+        [
+            "algorithm",
+            "T random perm",
+            "T reversal",
+            "T worst found",
+            "found/typical",
+            "8n^2 bound",
+        ],
+        rows,
+        notes=(
+            "Generic search degrades greedy routing by only a small "
+            "factor and stays far under 8n^2: the Omega(n^2) "
+            "worst cases of [BCS] require deliberate construction, "
+            "not perturbation — greedy hot-potato routing is robust "
+            "to accidental adversity."
+        ),
+    )
+    for row in rows:
+        assert row[3] <= row[5]          # still within the bound
+        assert row[4] < 3.0              # search gains are modest

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Continuous traffic: the load-latency curve of a deflection network.
+
+The paper's motivating systems (multihop lightwave networks, the
+Manhattan Street network, deflection multiprocessor interconnects) run
+with continuous packet injection.  This example sweeps the offered
+load on a 12x12 mesh and prints the classic deflection-routing curve:
+latency stays near the network diameter until the load approaches
+capacity, then source queues blow up — with the deflection rate rising
+smoothly in between.
+
+Run:  python examples/network_traffic.py
+"""
+
+from repro.algorithms import RandomizedGreedyPolicy, RestrictedPriorityPolicy
+from repro.analysis.tables import format_table
+from repro.dynamic import BernoulliTraffic, DynamicEngine
+from repro.mesh.topology import Mesh
+
+RATES = (0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40)
+HORIZON = 1200
+WARMUP = 300
+
+
+def sweep(policy_factory, label):
+    mesh = Mesh(dimension=2, side=12)
+    rows = []
+    for rate in RATES:
+        engine = DynamicEngine(
+            mesh,
+            policy_factory(),
+            BernoulliTraffic(rate),
+            seed=7,
+            warmup=WARMUP,
+        )
+        stats = engine.run(HORIZON)
+        rows.append(
+            [
+                rate,
+                stats.mean_latency,
+                stats.latency_percentile(99),
+                stats.deflection_rate,
+                stats.throughput,
+                stats.max_backlog,
+                stats.is_stable(),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "offered load",
+                "latency mean",
+                "latency p99",
+                "deflect rate",
+                "throughput/step",
+                "max backlog",
+                "stable",
+            ],
+            rows,
+            title=f"\n{label} on the 12x12 mesh "
+            f"({HORIZON} steps, warm-up {WARMUP})",
+        )
+    )
+    return rows
+
+
+def main() -> None:
+    restricted = sweep(RestrictedPriorityPolicy, "restricted-priority")
+    randomized = sweep(RandomizedGreedyPolicy, "randomized-greedy")
+
+    print(
+        "\nReading the curves: below saturation (~0.25/node here) the"
+        "\nmean latency sits near the mean source-destination distance"
+        "\n(~8 hops on this mesh) and every generated packet departs"
+        "\nimmediately; past saturation the backlog column explodes —"
+        "\ndeflection networks degrade by queueing at the *sources*,"
+        "\nnever inside the bufferless fabric."
+    )
+    # The stable prefix behaves, for both policies.
+    assert restricted[0][6] and randomized[0][6]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Greedy hot-potato routing on d-dimensional meshes.
+
+A production-grade reproduction of
+
+    A. Ben-Dor, S. Halevi, A. Schuster,
+    "Potential Function Analysis of Greedy Hot-Potato Routing",
+    13th ACM PODC, 1994 (journal version: Computing Systems, 1998).
+
+The library provides:
+
+* :mod:`repro.mesh` — the d-dimensional mesh/torus substrate, the
+  2-neighbor relation, and the Claim 13 isoperimetric machinery;
+* :mod:`repro.core` — the synchronous hot-potato engine with protocol
+  validation, plus a buffered engine for structured baselines;
+* :mod:`repro.algorithms` — the paper's algorithm classes and the
+  related-work baselines;
+* :mod:`repro.potential` — the Section 4.2 potential function,
+  Property 8, surface arcs, every closed-form bound, and run-level
+  verification of the full analysis chain behind Theorem 20;
+* :mod:`repro.workloads` — batch generators (random, permutations,
+  hot spots, adversarial, parity splitting);
+* :mod:`repro.analysis` — sweeps, statistics, power-law fits, and the
+  livelock searcher;
+* :mod:`repro.viz` — text-mode renderings.
+
+Quickstart::
+
+    from repro import (Mesh, RestrictedPriorityPolicy, route,
+                       random_many_to_many, theorem20_bound)
+
+    mesh = Mesh(dimension=2, side=16)
+    problem = random_many_to_many(mesh, k=64, seed=1)
+    result = route(problem, RestrictedPriorityPolicy())
+    assert result.total_steps <= theorem20_bound(mesh.side, problem.k)
+"""
+
+from repro.algorithms import (
+    BlockingGreedyPolicy,
+    ClosestFirstPolicy,
+    DestinationOrderPolicy,
+    DimensionOrderPolicy,
+    FewestGoodDirectionsPolicy,
+    FixedPriorityPolicy,
+    GreedyMatchingPolicy,
+    PlainGreedyPolicy,
+    RandomizedGreedyPolicy,
+    RestrictedPriorityPolicy,
+    SchedulePolicy,
+    available_policies,
+    livelock_instance,
+    make_policy,
+    register_policy,
+)
+from repro.core import (
+    BufferedEngine,
+    HotPotatoEngine,
+    Packet,
+    Request,
+    RestrictedType,
+    RoutingPolicy,
+    RoutingProblem,
+    RunResult,
+    route,
+)
+from repro.exceptions import (
+    ArcAssignmentError,
+    CapacityExceededError,
+    ConfigurationError,
+    GreedinessViolationError,
+    HotPotatoViolationError,
+    InvalidProblemError,
+    LivelockSuspectedError,
+    ProtocolViolationError,
+    ReproError,
+    RestrictedPriorityViolationError,
+    TraceError,
+)
+from repro.mesh import Direction, Hypercube, Mesh, Torus
+from repro.potential import (
+    DistancePotential,
+    RestrictedPotential,
+    section5_bound,
+    theorem17_bound,
+    theorem20_bound,
+    verify_restricted_run,
+)
+from repro.workloads import (
+    random_many_to_many,
+    random_permutation,
+    single_target,
+    transpose,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArcAssignmentError",
+    "BlockingGreedyPolicy",
+    "BufferedEngine",
+    "CapacityExceededError",
+    "ClosestFirstPolicy",
+    "ConfigurationError",
+    "DestinationOrderPolicy",
+    "DimensionOrderPolicy",
+    "Direction",
+    "DistancePotential",
+    "FewestGoodDirectionsPolicy",
+    "FixedPriorityPolicy",
+    "GreedinessViolationError",
+    "GreedyMatchingPolicy",
+    "HotPotatoEngine",
+    "HotPotatoViolationError",
+    "Hypercube",
+    "InvalidProblemError",
+    "LivelockSuspectedError",
+    "Mesh",
+    "Packet",
+    "PlainGreedyPolicy",
+    "ProtocolViolationError",
+    "RandomizedGreedyPolicy",
+    "ReproError",
+    "Request",
+    "RestrictedPotential",
+    "RestrictedPriorityPolicy",
+    "RestrictedPriorityViolationError",
+    "RestrictedType",
+    "RoutingPolicy",
+    "RoutingProblem",
+    "RunResult",
+    "SchedulePolicy",
+    "Torus",
+    "TraceError",
+    "available_policies",
+    "livelock_instance",
+    "make_policy",
+    "random_many_to_many",
+    "random_permutation",
+    "register_policy",
+    "route",
+    "section5_bound",
+    "single_target",
+    "theorem17_bound",
+    "theorem20_bound",
+    "transpose",
+    "verify_restricted_run",
+]

@@ -1,0 +1,82 @@
+"""Routing algorithms.
+
+The paper's Section 4 algorithm class (greedy, prefers restricted
+packets), its Section 5 d-dimensional generalization, the plain and
+randomized greedy strawmen, the fixed-priority and destination-order
+greedy baselines from the related work, the single-target specialist,
+the buffered dimension-order structured comparator, and the
+adversarial schedule machinery behind the livelock demonstrations.
+"""
+
+from repro.algorithms.adversarial import (
+    BlockingGreedyPolicy,
+    SchedulePolicy,
+    StepSchedule,
+    livelock_instance,
+    schedule_from_moves,
+)
+from repro.algorithms.base import (
+    DEFLECTION_RULES,
+    TIE_BREAKS,
+    GreedyMatchingPolicy,
+    deflect,
+)
+from repro.algorithms.brassil_cruz import (
+    DestinationOrderPolicy,
+    brassil_cruz_time_bound,
+    snake_order,
+    snake_walk_length,
+)
+from repro.algorithms.dimension_order import (
+    DimensionOrderPolicy,
+    dimension_order_direction,
+)
+from repro.algorithms.hajek import FixedPriorityPolicy, fixed_priority_time_bound
+from repro.algorithms.max_advance import FewestGoodDirectionsPolicy
+from repro.algorithms.plain_greedy import (
+    MaximalGreedyPolicy,
+    PlainGreedyPolicy,
+    RandomizedGreedyPolicy,
+)
+from repro.algorithms.registry import (
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.algorithms.random_rank import RandomRankPolicy
+from repro.algorithms.restricted import RestrictedPriorityPolicy
+from repro.algorithms.single_target import (
+    ClosestFirstPolicy,
+    single_target_time_bound,
+)
+
+__all__ = [
+    "DEFLECTION_RULES",
+    "TIE_BREAKS",
+    "BlockingGreedyPolicy",
+    "ClosestFirstPolicy",
+    "DestinationOrderPolicy",
+    "DimensionOrderPolicy",
+    "FewestGoodDirectionsPolicy",
+    "FixedPriorityPolicy",
+    "GreedyMatchingPolicy",
+    "MaximalGreedyPolicy",
+    "PlainGreedyPolicy",
+    "RandomRankPolicy",
+    "RandomizedGreedyPolicy",
+    "RestrictedPriorityPolicy",
+    "SchedulePolicy",
+    "StepSchedule",
+    "available_policies",
+    "brassil_cruz_time_bound",
+    "deflect",
+    "dimension_order_direction",
+    "fixed_priority_time_bound",
+    "livelock_instance",
+    "make_policy",
+    "register_policy",
+    "schedule_from_moves",
+    "single_target_time_bound",
+    "snake_order",
+    "snake_walk_length",
+]

@@ -1,0 +1,225 @@
+"""Adversarial greedy schedules — the livelock demonstrations.
+
+Section 1.2 of the paper: "it is rather easy to come up with a
+livelock situation whenever greediness is the only routing policy
+[NS1], [Haj]".  Greediness (Definition 6) constrains *which sets* of
+packets advance, but not who wins a conflict or where losers are
+deflected; an adversary controlling those choices can keep a
+configuration cycling forever.
+
+This module provides :class:`SchedulePolicy`: a policy that replays a
+precomputed per-step assignment table, folding time onto a cycle.  The
+tables themselves are found by the exhaustive searcher in
+:mod:`repro.analysis.livelock`, which explores the *nondeterministic*
+greedy transition graph of a configuration and extracts a reachable
+state cycle.  Crucially, the engine still runs the
+:class:`~repro.core.validation.GreedyValidator` against the replayed
+schedule — so the livelock run is certified greedy step by step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.node_view import NodeView
+from repro.core.policy import Assignment, RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.types import Node, PacketId
+
+#: One step of a schedule: per-node packet-to-direction assignments.
+StepSchedule = Mapping[Node, Mapping[PacketId, Direction]]
+
+
+class SchedulePolicy(RoutingPolicy):
+    """Replay a fixed per-step assignment table, looping a suffix.
+
+    Args:
+        schedule: assignments for steps ``0 .. len(schedule) - 1``.
+        loop_start: step index where the cycle begins.  Steps beyond
+            the table fold back as
+            ``loop_start + (t - loop_start) % (len(schedule) - loop_start)``.
+            Pass ``loop_start = len(schedule)`` for a non-looping
+            schedule (useful to replay a finite recorded run).
+
+    The policy declares greediness so that the engine validates every
+    replayed step against Definition 6 — a schedule that is not
+    actually greedy fails fast instead of "demonstrating" a bogus
+    livelock.
+    """
+
+    name = "adversarial-schedule"
+    declares_greedy = True
+
+    def __init__(
+        self, schedule: Tuple[StepSchedule, ...], loop_start: int
+    ) -> None:
+        if not 0 <= loop_start <= len(schedule):
+            raise ValueError(
+                f"loop_start {loop_start} outside schedule of length "
+                f"{len(schedule)}"
+            )
+        self.schedule = tuple(schedule)
+        self.loop_start = loop_start
+
+    def _fold(self, step: int) -> int:
+        if step < len(self.schedule):
+            return step
+        cycle = len(self.schedule) - self.loop_start
+        if cycle <= 0:
+            raise KeyError(
+                f"step {step} beyond non-looping schedule of length "
+                f"{len(self.schedule)}"
+            )
+        return self.loop_start + (step - self.loop_start) % cycle
+
+    def assign(self, view: NodeView) -> Assignment:
+        step_schedule = self.schedule[self._fold(view.step)]
+        try:
+            node_assignment = step_schedule[view.node]
+        except KeyError:
+            raise KeyError(
+                f"schedule has no entry for node {view.node} at step "
+                f"{view.step} (folded {self._fold(view.step)})"
+            ) from None
+        return dict(node_assignment)
+
+
+#: Clockwise rotation order of the 2-D directions: east, south, west,
+#: north (axis 1 is the column, axis 0 the row, rows grow downward).
+_CLOCKWISE = (
+    Direction(1, 1),   # east
+    Direction(0, 1),   # south
+    Direction(1, -1),  # west
+    Direction(0, -1),  # north
+)
+
+
+class BlockingGreedyPolicy(RoutingPolicy):
+    """A uniform, deterministic, *perverse* greedy policy (2-D mesh).
+
+    Every node applies the same simple rule in every step — this is a
+    legitimate hot-potato algorithm in the paper's model — yet the rule
+    is chosen adversarially:
+
+    1. packets with **more** good directions act first (the exact
+       opposite of Definition 18's restricted-packet priority);
+    2. an acting packet takes, among its free good directions, the one
+       **most demanded** by the other packets at the node (maximal
+       blocking), ties resolved clockwise;
+    3. packets whose good directions are all taken are deflected to
+       the first free arc scanning **clockwise from their first good
+       direction**.
+
+    Step 3 starts from a first-fit *maximal* matching, so the policy
+    satisfies Definition 6 (greedy) at every node — the engine's
+    validator confirms it.  On :func:`livelock_instance` it enters a
+    period-2 state cycle and never delivers a single packet, realizing
+    the Section 1.2 observation that greediness alone does not
+    guarantee termination.  Giving priority to restricted packets
+    (Definition 18) breaks exactly rule 1, and indeed
+    :class:`~repro.algorithms.restricted.RestrictedPriorityPolicy`
+    routes the same instance in a handful of steps.
+    """
+
+    name = "blocking-greedy"
+    declares_greedy = True
+
+    def assign(self, view: NodeView) -> Assignment:
+        if view.mesh.dimension != 2:
+            raise ValueError("BlockingGreedyPolicy is defined for 2-D meshes")
+        ordered = sorted(
+            view.packets, key=lambda p: (-view.num_good(p), p.id)
+        )
+        taken: Dict[Direction, PacketId] = {}
+        assignment: Assignment = {}
+        unmatched = []
+        for packet in ordered:
+            free_good = [
+                d for d in view.good_directions(packet) if d not in taken
+            ]
+            if not free_good:
+                unmatched.append(packet)
+                continue
+            demand = {
+                d: sum(
+                    1
+                    for other in view.packets
+                    if other.id != packet.id
+                    and d in view.good_directions(other)
+                )
+                for d in free_good
+            }
+            best = max(
+                free_good,
+                key=lambda d: (demand[d], -_CLOCKWISE.index(d)),
+            )
+            taken[best] = packet.id
+            assignment[packet.id] = best
+        out_directions = set(view.out_directions)
+        for packet in unmatched:
+            good = view.good_directions(packet)
+            start = _CLOCKWISE.index(good[0]) if good else 0
+            for offset in range(1, len(_CLOCKWISE) + 1):
+                candidate = _CLOCKWISE[(start + offset) % len(_CLOCKWISE)]
+                if candidate in out_directions and candidate not in taken:
+                    taken[candidate] = packet.id
+                    assignment[packet.id] = candidate
+                    break
+        return assignment
+
+
+def livelock_instance(mesh: Mesh = None) -> RoutingProblem:
+    """The 8-packet greedy livelock configuration.
+
+    Four *oscillating pairs* sit on the 2x2 block with corners
+    ``(1,1), (1,2), (2,2), (2,1)`` (clockwise: A, B, C, D).  Both
+    packets of the A-B pair are destined to C, both of the B-C pair to
+    D, the C-D pair to A, and the D-A pair to B.  In every step, at
+    every block node, the two-good-direction packet advances through
+    the unique good arc of the restricted one, which is deflected
+    clockwise around the block; two steps later the configuration
+    repeats exactly.  Every step is greedy (Definition 6) — the
+    deflected packet's only good arc *is* in use by an advancing
+    packet — but a non-restricted packet deflects a restricted one,
+    which Definition 18 forbids; restricted-priority policies route
+    the instance in a few steps.
+    """
+    if mesh is None:
+        mesh = Mesh(dimension=2, side=3)
+    if mesh.dimension != 2 or mesh.side < 3 or mesh.kind != "mesh":
+        raise ValueError(
+            "the livelock instance needs a 2-D mesh of side >= 3"
+        )
+    a, b, c, d = (1, 1), (1, 2), (2, 2), (2, 1)
+    pairs = [
+        (a, c),  # p:  oscillates A-B, destined C
+        (b, c),  # p': oscillates B-A, destined C
+        (b, d),  # q:  oscillates B-C, destined D
+        (c, d),  # q': oscillates C-B, destined D
+        (c, a),  # r:  oscillates C-D, destined A
+        (d, a),  # r': oscillates D-C, destined A
+        (d, b),  # s:  oscillates D-A, destined B
+        (a, b),  # s': oscillates A-D, destined B
+    ]
+    return RoutingProblem.from_pairs(mesh, pairs, name="livelock-8")
+
+
+def schedule_from_moves(
+    moves_per_step: Tuple[Dict[PacketId, Tuple[Node, Direction]], ...],
+    loop_start: int,
+) -> SchedulePolicy:
+    """Build a :class:`SchedulePolicy` from per-step packet moves.
+
+    ``moves_per_step[t]`` maps each packet id to ``(node, direction)``:
+    where the packet is at time ``t`` and which direction it takes.
+    This is the natural output format of the livelock searcher.
+    """
+    schedule = []
+    for moves in moves_per_step:
+        per_node: Dict[Node, Dict[PacketId, Direction]] = {}
+        for packet_id, (node, direction) in moves.items():
+            per_node.setdefault(node, {})[packet_id] = direction
+        schedule.append(per_node)
+    return SchedulePolicy(tuple(schedule), loop_start)

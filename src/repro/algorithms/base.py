@@ -1,0 +1,170 @@
+"""Shared machinery for greedy hot-potato policies.
+
+All greedy algorithms in this library follow one per-node template:
+
+1. build the bipartite *good graph*: packets on one side, the node's
+   outgoing directions on the other, with an edge when the direction is
+   good for the packet (Definition 5);
+2. compute a **maximum matching**, offering augmenting paths to packets
+   in a subclass-defined **priority order** (see
+   :mod:`repro.core.matching` for why this realizes both greediness and
+   restricted-packet priority);
+3. deflect the unmatched packets along leftover directions according to
+   a pluggable :class:`DeflectionRule`.
+
+Subclasses customize only the priority order (step 2) and, optionally,
+the deflection rule (step 3); everything else — including the greedy
+guarantee of Definition 6 — comes from the template.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.matching import priority_maximum_matching
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet
+from repro.core.policy import Assignment, RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.core.rng import spawn
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.types import PacketId
+
+#: Valid deflection-rule names, see :func:`deflect`.
+DEFLECTION_RULES = ("ordered", "reverse", "random")
+
+#: Valid tie-break names for equal-priority packets.
+TIE_BREAKS = ("id", "random")
+
+
+def deflect(
+    rule: str,
+    view: NodeView,
+    unmatched: Sequence[Packet],
+    free_directions: List[Direction],
+    rng: random.Random,
+) -> Dict[PacketId, Direction]:
+    """Assign leftover directions to deflected packets.
+
+    Rules (every deflection costs exactly one distance unit on the
+    mesh, so the rule only shapes *future* conflicts, not the immediate
+    potential drop):
+
+    * ``"ordered"`` — hand out free directions in the mesh's canonical
+      direction order (deterministic).
+    * ``"reverse"`` — each packet prefers bouncing back along the arc
+      it entered through; remaining conflicts fall back to order.
+    * ``"random"`` — a uniformly random pairing (uses ``rng``).
+    """
+    if rule not in DEFLECTION_RULES:
+        raise ValueError(
+            f"unknown deflection rule {rule!r}; expected one of "
+            f"{DEFLECTION_RULES}"
+        )
+    free = list(free_directions)
+    result: Dict[PacketId, Direction] = {}
+    if rule == "random":
+        rng.shuffle(free)
+    elif rule == "reverse":
+        remaining: List[Packet] = []
+        for packet in unmatched:
+            if packet.entry_direction is not None:
+                back = packet.entry_direction.opposite
+                if back in free:
+                    result[packet.id] = back
+                    free.remove(back)
+                    continue
+            remaining.append(packet)
+        unmatched = remaining
+    for packet, direction in zip(unmatched, free):
+        result[packet.id] = direction
+    return result
+
+
+class GreedyMatchingPolicy(RoutingPolicy):
+    """Base class implementing the matching template described above.
+
+    Args:
+        tie_break: ``"id"`` (deterministic) or ``"random"`` — order of
+            packets *within* one priority class.
+        deflection: one of :data:`DEFLECTION_RULES`.
+
+    Subclasses override :meth:`priority_key`; smaller keys are matched
+    first.  Because the template computes a maximum matching at every
+    node, every subclass automatically satisfies Definition 6 (greedy)
+    and the Section 5 max-advance requirement, and declares both.
+    """
+
+    name = "greedy-matching"
+    declares_greedy = True
+    declares_max_advance = True
+
+    def __init__(
+        self, tie_break: str = "id", deflection: str = "ordered"
+    ) -> None:
+        if tie_break not in TIE_BREAKS:
+            raise ValueError(
+                f"unknown tie break {tie_break!r}; expected one of {TIE_BREAKS}"
+            )
+        if deflection not in DEFLECTION_RULES:
+            raise ValueError(
+                f"unknown deflection rule {deflection!r}; expected one of "
+                f"{DEFLECTION_RULES}"
+            )
+        self.tie_break = tie_break
+        self.deflection = deflection
+        self._rng = random.Random(0)
+
+    def prepare(
+        self, mesh: Mesh, problem: RoutingProblem, rng: random.Random
+    ) -> None:
+        self._rng = spawn(rng, self.name)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+
+    def priority_key(self, view: NodeView, packet: Packet) -> Tuple:
+        """Return the packet's priority (smaller = matched earlier).
+
+        The base class gives every packet equal priority, i.e. a plain
+        greedy algorithm whose conflicts are settled by the tie-break.
+        """
+        return ()
+
+    # ------------------------------------------------------------------
+    # Template
+    # ------------------------------------------------------------------
+
+    def _ordered_packets(self, view: NodeView) -> List[Packet]:
+        packets = list(view.packets)
+        if self.tie_break == "random":
+            self._rng.shuffle(packets)
+        packets.sort(key=lambda p: self.priority_key(view, p))
+        return packets
+
+    def assign(self, view: NodeView) -> Assignment:
+        ordered = self._ordered_packets(view)
+        adjacency = {
+            packet.id: list(view.good_directions(packet))
+            for packet in view.packets
+        }
+        matching = priority_maximum_matching(
+            adjacency, [packet.id for packet in ordered]
+        )
+        used = set(matching.values())
+        free = [d for d in view.out_directions if d not in used]
+        unmatched = [p for p in ordered if p.id not in matching]
+        assignment: Assignment = dict(matching)
+        assignment.update(
+            deflect(self.deflection, view, unmatched, free, self._rng)
+        )
+        return assignment
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(tie_break={self.tie_break!r}, "
+            f"deflection={self.deflection!r})"
+        )

@@ -1,0 +1,52 @@
+"""Fixed-global-priority greedy routing (Hajek 1991 flavor).
+
+Hajek [Haj] analyzed a simple deflection algorithm whose key mechanism
+is a *fixed total order* on packets: in every conflict the
+highest-ranked packet advances.  Because the globally top-ranked
+in-flight packet wins every conflict it is never deflected, so it is
+delivered within ``d_max`` steps; an evacuation argument then bounds
+the total time linearly in the number of packets ``k`` (Hajek proved
+``2k + n`` on the 2^n-node hypercube; Borodin, Rabani and Schieber
+[BRS] obtained ``2k + d_max`` for meshes — both discussed in
+Sections 1.1 and 6.1 of the paper).
+
+Benchmark E10/E12 compare this linear-in-k behavior against the
+``O(n·sqrt(k))`` class of Theorem 20.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algorithms.base import GreedyMatchingPolicy
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet
+
+
+class FixedPriorityPolicy(GreedyMatchingPolicy):
+    """Greedy routing where conflicts are won by a fixed packet order.
+
+    The order is the packet id (injection order).  The policy is
+    greedy (Definition 6) but does **not** prefer restricted packets:
+    a high-ranked packet with two good directions happily deflects a
+    restricted one — exactly the behavior Definition 18 forbids, which
+    makes this a useful contrast case in the validator tests.
+    """
+
+    name = "fixed-priority"
+
+    def priority_key(self, view: NodeView, packet: Packet) -> Tuple:
+        return (packet.id,)
+
+
+def fixed_priority_time_bound(k: int, d_max: int) -> int:
+    """The linear evacuation bound ``2k + d_max`` of [BRS]/[Haj].
+
+    Used by tests and benchmarks as the reference bound for
+    :class:`FixedPriorityPolicy`-style algorithms.
+    """
+    if k < 0 or d_max < 0:
+        raise ValueError("k and d_max must be non-negative")
+    if k == 0:
+        return 0
+    return 2 * k + d_max

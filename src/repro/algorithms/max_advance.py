@@ -1,0 +1,47 @@
+"""The Section 5 d-dimensional algorithm class.
+
+For meshes of dimension ``d > 2`` the paper generalizes "prefers
+restricted packets" to "prefers packets with fewer good directions",
+and additionally requires the algorithm to *maximize the number of
+advancing packets* at every node (Section 5).  This policy implements
+exactly that: priority is the number of good directions (fewest
+first), settled by maximum matching — which the engine's
+:class:`~repro.core.validation.MaxAdvanceValidator` re-checks at every
+node.
+
+The paper derives (via the generalized potential, detailed in [Hal]
+and [BHS]) an upper bound of ``4^(d+1-1/d) · d^(1-1/d) · k^(1/d) ·
+n^(d-1)`` steps for this class; benchmark E9 measures this policy
+against that bound.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algorithms.base import GreedyMatchingPolicy
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet
+
+
+class FewestGoodDirectionsPolicy(GreedyMatchingPolicy):
+    """Greedy routing preferring packets with fewer good directions.
+
+    In two dimensions this refines :class:`RestrictedPriorityPolicy`
+    (restricted packets have one good direction, so they still beat
+    everyone), hence it also satisfies Definition 18; in higher
+    dimensions it is the natural member of the Section 5 class.
+
+    Within a good-direction count, packets that advanced in the
+    previous step win (the type-A flavor generalized), then the
+    tie-break applies.
+    """
+
+    name = "fewest-good-directions"
+    declares_restricted_priority = True
+
+    def priority_key(self, view: NodeView, packet: Packet) -> Tuple:
+        advanced_while_scarce = (
+            packet.restricted_last_step and packet.advanced_last_step
+        )
+        return (view.num_good(packet), 0 if advanced_while_scarce else 1)

@@ -1,0 +1,100 @@
+"""Plain greedy hot-potato routing.
+
+The weakest member of the paper's algorithm universe: packets advance
+whenever a maximum matching lets them, conflicts are settled by an
+arbitrary (id-order or random) rule, with no restricted-packet
+priority.  The paper notes that greediness alone does not guarantee
+termination (Section 1.2) — this policy is the natural subject of the
+livelock experiments, and in practice (random tie-breaks) it performs
+excellently, matching the simulation folklore the paper cites.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.algorithms.base import DEFLECTION_RULES, GreedyMatchingPolicy, deflect
+from repro.core.matching import greedy_maximal_matching
+from repro.core.node_view import NodeView
+from repro.core.policy import Assignment, RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.core.rng import spawn
+from repro.mesh.topology import Mesh
+
+
+class PlainGreedyPolicy(GreedyMatchingPolicy):
+    """Greedy routing with no priority structure at all.
+
+    Every packet has equal priority; who advances out of a conflict is
+    decided by the tie-break (packet id by default, or uniformly at
+    random), and deflections follow the configured rule.  Satisfies
+    Definition 6 but not Definition 18.
+    """
+
+    name = "plain-greedy"
+
+
+class RandomizedGreedyPolicy(GreedyMatchingPolicy):
+    """Plain greedy with random conflict resolution and deflections.
+
+    The configuration closest to the "simple greedy algorithms
+    perform very well in simulations" folklore ([BH], [Ma], [AS]):
+    all symmetry is broken by coin flips, which in particular defeats
+    the deterministic livelock schedules of
+    :mod:`repro.algorithms.adversarial` with probability 1.
+    """
+
+    name = "randomized-greedy"
+
+    def __init__(self) -> None:
+        super().__init__(tie_break="random", deflection="random")
+
+
+class MaximalGreedyPolicy(RoutingPolicy):
+    """First-fit greedy: a *maximal* (not maximum) matching per node.
+
+    Definition 6 only requires that a deflected packet's good arcs all
+    be in use — any maximal matching qualifies — while the Section 5
+    d-dimensional analysis additionally demands the *maximum* number of
+    advancing packets.  This policy deliberately settles for first-fit
+    maximality (each packet, in id order, takes its first free good
+    direction), making it the ablation contrast for the max-advance
+    requirement: it is greedy, it terminates, but it advances fewer
+    packets per step than the matching-based policies whenever
+    first-fit paints itself into a corner.
+    """
+
+    name = "maximal-greedy"
+    declares_greedy = True
+    declares_max_advance = False
+
+    def __init__(self, deflection: str = "ordered") -> None:
+        if deflection not in DEFLECTION_RULES:
+            raise ValueError(
+                f"unknown deflection rule {deflection!r}; expected one of "
+                f"{DEFLECTION_RULES}"
+            )
+        self.deflection = deflection
+        self._rng = random.Random(0)
+
+    def prepare(
+        self, mesh: Mesh, problem: RoutingProblem, rng: random.Random
+    ) -> None:
+        self._rng = spawn(rng, self.name)
+
+    def assign(self, view: NodeView) -> Assignment:
+        adjacency = {
+            packet.id: list(view.good_directions(packet))
+            for packet in view.packets
+        }
+        order = [packet.id for packet in view.packets]
+        matching: Dict = greedy_maximal_matching(adjacency, order)
+        used = set(matching.values())
+        free = [d for d in view.out_directions if d not in used]
+        unmatched = [p for p in view.packets if p.id not in matching]
+        assignment: Assignment = dict(matching)
+        assignment.update(
+            deflect(self.deflection, view, unmatched, free, self._rng)
+        )
+        return assignment

@@ -1,0 +1,64 @@
+"""Random-rank priority greedy routing ([BNS] flavor).
+
+Ben-Aroya, Newman and Schuster [BNS] (Section 6.1) analyzed a
+*randomized* greedy single-target algorithm for d-dimensional meshes
+and the hypercube — notably the only greedy hot-potato algorithm known
+(at the time) whose bound *improves* with the dimension.  The core
+mechanism is random symmetry breaking that is *consistent over time*:
+each packet draws a rank once, and every conflict is resolved in rank
+order.
+
+Compared to :class:`~repro.algorithms.plain_greedy.RandomizedGreedyPolicy`
+(fresh coin flips every step), persistent random ranks give each packet
+a global, time-invariant priority — so the top-ranked in-flight packet
+is never deflected and the [BRS]-style linear evacuation bound applies
+*with probability one*, while the randomization removes any adversarial
+correlation between the ranking and the workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.algorithms.base import GreedyMatchingPolicy
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet
+from repro.core.problem import RoutingProblem
+from repro.core.rng import spawn
+from repro.mesh.topology import Mesh
+from repro.types import PacketId
+
+
+class RandomRankPolicy(GreedyMatchingPolicy):
+    """Greedy routing with per-packet random ranks drawn once per run.
+
+    Ranks are drawn in :meth:`prepare` from the engine's seeded RNG,
+    so runs are reproducible; packets injected later (dynamic engine)
+    get ranks drawn lazily on first sight.
+    """
+
+    name = "random-rank"
+
+    def __init__(self, deflection: str = "ordered") -> None:
+        super().__init__(tie_break="id", deflection=deflection)
+        self._ranks: Dict[PacketId, float] = {}
+
+    def prepare(
+        self, mesh: Mesh, problem: RoutingProblem, rng: random.Random
+    ) -> None:
+        super().prepare(mesh, problem, rng)
+        self._ranks = {
+            index: self._rng.random()
+            for index in range(len(problem.requests))
+        }
+
+    def _rank(self, packet_id: PacketId) -> float:
+        rank = self._ranks.get(packet_id)
+        if rank is None:
+            rank = self._rng.random()
+            self._ranks[packet_id] = rank
+        return rank
+
+    def priority_key(self, view: NodeView, packet: Packet) -> Tuple:
+        return (self._rank(packet.id), packet.id)

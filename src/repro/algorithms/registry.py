@@ -1,0 +1,75 @@
+"""Name-based registry of routing policies.
+
+The experiment harness and the examples refer to algorithms by short
+names; this registry maps those names to zero-argument factories so
+each run gets a fresh policy instance (policies may carry run-local
+state such as their RNG stream or destination ranking).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.adversarial import BlockingGreedyPolicy
+from repro.algorithms.brassil_cruz import DestinationOrderPolicy
+from repro.algorithms.hajek import FixedPriorityPolicy
+from repro.algorithms.max_advance import FewestGoodDirectionsPolicy
+from repro.algorithms.plain_greedy import (
+    MaximalGreedyPolicy,
+    PlainGreedyPolicy,
+    RandomizedGreedyPolicy,
+)
+from repro.algorithms.random_rank import RandomRankPolicy
+from repro.algorithms.restricted import RestrictedPriorityPolicy
+from repro.algorithms.single_target import ClosestFirstPolicy
+from repro.core.policy import RoutingPolicy
+
+PolicyFactory = Callable[[], RoutingPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {
+    "restricted-priority": RestrictedPriorityPolicy,
+    "fewest-good-directions": FewestGoodDirectionsPolicy,
+    "plain-greedy": PlainGreedyPolicy,
+    "randomized-greedy": RandomizedGreedyPolicy,
+    "maximal-greedy": MaximalGreedyPolicy,
+    "fixed-priority": FixedPriorityPolicy,
+    "random-rank": RandomRankPolicy,
+    "destination-order": DestinationOrderPolicy,
+    "closest-first": ClosestFirstPolicy,
+    # Deterministic greedy rule that livelocks on crafted instances
+    # (see repro.algorithms.adversarial.livelock_instance); registered
+    # for completeness, benchmark code opts into it explicitly.
+    "blocking-greedy": BlockingGreedyPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Sorted names of all registered hot-potato policies."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str) -> RoutingPolicy:
+    """Instantiate a registered policy by name.
+
+    Raises:
+        KeyError: with the list of valid names when ``name`` is unknown.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+    return factory()
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register a custom policy factory under a new name.
+
+    Raises:
+        ValueError: when the name is already taken (shadowing a
+            built-in silently would corrupt experiment labels).
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"policy name {name!r} already registered")
+    _REGISTRY[name] = factory

@@ -1,0 +1,68 @@
+"""The paper's Section 4 algorithm class: greedy, prefers restricted packets.
+
+A packet is *restricted* when it has exactly one good direction
+(Section 4.1).  An algorithm *prefers restricted packets*
+(Definition 18) when a non-restricted packet can never deflect a
+restricted one.  Theorem 20 shows every greedy algorithm in this class
+routes any k-packet problem on the n x n mesh within ``8·sqrt(2)·n·sqrt(k)``
+steps.
+
+This policy realizes the class with a three-level priority:
+
+1. restricted packets of one type (A by default),
+2. restricted packets of the other type,
+3. non-restricted packets,
+
+resolved by maximum matching (see :mod:`repro.algorithms.base`).
+Restricted packets have a single good direction, so matching them
+first guarantees Definition 18; the paper's potential function is
+indifferent to which restricted type wins a conflict (the "switch"
+rule 3(b) of Section 4.2), so ``prefer_type_a`` is exposed purely to
+let the tests exercise both branches of the potential update.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algorithms.base import GreedyMatchingPolicy
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet, RestrictedType
+
+
+class RestrictedPriorityPolicy(GreedyMatchingPolicy):
+    """Greedy hot-potato routing preferring restricted packets.
+
+    This is the algorithm family analyzed in Section 4 of the paper;
+    attach :class:`~repro.potential.restricted.RestrictedPotential` to
+    a run to observe the potential argument behind Theorem 20 live.
+
+    Args:
+        prefer_type_a: when True (default), a type-A restricted packet
+            beats a type-B one competing for the same arc, so the
+            potential's switch rule 3(b) fires rarely; when False the
+            preference is inverted and 3(b) fires whenever an A/B
+            conflict occurs.  Both choices are valid members of the
+            analyzed class.
+        tie_break, deflection: see :class:`GreedyMatchingPolicy`.
+    """
+
+    name = "restricted-priority"
+    declares_restricted_priority = True
+
+    def __init__(
+        self,
+        prefer_type_a: bool = True,
+        tie_break: str = "id",
+        deflection: str = "ordered",
+    ) -> None:
+        super().__init__(tie_break=tie_break, deflection=deflection)
+        self.prefer_type_a = prefer_type_a
+
+    def priority_key(self, view: NodeView, packet: Packet) -> Tuple:
+        kind = view.restricted_type(packet)
+        if kind is RestrictedType.UNRESTRICTED:
+            return (2,)
+        if kind is RestrictedType.TYPE_A:
+            return (0,) if self.prefer_type_a else (1,)
+        return (1,) if self.prefer_type_a else (0,)

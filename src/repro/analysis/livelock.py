@@ -1,0 +1,305 @@
+"""Livelock detection and construction.
+
+Section 1.2 of the paper: "certain chains of deflections may
+eventually result back in the original configuration, thus raising the
+question whether the algorithm ever terminates.  Such infinite loops
+are called *livelock*", and "it is rather easy to come up with a
+livelock situation whenever greediness is the only routing policy
+[NS1], [Haj]".
+
+Two tools substantiate this computationally:
+
+* :func:`detect_cycle` — watches a *deterministic* run and reports the
+  first repeated global state.  A repeat is a proof of livelock: the
+  run is a pure function of the state, so it will loop forever.
+
+* :func:`find_greedy_cycle` — explores the **nondeterministic greedy
+  transition graph** of a configuration: from each global state, every
+  combination of per-node maximal matchings (who advances) and
+  deflection assignments (where losers go) that Definition 6 allows.
+  A reachable cycle in this graph is a greedy schedule that never
+  terminates; it is packaged as a
+  :class:`~repro.algorithms.adversarial.SchedulePolicy` whose replay
+  the engine re-validates step by step.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.algorithms.adversarial import SchedulePolicy, schedule_from_moves
+from repro.core.engine import HotPotatoEngine
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.types import Node, PacketId
+
+#: Global state for the searcher: node of every in-flight packet.
+State = Tuple[Node, ...]
+
+#: One step's moves: packet id -> (node before the move, direction).
+Moves = Dict[PacketId, Tuple[Node, Direction]]
+
+
+@dataclass(frozen=True)
+class DetectedCycle:
+    """A repeated global state observed in a deterministic run."""
+
+    loop_start: int
+    period: int
+
+    def __str__(self) -> str:
+        return (
+            f"livelock: state at step {self.loop_start} recurs every "
+            f"{self.period} steps"
+        )
+
+
+def detect_cycle(
+    problem: RoutingProblem,
+    policy: RoutingPolicy,
+    *,
+    seed: int = 0,
+    max_steps: int = 10_000,
+) -> Optional[DetectedCycle]:
+    """Run a deterministic policy and report the first state repeat.
+
+    Only meaningful for deterministic policies: with randomized
+    tie-breaks, a repeated state does not imply a repeated future.
+    Returns None when the run terminates (all delivered) or no repeat
+    shows up within ``max_steps``.
+    """
+    engine = HotPotatoEngine(
+        problem, policy, seed=seed, max_steps=max_steps + 1
+    )
+    seen: Dict[tuple, int] = {engine.global_state(): 0}
+    step = 0
+    while engine.in_flight and step < max_steps:
+        engine.step()
+        step += 1
+        if not engine.in_flight:
+            return None
+        state = engine.global_state()
+        if state in seen:
+            return DetectedCycle(
+                loop_start=seen[state], period=step - seen[state]
+            )
+        seen[state] = step
+    return None
+
+
+# ----------------------------------------------------------------------
+# Nondeterministic greedy transition graph
+# ----------------------------------------------------------------------
+
+
+def _maximal_matchings(
+    packet_ids: Sequence[PacketId],
+    good: Dict[PacketId, Tuple[Direction, ...]],
+) -> Iterator[Dict[PacketId, Direction]]:
+    """All maximal matchings of packets to their good directions.
+
+    Definition 6 allows any of these as the advancing set at a node:
+    maximality is exactly "a deflected packet's good arcs are all in
+    use by advancing packets".
+    """
+
+    def extend(
+        index: int, current: Dict[PacketId, Direction]
+    ) -> Iterator[Dict[PacketId, Direction]]:
+        if index == len(packet_ids):
+            used = set(current.values())
+            for packet_id in packet_ids:
+                if packet_id not in current and any(
+                    d not in used for d in good[packet_id]
+                ):
+                    return  # not maximal
+            yield dict(current)
+            return
+        packet_id = packet_ids[index]
+        used = set(current.values())
+        for direction in good[packet_id]:
+            if direction not in used:
+                current[packet_id] = direction
+                yield from extend(index + 1, current)
+                del current[packet_id]
+        yield from extend(index + 1, current)
+
+    yield from extend(0, {})
+
+
+def _node_options(
+    mesh: Mesh,
+    node: Node,
+    packet_ids: Sequence[PacketId],
+    destinations: Sequence[Node],
+) -> List[Dict[PacketId, Direction]]:
+    """Every greedy-valid complete assignment at one node."""
+    good = {
+        packet_id: tuple(mesh.good_directions(node, destination))
+        for packet_id, destination in zip(packet_ids, destinations)
+    }
+    out_directions = mesh.out_directions(node)
+    options: List[Dict[PacketId, Direction]] = []
+    seen = set()
+    for matching in _maximal_matchings(list(packet_ids), good):
+        free = [d for d in out_directions if d not in matching.values()]
+        losers = [p for p in packet_ids if p not in matching]
+        for chosen in itertools.permutations(free, len(losers)):
+            assignment = dict(matching)
+            assignment.update(zip(losers, chosen))
+            key = tuple(sorted(assignment.items()))
+            if key not in seen:
+                seen.add(key)
+                options.append(assignment)
+    return options
+
+
+def greedy_successors(
+    mesh: Mesh,
+    destinations: Sequence[Node],
+    state: State,
+    *,
+    max_successors: int = 4096,
+    forbid_delivery: bool = True,
+) -> Iterator[Tuple[State, Moves]]:
+    """Enumerate greedy one-step transitions from a global state.
+
+    Args:
+        destinations: destination of packet ``i`` (index = packet id).
+        state: current node of packet ``i``.
+        forbid_delivery: skip transitions that put a packet on its
+            destination — a livelock cycle cannot contain a delivery,
+            so the searcher prunes them.
+    """
+    by_node: Dict[Node, List[PacketId]] = {}
+    for packet_id, node in enumerate(state):
+        by_node.setdefault(node, []).append(packet_id)
+
+    per_node_options = [
+        _node_options(
+            mesh, node, packet_ids, [destinations[p] for p in packet_ids]
+        )
+        for node, packet_ids in sorted(by_node.items())
+    ]
+
+    count = 0
+    for combo in itertools.product(*per_node_options):
+        moves: Moves = {}
+        new_positions = list(state)
+        delivered = False
+        for assignment in combo:
+            for packet_id, direction in assignment.items():
+                node = state[packet_id]
+                moves[packet_id] = (node, direction)
+                target = mesh.neighbor(node, direction)
+                assert target is not None
+                new_positions[packet_id] = target
+                if target == destinations[packet_id]:
+                    delivered = True
+        if forbid_delivery and delivered:
+            continue
+        yield (tuple(new_positions), moves)
+        count += 1
+        if count >= max_successors:
+            return
+
+
+@dataclass
+class GreedyLivelock:
+    """A constructed greedy livelock: problem + looping schedule."""
+
+    problem: RoutingProblem
+    moves_per_step: Tuple[Moves, ...]
+    loop_start: int
+
+    @property
+    def period(self) -> int:
+        return len(self.moves_per_step) - self.loop_start
+
+    def make_policy(self) -> SchedulePolicy:
+        """The replayable (and engine-validated) greedy schedule."""
+        return schedule_from_moves(self.moves_per_step, self.loop_start)
+
+    def __str__(self) -> str:
+        return (
+            f"greedy livelock with k={self.problem.k} on "
+            f"{self.problem.mesh.side}^{self.problem.mesh.dimension} "
+            f"{self.problem.mesh.kind}: enters a {self.period}-step cycle "
+            f"after {self.loop_start} steps"
+        )
+
+
+def find_greedy_cycle(
+    problem: RoutingProblem,
+    *,
+    max_states: int = 50_000,
+    max_successors: int = 512,
+) -> Optional[GreedyLivelock]:
+    """Search the greedy transition graph for a reachable cycle.
+
+    Depth-first search from the initial configuration; a transition
+    back onto the current DFS path closes a cycle and yields a
+    :class:`GreedyLivelock`.  Returns None when the (possibly capped)
+    reachable no-delivery subgraph is acyclic.
+    """
+    mesh = problem.mesh
+    destinations = tuple(r.destination for r in problem.requests)
+    initial: State = tuple(r.source for r in problem.requests)
+    if any(s == d for s, d in zip(initial, destinations)):
+        raise ValueError("livelock search requires no trivial requests")
+
+    on_path: Dict[State, int] = {initial: 0}
+    finished = set()
+    path_moves: List[Moves] = []
+    stack: List[Tuple[State, Iterator[Tuple[State, Moves]]]] = [
+        (
+            initial,
+            greedy_successors(
+                mesh, destinations, initial, max_successors=max_successors
+            ),
+        )
+    ]
+    expanded = 1
+
+    while stack:
+        state, successors = stack[-1]
+        advanced = False
+        for next_state, moves in successors:
+            if next_state in on_path:
+                path_moves.append(moves)
+                return GreedyLivelock(
+                    problem=problem,
+                    moves_per_step=tuple(path_moves),
+                    loop_start=on_path[next_state],
+                )
+            if next_state in finished:
+                continue
+            if expanded >= max_states:
+                continue
+            expanded += 1
+            on_path[next_state] = len(path_moves) + 1
+            path_moves.append(moves)
+            stack.append(
+                (
+                    next_state,
+                    greedy_successors(
+                        mesh,
+                        destinations,
+                        next_state,
+                        max_successors=max_successors,
+                    ),
+                )
+            )
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+            finished.add(state)
+            del on_path[state]
+            if path_moves:
+                path_moves.pop()
+    return None

@@ -1,0 +1,155 @@
+"""Power-law fits for scaling experiments.
+
+The paper's bounds have power-law shape — ``O(n * sqrt(k))`` in 2-D,
+``O(n^(d-1) * k^(1/d))`` in general — so the scaling benchmarks (E13)
+fit measured routing times to ``T = c * x^a`` (one factor) or
+``T = c * n^a * k^b`` (two factors) in log space and report exponents
+with an R^2 quality score.  Plain least squares on logs, solved in
+closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``T ~ coefficient * x^exponent``."""
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+    def __str__(self) -> str:
+        return (
+            f"T = {self.coefficient:.3g} * x^{self.exponent:.3f} "
+            f"(R^2={self.r_squared:.4f})"
+        )
+
+
+@dataclass(frozen=True)
+class TwoFactorFit:
+    """``T ~ coefficient * n^n_exponent * k^k_exponent``."""
+
+    coefficient: float
+    n_exponent: float
+    k_exponent: float
+    r_squared: float
+
+    def predict(self, n: float, k: float) -> float:
+        return self.coefficient * n**self.n_exponent * k**self.k_exponent
+
+    def __str__(self) -> str:
+        return (
+            f"T = {self.coefficient:.3g} * n^{self.n_exponent:.3f} "
+            f"* k^{self.k_exponent:.3f} (R^2={self.r_squared:.4f})"
+        )
+
+
+def _validate_positive(name: str, values: Sequence[float]) -> List[float]:
+    result = [float(v) for v in values]
+    if any(v <= 0 for v in result):
+        raise ValueError(f"{name} must be positive for a log-space fit")
+    return result
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``y = c * x^a`` in log space."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    lx = [math.log(v) for v in _validate_positive("xs", xs)]
+    ly = [math.log(v) for v in _validate_positive("ys", ys)]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ValueError("all xs identical; exponent is undetermined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    exponent = sxy / sxx
+    intercept = mean_y - exponent * mean_x
+    predictions = [intercept + exponent * x for x in lx]
+    ss_res = sum((y - p) ** 2 for y, p in zip(ly, predictions))
+    ss_tot = sum((y - mean_y) ** 2 for y in ly)
+    r_squared = 1.0 if ss_tot == 0 else 1 - ss_res / ss_tot
+    return PowerLawFit(
+        coefficient=math.exp(intercept),
+        exponent=exponent,
+        r_squared=r_squared,
+    )
+
+
+def fit_two_factor(
+    ns: Sequence[float], ks: Sequence[float], ts: Sequence[float]
+) -> TwoFactorFit:
+    """Least-squares fit of ``T = c * n^a * k^b`` in log space.
+
+    Solves the 3x3 normal equations directly.
+    """
+    if not (len(ns) == len(ks) == len(ts)):
+        raise ValueError("ns, ks, ts must have equal length")
+    if len(ns) < 3:
+        raise ValueError("need at least three points for a two-factor fit")
+    ln = [math.log(v) for v in _validate_positive("ns", ns)]
+    lk = [math.log(v) for v in _validate_positive("ks", ks)]
+    lt = [math.log(v) for v in _validate_positive("ts", ts)]
+    m = len(ln)
+
+    # Normal equations for [intercept, a, b].
+    a11, a12, a13 = float(m), sum(ln), sum(lk)
+    a22 = sum(x * x for x in ln)
+    a23 = sum(x * y for x, y in zip(ln, lk))
+    a33 = sum(y * y for y in lk)
+    b1 = sum(lt)
+    b2 = sum(x * t for x, t in zip(ln, lt))
+    b3 = sum(y * t for y, t in zip(lk, lt))
+
+    matrix = [
+        [a11, a12, a13, b1],
+        [a12, a22, a23, b2],
+        [a13, a23, a33, b3],
+    ]
+    solution = _solve3(matrix)
+    intercept, n_exp, k_exp = solution
+
+    predictions = [
+        intercept + n_exp * x + k_exp * y for x, y in zip(ln, lk)
+    ]
+    mean_t = sum(lt) / m
+    ss_res = sum((t - p) ** 2 for t, p in zip(lt, predictions))
+    ss_tot = sum((t - mean_t) ** 2 for t in lt)
+    r_squared = 1.0 if ss_tot == 0 else 1 - ss_res / ss_tot
+    return TwoFactorFit(
+        coefficient=math.exp(intercept),
+        n_exponent=n_exp,
+        k_exponent=k_exp,
+        r_squared=r_squared,
+    )
+
+
+def _solve3(augmented: List[List[float]]) -> List[float]:
+    """Gaussian elimination with partial pivoting on a 3x4 system."""
+    system = [row[:] for row in augmented]
+    size = 3
+    for col in range(size):
+        pivot = max(range(col, size), key=lambda r: abs(system[r][col]))
+        if abs(system[pivot][col]) < 1e-12:
+            raise ValueError(
+                "singular design matrix: vary both n and k in the sweep"
+            )
+        system[col], system[pivot] = system[pivot], system[col]
+        for row in range(size):
+            if row == col:
+                continue
+            factor = system[row][col] / system[col][col]
+            for j in range(col, size + 1):
+                system[row][j] -= factor * system[col][j]
+    return [system[i][size] / system[i][i] for i in range(size)]

@@ -1,0 +1,105 @@
+"""Experiment report assembly.
+
+The benchmark suite leaves one plain-text block per experiment under
+``benchmarks/results/``; this module collects them into a single
+markdown report (the mechanical half of EXPERIMENTS.md), so a fresh
+run of the suite can regenerate the measured sections verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+_HEADER = re.compile(r"^== (?P<id>[^:]+): (?P<title>.+) ==$")
+
+
+@dataclass(frozen=True)
+class ExperimentBlock:
+    """One experiment's emitted report block."""
+
+    experiment_id: str
+    title: str
+    body: str
+
+    def to_markdown(self) -> str:
+        return (
+            f"## {self.experiment_id} — {self.title}\n\n"
+            f"```\n{self.body.rstrip()}\n```\n"
+        )
+
+
+def parse_block(text: str) -> ExperimentBlock:
+    """Parse one ``== ID: title ==`` block as written by the benches.
+
+    Raises:
+        ValueError: when the header line is missing or malformed.
+    """
+    lines = text.strip().splitlines()
+    if not lines:
+        raise ValueError("empty experiment block")
+    match = _HEADER.match(lines[0])
+    if match is None:
+        raise ValueError(f"malformed experiment header: {lines[0]!r}")
+    return ExperimentBlock(
+        experiment_id=match.group("id"),
+        title=match.group("title"),
+        body="\n".join(lines[1:]),
+    )
+
+
+def _sort_key(experiment_id: str):
+    match = re.match(r"E(\d+)([a-z]?)", experiment_id)
+    if match is None:
+        return (10**9, experiment_id)
+    return (int(match.group(1)), match.group(2))
+
+
+def load_results(results_dir: str) -> List[ExperimentBlock]:
+    """Read every ``*.txt`` block in a results directory, in E-order."""
+    if not os.path.isdir(results_dir):
+        return []
+    blocks: List[ExperimentBlock] = []
+    for name in os.listdir(results_dir):
+        if not name.endswith(".txt"):
+            continue
+        path = os.path.join(results_dir, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            blocks.append(parse_block(handle.read()))
+    blocks.sort(key=lambda block: _sort_key(block.experiment_id))
+    return blocks
+
+
+def build_report(
+    results_dir: str,
+    title: str = "Measured experiment tables",
+    preamble: Optional[str] = None,
+) -> str:
+    """Assemble the markdown report from a results directory."""
+    blocks = load_results(results_dir)
+    parts = [f"# {title}", ""]
+    if preamble:
+        parts.extend([preamble, ""])
+    if not blocks:
+        parts.append("*(no experiment results found — run "
+                     "`pytest benchmarks/ --benchmark-only` first)*")
+    for block in blocks:
+        parts.append(block.to_markdown())
+    return "\n".join(parts)
+
+
+def write_report(
+    results_dir: str,
+    output_path: str,
+    **kwargs,
+) -> Dict[str, int]:
+    """Write the assembled report; returns simple stats for logging."""
+    report = build_report(results_dir, **kwargs)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    return {
+        "experiments": len(load_results(results_dir)),
+        "bytes": len(report.encode("utf-8")),
+    }

@@ -1,0 +1,147 @@
+"""Experiment harness: seed-replicated runs and parameter sweeps.
+
+The benchmarks and examples share one way to run things: a *case* is a
+(problem-factory, policy-factory) pair evaluated over several seeds;
+sweeps map a parameter grid to cases and collect
+:class:`~repro.core.metrics.RunResult` objects with their parameters
+attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.engine import HotPotatoEngine
+from repro.core.metrics import RunResult
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.analysis.stats import Summary, summarize
+
+ProblemFactory = Callable[[int], RoutingProblem]
+PolicyFactory = Callable[[], RoutingPolicy]
+
+
+@dataclass
+class ExperimentPoint:
+    """One run plus the sweep parameters that produced it."""
+
+    params: Dict[str, object]
+    result: RunResult
+
+    @property
+    def steps(self) -> int:
+        return self.result.total_steps
+
+
+@dataclass
+class SweepResult:
+    """All runs of a sweep, with aggregation helpers."""
+
+    points: List[ExperimentPoint] = field(default_factory=list)
+
+    def steps_by(self, key: str) -> Dict[object, List[int]]:
+        """Group total-step counts by one parameter."""
+        grouped: Dict[object, List[int]] = {}
+        for point in self.points:
+            grouped.setdefault(point.params[key], []).append(point.steps)
+        return grouped
+
+    def summarize_by(self, key: str) -> Dict[object, Summary]:
+        """Per-parameter-value summary of total steps."""
+        return {
+            value: summarize(steps)
+            for value, steps in sorted(self.steps_by(key).items())
+        }
+
+    def all_completed(self) -> bool:
+        return all(point.result.completed for point in self.points)
+
+
+def run_case(
+    problem_factory: ProblemFactory,
+    policy_factory: PolicyFactory,
+    seeds: Sequence[int],
+    *,
+    params: Optional[Dict[str, object]] = None,
+    strict_validation: bool = True,
+    max_steps: Optional[int] = None,
+) -> List[ExperimentPoint]:
+    """Run one case over several seeds.
+
+    The seed feeds both the problem generator (workload randomness)
+    and the engine (policy randomness), so a case is fully determined
+    by its factories and seed list.
+    """
+    from repro.core.validation import validators_for
+
+    points: List[ExperimentPoint] = []
+    for seed in seeds:
+        problem = problem_factory(seed)
+        policy = policy_factory()
+        engine = HotPotatoEngine(
+            problem,
+            policy,
+            seed=seed,
+            validators=validators_for(policy, strict=strict_validation),
+            max_steps=max_steps,
+        )
+        result = engine.run()
+        point_params = dict(params or {})
+        point_params.setdefault("seed", seed)
+        point_params.setdefault("policy", policy.name)
+        point_params.setdefault("k", problem.k)
+        point_params.setdefault("n", problem.mesh.side)
+        points.append(ExperimentPoint(params=point_params, result=result))
+    return points
+
+
+def sweep(
+    grid: Iterable[Dict[str, object]],
+    case_builder: Callable[[Dict[str, object]], tuple],
+    seeds: Sequence[int],
+    *,
+    strict_validation: bool = True,
+    max_steps: Optional[int] = None,
+) -> SweepResult:
+    """Evaluate a parameter grid.
+
+    ``case_builder(params)`` returns ``(problem_factory, policy_factory)``
+    for one grid point; every point is replicated over ``seeds``.
+    """
+    result = SweepResult()
+    for params in grid:
+        problem_factory, policy_factory = case_builder(params)
+        result.points.extend(
+            run_case(
+                problem_factory,
+                policy_factory,
+                seeds,
+                params=dict(params),
+                strict_validation=strict_validation,
+                max_steps=max_steps,
+            )
+        )
+    return result
+
+
+def compare_policies(
+    problem_factory: ProblemFactory,
+    policies: Dict[str, PolicyFactory],
+    seeds: Sequence[int],
+    *,
+    strict_validation: bool = True,
+    max_steps: Optional[int] = None,
+) -> Dict[str, List[ExperimentPoint]]:
+    """Run several policies on identical problem instances."""
+    return {
+        name: run_case(
+            problem_factory,
+            factory,
+            seeds,
+            params={"policy": name},
+            strict_validation=strict_validation,
+            max_steps=max_steps,
+        )
+        for name, factory in policies.items()
+    }

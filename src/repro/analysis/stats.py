@@ -1,0 +1,83 @@
+"""Summary statistics for experiment results.
+
+Pure-Python implementations (the library core has no hard numpy
+dependency); exact enough for the reproduction's tables, which report
+means, spreads, and normal-approximation confidence intervals over
+seed-replicated runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} std={self.std:.2f} "
+            f"min={self.minimum:.2f} med={self.median:.2f} "
+            f"max={self.maximum:.2f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary`; raises on empty input."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((v - mean) ** 2 for v in ordered) / n
+    mid = n // 2
+    median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        median=median,
+        maximum=ordered[-1],
+    )
+
+
+def confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> Tuple[float, float]:
+    """Normal-approximation CI for the mean (95% by default)."""
+    summary = summarize(values)
+    if summary.count < 2:
+        return (summary.mean, summary.mean)
+    half = z * summary.std / math.sqrt(summary.count - 1)
+    return (summary.mean - half, summary.mean + half)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (all values must be positive)."""
+    if not values:
+        raise ValueError("cannot average an empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def ratio_summary(
+    numerators: Sequence[float], denominators: Sequence[float]
+) -> Summary:
+    """Summary of element-wise ratios (e.g., measured time / bound)."""
+    if len(numerators) != len(denominators):
+        raise ValueError("ratio inputs must have equal length")
+    if any(d == 0 for d in denominators):
+        raise ValueError("zero denominator in ratio summary")
+    return summarize([n / d for n, d in zip(numerators, denominators)])

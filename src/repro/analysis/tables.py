@@ -1,0 +1,75 @@
+"""Plain-text tables for experiment reports.
+
+The benchmarks print their results as aligned ASCII tables (captured
+into ``bench_output.txt`` and EXPERIMENTS.md); this module is the one
+formatter they all share, so the reproduction's tables have a uniform
+look.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one cell: floats get 3 significant decimals, rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table with a rule under the header."""
+    rendered: List[List[str]] = [[format_cell(h) for h in headers]]
+    for row in rows:
+        cells = [format_cell(value) for value in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}"
+            )
+        rendered.append(cells)
+    widths = [
+        max(len(row[col]) for row in rendered)
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        cell.ljust(width) for cell, width in zip(rendered[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered[1:]:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+    lines = [
+        "| " + " | ".join(format_cell(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        cells = [format_cell(value) for value in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

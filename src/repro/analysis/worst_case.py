@@ -1,0 +1,151 @@
+"""Adversarial instance search.
+
+Section 6.1 reports that Ben-Aroya, Chinn and Schuster [BCS] proved an
+``Ω(n^2)`` lower bound for *some* restricted-priority algorithm on
+worst-case permutations — i.e. Theorem 20's analysis is tight for the
+class.  Their construction is intricate; as a measurable stand-in this
+module hunts for bad permutations by local search: start from a random
+permutation, repeatedly swap two packets' destinations, keep the swap
+when the routing time does not decrease.
+
+The search certifies *existence* ("we found a permutation this much
+worse than random") — a lower bound on the worst case, never an upper
+bound.  Benchmark E22 reports how far simple search pushes each
+algorithm above its typical behavior.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.engine import HotPotatoEngine
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.core.rng import RngLike, make_rng
+from repro.mesh.topology import Mesh
+from repro.types import Node
+
+PolicyFactory = Callable[[], RoutingPolicy]
+
+
+@dataclass
+class WorstCaseResult:
+    """Outcome of one adversarial search."""
+
+    problem: RoutingProblem
+    steps: int
+    baseline_steps: int
+    evaluations: int
+
+    @property
+    def degradation(self) -> float:
+        """How much worse the found instance is than the start."""
+        if self.baseline_steps == 0:
+            return 1.0
+        return self.steps / self.baseline_steps
+
+    def __str__(self) -> str:
+        return (
+            f"worst found: T={self.steps} (start {self.baseline_steps}, "
+            f"x{self.degradation:.2f}) after {self.evaluations} evaluations"
+        )
+
+
+def _evaluate(
+    destinations: List[Node],
+    sources: List[Node],
+    mesh: Mesh,
+    policy_factory: PolicyFactory,
+    seed: int,
+) -> int:
+    problem = RoutingProblem.from_pairs(
+        mesh, zip(sources, destinations), name="adversarial-search"
+    )
+    result = HotPotatoEngine(problem, policy_factory(), seed=seed).run()
+    if not result.completed:
+        # A non-terminating instance is "infinitely bad"; keep it.
+        return 10**9
+    return result.total_steps
+
+
+def search_worst_permutation(
+    mesh: Mesh,
+    policy_factory: PolicyFactory,
+    *,
+    iterations: int = 300,
+    seed: RngLike = 0,
+    run_seed: int = 0,
+) -> WorstCaseResult:
+    """Hill-climb over permutations to maximize routing time.
+
+    A proposal swaps the destinations of two random packets (the batch
+    remains a permutation); a swap is kept when the time does not
+    drop, so the search walks plateaus.
+    """
+    rng = make_rng(seed)
+    sources = list(mesh.nodes())
+    destinations = list(sources)
+    rng.shuffle(destinations)
+
+    current = _evaluate(destinations, sources, mesh, policy_factory, run_seed)
+    baseline = current
+    evaluations = 1
+    for _ in range(iterations):
+        i, j = rng.randrange(len(sources)), rng.randrange(len(sources))
+        if i == j:
+            continue
+        destinations[i], destinations[j] = destinations[j], destinations[i]
+        candidate = _evaluate(
+            destinations, sources, mesh, policy_factory, run_seed
+        )
+        evaluations += 1
+        if candidate >= current:
+            current = candidate
+        else:
+            destinations[i], destinations[j] = (
+                destinations[j],
+                destinations[i],
+            )
+    problem = RoutingProblem.from_pairs(
+        mesh, zip(sources, destinations), name="adversarial-permutation"
+    )
+    return WorstCaseResult(
+        problem=problem,
+        steps=current,
+        baseline_steps=baseline,
+        evaluations=evaluations,
+    )
+
+
+def search_with_restarts(
+    mesh: Mesh,
+    policy_factory: PolicyFactory,
+    *,
+    restarts: int = 3,
+    iterations: int = 200,
+    seed: RngLike = 0,
+    run_seed: int = 0,
+) -> WorstCaseResult:
+    """Best of several independent hill climbs."""
+    rng = make_rng(seed)
+    best: Optional[WorstCaseResult] = None
+    for _ in range(max(1, restarts)):
+        result = search_worst_permutation(
+            mesh,
+            policy_factory,
+            iterations=iterations,
+            seed=rng.getrandbits(32),
+            run_seed=run_seed,
+        )
+        if best is None or result.steps > best.steps:
+            best = result
+    assert best is not None
+    total = sum([restarts * (iterations + 1)])
+    return WorstCaseResult(
+        problem=best.problem,
+        steps=best.steps,
+        baseline_steps=best.baseline_steps,
+        evaluations=total,
+    )

@@ -1,0 +1,342 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``route``    — route one workload under one policy, print the summary
+  (optionally audit the full Theorem 20 analysis chain, or archive the
+  trace as JSON);
+* ``sweep``    — sweep k for one policy, print T vs the Theorem 20 bound;
+* ``dynamic``  — continuous-traffic load sweep (latency/backlog table);
+* ``livelock`` — run the 8-packet livelock demonstration;
+* ``policies`` — list the registered routing policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.algorithms import (
+    BlockingGreedyPolicy,
+    available_policies,
+    livelock_instance,
+    make_policy,
+)
+from repro.analysis.livelock import detect_cycle
+from repro.analysis.tables import format_table
+from repro.core.engine import HotPotatoEngine
+from repro.core.problem import RoutingProblem
+from repro.core.serialization import save_trace
+from repro.core.trace import record_run
+from repro.dynamic import BernoulliTraffic, DynamicEngine
+from repro.mesh.hypercube import Hypercube
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+from repro.potential.bounds import theorem20_bound
+from repro.potential.verification import verify_restricted_run
+from repro.workloads import (
+    corner_storm,
+    quadrant_flood,
+    random_many_to_many,
+    random_permutation,
+    reversal,
+    single_target,
+    transpose,
+)
+
+
+def _build_mesh(args: argparse.Namespace) -> Mesh:
+    if args.topology == "mesh":
+        return Mesh(args.dimension, args.side)
+    if args.topology == "torus":
+        return Torus(args.dimension, args.side)
+    if args.topology == "hypercube":
+        return Hypercube(args.dimension)
+    raise SystemExit(f"unknown topology {args.topology!r}")
+
+
+def _build_workload(mesh: Mesh, args: argparse.Namespace) -> RoutingProblem:
+    name = args.workload
+    if name == "random":
+        k = args.k if args.k is not None else mesh.num_nodes // 2
+        return random_many_to_many(mesh, k=k, seed=args.seed)
+    if name == "permutation":
+        return random_permutation(mesh, seed=args.seed)
+    if name == "transpose":
+        return transpose(mesh)
+    if name == "reversal":
+        return reversal(mesh)
+    if name == "hotspot":
+        k = args.k if args.k is not None else mesh.num_nodes // 2
+        return single_target(mesh, k=k, seed=args.seed)
+    if name == "flood":
+        return quadrant_flood(mesh, seed=args.seed)
+    if name == "corners":
+        return corner_storm(mesh)
+    raise SystemExit(f"unknown workload {name!r}")
+
+
+WORKLOADS = (
+    "random",
+    "permutation",
+    "transpose",
+    "reversal",
+    "hotspot",
+    "flood",
+    "corners",
+)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    mesh = _build_mesh(args)
+    problem = _build_workload(mesh, args)
+    print(f"Routing {problem.describe()} with {args.policy!r}")
+
+    if args.verify:
+        if mesh.dimension != 2 or mesh.kind != "mesh":
+            raise SystemExit("--verify needs a 2-dimensional mesh")
+        report = verify_restricted_run(
+            problem, make_policy(args.policy), seed=args.seed
+        )
+        print(report.summary())
+        return 0 if report.all_hold else 1
+
+    if args.save_trace:
+        trace = record_run(
+            problem, make_policy(args.policy), seed=args.seed
+        )
+        save_trace(trace, args.save_trace)
+        print(f"trace written to {args.save_trace}")
+        result = trace.result
+    else:
+        engine = HotPotatoEngine(
+            problem, make_policy(args.policy), seed=args.seed
+        )
+        result = engine.run()
+
+    print(result.summary())
+    if mesh.dimension == 2 and mesh.kind == "mesh":
+        bound = theorem20_bound(mesh.side, problem.k)
+        print(
+            f"Theorem 20 bound: {bound:.0f} "
+            f"(measured/bound = {result.total_steps / bound:.3f})"
+        )
+    return 0 if result.completed else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    mesh = _build_mesh(args)
+    rows = []
+    k = max(1, args.k_min)
+    while k <= args.k_max:
+        times = []
+        for seed in range(args.seeds):
+            problem = random_many_to_many(mesh, k=k, seed=seed)
+            result = HotPotatoEngine(
+                problem, make_policy(args.policy), seed=seed
+            ).run()
+            if not result.completed:
+                raise SystemExit(f"run did not complete at k={k}")
+            times.append(result.total_steps)
+        mean = sum(times) / len(times)
+        if mesh.dimension == 2 and mesh.kind == "mesh":
+            bound = theorem20_bound(mesh.side, k)
+            rows.append([k, mean, max(times), bound, max(times) / bound])
+        else:
+            rows.append([k, mean, max(times), "-", "-"])
+        k *= 2
+    print(
+        format_table(
+            ["k", "T mean", "T max", "Thm20 bound", "max/bound"],
+            rows,
+            title=f"{args.policy} on {mesh.kind} n={mesh.side} "
+            f"d={mesh.dimension} ({args.seeds} seeds)",
+        )
+    )
+    return 0
+
+
+def cmd_dynamic(args: argparse.Namespace) -> int:
+    mesh = _build_mesh(args)
+    rows = []
+    for rate in args.rates:
+        engine = DynamicEngine(
+            mesh,
+            make_policy(args.policy),
+            BernoulliTraffic(rate),
+            seed=args.seed,
+            warmup=args.horizon // 4,
+        )
+        stats = engine.run(args.horizon)
+        rows.append(
+            [
+                rate,
+                stats.mean_latency,
+                stats.latency_percentile(99),
+                stats.deflection_rate,
+                stats.throughput,
+                stats.max_backlog,
+                stats.is_stable(),
+            ]
+        )
+    print(
+        format_table(
+            ["load", "lat mean", "lat p99", "deflect", "thruput", "backlog", "stable"],
+            rows,
+            title=f"dynamic {args.policy} on {mesh.kind} n={mesh.side} "
+            f"({args.horizon} steps)",
+        )
+    )
+    return 0
+
+
+def cmd_livelock(args: argparse.Namespace) -> int:
+    problem = livelock_instance()
+    engine = HotPotatoEngine(
+        problem, BlockingGreedyPolicy(), max_steps=args.steps
+    )
+    result = engine.run()
+    cycle = detect_cycle(problem, BlockingGreedyPolicy(), max_steps=100)
+    print(
+        f"blocking-greedy: {result.delivered}/8 delivered after "
+        f"{args.steps} validated-greedy steps"
+    )
+    print(f"cycle: {cycle}")
+    fixed = HotPotatoEngine(problem, make_policy("restricted-priority")).run()
+    print(
+        f"restricted-priority routes the same instance in "
+        f"{fixed.total_steps} steps"
+    )
+    return 0
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    for name in available_policies():
+        print(f"{name:26s} {make_policy(name).describe()}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import build_report, write_report
+
+    if args.output:
+        stats = write_report(args.results, args.output)
+        print(
+            f"wrote {stats['experiments']} experiment blocks "
+            f"({stats['bytes']} bytes) to {args.output}"
+        )
+    else:
+        print(build_report(args.results))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def _add_mesh_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        choices=("mesh", "torus", "hypercube"),
+        default="mesh",
+        help="network family (default: mesh)",
+    )
+    parser.add_argument(
+        "--side", type=int, default=16, help="side length n (default 16)"
+    )
+    parser.add_argument(
+        "--dimension", type=int, default=2, help="dimension d (default 2)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Greedy hot-potato routing on meshes "
+        "(Ben-Dor, Halevi & Schuster, PODC 1994 — reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    route = commands.add_parser("route", help="route one workload")
+    _add_mesh_arguments(route)
+    route.add_argument("--workload", choices=WORKLOADS, default="random")
+    route.add_argument("--k", type=int, default=None, help="batch size")
+    route.add_argument(
+        "--policy", default="restricted-priority", help="routing policy"
+    )
+    route.add_argument(
+        "--verify",
+        action="store_true",
+        help="audit the full Theorem 20 analysis chain on this run",
+    )
+    route.add_argument(
+        "--save-trace", metavar="PATH", help="archive the full trace as JSON"
+    )
+    route.set_defaults(func=cmd_route)
+
+    sweep = commands.add_parser("sweep", help="sweep k, print T vs bound")
+    _add_mesh_arguments(sweep)
+    sweep.add_argument("--policy", default="restricted-priority")
+    sweep.add_argument("--k-min", type=int, default=8)
+    sweep.add_argument("--k-max", type=int, default=256)
+    sweep.add_argument("--seeds", type=int, default=3)
+    sweep.set_defaults(func=cmd_sweep)
+
+    dynamic = commands.add_parser(
+        "dynamic", help="continuous-traffic load sweep"
+    )
+    _add_mesh_arguments(dynamic)
+    dynamic.add_argument("--policy", default="restricted-priority")
+    dynamic.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.05, 0.15, 0.25, 0.35],
+        help="offered loads to sweep",
+    )
+    dynamic.add_argument("--horizon", type=int, default=600)
+    dynamic.set_defaults(func=cmd_dynamic)
+
+    livelock = commands.add_parser(
+        "livelock", help="run the greedy livelock demonstration"
+    )
+    livelock.add_argument("--steps", type=int, default=500)
+    livelock.set_defaults(func=cmd_livelock)
+
+    policies = commands.add_parser("policies", help="list routing policies")
+    policies.set_defaults(func=cmd_policies)
+
+    report = commands.add_parser(
+        "report",
+        help="assemble the markdown report from benchmark result blocks",
+    )
+    report.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory of experiment blocks (default benchmarks/results)",
+    )
+    report.add_argument(
+        "--output", metavar="PATH", help="write to a file instead of stdout"
+    )
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Core synchronous simulation machinery.
+
+This package implements the model of Section 2 of the paper: packets,
+many-to-many batch routing problems, the per-node view and policy
+interface, the synchronous hot-potato engine with protocol validation,
+and trace capture for offline analysis.  A buffered store-and-forward
+engine is included for the structured baselines the paper contrasts
+greedy hot-potato routing with.
+"""
+
+from repro.core.buffered_engine import BufferedEngine
+from repro.core.engine import HotPotatoEngine, default_step_limit, route
+from repro.core.events import CallbackObserver, RunObserver
+from repro.core.matching import (
+    greedy_maximal_matching,
+    is_maximal_matching,
+    maximum_matching_size,
+    priority_maximum_matching,
+)
+from repro.core.metrics import (
+    PacketOutcome,
+    PacketStepInfo,
+    RunResult,
+    StepMetrics,
+    StepRecord,
+)
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet, RestrictedType
+from repro.core.policy import Assignment, BufferedPolicy, RoutingPolicy
+from repro.core.problem import Request, RoutingProblem
+from repro.core.rng import make_rng, spawn
+from repro.core.trace import Trace, TraceRecorder, record_run, traces_equal
+from repro.core.validation import (
+    CapacityValidator,
+    GreedyValidator,
+    MaxAdvanceValidator,
+    RestrictedPriorityValidator,
+    StepValidator,
+    validators_for,
+)
+
+__all__ = [
+    "Assignment",
+    "BufferedEngine",
+    "BufferedPolicy",
+    "CallbackObserver",
+    "CapacityValidator",
+    "GreedyValidator",
+    "HotPotatoEngine",
+    "MaxAdvanceValidator",
+    "NodeView",
+    "Packet",
+    "PacketOutcome",
+    "PacketStepInfo",
+    "Request",
+    "RestrictedPriorityValidator",
+    "RestrictedType",
+    "RoutingPolicy",
+    "RoutingProblem",
+    "RunObserver",
+    "RunResult",
+    "StepMetrics",
+    "StepRecord",
+    "StepValidator",
+    "Trace",
+    "TraceRecorder",
+    "default_step_limit",
+    "greedy_maximal_matching",
+    "is_maximal_matching",
+    "make_rng",
+    "maximum_matching_size",
+    "priority_maximum_matching",
+    "record_run",
+    "route",
+    "spawn",
+    "traces_equal",
+    "validators_for",
+]

@@ -1,0 +1,208 @@
+"""Store-and-forward engine for the structured baselines.
+
+The paper contrasts hot-potato routing with traditional
+store-and-forward routing, where "a packet is stored at a processor
+until it can be transmitted to its preferred direction" (Section 1).
+This engine implements that model: nodes have unbounded buffers, each
+step a node may send at most one packet per outgoing arc, and packets
+that cannot be sent simply wait.
+
+It exists so the benchmark suite can compare greedy hot-potato
+algorithms against a classical structured comparator (dimension-order
+routing) on identical workloads, including buffer-occupancy statistics
+— the resource hot-potato routing eliminates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.core.metrics import PacketOutcome, RunResult, StepMetrics
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet
+from repro.core.policy import BufferedPolicy
+from repro.core.problem import RoutingProblem
+from repro.core.rng import RngLike, make_rng
+from repro.exceptions import ArcAssignmentError, LivelockSuspectedError
+from repro.types import Node
+
+
+class BufferedEngine:
+    """Synchronous store-and-forward simulator.
+
+    The interface mirrors :class:`~repro.core.engine.HotPotatoEngine`
+    so experiment code can treat both uniformly, but the semantics
+    differ: a :class:`~repro.core.policy.BufferedPolicy` returns a
+    *partial* assignment and unassigned packets remain buffered.
+    """
+
+    def __init__(
+        self,
+        problem: RoutingProblem,
+        policy: BufferedPolicy,
+        *,
+        seed: RngLike = 0,
+        max_steps: Optional[int] = None,
+        raise_on_timeout: bool = False,
+    ) -> None:
+        self.problem = problem
+        self.mesh = problem.mesh
+        self.policy = policy
+        self.rng = make_rng(seed)
+        self._seed = seed if isinstance(seed, int) else None
+        self.max_steps = (
+            max_steps
+            if max_steps is not None
+            else max(256, 8 * (problem.k + self.mesh.diameter) + 64)
+        )
+        self.raise_on_timeout = raise_on_timeout
+
+        self.time = 0
+        self.packets: List[Packet] = problem.make_packets()
+        self.in_flight: List[Packet] = []
+        self._metrics: List[StepMetrics] = []
+        self._max_buffer_seen = 0
+        self._started = False
+
+    @property
+    def max_buffer_seen(self) -> int:
+        """Largest per-node buffer occupancy observed (the cost the
+        hot-potato discipline avoids)."""
+        return self._max_buffer_seen
+
+    def run(self) -> RunResult:
+        self._start()
+        while self.in_flight and self.time < self.max_steps:
+            self.step()
+        if self.in_flight and self.raise_on_timeout:
+            raise LivelockSuspectedError(
+                f"{len(self.in_flight)} packets still buffered after "
+                f"{self.time} steps under {self.policy.name!r}"
+            )
+        return self._build_result()
+
+    def step(self) -> None:
+        self._start()
+        groups: Dict[Node, List[Packet]] = defaultdict(list)
+        for packet in self.in_flight:
+            groups[packet.location].append(packet)
+        self._max_buffer_seen = max(
+            self._max_buffer_seen,
+            max((len(g) for g in groups.values()), default=0),
+        )
+
+        moves: Dict[int, Node] = {}
+        advancing = 0
+        total_distance = 0
+        for node in sorted(groups):
+            view = NodeView(self.mesh, node, self.time, groups[node])
+            assignment = self.policy.forward(view)
+            seen_directions = set()
+            packet_ids = {p.id for p in view.packets}
+            for packet_id, direction in assignment.items():
+                if packet_id not in packet_ids:
+                    raise ArcAssignmentError(
+                        f"step {self.time}: buffered policy sent unknown "
+                        f"packet {packet_id} from {node}"
+                    )
+                if direction in seen_directions:
+                    raise ArcAssignmentError(
+                        f"step {self.time}: direction {direction} used twice "
+                        f"at {node}"
+                    )
+                seen_directions.add(direction)
+                next_node = self.mesh.neighbor(node, direction)
+                if next_node is None:
+                    raise ArcAssignmentError(
+                        f"step {self.time}: direction {direction} leaves the "
+                        f"mesh at {node}"
+                    )
+                moves[packet_id] = next_node
+            for packet in view.packets:
+                total_distance += self.mesh.distance(node, packet.destination)
+
+        self.time += 1
+        remaining: List[Packet] = []
+        for packet in self.in_flight:
+            if packet.id in moves:
+                next_node = moves[packet.id]
+                if self.mesh.distance(
+                    next_node, packet.destination
+                ) < self.mesh.distance(packet.location, packet.destination):
+                    packet.advances += 1
+                    advancing += 1
+                else:
+                    packet.deflections += 1
+                packet.location = next_node
+                packet.hops += 1
+            if packet.location == packet.destination:
+                packet.delivered_at = self.time
+            else:
+                remaining.append(packet)
+        self.in_flight = remaining
+
+        in_flight_before = sum(len(g) for g in groups.values())
+        self._metrics.append(
+            StepMetrics(
+                step=self.time - 1,
+                in_flight=in_flight_before,
+                advancing=advancing,
+                deflected=len(moves) - advancing,
+                delivered_total=sum(1 for p in self.packets if p.delivered),
+                total_distance=total_distance,
+                max_node_load=self._max_buffer_seen,
+                bad_nodes=0,
+                packets_in_bad_nodes=0,
+                packets_in_good_nodes=in_flight_before,
+            )
+        )
+
+    def _start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.policy.prepare(self.mesh, self.problem, self.rng)
+        self.in_flight = []
+        for packet in self.packets:
+            if packet.location == packet.destination:
+                packet.delivered_at = 0
+            else:
+                self.in_flight.append(packet)
+
+    def _build_result(self) -> RunResult:
+        delivered_times = [
+            p.delivered_at for p in self.packets if p.delivered_at is not None
+        ]
+        total_steps = max(delivered_times) if delivered_times else 0
+        completed = not self.in_flight
+        if not completed:
+            total_steps = self.time
+        outcomes = [
+            PacketOutcome(
+                packet_id=p.id,
+                source=p.source,
+                destination=p.destination,
+                shortest_distance=self.mesh.distance(p.source, p.destination),
+                delivered_at=p.delivered_at,
+                hops=p.hops,
+                advances=p.advances,
+                deflections=p.deflections,
+            )
+            for p in self.packets
+        ]
+        return RunResult(
+            problem_name=self.problem.name or "problem",
+            policy_name=self.policy.name,
+            mesh_kind=self.mesh.kind,
+            dimension=self.mesh.dimension,
+            side=self.mesh.side,
+            k=self.problem.k,
+            completed=completed,
+            total_steps=total_steps,
+            delivered=len(delivered_times),
+            step_metrics=self._metrics,
+            outcomes=outcomes,
+            records=None,
+            seed=self._seed,
+        )

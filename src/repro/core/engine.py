@@ -1,0 +1,368 @@
+"""The synchronous hot-potato routing engine.
+
+Implements the model of Section 2 of the paper exactly:
+
+* time advances in discrete steps; step ``t`` moves packets from their
+  time-``t`` nodes to time-``t+1`` nodes;
+* at the start of each step, packets located at their destination are
+  absorbed (they have *reached* the destination and leave the network);
+* every remaining packet at a node must be assigned a distinct
+  outgoing arc — no buffering, no two packets on one directed link;
+* the per-node decision may use only locally visible information (the
+  packets' destinations and entry arcs).
+
+The engine validates every assignment the policy produces and raises a
+:class:`~repro.exceptions.ProtocolViolationError` subclass on the first
+violation, so experiment data can be trusted end to end.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.events import RunObserver
+from repro.core.metrics import (
+    PacketOutcome,
+    PacketStepInfo,
+    RunResult,
+    StepMetrics,
+    StepRecord,
+)
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.core.rng import RngLike, make_rng
+from repro.core.validation import StepValidator, validators_for
+from repro.exceptions import ArcAssignmentError, LivelockSuspectedError
+from repro.types import Node, PacketId
+
+
+def default_step_limit(problem: RoutingProblem) -> int:
+    """A generous default step budget.
+
+    Greedy algorithms on meshes are known to finish within
+    ``2(k - 1) + d_max`` steps ([BTS], discussed in Section 6.1); the
+    default allows eight times that plus slack so that a timeout
+    genuinely signals something wrong (or an intentional livelock).
+    """
+    return max(256, 8 * (2 * problem.k + problem.d_max) + 64)
+
+
+class HotPotatoEngine:
+    """Runs one routing problem under one policy.
+
+    Args:
+        problem: the batch to route (carries its mesh).
+        policy: the per-node routing rule.
+        seed: RNG seed (or Random instance) handed to the policy.
+        validators: protocol checks run at every node; defaults to the
+            stack implied by the policy's declarations.
+        observers: run observers (potential trackers, tracers, ...).
+        max_steps: step budget; defaults to :func:`default_step_limit`.
+        record_steps: keep every :class:`StepRecord` in the result
+            (needed by the potential analyses; costs memory).
+        record_paths: store each packet's node path on the packet.
+        raise_on_timeout: raise :class:`LivelockSuspectedError` instead
+            of returning an incomplete result when the budget runs out.
+    """
+
+    def __init__(
+        self,
+        problem: RoutingProblem,
+        policy: RoutingPolicy,
+        *,
+        seed: RngLike = 0,
+        validators: Optional[Sequence[StepValidator]] = None,
+        observers: Iterable[RunObserver] = (),
+        max_steps: Optional[int] = None,
+        record_steps: bool = False,
+        record_paths: bool = False,
+        raise_on_timeout: bool = False,
+    ) -> None:
+        self.problem = problem
+        self.mesh = problem.mesh
+        self.policy = policy
+        self.rng = make_rng(seed)
+        self._seed = seed if isinstance(seed, int) else None
+        self.validators: List[StepValidator] = (
+            list(validators)
+            if validators is not None
+            else validators_for(policy)
+        )
+        self.observers: List[RunObserver] = list(observers)
+        self.max_steps = (
+            max_steps if max_steps is not None else default_step_limit(problem)
+        )
+        self.record_steps = record_steps
+        self.record_paths = record_paths
+        self.raise_on_timeout = raise_on_timeout
+
+        self.time = 0
+        self.packets: List[Packet] = problem.make_packets()
+        self.in_flight: List[Packet] = []
+        self._records: List[StepRecord] = []
+        self._metrics: List[StepMetrics] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Public driving interface
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Route until all packets are delivered or the budget runs out."""
+        self._start()
+        while self.in_flight and self.time < self.max_steps:
+            self.step()
+        if self.in_flight and self.raise_on_timeout:
+            raise LivelockSuspectedError(
+                f"{len(self.in_flight)} packets still in flight after "
+                f"{self.time} steps (policy {self.policy.name!r} on "
+                f"{self.problem.describe()})"
+            )
+        result = self._build_result()
+        for observer in self.observers:
+            observer.on_run_end(result)
+        return result
+
+    def step(self) -> StepRecord:
+        """Execute one synchronous step and return its record."""
+        self._start()
+        record = self._route()
+        metrics = self._collect_metrics(record)
+        self._metrics.append(metrics)
+        if self.record_steps:
+            self._records.append(record)
+        for observer in self.observers:
+            observer.on_step(record, metrics)
+        return record
+
+    @property
+    def current_positions(self) -> Dict[PacketId, Node]:
+        """Locations of all in-flight packets (for state inspection)."""
+        self._start()
+        return {p.id: p.location for p in self.in_flight}
+
+    def global_state(self) -> Tuple:
+        """A hashable snapshot of the routing-relevant global state.
+
+        Two steps from identical global states under a deterministic
+        policy evolve identically, so a repeated state proves a
+        livelock.  The snapshot includes each in-flight packet's
+        location, entry direction and previous-step flags (everything a
+        policy may condition on except its private RNG).
+        """
+        self._start()
+        return tuple(
+            sorted(
+                (
+                    p.id,
+                    p.location,
+                    p.entry_direction,
+                    p.advanced_last_step,
+                    p.restricted_last_step,
+                )
+                for p in self.in_flight
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.policy.prepare(self.mesh, self.problem, self.rng)
+        self.in_flight = list(self.packets)
+        if self.record_paths:
+            for packet in self.in_flight:
+                packet.path.append(packet.location)
+        self._absorb_initial()  # requests with source == destination
+        for observer in self.observers:
+            observer.on_run_start(self)
+
+    def _absorb_initial(self) -> None:
+        """Absorb requests whose source equals their destination (time 0)."""
+        remaining: List[Packet] = []
+        for packet in self.in_flight:
+            if packet.location == packet.destination:
+                packet.delivered_at = 0
+            else:
+                remaining.append(packet)
+        self.in_flight = remaining
+
+    def _route(self) -> StepRecord:
+        step_index = self.time
+        groups: Dict[Node, List[Packet]] = defaultdict(list)
+        for packet in self.in_flight:
+            groups[packet.location].append(packet)
+
+        infos: Dict[PacketId, PacketStepInfo] = {}
+        for node in sorted(groups):
+            view = NodeView(self.mesh, node, step_index, groups[node])
+            assignment = self.policy.assign(view)
+            node_infos = self._apply_assignment(view, assignment)
+            for validator in self.validators:
+                validator.validate_node(view, node_infos)
+            for info in node_infos:
+                infos[info.packet_id] = info
+
+        delivered = self._move(infos)
+        return StepRecord(
+            step=step_index, infos=infos, delivered_after=delivered
+        )
+
+    def _apply_assignment(
+        self, view: NodeView, assignment: Dict[PacketId, "object"]
+    ) -> List[PacketStepInfo]:
+        """Validate the policy output for one node and build step infos."""
+        packet_ids = {p.id for p in view.packets}
+        if set(assignment) != packet_ids:
+            missing = packet_ids - set(assignment)
+            extra = set(assignment) - packet_ids
+            raise ArcAssignmentError(
+                f"step {view.step}: policy {self.policy.name!r} returned a "
+                f"bad assignment at {view.node}: missing={sorted(missing)} "
+                f"extra={sorted(extra)}"
+            )
+        seen_directions = set()
+        infos: List[PacketStepInfo] = []
+        for packet in view.packets:
+            direction = assignment[packet.id]
+            if direction in seen_directions:
+                raise ArcAssignmentError(
+                    f"step {view.step}: direction {direction} assigned to "
+                    f"two packets at {view.node}"
+                )
+            seen_directions.add(direction)
+            next_node = self.mesh.neighbor(view.node, direction)
+            if next_node is None:
+                raise ArcAssignmentError(
+                    f"step {view.step}: packet {packet.id} assigned "
+                    f"direction {direction} which leaves the mesh "
+                    f"at {view.node}"
+                )
+            distance_before = self.mesh.distance(view.node, packet.destination)
+            distance_after = self.mesh.distance(next_node, packet.destination)
+            infos.append(
+                PacketStepInfo(
+                    packet_id=packet.id,
+                    node=view.node,
+                    destination=packet.destination,
+                    entry_direction=packet.entry_direction,
+                    assigned_direction=direction,
+                    next_node=next_node,
+                    distance_before=distance_before,
+                    distance_after=distance_after,
+                    num_good=view.num_good(packet),
+                    restricted=view.is_restricted(packet),
+                    restricted_type=view.restricted_type(packet),
+                )
+            )
+        return infos
+
+    def _move(self, infos: Dict[PacketId, PacketStepInfo]) -> Tuple[PacketId, ...]:
+        """Apply a step's moves; absorb arrivals; advance the clock.
+
+        Returns the ids of packets delivered by this step's move.
+        """
+        self.time += 1
+        delivered: List[PacketId] = []
+        remaining: List[Packet] = []
+        for packet in self.in_flight:
+            info = infos[packet.id]
+            packet.restricted_last_step = info.restricted
+            packet.advanced_last_step = info.advanced
+            packet.location = info.next_node
+            packet.entry_direction = info.assigned_direction
+            packet.hops += 1
+            if info.advanced:
+                packet.advances += 1
+            else:
+                packet.deflections += 1
+            if self.record_paths:
+                packet.path.append(info.next_node)
+            if packet.location == packet.destination:
+                packet.delivered_at = self.time
+                delivered.append(packet.id)
+            else:
+                remaining.append(packet)
+        self.in_flight = remaining
+        return tuple(delivered)
+
+    def _collect_metrics(self, record: StepRecord) -> StepMetrics:
+        dimension = self.mesh.dimension
+        loads: Dict[Node, int] = defaultdict(int)
+        total_distance = 0
+        for info in record.infos.values():
+            loads[info.node] += 1
+            total_distance += info.distance_before
+        bad_nodes = 0
+        packets_in_bad = 0
+        for load in loads.values():
+            if load > dimension:
+                bad_nodes += 1
+                packets_in_bad += load
+        in_flight = len(record.infos)
+        delivered_total = sum(1 for p in self.packets if p.delivered)
+        return StepMetrics(
+            step=record.step,
+            in_flight=in_flight,
+            advancing=record.num_advancing,
+            deflected=record.num_deflected,
+            delivered_total=delivered_total,
+            total_distance=total_distance,
+            max_node_load=max(loads.values()) if loads else 0,
+            bad_nodes=bad_nodes,
+            packets_in_bad_nodes=packets_in_bad,
+            packets_in_good_nodes=in_flight - packets_in_bad,
+        )
+
+    def _build_result(self) -> RunResult:
+        delivered_times = [
+            p.delivered_at for p in self.packets if p.delivered_at is not None
+        ]
+        total_steps = max(delivered_times) if delivered_times else 0
+        completed = not self.in_flight
+        if not completed:
+            total_steps = self.time
+        outcomes = [
+            PacketOutcome(
+                packet_id=p.id,
+                source=p.source,
+                destination=p.destination,
+                shortest_distance=self.mesh.distance(p.source, p.destination),
+                delivered_at=p.delivered_at,
+                hops=p.hops,
+                advances=p.advances,
+                deflections=p.deflections,
+            )
+            for p in self.packets
+        ]
+        return RunResult(
+            problem_name=self.problem.name or "problem",
+            policy_name=self.policy.name,
+            mesh_kind=self.mesh.kind,
+            dimension=self.mesh.dimension,
+            side=self.mesh.side,
+            k=self.problem.k,
+            completed=completed,
+            total_steps=total_steps,
+            delivered=len(delivered_times),
+            step_metrics=self._metrics,
+            outcomes=outcomes,
+            records=self._records if self.record_steps else None,
+            seed=self._seed,
+        )
+
+
+def route(
+    problem: RoutingProblem,
+    policy: RoutingPolicy,
+    **kwargs,
+) -> RunResult:
+    """Convenience one-shot: build an engine and run it."""
+    return HotPotatoEngine(problem, policy, **kwargs).run()

@@ -1,0 +1,56 @@
+"""Observer hooks for simulation runs.
+
+Observers let analyses (potential trackers, trace recorders, live
+renderers) watch a run without the engine knowing about them.  All
+methods have empty defaults, so an observer overrides only what it
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.metrics import RunResult, StepMetrics, StepRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.engine import HotPotatoEngine
+
+
+class RunObserver:
+    """Base class for objects notified as a run progresses."""
+
+    def on_run_start(self, engine: "HotPotatoEngine") -> None:
+        """Called once, after packets are placed but before step 0."""
+
+    def on_step(self, record: StepRecord, metrics: StepMetrics) -> None:
+        """Called after every step, with the record of what moved."""
+
+    def on_run_end(self, result: RunResult) -> None:
+        """Called once, after the last packet is delivered or the
+        step limit is reached."""
+
+
+class CallbackObserver(RunObserver):
+    """Adapter wrapping plain callables as an observer.
+
+    Useful in tests and notebooks::
+
+        engine.observers.append(CallbackObserver(on_step=print))
+    """
+
+    def __init__(self, on_run_start=None, on_step=None, on_run_end=None) -> None:
+        self._on_run_start = on_run_start
+        self._on_step = on_step
+        self._on_run_end = on_run_end
+
+    def on_run_start(self, engine: "HotPotatoEngine") -> None:
+        if self._on_run_start is not None:
+            self._on_run_start(engine)
+
+    def on_step(self, record: StepRecord, metrics: StepMetrics) -> None:
+        if self._on_step is not None:
+            self._on_step(record, metrics)
+
+    def on_run_end(self, result: RunResult) -> None:
+        if self._on_run_end is not None:
+            self._on_run_end(result)

@@ -1,0 +1,113 @@
+"""The local picture a node sees during one synchronous step.
+
+Per Section 2 of the paper, each step every node (1) takes in the
+packets sent to it, (2) makes a local computation that may depend on
+the packets' destinations and entry arcs, and (3) assigns a distinct
+outgoing arc to every packet.  A :class:`NodeView` is the input to
+step (2): the node, the step number, the packets present, and cached
+good-direction information.
+
+Policies receive one view per occupied node and must return a
+direction for every packet in it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.packet import Packet, RestrictedType
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.types import Node, PacketId, Step
+
+
+class NodeView:
+    """Everything a routing policy may use at one node in one step.
+
+    The view pre-computes each packet's good directions (Definition 5)
+    and restricted-type classification (Section 4.1) because almost
+    every policy needs them; computing them once here also guarantees
+    the validators and the policy agree on the classification.
+    """
+
+    __slots__ = (
+        "mesh",
+        "node",
+        "step",
+        "packets",
+        "out_directions",
+        "_good",
+        "_types",
+    )
+
+    def __init__(
+        self, mesh: Mesh, node: Node, step: Step, packets: List[Packet]
+    ) -> None:
+        self.mesh = mesh
+        self.node = node
+        self.step = step
+        #: Packets present, in ascending id order (deterministic).
+        self.packets: Tuple[Packet, ...] = tuple(
+            sorted(packets, key=lambda p: p.id)
+        )
+        #: Directions in which an arc leaves this node.
+        self.out_directions: Tuple[Direction, ...] = tuple(
+            mesh.out_directions(node)
+        )
+        self._good: Dict[PacketId, Tuple[Direction, ...]] = {}
+        self._types: Dict[PacketId, RestrictedType] = {}
+        for packet in self.packets:
+            good = tuple(mesh.good_directions(node, packet.destination))
+            self._good[packet.id] = good
+            self._types[packet.id] = packet.classify(len(good) == 1)
+
+    # ------------------------------------------------------------------
+    # Per-packet queries
+    # ------------------------------------------------------------------
+
+    def good_directions(self, packet: Packet) -> Tuple[Direction, ...]:
+        """The packet's good directions out of this node (Definition 5)."""
+        return self._good[packet.id]
+
+    def num_good(self, packet: Packet) -> int:
+        """Number of good directions of the packet."""
+        return len(self._good[packet.id])
+
+    def is_restricted(self, packet: Packet) -> bool:
+        """True when the packet has exactly one good direction (Section 4.1)."""
+        return len(self._good[packet.id]) == 1
+
+    def restricted_type(self, packet: Packet) -> RestrictedType:
+        """Type A / type B / unrestricted classification (Figure 5)."""
+        return self._types[packet.id]
+
+    def is_type_a(self, packet: Packet) -> bool:
+        """True for restricted packets that advanced while restricted last step."""
+        return self._types[packet.id] is RestrictedType.TYPE_A
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """Number of packets at the node this step (the paper's ℓ)."""
+        return len(self.packets)
+
+    def is_bad_node(self) -> bool:
+        """Definition 9: a node with more than ``d`` packets is *bad*."""
+        return self.load > self.mesh.dimension
+
+    def advancing_capacity(self) -> int:
+        """Upper bound on simultaneously advancing packets here
+        (number of distinct good directions over all packets)."""
+        distinct = set()
+        for directions in self._good.values():
+            distinct.update(directions)
+        return len(distinct)
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeView(node={self.node}, step={self.step}, "
+            f"load={self.load})"
+        )

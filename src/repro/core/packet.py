@@ -1,0 +1,111 @@
+"""Packets and their per-run mutable state.
+
+A :class:`Packet` carries the immutable routing request (source,
+destination) plus the bookkeeping the engine maintains while the packet
+is in flight: current location, the arc it entered through, whether it
+advanced in the previous step, and whether it was *restricted* (exactly
+one good direction, Section 4.1) at the start of the previous step.
+
+The last two flags implement the paper's type-A/type-B classification
+of restricted packets (Figure 5):
+
+* **Type A** — restricted now, was restricted in the previous step, and
+  advanced in that step.
+* **Type B** — restricted now, but either deflected in the previous
+  step or not restricted then (this includes freshly injected packets).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.mesh.directions import Direction
+from repro.types import Node, PacketId, Step
+
+
+class RestrictedType(enum.Enum):
+    """Classification of a packet at the start of a step (Section 4.1)."""
+
+    TYPE_A = "A"
+    TYPE_B = "B"
+    UNRESTRICTED = "unrestricted"
+
+
+@dataclass
+class Packet:
+    """One routed packet.
+
+    The identity triple ``(id, source, destination)`` never changes;
+    everything else is engine-owned running state.  Policies may read
+    any field except ``source`` — the paper's model explicitly never
+    uses packet sources in routing decisions, and the validators treat
+    reading it as out-of-model (this is a documented convention, not an
+    enforced barrier).
+    """
+
+    id: PacketId
+    source: Node
+    destination: Node
+
+    #: Current node (meaningful while in flight).
+    location: Node = field(default=(), compare=False)
+    #: Direction of the arc the packet arrived through, None at origin.
+    entry_direction: Optional[Direction] = field(default=None, compare=False)
+    #: Step at which the packet was absorbed at its destination, or None.
+    delivered_at: Optional[Step] = field(default=None, compare=False)
+
+    #: True when the packet got closer to its destination last step.
+    advanced_last_step: bool = field(default=False, compare=False)
+    #: True when the packet was restricted at the start of last step.
+    restricted_last_step: bool = field(default=False, compare=False)
+
+    #: Running statistics.
+    hops: int = field(default=0, compare=False)
+    advances: int = field(default=0, compare=False)
+    deflections: int = field(default=0, compare=False)
+
+    #: Full node path, recorded only when the engine keeps traces.
+    path: List[Node] = field(default_factory=list, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.location:
+            self.location = self.source
+
+    @property
+    def delivered(self) -> bool:
+        """True once the packet has been absorbed at its destination."""
+        return self.delivered_at is not None
+
+    @property
+    def in_flight(self) -> bool:
+        """True while the packet still occupies a mesh node."""
+        return self.delivered_at is None
+
+    def classify(self, restricted_now: bool) -> RestrictedType:
+        """Classify the packet at the start of the current step.
+
+        ``restricted_now`` is whether the packet currently has exactly
+        one good direction; the previous-step flags are taken from the
+        packet's own state.
+        """
+        if not restricted_now:
+            return RestrictedType.UNRESTRICTED
+        if self.restricted_last_step and self.advanced_last_step:
+            return RestrictedType.TYPE_A
+        return RestrictedType.TYPE_B
+
+    def clone(self) -> "Packet":
+        """Deep-ish copy used by trace snapshots (path list is copied)."""
+        duplicate = Packet(self.id, self.source, self.destination)
+        duplicate.location = self.location
+        duplicate.entry_direction = self.entry_direction
+        duplicate.delivered_at = self.delivered_at
+        duplicate.advanced_last_step = self.advanced_last_step
+        duplicate.restricted_last_step = self.restricted_last_step
+        duplicate.hops = self.hops
+        duplicate.advances = self.advances
+        duplicate.deflections = self.deflections
+        duplicate.path = list(self.path)
+        return duplicate

@@ -1,0 +1,105 @@
+"""Routing-policy interfaces.
+
+A hot-potato routing algorithm, per Section 2, is a per-node scheme
+applied uniformly at every node in every step.  The library models it
+as a :class:`RoutingPolicy` whose :meth:`~RoutingPolicy.assign` method
+maps a :class:`~repro.core.node_view.NodeView` to a direction for every
+packet at the node.  The engine enforces the model rules (distinct
+arcs, nobody stays); the *declared properties* of a policy (greedy,
+prefers-restricted) are checked by optional validators.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict
+
+from repro.core.node_view import NodeView
+from repro.core.problem import RoutingProblem
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.types import PacketId
+
+Assignment = Dict[PacketId, Direction]
+
+
+class RoutingPolicy(abc.ABC):
+    """A uniform per-node, per-step routing rule (hot-potato).
+
+    Subclasses set the declaration flags truthfully; the engine's
+    validators then check the corresponding property at every node in
+    every step:
+
+    * ``declares_greedy`` — Definition 6: a deflected packet's good
+      arcs are all used by advancing packets.
+    * ``declares_restricted_priority`` — Definition 18: a
+      non-restricted packet never deflects a restricted one.
+    * ``declares_max_advance`` — the Section 5 requirement: the number
+      of advancing packets at each node is maximum possible.
+    """
+
+    #: Short identifier used by the registry and in result tables.
+    name: str = "abstract"
+
+    declares_greedy: bool = False
+    declares_restricted_priority: bool = False
+    declares_max_advance: bool = False
+
+    def prepare(
+        self, mesh: Mesh, problem: RoutingProblem, rng: random.Random
+    ) -> None:
+        """Hook called once before a run starts.
+
+        Policies that need precomputed global data (e.g., the
+        Brassil–Cruz destination ranking) or a private random stream
+        set it up here.  The default does nothing.
+        """
+
+    @abc.abstractmethod
+    def assign(self, view: NodeView) -> Assignment:
+        """Assign an outgoing direction to every packet in ``view``.
+
+        Must return a mapping with exactly one entry per packet in
+        ``view.packets``; values must be distinct directions that have
+        an arc out of ``view.node``.  The engine validates all of this
+        and raises :class:`~repro.exceptions.ArcAssignmentError` on any
+        violation.
+        """
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        flags = []
+        if self.declares_greedy:
+            flags.append("greedy")
+        if self.declares_restricted_priority:
+            flags.append("prefers-restricted")
+        if self.declares_max_advance:
+            flags.append("max-advance")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"{self.name}{suffix}"
+
+
+class BufferedPolicy(abc.ABC):
+    """A store-and-forward routing rule (used by the buffered engine).
+
+    Unlike hot-potato policies, a buffered policy may keep packets
+    queued at a node; each step it proposes at most one packet per
+    outgoing arc.  This is the interface for the structured baselines
+    the paper contrasts greedy hot-potato routing with.
+    """
+
+    name: str = "abstract-buffered"
+
+    def prepare(
+        self, mesh: Mesh, problem: RoutingProblem, rng: random.Random
+    ) -> None:
+        """Hook called once before a run starts."""
+
+    @abc.abstractmethod
+    def forward(self, view: NodeView) -> Assignment:
+        """Choose which queued packets to send and where.
+
+        Returns a partial mapping (packets omitted stay buffered);
+        values must be distinct directions with arcs out of the node.
+        """

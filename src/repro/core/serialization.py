@@ -1,0 +1,285 @@
+"""JSON serialization of problems, results, and traces.
+
+Experiment artifacts need to outlive a Python session: the harness
+saves run results next to the benchmark tables, and traces can be
+archived and replay-verified later.  Everything round-trips through
+plain JSON-compatible dictionaries; meshes are reconstructed from
+their ``(kind, dimension, side)`` signature.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.metrics import (
+    PacketOutcome,
+    PacketStepInfo,
+    RunResult,
+    StepMetrics,
+    StepRecord,
+)
+from repro.core.packet import RestrictedType
+from repro.core.problem import RoutingProblem
+from repro.core.trace import Trace
+from repro.exceptions import TraceError
+from repro.mesh.directions import Direction
+from repro.mesh.hypercube import Hypercube
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+
+_MESH_KINDS = {
+    "mesh": lambda dimension, side: Mesh(dimension, side),
+    "torus": lambda dimension, side: Torus(dimension, side),
+    "hypercube": lambda dimension, side: Hypercube(dimension),
+}
+
+
+# ----------------------------------------------------------------------
+# Meshes
+# ----------------------------------------------------------------------
+
+
+def mesh_to_dict(mesh: Mesh) -> Dict[str, Any]:
+    return {"kind": mesh.kind, "dimension": mesh.dimension, "side": mesh.side}
+
+
+def mesh_from_dict(data: Dict[str, Any]) -> Mesh:
+    kind = data["kind"]
+    if kind not in _MESH_KINDS:
+        raise TraceError(f"unknown mesh kind {kind!r}")
+    return _MESH_KINDS[kind](int(data["dimension"]), int(data["side"]))
+
+
+# ----------------------------------------------------------------------
+# Problems
+# ----------------------------------------------------------------------
+
+
+def problem_to_dict(problem: RoutingProblem) -> Dict[str, Any]:
+    return {
+        "mesh": mesh_to_dict(problem.mesh),
+        "name": problem.name,
+        "requests": [
+            [list(r.source), list(r.destination)] for r in problem.requests
+        ],
+    }
+
+
+def problem_from_dict(data: Dict[str, Any]) -> RoutingProblem:
+    mesh = mesh_from_dict(data["mesh"])
+    pairs = [
+        (tuple(source), tuple(destination))
+        for source, destination in data["requests"]
+    ]
+    return RoutingProblem.from_pairs(mesh, pairs, name=data.get("name", ""))
+
+
+# ----------------------------------------------------------------------
+# Directions / step infos
+# ----------------------------------------------------------------------
+
+
+def _direction_to_list(direction: Optional[Direction]) -> Optional[List[int]]:
+    if direction is None:
+        return None
+    return [direction.axis, direction.sign]
+
+
+def _direction_from_list(data: Optional[List[int]]) -> Optional[Direction]:
+    if data is None:
+        return None
+    return Direction(int(data[0]), int(data[1]))
+
+
+def _info_to_dict(info: PacketStepInfo) -> Dict[str, Any]:
+    return {
+        "packet_id": info.packet_id,
+        "node": list(info.node),
+        "destination": list(info.destination),
+        "entry": _direction_to_list(info.entry_direction),
+        "direction": _direction_to_list(info.assigned_direction),
+        "next_node": list(info.next_node),
+        "distance_before": info.distance_before,
+        "distance_after": info.distance_after,
+        "num_good": info.num_good,
+        "restricted": info.restricted,
+        "type": info.restricted_type.value,
+    }
+
+
+def _info_from_dict(data: Dict[str, Any]) -> PacketStepInfo:
+    return PacketStepInfo(
+        packet_id=int(data["packet_id"]),
+        node=tuple(data["node"]),
+        destination=tuple(data["destination"]),
+        entry_direction=_direction_from_list(data["entry"]),
+        assigned_direction=_direction_from_list(data["direction"]),
+        next_node=tuple(data["next_node"]),
+        distance_before=int(data["distance_before"]),
+        distance_after=int(data["distance_after"]),
+        num_good=int(data["num_good"]),
+        restricted=bool(data["restricted"]),
+        restricted_type=RestrictedType(data["type"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Serialize a result (step metrics and outcomes, no step records).
+
+    The optional ``records`` payload is intentionally dropped — full
+    movement history belongs in a :class:`Trace`, archived separately
+    via :func:`save_trace`.
+    """
+    return {
+        "problem_name": result.problem_name,
+        "policy_name": result.policy_name,
+        "mesh_kind": result.mesh_kind,
+        "dimension": result.dimension,
+        "side": result.side,
+        "k": result.k,
+        "completed": result.completed,
+        "total_steps": result.total_steps,
+        "delivered": result.delivered,
+        "seed": result.seed,
+        "step_metrics": [
+            {
+                "step": m.step,
+                "in_flight": m.in_flight,
+                "advancing": m.advancing,
+                "deflected": m.deflected,
+                "delivered_total": m.delivered_total,
+                "total_distance": m.total_distance,
+                "max_node_load": m.max_node_load,
+                "bad_nodes": m.bad_nodes,
+                "packets_in_bad_nodes": m.packets_in_bad_nodes,
+                "packets_in_good_nodes": m.packets_in_good_nodes,
+            }
+            for m in result.step_metrics
+        ],
+        "outcomes": [
+            {
+                "packet_id": o.packet_id,
+                "source": list(o.source),
+                "destination": list(o.destination),
+                "shortest_distance": o.shortest_distance,
+                "delivered_at": o.delivered_at,
+                "hops": o.hops,
+                "advances": o.advances,
+                "deflections": o.deflections,
+            }
+            for o in result.outcomes
+        ],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> RunResult:
+    return RunResult(
+        problem_name=data["problem_name"],
+        policy_name=data["policy_name"],
+        mesh_kind=data["mesh_kind"],
+        dimension=int(data["dimension"]),
+        side=int(data["side"]),
+        k=int(data["k"]),
+        completed=bool(data["completed"]),
+        total_steps=int(data["total_steps"]),
+        delivered=int(data["delivered"]),
+        seed=data.get("seed"),
+        step_metrics=[
+            StepMetrics(**metrics) for metrics in data["step_metrics"]
+        ],
+        outcomes=[
+            PacketOutcome(
+                packet_id=int(o["packet_id"]),
+                source=tuple(o["source"]),
+                destination=tuple(o["destination"]),
+                shortest_distance=int(o["shortest_distance"]),
+                delivered_at=o["delivered_at"],
+                hops=int(o["hops"]),
+                advances=int(o["advances"]),
+                deflections=int(o["deflections"]),
+            )
+            for o in data["outcomes"]
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    return {
+        "problem": problem_to_dict(trace.problem),
+        "policy_name": trace.policy_name,
+        "seed": trace.seed,
+        "records": [
+            {
+                "step": record.step,
+                "infos": [
+                    _info_to_dict(info) for info in record.infos.values()
+                ],
+                "delivered_after": list(record.delivered_after),
+            }
+            for record in trace.records
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> Trace:
+    records = []
+    for record_data in data["records"]:
+        infos = {
+            int(info["packet_id"]): _info_from_dict(info)
+            for info in record_data["infos"]
+        }
+        records.append(
+            StepRecord(
+                step=int(record_data["step"]),
+                infos=infos,
+                delivered_after=tuple(record_data["delivered_after"]),
+            )
+        )
+    return Trace(
+        problem=problem_from_dict(data["problem"]),
+        policy_name=data["policy_name"],
+        seed=data.get("seed"),
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_to_dict(trace), handle)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a JSON trace and verify its internal consistency."""
+    with open(path, "r", encoding="utf-8") as handle:
+        trace = trace_from_dict(json.load(handle))
+    trace.verify_consistency()
+    return trace
+
+
+def save_result(result: RunResult, path: str) -> None:
+    """Write a run result as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle)
+
+
+def load_result(path: str) -> RunResult:
+    """Read a JSON run result."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return result_from_dict(json.load(handle))

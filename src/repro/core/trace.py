@@ -1,0 +1,157 @@
+"""Run traces: capture, determinism checks, and replay.
+
+A :class:`Trace` is the full movement history of a run — the problem,
+the policy name and seed, and every :class:`StepRecord`.  Traces back
+the offline analyses (potential verification over a finished run) and
+the determinism tests: re-running the same problem/policy/seed must
+reproduce the trace exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.engine import HotPotatoEngine
+from repro.core.events import RunObserver
+from repro.core.metrics import RunResult, StepMetrics, StepRecord
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.exceptions import TraceError
+from repro.types import Node, PacketId
+
+
+@dataclass
+class Trace:
+    """Everything needed to audit or replay a finished run."""
+
+    problem: RoutingProblem
+    policy_name: str
+    seed: Optional[int]
+    records: List[StepRecord] = field(default_factory=list)
+    result: Optional[RunResult] = None
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.records)
+
+    def positions_at(self, time: int) -> dict:
+        """Reconstruct in-flight packet positions at the given time.
+
+        Time 0 is the initial placement; time ``t`` is after ``t``
+        steps.  Delivered packets are omitted.
+        """
+        if time < 0 or time > len(self.records):
+            raise TraceError(
+                f"time {time} outside trace range 0..{len(self.records)}"
+            )
+        positions = {
+            index: request.source
+            for index, request in enumerate(self.problem.requests)
+            if request.source != request.destination
+        }
+        for record in self.records[:time]:
+            for info in record.infos.values():
+                positions[info.packet_id] = info.next_node
+            for packet_id in record.delivered_after:
+                positions.pop(packet_id, None)
+        return positions
+
+    def verify_consistency(self) -> None:
+        """Check the trace's internal movement consistency.
+
+        Every packet's ``node`` in step ``t`` must equal its
+        ``next_node`` from step ``t - 1``, moves must follow mesh arcs,
+        and delivered packets must not reappear.
+
+        Raises:
+            TraceError: on the first inconsistency found.
+        """
+        mesh = self.problem.mesh
+        expected: dict = {
+            index: request.source
+            for index, request in enumerate(self.problem.requests)
+            if request.source != request.destination
+        }
+        for record in self.records:
+            for packet_id, info in record.infos.items():
+                if packet_id not in expected:
+                    raise TraceError(
+                        f"step {record.step}: packet {packet_id} moves but "
+                        f"was already delivered or never existed"
+                    )
+                if info.node != expected[packet_id]:
+                    raise TraceError(
+                        f"step {record.step}: packet {packet_id} recorded at "
+                        f"{info.node} but previous step put it at "
+                        f"{expected[packet_id]}"
+                    )
+                if not mesh.is_arc((info.node, info.next_node)):
+                    raise TraceError(
+                        f"step {record.step}: packet {packet_id} moved along "
+                        f"non-arc {(info.node, info.next_node)}"
+                    )
+                expected[packet_id] = info.next_node
+            for packet_id in record.delivered_after:
+                info = record.infos.get(packet_id)
+                if info is None or info.next_node != info.destination:
+                    raise TraceError(
+                        f"step {record.step}: packet {packet_id} marked "
+                        f"delivered but did not reach its destination"
+                    )
+                expected.pop(packet_id, None)
+
+
+class TraceRecorder(RunObserver):
+    """Observer that accumulates a :class:`Trace` during a run."""
+
+    def __init__(
+        self, problem: RoutingProblem, policy_name: str, seed: Optional[int]
+    ) -> None:
+        self.trace = Trace(problem=problem, policy_name=policy_name, seed=seed)
+
+    def on_step(self, record: StepRecord, metrics: StepMetrics) -> None:
+        self.trace.records.append(record)
+
+    def on_run_end(self, result: RunResult) -> None:
+        self.trace.result = result
+
+
+def record_run(
+    problem: RoutingProblem,
+    policy: RoutingPolicy,
+    *,
+    seed: int = 0,
+    **engine_kwargs,
+) -> Trace:
+    """Run a problem under a policy and return the full trace."""
+    recorder = TraceRecorder(problem, policy.name, seed)
+    engine = HotPotatoEngine(
+        problem,
+        policy,
+        seed=seed,
+        observers=[recorder],
+        **engine_kwargs,
+    )
+    engine.run()
+    return recorder.trace
+
+
+def traces_equal(a: Trace, b: Trace) -> bool:
+    """True when two traces describe identical movement histories."""
+    if a.num_steps != b.num_steps:
+        return False
+    for record_a, record_b in zip(a.records, b.records):
+        if record_a.delivered_after != record_b.delivered_after:
+            return False
+        if set(record_a.infos) != set(record_b.infos):
+            return False
+        for packet_id, info_a in record_a.infos.items():
+            info_b = record_b.infos[packet_id]
+            if (
+                info_a.node != info_b.node
+                or info_a.next_node != info_b.next_node
+                or info_a.assigned_direction != info_b.assigned_direction
+            ):
+                return False
+    return True

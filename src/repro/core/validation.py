@@ -1,0 +1,155 @@
+"""Runtime validators for the synchronous hot-potato model.
+
+The engine *always* enforces the basic model rules (every packet
+leaves, distinct arcs, arcs exist).  The validators here check the
+*declared* properties of an algorithm at every node in every step:
+
+* :class:`GreedyValidator` — Definition 6: whenever a packet is
+  deflected, all of its good arcs are used by other advancing packets.
+* :class:`RestrictedPriorityValidator` — Definition 18: a
+  non-restricted packet cannot deflect a restricted one; consequently
+  whenever a restricted packet is deflected, the packet advancing
+  through its unique good arc is itself restricted.
+* :class:`MaxAdvanceValidator` — the Section 5 requirement that the
+  number of advancing packets at each node is the maximum possible.
+* :class:`CapacityValidator` — node load never exceeds node degree
+  (an internal consistency check; a violation means an engine bug).
+
+A validator failure raises immediately, so a buggy policy cannot
+produce silently wrong experiment data.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+from repro.core.metrics import PacketStepInfo
+from repro.core.node_view import NodeView
+from repro.core.policy import RoutingPolicy
+from repro.exceptions import (
+    CapacityExceededError,
+    GreedinessViolationError,
+    RestrictedPriorityViolationError,
+)
+from repro.mesh.directions import Direction
+
+
+class StepValidator(abc.ABC):
+    """Checks one node's routed step for a protocol property."""
+
+    @abc.abstractmethod
+    def validate_node(
+        self, view: NodeView, infos: Sequence[PacketStepInfo]
+    ) -> None:
+        """Raise a :class:`~repro.exceptions.ProtocolViolationError`
+        subclass when the property is violated at this node."""
+
+
+class CapacityValidator(StepValidator):
+    """Node load must never exceed the node's degree."""
+
+    def validate_node(
+        self, view: NodeView, infos: Sequence[PacketStepInfo]
+    ) -> None:
+        degree = view.mesh.degree(view.node)
+        if len(infos) > degree:
+            raise CapacityExceededError(
+                f"step {view.step}: node {view.node} holds {len(infos)} "
+                f"packets but has degree {degree}"
+            )
+
+
+class GreedyValidator(StepValidator):
+    """Definition 6: deflected packets had all good arcs taken by advancers."""
+
+    def validate_node(
+        self, view: NodeView, infos: Sequence[PacketStepInfo]
+    ) -> None:
+        advancing_directions = {
+            info.assigned_direction for info in infos if info.advanced
+        }
+        for info in infos:
+            if info.advanced:
+                continue
+            packet = next(p for p in view.packets if p.id == info.packet_id)
+            for direction in view.good_directions(packet):
+                if direction not in advancing_directions:
+                    raise GreedinessViolationError(
+                        f"step {view.step}: packet {info.packet_id} deflected "
+                        f"at {view.node} although its good direction "
+                        f"{direction} was not used by an advancing packet"
+                    )
+
+
+class RestrictedPriorityValidator(StepValidator):
+    """Definition 18: only restricted packets may deflect restricted ones."""
+
+    def validate_node(
+        self, view: NodeView, infos: Sequence[PacketStepInfo]
+    ) -> None:
+        by_direction: Dict[Direction, PacketStepInfo] = {
+            info.assigned_direction: info for info in infos
+        }
+        for info in infos:
+            if info.advanced or not info.restricted:
+                continue
+            packet = next(p for p in view.packets if p.id == info.packet_id)
+            (good,) = view.good_directions(packet)
+            user = by_direction.get(good)
+            if user is None or not user.advanced:
+                # Not even greedy; GreedyValidator reports it with a
+                # clearer message, but fail here too for standalone use.
+                raise RestrictedPriorityViolationError(
+                    f"step {view.step}: restricted packet {info.packet_id} "
+                    f"deflected at {view.node} while its good direction "
+                    f"{good} was unused"
+                )
+            if not user.restricted:
+                raise RestrictedPriorityViolationError(
+                    f"step {view.step}: non-restricted packet "
+                    f"{user.packet_id} deflected restricted packet "
+                    f"{info.packet_id} at {view.node}"
+                )
+
+
+class MaxAdvanceValidator(StepValidator):
+    """Section 5 requirement: maximize the number of advancing packets."""
+
+    def validate_node(
+        self, view: NodeView, infos: Sequence[PacketStepInfo]
+    ) -> None:
+        # Import here to avoid a cycle: matching is engine-independent.
+        from repro.core.matching import maximum_matching_size
+
+        adjacency = {
+            packet.id: list(view.good_directions(packet))
+            for packet in view.packets
+        }
+        best = maximum_matching_size(adjacency)
+        actual = sum(1 for info in infos if info.advanced)
+        if actual < best:
+            raise GreedinessViolationError(
+                f"step {view.step}: node {view.node} advanced {actual} "
+                f"packets but a maximum matching advances {best}"
+            )
+
+
+def validators_for(
+    policy: RoutingPolicy, strict: bool = True
+) -> List[StepValidator]:
+    """Build the validator stack implied by a policy's declarations.
+
+    With ``strict`` False only the cheap capacity check is returned
+    (useful for large benchmark runs once correctness is established).
+    """
+    validators: List[StepValidator] = [CapacityValidator()]
+    if not strict:
+        return validators
+    if policy.declares_greedy:
+        validators.append(GreedyValidator())
+    if policy.declares_restricted_priority:
+        validators.append(RestrictedPriorityValidator())
+    if policy.declares_max_advance:
+        validators.append(MaxAdvanceValidator())
+    return validators

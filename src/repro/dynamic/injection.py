@@ -1,0 +1,137 @@
+"""Traffic models for dynamic (continuous-injection) routing.
+
+The paper analyzes *batch* routing, but its motivating systems —
+multihop lightwave networks [AS], [ZA], the Manhattan Street network
+[Ma], deflection hypercubes [GH], [Sz] — run with continuous traffic:
+every node generates packets over time.  A :class:`TrafficModel`
+decides, each step, how many new packets every node generates and
+where they are destined; the dynamic engine injects them as capacity
+permits.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mesh.topology import Mesh
+from repro.types import Node
+
+
+class TrafficModel(abc.ABC):
+    """Generates routing demand over time."""
+
+    @abc.abstractmethod
+    def prepare(self, mesh: Mesh, rng: random.Random) -> None:
+        """Called once before the run starts."""
+
+    @abc.abstractmethod
+    def arrivals(self, node: Node, step: int) -> List[Node]:
+        """Destinations of the packets ``node`` generates at ``step``.
+
+        Return an empty list for no arrival.  The engine may delay the
+        actual injection when the node is full; generation time (for
+        latency accounting) is ``step`` regardless.
+        """
+
+
+class BernoulliTraffic(TrafficModel):
+    """Independent Bernoulli arrivals with uniform random destinations.
+
+    Each node generates a packet with probability ``rate`` per step
+    (so ``rate`` is also the per-node offered load in packets/step).
+    Destinations are uniform over all other nodes, the standard
+    uniform-traffic assumption of the deflection-network literature.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not 0 <= rate <= 1:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._nodes: List[Node] = []
+        self._rng = random.Random(0)
+
+    def prepare(self, mesh: Mesh, rng: random.Random) -> None:
+        self._nodes = list(mesh.nodes())
+        self._rng = rng
+
+    def arrivals(self, node: Node, step: int) -> List[Node]:
+        if self._rng.random() >= self.rate:
+            return []
+        destination = self._rng.choice(self._nodes)
+        while destination == node:
+            destination = self._rng.choice(self._nodes)
+        return [destination]
+
+
+class HotSpotTraffic(TrafficModel):
+    """Bernoulli arrivals with a fraction of traffic aimed at one node.
+
+    With probability ``hot_fraction`` a generated packet goes to the
+    ``hot_spot`` (default: mesh center); otherwise uniform.  Models the
+    server/memory-bank hot spots of multiprocessor interconnects.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        hot_fraction: float = 0.2,
+        hot_spot: Optional[Node] = None,
+    ) -> None:
+        if not 0 <= rate <= 1:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if not 0 <= hot_fraction <= 1:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1], got {hot_fraction}"
+            )
+        self.rate = rate
+        self.hot_fraction = hot_fraction
+        self.hot_spot = hot_spot
+        self._nodes: List[Node] = []
+        self._rng = random.Random(0)
+
+    def prepare(self, mesh: Mesh, rng: random.Random) -> None:
+        self._nodes = list(mesh.nodes())
+        self._rng = rng
+        if self.hot_spot is None:
+            self.hot_spot = mesh.center()
+        elif not mesh.contains(self.hot_spot):
+            raise ValueError(f"hot spot {self.hot_spot} not a mesh node")
+
+    def arrivals(self, node: Node, step: int) -> List[Node]:
+        if self._rng.random() >= self.rate:
+            return []
+        if self._rng.random() < self.hot_fraction and node != self.hot_spot:
+            return [self.hot_spot]
+        destination = self._rng.choice(self._nodes)
+        while destination == node:
+            destination = self._rng.choice(self._nodes)
+        return [destination]
+
+
+class ScriptedTraffic(TrafficModel):
+    """Deterministic demand script, for tests.
+
+    ``script`` maps ``(node, step)`` to a list of destinations.
+    """
+
+    def __init__(
+        self, script: Sequence[Tuple[Node, int, Node]]
+    ) -> None:
+        self._script = {}
+        for node, step, destination in script:
+            self._script.setdefault((node, step), []).append(destination)
+
+    def prepare(self, mesh: Mesh, rng: random.Random) -> None:
+        for (node, _), destinations in self._script.items():
+            if not mesh.contains(node):
+                raise ValueError(f"scripted source {node} not in mesh")
+            for destination in destinations:
+                if not mesh.contains(destination):
+                    raise ValueError(
+                        f"scripted destination {destination} not in mesh"
+                    )
+
+    def arrivals(self, node: Node, step: int) -> List[Node]:
+        return list(self._script.get((node, step), []))

@@ -1,0 +1,169 @@
+"""Steady-state statistics for dynamic runs.
+
+Collects per-step samples and per-delivery records, with a warm-up
+cutoff: deliveries of packets *generated* before the warm-up step are
+routed but excluded from the statistics, the standard discipline for
+measuring stationary behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class StepSample:
+    """Aggregate counters of one dynamic step."""
+
+    step: int
+    generated: int
+    injected: int
+    in_flight: int
+    advancing: int
+    delivered: int
+    backlog: int
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivered packet's life, for latency accounting."""
+
+    generated_at: int
+    delivered_at: int
+    hops: int
+    deflections: int
+    shortest: int
+
+    @property
+    def latency(self) -> int:
+        """Generation-to-delivery time (includes source queueing)."""
+        return self.delivered_at - self.generated_at
+
+
+@dataclass
+class DynamicStats:
+    """Everything measured during a dynamic run."""
+
+    warmup: int = 0
+    samples: List[StepSample] = field(default_factory=list)
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+    horizon: int = 0
+    final_in_flight: int = 0
+    final_backlog: int = 0
+
+    # ------------------------------------------------------------------
+    # Collection (called by the engine)
+    # ------------------------------------------------------------------
+
+    def record_step(self, sample: StepSample) -> None:
+        self.samples.append(sample)
+
+    def record_delivery(
+        self,
+        generated_at: int,
+        delivered_at: int,
+        hops: int,
+        deflections: int,
+        shortest: int,
+    ) -> None:
+        if generated_at < self.warmup:
+            return
+        self.deliveries.append(
+            DeliveryRecord(
+                generated_at=generated_at,
+                delivered_at=delivered_at,
+                hops=hops,
+                deflections=deflections,
+                shortest=shortest,
+            )
+        )
+
+    def finalize(
+        self, horizon: int, in_flight: int, backlog: int
+    ) -> None:
+        self.horizon = horizon
+        self.final_in_flight = in_flight
+        self.final_backlog = backlog
+
+    # ------------------------------------------------------------------
+    # Steady-state summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.deliveries)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean generation-to-delivery latency over counted deliveries."""
+        if not self.deliveries:
+            return 0.0
+        return sum(d.latency for d in self.deliveries) / len(self.deliveries)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] over counted deliveries."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.deliveries:
+            return 0.0
+        ordered = sorted(d.latency for d in self.deliveries)
+        index = min(
+            len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1)))
+        )
+        return float(ordered[index])
+
+    @property
+    def mean_stretch(self) -> float:
+        """Mean hops / shortest-distance over counted deliveries."""
+        usable = [d for d in self.deliveries if d.shortest > 0]
+        if not usable:
+            return 1.0
+        return sum(d.hops / d.shortest for d in usable) / len(usable)
+
+    @property
+    def deflection_rate(self) -> float:
+        """Fraction of hops that were deflections, over deliveries."""
+        hops = sum(d.hops for d in self.deliveries)
+        if hops == 0:
+            return 0.0
+        return sum(d.deflections for d in self.deliveries) / hops
+
+    @property
+    def throughput(self) -> float:
+        """Counted deliveries per post-warm-up step."""
+        effective = max(1, self.horizon - self.warmup)
+        return len(self.deliveries) / effective
+
+    @property
+    def mean_in_flight(self) -> float:
+        """Average network population after warm-up."""
+        post = [s.in_flight for s in self.samples if s.step >= self.warmup]
+        if not post:
+            return 0.0
+        return sum(post) / len(post)
+
+    @property
+    def max_backlog(self) -> int:
+        """Largest total source-queue backlog seen after warm-up."""
+        post = [s.backlog for s in self.samples if s.step >= self.warmup]
+        return max(post) if post else 0
+
+    def is_stable(self) -> bool:
+        """Heuristic saturation check: the backlog at the end of the
+        run is no larger than a few steps' worth of generation."""
+        recent = [s.generated for s in self.samples[-20:]]
+        per_step = sum(recent) / len(recent) if recent else 0.0
+        return self.final_backlog <= max(5.0, 5 * per_step)
+
+    def summary(self) -> str:
+        return (
+            f"deliveries={self.delivered_count} "
+            f"latency(mean/p50/p99)={self.mean_latency:.1f}/"
+            f"{self.latency_percentile(50):.0f}/"
+            f"{self.latency_percentile(99):.0f} "
+            f"stretch={self.mean_stretch:.2f} "
+            f"deflect={self.deflection_rate:.3f} "
+            f"throughput={self.throughput:.2f}/step "
+            f"backlog(max/final)={self.max_backlog}/{self.final_backlog}"
+        )

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the hot-potato routing library.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything from this package with a single ``except`` clause while still
+being able to distinguish configuration mistakes from protocol violations
+detected at simulation time.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid parameters.
+
+    Examples: a mesh with non-positive side length, a routing problem
+    whose packets originate outside the mesh, or a potential function
+    attached to the wrong dimension.
+    """
+
+
+class InvalidProblemError(ConfigurationError):
+    """A routing problem violates the many-to-many model of Section 2.
+
+    The model requires every origin and destination to be a mesh node
+    and no node to originate more packets than its out-degree.
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """A routing policy broke the rules of the synchronous model.
+
+    Base class for hot-potato, capacity, and assignment violations.
+    The engine raises these the moment a policy's output is invalid, so
+    a buggy policy cannot silently corrupt a simulation.
+    """
+
+
+class HotPotatoViolationError(ProtocolViolationError):
+    """A policy tried to hold a packet at an intermediate node.
+
+    In hot-potato routing every packet that has not reached its
+    destination must leave on the step following its arrival.
+    """
+
+
+class ArcAssignmentError(ProtocolViolationError):
+    """A policy produced an invalid packet-to-arc assignment.
+
+    Raised when two packets were assigned the same outgoing arc, when a
+    packet was assigned an arc that does not leave its current node, or
+    when a packet was left without an arc.
+    """
+
+
+class GreedinessViolationError(ProtocolViolationError):
+    """A policy declared greedy (Definition 6) deflected a packet
+    although one of its good arcs was not used by an advancing packet.
+    """
+
+
+class RestrictedPriorityViolationError(ProtocolViolationError):
+    """A policy declared to *prefer restricted packets* (Definition 18)
+    allowed a non-restricted packet to deflect a restricted one.
+    """
+
+
+class CapacityExceededError(ProtocolViolationError):
+    """More packets were placed in a node than its degree allows."""
+
+
+class LivelockSuspectedError(ReproError):
+    """A run exceeded its step limit without delivering all packets.
+
+    This does not *prove* a livelock; use
+    :mod:`repro.analysis.livelock` to detect an actual state cycle.
+    """
+
+
+class TraceError(ReproError):
+    """A recorded trace is inconsistent or cannot be replayed."""

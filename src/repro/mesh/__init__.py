@@ -1,0 +1,56 @@
+"""Mesh topology substrate.
+
+Implements the d-dimensional mesh network of Section 2.1 of the paper:
+nodes are d-dimensional vectors over ``{1, ..., n}`` (Definition 1),
+arcs come in ``2d`` signed axis *directions* (Definition 3), and the
+*2-neighbor* relation (Definition 4) partitions the mesh into ``2^d``
+equivalence classes, each isomorphic to an ``(n/2)^d`` mesh.
+
+The :mod:`repro.mesh.geometry` module provides the unit-cube volume and
+surface machinery used by the isoperimetric inequality (Claim 13).
+"""
+
+from repro.mesh.coordinates import (
+    is_adjacent,
+    l1_distance,
+    offset_vector,
+)
+from repro.mesh.directions import Direction, all_directions
+from repro.mesh.geometry import (
+    isoperimetric_lower_bound,
+    projection_sizes,
+    surface_size,
+    verify_claim_13,
+    verify_projection_product_bound,
+)
+from repro.mesh.hypercube import Hypercube
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+from repro.mesh.two_neighbors import (
+    are_two_neighbors,
+    equivalence_class_label,
+    equivalence_classes,
+    two_neighbor,
+    two_neighbors_of,
+)
+
+__all__ = [
+    "Direction",
+    "Hypercube",
+    "Mesh",
+    "Torus",
+    "all_directions",
+    "are_two_neighbors",
+    "equivalence_class_label",
+    "equivalence_classes",
+    "is_adjacent",
+    "isoperimetric_lower_bound",
+    "l1_distance",
+    "offset_vector",
+    "projection_sizes",
+    "surface_size",
+    "two_neighbor",
+    "two_neighbors_of",
+    "verify_claim_13",
+    "verify_projection_product_bound",
+]

@@ -1,0 +1,79 @@
+"""Coordinate arithmetic on d-dimensional lattice points.
+
+Nodes of the mesh are plain tuples of integers (see
+:data:`repro.types.Node`).  The functions here implement the L1 metric
+the paper uses throughout: the distance between two mesh nodes is
+``sum(|a_i - b_i|)`` (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.types import Node
+
+
+def l1_distance(a: Node, b: Node) -> int:
+    """Return the L1 (Manhattan) distance between two lattice points.
+
+    This equals the length of a shortest path between the corresponding
+    nodes in the mesh.
+
+    Raises:
+        ValueError: if the points have different dimensions.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"dimension mismatch: {len(a)}-dim point vs {len(b)}-dim point"
+        )
+    return sum(abs(x - y) for x, y in zip(a, b))
+
+
+def offset_vector(a: Node, b: Node) -> Node:
+    """Return the component-wise offset ``b - a``.
+
+    The offset determines the *good directions* of a packet at ``a``
+    destined for ``b``: axis ``i`` is good in the ``+`` direction when
+    the offset's ``i``-th entry is positive, and in the ``-`` direction
+    when it is negative.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"dimension mismatch: {len(a)}-dim point vs {len(b)}-dim point"
+        )
+    return tuple(y - x for x, y in zip(a, b))
+
+
+def is_adjacent(a: Node, b: Node) -> bool:
+    """Return True when the two points are mesh-adjacent.
+
+    Per Definition 1, there is an arc between nodes exactly when their
+    L1 distance is one.
+    """
+    return l1_distance(a, b) == 1
+
+
+def in_box(point: Node, side: int) -> bool:
+    """Return True when every coordinate of ``point`` lies in ``{1..side}``."""
+    return all(1 <= x <= side for x in point)
+
+
+def validate_node(point: Sequence[int], dimension: int, side: int) -> Node:
+    """Validate and normalize a node specification.
+
+    Accepts any integer sequence, checks dimension and bounds, and
+    returns it as a tuple suitable for hashing.
+
+    Raises:
+        ValueError: when the point is outside the ``{1..side}^dimension`` box.
+    """
+    node = tuple(int(x) for x in point)
+    if len(node) != dimension:
+        raise ValueError(
+            f"node {node} has dimension {len(node)}, expected {dimension}"
+        )
+    if not in_box(node, side):
+        raise ValueError(
+            f"node {node} outside mesh box {{1..{side}}}^{dimension}"
+        )
+    return node

@@ -1,0 +1,129 @@
+"""Directions in the d-dimensional mesh (Definition 3 of the paper).
+
+Every arc of the mesh changes exactly one coordinate by one, so the
+arcs partition into ``2d`` *directions*: for each axis ``i`` there is a
+``+`` direction (arcs increasing coordinate ``i``) and a ``-``
+direction (arcs decreasing it).  A :class:`Direction` names one of
+these classes; applying it to a node yields the node one hop away in
+that direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.types import Arc, Node
+
+
+@dataclass(frozen=True, order=True)
+class Direction:
+    """One of the ``2d`` arc directions of a d-dimensional mesh.
+
+    Attributes:
+        axis: zero-based coordinate index this direction changes.
+        sign: ``+1`` for the "+" direction, ``-1`` for the "-" direction.
+    """
+
+    axis: int
+    sign: int
+
+    def __post_init__(self) -> None:
+        if self.axis < 0:
+            raise ValueError(f"axis must be non-negative, got {self.axis}")
+        if self.sign not in (-1, 1):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+
+    @property
+    def opposite(self) -> "Direction":
+        """The antiparallel direction on the same axis."""
+        return Direction(self.axis, -self.sign)
+
+    def apply(self, node: Node) -> Node:
+        """Return the lattice point one hop from ``node`` in this direction.
+
+        The result is *not* bounds-checked; use
+        :meth:`repro.mesh.topology.Mesh.contains` to test whether it is
+        still inside a particular mesh.
+        """
+        if self.axis >= len(node):
+            raise ValueError(
+                f"direction axis {self.axis} out of range for "
+                f"{len(node)}-dimensional node {node}"
+            )
+        moved = list(node)
+        moved[self.axis] += self.sign
+        return tuple(moved)
+
+    def arc_from(self, node: Node) -> Arc:
+        """Return the arc leaving ``node`` in this direction."""
+        return (node, self.apply(node))
+
+    def __str__(self) -> str:
+        sign = "+" if self.sign > 0 else "-"
+        return f"{sign}x{self.axis}"
+
+
+def all_directions(dimension: int) -> List[Direction]:
+    """Return the ``2d`` directions of a d-dimensional mesh.
+
+    The order is deterministic: axis-major, "+" before "-", so that
+    tie-breaking rules built on this order are reproducible.
+    """
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    return [
+        Direction(axis, sign)
+        for axis in range(dimension)
+        for sign in (1, -1)
+    ]
+
+
+def direction_of_arc(arc: Arc) -> Direction:
+    """Return the direction an arc belongs to.
+
+    Raises:
+        ValueError: when ``arc`` does not connect two adjacent lattice
+            points (i.e., it is not a mesh arc).
+    """
+    tail, head = arc
+    if len(tail) != len(head):
+        raise ValueError(f"arc endpoints differ in dimension: {arc}")
+    diffs = [
+        (axis, head[axis] - tail[axis])
+        for axis in range(len(tail))
+        if head[axis] != tail[axis]
+    ]
+    if len(diffs) != 1 or abs(diffs[0][1]) != 1:
+        raise ValueError(f"{arc} is not an arc between adjacent nodes")
+    axis, delta = diffs[0]
+    return Direction(axis, 1 if delta > 0 else -1)
+
+
+def directions_toward(origin: Node, target: Node) -> Iterator[Direction]:
+    """Yield the directions that take ``origin`` strictly closer to ``target``.
+
+    For the mesh (no wraparound) these are exactly the *good
+    directions* of a packet at ``origin`` destined for ``target``
+    (Definition 5), provided the moved-to node exists; boundary
+    handling is the topology's job.
+    """
+    if len(origin) != len(target):
+        raise ValueError("origin and target differ in dimension")
+    for axis, (a, b) in enumerate(zip(origin, target)):
+        if b > a:
+            yield Direction(axis, 1)
+        elif b < a:
+            yield Direction(axis, -1)
+
+
+def signed_axis_offsets(origin: Node, target: Node) -> Tuple[int, ...]:
+    """Return per-axis signs of the offset from ``origin`` to ``target``.
+
+    Each entry is ``+1``, ``-1`` or ``0``.  The number of non-zero
+    entries equals the number of good directions of a mesh packet.
+    """
+    return tuple(
+        (1 if b > a else -1) if b != a else 0
+        for a, b in zip(origin, target)
+    )

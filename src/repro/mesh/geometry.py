@@ -1,0 +1,196 @@
+"""Unit-cube volumes and the isoperimetric inequality (Claim 13).
+
+The paper's geometric interpretation represents each mesh node as a
+d-dimensional unit cube whose ``2d`` faces correspond to the arcs out
+of the node.  A *volume* is any finite set of lattice points (cubes);
+its *surface* is the number of cube faces with a cube on one side only.
+
+Claim 13 states that any volume ``V`` of unit cubes has surface at
+least ``2d * |V|^((d-1)/d)``.  The proof goes through projections and
+the Loomis–Whitney / Shearer entropy inequality:
+
+1. ``surface(V) >= 2 * sum_{|I|=d-1} |pi_I(V)|``                (eq. 1)
+2. ``|V|^(d-1)  <= prod_{|I|=d-1} |pi_I(V)|``                   (eq. 5)
+3. AM–GM combines the two into the claim.
+
+This module implements all three quantities exactly so that the chain
+of inequalities can be verified computationally on arbitrary volumes
+(benchmark E6 and the property tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.types import Node
+
+#: A set of lattice points interpreted as unit cubes.
+Volume = Set[Node]
+
+
+def _as_volume(cells: Iterable[Node]) -> Volume:
+    volume = set(cells)
+    if not volume:
+        return volume
+    dims = {len(cell) for cell in volume}
+    if len(dims) != 1:
+        raise ValueError(f"volume mixes dimensions: {sorted(dims)}")
+    return volume
+
+
+def volume_dimension(cells: Iterable[Node]) -> int:
+    """Return the dimension of a non-empty volume's cells."""
+    volume = _as_volume(cells)
+    if not volume:
+        raise ValueError("empty volume has no dimension")
+    return len(next(iter(volume)))
+
+
+def surface_size(cells: Iterable[Node]) -> int:
+    """Exact surface area of a volume of unit cubes.
+
+    Counts every face ``(cell, axis, sign)`` whose neighboring cell in
+    that signed axis direction is not part of the volume.  An isolated
+    cube in dimension ``d`` has surface ``2d``.
+    """
+    volume = _as_volume(cells)
+    if not volume:
+        return 0
+    dimension = len(next(iter(volume)))
+    surface = 0
+    for cell in volume:
+        for axis in range(dimension):
+            for sign in (1, -1):
+                shifted = list(cell)
+                shifted[axis] += sign
+                if tuple(shifted) not in volume:
+                    surface += 1
+    return surface
+
+
+def projection(cells: Iterable[Node], axes: Tuple[int, ...]) -> Set[Tuple[int, ...]]:
+    """Project a volume onto the given subset of axes (``pi_I`` in the paper).
+
+    Returns the set of distinct images; its size is ``|pi_I(V)|``.
+    """
+    return {tuple(cell[a] for a in axes) for cell in cells}
+
+
+def projection_sizes(cells: Iterable[Node]) -> Dict[FrozenSet[int], int]:
+    """Sizes of all ``(d-1)``-dimensional projections of the volume.
+
+    Returns a mapping from the axis set ``I`` (as a frozenset of the
+    ``d-1`` retained axes) to ``|pi_I(V)|``.
+    """
+    volume = _as_volume(cells)
+    if not volume:
+        return {}
+    dimension = len(next(iter(volume)))
+    sizes: Dict[FrozenSet[int], int] = {}
+    for axes in itertools.combinations(range(dimension), dimension - 1):
+        sizes[frozenset(axes)] = len(projection(volume, axes))
+    return sizes
+
+
+def isoperimetric_lower_bound(volume_size: int, dimension: int) -> float:
+    """The Claim 13 lower bound ``2d * V^((d-1)/d)`` on the surface."""
+    if volume_size < 0:
+        raise ValueError(f"volume size must be >= 0, got {volume_size}")
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    if volume_size == 0:
+        return 0.0
+    return 2 * dimension * volume_size ** ((dimension - 1) / dimension)
+
+
+def verify_claim_13(cells: Iterable[Node]) -> Tuple[int, float, bool]:
+    """Check Claim 13 on a concrete volume.
+
+    Returns ``(surface, lower_bound, holds)`` where ``holds`` is True
+    when ``surface >= 2d * |V|^((d-1)/d)`` (up to floating-point slack).
+    """
+    volume = _as_volume(cells)
+    if not volume:
+        return (0, 0.0, True)
+    dimension = len(next(iter(volume)))
+    surface = surface_size(volume)
+    bound = isoperimetric_lower_bound(len(volume), dimension)
+    return (surface, bound, surface >= bound - 1e-9)
+
+
+def verify_projection_surface_bound(cells: Iterable[Node]) -> Tuple[int, int, bool]:
+    """Check equation (1): ``surface(V) >= 2 * sum |pi_I(V)|``.
+
+    Every point of a ``(d-1)``-dimensional projection contributes a
+    bottom and a top face along the projected-out axis, so the surface
+    dominates twice the sum of projection sizes.
+    """
+    volume = _as_volume(cells)
+    if not volume:
+        return (0, 0, True)
+    surface = surface_size(volume)
+    projections_total = sum(projection_sizes(volume).values())
+    return (surface, 2 * projections_total, surface >= 2 * projections_total)
+
+
+def verify_projection_product_bound(cells: Iterable[Node]) -> Tuple[int, int, bool]:
+    """Check equation (5) (Loomis–Whitney / Shearer):
+    ``|V|^(d-1) <= prod |pi_I(V)|``.
+
+    Returns ``(lhs, rhs, holds)`` with exact integer arithmetic.
+    """
+    volume = _as_volume(cells)
+    if not volume:
+        return (0, 1, True)
+    dimension = len(next(iter(volume)))
+    lhs = len(volume) ** (dimension - 1)
+    rhs = 1
+    for size in projection_sizes(volume).values():
+        rhs *= size
+    return (lhs, rhs, lhs <= rhs)
+
+
+def box_volume(corner: Node, sides: Tuple[int, ...]) -> Volume:
+    """Build an axis-aligned box volume: the cells ``corner + [0, sides)``.
+
+    Useful as the extremal (surface-minimizing) shape in tests: a cube
+    of side ``s`` in dimension ``d`` has volume ``s^d`` and surface
+    ``2d * s^(d-1)``, meeting Claim 13 with equality.
+    """
+    if len(corner) != len(sides):
+        raise ValueError("corner and sides must have the same dimension")
+    if any(s < 1 for s in sides):
+        raise ValueError(f"all box sides must be >= 1, got {sides}")
+    ranges = [range(c, c + s) for c, s in zip(corner, sides)]
+    return set(itertools.product(*ranges))
+
+
+def connected_components(cells: Iterable[Node]) -> List[Volume]:
+    """Split a volume into face-connected components.
+
+    Two cells are connected when they differ by one in a single axis.
+    The surface of a volume is the sum of its components' surfaces, a
+    fact the property tests exercise.
+    """
+    remaining = _as_volume(cells)
+    components: List[Volume] = []
+    while remaining:
+        seed = next(iter(remaining))
+        stack = [seed]
+        remaining.discard(seed)
+        component = {seed}
+        dimension = len(seed)
+        while stack:
+            cell = stack.pop()
+            for axis in range(dimension):
+                for sign in (1, -1):
+                    shifted = list(cell)
+                    shifted[axis] += sign
+                    neighbor = tuple(shifted)
+                    if neighbor in remaining:
+                        remaining.discard(neighbor)
+                        component.add(neighbor)
+                        stack.append(neighbor)
+        components.append(component)
+    return components

@@ -1,0 +1,103 @@
+"""The binary hypercube: the related-work topology.
+
+Much of the hot-potato literature the paper builds on lives on the
+hypercube: Borodin–Hopcroft's original greedy algorithm [BH], Prager's
+analysis [Pr], Hajek's ``2k + n`` bound [Haj], Greenberg–Hajek [GH],
+and Szymanski's optical study [Sz].  The ``n``-dimensional hypercube
+has ``2^n`` nodes (all 0/1 vectors of length ``n``); two nodes are
+adjacent when they differ in exactly one coordinate.
+
+Implemented as a :class:`~repro.mesh.topology.Mesh` subtype with
+``side = 2``, so the whole engine/algorithm/validator stack applies
+unchanged: the hypercube *is* the ``2^d`` mesh — every coordinate axis
+offers exactly one useful direction per node, every node is a corner,
+and the degree is uniformly ``d``.  The subclass adds the
+hypercube-specific vocabulary (bit addressing, Hamming distance) and
+tightens the documentation of good directions: a packet's good
+directions are exactly the axes where its current address disagrees
+with its destination.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.types import Node
+
+
+class Hypercube(Mesh):
+    """The ``2^dimension``-node binary hypercube.
+
+    Nodes are tuples over ``{1, 2}`` (the mesh convention; use
+    :meth:`from_bits` / :meth:`to_bits` to convert to 0/1 addresses).
+    Distance is Hamming distance, the diameter is ``dimension``, and
+    every node has degree ``dimension``.
+    """
+
+    kind = "hypercube"
+
+    def __init__(self, dimension: int) -> None:
+        super().__init__(dimension, 2)
+
+    # ------------------------------------------------------------------
+    # Bit addressing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_bits(bits: int, dimension: int) -> Node:
+        """Node for an integer address (bit ``i`` = coordinate ``i``)."""
+        if not 0 <= bits < 2**dimension:
+            raise ValueError(
+                f"address {bits} out of range for dimension {dimension}"
+            )
+        return tuple(1 + (bits >> axis & 1) for axis in range(dimension))
+
+    @staticmethod
+    def to_bits(node: Node) -> int:
+        """Integer address of a node."""
+        value = 0
+        for axis, coordinate in enumerate(node):
+            if coordinate not in (1, 2):
+                raise ValueError(f"{node} is not a hypercube node")
+            value |= (coordinate - 1) << axis
+        return value
+
+    def node_of(self, bits: int) -> Node:
+        """Node for an integer address on *this* cube."""
+        return self.from_bits(bits, self.dimension)
+
+    # ------------------------------------------------------------------
+    # Hypercube-flavored queries
+    # ------------------------------------------------------------------
+
+    @property
+    def diameter(self) -> int:
+        """``dimension`` (Hamming diameter) — equals ``d*(n-1)`` with n=2."""
+        return self.dimension
+
+    def hamming_distance(self, a: Node, b: Node) -> int:
+        """Number of differing coordinates (== the L1 mesh distance)."""
+        return self.distance(a, b)
+
+    def differing_axes(self, a: Node, b: Node) -> List[int]:
+        """Axes where the two addresses disagree.
+
+        These are exactly the axes of the good directions of a packet
+        at ``a`` destined for ``b``: flipping any one of them advances.
+        """
+        return [axis for axis in range(self.dimension) if a[axis] != b[axis]]
+
+    def flip(self, node: Node, axis: int) -> Node:
+        """The neighbor across ``axis`` (always exists on the cube)."""
+        if not 0 <= axis < self.dimension:
+            raise ValueError(f"axis {axis} out of range")
+        sign = 1 if node[axis] == 1 else -1
+        moved = self.neighbor(node, Direction(axis, sign))
+        assert moved is not None
+        return moved
+
+    def addresses(self) -> Iterator[int]:
+        """All integer addresses, 0 .. 2^dimension - 1."""
+        return iter(range(2**self.dimension))

@@ -1,0 +1,67 @@
+"""The d-dimensional torus: a mesh with wraparound links.
+
+The paper's results are stated for the mesh, but several of the related
+algorithms it discusses (Feige–Raghavan, Bar-Noy et al., Kaklamanis et
+al.) are defined on the torus, so the baseline suite supports it.  The
+torus is node-symmetric: every node has degree exactly ``2d``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.types import Node
+
+
+class Torus(Mesh):
+    """A d-dimensional ``n^d`` torus.
+
+    Identical to :class:`Mesh` except that coordinate ``n`` is adjacent
+    to coordinate ``1`` along every axis, and distances are computed
+    with wraparound.  With ``side == 2`` the wrap link would duplicate
+    the direct link, so ``side >= 3`` is required.
+    """
+
+    kind = "torus"
+
+    def __init__(self, dimension: int, side: int) -> None:
+        if side < 3:
+            raise ValueError(
+                f"torus side must be >= 3 to avoid duplicate links, got {side}"
+            )
+        super().__init__(dimension, side)
+
+    @property
+    def diameter(self) -> int:
+        """Graph diameter, ``d * floor(n / 2)`` for the torus."""
+        return self.dimension * (self.side // 2)
+
+    def neighbor(self, node: Node, direction: Direction) -> Optional[Node]:
+        """Return the neighbor in ``direction``, wrapping around the box."""
+        moved = list(node)
+        moved[direction.axis] += direction.sign
+        if moved[direction.axis] > self.side:
+            moved[direction.axis] = 1
+        elif moved[direction.axis] < 1:
+            moved[direction.axis] = self.side
+        return tuple(moved)
+
+    def distance(self, a: Node, b: Node) -> int:
+        """Shortest-path distance with per-axis wraparound."""
+        if len(a) != len(b):
+            raise ValueError("dimension mismatch in torus distance")
+        total = 0
+        for x, y in zip(a, b):
+            straight = abs(x - y)
+            total += min(straight, self.side - straight)
+        return total
+
+    def out_directions(self, node: Node) -> List[Direction]:
+        """Every direction has an arc on the torus."""
+        return list(self.directions)
+
+    def degree(self, node: Node) -> int:
+        """Every torus node has full degree ``2d``."""
+        return 2 * self.dimension

@@ -1,0 +1,90 @@
+"""The 2-neighbor relation (Definition 4 of the paper).
+
+Node ``b`` is a *2-neighbor* of node ``a`` in direction ``X`` when
+there is a path of length 2 from ``a`` to ``b`` using only arcs in
+direction ``X`` — i.e., ``b`` is two hops away along a single axis.
+
+The transitive closure of this symmetric relation is an equivalence
+relation that splits the ``n^d`` mesh into ``2^d`` classes, one per
+parity pattern of the coordinates; each class is isomorphic to a
+``(n/2)^d`` mesh when ``n`` is even.  The potential-function analysis
+uses these classes to turn bad-node sets into solid volumes whose
+surfaces are counted by Claim 13 (see :mod:`repro.mesh.geometry`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.types import Node
+
+
+def two_neighbor(
+    mesh: Mesh, node: Node, direction: Direction
+) -> Optional[Node]:
+    """Return the 2-neighbor of ``node`` in ``direction``, or None.
+
+    None means the two-hop path in that direction leaves the mesh (the
+    node is within one hop of the boundary face).  On a torus the
+    result always exists.
+    """
+    first = mesh.neighbor(node, direction)
+    if first is None:
+        return None
+    return mesh.neighbor(first, direction)
+
+
+def two_neighbors_of(mesh: Mesh, node: Node) -> List[Node]:
+    """All 2-neighbors of ``node`` (up to ``2d`` of them)."""
+    result = []
+    for direction in mesh.directions:
+        other = two_neighbor(mesh, node, direction)
+        if other is not None:
+            result.append(other)
+    return result
+
+
+def are_two_neighbors(mesh: Mesh, a: Node, b: Node) -> bool:
+    """True when ``b`` is a 2-neighbor of ``a`` (a symmetric relation).
+
+    Per the paper's example, ``(1, 2)`` and ``(3, 2)`` are 2-neighbors
+    but ``(2, 3)`` and ``(3, 2)`` are not: the connecting paths of
+    length 2 must use two arcs of the *same* direction.
+    """
+    return b in two_neighbors_of(mesh, a)
+
+
+def equivalence_class_label(node: Node) -> Tuple[int, ...]:
+    """Parity label identifying the node's 2-neighbor equivalence class.
+
+    Two mesh nodes are in the same class of the transitive closure of
+    the 2-neighbor relation exactly when all their coordinates agree in
+    parity, so the label is the per-coordinate parity vector.
+    """
+    return tuple(x % 2 for x in node)
+
+
+def equivalence_classes(mesh: Mesh) -> Dict[Tuple[int, ...], List[Node]]:
+    """Partition the mesh into its ``2^d`` 2-neighbor classes.
+
+    Returns a mapping from parity label to the sorted list of member
+    nodes.  For even ``n`` each class has exactly ``(n/2)^d`` members.
+    """
+    classes: Dict[Tuple[int, ...], List[Node]] = {}
+    for node in mesh.nodes():
+        classes.setdefault(equivalence_class_label(node), []).append(node)
+    for members in classes.values():
+        members.sort()
+    return classes
+
+
+def class_coordinates(node: Node) -> Node:
+    """Map a node to its coordinates within its equivalence class.
+
+    Within a class, 2-neighbors are adjacent; halving (with rounding)
+    each coordinate yields a point of the ``ceil(n/2)^d`` class mesh
+    such that class adjacency becomes ordinary mesh adjacency.
+    """
+    return tuple((x + 1) // 2 for x in node)

@@ -1,0 +1,105 @@
+"""Potential-function analysis machinery (Sections 3-5 of the paper).
+
+Trackers for the Section 4.2 potential ``phi = dist + C`` and the
+pure-distance diagnostic, the Definition 9 good/bad classification,
+Definition 11 surface arcs, the Claim 13 isoperimetric inequality,
+the Property 8 checker, every closed-form bound, and the run-level
+verification that audits a live execution against the entire chain of
+lemmas behind Theorem 20.
+"""
+
+from repro.potential.base import NodeDrop, PotentialTracker
+from repro.potential.bounds import (
+    four_per_node_remark_bound,
+    permutation_remark_bound,
+    phase_decay_bound,
+    restricted_potential_M,
+    section5_bound,
+    theorem17_bound,
+    theorem20_bound,
+    trivial_lower_bound,
+)
+from repro.potential.classification import (
+    NodeClassification,
+    classify_nodes,
+    node_loads,
+)
+from repro.potential.ddim import NaiveLiftedPotential, PaidDeflectionPotential
+from repro.potential.distance import DistancePotential
+from repro.potential.isoperimetric import (
+    claim_13_ratio,
+    random_blob,
+    random_scatter,
+)
+from repro.potential.property8 import (
+    Property8Violation,
+    check_property8,
+    minimum_margin,
+    property8_required_drop,
+)
+from repro.potential.recurrence import (
+    claim16_b0,
+    decay_steps,
+    guaranteed_two_step_drop,
+    is_feasible_bad_count,
+    minimum_step_loss,
+    verify_claim16_case2,
+)
+from repro.potential.restricted import RestrictedPotential
+from repro.potential.surface import (
+    check_lemma_14,
+    class_volumes,
+    count_surface_arcs,
+    count_surface_arcs_via_volumes,
+    f_of_t,
+    lemma_14_lower_bound,
+    surface_arcs,
+)
+from repro.potential.verification import (
+    InequalityViolation,
+    VerificationReport,
+    verify_restricted_run,
+)
+
+__all__ = [
+    "DistancePotential",
+    "InequalityViolation",
+    "NaiveLiftedPotential",
+    "NodeClassification",
+    "NodeDrop",
+    "PotentialTracker",
+    "PaidDeflectionPotential",
+    "Property8Violation",
+    "RestrictedPotential",
+    "VerificationReport",
+    "check_lemma_14",
+    "claim16_b0",
+    "check_property8",
+    "claim_13_ratio",
+    "class_volumes",
+    "classify_nodes",
+    "count_surface_arcs",
+    "count_surface_arcs_via_volumes",
+    "decay_steps",
+    "f_of_t",
+    "four_per_node_remark_bound",
+    "guaranteed_two_step_drop",
+    "is_feasible_bad_count",
+    "lemma_14_lower_bound",
+    "minimum_margin",
+    "minimum_step_loss",
+    "node_loads",
+    "permutation_remark_bound",
+    "phase_decay_bound",
+    "property8_required_drop",
+    "random_blob",
+    "random_scatter",
+    "restricted_potential_M",
+    "section5_bound",
+    "surface_arcs",
+    "theorem17_bound",
+    "theorem20_bound",
+    "trivial_lower_bound",
+    "verify_claim16_case2",
+    "verify_restricted_run",
+]

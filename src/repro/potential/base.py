@@ -1,0 +1,129 @@
+"""Potential-function trackers.
+
+Section 3 of the paper analyzes a greedy algorithm through a potential
+``phi_p(t)`` per packet with ``0 <= phi_p(t) <= M`` and ``phi_p = 0``
+only at the destination, summed into the global ``Phi(t)``.  A
+:class:`PotentialTracker` follows a run as an engine observer and
+records, for every step:
+
+* the global potential ``Phi(t)`` at every time ``t``;
+* per-node drops ``(load, delta_phi)`` — the inputs to Property 8;
+
+so the lemma-by-lemma verification in
+:mod:`repro.potential.verification` can audit a finished run.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.events import RunObserver
+from repro.core.metrics import StepMetrics, StepRecord
+from repro.types import Node, PacketId
+
+
+@dataclass(frozen=True)
+class NodeDrop:
+    """Potential accounting of one node in one step (Definition 7).
+
+    ``load`` is the number of packets routed at the node this step
+    (the paper's ℓ) and ``drop`` is the total potential those packets
+    lost during the step (the paper's ΔΦ_S).
+    """
+
+    step: int
+    node: Node
+    load: int
+    drop: float
+
+
+class PotentialTracker(RunObserver, abc.ABC):
+    """Base observer computing a per-packet potential along a run.
+
+    Subclasses implement :meth:`initial_phi` (potential of a packet at
+    time 0) and :meth:`update` (new potentials after a step record).
+    The base class maintains the ``Phi(t)`` history and the per-node
+    drop log.
+    """
+
+    #: A-priori per-packet bound M; subclasses set it in on_run_start.
+    M: float = 0.0
+
+    def __init__(self) -> None:
+        self.phi: Dict[PacketId, float] = {}
+        self.phi_history: List[float] = []
+        self.node_drops: List[List[NodeDrop]] = []
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def initial_phi(self, engine) -> Dict[PacketId, float]:
+        """Per-packet potential at time 0 (delivered packets get 0)."""
+
+    @abc.abstractmethod
+    def update(self, record: StepRecord) -> Dict[PacketId, float]:
+        """Per-packet potential after the step described by ``record``.
+
+        Must return a value for every packet in ``record.infos`` (0 for
+        those delivered by the step); packets absent from the record
+        keep their previous value.
+        """
+
+    # ------------------------------------------------------------------
+    # Observer plumbing
+    # ------------------------------------------------------------------
+
+    def on_run_start(self, engine) -> None:
+        self._engine = engine
+        self.phi = self.initial_phi(engine)
+        self.phi_history = [sum(self.phi.values())]
+        self.node_drops = []
+
+    def on_step(self, record: StepRecord, metrics: StepMetrics) -> None:
+        new_phi = self.update(record)
+        drops: List[NodeDrop] = []
+        for node, infos in record.node_groups().items():
+            before = sum(self.phi[i.packet_id] for i in infos)
+            after = sum(new_phi[i.packet_id] for i in infos)
+            drops.append(
+                NodeDrop(
+                    step=record.step,
+                    node=node,
+                    load=len(infos),
+                    drop=before - after,
+                )
+            )
+        self.node_drops.append(drops)
+        self.phi.update(new_phi)
+        self.phi_history.append(sum(self.phi.values()))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Current global potential ``Phi``."""
+        return self.phi_history[-1] if self.phi_history else 0.0
+
+    @property
+    def initial_total(self) -> float:
+        """``Phi(0)``."""
+        return self.phi_history[0] if self.phi_history else 0.0
+
+    def phi_at(self, time: int) -> float:
+        """``Phi(t)`` for ``0 <= t <= num steps``."""
+        return self.phi_history[time]
+
+    def is_monotone_nonincreasing(self, tolerance: float = 1e-9) -> bool:
+        """True when ``Phi`` never increased along the run
+        (the consequence of Corollary 10)."""
+        return all(
+            later <= earlier + tolerance
+            for earlier, later in zip(self.phi_history, self.phi_history[1:])
+        )

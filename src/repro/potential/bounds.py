@@ -1,0 +1,117 @@
+"""Closed-form running-time bounds from the paper.
+
+Every bound the paper states, as a callable — the benchmarks plot
+measured routing times against these reference curves, and the tests
+assert the in-class algorithms stay below them.
+
+* Theorem 17 (generic): ``(4d)^(1-1/d) * k^(1/d) * M`` steps for any
+  algorithm admitting a Property 8 potential bounded by ``M``.
+* Theorem 20 (2-D mesh): ``8 * sqrt(2) * n * sqrt(k)`` for greedy
+  algorithms preferring restricted packets (Theorem 17 with ``d = 2``,
+  ``M = 4n``).
+* Remark after Theorem 20: parity splitting sharpens full loads to
+  ``8 n^2`` (one packet per node) and ``16 n^2`` (four per node).
+* Section 5 (d-dim mesh): ``4^(d+1-1/d) * d^(1-1/d) * k^(1/d) * n^(d-1)``
+  for the generalized class.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def theorem17_bound(dimension: int, k: int, M: float) -> float:
+    """Theorem 17: ``(4d)^(1-1/d) * k^(1/d) * M``.
+
+    The running-time bound for any routing algorithm together with a
+    potential function that satisfies Property 8 with per-packet bound
+    ``M``.
+    """
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if M < 0:
+        raise ValueError(f"M must be >= 0, got {M}")
+    if k == 0:
+        return 0.0
+    d = dimension
+    return (4 * d) ** (1 - 1 / d) * k ** (1 / d) * M
+
+
+def restricted_potential_M(side: int) -> float:
+    """The per-packet bound ``M = 4n`` of the Section 4.2 potential."""
+    if side < 2:
+        raise ValueError(f"side must be >= 2, got {side}")
+    return 4.0 * side
+
+
+def theorem20_bound(side: int, k: int) -> float:
+    """Theorem 20: ``8 * sqrt(2) * n * sqrt(k)`` on the 2-D mesh.
+
+    Upper bound on the routing time of every greedy algorithm that
+    prefers restricted packets, for any k-packet problem.  Equals
+    :func:`theorem17_bound` with ``d = 2`` and ``M = 4n``.
+    """
+    if k == 0:
+        return 0.0
+    return 8 * math.sqrt(2) * side * math.sqrt(k)
+
+
+def permutation_remark_bound(side: int) -> float:
+    """Remark after Theorem 20: full one-per-node loads route in
+    ``<= 8 n^2`` steps.
+
+    With ``k = n^2`` (every node the origin of one packet) the problem
+    splits by origin parity into two non-interfering problems of
+    ``n^2 / 2`` packets each, and ``8*sqrt(2)*n*sqrt(n^2/2) = 8 n^2``.
+    """
+    return 8.0 * side * side
+
+
+def four_per_node_remark_bound(side: int) -> float:
+    """Remark after Theorem 20: four-per-node loads route in
+    ``<= 16 n^2`` steps — within a factor 8 of the trivial lower bound."""
+    return 16.0 * side * side
+
+
+def section5_bound(dimension: int, side: int, k: int) -> float:
+    """Section 5: ``4^(d+1-1/d) * d^(1-1/d) * k^(1/d) * n^(d-1)``.
+
+    Upper bound for the d-dimensional class (prefer fewer good
+    directions + maximize advancing packets).  For ``d = 2`` this is
+    ``32 * sqrt(2) * n * sqrt(k)`` — intentionally looser than
+    Theorem 20, whose 2-D-specific potential has better constants.
+    """
+    if dimension < 2:
+        raise ValueError(f"dimension must be >= 2, got {dimension}")
+    if k == 0:
+        return 0.0
+    d = dimension
+    return (
+        4 ** (d + 1 - 1 / d)
+        * d ** (1 - 1 / d)
+        * k ** (1 / d)
+        * side ** (d - 1)
+    )
+
+
+def trivial_lower_bound(d_max: int) -> int:
+    """No algorithm beats the farthest packet's distance."""
+    return d_max
+
+
+def phase_decay_bound(phi0: float, M: float, dimension: int) -> float:
+    """The Theorem 17 proof's sharper form
+    ``(2d)^((d-1)/d) * phi0^(1/d) * (2M)^((d-1)/d)``.
+
+    Stated in terms of the *measured* initial potential ``phi0``
+    instead of the worst case ``phi0 <= k*M``; the potential benchmarks
+    report it as the instance-specific bound.
+    """
+    if phi0 < 0 or M < 0:
+        raise ValueError("phi0 and M must be non-negative")
+    if phi0 == 0:
+        return 0.0
+    d = dimension
+    return (2 * d) ** ((d - 1) / d) * phi0 ** (1 / d) * (2 * M) ** ((d - 1) / d)

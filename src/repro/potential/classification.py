@@ -1,0 +1,62 @@
+"""Good and bad nodes (Definition 9).
+
+A node is *bad* at a step when it contains more than ``d`` packets,
+otherwise *good*.  ``B(t)`` is the number of packets in bad nodes and
+``G(t)`` the number in good nodes.  Property 8 says good nodes lose a
+potential unit per packet while bad nodes lose one per *missing*
+packet; the tension between the two is resolved by the surface-arc
+argument (Lemma 12, :mod:`repro.potential.surface`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.core.metrics import StepRecord
+from repro.types import Node
+
+
+@dataclass(frozen=True)
+class NodeClassification:
+    """The good/bad split of one step's occupied nodes."""
+
+    step: int
+    loads: Dict[Node, int]
+    bad_nodes: Set[Node]
+
+    @property
+    def b(self) -> int:
+        """``B(t)``: packets in bad nodes."""
+        return sum(self.loads[node] for node in self.bad_nodes)
+
+    @property
+    def g(self) -> int:
+        """``G(t)``: packets in good nodes."""
+        return sum(
+            load
+            for node, load in self.loads.items()
+            if node not in self.bad_nodes
+        )
+
+    @property
+    def total(self) -> int:
+        """``L(t) = B(t) + G(t)``: packets in flight."""
+        return sum(self.loads.values())
+
+
+def classify_nodes(record: StepRecord, dimension: int) -> NodeClassification:
+    """Compute the Definition 9 classification for one step record."""
+    loads: Dict[Node, int] = {}
+    for info in record.infos.values():
+        loads[info.node] = loads.get(info.node, 0) + 1
+    bad = {node for node, load in loads.items() if load > dimension}
+    return NodeClassification(step=record.step, loads=loads, bad_nodes=bad)
+
+
+def node_loads(record: StepRecord) -> Dict[Node, int]:
+    """Per-node packet counts of one step."""
+    loads: Dict[Node, int] = {}
+    for info in record.infos.values():
+        loads[info.node] = loads.get(info.node, 0) + 1
+    return loads

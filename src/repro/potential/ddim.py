@@ -1,0 +1,103 @@
+"""Testbed for d-dimensional potential functions (Section 5).
+
+The paper only sketches its d-dimensional potential — "each packet has
+a load of spare potential from which it throws as it advances ...
+chosen so that it can compensate for all the packets it may deflect" —
+and defers the "fairly complex technical details" to [Hal] and [BHS],
+which are not publicly available.  This module makes the difficulty
+*measurable* instead of hand-waving it away:
+
+* :class:`NaiveLiftedPotential` transplants the 2-D rules verbatim to
+  ``d > 2`` (spare potential drops only on restricted, i.e.
+  one-good-direction, chains).  A short argument shows it **must**
+  fail Property 8: at a node with three packets in 3-D where two
+  advance and deflect a two-good-direction packet, nobody is
+  restricted, so no spare is thrown and the node loses only
+  ``2 - 1 = 1 < 3`` units.
+
+* :class:`PaidDeflectionPotential` adds the natural repair: every
+  advancing packet that uses an arc good for a deflected packet with
+  ``g`` good directions throws ``2/g`` spare units (so each deflection
+  is collectively compensated by 2, its distance gain plus its missed
+  advance).  This fixes the local accounting — Property 8 holds at
+  conflict sites — but the *reset* of a deflected packet's spare is no
+  longer inherited by anyone (the 2-D switch rule has no analogue when
+  the deflectors are in different scarcity classes), so monotonicity
+  of the global potential is not guaranteed by construction.  The
+  testbed measures both failure modes.
+
+Benchmark E20 runs the census; the honest conclusion it reproduces is
+the paper's own: a correct d-dimensional potential genuinely needs the
+complex machinery of [BHS], and the naive transplants fail in exactly
+the ways the testbed pinpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.metrics import StepRecord
+from repro.exceptions import ConfigurationError
+from repro.mesh.topology import Mesh
+from repro.potential.restricted import RestrictedPotential
+from repro.types import PacketId
+
+
+class NaiveLiftedPotential(RestrictedPotential):
+    """The 2-D rules applied verbatim on a d-dimensional mesh.
+
+    Always constructed non-strict: its purpose is to *count* Property 8
+    violations, not to assert their absence.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(strict=False)
+
+    def _check_mesh(self, mesh: Mesh) -> None:
+        if mesh.kind != "mesh":
+            raise ConfigurationError(
+                f"the lift testbed needs a mesh, got {mesh.kind}"
+            )
+
+
+class PaidDeflectionPotential(NaiveLiftedPotential):
+    """Naive lift plus per-deflection payments by the deflectors.
+
+    On top of the inherited rules, every advancing packet pays
+    ``2 / g`` additional potential for each packet it helps deflect
+    (``g`` = the victim's number of good directions), floored at zero
+    spare.  This realizes the paper's "compensate for all the packets
+    it may deflect" idea in its simplest form.
+    """
+
+    def update(self, record: StepRecord) -> Dict[PacketId, float]:
+        new_phi = super().update(record)
+        mesh = self._mesh
+        assert mesh is not None
+
+        # Charge deflectors: for every deflected packet, each advancing
+        # packet using one of its good arcs pays 2/g.
+        groups = record.node_groups()
+        for node, infos in groups.items():
+            advancing_by_direction = {
+                info.assigned_direction: info
+                for info in infos
+                if info.advanced
+            }
+            for info in infos:
+                if info.advanced:
+                    continue
+                good = mesh.good_directions(node, info.destination)
+                g = len(good)
+                if g == 0:
+                    continue
+                for direction in good:
+                    payer = advancing_by_direction.get(direction)
+                    if payer is None:
+                        continue
+                    pid = payer.packet_id
+                    payment = min(2.0 / g, self.C[pid])
+                    self.C[pid] -= payment
+                    if new_phi.get(pid, 0.0) > 0.0:
+                        new_phi[pid] = max(0.0, new_phi[pid] - payment)
+        return new_phi

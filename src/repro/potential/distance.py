@@ -1,0 +1,41 @@
+"""The pure-distance potential (diagnostic baseline).
+
+``phi_p(t) = dist_p(t)`` — the distance of packet ``p`` to its
+destination.  This is the naive potential: it drops by one for every
+advancing packet and *rises* by one for every deflected packet, so it
+does **not** satisfy Property 8 in general (a node where deflections
+outnumber the slack gains distance-potential).  It is tracked anyway
+because:
+
+* its history is exactly the "total remaining distance" curve the
+  congestion plots use;
+* contrasting it with the Section 4.2 potential (which buys off
+  deflections with carried potential) in benchmark E3 shows *why* the
+  extra ``C_p`` term is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.metrics import StepRecord
+from repro.potential.base import PotentialTracker
+from repro.types import PacketId
+
+
+class DistancePotential(PotentialTracker):
+    """Tracks ``Phi(t) = sum of distances to destinations``."""
+
+    def initial_phi(self, engine) -> Dict[PacketId, float]:
+        self.M = float(engine.mesh.diameter)
+        mesh = engine.mesh
+        return {
+            packet.id: float(mesh.distance(packet.location, packet.destination))
+            for packet in engine.packets
+        }
+
+    def update(self, record: StepRecord) -> Dict[PacketId, float]:
+        return {
+            packet_id: float(info.distance_after)
+            for packet_id, info in record.infos.items()
+        }

@@ -1,0 +1,110 @@
+"""Isoperimetric machinery: Claim 13 and its role in Lemma 14.
+
+Claim 13 — any volume ``V`` of d-dimensional unit cubes has surface at
+least ``2d * V^((d-1)/d)`` — is proven in :mod:`repro.mesh.geometry`
+terms (projections, the Shearer entropy inequality, AM-GM).  Here we
+add the routing-side corollary (Lemma 14) and generators of random
+volumes used to stress the inequality in tests and benchmark E6.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Set, Tuple
+
+from repro.mesh.geometry import (
+    Volume,
+    isoperimetric_lower_bound,
+    surface_size,
+    verify_claim_13,
+    verify_projection_product_bound,
+    verify_projection_surface_bound,
+)
+from repro.types import Node
+
+
+def random_blob(
+    dimension: int,
+    size: int,
+    rng: random.Random,
+    spread: float = 0.5,
+) -> Volume:
+    """Grow a random connected volume of ``size`` unit cubes.
+
+    Starts from the origin and repeatedly attaches a random free face
+    of the current volume; ``spread`` biases between breadth (compact
+    blobs, near the isoperimetric optimum) and depth (stringy blobs,
+    far from it).
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    origin: Node = (0,) * dimension
+    volume: Set[Node] = {origin}
+    frontier = [origin]
+    while len(volume) < size:
+        base = (
+            frontier[-1]
+            if rng.random() > spread
+            else frontier[rng.randrange(len(frontier))]
+        )
+        candidates = []
+        for axis in range(dimension):
+            for sign in (1, -1):
+                cell = list(base)
+                cell[axis] += sign
+                cell_t = tuple(cell)
+                if cell_t not in volume:
+                    candidates.append(cell_t)
+        if not candidates:
+            frontier.remove(base)
+            continue
+        chosen = rng.choice(candidates)
+        volume.add(chosen)
+        frontier.append(chosen)
+    return volume
+
+
+def random_scatter(
+    dimension: int,
+    size: int,
+    box: int,
+    rng: random.Random,
+) -> Volume:
+    """A uniformly random (possibly disconnected) volume inside a box.
+
+    Disconnected volumes have *larger* surface, so they probe the easy
+    side of Claim 13; the adversarial side is compact blobs.
+    """
+    if size > box**dimension:
+        raise ValueError(
+            f"cannot place {size} cells in a box of {box ** dimension}"
+        )
+    volume: Set[Node] = set()
+    while len(volume) < size:
+        volume.add(tuple(rng.randrange(box) for _ in range(dimension)))
+    return volume
+
+
+def claim_13_ratio(volume: Volume) -> float:
+    """``surface / bound`` — at least 1.0 when Claim 13 holds.
+
+    Exactly 1.0 for perfect cubes (the extremal shape).
+    """
+    if not volume:
+        return float("inf")
+    dimension = len(next(iter(volume)))
+    bound = isoperimetric_lower_bound(len(volume), dimension)
+    return surface_size(volume) / bound
+
+
+__all__ = [
+    "Volume",
+    "claim_13_ratio",
+    "isoperimetric_lower_bound",
+    "random_blob",
+    "random_scatter",
+    "surface_size",
+    "verify_claim_13",
+    "verify_projection_product_bound",
+    "verify_projection_surface_bound",
+]

@@ -1,0 +1,92 @@
+"""Property 8: the per-node potential-loss requirement.
+
+For a node holding ``l`` packets at a step, the paper requires the
+potential function to lose
+
+* at least ``l`` units when ``l <= d`` (good nodes pay per packet),
+* at least ``2d - l`` units when ``l > d`` (bad nodes pay per
+  *missing* packet; note the requirement can be negative for
+  ``l > 2d``, which cannot occur since node load is capped by the
+  degree ``2d``).
+
+This module checks the requirement against the
+:class:`~repro.potential.base.NodeDrop` log of a tracked run, node by
+node and step by step — turning the hypothesis of Theorem 17 into a
+measured, falsifiable statement about an actual execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.potential.base import NodeDrop
+
+
+def property8_required_drop(load: int, dimension: int) -> int:
+    """The minimum potential loss Property 8 demands of a node."""
+    if load < 0:
+        raise ValueError(f"load must be >= 0, got {load}")
+    if load <= dimension:
+        return load
+    return 2 * dimension - load
+
+
+@dataclass(frozen=True)
+class Property8Violation:
+    """One node-step where the potential lost less than required."""
+
+    step: int
+    node: tuple
+    load: int
+    drop: float
+    required: float
+
+    def __str__(self) -> str:
+        return (
+            f"step {self.step}, node {self.node}: load {self.load} "
+            f"dropped {self.drop} < required {self.required}"
+        )
+
+
+def check_property8(
+    node_drops: Iterable[Sequence[NodeDrop]],
+    dimension: int,
+    tolerance: float = 1e-9,
+) -> List[Property8Violation]:
+    """Audit a full run's node-drop log against Property 8.
+
+    Returns all violations (empty list = the property held everywhere,
+    i.e. the Theorem 17 hypothesis was satisfied on this run).
+    """
+    violations: List[Property8Violation] = []
+    for step_drops in node_drops:
+        for entry in step_drops:
+            required = property8_required_drop(entry.load, dimension)
+            if entry.drop < required - tolerance:
+                violations.append(
+                    Property8Violation(
+                        step=entry.step,
+                        node=entry.node,
+                        load=entry.load,
+                        drop=entry.drop,
+                        required=required,
+                    )
+                )
+    return violations
+
+
+def minimum_margin(
+    node_drops: Iterable[Sequence[NodeDrop]], dimension: int
+) -> float:
+    """The smallest ``drop - required`` over all node-steps.
+
+    Non-negative exactly when Property 8 holds; the benchmarks report
+    it as the tightness of Lemma 19.
+    """
+    margin = float("inf")
+    for step_drops in node_drops:
+        for entry in step_drops:
+            required = property8_required_drop(entry.load, dimension)
+            margin = min(margin, entry.drop - required)
+    return margin

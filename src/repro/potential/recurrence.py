@@ -1,0 +1,183 @@
+"""Numerical reproduction of the Theorem 17 proof machinery.
+
+Two computational counterparts of the proof's internal steps:
+
+* :func:`decay_steps` iterates the Lemma 15 recurrence
+  ``Phi(t+2) <= Phi(t) - (2d)^(1/d) * (Phi(t) / 2M)^((d-1)/d)``
+  literally, counting steps until the potential hits zero.  This is
+  the *exact* consequence of the per-step guarantee, of which the
+  closed form ``(4d)^(1-1/d) * k^(1/d) * M`` is the analytic
+  upper estimate (via the geometric phase decomposition); the tests
+  confirm ``decay_steps <= theorem17_bound`` on a grid.
+
+* :func:`claim16_b0` solves equation (6),
+  ``L - B = (2d)^(1/d) * B^((d-1)/d)``, for the balance point ``B_0``
+  by bisection, so Claim 16 (``B_0 >= L/2``) can be checked
+  numerically for arbitrary ``L`` and ``d`` — including the small-``L``
+  regime the paper dispatches with a "tedious case analysis".
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def decay_steps(phi0: float, M: float, dimension: int) -> int:
+    """Steps for the Lemma 15 recurrence to drive the potential to 0.
+
+    Iterates ``Phi <- Phi - (2d)^(1/d) * (Phi/2M)^((d-1)/d)`` in
+    two-step units, exactly as Lemma 15 guarantees, until ``Phi`` would
+    drop below the smallest meaningful value (an in-flight packet
+    carries at least one potential unit).
+
+    Raises:
+        ValueError: on non-positive ``M`` or negative ``phi0``.
+    """
+    if M <= 0:
+        raise ValueError(f"M must be positive, got {M}")
+    if phi0 < 0:
+        raise ValueError(f"phi0 must be non-negative, got {phi0}")
+    d = dimension
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")
+    phi = float(phi0)
+    steps = 0
+    while phi >= 1.0:
+        drop = (2 * d) ** (1 / d) * (phi / (2 * M)) ** ((d - 1) / d)
+        if drop <= 0:
+            raise ValueError("non-positive guaranteed drop; bad parameters")
+        phi -= drop
+        steps += 2
+    return steps
+
+
+def equation6_gap(b: float, L: float, dimension: int) -> float:
+    """Left minus right side of equation (6) at ``B = b``:
+    ``(L - B) - (2d)^(1/d) * B^((d-1)/d)``.
+
+    Positive while ``B`` is below the balance point, negative above it
+    (the left side decreases and the right side increases in ``B``).
+    """
+    if b < 0 or L < 0:
+        raise ValueError("B and L must be non-negative")
+    d = dimension
+    return (L - b) - (2 * d) ** (1 / d) * b ** ((d - 1) / d)
+
+
+def claim16_b0(L: float, dimension: int, tolerance: float = 1e-9) -> float:
+    """Solve equation (6) for ``B_0`` by bisection on ``[0, L]``.
+
+    ``B_0`` is where the two lower bounds on the two-step potential
+    drop — ``L - B`` from good nodes and the surface term from bad
+    nodes — balance; the combined guarantee is minimized there.
+    """
+    if L < 0:
+        raise ValueError(f"L must be non-negative, got {L}")
+    if L == 0:
+        return 0.0
+    low, high = 0.0, float(L)
+    # gap(0) = L > 0, gap(L) = -(2d)^(1/d) L^((d-1)/d) < 0.
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if equation6_gap(mid, L, dimension) > 0:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+def minimum_step_loss(L: int, dimension: int) -> float:
+    """Minimum total Property-8 loss of one step with ``L`` packets.
+
+    Minimizes ``sum(cost(l_i))`` over all ways to split ``L`` packets
+    into node loads ``1 <= l_i <= 2d``, where ``cost(l) = l`` for good
+    nodes (``l <= d``) and ``2d - l`` for bad ones — a tiny unbounded
+    knapsack.  Zero exactly when ``L`` is a sum of full ``2d`` loads.
+    """
+    if L < 0:
+        raise ValueError(f"L must be non-negative, got {L}")
+    d = dimension
+    best = [0.0] + [math.inf] * L
+    for total in range(1, L + 1):
+        for load in range(1, min(2 * d, total) + 1):
+            cost = load if load <= d else 2 * d - load
+            best[total] = min(best[total], best[total - load] + cost)
+    return best[L]
+
+
+def is_feasible_bad_count(B: int, dimension: int) -> bool:
+    """Can exactly ``B`` packets sit in bad nodes?
+
+    A bad node holds between ``d + 1`` and ``2d`` packets, so ``B`` is
+    feasible iff ``B = 0`` or some node count ``nb`` satisfies
+    ``(d+1) * nb <= B <= 2d * nb``.  This discreteness is what the
+    paper's small-load case analysis leans on: e.g. ``B = 1, ..., d``
+    is impossible.
+    """
+    if B == 0:
+        return True
+    d = dimension
+    nb = 1
+    while (d + 1) * nb <= B:
+        if B <= 2 * d * nb:
+            return True
+        nb += 1
+    return False
+
+
+def verify_claim16_case2(L: int, dimension: int) -> list:
+    """Reconstruct the paper's omitted small-load case analysis.
+
+    For ``L < 4d`` the continuous balance point of equation (6) drops
+    below ``L/2``, so Claim 16 cannot be proven by the case-1 algebra;
+    the paper waves at "an easy (though tedious) case analysis".  The
+    reconstruction: for every *feasible* bad-packet count ``B``
+    (:func:`is_feasible_bad_count`), the guaranteed two-step potential
+    drop is at least
+
+    ``max( (2d)^(1/d) * B^((d-1)/d),                 # Lemmas 12+14
+           (L - B) + min_{L'} [ 2*(L - L') + minimum_step_loss(L') ] )``
+
+    where the second line is Corollary 10 at step ``t`` plus the
+    *second* step's Property-8 loss: ``L'`` packets survive to step
+    ``t + 1`` and each of the ``L - L'`` delivered packets dropped its
+    remaining potential ``dist + C >= 3``, i.e. at least 2 beyond the
+    unit already counted.  The claim is that this exceeds the
+    equation-(7) target ``(2d)^(1/d) * (L/2)^((d-1)/d)``.
+
+    Returns the list of ``(B, guaranteed, target)`` violations (empty
+    = the case analysis holds for this ``L``).
+    """
+    if L < 0:
+        raise ValueError(f"L must be non-negative, got {L}")
+    d = dimension
+    target = guaranteed_two_step_drop(float(L), d)
+    violations = []
+    second_step = min(
+        2 * (L - survivors) + minimum_step_loss(survivors, d)
+        for survivors in range(L + 1)
+    )
+    for B in range(0, L + 1):
+        if not is_feasible_bad_count(B, d):
+            continue
+        surface_term = (2 * d) ** (1 / d) * B ** ((d - 1) / d)
+        good_term = (L - B) + second_step
+        guaranteed = max(surface_term, good_term)
+        if guaranteed < target - 1e-9:
+            violations.append((B, guaranteed, target))
+    return violations
+
+
+def guaranteed_two_step_drop(L: float, dimension: int) -> float:
+    """The Claim 16 consequence, equation (7):
+    ``max(L - B, surface term) >= (2d)^(1/d) * (L/2)^((d-1)/d)``.
+
+    Returns the right-hand side — the per-two-step drop Theorem 17
+    plugs into the phase argument.
+    """
+    if L < 0:
+        raise ValueError(f"L must be non-negative, got {L}")
+    if L == 0:
+        return 0.0
+    d = dimension
+    return (2 * d) ** (1 / d) * (L / 2) ** ((d - 1) / d)

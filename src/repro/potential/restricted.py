@@ -1,0 +1,236 @@
+"""The Section 4.2 potential function for the two-dimensional mesh.
+
+For algorithms that prefer restricted packets (Definition 18), the
+paper defines ``phi_p(t) = dist_p(t) + C_p(t)`` where ``dist_p`` is the
+distance to the destination and ``C_p`` is *additional potential*
+updated by four rules:
+
+1. initially ``C_p(0) = 2n``;
+2. if after step ``t`` the packet is not restricted, or is restricted
+   of type B, then ``C_p(t) = 2n``;
+3. if after step ``t`` the packet is restricted of type A:
+   (a) if it deflected no type-A packet this step,
+   ``C_p(t) = C_p(t-1) - 2``;
+   (b) if it deflected the type-A packet ``q`` (there is at most one),
+   the two packets *switch*: ``C_p(t) = C_q(t-1) - 2``;
+4. once delivered, ``C_p = 0``.
+
+With ``M = 4n``, this potential satisfies Property 8 for every
+algorithm in the class (Lemma 19), which plugged into Theorem 17 gives
+the headline ``8·sqrt(2)·n·sqrt(k)`` bound (Theorem 20).
+
+The tracker below implements the rules verbatim and can additionally
+*assert the structural facts* the paper derives (``strict`` mode):
+
+* at most one type-A packet is deflected per node per step per
+  advancing packet, and its deflector was type B (Section 4.1
+  properties 1-2);
+* the carried potential of a type-A packet stays in ``[2, 2n]`` (the
+  deflection chain of a type-A packet moves along a fixed direction
+  and therefore dies within ``n - 1`` steps);
+* ``0 <= phi_p <= M``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.metrics import PacketStepInfo, StepRecord
+from repro.core.packet import RestrictedType
+from repro.exceptions import ConfigurationError
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.potential.base import PotentialTracker
+from repro.types import PacketId
+
+
+class RestrictedPotential(PotentialTracker):
+    """Tracks the paper's ``phi = dist + C`` potential along a run.
+
+    Args:
+        strict: assert the structural invariants listed in the module
+            docstring.  Enable for algorithms that genuinely prefer
+            restricted packets (the invariants are theorems only for
+            that class); disable to *observe* the potential under
+            out-of-class algorithms, where it may legitimately
+            increase.
+
+    Attach as an engine observer::
+
+        potential = RestrictedPotential()
+        engine = HotPotatoEngine(problem, policy, observers=[potential],
+                                 record_steps=True)
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        super().__init__()
+        self.strict = strict
+        self.C: Dict[PacketId, float] = {}
+        self._mesh: Optional[Mesh] = None
+        self._2n: float = 0.0
+        #: Number of times the switch rule 3(b) fired (for tests).
+        self.switch_count: int = 0
+
+    # ------------------------------------------------------------------
+    # PotentialTracker interface
+    # ------------------------------------------------------------------
+
+    def _check_mesh(self, mesh: Mesh) -> None:
+        """Reject topologies the potential is not defined for.
+
+        Subclasses (e.g. the d-dimensional lift testbed) may relax
+        this; the published Section 4.2 function is 2-D-mesh only.
+        """
+        if mesh.dimension != 2 or mesh.kind != "mesh":
+            raise ConfigurationError(
+                "the Section 4.2 potential is defined for the "
+                f"two-dimensional mesh, got {mesh.kind} of dimension "
+                f"{mesh.dimension}"
+            )
+
+    def initial_phi(self, engine) -> Dict[PacketId, float]:
+        mesh = engine.mesh
+        self._check_mesh(mesh)
+        self._mesh = mesh
+        self._2n = float(2 * mesh.side)
+        self.M = float(4 * mesh.side)
+        self.switch_count = 0
+        phi: Dict[PacketId, float] = {}
+        for packet in engine.packets:
+            if packet.location == packet.destination:
+                self.C[packet.id] = 0.0
+                phi[packet.id] = 0.0
+            else:
+                self.C[packet.id] = self._2n
+                phi[packet.id] = (
+                    mesh.distance(packet.location, packet.destination)
+                    + self._2n
+                )
+        return phi
+
+    def update(self, record: StepRecord) -> Dict[PacketId, float]:
+        mesh = self._mesh
+        assert mesh is not None, "tracker used before run start"
+        new_c: Dict[PacketId, float] = {}
+        new_phi: Dict[PacketId, float] = {}
+
+        # Locate, per node, the deflected type-A packet reachable
+        # through each direction (its unique good direction).  An
+        # advancing packet using that direction "deflects" it in the
+        # sense of Definition 5, triggering the switch rule 3(b).
+        deflected_type_a = self._deflected_type_a_by_arc(record)
+
+        for packet_id, info in record.infos.items():
+            if info.next_node == info.destination:
+                new_c[packet_id] = 0.0
+                new_phi[packet_id] = 0.0
+                continue
+
+            if self._is_type_a_after(info):
+                victim = None
+                if info.advanced:
+                    victim = deflected_type_a.get(
+                        (info.node, info.assigned_direction)
+                    )
+                if victim is not None and victim != packet_id:
+                    # Rule 3(b): switch with the deflected type-A packet.
+                    new_c[packet_id] = self.C[victim] - 2
+                    self.switch_count += 1
+                    if self.strict:
+                        self._assert_deflector_was_type_b(info)
+                else:
+                    # Rule 3(a): keep dropping own additional potential.
+                    new_c[packet_id] = self.C[packet_id] - 2
+            else:
+                # Rule 2: non-restricted or type-B packets reset to 2n.
+                new_c[packet_id] = self._2n
+
+            phi_value = info.distance_after + new_c[packet_id]
+            new_phi[packet_id] = phi_value
+            if self.strict:
+                self._assert_bounds(record.step, info, new_c[packet_id], phi_value)
+
+        self.C.update(new_c)
+        return new_phi
+
+    # ------------------------------------------------------------------
+    # Rule plumbing
+    # ------------------------------------------------------------------
+
+    def _is_type_a_after(self, info: PacketStepInfo) -> bool:
+        """Type A *after* the step: advanced this step, was restricted
+        at its start, and is still restricted at the new node."""
+        if not info.advanced or not info.restricted:
+            return False
+        mesh = self._mesh
+        assert mesh is not None
+        return mesh.is_restricted(info.next_node, info.destination)
+
+    def _deflected_type_a_by_arc(
+        self, record: StepRecord
+    ) -> Dict[tuple, PacketId]:
+        """Map ``(node, direction)`` to the deflected type-A packet whose
+        unique good direction that is.
+
+        The paper shows at most one type-A packet per node can want any
+        one direction (two would have had to enter the node through the
+        same arc); ``strict`` mode asserts it.
+        """
+        mesh = self._mesh
+        assert mesh is not None
+        result: Dict[tuple, PacketId] = {}
+        for packet_id, info in record.infos.items():
+            if info.advanced:
+                continue
+            if info.restricted_type is not RestrictedType.TYPE_A:
+                continue
+            (good,) = mesh.good_directions(info.node, info.destination)
+            key = (info.node, good)
+            if key in result:
+                if self.strict:
+                    raise AssertionError(
+                        f"step {record.step}: two type-A packets "
+                        f"({result[key]} and {packet_id}) share good "
+                        f"direction {good} at {info.node} — impossible "
+                        f"per Section 4.1"
+                    )
+                continue
+            result[key] = packet_id
+        return result
+
+    def _assert_deflector_was_type_b(self, info: PacketStepInfo) -> None:
+        """Property 2 of Section 4.1: a packet deflecting a type-A
+        packet must be restricted of type B."""
+        if info.restricted_type is not RestrictedType.TYPE_B:
+            raise AssertionError(
+                f"packet {info.packet_id} deflected a type-A packet while "
+                f"being {info.restricted_type.value}, violating the "
+                f"Section 4.1 property (expected type B)"
+            )
+
+    def _assert_bounds(
+        self,
+        step: int,
+        info: PacketStepInfo,
+        c_value: float,
+        phi_value: float,
+    ) -> None:
+        if not 2 <= c_value <= self._2n:
+            raise AssertionError(
+                f"step {step}: packet {info.packet_id} carries additional "
+                f"potential {c_value} outside [2, {self._2n}] — the "
+                f"type-A chain invariant failed"
+            )
+        if not 0 <= phi_value <= self.M:
+            raise AssertionError(
+                f"step {step}: packet {info.packet_id} has potential "
+                f"{phi_value} outside [0, {self.M}]"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def additional_potential(self, packet_id: PacketId) -> float:
+        """Current ``C_p`` of a packet."""
+        return self.C[packet_id]

@@ -1,0 +1,99 @@
+"""Surface arcs of the bad-node volume (Definition 11, Lemma 14).
+
+An arc out of a bad node ``S`` is a *surface arc* when the 2-neighbor
+of ``S`` in that direction is a good node or does not exist (including
+directions pointing straight out of the mesh).  ``F(t)`` counts them.
+
+Geometrically: group the bad nodes by their 2-neighbor equivalence
+class and map each class onto its own ``(n/2)^d`` mesh (class
+coordinates); within a class, bad nodes form a volume of unit cubes
+whose *surface* (in the Claim 13 sense) equals the class's surface-arc
+count.  This module computes ``F(t)`` both ways — directly from
+Definition 11 and via the class volumes — and the tests assert the two
+agree, tying the routing-level quantity to the isoperimetric machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.metrics import StepRecord
+from repro.mesh.geometry import surface_size
+from repro.mesh.topology import Mesh
+from repro.mesh.two_neighbors import (
+    class_coordinates,
+    equivalence_class_label,
+    two_neighbor,
+)
+from repro.potential.classification import classify_nodes
+from repro.types import Node
+
+
+def surface_arcs(mesh: Mesh, bad_nodes: Set[Node]) -> List[Tuple[Node, object]]:
+    """Enumerate the surface arcs of a bad-node set (Definition 11).
+
+    Returns ``(node, direction)`` pairs: one per direction of a bad
+    node whose 2-neighbor in that direction is good or missing.
+    """
+    result: List[Tuple[Node, object]] = []
+    for node in bad_nodes:
+        for direction in mesh.directions:
+            neighbor2 = two_neighbor(mesh, node, direction)
+            if neighbor2 is None or neighbor2 not in bad_nodes:
+                result.append((node, direction))
+    return result
+
+
+def count_surface_arcs(mesh: Mesh, bad_nodes: Set[Node]) -> int:
+    """``F(t)`` for a given bad-node set."""
+    return len(surface_arcs(mesh, bad_nodes))
+
+
+def f_of_t(mesh: Mesh, record: StepRecord) -> int:
+    """``F(t)`` of a step record: surface arcs of its bad nodes."""
+    classification = classify_nodes(record, mesh.dimension)
+    return count_surface_arcs(mesh, classification.bad_nodes)
+
+
+def class_volumes(bad_nodes: Iterable[Node]) -> Dict[Tuple[int, ...], Set[Node]]:
+    """Bad nodes per 2-neighbor equivalence class, in class coordinates.
+
+    Within a class, 2-neighbors become ordinary lattice neighbors, so
+    each value is a unit-cube volume in the Claim 13 sense.
+    """
+    volumes: Dict[Tuple[int, ...], Set[Node]] = {}
+    for node in bad_nodes:
+        label = equivalence_class_label(node)
+        volumes.setdefault(label, set()).add(class_coordinates(node))
+    return volumes
+
+
+def count_surface_arcs_via_volumes(bad_nodes: Set[Node]) -> int:
+    """``F(t)`` computed as the total surface of the class volumes.
+
+    Equals :func:`count_surface_arcs` (the geometric interpretation of
+    Section 3.2); the equality is asserted by tests and keeps the
+    Definition 11 bookkeeping honest.
+    """
+    return sum(
+        surface_size(volume) for volume in class_volumes(bad_nodes).values()
+    )
+
+
+def lemma_14_lower_bound(b: int, dimension: int) -> float:
+    """Lemma 14: with ``B(t)`` packets in bad nodes, the number of
+    surface arcs is at least ``(2d)^(1/d) * B(t)^((d-1)/d)``."""
+    if b < 0:
+        raise ValueError(f"B(t) must be >= 0, got {b}")
+    if b == 0:
+        return 0.0
+    d = dimension
+    return (2 * d) ** (1 / d) * b ** ((d - 1) / d)
+
+
+def check_lemma_14(mesh: Mesh, record: StepRecord) -> Tuple[int, float, bool]:
+    """Evaluate Lemma 14 on one step: ``(F(t), bound, holds)``."""
+    classification = classify_nodes(record, mesh.dimension)
+    f = count_surface_arcs(mesh, classification.bad_nodes)
+    bound = lemma_14_lower_bound(classification.b, mesh.dimension)
+    return (f, bound, f >= bound - 1e-9)

@@ -1,0 +1,184 @@
+"""Run-level verification of the paper's analysis chain.
+
+Given a routing problem and an in-class algorithm (greedy + prefers
+restricted packets), this module runs the simulation with the
+Section 4.2 potential attached and audits every inequality in the
+paper's argument against the measured execution:
+
+* **Property 8 / Lemma 19** — per-node potential drops;
+* **Corollary 10** — ``Phi(t+1) <= Phi(t) - G(t)``;
+* **Lemma 12** — ``Phi(t+2) <= Phi(t) - F(t)``;
+* **Lemma 14** — ``F(t) >= (2d)^(1/d) * B(t)^((d-1)/d)``;
+* **Lemma 15** — ``Phi(t) - Phi(t+2) >= (2d)^(1/d) * (Phi(t)/2M)^((d-1)/d)``;
+* **Theorem 20** — the final running time against ``8*sqrt(2)*n*sqrt(k)``.
+
+The report carries every violation found (all lists empty on a
+conforming run) plus tightness statistics used by benchmarks E2-E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.engine import HotPotatoEngine
+from repro.core.metrics import RunResult
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.potential.bounds import theorem20_bound
+from repro.potential.classification import classify_nodes
+from repro.potential.property8 import Property8Violation, check_property8
+from repro.potential.restricted import RestrictedPotential
+from repro.potential.surface import count_surface_arcs, lemma_14_lower_bound
+
+
+@dataclass(frozen=True)
+class InequalityViolation:
+    """A step where one of the analysis inequalities failed."""
+
+    name: str
+    step: int
+    lhs: float
+    rhs: float
+
+    def __str__(self) -> str:
+        return f"{self.name} failed at step {self.step}: {self.lhs} vs {self.rhs}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of auditing one run against the paper's inequalities."""
+
+    result: RunResult
+    phi_history: List[float]
+    M: float
+    property8_violations: List[Property8Violation] = field(default_factory=list)
+    corollary10_violations: List[InequalityViolation] = field(default_factory=list)
+    lemma12_violations: List[InequalityViolation] = field(default_factory=list)
+    lemma14_violations: List[InequalityViolation] = field(default_factory=list)
+    lemma15_violations: List[InequalityViolation] = field(default_factory=list)
+    monotone: bool = True
+    theorem20_limit: float = 0.0
+    #: Per-step (B(t), G(t), F(t)) series for plots and tables.
+    bgf_series: List[Tuple[int, int, int]] = field(default_factory=list)
+    switch_count: int = 0
+
+    @property
+    def all_hold(self) -> bool:
+        """True when every audited inequality held on every step."""
+        return (
+            self.monotone
+            and not self.property8_violations
+            and not self.corollary10_violations
+            and not self.lemma12_violations
+            and not self.lemma14_violations
+            and not self.lemma15_violations
+            and self.result.total_steps <= self.theorem20_limit
+        )
+
+    @property
+    def bound_ratio(self) -> float:
+        """Measured routing time over the Theorem 20 bound (< 1 in class)."""
+        if self.theorem20_limit == 0:
+            return 0.0
+        return self.result.total_steps / self.theorem20_limit
+
+    def summary(self) -> str:
+        status = "ALL INEQUALITIES HOLD" if self.all_hold else "VIOLATIONS FOUND"
+        return (
+            f"{self.result.summary()} | Phi(0)={self.phi_history[0]:.0f} "
+            f"M={self.M:.0f} T/bound={self.bound_ratio:.3f} | {status}"
+        )
+
+
+TOLERANCE = 1e-9
+
+
+def verify_restricted_run(
+    problem: RoutingProblem,
+    policy: RoutingPolicy,
+    *,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> VerificationReport:
+    """Run ``policy`` on ``problem`` and audit the full analysis chain.
+
+    The policy must be greedy and prefer restricted packets for the
+    audit to be meaningful (the potential tracker's strict invariants
+    are theorems only for that class); the run itself enforces both
+    properties through the engine validators.
+    """
+    tracker = RestrictedPotential(strict=True)
+    engine = HotPotatoEngine(
+        problem,
+        policy,
+        seed=seed,
+        observers=[tracker],
+        record_steps=True,
+        max_steps=max_steps,
+    )
+    result = engine.run()
+    mesh = problem.mesh
+    d = mesh.dimension
+    phi = tracker.phi_history
+
+    report = VerificationReport(
+        result=result,
+        phi_history=list(phi),
+        M=tracker.M,
+        theorem20_limit=theorem20_bound(mesh.side, problem.k),
+        monotone=tracker.is_monotone_nonincreasing(),
+        switch_count=tracker.switch_count,
+    )
+    report.property8_violations = check_property8(tracker.node_drops, d)
+
+    records = result.records or []
+    for index, record in enumerate(records):
+        classification = classify_nodes(record, d)
+        f_t = count_surface_arcs(mesh, classification.bad_nodes)
+        b_t = classification.b
+        g_t = classification.g
+        report.bgf_series.append((record.step, b_t, f_t))
+
+        # Corollary 10: Phi(t+1) <= Phi(t) - G(t).
+        if phi[index + 1] > phi[index] - g_t + TOLERANCE:
+            report.corollary10_violations.append(
+                InequalityViolation(
+                    "Corollary 10",
+                    record.step,
+                    phi[index + 1],
+                    phi[index] - g_t,
+                )
+            )
+
+        # Lemma 12: Phi(t+2) <= Phi(t) - F(t).
+        later = index + 2 if index + 2 < len(phi) else len(phi) - 1
+        if phi[later] > phi[index] - f_t + TOLERANCE:
+            report.lemma12_violations.append(
+                InequalityViolation(
+                    "Lemma 12", record.step, phi[later], phi[index] - f_t
+                )
+            )
+
+        # Lemma 14: F(t) >= (2d)^(1/d) * B(t)^((d-1)/d).
+        lower = lemma_14_lower_bound(b_t, d)
+        if f_t < lower - TOLERANCE:
+            report.lemma14_violations.append(
+                InequalityViolation("Lemma 14", record.step, f_t, lower)
+            )
+
+        # Lemma 15: Phi(t) - Phi(t+2) >= (2d)^(1/d) * (Phi(t)/2M)^((d-1)/d).
+        required = (2 * d) ** (1 / d) * (
+            phi[index] / (2 * tracker.M)
+        ) ** ((d - 1) / d)
+        if phi[index] - phi[later] < required - TOLERANCE:
+            report.lemma15_violations.append(
+                InequalityViolation(
+                    "Lemma 15",
+                    record.step,
+                    phi[index] - phi[later],
+                    required,
+                )
+            )
+
+    return report

@@ -1,0 +1,23 @@
+"""Shared primitive types used across the library.
+
+The simulator works with plain tuples for node coordinates so that
+hashing and equality are fast and values are immutable.  The aliases
+here give those tuples descriptive names in signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: A node of the d-dimensional mesh, as a tuple of 1-based coordinates
+#: ``(a_1, ..., a_d)`` with each ``a_i`` in ``{1, ..., n}`` (Definition 1).
+Node = Tuple[int, ...]
+
+#: A directed arc ``(tail, head)`` between two adjacent mesh nodes.
+Arc = Tuple[Node, Node]
+
+#: Unique identifier of a packet within a routing problem.
+PacketId = int
+
+#: Simulation time, in synchronous steps, starting at 0.
+Step = int

@@ -1,0 +1,19 @@
+"""Text-mode visualization helpers (mesh snapshots and time series)."""
+
+from repro.viz.ascii_art import (
+    render_loads,
+    render_nodes,
+    render_path,
+    render_step,
+)
+from repro.viz.timeseries import labeled_sparkline, sparkline, step_chart
+
+__all__ = [
+    "labeled_sparkline",
+    "render_loads",
+    "render_nodes",
+    "render_path",
+    "render_step",
+    "sparkline",
+    "step_chart",
+]

@@ -1,0 +1,101 @@
+"""ASCII renderings of 2-D mesh states.
+
+Text-mode counterparts of the paper's figures: occupancy maps with
+good/bad node marking (Figure 3), surface-arc sketches (Figure 4), and
+direction diagrams (Figure 1).  Used by the examples and handy in
+tests' failure output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.metrics import StepRecord
+from repro.mesh.topology import Mesh
+from repro.potential.classification import node_loads
+from repro.types import Node
+
+
+def render_loads(
+    mesh: Mesh,
+    loads: Dict[Node, int],
+    *,
+    mark_bad: bool = True,
+) -> str:
+    """Render a 2-D mesh as a grid of per-node packet counts.
+
+    Empty nodes print ``.``; loads print as digits; bad nodes (more
+    than ``d = 2`` packets, Definition 9) are bracketed, e.g. ``[3]``.
+    Row 1 is printed at the top; the first coordinate is the row.
+    """
+    if mesh.dimension != 2:
+        raise ValueError("ASCII rendering supports 2-D meshes only")
+    lines = []
+    for row in range(1, mesh.side + 1):
+        cells = []
+        for col in range(1, mesh.side + 1):
+            load = loads.get((row, col), 0)
+            if load == 0:
+                cells.append(" . ")
+            elif mark_bad and load > mesh.dimension:
+                cells.append(f"[{load}]")
+            else:
+                cells.append(f" {load} ")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_step(mesh: Mesh, record: StepRecord) -> str:
+    """Render the occupancy at the start of a recorded step."""
+    return render_loads(mesh, node_loads(record))
+
+
+def render_nodes(
+    mesh: Mesh,
+    marked: Iterable[Node],
+    *,
+    mark: str = "#",
+    other: str = ".",
+) -> str:
+    """Render a set of marked nodes (e.g. a bad-node volume)."""
+    if mesh.dimension != 2:
+        raise ValueError("ASCII rendering supports 2-D meshes only")
+    marked_set: Set[Node] = set(marked)
+    lines = []
+    for row in range(1, mesh.side + 1):
+        lines.append(
+            " ".join(
+                mark if (row, col) in marked_set else other
+                for col in range(1, mesh.side + 1)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_path(
+    mesh: Mesh,
+    path: Iterable[Node],
+    destination: Optional[Node] = None,
+) -> str:
+    """Render one packet's walk: visit order as letters, ``*`` = dest.
+
+    Repeated visits keep the first letter (the shape of the walk is
+    what matters for deflection diagrams).
+    """
+    if mesh.dimension != 2:
+        raise ValueError("ASCII rendering supports 2-D meshes only")
+    labels: Dict[Node, str] = {}
+    alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    for index, node in enumerate(path):
+        labels.setdefault(node, alphabet[index % len(alphabet)])
+    if destination is not None:
+        labels[destination] = "*"
+    lines = []
+    for row in range(1, mesh.side + 1):
+        lines.append(
+            " ".join(
+                labels.get((row, col), ".")
+                for col in range(1, mesh.side + 1)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Text sparklines and step charts for run time series.
+
+Terminal-friendly plots of ``Phi(t)``, ``B(t)``, ``G(t)``, ``F(t)``
+and the in-flight curve — the reproduction's stand-in for the decay
+plots a paper with an empirical section would show.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a sequence as a one-line unicode sparkline.
+
+    Long series are downsampled by bucket means to ``width`` columns.
+    """
+    if not values:
+        return ""
+    series = _downsample([float(v) for v in values], width)
+    low = min(series)
+    high = max(series)
+    span = high - low
+    if span == 0:
+        return _BLOCKS[1] * len(series)
+    chars = []
+    for value in series:
+        index = int((value - low) / span * (len(_BLOCKS) - 2)) + 1
+        chars.append(_BLOCKS[index])
+    return "".join(chars)
+
+
+def _downsample(values: List[float], width: int) -> List[float]:
+    if len(values) <= width:
+        return values
+    buckets: List[float] = []
+    for column in range(width):
+        start = column * len(values) // width
+        end = max(start + 1, (column + 1) * len(values) // width)
+        chunk = values[start:end]
+        buckets.append(sum(chunk) / len(chunk))
+    return buckets
+
+
+def labeled_sparkline(
+    label: str, values: Sequence[float], width: int = 60
+) -> str:
+    """``label  [spark]  first -> last`` on one line."""
+    if not values:
+        return f"{label:>10}  (empty)"
+    return (
+        f"{label:>10}  {sparkline(values, width)}  "
+        f"{values[0]:.0f} -> {values[-1]:.0f}"
+    )
+
+
+def step_chart(
+    values: Sequence[float], height: int = 10, width: int = 60
+) -> str:
+    """A multi-line bar chart of a series (rows = value bands)."""
+    if not values:
+        return ""
+    series = _downsample([float(v) for v in values], width)
+    high = max(series)
+    if high == 0:
+        return "." * len(series)
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = high * (level - 0.5) / height
+        rows.append(
+            "".join("#" if value >= threshold else " " for value in series)
+        )
+    rows.append("-" * len(series))
+    return "\n".join(rows)

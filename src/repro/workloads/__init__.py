@@ -1,0 +1,55 @@
+"""Workload generators.
+
+Many-to-many random batches, permutations (random, transpose,
+reversal, bit-reversal), single-target hot spots, sparse and clustered
+regimes, adversarial congestion patterns, and the parity-splitting
+machinery behind the Remark after Theorem 20.
+"""
+
+from repro.workloads.adversarial import (
+    column_collapse,
+    corner_storm,
+    cross_traffic,
+    quadrant_flood,
+)
+from repro.workloads.parity import (
+    origin_parity,
+    parity_is_invariant,
+    split_by_origin_parity,
+)
+from repro.workloads.permutations import (
+    bit_reversal,
+    partial_random_permutation,
+    random_permutation,
+    reversal,
+    transpose,
+)
+from repro.workloads.random_uniform import (
+    max_packets,
+    random_many_to_many,
+    saturated_load,
+)
+from repro.workloads.single_target import ring_of_sources, single_target
+from repro.workloads.sparse import local_cluster, scattered_sparse
+
+__all__ = [
+    "bit_reversal",
+    "column_collapse",
+    "corner_storm",
+    "cross_traffic",
+    "local_cluster",
+    "max_packets",
+    "origin_parity",
+    "parity_is_invariant",
+    "partial_random_permutation",
+    "quadrant_flood",
+    "random_many_to_many",
+    "random_permutation",
+    "reversal",
+    "ring_of_sources",
+    "saturated_load",
+    "scattered_sparse",
+    "single_target",
+    "split_by_origin_parity",
+    "transpose",
+]

@@ -1,0 +1,122 @@
+"""Adversarial and congestion-heavy workloads.
+
+Deterministic batches designed to create the bad-node volumes the
+potential analysis is about: quadrant floods (a dense region sending
+across the mesh), corner-to-corner storms (maximal distances), and
+column collapses (the ``m`` packets-per-column regime of [BRST]).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.problem import RoutingProblem
+from repro.core.rng import RngLike, make_rng
+from repro.exceptions import ConfigurationError
+from repro.mesh.topology import Mesh
+from repro.types import Node
+
+
+def quadrant_flood(
+    mesh: Mesh,
+    seed: RngLike = 0,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """Every node of the low quadrant sends to a random node of the
+    opposite quadrant.
+
+    All traffic funnels through the center, producing a persistent
+    blob of bad nodes — the richest workload for the surface-arc
+    experiments (E5, E7).
+    """
+    rng = make_rng(seed)
+    half = mesh.side // 2
+    if half < 1:
+        raise ConfigurationError("quadrant flood needs side >= 2")
+    low = [
+        node for node in mesh.nodes() if all(x <= half for x in node)
+    ]
+    high = [
+        node for node in mesh.nodes() if all(x > half for x in node)
+    ]
+    pairs = [(source, rng.choice(high)) for source in low]
+    return RoutingProblem.from_pairs(mesh, pairs, name=name or "quadrant-flood")
+
+
+def corner_storm(
+    mesh: Mesh,
+    packets_per_corner: int = 1,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """From each corner, packets to the opposite corner.
+
+    Every packet has the maximal distance ``d(n-1)``; all shortest
+    paths cross the center.  ``packets_per_corner`` must not exceed
+    the corner degree ``d``.
+    """
+    d = mesh.dimension
+    if not 1 <= packets_per_corner <= d:
+        raise ConfigurationError(
+            f"packets_per_corner must be in 1..{d}, got {packets_per_corner}"
+        )
+    pairs: List[Tuple[Node, Node]] = []
+    for which in range(2**d):
+        corner = mesh.corner(which)
+        opposite = mesh.corner((2**d - 1) ^ which)
+        pairs.extend([(corner, opposite)] * packets_per_corner)
+    return RoutingProblem.from_pairs(mesh, pairs, name=name or "corner-storm")
+
+
+def column_collapse(
+    mesh: Mesh,
+    target_column: Optional[int] = None,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """Every node sends to its row's node in one target column (2-D).
+
+    The maximum number of packets destined to a single column is
+    ``n`` per row node times... in fact all ``n^2`` packets — the
+    worst case ``m = n^2 / n`` regime of the [BRST] ``O(n*sqrt(m))``
+    bound discussed in Section 1.1.
+    """
+    if mesh.dimension != 2:
+        raise ConfigurationError("column collapse is a 2-D workload")
+    column = target_column if target_column is not None else (mesh.side + 1) // 2
+    if not 1 <= column <= mesh.side:
+        raise ConfigurationError(
+            f"target column {column} outside 1..{mesh.side}"
+        )
+    pairs = []
+    for node in mesh.nodes():
+        destination = (node[0], column)
+        if node != destination:
+            pairs.append((node, destination))
+    return RoutingProblem.from_pairs(
+        mesh, pairs, name=name or f"column-collapse-{column}"
+    )
+
+
+def cross_traffic(
+    mesh: Mesh,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """Horizontal and vertical full-span flows crossing at the center (2-D).
+
+    Row ends exchange packets along rows while column ends exchange
+    along columns; the two flows interleave at every interior node.
+    """
+    if mesh.dimension != 2:
+        raise ConfigurationError("cross traffic is a 2-D workload")
+    side = mesh.side
+    pairs: List[Tuple[Node, Node]] = []
+    for row in range(1, side + 1):
+        pairs.append(((row, 1), (row, side)))
+        pairs.append(((row, side), (row, 1)))
+    for col in range(1, side + 1):
+        pairs.append(((1, col), (side, col)))
+        pairs.append(((side, col), (1, col)))
+    return RoutingProblem.from_pairs(mesh, pairs, name=name or "cross-traffic")

@@ -1,0 +1,129 @@
+"""Permutation workloads.
+
+In permutation routing every node is the origin and the destination of
+at most one packet — the classical benchmark regime of Sections 1.1
+and 6 ([NS2], [KLS], [FR], [BCS]).  Besides uniformly random
+permutations this module provides the structured hard cases of the
+mesh-routing literature: transpose, reversal, and bit-reversal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.problem import RoutingProblem
+from repro.core.rng import RngLike, make_rng
+from repro.exceptions import ConfigurationError
+from repro.mesh.topology import Mesh
+from repro.types import Node
+
+
+def random_permutation(
+    mesh: Mesh,
+    seed: RngLike = 0,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """A uniformly random full permutation (``k = n^d`` packets).
+
+    Fixed points are kept: a node mapped to itself contributes a
+    zero-distance packet, delivered at time 0.
+    """
+    rng = make_rng(seed)
+    nodes = list(mesh.nodes())
+    destinations = list(nodes)
+    rng.shuffle(destinations)
+    pairs = list(zip(nodes, destinations))
+    return RoutingProblem.from_pairs(mesh, pairs, name=name or "random-perm")
+
+
+def partial_random_permutation(
+    mesh: Mesh,
+    k: int,
+    seed: RngLike = 0,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """A random partial permutation with exactly ``k`` packets.
+
+    ``k`` distinct sources and ``k`` distinct destinations, matched at
+    random — the sparse-permutation regime of the Section 6 open
+    problem (``k << n^d``).
+    """
+    nodes = list(mesh.nodes())
+    if k > len(nodes):
+        raise ConfigurationError(
+            f"k={k} exceeds the number of nodes {len(nodes)}"
+        )
+    rng = make_rng(seed)
+    sources = rng.sample(nodes, k)
+    destinations = rng.sample(nodes, k)
+    return RoutingProblem.from_pairs(
+        mesh, zip(sources, destinations), name=name or f"partial-perm-k{k}"
+    )
+
+
+def _mapped_permutation(
+    mesh: Mesh, mapping: Callable[[Node], Node], name: str
+) -> RoutingProblem:
+    pairs: List[Tuple[Node, Node]] = []
+    for node in mesh.nodes():
+        image = mapping(node)
+        if not mesh.contains(image):
+            raise ConfigurationError(
+                f"permutation maps {node} outside the mesh to {image}"
+            )
+        pairs.append((node, image))
+    return RoutingProblem.from_pairs(mesh, pairs, name=name)
+
+
+def transpose(mesh: Mesh) -> RoutingProblem:
+    """The transpose permutation: reverse each node's coordinates.
+
+    A classical congestion driver on 2-D meshes (all traffic crosses
+    the diagonal).
+    """
+    return _mapped_permutation(
+        mesh, lambda node: tuple(reversed(node)), "transpose"
+    )
+
+
+def reversal(mesh: Mesh) -> RoutingProblem:
+    """The point-reflection permutation ``x -> n + 1 - x`` per axis.
+
+    Every packet travels through the center region; total distance is
+    maximal among permutations, making it the natural stress case for
+    Theorem 20's full-load remark.
+    """
+    side = mesh.side
+    return _mapped_permutation(
+        mesh, lambda node: tuple(side + 1 - x for x in node), "reversal"
+    )
+
+
+def bit_reversal(mesh: Mesh) -> RoutingProblem:
+    """Bit-reversal permutation per axis (requires ``n`` a power of two).
+
+    The canonical adversary of oblivious routers: coordinates are
+    mapped by reversing their ``log2(n)``-bit representation.
+    """
+    side = mesh.side
+    bits = side.bit_length() - 1
+    if 2**bits != side:
+        raise ConfigurationError(
+            f"bit-reversal needs a power-of-two side, got {side}"
+        )
+
+    def reverse_coordinate(x: int) -> int:
+        value = x - 1
+        reversed_value = 0
+        for _ in range(bits):
+            reversed_value = (reversed_value << 1) | (value & 1)
+            value >>= 1
+        return reversed_value + 1
+
+    return _mapped_permutation(
+        mesh,
+        lambda node: tuple(reverse_coordinate(x) for x in node),
+        "bit-reversal",
+    )

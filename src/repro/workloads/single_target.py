@@ -1,0 +1,88 @@
+"""Single-target (hot-spot) workloads.
+
+All ``k`` packets share one destination — the regime of [BTS] and
+[BNS] discussed in Section 6.1, with lower bound ``d_max + k`` on the
+2-D mesh.  The destination node itself can absorb at most ``2d``
+packets per step, so hot spots maximize sustained contention and bad
+nodes around the target: the richest source of surface-arc activity
+for the Lemma 12/14 experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from repro.core.problem import RoutingProblem
+from repro.core.rng import RngLike, make_rng
+from repro.exceptions import ConfigurationError
+from repro.mesh.topology import Mesh
+from repro.types import Node
+
+
+def single_target(
+    mesh: Mesh,
+    k: int,
+    target: Optional[Node] = None,
+    seed: RngLike = 0,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """``k`` packets from random distinct-capacity origins to one target.
+
+    Args:
+        target: destination node; defaults to the mesh center.
+    """
+    destination = target if target is not None else mesh.center()
+    if not mesh.contains(destination):
+        raise ConfigurationError(f"target {destination} is not a mesh node")
+    rng = make_rng(seed)
+    nodes = [node for node in mesh.nodes() if node != destination]
+    capacity = sum(mesh.degree(node) for node in nodes)
+    if k > capacity:
+        raise ConfigurationError(
+            f"k={k} exceeds the non-target injection capacity {capacity}"
+        )
+    used: Counter = Counter()
+    pairs: List[Tuple[Node, Node]] = []
+    while len(pairs) < k:
+        source = rng.choice(nodes)
+        if used[source] >= mesh.degree(source):
+            continue
+        used[source] += 1
+        pairs.append((source, destination))
+    return RoutingProblem.from_pairs(
+        mesh, pairs, name=name or f"single-target-k{k}"
+    )
+
+
+def ring_of_sources(
+    mesh: Mesh,
+    radius: int,
+    target: Optional[Node] = None,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """One packet from every node at exactly ``radius`` from the target.
+
+    A deterministic hot spot: all packets are equidistant, so every
+    absorption step leaves a maximally contended frontier.
+    """
+    destination = target if target is not None else mesh.center()
+    if not mesh.contains(destination):
+        raise ConfigurationError(f"target {destination} is not a mesh node")
+    if radius < 1:
+        raise ValueError(f"radius must be >= 1, got {radius}")
+    sources = [
+        node
+        for node in mesh.nodes()
+        if mesh.distance(node, destination) == radius
+    ]
+    if not sources:
+        raise ConfigurationError(
+            f"no nodes at distance {radius} from {destination}"
+        )
+    pairs = [(source, destination) for source in sources]
+    return RoutingProblem.from_pairs(
+        mesh, pairs, name=name or f"ring-r{radius}"
+    )

@@ -1,0 +1,86 @@
+"""Sparse workloads: ``k << n^d``.
+
+Section 6 poses improving the bound for sparse batches as an open
+problem; these generators produce the regimes the discussion cares
+about — few packets scattered far apart, and few packets packed into a
+small subregion (where the local congestion is high even though the
+global load is tiny).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.problem import RoutingProblem
+from repro.core.rng import RngLike, make_rng
+from repro.exceptions import ConfigurationError
+from repro.mesh.topology import Mesh
+from repro.workloads.random_uniform import random_many_to_many
+
+
+def scattered_sparse(
+    mesh: Mesh,
+    k: int,
+    seed: RngLike = 0,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """``k`` random packets with ``k`` capped at 5% of the node count.
+
+    A thin wrapper over :func:`random_many_to_many` that *enforces*
+    sparsity, so experiment code cannot accidentally densify the
+    sweep.
+    """
+    limit = max(1, mesh.num_nodes // 20)
+    if k > limit:
+        raise ConfigurationError(
+            f"scattered_sparse requires k <= {limit} (5% of nodes), got {k}"
+        )
+    return random_many_to_many(
+        mesh, k, seed, name=name or f"sparse-k{k}"
+    )
+
+
+def local_cluster(
+    mesh: Mesh,
+    k: int,
+    box_side: int,
+    seed: RngLike = 0,
+    *,
+    name: Optional[str] = None,
+) -> RoutingProblem:
+    """``k`` packets whose sources *and* destinations lie in one
+    ``box_side^d`` corner box.
+
+    Distances are at most ``d * (box_side - 1)``, so the trivial lower
+    bound is small — the regime where the Section 6 discussion notes
+    the isoperimetric inequality (and hence the whole bound) improves
+    rapidly.  Deflections may still push packets outside the box.
+    """
+    if not 2 <= box_side <= mesh.side:
+        raise ConfigurationError(
+            f"box_side must be in 2..{mesh.side}, got {box_side}"
+        )
+    rng = make_rng(seed)
+    box_nodes = [
+        node for node in mesh.nodes() if all(x <= box_side for x in node)
+    ]
+    capacity = sum(mesh.degree(node) for node in box_nodes)
+    if k > capacity:
+        raise ConfigurationError(
+            f"k={k} exceeds the box injection capacity {capacity}"
+        )
+    used = {node: 0 for node in box_nodes}
+    pairs = []
+    while len(pairs) < k:
+        source = rng.choice(box_nodes)
+        if used[source] >= mesh.degree(source):
+            continue
+        destination = rng.choice(box_nodes)
+        if destination == source:
+            continue
+        used[source] += 1
+        pairs.append((source, destination))
+    return RoutingProblem.from_pairs(
+        mesh, pairs, name=name or f"cluster-b{box_side}-k{k}"
+    )

@@ -1,0 +1,163 @@
+"""Tests for the livelock machinery: the 8-packet instance, the
+blocking policy, and schedule replay."""
+
+import pytest
+
+from repro.algorithms import (
+    BlockingGreedyPolicy,
+    RandomizedGreedyPolicy,
+    RestrictedPriorityPolicy,
+    SchedulePolicy,
+    livelock_instance,
+)
+from repro.analysis.livelock import detect_cycle, find_greedy_cycle
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+
+
+class TestLivelockInstance:
+    def test_structure(self):
+        problem = livelock_instance()
+        assert problem.k == 8
+        assert problem.mesh.side == 3
+        # Two packets per block node.
+        from collections import Counter
+
+        origins = Counter(r.source for r in problem.requests)
+        assert set(origins.values()) == {2}
+
+    def test_rejects_wrong_mesh(self):
+        with pytest.raises(ValueError):
+            livelock_instance(Mesh(1, 5))
+        with pytest.raises(ValueError):
+            livelock_instance(Torus(2, 4))
+
+    def test_works_on_larger_meshes(self):
+        problem = livelock_instance(Mesh(2, 8))
+        assert problem.k == 8
+
+
+class TestBlockingGreedyLivelock:
+    def test_enters_period_two_cycle(self):
+        """The headline Section 1.2 demonstration: a uniform
+        deterministic greedy policy that never terminates."""
+        cycle = detect_cycle(
+            livelock_instance(), BlockingGreedyPolicy(), max_steps=50
+        )
+        assert cycle is not None
+        assert cycle.period == 2
+
+    def test_no_packet_ever_delivered(self):
+        engine = HotPotatoEngine(
+            livelock_instance(), BlockingGreedyPolicy(), max_steps=100
+        )
+        result = engine.run()
+        assert not result.completed
+        assert result.delivered == 0
+
+    def test_run_is_greedy_throughout(self):
+        """The GreedyValidator runs at every node of every step of the
+        livelock (the policy declares greediness); 100 violation-free
+        steps certify the infinite run is legal."""
+        engine = HotPotatoEngine(
+            livelock_instance(), BlockingGreedyPolicy(), max_steps=100
+        )
+        engine.run()  # would raise GreedinessViolationError otherwise
+        assert engine.time == 100
+
+    def test_restricted_priority_breaks_the_livelock(self):
+        """Definition 18 is exactly what the cycle violates: with
+        restricted-packet priority the same instance routes instantly."""
+        result = HotPotatoEngine(
+            livelock_instance(), RestrictedPriorityPolicy()
+        ).run()
+        assert result.completed
+        assert result.total_steps <= 4
+
+    def test_randomized_greedy_escapes(self):
+        result = HotPotatoEngine(
+            livelock_instance(), RandomizedGreedyPolicy(), seed=1
+        ).run()
+        assert result.completed
+
+    def test_blocking_policy_terminates_elsewhere(self, mesh8):
+        """The perverse rule is not globally broken — it routes an easy
+        batch; only the crafted configuration traps it."""
+        from repro.workloads import random_many_to_many
+
+        problem = random_many_to_many(mesh8, k=10, seed=90)
+        result = HotPotatoEngine(
+            problem, BlockingGreedyPolicy(), max_steps=2000
+        ).run()
+        assert result.completed
+
+    def test_rejects_non_2d(self, mesh3d):
+        from repro.workloads import random_many_to_many
+
+        problem = random_many_to_many(mesh3d, k=5, seed=91)
+        with pytest.raises(ValueError):
+            HotPotatoEngine(problem, BlockingGreedyPolicy()).run()
+
+
+class TestScheduleSearchAndReplay:
+    def test_searcher_finds_cycle_on_instance(self):
+        found = find_greedy_cycle(
+            livelock_instance(), max_states=20_000, max_successors=256
+        )
+        assert found is not None
+        assert found.period >= 1
+
+    def test_replayed_schedule_livelocks_and_validates(self):
+        problem = livelock_instance()
+        found = find_greedy_cycle(
+            problem, max_states=20_000, max_successors=256
+        )
+        policy = found.make_policy()
+        engine = HotPotatoEngine(problem, policy, max_steps=80)
+        result = engine.run()  # GreedyValidator active throughout
+        assert not result.completed
+        assert result.delivered == 0
+
+    def test_search_requires_nontrivial_requests(self, mesh4):
+        from repro.core.problem import RoutingProblem
+
+        trivial = RoutingProblem.from_pairs(mesh4, [((1, 1), (1, 1))])
+        with pytest.raises(ValueError):
+            find_greedy_cycle(trivial)
+
+    def test_terminating_instance_returns_none(self, mesh4):
+        """A single packet can never cycle (it always advances)."""
+        from repro.core.problem import RoutingProblem
+
+        problem = RoutingProblem.from_pairs(mesh4, [((1, 1), (3, 3))])
+        assert find_greedy_cycle(problem, max_states=5_000) is None
+
+    def test_two_packets_cannot_livelock(self, mesh4):
+        """Whenever two packets are apart they both advance, and they
+        cannot stay co-located (distinct arcs lead to distinct nodes),
+        so the two-packet no-delivery graph is acyclic."""
+        from repro.core.problem import RoutingProblem
+
+        problem = RoutingProblem.from_pairs(
+            mesh4, [((2, 2), (4, 4)), ((2, 2), (4, 3))]
+        )
+        assert find_greedy_cycle(problem, max_states=20_000) is None
+
+
+class TestSchedulePolicy:
+    def test_loop_start_validation(self):
+        with pytest.raises(ValueError):
+            SchedulePolicy((), loop_start=1)
+
+    def test_non_looping_schedule_exhausts(self):
+        policy = SchedulePolicy(({},), loop_start=1)
+        with pytest.raises(KeyError):
+            policy._fold(5)
+
+    def test_missing_node_raises(self):
+        problem = livelock_instance()
+        policy = SchedulePolicy(({},), loop_start=0)
+        engine = HotPotatoEngine(problem, policy, max_steps=1)
+        with pytest.raises(KeyError):
+            engine.run()

@@ -1,0 +1,75 @@
+"""Tests for destination-order priority and the snake walk."""
+
+import pytest
+
+from repro.algorithms import (
+    DestinationOrderPolicy,
+    brassil_cruz_time_bound,
+    snake_order,
+    snake_walk_length,
+)
+from repro.core.engine import route
+from repro.mesh.topology import Mesh
+from repro.workloads import random_many_to_many
+
+
+class TestSnakeOrder:
+    def test_covers_all_nodes(self, mesh4):
+        ranks = snake_order(mesh4)
+        assert len(ranks) == 16
+        assert sorted(ranks.values()) == list(range(16))
+
+    def test_consecutive_ranks_adjacent(self):
+        """The snake is a Hamiltonian path: rank i and i+1 are mesh
+        neighbors, so the Brassil–Cruz walk P is well defined."""
+        for mesh in (Mesh(2, 4), Mesh(2, 5), Mesh(3, 3)):
+            ranks = snake_order(mesh)
+            by_rank = {rank: node for node, rank in ranks.items()}
+            for rank in range(len(by_rank) - 1):
+                assert (
+                    mesh.distance(by_rank[rank], by_rank[rank + 1]) == 1
+                ), f"break at rank {rank} in {mesh}"
+
+    def test_one_dimensional_snake(self):
+        ranks = snake_order(Mesh(1, 5))
+        assert ranks == {(i,): i - 1 for i in range(1, 6)}
+
+    def test_walk_length(self, mesh4):
+        ranks = snake_order(mesh4)
+        by_rank = {rank: node for node, rank in ranks.items()}
+        destinations = [by_rank[2], by_rank[9], by_rank[5]]
+        assert snake_walk_length(mesh4, destinations) == 7
+
+    def test_walk_length_empty(self, mesh4):
+        assert snake_walk_length(mesh4, []) == 0
+
+
+class TestBound:
+    def test_formula(self):
+        assert brassil_cruz_time_bound(14, 20, 5) == 14 + 20 + 8
+        assert brassil_cruz_time_bound(14, 20, 0) == 0
+
+
+class TestRuns:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_within_brassil_cruz_bound(self, mesh8, seed):
+        problem = random_many_to_many(mesh8, k=40, seed=seed)
+        result = route(problem, DestinationOrderPolicy(), seed=seed)
+        assert result.completed
+        walk = snake_walk_length(
+            mesh8, [r.destination for r in problem.requests]
+        )
+        bound = brassil_cruz_time_bound(mesh8.diameter, walk, problem.k)
+        assert result.total_steps <= bound
+
+    def test_lowest_ranked_destination_packet_never_deflected(self, mesh8):
+        problem = random_many_to_many(mesh8, k=60, seed=3)
+        result = route(problem, DestinationOrderPolicy(), seed=3)
+        ranks = snake_order(mesh8)
+        # The unique packet with the globally best (destination rank,
+        # id) key wins every conflict it is in.
+        best = min(
+            result.outcomes,
+            key=lambda o: (ranks[o.destination], o.packet_id),
+        )
+        assert best.deflections == 0

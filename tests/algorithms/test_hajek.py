@@ -1,0 +1,58 @@
+"""Tests for the fixed-priority (Hajek-style) policy and its bound."""
+
+import pytest
+
+from repro.algorithms import FixedPriorityPolicy, fixed_priority_time_bound
+from repro.core.engine import HotPotatoEngine, route
+from repro.core.problem import RoutingProblem
+from repro.workloads import (
+    quadrant_flood,
+    random_many_to_many,
+    single_target,
+)
+
+
+class TestBoundFormula:
+    def test_values(self):
+        assert fixed_priority_time_bound(10, 14) == 34
+        assert fixed_priority_time_bound(0, 14) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fixed_priority_time_bound(-1, 5)
+
+
+class TestLeaderNeverDeflected:
+    def test_top_priority_packet_takes_shortest_path(self, mesh8):
+        """Packet 0 outranks everyone, so it is never deflected and its
+        hop count equals its distance — the core of the [Haj]/[BRS]
+        evacuation argument."""
+        problem = random_many_to_many(mesh8, k=100, seed=80)
+        result = route(problem, FixedPriorityPolicy(), seed=80)
+        assert result.completed
+        leader = result.outcomes[0]
+        assert leader.deflections == 0
+        assert leader.hops == leader.shortest_distance
+
+
+class TestLinearBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_batches_within_2k_plus_dmax(self, mesh8, seed):
+        problem = random_many_to_many(mesh8, k=40, seed=seed)
+        result = route(problem, FixedPriorityPolicy(), seed=seed)
+        assert result.completed
+        assert result.total_steps <= fixed_priority_time_bound(
+            problem.k, problem.d_max
+        )
+
+    def test_hot_spot_within_bound(self, mesh8):
+        problem = single_target(mesh8, k=50, seed=81)
+        result = route(problem, FixedPriorityPolicy(), seed=81)
+        assert result.total_steps <= fixed_priority_time_bound(50, problem.d_max)
+
+    def test_flood_within_bound(self, mesh8):
+        problem = quadrant_flood(mesh8, seed=82)
+        result = route(problem, FixedPriorityPolicy(), seed=82)
+        assert result.total_steps <= fixed_priority_time_bound(
+            problem.k, problem.d_max
+        )

@@ -1,0 +1,80 @@
+"""Cross-cutting tests every registered greedy policy must satisfy.
+
+These are the model-level guarantees: termination, full delivery, the
+greedy invariant of Definition 6 (checked by the engine validator at
+every node of every step), and determinism under a fixed seed.
+"""
+
+import pytest
+
+from repro.algorithms import available_policies, make_policy
+from repro.core.engine import HotPotatoEngine
+from repro.core.trace import record_run, traces_equal
+from repro.potential.bounds import theorem20_bound
+from repro.workloads import (
+    corner_storm,
+    quadrant_flood,
+    random_many_to_many,
+    single_target,
+)
+
+GREEDY_POLICIES = sorted(set(available_policies()) - {"blocking-greedy"})
+
+
+@pytest.mark.parametrize("name", GREEDY_POLICIES)
+class TestEveryPolicy:
+    def test_routes_random_batch(self, name, mesh8):
+        problem = random_many_to_many(mesh8, k=50, seed=50)
+        policy = make_policy(name)
+        result = HotPotatoEngine(problem, policy, seed=50).run()
+        assert result.completed, f"{name} failed to deliver"
+        assert result.delivered == 50
+
+    def test_routes_hot_spot(self, name, mesh8):
+        problem = single_target(mesh8, k=40, seed=51)
+        policy = make_policy(name)
+        result = HotPotatoEngine(problem, policy, seed=51).run()
+        assert result.completed
+
+    def test_routes_quadrant_flood(self, name, mesh8):
+        problem = quadrant_flood(mesh8, seed=52)
+        policy = make_policy(name)
+        result = HotPotatoEngine(problem, policy, seed=52).run()
+        assert result.completed
+
+    def test_routes_corner_storm(self, name, mesh8):
+        problem = corner_storm(mesh8, packets_per_corner=2)
+        policy = make_policy(name)
+        result = HotPotatoEngine(problem, policy, seed=53).run()
+        assert result.completed
+
+    def test_deterministic_given_seed(self, name, mesh8):
+        problem = random_many_to_many(mesh8, k=40, seed=54)
+        first = record_run(problem, make_policy(name), seed=9)
+        second = record_run(problem, make_policy(name), seed=9)
+        assert traces_equal(first, second)
+
+    def test_within_theorem20_bound(self, name, mesh8):
+        """Theorem 20 only covers restricted-preferring algorithms, but
+        every reasonable greedy policy lands far below the bound on a
+        random batch — a useful regression canary."""
+        problem = random_many_to_many(mesh8, k=50, seed=55)
+        policy = make_policy(name)
+        result = HotPotatoEngine(problem, policy, seed=55).run()
+        assert result.total_steps <= theorem20_bound(8, 50)
+
+    def test_greedy_invariant_validated(self, name, mesh8):
+        """The engine runs the Definition 6 validator (all registered
+        policies declare greediness); a congested run completing means
+        the invariant held at every node of every step."""
+        problem = random_many_to_many(mesh8, k=120, seed=56)
+        policy = make_policy(name)
+        assert policy.declares_greedy
+        result = HotPotatoEngine(problem, policy, seed=56).run()
+        assert result.completed
+
+    def test_three_dimensional_mesh(self, name, mesh3d):
+        problem = random_many_to_many(mesh3d, k=40, seed=57)
+        policy = make_policy(name)
+        result = HotPotatoEngine(problem, policy, seed=57).run()
+        assert result.completed

@@ -1,0 +1,72 @@
+"""Tests for the random-rank ([BNS]-flavor) policy."""
+
+import pytest
+
+from repro.algorithms import RandomRankPolicy
+from repro.algorithms.hajek import fixed_priority_time_bound
+from repro.core.engine import HotPotatoEngine, route
+from repro.core.trace import record_run, traces_equal
+from repro.mesh.hypercube import Hypercube
+from repro.workloads import random_many_to_many, single_target
+
+
+class TestRandomRank:
+    def test_routes_batches(self, mesh8):
+        problem = random_many_to_many(mesh8, k=60, seed=0)
+        result = route(problem, RandomRankPolicy(), seed=0)
+        assert result.completed
+
+    def test_reproducible_per_seed(self, mesh8):
+        problem = random_many_to_many(mesh8, k=60, seed=1)
+        a = record_run(problem, RandomRankPolicy(), seed=5)
+        b = record_run(problem, RandomRankPolicy(), seed=5)
+        assert traces_equal(a, b)
+
+    def test_different_seeds_draw_different_ranks(self, mesh8):
+        problem = single_target(mesh8, k=50, seed=2)
+        a = record_run(problem, RandomRankPolicy(), seed=1)
+        b = record_run(problem, RandomRankPolicy(), seed=2)
+        assert not traces_equal(a, b)
+
+    def test_top_ranked_packet_never_deflected(self, mesh8):
+        """Persistent ranks give a true global priority: the best-rank
+        packet wins every conflict, so the linear evacuation bound
+        holds surely."""
+        problem = random_many_to_many(mesh8, k=80, seed=3)
+        policy = RandomRankPolicy()
+        engine = HotPotatoEngine(problem, policy, seed=3)
+        result = engine.run()
+        assert result.completed
+        best = min(
+            result.outcomes, key=lambda o: policy._rank(o.packet_id)
+        )
+        assert best.deflections == 0
+        assert result.total_steps <= fixed_priority_time_bound(
+            problem.k, problem.d_max
+        )
+
+    def test_single_target_on_hypercube(self):
+        """The [BNS] setting: randomized greedy single-target on the
+        cube; the d_max + k envelope holds."""
+        cube = Hypercube(6)
+        problem = single_target(cube, k=40, target=cube.node_of(0), seed=4)
+        result = route(problem, RandomRankPolicy(), seed=4)
+        assert result.completed
+        assert result.total_steps <= problem.d_max + problem.k
+
+    def test_lazy_ranks_for_unknown_packets(self, mesh8):
+        """Packets injected by the dynamic engine (ids beyond the
+        batch) get ranks drawn lazily."""
+        from repro.dynamic import BernoulliTraffic, DynamicEngine
+
+        engine = DynamicEngine(
+            mesh8, RandomRankPolicy(), BernoulliTraffic(0.2), seed=5
+        )
+        stats = engine.run(100)
+        assert stats.delivered_count > 0
+
+    def test_declarations(self):
+        policy = RandomRankPolicy()
+        assert policy.declares_greedy
+        assert policy.declares_max_advance
+        assert not policy.declares_restricted_priority

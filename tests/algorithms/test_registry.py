@@ -1,0 +1,44 @@
+"""Tests for the policy registry."""
+
+import pytest
+
+from repro.algorithms import (
+    PlainGreedyPolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+
+class TestRegistry:
+    def test_known_policies_present(self):
+        names = available_policies()
+        assert "restricted-priority" in names
+        assert "plain-greedy" in names
+        assert "fewest-good-directions" in names
+        assert "blocking-greedy" in names
+
+    def test_make_policy_fresh_instances(self):
+        first = make_policy("plain-greedy")
+        second = make_policy("plain-greedy")
+        assert first is not second
+        assert first.name == "plain-greedy"
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_policy("does-not-exist")
+        assert "restricted-priority" in str(excinfo.value)
+
+    def test_register_custom(self):
+        name = "test-custom-policy"
+        if name not in available_policies():
+            register_policy(name, PlainGreedyPolicy)
+        assert isinstance(make_policy(name), PlainGreedyPolicy)
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_policy("plain-greedy", PlainGreedyPolicy)
+
+    def test_names_sorted(self):
+        names = available_policies()
+        assert names == sorted(names)

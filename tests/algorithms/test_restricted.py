@@ -1,0 +1,115 @@
+"""Unit tests for the Section 4 restricted-priority policy."""
+
+import random
+
+import pytest
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine, route
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet
+from repro.core.problem import RoutingProblem
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.workloads import random_many_to_many, single_target
+
+
+def make_view(mesh, specs, node):
+    """specs: list of (source, dest, advanced_last, restricted_last)."""
+    packets = []
+    for i, (dest, advanced, restricted) in enumerate(specs):
+        packet = Packet(id=i, source=node, destination=dest)
+        packet.location = node
+        packet.advanced_last_step = advanced
+        packet.restricted_last_step = restricted
+        packets.append(packet)
+    return NodeView(mesh, node, 1, packets), packets
+
+
+class TestPriorities:
+    def test_restricted_beats_unrestricted(self):
+        mesh = Mesh(2, 6)
+        # Both want east; packet 0 is flexible, packet 1 restricted.
+        view, _ = make_view(
+            mesh,
+            [((5, 5), False, False), ((3, 6), False, False)],
+            node=(3, 3),
+        )
+        policy = RestrictedPriorityPolicy()
+        policy.prepare(mesh, None, random.Random(0))
+        assignment = policy.assign(view)
+        assert assignment[1] == Direction(1, 1)
+
+    def test_type_a_beats_type_b_by_default(self):
+        mesh = Mesh(2, 6)
+        # Both restricted to east; packet 0 type B (fresh), packet 1
+        # type A (advanced while restricted).
+        view, _ = make_view(
+            mesh,
+            [((3, 6), False, False), ((3, 5), True, True)],
+            node=(3, 3),
+        )
+        policy = RestrictedPriorityPolicy(prefer_type_a=True)
+        policy.prepare(mesh, None, random.Random(0))
+        assignment = policy.assign(view)
+        assert assignment[1] == Direction(1, 1)  # type A advances
+        assert assignment[0] != Direction(1, 1)
+
+    def test_type_b_wins_when_inverted(self):
+        mesh = Mesh(2, 6)
+        view, _ = make_view(
+            mesh,
+            [((3, 6), False, False), ((3, 5), True, True)],
+            node=(3, 3),
+        )
+        policy = RestrictedPriorityPolicy(prefer_type_a=False)
+        policy.prepare(mesh, None, random.Random(0))
+        assignment = policy.assign(view)
+        assert assignment[0] == Direction(1, 1)  # type B advances
+
+    def test_declarations(self):
+        policy = RestrictedPriorityPolicy()
+        assert policy.declares_greedy
+        assert policy.declares_restricted_priority
+        assert policy.declares_max_advance
+
+
+class TestRuns:
+    @pytest.mark.parametrize("prefer_type_a", [True, False])
+    def test_congested_run_validated(self, mesh8, prefer_type_a):
+        """The engine's RestrictedPriorityValidator confirms
+        Definition 18 at every node of every step."""
+        problem = random_many_to_many(mesh8, k=150, seed=70)
+        policy = RestrictedPriorityPolicy(prefer_type_a=prefer_type_a)
+        result = HotPotatoEngine(problem, policy, seed=70).run()
+        assert result.completed
+
+    def test_hot_spot_validated(self, mesh8):
+        problem = single_target(mesh8, k=60, seed=71)
+        result = route(problem, RestrictedPriorityPolicy(), seed=71)
+        assert result.completed
+
+    def test_restricted_packet_near_destination_is_fast(self, mesh8):
+        """The anti-overstructuring motivation of Section 1: a packet
+        that starts one hop from its destination arrives almost
+        immediately even among heavy unrelated traffic."""
+        pairs = [((4, 4), (4, 5))]  # distance 1
+        rng = random.Random(72)
+        nodes = [n for n in mesh8.nodes()]
+        used = {(4, 4): 1}
+        while len(pairs) < 60:
+            s = rng.choice(nodes)
+            if used.get(s, 0) >= mesh8.degree(s):
+                continue
+            d = rng.choice(nodes)
+            if d == s:
+                continue
+            used[s] = used.get(s, 0) + 1
+            pairs.append((s, d))
+        problem = RoutingProblem.from_pairs(mesh8, pairs)
+        engine = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=72
+        )
+        result = engine.run()
+        assert result.completed
+        assert result.outcomes[0].delivered_at <= 5

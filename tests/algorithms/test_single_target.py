@@ -1,0 +1,52 @@
+"""Tests for the closest-first single-target policy."""
+
+import pytest
+
+from repro.algorithms import ClosestFirstPolicy, single_target_time_bound
+from repro.core.engine import route
+from repro.workloads import ring_of_sources, single_target
+
+
+class TestBoundFormula:
+    def test_values(self):
+        assert single_target_time_bound(5, 10) == 15
+        assert single_target_time_bound(5, 0) == 0
+
+
+class TestSingleTargetRuns:
+    @pytest.mark.parametrize("k", [5, 20, 40])
+    def test_within_dmax_plus_k(self, mesh8, k):
+        """Section 6.1: [BTS]'s greedy single-target algorithm matches
+        the d_max + k lower bound; closest-first stays within it too."""
+        problem = single_target(mesh8, k=k, seed=k)
+        result = route(problem, ClosestFirstPolicy(), seed=k)
+        assert result.completed
+        assert result.total_steps <= single_target_time_bound(
+            problem.d_max, k
+        )
+
+    def test_ring_absorbs_up_to_degree_per_step(self, mesh8):
+        """The target can absorb at most 2d packets per step, so a ring
+        of r-distant sources needs at least ceil(k/4) + r - 1 steps."""
+        problem = ring_of_sources(mesh8, radius=2)
+        k = problem.k
+        result = route(problem, ClosestFirstPolicy())
+        assert result.completed
+        assert result.total_steps >= (k + 3) // 4
+        assert result.total_steps <= single_target_time_bound(2, k)
+
+    def test_frontier_packet_never_deflected_by_farther_one(self, mesh8):
+        """With closest-first priority the globally nearest packet wins
+        every conflict, so some packet is absorbed quickly."""
+        problem = single_target(mesh8, k=30, seed=9)
+        result = route(problem, ClosestFirstPolicy(), seed=9)
+        earliest = min(o.delivered_at for o in result.outcomes)
+        nearest = min(o.shortest_distance for o in result.outcomes)
+        assert earliest <= nearest + 1
+
+    def test_also_works_on_general_batches(self, mesh8):
+        from repro.workloads import random_many_to_many
+
+        problem = random_many_to_many(mesh8, k=50, seed=10)
+        result = route(problem, ClosestFirstPolicy(), seed=10)
+        assert result.completed

@@ -1,0 +1,119 @@
+"""Tests for cycle detection and the greedy transition searcher."""
+
+import pytest
+
+from repro.algorithms import (
+    BlockingGreedyPolicy,
+    PlainGreedyPolicy,
+    livelock_instance,
+)
+from repro.analysis.livelock import (
+    detect_cycle,
+    find_greedy_cycle,
+    greedy_successors,
+)
+from repro.core.problem import RoutingProblem
+from repro.mesh.topology import Mesh
+from repro.workloads import random_many_to_many
+
+
+class TestDetectCycle:
+    def test_terminating_run_returns_none(self, mesh8):
+        problem = random_many_to_many(mesh8, k=20, seed=200)
+        assert detect_cycle(problem, PlainGreedyPolicy(), seed=200) is None
+
+    def test_livelock_detected(self):
+        cycle = detect_cycle(livelock_instance(), BlockingGreedyPolicy())
+        assert cycle is not None
+        assert cycle.period == 2
+        assert "livelock" in str(cycle)
+
+    def test_budget_too_small_returns_none(self):
+        # One step is not enough to see a repeat.
+        assert (
+            detect_cycle(
+                livelock_instance(), BlockingGreedyPolicy(), max_steps=1
+            )
+            is None
+        )
+
+
+class TestGreedySuccessors:
+    def test_lone_packet_must_advance(self):
+        mesh = Mesh(2, 4)
+        successors = list(
+            greedy_successors(
+                mesh, [(3, 3)], ((1, 1),), forbid_delivery=False
+            )
+        )
+        # Both good directions are legal greedy moves; nothing else.
+        assert len(successors) == 2
+        for state, moves in successors:
+            assert mesh.distance(state[0], (3, 3)) == 3  # advanced
+
+    def test_forbid_delivery_prunes(self):
+        mesh = Mesh(2, 4)
+        # Packet one hop from destination: the only greedy move delivers.
+        successors = list(
+            greedy_successors(mesh, [(1, 2)], ((1, 1),))
+        )
+        assert successors == []
+
+    def test_conflicting_pair_options(self):
+        mesh = Mesh(2, 4)
+        # Two packets at (2,1) both restricted to east.
+        destinations = [(2, 3), (2, 4)]
+        successors = list(
+            greedy_successors(mesh, destinations, ((2, 1), (2, 1)))
+        )
+        # Either packet may advance east; the loser picks any of the
+        # remaining arcs (north, south, or... (2,1) has degree 3: east,
+        # north, south).  2 winners x 2 leftover arcs = 4 options.
+        assert len(successors) == 4
+        for state, moves in successors:
+            assert state[0] != state[1]  # distinct arcs, distinct nodes
+
+    def test_max_successors_cap(self):
+        mesh = Mesh(2, 4)
+        destinations = [(2, 3), (2, 4)]
+        capped = list(
+            greedy_successors(
+                mesh, destinations, ((2, 1), (2, 1)), max_successors=2
+            )
+        )
+        assert len(capped) == 2
+
+    def test_moves_record_source_and_direction(self):
+        mesh = Mesh(2, 4)
+        for state, moves in greedy_successors(
+            mesh, [(3, 3)], ((1, 1),), forbid_delivery=False
+        ):
+            node, direction = moves[0]
+            assert node == (1, 1)
+            assert mesh.neighbor(node, direction) == state[0]
+
+
+class TestFindGreedyCycle:
+    def test_finds_known_livelock(self):
+        found = find_greedy_cycle(livelock_instance(), max_states=10_000)
+        assert found is not None
+        assert found.period >= 2
+        assert "livelock" in str(found)
+
+    def test_single_packet_acyclic(self):
+        mesh = Mesh(2, 4)
+        problem = RoutingProblem.from_pairs(mesh, [((1, 1), (4, 4))])
+        assert find_greedy_cycle(problem, max_states=5_000) is None
+
+    def test_opposing_pair_acyclic(self):
+        mesh = Mesh(2, 4)
+        problem = RoutingProblem.from_pairs(
+            mesh, [((1, 1), (1, 4)), ((1, 4), (1, 1))]
+        )
+        assert find_greedy_cycle(problem, max_states=10_000) is None
+
+    def test_rejects_trivial_request(self):
+        mesh = Mesh(2, 4)
+        problem = RoutingProblem.from_pairs(mesh, [((1, 1), (1, 1))])
+        with pytest.raises(ValueError):
+            find_greedy_cycle(problem)

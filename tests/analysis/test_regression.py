@@ -1,0 +1,97 @@
+"""Tests for the power-law fitting used by the scaling benchmarks."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.regression import (
+    PowerLawFit,
+    TwoFactorFit,
+    fit_power_law,
+    fit_two_factor,
+)
+
+
+class TestPowerLaw:
+    def test_exact_recovery(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = PowerLawFit(coefficient=2.0, exponent=2.0, r_squared=1.0)
+        assert fit.predict(3) == 18
+
+    def test_noisy_recovery(self):
+        rng = random.Random(0)
+        xs = [2**i for i in range(1, 11)]
+        ys = [5 * x**0.5 * math.exp(rng.gauss(0, 0.05)) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=0.1)
+        assert fit.r_squared > 0.95
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 0], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, -2])
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2, 2], [1, 2, 3])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+
+    def test_str(self):
+        assert "R^2" in str(fit_power_law([1, 2, 4], [1, 2, 4]))
+
+
+class TestTwoFactor:
+    def test_exact_recovery_of_theorem20_shape(self):
+        """Recover T = c * n^1 * k^0.5 — the Theorem 20 shape."""
+        ns, ks, ts = [], [], []
+        for n in (8, 16, 32):
+            for k in (4, 16, 64, 256):
+                ns.append(n)
+                ks.append(k)
+                ts.append(11.3 * n * math.sqrt(k))
+        fit = fit_two_factor(ns, ks, ts)
+        assert fit.n_exponent == pytest.approx(1.0)
+        assert fit.k_exponent == pytest.approx(0.5)
+        assert fit.coefficient == pytest.approx(11.3)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = TwoFactorFit(
+            coefficient=2.0, n_exponent=1.0, k_exponent=0.5, r_squared=1.0
+        )
+        assert fit.predict(10, 4) == pytest.approx(40.0)
+
+    def test_singular_design_rejected(self):
+        # k never varies -> singular.
+        with pytest.raises(ValueError):
+            fit_two_factor([1, 2, 4], [3, 3, 3], [1, 2, 4])
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            fit_two_factor([1, 2], [1, 2], [1, 2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_two_factor([1, 2, 3], [1, 2], [1, 2, 3])
+
+    def test_str(self):
+        ns = [2, 4, 8, 2, 4, 8]
+        ks = [2, 2, 2, 8, 8, 8]
+        ts = [n * k for n, k in zip(ns, ks)]
+        assert "n^" in str(fit_two_factor(ns, ks, ts))

@@ -1,0 +1,96 @@
+"""Tests for experiment report assembly."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    ExperimentBlock,
+    build_report,
+    load_results,
+    parse_block,
+    write_report,
+)
+
+
+BLOCK = """== E2: Theorem 17 — measured vs bounds ==
+workload  T
+--------  --
+random    24
+instance bound notes here.
+"""
+
+
+class TestParseBlock:
+    def test_round_trip_fields(self):
+        block = parse_block(BLOCK)
+        assert block.experiment_id == "E2"
+        assert block.title.startswith("Theorem 17")
+        assert "random    24" in block.body
+
+    def test_markdown_rendering(self):
+        md = parse_block(BLOCK).to_markdown()
+        assert md.startswith("## E2 — Theorem 17")
+        assert "```" in md
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_block("no header here")
+        with pytest.raises(ValueError):
+            parse_block("")
+
+
+class TestLoadAndBuild:
+    def _write(self, directory, name, experiment_id, title="t"):
+        (directory / name).write_text(
+            f"== {experiment_id}: {title} ==\nbody of {experiment_id}\n"
+        )
+
+    def test_loads_in_experiment_order(self, tmp_path):
+        self._write(tmp_path, "b.txt", "E10")
+        self._write(tmp_path, "a.txt", "E2")
+        self._write(tmp_path, "c.txt", "E3a")
+        self._write(tmp_path, "d.txt", "E3b")
+        blocks = load_results(str(tmp_path))
+        assert [b.experiment_id for b in blocks] == ["E2", "E3a", "E3b", "E10"]
+
+    def test_ignores_non_txt(self, tmp_path):
+        self._write(tmp_path, "a.txt", "E1")
+        (tmp_path / "junk.json").write_text("{}")
+        assert len(load_results(str(tmp_path))) == 1
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_results(str(tmp_path / "nope")) == []
+
+    def test_build_report(self, tmp_path):
+        self._write(tmp_path, "a.txt", "E1", "first")
+        report = build_report(
+            str(tmp_path), title="Demo", preamble="intro text"
+        )
+        assert report.startswith("# Demo")
+        assert "intro text" in report
+        assert "## E1 — first" in report
+
+    def test_build_report_empty(self, tmp_path):
+        report = build_report(str(tmp_path))
+        assert "no experiment results found" in report
+
+    def test_write_report(self, tmp_path):
+        self._write(tmp_path, "a.txt", "E1")
+        out = tmp_path / "report.md"
+        stats = write_report(str(tmp_path), str(out))
+        assert stats["experiments"] == 1
+        assert out.read_text().startswith("# Measured experiment tables")
+
+
+class TestAgainstRealResults:
+    def test_parses_actual_bench_output(self):
+        """The real benchmarks/results/ blocks (when present from a
+        previous bench run) all parse cleanly."""
+        import os
+
+        results_dir = os.path.join(
+            os.path.dirname(__file__), "..", "..", "benchmarks", "results"
+        )
+        blocks = load_results(results_dir)
+        for block in blocks:
+            assert block.experiment_id.startswith("E")
+            assert block.body

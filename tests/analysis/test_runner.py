@@ -1,0 +1,97 @@
+"""Tests for the experiment harness."""
+
+from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
+from repro.analysis.runner import (
+    compare_policies,
+    run_case,
+    sweep,
+)
+from repro.workloads import random_many_to_many
+
+
+class TestRunCase:
+    def test_replicates_over_seeds(self, mesh8):
+        points = run_case(
+            lambda seed: random_many_to_many(mesh8, k=20, seed=seed),
+            RestrictedPriorityPolicy,
+            seeds=[0, 1, 2],
+        )
+        assert len(points) == 3
+        assert all(p.result.completed for p in points)
+        assert [p.params["seed"] for p in points] == [0, 1, 2]
+
+    def test_params_attached(self, mesh8):
+        points = run_case(
+            lambda seed: random_many_to_many(mesh8, k=20, seed=seed),
+            RestrictedPriorityPolicy,
+            seeds=[0],
+            params={"phase": "demo"},
+        )
+        point = points[0]
+        assert point.params["phase"] == "demo"
+        assert point.params["policy"] == "restricted-priority"
+        assert point.params["k"] == 20
+        assert point.params["n"] == 8
+        assert point.steps == point.result.total_steps
+
+    def test_non_strict_validation(self, mesh8):
+        points = run_case(
+            lambda seed: random_many_to_many(mesh8, k=20, seed=seed),
+            PlainGreedyPolicy,
+            seeds=[0],
+            strict_validation=False,
+        )
+        assert points[0].result.completed
+
+
+class TestSweep:
+    def test_grid_evaluation(self, mesh8):
+        grid = [{"k": 10}, {"k": 20}]
+
+        def build(params):
+            k = params["k"]
+            return (
+                lambda seed: random_many_to_many(mesh8, k=k, seed=seed),
+                RestrictedPriorityPolicy,
+            )
+
+        result = sweep(grid, build, seeds=[0, 1])
+        assert len(result.points) == 4
+        assert result.all_completed()
+        grouped = result.steps_by("k")
+        assert set(grouped) == {10, 20}
+        assert all(len(v) == 2 for v in grouped.values())
+
+    def test_summarize_by(self, mesh8):
+        grid = [{"k": 10}, {"k": 40}]
+
+        def build(params):
+            k = params["k"]
+            return (
+                lambda seed: random_many_to_many(mesh8, k=k, seed=seed),
+                RestrictedPriorityPolicy,
+            )
+
+        result = sweep(grid, build, seeds=[0, 1, 2])
+        summaries = result.summarize_by("k")
+        assert summaries[10].count == 3
+        # More packets -> no faster than fewer, on average.
+        assert summaries[40].mean >= summaries[10].mean
+
+
+class TestComparePolicies:
+    def test_same_instances_per_policy(self, mesh8):
+        comparison = compare_policies(
+            lambda seed: random_many_to_many(mesh8, k=30, seed=seed),
+            {
+                "restricted": RestrictedPriorityPolicy,
+                "plain": PlainGreedyPolicy,
+            },
+            seeds=[0, 1],
+        )
+        assert set(comparison) == {"restricted", "plain"}
+        assert all(
+            point.result.completed
+            for points in comparison.values()
+            for point in points
+        )

@@ -1,0 +1,82 @@
+"""Tests for summary statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    Summary,
+    confidence_interval,
+    geometric_mean,
+    ratio_summary,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3
+        assert summary.median == 3
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+
+    def test_even_count_median(self):
+        assert summarize([1, 2, 3, 4]).median == 2.5
+
+    def test_std(self):
+        summary = summarize([2, 2, 2])
+        assert summary.std == 0.0
+        assert summarize([0, 4]).std == 2.0
+
+    def test_single_value(self):
+        summary = summarize([7])
+        assert summary.mean == 7
+        assert summary.std == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str(self):
+        assert "mean=" in str(summarize([1, 2]))
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        low, high = confidence_interval([10, 12, 14, 16])
+        assert low <= 13 <= high
+
+    def test_single_point_degenerate(self):
+        assert confidence_interval([5]) == (5, 5)
+
+    def test_width_shrinks_with_z(self):
+        data = [1, 2, 3, 4, 5, 6]
+        wide = confidence_interval(data, z=2.58)
+        narrow = confidence_interval(data, z=1.0)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([8]) == pytest.approx(8.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestRatioSummary:
+    def test_ratios(self):
+        summary = ratio_summary([2, 6], [4, 4])
+        assert summary.mean == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ratio_summary([1], [1, 2])
+
+    def test_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ratio_summary([1], [0])

@@ -1,0 +1,62 @@
+"""Tests for the table formatters."""
+
+import pytest
+
+from repro.analysis.tables import (
+    format_cell,
+    format_markdown_table,
+    format_table,
+)
+
+
+class TestFormatCell:
+    def test_floats_short(self):
+        assert format_cell(1.23456) == "1.23"
+        assert format_cell(0.0) == "0"
+
+    def test_large_floats_grouped(self):
+        assert format_cell(12345.6) == "12,346"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_str_and_int(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "T"], [["a", 1], ["long-name", 22]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[0:1])) == 1
+        assert "long-name" in lines[3]
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="demo")
+        assert table.splitlines()[0] == "demo"
+
+    def test_rule_under_header(self):
+        table = format_table(["abc"], [[1]])
+        assert set(table.splitlines()[1]) == {"-"}
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = format_markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])

@@ -1,0 +1,79 @@
+"""Tests for the adversarial permutation search."""
+
+import pytest
+
+from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
+from repro.analysis.worst_case import (
+    WorstCaseResult,
+    search_with_restarts,
+    search_worst_permutation,
+)
+from repro.mesh.topology import Mesh
+
+
+class TestSearch:
+    def test_result_shape(self):
+        mesh = Mesh(2, 4)
+        result = search_worst_permutation(
+            mesh, RestrictedPriorityPolicy, iterations=30, seed=0
+        )
+        assert result.steps >= result.baseline_steps
+        assert result.problem.is_permutation()
+        assert result.problem.k == 16
+        assert result.evaluations > 1
+        assert "worst found" in str(result)
+
+    def test_monotone_nondecreasing_over_search(self):
+        """Accepted swaps never lower the objective, so the found
+        instance is at least as bad as the random start."""
+        mesh = Mesh(2, 4)
+        result = search_worst_permutation(
+            mesh, PlainGreedyPolicy, iterations=50, seed=1
+        )
+        assert result.degradation >= 1.0
+
+    def test_found_instance_reproduces_its_score(self):
+        """The returned problem, re-routed, takes exactly the reported
+        number of steps."""
+        from repro.core.engine import HotPotatoEngine
+
+        mesh = Mesh(2, 4)
+        result = search_worst_permutation(
+            mesh, RestrictedPriorityPolicy, iterations=40, seed=2
+        )
+        rerun = HotPotatoEngine(
+            result.problem, RestrictedPriorityPolicy(), seed=0
+        ).run()
+        assert rerun.total_steps == result.steps
+
+    def test_deterministic_given_seed(self):
+        mesh = Mesh(2, 4)
+        a = search_worst_permutation(
+            mesh, RestrictedPriorityPolicy, iterations=25, seed=3
+        )
+        b = search_worst_permutation(
+            mesh, RestrictedPriorityPolicy, iterations=25, seed=3
+        )
+        assert a.steps == b.steps
+        assert a.problem.requests == b.problem.requests
+
+    def test_restarts_keep_the_best(self):
+        mesh = Mesh(2, 4)
+        result = search_with_restarts(
+            mesh,
+            RestrictedPriorityPolicy,
+            restarts=2,
+            iterations=20,
+            seed=4,
+        )
+        single = search_worst_permutation(
+            mesh, RestrictedPriorityPolicy, iterations=20, seed=4
+        )
+        assert result.steps >= 1
+        assert isinstance(result, WorstCaseResult)
+
+    def test_degradation_of_zero_baseline(self):
+        result = WorstCaseResult(
+            problem=None, steps=5, baseline_steps=0, evaluations=1
+        )
+        assert result.degradation == 1.0

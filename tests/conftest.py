@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mesh, Torus
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.workloads import random_many_to_many
+
+
+@pytest.fixture
+def mesh8():
+    """An 8x8 two-dimensional mesh."""
+    return Mesh(dimension=2, side=8)
+
+
+@pytest.fixture
+def mesh4():
+    """A 4x4 two-dimensional mesh."""
+    return Mesh(dimension=2, side=4)
+
+
+@pytest.fixture
+def mesh3d():
+    """A 4^3 three-dimensional mesh."""
+    return Mesh(dimension=3, side=4)
+
+
+@pytest.fixture
+def torus8():
+    """An 8x8 torus."""
+    return Torus(dimension=2, side=8)
+
+
+@pytest.fixture
+def small_problem(mesh8):
+    """A 20-packet random batch on the 8x8 mesh."""
+    return random_many_to_many(mesh8, k=20, seed=11)
+
+
+@pytest.fixture
+def restricted_policy():
+    """A fresh restricted-priority policy."""
+    return RestrictedPriorityPolicy()

@@ -1,0 +1,120 @@
+"""Unit tests for the store-and-forward engine and dimension-order routing."""
+
+import pytest
+
+from repro.algorithms import DimensionOrderPolicy
+from repro.algorithms.dimension_order import dimension_order_direction
+from repro.core.buffered_engine import BufferedEngine
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet
+from repro.core.problem import RoutingProblem
+from repro.exceptions import ArcAssignmentError
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.workloads import random_many_to_many, transpose
+
+
+class TestDimensionOrderDirection:
+    def test_axis_zero_first(self):
+        mesh = Mesh(2, 5)
+        packet = Packet(id=0, source=(1, 1), destination=(3, 4))
+        view = NodeView(mesh, (1, 1), 0, [packet])
+        assert dimension_order_direction(view, packet) == Direction(0, 1)
+
+    def test_axis_one_after_zero_fixed(self):
+        mesh = Mesh(2, 5)
+        packet = Packet(id=0, source=(3, 1), destination=(3, 4))
+        view = NodeView(mesh, (3, 1), 0, [packet])
+        assert dimension_order_direction(view, packet) == Direction(1, 1)
+
+    def test_none_at_destination(self):
+        mesh = Mesh(2, 5)
+        packet = Packet(id=0, source=(3, 3), destination=(3, 3))
+        view = NodeView(mesh, (3, 3), 0, [packet])
+        assert dimension_order_direction(view, packet) is None
+
+
+class TestBufferedRuns:
+    def test_single_packet_follows_xy_path(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((1, 1), (4, 5))])
+        result = BufferedEngine(problem, DimensionOrderPolicy()).run()
+        assert result.completed
+        assert result.total_steps == 7
+        assert result.outcomes[0].hops == 7
+
+    def test_contention_waits_instead_of_deflecting(self, mesh8):
+        # Two packets from the same node along the same row: one waits.
+        problem = RoutingProblem.from_pairs(
+            mesh8, [((3, 1), (3, 4)), ((3, 1), (3, 5))]
+        )
+        result = BufferedEngine(problem, DimensionOrderPolicy()).run()
+        assert result.completed
+        # The second packet is delayed exactly one step behind.
+        times = sorted(o.delivered_at for o in result.outcomes)
+        assert times == [3, 5] or times == [4, 4]
+        # Store-and-forward never deflects.
+        assert all(o.deflections == 0 for o in result.outcomes)
+
+    def test_random_batch_completes(self, mesh8):
+        problem = random_many_to_many(mesh8, k=60, seed=13)
+        result = BufferedEngine(problem, DimensionOrderPolicy()).run()
+        assert result.completed
+        assert result.delivered == 60
+
+    def test_transpose_completes_with_buffering(self, mesh8):
+        result = BufferedEngine(transpose(mesh8), DimensionOrderPolicy()).run()
+        assert result.completed
+
+    def test_buffer_occupancy_tracked(self, mesh8):
+        problem = random_many_to_many(mesh8, k=80, seed=14)
+        engine = BufferedEngine(problem, DimensionOrderPolicy())
+        engine.run()
+        assert engine.max_buffer_seen >= 1
+
+    def test_all_moves_shortest_path(self, mesh8):
+        """Dimension-order routing never lengthens a path: hops equal
+        the shortest distance for every packet."""
+        problem = random_many_to_many(mesh8, k=50, seed=15)
+        result = BufferedEngine(problem, DimensionOrderPolicy()).run()
+        for outcome in result.outcomes:
+            assert outcome.hops == outcome.shortest_distance
+
+    def test_zero_distance_delivered_immediately(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((2, 2), (2, 2))])
+        result = BufferedEngine(problem, DimensionOrderPolicy()).run()
+        assert result.total_steps == 0
+
+    def test_timeout_flagged(self, mesh8):
+        problem = random_many_to_many(mesh8, k=30, seed=16)
+        engine = BufferedEngine(
+            problem, DimensionOrderPolicy(), max_steps=1
+        )
+        result = engine.run()
+        assert not result.completed
+
+
+class TestBufferedValidation:
+    def test_duplicate_direction_rejected(self, mesh8):
+        class BadPolicy(DimensionOrderPolicy):
+            name = "bad-buffered"
+
+            def forward(self, view):
+                direction = view.out_directions[0]
+                return {p.id: direction for p in view.packets}
+
+        problem = RoutingProblem.from_pairs(
+            mesh8, [((3, 3), (5, 5)), ((3, 3), (6, 6))]
+        )
+        with pytest.raises(ArcAssignmentError):
+            BufferedEngine(problem, BadPolicy()).run()
+
+    def test_unknown_packet_rejected(self, mesh8):
+        class GhostPolicy(DimensionOrderPolicy):
+            name = "ghost"
+
+            def forward(self, view):
+                return {999: view.out_directions[0]}
+
+        problem = RoutingProblem.from_pairs(mesh8, [((3, 3), (5, 5))])
+        with pytest.raises(ArcAssignmentError):
+            BufferedEngine(problem, GhostPolicy()).run()

@@ -1,0 +1,259 @@
+"""Unit tests for the synchronous hot-potato engine."""
+
+import pytest
+
+from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine, default_step_limit, route
+from repro.core.node_view import NodeView
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.exceptions import ArcAssignmentError, LivelockSuspectedError
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.workloads import random_many_to_many
+
+
+class TestBasicRuns:
+    def test_single_packet_shortest_path(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((1, 1), (4, 5))])
+        result = route(problem, PlainGreedyPolicy())
+        assert result.completed
+        assert result.total_steps == 7  # L1 distance, no conflicts
+        assert result.outcomes[0].hops == 7
+        assert result.outcomes[0].deflections == 0
+
+    def test_zero_distance_request_delivered_at_zero(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((2, 2), (2, 2))])
+        result = route(problem, PlainGreedyPolicy())
+        assert result.completed
+        assert result.total_steps == 0
+        assert result.outcomes[0].delivered_at == 0
+
+    def test_empty_problem(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [])
+        result = route(problem, PlainGreedyPolicy())
+        assert result.completed
+        assert result.total_steps == 0
+
+    def test_two_opposing_packets_cross(self, mesh8):
+        # Packets moving in opposite directions use antiparallel arcs
+        # and never conflict.
+        problem = RoutingProblem.from_pairs(
+            mesh8, [((1, 1), (1, 5)), ((1, 5), (1, 1))]
+        )
+        result = route(problem, PlainGreedyPolicy())
+        assert result.completed
+        assert result.total_steps == 4
+        assert result.total_deflections == 0
+
+    def test_conflict_produces_exactly_one_deflection(self, mesh8):
+        # Two packets at the same node, both restricted to the same arc.
+        problem = RoutingProblem.from_pairs(
+            mesh8, [((3, 1), (3, 5)), ((3, 1), (3, 6))]
+        )
+        result = route(problem, PlainGreedyPolicy())
+        assert result.completed
+        metrics0 = result.step_metrics[0]
+        assert metrics0.advancing == 1
+        assert metrics0.deflected == 1
+
+    def test_delivery_counts(self, small_problem):
+        result = route(small_problem, RestrictedPriorityPolicy())
+        assert result.delivered == small_problem.k
+        assert all(o.delivered for o in result.outcomes)
+
+    def test_hop_accounting(self, small_problem):
+        result = route(small_problem, RestrictedPriorityPolicy())
+        for outcome in result.outcomes:
+            assert outcome.hops == outcome.advances + outcome.deflections
+            # advances - deflections == shortest distance for delivered.
+            assert (
+                outcome.advances - outcome.deflections
+                == outcome.shortest_distance
+            )
+
+    def test_stretch_at_least_one(self, small_problem):
+        result = route(small_problem, RestrictedPriorityPolicy())
+        for outcome in result.outcomes:
+            if outcome.stretch is not None:
+                assert outcome.stretch >= 1.0
+
+
+class TestModelRules:
+    def test_one_packet_per_arc(self, mesh8):
+        """No two packets ever traverse the same directed arc in a step."""
+        problem = random_many_to_many(mesh8, k=60, seed=4)
+        engine = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), record_steps=True
+        )
+        result = engine.run()
+        assert result.completed
+        for record in result.records:
+            arcs = [
+                (info.node, info.next_node)
+                for info in record.infos.values()
+            ]
+            assert len(arcs) == len(set(arcs))
+
+    def test_hot_potato_everyone_moves(self, mesh8):
+        """Every in-flight packet moves every step (no buffering)."""
+        problem = random_many_to_many(mesh8, k=40, seed=5)
+        engine = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), record_steps=True
+        )
+        result = engine.run()
+        for record in result.records:
+            for info in record.infos.values():
+                assert info.node != info.next_node
+
+    def test_load_never_exceeds_degree(self, mesh8):
+        problem = random_many_to_many(mesh8, k=100, seed=6)
+        engine = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), record_steps=True
+        )
+        result = engine.run()
+        for record in result.records:
+            loads = {}
+            for info in record.infos.values():
+                loads[info.node] = loads.get(info.node, 0) + 1
+            for node, load in loads.items():
+                assert load <= mesh8.degree(node)
+
+    def test_distance_changes_by_one(self, mesh8):
+        problem = random_many_to_many(mesh8, k=30, seed=7)
+        engine = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), record_steps=True
+        )
+        result = engine.run()
+        for record in result.records:
+            for info in record.infos.values():
+                assert abs(info.distance_after - info.distance_before) == 1
+
+
+class _StayPutPolicy(RoutingPolicy):
+    """Returns an empty assignment — violates completeness."""
+
+    name = "stay-put"
+
+    def assign(self, view):
+        return {}
+
+
+class _CollidePolicy(RoutingPolicy):
+    """Assigns every packet the same direction — violates injectivity."""
+
+    name = "collide"
+
+    def assign(self, view):
+        direction = view.out_directions[0]
+        return {p.id: direction for p in view.packets}
+
+
+class _OffMeshPolicy(RoutingPolicy):
+    """Sends packets off the mesh edge."""
+
+    name = "off-mesh"
+
+    def assign(self, view):
+        assignment = {}
+        used = set()
+        for p in view.packets:
+            for direction in Direction(0, -1), Direction(1, -1), Direction(0, 1), Direction(1, 1):
+                if direction not in used:
+                    assignment[p.id] = direction
+                    used.add(direction)
+                    break
+        return assignment
+
+
+class TestPolicyValidation:
+    def test_incomplete_assignment_rejected(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((1, 1), (3, 3))])
+        with pytest.raises(ArcAssignmentError):
+            route(problem, _StayPutPolicy())
+
+    def test_duplicate_direction_rejected(self, mesh8):
+        problem = RoutingProblem.from_pairs(
+            mesh8, [((3, 3), (5, 5)), ((3, 3), (6, 6))]
+        )
+        with pytest.raises(ArcAssignmentError):
+            route(problem, _CollidePolicy())
+
+    def test_off_mesh_direction_rejected(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((1, 1), (3, 3))])
+        with pytest.raises(ArcAssignmentError):
+            route(problem, _OffMeshPolicy())
+
+    def test_unknown_packet_in_assignment_rejected(self, mesh8):
+        class ExtraPolicy(RoutingPolicy):
+            name = "extra"
+
+            def assign(self, view):
+                result = {
+                    p.id: d
+                    for p, d in zip(view.packets, view.out_directions)
+                }
+                result[999] = view.out_directions[-1]
+                return result
+
+        problem = RoutingProblem.from_pairs(mesh8, [((1, 1), (3, 3))])
+        with pytest.raises(ArcAssignmentError):
+            route(problem, ExtraPolicy())
+
+
+class TestStepBudget:
+    def test_default_step_limit_scales(self, mesh8):
+        small = random_many_to_many(mesh8, k=5, seed=0)
+        large = random_many_to_many(mesh8, k=100, seed=0)
+        assert default_step_limit(large) > default_step_limit(small)
+
+    def test_timeout_returns_incomplete(self, mesh8):
+        problem = random_many_to_many(mesh8, k=30, seed=9)
+        engine = HotPotatoEngine(problem, PlainGreedyPolicy(), max_steps=1)
+        result = engine.run()
+        assert not result.completed
+        assert result.total_steps == 1
+
+    def test_timeout_raises_when_asked(self, mesh8):
+        problem = random_many_to_many(mesh8, k=30, seed=9)
+        engine = HotPotatoEngine(
+            problem,
+            PlainGreedyPolicy(),
+            max_steps=1,
+            raise_on_timeout=True,
+        )
+        with pytest.raises(LivelockSuspectedError):
+            engine.run()
+
+
+class TestIntrospection:
+    def test_global_state_stable_shape(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=3)
+        engine = HotPotatoEngine(problem, PlainGreedyPolicy())
+        state_before = engine.global_state()
+        assert len(state_before) == 5
+        engine.step()
+        assert engine.global_state() != state_before
+
+    def test_current_positions(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((1, 1), (1, 3))])
+        engine = HotPotatoEngine(problem, PlainGreedyPolicy())
+        assert engine.current_positions == {0: (1, 1)}
+        engine.step()
+        assert engine.current_positions == {0: (1, 2)}
+
+    def test_record_paths(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((1, 1), (1, 3))])
+        engine = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), record_paths=True
+        )
+        engine.run()
+        assert engine.packets[0].path == [(1, 1), (1, 2), (1, 3)]
+
+    def test_result_metadata(self, small_problem):
+        result = route(small_problem, RestrictedPriorityPolicy(), seed=42)
+        assert result.policy_name == "restricted-priority"
+        assert result.k == small_problem.k
+        assert result.side == 8
+        assert result.dimension == 2
+        assert result.seed == 42

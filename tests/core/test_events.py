@@ -1,0 +1,78 @@
+"""Unit tests for run observers."""
+
+from repro.algorithms import PlainGreedyPolicy
+from repro.core.engine import HotPotatoEngine
+from repro.core.events import CallbackObserver, RunObserver
+from repro.workloads import random_many_to_many
+
+
+class CountingObserver(RunObserver):
+    def __init__(self):
+        self.starts = 0
+        self.steps = 0
+        self.ends = 0
+        self.final_result = None
+
+    def on_run_start(self, engine):
+        self.starts += 1
+
+    def on_step(self, record, metrics):
+        self.steps += 1
+
+    def on_run_end(self, result):
+        self.ends += 1
+        self.final_result = result
+
+
+class TestObserverLifecycle:
+    def test_callbacks_fire_in_order(self, mesh8):
+        problem = random_many_to_many(mesh8, k=10, seed=40)
+        observer = CountingObserver()
+        engine = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), observers=[observer]
+        )
+        result = engine.run()
+        assert observer.starts == 1
+        assert observer.ends == 1
+        assert observer.steps == len(result.step_metrics)
+        assert observer.final_result is result
+
+    def test_multiple_observers(self, mesh8):
+        problem = random_many_to_many(mesh8, k=10, seed=41)
+        first, second = CountingObserver(), CountingObserver()
+        HotPotatoEngine(
+            problem, PlainGreedyPolicy(), observers=[first, second]
+        ).run()
+        assert first.steps == second.steps > 0
+
+    def test_default_observer_methods_are_noops(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=42)
+        engine = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), observers=[RunObserver()]
+        )
+        assert engine.run().completed
+
+
+class TestCallbackObserver:
+    def test_wraps_plain_callables(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=43)
+        seen = {"steps": 0, "start": False, "end": False}
+        observer = CallbackObserver(
+            on_run_start=lambda engine: seen.update(start=True),
+            on_step=lambda record, metrics: seen.update(
+                steps=seen["steps"] + 1
+            ),
+            on_run_end=lambda result: seen.update(end=True),
+        )
+        HotPotatoEngine(
+            problem, PlainGreedyPolicy(), observers=[observer]
+        ).run()
+        assert seen["start"] and seen["end"] and seen["steps"] > 0
+
+    def test_partial_callbacks_ok(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=44)
+        observer = CallbackObserver()  # nothing wired up
+        engine = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), observers=[observer]
+        )
+        assert engine.run().completed

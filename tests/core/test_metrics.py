@@ -1,0 +1,148 @@
+"""Unit tests for step records, metrics, and run results."""
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine
+from repro.core.metrics import (
+    PacketOutcome,
+    PacketStepInfo,
+    StepMetrics,
+    StepRecord,
+)
+from repro.core.packet import RestrictedType
+from repro.mesh.directions import Direction
+from repro.workloads import random_many_to_many
+
+
+def make_info(packet_id, node, next_node, dist_before, dist_after):
+    return PacketStepInfo(
+        packet_id=packet_id,
+        node=node,
+        destination=(9, 9),
+        entry_direction=None,
+        assigned_direction=Direction(0, 1),
+        next_node=next_node,
+        distance_before=dist_before,
+        distance_after=dist_after,
+        num_good=1,
+        restricted=True,
+        restricted_type=RestrictedType.TYPE_B,
+    )
+
+
+class TestPacketStepInfo:
+    def test_advanced_and_deflected_are_complements(self):
+        advanced = make_info(0, (1, 1), (2, 1), 5, 4)
+        deflected = make_info(1, (1, 1), (1, 2), 5, 6)
+        assert advanced.advanced and not advanced.deflected
+        assert deflected.deflected and not deflected.advanced
+
+
+class TestStepRecord:
+    def test_node_groups(self):
+        infos = {
+            0: make_info(0, (1, 1), (2, 1), 5, 4),
+            1: make_info(1, (1, 1), (1, 2), 5, 6),
+            2: make_info(2, (3, 3), (3, 4), 2, 1),
+        }
+        record = StepRecord(step=0, infos=infos)
+        groups = record.node_groups()
+        assert set(groups) == {(1, 1), (3, 3)}
+        assert [i.packet_id for i in groups[(1, 1)]] == [0, 1]
+
+    def test_advancing_deflected_counts(self):
+        infos = {
+            0: make_info(0, (1, 1), (2, 1), 5, 4),
+            1: make_info(1, (1, 1), (1, 2), 5, 6),
+        }
+        record = StepRecord(step=0, infos=infos)
+        assert record.num_advancing == 1
+        assert record.num_deflected == 1
+
+
+class TestStepMetricsAliases:
+    def test_b_and_g(self):
+        metrics = StepMetrics(
+            step=0,
+            in_flight=10,
+            advancing=6,
+            deflected=4,
+            delivered_total=0,
+            total_distance=50,
+            max_node_load=3,
+            bad_nodes=1,
+            packets_in_bad_nodes=3,
+            packets_in_good_nodes=7,
+        )
+        assert metrics.b == 3
+        assert metrics.g == 7
+
+
+class TestPacketOutcome:
+    def test_stretch(self):
+        outcome = PacketOutcome(
+            packet_id=0,
+            source=(1, 1),
+            destination=(1, 5),
+            shortest_distance=4,
+            delivered_at=6,
+            hops=6,
+            advances=5,
+            deflections=1,
+        )
+        assert outcome.delivered
+        assert outcome.stretch == 1.5
+
+    def test_stretch_none_for_undelivered(self):
+        outcome = PacketOutcome(
+            packet_id=0,
+            source=(1, 1),
+            destination=(1, 5),
+            shortest_distance=4,
+            delivered_at=None,
+            hops=10,
+            advances=5,
+            deflections=5,
+        )
+        assert outcome.stretch is None
+
+    def test_stretch_none_for_zero_distance(self):
+        outcome = PacketOutcome(
+            packet_id=0,
+            source=(1, 1),
+            destination=(1, 1),
+            shortest_distance=0,
+            delivered_at=0,
+            hops=0,
+            advances=0,
+            deflections=0,
+        )
+        assert outcome.stretch is None
+
+
+class TestRunResultAggregates:
+    def test_aggregates_consistent(self, mesh8):
+        problem = random_many_to_many(mesh8, k=40, seed=31)
+        engine = HotPotatoEngine(problem, RestrictedPriorityPolicy())
+        result = engine.run()
+        assert result.total_advances - result.total_deflections == sum(
+            o.shortest_distance for o in result.outcomes
+        )
+        assert result.average_stretch >= 1.0
+        assert 0 < result.average_delivery_time <= result.total_steps
+        assert result.max_load_seen >= 1
+        assert "restricted-priority" in result.summary()
+
+    def test_step_metrics_in_flight_decreases_to_zero(self, mesh8):
+        problem = random_many_to_many(mesh8, k=20, seed=32)
+        engine = HotPotatoEngine(problem, RestrictedPriorityPolicy())
+        result = engine.run()
+        assert result.step_metrics[-1].delivered_total == 20
+
+    def test_empty_run_defaults(self, mesh8):
+        from repro.core.problem import RoutingProblem
+
+        problem = RoutingProblem.from_pairs(mesh8, [])
+        result = HotPotatoEngine(problem, RestrictedPriorityPolicy()).run()
+        assert result.average_delivery_time == 0.0
+        assert result.average_stretch == 1.0
+        assert result.max_load_seen == 0

@@ -1,0 +1,95 @@
+"""Unit tests for NodeView (the per-node, per-step local picture)."""
+
+from repro.core.node_view import NodeView
+from repro.core.packet import Packet, RestrictedType
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+
+
+def make_view(mesh, entries):
+    """Build a view at the first entry's node from (source, dest) pairs."""
+    node = entries[0][0]
+    packets = [
+        Packet(id=i, source=source, destination=dest)
+        for i, (source, dest) in enumerate(entries)
+    ]
+    return NodeView(mesh, node, 0, packets), packets
+
+
+class TestGoodDirections:
+    def test_diagonal_packet_two_good(self):
+        mesh = Mesh(2, 5)
+        view, packets = make_view(mesh, [((2, 2), (4, 4))])
+        assert set(view.good_directions(packets[0])) == {
+            Direction(0, 1),
+            Direction(1, 1),
+        }
+        assert view.num_good(packets[0]) == 2
+        assert not view.is_restricted(packets[0])
+
+    def test_restricted_packet(self):
+        mesh = Mesh(2, 5)
+        view, packets = make_view(mesh, [((2, 2), (2, 5))])
+        assert view.is_restricted(packets[0])
+        assert view.good_directions(packets[0]) == (Direction(1, 1),)
+
+    def test_type_classification_uses_history(self):
+        mesh = Mesh(2, 5)
+        packet = Packet(id=0, source=(2, 2), destination=(2, 5))
+        packet.advanced_last_step = True
+        packet.restricted_last_step = True
+        view = NodeView(mesh, (2, 2), 3, [packet])
+        assert view.restricted_type(packet) is RestrictedType.TYPE_A
+        assert view.is_type_a(packet)
+
+    def test_fresh_restricted_is_type_b(self):
+        mesh = Mesh(2, 5)
+        view, packets = make_view(mesh, [((2, 2), (2, 5))])
+        assert view.restricted_type(packets[0]) is RestrictedType.TYPE_B
+
+    def test_unrestricted_type(self):
+        mesh = Mesh(2, 5)
+        view, packets = make_view(mesh, [((2, 2), (4, 4))])
+        assert (
+            view.restricted_type(packets[0]) is RestrictedType.UNRESTRICTED
+        )
+
+
+class TestAggregates:
+    def test_packets_sorted_by_id(self):
+        mesh = Mesh(2, 5)
+        packets = [
+            Packet(id=3, source=(2, 2), destination=(4, 4)),
+            Packet(id=1, source=(2, 2), destination=(1, 1)),
+        ]
+        view = NodeView(mesh, (2, 2), 0, packets)
+        assert [p.id for p in view.packets] == [1, 3]
+
+    def test_load_and_bad_node(self):
+        mesh = Mesh(2, 5)
+        entries = [((3, 3), (1, 1)), ((3, 3), (5, 5)), ((3, 3), (3, 5))]
+        view, _ = make_view(mesh, entries)
+        assert view.load == 3
+        assert view.is_bad_node()  # 3 > d = 2
+
+    def test_good_node(self):
+        mesh = Mesh(2, 5)
+        view, _ = make_view(mesh, [((3, 3), (1, 1)), ((3, 3), (5, 5))])
+        assert not view.is_bad_node()
+
+    def test_advancing_capacity(self):
+        mesh = Mesh(2, 5)
+        # Two packets wanting only the same single direction.
+        view, _ = make_view(mesh, [((2, 2), (2, 5)), ((2, 2), (2, 4))])
+        assert view.advancing_capacity() == 1
+
+    def test_out_directions_at_corner(self):
+        mesh = Mesh(2, 5)
+        packet = Packet(id=0, source=(1, 1), destination=(5, 5))
+        view = NodeView(mesh, (1, 1), 0, [packet])
+        assert set(view.out_directions) == {Direction(0, 1), Direction(1, 1)}
+
+    def test_repr(self):
+        mesh = Mesh(2, 5)
+        view, _ = make_view(mesh, [((2, 2), (4, 4))])
+        assert "load=1" in repr(view)

@@ -1,0 +1,69 @@
+"""Unit tests for Packet state and the type-A/B classification."""
+
+from repro.core.packet import Packet, RestrictedType
+
+
+class TestPacketBasics:
+    def test_initial_location_is_source(self):
+        packet = Packet(id=0, source=(1, 1), destination=(3, 3))
+        assert packet.location == (1, 1)
+        assert packet.in_flight
+        assert not packet.delivered
+
+    def test_delivered_flag(self):
+        packet = Packet(id=0, source=(1, 1), destination=(3, 3))
+        packet.delivered_at = 5
+        assert packet.delivered
+        assert not packet.in_flight
+
+    def test_clone_is_independent(self):
+        packet = Packet(id=1, source=(1, 1), destination=(2, 2))
+        packet.path.append((1, 1))
+        twin = packet.clone()
+        twin.path.append((1, 2))
+        twin.location = (9, 9)
+        assert packet.path == [(1, 1)]
+        assert packet.location == (1, 1)
+        assert twin.id == packet.id
+
+    def test_clone_copies_counters(self):
+        packet = Packet(id=1, source=(1, 1), destination=(2, 2))
+        packet.hops = 7
+        packet.advances = 5
+        packet.deflections = 2
+        twin = packet.clone()
+        assert (twin.hops, twin.advances, twin.deflections) == (7, 5, 2)
+
+
+class TestClassification:
+    """Figure 5: type A = restricted now, was restricted and advanced
+    last step; type B = all other restricted packets."""
+
+    def _packet(self, advanced, was_restricted):
+        packet = Packet(id=0, source=(1, 1), destination=(5, 1))
+        packet.advanced_last_step = advanced
+        packet.restricted_last_step = was_restricted
+        return packet
+
+    def test_type_a(self):
+        packet = self._packet(advanced=True, was_restricted=True)
+        assert packet.classify(restricted_now=True) is RestrictedType.TYPE_A
+
+    def test_type_b_after_deflection(self):
+        packet = self._packet(advanced=False, was_restricted=True)
+        assert packet.classify(restricted_now=True) is RestrictedType.TYPE_B
+
+    def test_type_b_when_previously_unrestricted(self):
+        packet = self._packet(advanced=True, was_restricted=False)
+        assert packet.classify(restricted_now=True) is RestrictedType.TYPE_B
+
+    def test_fresh_packet_is_type_b(self):
+        packet = Packet(id=0, source=(1, 1), destination=(5, 1))
+        assert packet.classify(restricted_now=True) is RestrictedType.TYPE_B
+
+    def test_unrestricted(self):
+        packet = self._packet(advanced=True, was_restricted=True)
+        assert (
+            packet.classify(restricted_now=False)
+            is RestrictedType.UNRESTRICTED
+        )

@@ -1,0 +1,125 @@
+"""Tests for JSON serialization of problems, results, and traces."""
+
+import json
+
+import pytest
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.core.engine import route
+from repro.core.serialization import (
+    load_result,
+    load_trace,
+    mesh_from_dict,
+    mesh_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.core.trace import record_run, traces_equal
+from repro.exceptions import TraceError
+from repro.mesh.hypercube import Hypercube
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+from repro.workloads import random_many_to_many
+
+
+class TestMeshRoundTrip:
+    @pytest.mark.parametrize(
+        "mesh", [Mesh(2, 8), Mesh(3, 4), Torus(2, 6), Hypercube(4)]
+    )
+    def test_round_trip(self, mesh):
+        restored = mesh_from_dict(mesh_to_dict(mesh))
+        assert restored == mesh
+        assert restored.kind == mesh.kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError):
+            mesh_from_dict({"kind": "klein-bottle", "dimension": 2, "side": 4})
+
+
+class TestProblemRoundTrip:
+    def test_round_trip(self, mesh8):
+        problem = random_many_to_many(mesh8, k=15, seed=0, name="demo")
+        restored = problem_from_dict(problem_to_dict(problem))
+        assert restored.requests == problem.requests
+        assert restored.name == "demo"
+        assert restored.mesh == mesh8
+
+    def test_json_compatible(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=1)
+        json.dumps(problem_to_dict(problem))  # no exception
+
+
+class TestResultRoundTrip:
+    def test_round_trip(self, mesh8):
+        problem = random_many_to_many(mesh8, k=20, seed=2)
+        result = route(problem, RestrictedPriorityPolicy(), seed=2)
+        restored = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))
+        )
+        assert restored.total_steps == result.total_steps
+        assert restored.delivered == result.delivered
+        assert len(restored.step_metrics) == len(result.step_metrics)
+        assert restored.step_metrics[0] == result.step_metrics[0]
+        assert restored.outcomes[3].hops == result.outcomes[3].hops
+        assert restored.summary() == result.summary()
+
+    def test_file_round_trip(self, mesh8, tmp_path):
+        problem = random_many_to_many(mesh8, k=10, seed=3)
+        result = route(problem, RestrictedPriorityPolicy(), seed=3)
+        path = str(tmp_path / "result.json")
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.total_steps == result.total_steps
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_preserves_movement(self, mesh8):
+        problem = random_many_to_many(mesh8, k=25, seed=4)
+        trace = record_run(problem, RestrictedPriorityPolicy(), seed=4)
+        restored = trace_from_dict(
+            json.loads(json.dumps(trace_to_dict(trace)))
+        )
+        assert traces_equal(trace, restored)
+        restored.verify_consistency()
+
+    def test_file_round_trip_and_validation(self, mesh8, tmp_path):
+        problem = random_many_to_many(mesh8, k=15, seed=5)
+        trace = record_run(problem, RestrictedPriorityPolicy(), seed=5)
+        path = str(tmp_path / "trace.json")
+        save_trace(trace, path)
+        restored = load_trace(path)
+        assert traces_equal(trace, restored)
+
+    def test_load_rejects_corrupted_trace(self, mesh8, tmp_path):
+        problem = random_many_to_many(mesh8, k=5, seed=6)
+        trace = record_run(problem, RestrictedPriorityPolicy(), seed=6)
+        data = trace_to_dict(trace)
+        # Teleport a packet in step 1.
+        data["records"][1]["infos"][0]["node"] = [8, 8]
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_restricted_types_preserved(self, mesh8):
+        from repro.workloads import single_target
+
+        problem = single_target(mesh8, k=30, seed=7)
+        trace = record_run(problem, RestrictedPriorityPolicy(), seed=7)
+        restored = trace_from_dict(trace_to_dict(trace))
+        for original, copy in zip(trace.records, restored.records):
+            for packet_id, info in original.infos.items():
+                assert (
+                    copy.infos[packet_id].restricted_type
+                    == info.restricted_type
+                )
+                assert (
+                    copy.infos[packet_id].entry_direction
+                    == info.entry_direction
+                )

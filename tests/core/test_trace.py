@@ -1,0 +1,179 @@
+"""Unit tests for trace capture, consistency checks, and replay."""
+
+import pytest
+
+from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
+from repro.core.metrics import PacketStepInfo, StepRecord
+from repro.core.packet import RestrictedType
+from repro.core.problem import RoutingProblem
+from repro.core.trace import Trace, record_run, traces_equal
+from repro.exceptions import TraceError
+from repro.mesh.directions import Direction
+from repro.workloads import random_many_to_many
+
+
+class TestRecordRun:
+    def test_records_every_step(self, mesh8):
+        problem = random_many_to_many(mesh8, k=15, seed=20)
+        trace = record_run(problem, RestrictedPriorityPolicy(), seed=20)
+        assert trace.num_steps == trace.result.total_steps
+        assert trace.result.completed
+
+    def test_consistency_passes(self, mesh8):
+        problem = random_many_to_many(mesh8, k=25, seed=21)
+        trace = record_run(problem, PlainGreedyPolicy(), seed=21)
+        trace.verify_consistency()  # no exception
+
+    def test_positions_at_start(self, mesh8):
+        problem = random_many_to_many(mesh8, k=10, seed=22)
+        trace = record_run(problem, PlainGreedyPolicy(), seed=22)
+        positions = trace.positions_at(0)
+        for packet_id, node in positions.items():
+            assert node == problem.requests[packet_id].source
+
+    def test_positions_at_end_empty(self, mesh8):
+        problem = random_many_to_many(mesh8, k=10, seed=23)
+        trace = record_run(problem, PlainGreedyPolicy(), seed=23)
+        assert trace.positions_at(trace.num_steps) == {}
+
+    def test_positions_time_out_of_range(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=24)
+        trace = record_run(problem, PlainGreedyPolicy(), seed=24)
+        with pytest.raises(TraceError):
+            trace.positions_at(trace.num_steps + 1)
+        with pytest.raises(TraceError):
+            trace.positions_at(-1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, mesh8):
+        problem = random_many_to_many(mesh8, k=30, seed=25)
+        first = record_run(problem, RestrictedPriorityPolicy(), seed=7)
+        second = record_run(problem, RestrictedPriorityPolicy(), seed=7)
+        assert traces_equal(first, second)
+
+    def test_randomized_policy_differs_across_seeds(self, mesh8):
+        from repro.algorithms import RandomizedGreedyPolicy
+
+        # Dense enough that random tie-breaking certainly fires.
+        problem = random_many_to_many(mesh8, k=100, seed=26)
+        first = record_run(problem, RandomizedGreedyPolicy(), seed=1)
+        second = record_run(problem, RandomizedGreedyPolicy(), seed=2)
+        assert not traces_equal(first, second)
+
+    def test_randomized_policy_reproducible_with_same_seed(self, mesh8):
+        from repro.algorithms import RandomizedGreedyPolicy
+
+        problem = random_many_to_many(mesh8, k=100, seed=26)
+        first = record_run(problem, RandomizedGreedyPolicy(), seed=5)
+        second = record_run(problem, RandomizedGreedyPolicy(), seed=5)
+        assert traces_equal(first, second)
+
+
+class TestConsistencyDetection:
+    def _tampered_trace(self, mesh8, mutate):
+        problem = random_many_to_many(mesh8, k=8, seed=27)
+        trace = record_run(problem, PlainGreedyPolicy(), seed=27)
+        records = list(trace.records)
+        mutate(records)
+        return Trace(
+            problem=problem,
+            policy_name=trace.policy_name,
+            seed=trace.seed,
+            records=records,
+        )
+
+    def test_detects_teleport(self, mesh8):
+        def mutate(records):
+            record = records[1]
+            infos = dict(record.infos)
+            packet_id, info = next(iter(infos.items()))
+            tampered = PacketStepInfo(
+                packet_id=info.packet_id,
+                node=(8, 8) if info.node != (8, 8) else (1, 1),
+                destination=info.destination,
+                entry_direction=info.entry_direction,
+                assigned_direction=info.assigned_direction,
+                next_node=info.next_node,
+                distance_before=info.distance_before,
+                distance_after=info.distance_after,
+                num_good=info.num_good,
+                restricted=info.restricted,
+                restricted_type=info.restricted_type,
+            )
+            infos[packet_id] = tampered
+            records[1] = StepRecord(
+                step=record.step,
+                infos=infos,
+                delivered_after=record.delivered_after,
+            )
+
+        trace = self._tampered_trace(mesh8, mutate)
+        with pytest.raises(TraceError):
+            trace.verify_consistency()
+
+    def test_detects_ghost_packet(self, mesh8):
+        def mutate(records):
+            record = records[0]
+            infos = dict(record.infos)
+            info = next(iter(infos.values()))
+            ghost = PacketStepInfo(
+                packet_id=999,
+                node=info.node,
+                destination=info.destination,
+                entry_direction=None,
+                assigned_direction=info.assigned_direction,
+                next_node=info.next_node,
+                distance_before=info.distance_before,
+                distance_after=info.distance_after,
+                num_good=info.num_good,
+                restricted=info.restricted,
+                restricted_type=info.restricted_type,
+            )
+            infos[999] = ghost
+            records[0] = StepRecord(
+                step=record.step,
+                infos=infos,
+                delivered_after=record.delivered_after,
+            )
+
+        trace = self._tampered_trace(mesh8, mutate)
+        with pytest.raises(TraceError):
+            trace.verify_consistency()
+
+    def test_detects_false_delivery(self, mesh8):
+        def mutate(records):
+            record = records[0]
+            # Claim a packet that did not reach its destination was
+            # delivered.
+            undelivered = [
+                packet_id
+                for packet_id, info in record.infos.items()
+                if info.next_node != info.destination
+            ]
+            records[0] = StepRecord(
+                step=record.step,
+                infos=record.infos,
+                delivered_after=tuple(undelivered[:1]),
+            )
+
+        trace = self._tampered_trace(mesh8, mutate)
+        with pytest.raises(TraceError):
+            trace.verify_consistency()
+
+
+class TestTracesEqual:
+    def test_equal_to_self(self, mesh8):
+        problem = random_many_to_many(mesh8, k=10, seed=28)
+        trace = record_run(problem, PlainGreedyPolicy(), seed=28)
+        assert traces_equal(trace, trace)
+
+    def test_different_policies_differ(self, mesh8):
+        problem = random_many_to_many(mesh8, k=60, seed=29)
+        greedy = record_run(problem, PlainGreedyPolicy(), seed=29)
+        restricted = record_run(
+            problem, RestrictedPriorityPolicy(), seed=29
+        )
+        # With 60 packets on an 8x8 mesh the two priority rules almost
+        # surely make at least one different choice.
+        assert not traces_equal(greedy, restricted)

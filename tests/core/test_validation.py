@@ -1,0 +1,203 @@
+"""Unit tests for the protocol validators (Definitions 6 and 18)."""
+
+import pytest
+
+from repro.algorithms import (
+    FixedPriorityPolicy,
+    PlainGreedyPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.core.engine import HotPotatoEngine, route
+from repro.core.node_view import NodeView
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import RoutingProblem
+from repro.core.validation import (
+    CapacityValidator,
+    GreedyValidator,
+    MaxAdvanceValidator,
+    RestrictedPriorityValidator,
+    validators_for,
+)
+from repro.exceptions import (
+    GreedinessViolationError,
+    RestrictedPriorityViolationError,
+)
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.workloads import random_many_to_many
+
+
+class _AntiGreedyPolicy(RoutingPolicy):
+    """Deflects everything it can — flagrantly violates Definition 6."""
+
+    name = "anti-greedy"
+    declares_greedy = True  # lies, so the validator must catch it
+
+    def assign(self, view):
+        assignment = {}
+        used = set()
+        for packet in view.packets:
+            good = set(view.good_directions(packet))
+            # Prefer a bad direction.
+            for direction in view.out_directions:
+                if direction not in used and direction not in good:
+                    assignment[packet.id] = direction
+                    used.add(direction)
+                    break
+            else:
+                for direction in view.out_directions:
+                    if direction not in used:
+                        assignment[packet.id] = direction
+                        used.add(direction)
+                        break
+        return assignment
+
+
+class _RestrictedBullyPolicy(RoutingPolicy):
+    """Greedy, but lets non-restricted packets deflect restricted ones.
+
+    Wraps the fixed-priority policy (id order) and claims Definition 18.
+    """
+
+    name = "restricted-bully"
+    declares_greedy = True
+    declares_restricted_priority = True  # lies
+
+    def __init__(self):
+        self._inner = FixedPriorityPolicy()
+
+    def prepare(self, mesh, problem, rng):
+        self._inner.prepare(mesh, problem, rng)
+
+    def assign(self, view):
+        return self._inner.assign(view)
+
+
+class TestGreedyValidator:
+    def test_catches_anti_greedy(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((4, 4), (4, 6))])
+        with pytest.raises(GreedinessViolationError):
+            route(problem, _AntiGreedyPolicy())
+
+    def test_passes_real_greedy(self, mesh8):
+        problem = random_many_to_many(mesh8, k=40, seed=1)
+        result = route(problem, PlainGreedyPolicy())  # validators on
+        assert result.completed
+
+
+class TestRestrictedPriorityValidator:
+    def test_catches_bully(self, mesh8):
+        # id 0 is non-restricted (diagonal), id 1 restricted; both at
+        # the same node and id 0's priority takes the shared good arc.
+        problem = RoutingProblem.from_pairs(
+            mesh8,
+            [
+                ((3, 3), (5, 5)),  # id 0: good = {south, east}
+                ((3, 3), (3, 6)),  # id 1: good = {east} (restricted)
+            ],
+        )
+        # Force the conflict: id 0 must take east.  With FixedPriority,
+        # Kuhn matches id 0 first to its first-listed good direction;
+        # an augmenting path would reroute id 0 to south and advance
+        # both, so we need the bully to actually win east.  Use a
+        # problem where the restricted packet loses for sure: put a
+        # third packet restricted to south.
+        problem = RoutingProblem.from_pairs(
+            mesh8,
+            [
+                ((3, 3), (5, 5)),  # good = {south, east}
+                ((3, 3), (3, 6)),  # good = {east}
+                ((3, 3), (6, 3)),  # good = {south}
+            ],
+        )
+        with pytest.raises(RestrictedPriorityViolationError):
+            route(problem, _RestrictedBullyPolicy())
+
+    def test_passes_restricted_priority_policy(self, mesh8):
+        problem = random_many_to_many(mesh8, k=60, seed=2)
+        result = route(problem, RestrictedPriorityPolicy())
+        assert result.completed
+
+
+class TestMaxAdvanceValidator:
+    def test_passes_matching_policies(self, mesh8):
+        problem = random_many_to_many(mesh8, k=60, seed=3)
+        result = route(problem, PlainGreedyPolicy())
+        assert result.completed
+
+    def test_catches_non_maximum(self, mesh8):
+        class LazyPolicy(RoutingPolicy):
+            """Greedy but advances fewer packets than the maximum."""
+
+            name = "lazy"
+            declares_max_advance = True  # lies
+
+            def assign(self, view):
+                # First-fit in id order can miss the maximum matching.
+                assignment = {}
+                used = set()
+                for packet in view.packets:
+                    chosen = None
+                    for direction in view.good_directions(packet):
+                        if direction not in used:
+                            chosen = direction
+                            break
+                    if chosen is None:
+                        for direction in view.out_directions:
+                            if direction not in used:
+                                chosen = direction
+                                break
+                    assignment[packet.id] = chosen
+                    used.add(chosen)
+                return assignment
+
+        # id 0 flexible {south, east}, id 1 restricted {east}: first-fit
+        # in direction order gives id 0 south... both advance.  Make a
+        # case where first-fit fails: id 0 takes east (its only listed
+        # first good is south -> need order where conflict occurs).
+        # Use: id 0 restricted-to-east destination listed after a
+        # flexible packet whose first good direction is east.
+        problem = RoutingProblem.from_pairs(
+            mesh8,
+            [
+                ((3, 3), (3, 6)),  # good = (east,)   [axis 1 only]
+                ((3, 3), (3, 5)),  # good = (east,)
+                ((3, 3), (5, 5)),  # good = (south, east)
+            ],
+        )
+        # first-fit: id0 east, id1 unmatched, id2 south -> 2 advance,
+        # and maximum is also 2 -> passes.  Construct a real gap:
+        problem = RoutingProblem.from_pairs(
+            mesh8,
+            [
+                ((3, 3), (5, 5)),  # good = (south, east), takes south
+                ((3, 3), (6, 3)),  # good = (south,) -> blocked
+                ((3, 3), (6, 2)),  # good = (south, west) -> takes west
+            ],
+        )
+        # first-fit: id0 south, id1 blocked, id2 west => 2 advancing.
+        # maximum: id1 south, id0 east, id2 west => 3 advancing.
+        with pytest.raises(GreedinessViolationError):
+            route(problem, LazyPolicy())
+
+
+class TestValidatorsFor:
+    def test_strict_stack_matches_declarations(self):
+        policy = RestrictedPriorityPolicy()
+        stack = validators_for(policy, strict=True)
+        kinds = {type(v) for v in stack}
+        assert CapacityValidator in kinds
+        assert GreedyValidator in kinds
+        assert RestrictedPriorityValidator in kinds
+        assert MaxAdvanceValidator in kinds
+
+    def test_non_strict_is_capacity_only(self):
+        stack = validators_for(RestrictedPriorityPolicy(), strict=False)
+        assert len(stack) == 1
+        assert isinstance(stack[0], CapacityValidator)
+
+    def test_plain_policy_has_no_restricted_validator(self):
+        stack = validators_for(PlainGreedyPolicy())
+        kinds = {type(v) for v in stack}
+        assert RestrictedPriorityValidator not in kinds
+        assert GreedyValidator in kinds

@@ -1,0 +1,156 @@
+"""Tests for the continuous-injection engine and its statistics."""
+
+import pytest
+
+from repro.algorithms import (
+    PlainGreedyPolicy,
+    RandomizedGreedyPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.dynamic import (
+    BernoulliTraffic,
+    DynamicEngine,
+    DynamicStats,
+    ScriptedTraffic,
+)
+from repro.mesh.topology import Mesh
+
+
+class TestBasicOperation:
+    def test_single_scripted_packet_latency(self, mesh8):
+        traffic = ScriptedTraffic([((1, 1), 0, (1, 4))])
+        engine = DynamicEngine(
+            mesh8, PlainGreedyPolicy(), traffic, seed=0
+        )
+        stats = engine.run(10)
+        assert stats.delivered_count == 1
+        record = stats.deliveries[0]
+        # Generated at the start of step 0, injected immediately, so it
+        # moves during steps 0..2 and arrives at time 3: latency == dist.
+        assert record.latency == 3
+        assert record.hops == 3
+        assert record.shortest == 3
+
+    def test_no_traffic_is_a_noop(self, mesh8):
+        engine = DynamicEngine(
+            mesh8, PlainGreedyPolicy(), BernoulliTraffic(0.0), seed=0
+        )
+        stats = engine.run(50)
+        assert stats.delivered_count == 0
+        assert stats.mean_in_flight == 0.0
+        assert stats.throughput == 0.0
+
+    def test_low_load_latency_close_to_distance(self, mesh8):
+        engine = DynamicEngine(
+            mesh8,
+            RestrictedPriorityPolicy(),
+            BernoulliTraffic(0.05),
+            seed=1,
+            warmup=100,
+        )
+        stats = engine.run(600)
+        assert stats.delivered_count > 50
+        assert stats.mean_stretch < 1.2
+        assert stats.deflection_rate < 0.1
+        assert stats.is_stable()
+
+    def test_capacity_never_exceeded(self, mesh8):
+        """The injection discipline keeps node load within degree at
+        all times, preserving the hot-potato invariant."""
+        engine = DynamicEngine(
+            mesh8,
+            PlainGreedyPolicy(),
+            BernoulliTraffic(0.8),
+            seed=2,
+        )
+        engine._start()
+        for _ in range(100):
+            engine.step()
+            loads = {}
+            for packet in engine.in_flight:
+                loads[packet.location] = loads.get(packet.location, 0) + 1
+            for node, load in loads.items():
+                assert load <= mesh8.degree(node)
+
+    def test_overload_builds_backlog(self, mesh8):
+        engine = DynamicEngine(
+            mesh8,
+            PlainGreedyPolicy(),
+            BernoulliTraffic(0.9),
+            seed=3,
+        )
+        stats = engine.run(300)
+        assert stats.final_backlog > 100
+        assert not stats.is_stable()
+
+    def test_moderate_load_is_stable(self, mesh8):
+        engine = DynamicEngine(
+            mesh8,
+            RestrictedPriorityPolicy(),
+            BernoulliTraffic(0.15),
+            seed=4,
+            warmup=100,
+        )
+        stats = engine.run(800)
+        assert stats.is_stable()
+        # Throughput matches offered load in steady state (within noise).
+        offered = 0.15 * mesh8.num_nodes
+        assert stats.throughput == pytest.approx(offered, rel=0.25)
+
+
+class TestWarmup:
+    def test_warmup_excludes_early_packets(self, mesh8):
+        traffic = ScriptedTraffic(
+            [((1, 1), 0, (4, 4)), ((1, 1), 50, (4, 4))]
+        )
+        engine = DynamicEngine(
+            mesh8, PlainGreedyPolicy(), traffic, seed=0, warmup=10
+        )
+        stats = engine.run(80)
+        assert stats.delivered_count == 1
+        assert stats.deliveries[0].generated_at == 50
+
+
+class TestStats:
+    def test_percentile_validation(self):
+        stats = DynamicStats()
+        with pytest.raises(ValueError):
+            stats.latency_percentile(120)
+
+    def test_empty_stats_defaults(self):
+        stats = DynamicStats()
+        assert stats.mean_latency == 0.0
+        assert stats.latency_percentile(99) == 0.0
+        assert stats.mean_stretch == 1.0
+        assert stats.deflection_rate == 0.0
+        assert stats.max_backlog == 0
+
+    def test_percentiles_ordered(self, mesh8):
+        engine = DynamicEngine(
+            mesh8,
+            RandomizedGreedyPolicy(),
+            BernoulliTraffic(0.2),
+            seed=5,
+            warmup=50,
+        )
+        stats = engine.run(400)
+        p50 = stats.latency_percentile(50)
+        p90 = stats.latency_percentile(90)
+        p99 = stats.latency_percentile(99)
+        assert p50 <= p90 <= p99
+        assert "latency" in stats.summary()
+
+    def test_deterministic_given_seed(self, mesh8):
+        def run():
+            engine = DynamicEngine(
+                mesh8,
+                RandomizedGreedyPolicy(),
+                BernoulliTraffic(0.2),
+                seed=6,
+                warmup=20,
+            )
+            return engine.run(200)
+
+        first, second = run(), run()
+        assert first.delivered_count == second.delivered_count
+        assert first.mean_latency == second.mean_latency

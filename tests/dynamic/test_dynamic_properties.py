@@ -1,0 +1,105 @@
+"""Property-based tests for the dynamic engines."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    DimensionOrderPolicy,
+    PlainGreedyPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.dynamic import (
+    BernoulliTraffic,
+    BufferedDynamicEngine,
+    DynamicEngine,
+)
+from repro.mesh.topology import Mesh
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+params = st.tuples(
+    st.sampled_from([4, 6, 8]),              # side
+    st.floats(0.01, 0.6),                    # rate
+    st.integers(0, 10_000),                  # seed
+)
+
+
+class TestHotPotatoDynamicProperties:
+    @given(params)
+    @SLOW
+    def test_conservation(self, p):
+        """Every generated packet is injected, queued, in flight, or
+        delivered — nothing leaks."""
+        side, rate, seed = p
+        engine = DynamicEngine(
+            Mesh(2, side),
+            PlainGreedyPolicy(),
+            BernoulliTraffic(rate),
+            seed=seed,
+        )
+        stats = engine.run(120)
+        generated = sum(s.generated for s in stats.samples)
+        injected = engine._next_id  # ids are issued at injection
+        backlog = sum(len(q) for q in engine.backlog.values())
+        assert generated == injected + backlog
+        # Injected packets are exactly the in-flight plus delivered
+        # ones; _generated_at keeps entries only for undelivered.
+        assert len(engine._generated_at) == len(engine.in_flight)
+        delivered = injected - len(engine.in_flight)
+        assert delivered >= stats.delivered_count  # warm-up excluded
+
+    @given(params)
+    @SLOW
+    def test_latency_at_least_distance(self, p):
+        side, rate, seed = p
+        engine = DynamicEngine(
+            Mesh(2, side),
+            RestrictedPriorityPolicy(),
+            BernoulliTraffic(rate),
+            seed=seed,
+        )
+        stats = engine.run(150)
+        for record in stats.deliveries:
+            assert record.latency >= record.shortest
+            assert record.hops >= record.shortest
+            assert (record.hops - record.shortest) % 2 == 0
+
+    @given(params)
+    @SLOW
+    def test_per_step_counters_consistent(self, p):
+        side, rate, seed = p
+        engine = DynamicEngine(
+            Mesh(2, side),
+            PlainGreedyPolicy(),
+            BernoulliTraffic(rate),
+            seed=seed,
+        )
+        stats = engine.run(100)
+        for sample in stats.samples:
+            assert sample.injected <= sample.generated + sample.backlog + 10**9
+            assert 0 <= sample.advancing <= sample.in_flight
+            assert sample.delivered <= sample.in_flight
+
+
+class TestBufferedDynamicProperties:
+    @given(params)
+    @SLOW
+    def test_hops_equal_distance(self, p):
+        """Dimension-order never detours: hops == shortest for every
+        delivery, at any load."""
+        side, rate, seed = p
+        engine = BufferedDynamicEngine(
+            Mesh(2, side),
+            DimensionOrderPolicy(),
+            BernoulliTraffic(rate),
+            seed=seed,
+        )
+        stats = engine.run(120)
+        for record in stats.deliveries:
+            assert record.hops == record.shortest
+            assert record.latency >= record.shortest

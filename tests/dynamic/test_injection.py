@@ -1,0 +1,107 @@
+"""Tests for the dynamic traffic models."""
+
+import random
+
+import pytest
+
+from repro.dynamic.injection import (
+    BernoulliTraffic,
+    HotSpotTraffic,
+    ScriptedTraffic,
+)
+from repro.mesh.topology import Mesh
+
+
+class TestBernoulli:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliTraffic(-0.1)
+        with pytest.raises(ValueError):
+            BernoulliTraffic(1.1)
+
+    def test_zero_rate_generates_nothing(self, mesh8):
+        traffic = BernoulliTraffic(0.0)
+        traffic.prepare(mesh8, random.Random(0))
+        assert all(
+            traffic.arrivals(node, 0) == [] for node in mesh8.nodes()
+        )
+
+    def test_rate_one_generates_everywhere(self, mesh8):
+        traffic = BernoulliTraffic(1.0)
+        traffic.prepare(mesh8, random.Random(0))
+        for node in mesh8.nodes():
+            arrivals = traffic.arrivals(node, 0)
+            assert len(arrivals) == 1
+            assert arrivals[0] != node
+
+    def test_empirical_rate(self, mesh8):
+        traffic = BernoulliTraffic(0.3)
+        traffic.prepare(mesh8, random.Random(1))
+        total = sum(
+            len(traffic.arrivals(node, step))
+            for step in range(100)
+            for node in mesh8.nodes()
+        )
+        expected = 0.3 * 100 * mesh8.num_nodes
+        assert 0.8 * expected <= total <= 1.2 * expected
+
+    def test_destinations_in_mesh(self, mesh8):
+        traffic = BernoulliTraffic(1.0)
+        traffic.prepare(mesh8, random.Random(2))
+        for node in mesh8.nodes():
+            for destination in traffic.arrivals(node, 0):
+                assert mesh8.contains(destination)
+
+
+class TestHotSpot:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotSpotTraffic(rate=2.0)
+        with pytest.raises(ValueError):
+            HotSpotTraffic(rate=0.5, hot_fraction=-1)
+
+    def test_bad_hot_spot_rejected(self, mesh8):
+        traffic = HotSpotTraffic(rate=0.5, hot_spot=(99, 99))
+        with pytest.raises(ValueError):
+            traffic.prepare(mesh8, random.Random(0))
+
+    def test_default_hot_spot_is_center(self, mesh8):
+        traffic = HotSpotTraffic(rate=1.0, hot_fraction=1.0)
+        traffic.prepare(mesh8, random.Random(0))
+        assert traffic.hot_spot == mesh8.center()
+        for node in mesh8.nodes():
+            if node == traffic.hot_spot:
+                continue
+            assert traffic.arrivals(node, 0) == [mesh8.center()]
+
+    def test_hot_fraction_skews_destinations(self, mesh8):
+        traffic = HotSpotTraffic(rate=1.0, hot_fraction=0.5)
+        traffic.prepare(mesh8, random.Random(3))
+        hits = 0
+        total = 0
+        for step in range(50):
+            for node in mesh8.nodes():
+                for destination in traffic.arrivals(node, step):
+                    total += 1
+                    if destination == traffic.hot_spot:
+                        hits += 1
+        assert hits / total > 0.3  # well above the uniform 1/64
+
+
+class TestScripted:
+    def test_exact_replay(self, mesh8):
+        traffic = ScriptedTraffic(
+            [((1, 1), 0, (3, 3)), ((1, 1), 0, (2, 2)), ((4, 4), 2, (1, 1))]
+        )
+        traffic.prepare(mesh8, random.Random(0))
+        assert traffic.arrivals((1, 1), 0) == [(3, 3), (2, 2)]
+        assert traffic.arrivals((1, 1), 1) == []
+        assert traffic.arrivals((4, 4), 2) == [(1, 1)]
+
+    def test_validates_endpoints(self, mesh8):
+        bad = ScriptedTraffic([((0, 0), 0, (1, 1))])
+        with pytest.raises(ValueError):
+            bad.prepare(mesh8, random.Random(0))
+        bad = ScriptedTraffic([((1, 1), 0, (9, 9))])
+        with pytest.raises(ValueError):
+            bad.prepare(mesh8, random.Random(0))

@@ -1,0 +1,108 @@
+"""Integration: cross-algorithm comparisons on identical instances.
+
+Checks the *shape* results the paper's discussion predicts: greedy
+hot-potato routing is near-optimal on typical loads, the structured
+buffered baseline needs buffers that hot-potato routing eliminates,
+and specialist priorities win on their home workloads.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    ClosestFirstPolicy,
+    DimensionOrderPolicy,
+    FixedPriorityPolicy,
+    RestrictedPriorityPolicy,
+    fixed_priority_time_bound,
+)
+from repro.core.buffered_engine import BufferedEngine
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.workloads import (
+    random_many_to_many,
+    random_permutation,
+    single_target,
+    transpose,
+)
+
+
+class TestGreedyNearOptimal:
+    def test_permutation_close_to_dmax(self):
+        """On random permutations greedy routes within a small factor
+        of the trivial lower bound d_max — the simulation folklore the
+        paper opens with."""
+        mesh = Mesh(2, 16)
+        problem = random_permutation(mesh, seed=300)
+        result = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=300
+        ).run()
+        assert result.completed
+        assert result.total_steps <= 2 * problem.d_max
+
+    def test_low_load_is_essentially_conflict_free(self):
+        mesh = Mesh(2, 16)
+        problem = random_many_to_many(mesh, k=8, seed=301)
+        result = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=301
+        ).run()
+        assert result.total_steps <= problem.d_max + 4
+        assert result.average_stretch <= 1.2
+
+
+class TestAgainstBufferedBaseline:
+    def test_same_order_of_magnitude_on_permutations(self):
+        mesh = Mesh(2, 8)
+        problem = transpose(mesh)
+        hot = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=302
+        ).run()
+        buffered = BufferedEngine(problem, DimensionOrderPolicy()).run()
+        assert hot.completed and buffered.completed
+        assert hot.total_steps <= 3 * buffered.total_steps
+
+    def test_hot_potato_needs_no_buffers_structured_does(self):
+        """The Section 1 motivation, measured: under a hot spot the
+        buffered baseline accumulates multi-packet queues while the
+        hot-potato engine never holds more than degree packets."""
+        mesh = Mesh(2, 8)
+        problem = single_target(mesh, k=50, seed=303)
+        hot_engine = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=303
+        )
+        hot = hot_engine.run()
+        buffered_engine = BufferedEngine(problem, DimensionOrderPolicy())
+        buffered_engine.run()
+        assert hot.max_load_seen <= 4  # 2d
+        assert buffered_engine.max_buffer_seen > 4
+
+
+class TestSpecialists:
+    def test_closest_first_at_least_as_good_on_hot_spot(self):
+        mesh = Mesh(2, 8)
+        times = {"closest": [], "fixed": []}
+        for seed in range(3):
+            problem = single_target(mesh, k=40, seed=seed)
+            times["closest"].append(
+                HotPotatoEngine(
+                    problem, ClosestFirstPolicy(), seed=seed
+                ).run().total_steps
+            )
+            times["fixed"].append(
+                HotPotatoEngine(
+                    problem, FixedPriorityPolicy(), seed=seed
+                ).run().total_steps
+            )
+        assert sum(times["closest"]) <= sum(times["fixed"]) + 3
+
+    def test_fixed_priority_linear_bound_vs_theorem20(self):
+        """For small k the [BRS]-style 2k + d_max beats the
+        O(n sqrt(k)) bound; the measured fixed-priority times respect
+        the linear bound."""
+        mesh = Mesh(2, 16)
+        problem = random_many_to_many(mesh, k=10, seed=304)
+        result = HotPotatoEngine(
+            problem, FixedPriorityPolicy(), seed=304
+        ).run()
+        assert result.total_steps <= fixed_priority_time_bound(
+            10, problem.d_max
+        )

@@ -1,0 +1,109 @@
+"""Cross-checks between independent implementations of the same facts.
+
+Several quantities in this library are computed twice by design
+(engine metrics vs record classification, Definition 11 vs class-volume
+surfaces, trace reconstruction vs live engine state).  These tests pin
+the equivalences on full runs.
+"""
+
+import pytest
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine, default_step_limit
+from repro.core.trace import TraceRecorder
+from repro.potential.distance import DistancePotential
+from repro.workloads import random_many_to_many, single_target
+
+
+class TestTraceVsLiveState:
+    def test_positions_at_matches_engine_between_steps(self, mesh8):
+        """Trace.positions_at(t) reconstructs exactly the engine's live
+        in-flight positions after t steps."""
+        problem = single_target(mesh8, k=40, seed=90)
+        recorder = TraceRecorder(problem, "restricted-priority", 90)
+        engine = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(),
+            seed=90,
+            observers=[recorder],
+        )
+        engine._start()
+        time = 0
+        while engine.in_flight:
+            assert recorder.trace.positions_at(time) == {
+                p.id: p.location for p in engine.in_flight
+            }
+            engine.step()
+            time += 1
+        assert recorder.trace.positions_at(time) == {}
+
+
+class TestMetricsVsRecords:
+    def test_step_metrics_recomputable_from_records(self, mesh8):
+        problem = random_many_to_many(mesh8, k=60, seed=91)
+        engine = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(),
+            seed=91,
+            record_steps=True,
+        )
+        result = engine.run()
+        for record, metrics in zip(result.records, result.step_metrics):
+            assert record.num_advancing == metrics.advancing
+            assert record.num_deflected == metrics.deflected
+            assert len(record.infos) == metrics.in_flight
+            assert (
+                sum(i.distance_before for i in record.infos.values())
+                == metrics.total_distance
+            )
+
+    def test_distance_potential_equals_metrics_series(self, mesh8):
+        """Phi_dist(t) == total_distance metric at every step."""
+        problem = random_many_to_many(mesh8, k=40, seed=92)
+        tracker = DistancePotential()
+        engine = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(),
+            seed=92,
+            observers=[tracker],
+        )
+        result = engine.run()
+        for metrics, phi in zip(result.step_metrics, tracker.phi_history):
+            assert metrics.total_distance == phi
+
+
+class TestOutcomeVsMetricsTotals:
+    def test_totals_agree(self, mesh8):
+        problem = random_many_to_many(mesh8, k=50, seed=93)
+        result = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=93
+        ).run()
+        assert result.total_advances == sum(
+            m.advancing for m in result.step_metrics
+        )
+        assert result.total_deflections == sum(
+            m.deflected for m in result.step_metrics
+        )
+        assert sum(
+            1 for o in result.outcomes if o.delivered
+        ) == result.delivered
+
+    def test_delivery_times_bounded_by_total(self, mesh8):
+        problem = random_many_to_many(mesh8, k=50, seed=94)
+        result = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=94
+        ).run()
+        assert result.total_steps == max(
+            o.delivered_at for o in result.outcomes
+        )
+
+
+class TestDefaultLimits:
+    def test_formula(self, mesh8):
+        problem = random_many_to_many(mesh8, k=10, seed=95)
+        expected = max(256, 8 * (2 * 10 + problem.d_max) + 64)
+        assert default_step_limit(problem) == expected
+
+    def test_floor_applies_to_tiny_problems(self, mesh8):
+        problem = random_many_to_many(mesh8, k=1, seed=96)
+        assert default_step_limit(problem) >= 256

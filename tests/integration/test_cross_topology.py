@@ -1,0 +1,83 @@
+"""Cross-topology integration: every engine on every topology."""
+
+import pytest
+
+from repro.algorithms import (
+    FewestGoodDirectionsPolicy,
+    PlainGreedyPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.core.engine import HotPotatoEngine
+from repro.dynamic import BernoulliTraffic, DynamicEngine
+from repro.exceptions import ConfigurationError
+from repro.mesh.hypercube import Hypercube
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+from repro.potential.restricted import RestrictedPotential
+from repro.workloads import random_many_to_many
+
+TOPOLOGIES = [
+    Mesh(2, 6),
+    Mesh(3, 4),
+    Torus(2, 6),
+    Torus(3, 4),
+    Hypercube(5),
+]
+
+
+@pytest.mark.parametrize(
+    "mesh", TOPOLOGIES, ids=lambda m: f"{m.kind}-d{m.dimension}-n{m.side}"
+)
+class TestBatchOnAllTopologies:
+    def test_greedy_routes(self, mesh):
+        problem = random_many_to_many(mesh, k=30, seed=7)
+        result = HotPotatoEngine(problem, PlainGreedyPolicy(), seed=7).run()
+        assert result.completed
+        assert result.delivered == 30
+
+    def test_fewest_good_directions_routes(self, mesh):
+        problem = random_many_to_many(mesh, k=30, seed=8)
+        result = HotPotatoEngine(
+            problem, FewestGoodDirectionsPolicy(), seed=8
+        ).run()
+        assert result.completed
+
+    def test_stretch_reasonable(self, mesh):
+        problem = random_many_to_many(mesh, k=20, seed=9)
+        result = HotPotatoEngine(problem, PlainGreedyPolicy(), seed=9).run()
+        assert result.average_stretch < 2.0
+
+
+@pytest.mark.parametrize(
+    "mesh", TOPOLOGIES, ids=lambda m: f"{m.kind}-d{m.dimension}-n{m.side}"
+)
+class TestDynamicOnAllTopologies:
+    def test_continuous_traffic_flows(self, mesh):
+        engine = DynamicEngine(
+            mesh,
+            PlainGreedyPolicy(),
+            BernoulliTraffic(0.1),
+            seed=10,
+            warmup=30,
+        )
+        stats = engine.run(200)
+        assert stats.delivered_count > 0
+        assert stats.mean_stretch >= 1.0
+
+
+class TestPotentialGuards:
+    @pytest.mark.parametrize(
+        "mesh",
+        [Torus(2, 6), Hypercube(5), Mesh(3, 4)],
+        ids=lambda m: m.kind + str(m.dimension),
+    )
+    def test_section42_potential_rejects_non_2d_mesh(self, mesh):
+        problem = random_many_to_many(mesh, k=5, seed=0)
+        tracker = RestrictedPotential()
+        engine = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(),
+            observers=[tracker],
+        )
+        with pytest.raises(ConfigurationError):
+            engine.run()

@@ -1,0 +1,89 @@
+"""Integration: the Section 5 d-dimensional class and its bound."""
+
+import pytest
+
+from repro.algorithms import FewestGoodDirectionsPolicy
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.potential.bounds import section5_bound, theorem17_bound
+from repro.workloads import (
+    corner_storm,
+    random_many_to_many,
+    random_permutation,
+    single_target,
+)
+
+
+def run(problem, seed=0):
+    policy = FewestGoodDirectionsPolicy()
+    result = HotPotatoEngine(problem, policy, seed=seed).run()
+    assert result.completed
+    return result
+
+
+class TestThreeDimensional:
+    @pytest.mark.parametrize("side", [3, 4, 5])
+    def test_random_batches_within_section5_bound(self, side):
+        mesh = Mesh(3, side)
+        k = mesh.num_nodes // 2
+        for seed in (0, 1):
+            problem = random_many_to_many(mesh, k=k, seed=seed)
+            result = run(problem, seed=seed)
+            assert result.total_steps <= section5_bound(3, side, k)
+
+    def test_permutation_within_bound(self):
+        mesh = Mesh(3, 4)
+        problem = random_permutation(mesh, seed=2)
+        result = run(problem, seed=2)
+        assert result.total_steps <= section5_bound(3, 4, problem.k)
+
+    def test_hot_spot_within_bound(self):
+        mesh = Mesh(3, 4)
+        problem = single_target(mesh, k=40, seed=3)
+        result = run(problem, seed=3)
+        assert result.total_steps <= section5_bound(3, 4, 40)
+
+    def test_corner_storm_within_bound(self):
+        mesh = Mesh(3, 4)
+        problem = corner_storm(mesh, packets_per_corner=3)
+        result = run(problem)
+        assert result.total_steps <= section5_bound(3, 4, problem.k)
+
+
+class TestFourDimensional:
+    def test_random_batch(self):
+        mesh = Mesh(4, 3)
+        problem = random_many_to_many(mesh, k=40, seed=4)
+        result = run(problem, seed=4)
+        assert result.total_steps <= section5_bound(4, 3, 40)
+
+
+class TestBoundShape:
+    def test_measured_time_grows_slower_than_bound_in_k(self):
+        """Doubling k multiplies the Section 5 bound by 2^(1/d); the
+        measured time on random batches grows even slower."""
+        mesh = Mesh(3, 4)
+        small = random_many_to_many(mesh, k=16, seed=5)
+        large = random_many_to_many(mesh, k=64, seed=5)
+        t_small = run(small, seed=5).total_steps
+        t_large = run(large, seed=5).total_steps
+        assert t_large <= t_small * 4  # loose sanity: sublinear in k
+
+    def test_higher_dimension_routes_fast_despite_weaker_bound(self):
+        """Section 6: meshes of higher dimension route *faster* in
+        practice (more links), even though the bound deteriorates.
+        Compare 64-node meshes: 8x8 (d=2) vs 4x4x4 (d=3) at equal k."""
+        k = 48
+        t2 = HotPotatoEngine(
+            random_many_to_many(Mesh(2, 8), k=k, seed=6),
+            FewestGoodDirectionsPolicy(),
+            seed=6,
+        ).run()
+        t3 = HotPotatoEngine(
+            random_many_to_many(Mesh(3, 4), k=k, seed=6),
+            FewestGoodDirectionsPolicy(),
+            seed=6,
+        ).run()
+        assert t3.total_steps <= t2.total_steps
+        # ...while the analytic bounds point the other way:
+        assert section5_bound(3, 4, k) > section5_bound(2, 8, k)

@@ -1,0 +1,135 @@
+"""Hypothesis-driven end-to-end properties on random instances.
+
+Each test generates a random routing problem (and sometimes a random
+policy configuration), runs a full simulation with all validators
+active, and asserts the model- and paper-level invariants.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    GreedyMatchingPolicy,
+    RestrictedPriorityPolicy,
+    make_policy,
+)
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.potential.bounds import theorem20_bound
+from repro.potential.property8 import check_property8
+from repro.potential.restricted import RestrictedPotential
+from repro.workloads import random_many_to_many
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+problem_params = st.tuples(
+    st.sampled_from([4, 6, 8]),          # side
+    st.integers(1, 60),                  # k
+    st.integers(0, 10_000),              # workload seed
+)
+
+
+class TestModelInvariants:
+    @given(problem_params, st.integers(0, 1000))
+    @SLOW
+    def test_restricted_policy_full_chain(self, params, seed):
+        """Termination within the Theorem 20 bound, Property 8, and
+        monotone potential — on arbitrary random instances."""
+        side, k, wseed = params
+        mesh = Mesh(2, side)
+        k = min(k, mesh.num_nodes)
+        problem = random_many_to_many(mesh, k=k, seed=wseed)
+        tracker = RestrictedPotential()
+        limit = int(theorem20_bound(side, k)) + 1
+        engine = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(),
+            seed=seed,
+            observers=[tracker],
+            max_steps=limit,
+        )
+        result = engine.run()
+        assert result.completed
+        assert result.total_steps <= theorem20_bound(side, k)
+        assert tracker.is_monotone_nonincreasing()
+        assert check_property8(tracker.node_drops, 2) == []
+
+    @given(
+        problem_params,
+        st.sampled_from(["ordered", "reverse", "random"]),
+        st.sampled_from(["id", "random"]),
+        st.integers(0, 1000),
+    )
+    @SLOW
+    def test_any_matching_greedy_configuration_terminates(
+        self, params, deflection, tie_break, seed
+    ):
+        """Every (tie-break, deflection) configuration of the matching
+        template is greedy and max-advance — validated per node — and
+        delivers everything."""
+        side, k, wseed = params
+        mesh = Mesh(2, side)
+        k = min(k, mesh.num_nodes)
+        problem = random_many_to_many(mesh, k=k, seed=wseed)
+        policy = GreedyMatchingPolicy(
+            tie_break=tie_break, deflection=deflection
+        )
+        result = HotPotatoEngine(problem, policy, seed=seed).run()
+        assert result.completed
+        assert result.delivered == k
+
+    @given(
+        st.sampled_from(
+            [
+                "restricted-priority",
+                "plain-greedy",
+                "fixed-priority",
+                "closest-first",
+                "fewest-good-directions",
+            ]
+        ),
+        problem_params,
+    )
+    @SLOW
+    def test_packet_conservation(self, name, params):
+        """delivered + in-flight == k at all times; every delivered
+        packet is at its destination."""
+        side, k, wseed = params
+        mesh = Mesh(2, side)
+        k = min(k, mesh.num_nodes)
+        problem = random_many_to_many(mesh, k=k, seed=wseed)
+        engine = HotPotatoEngine(problem, make_policy(name), seed=1)
+        engine._start()
+        for _ in range(200):
+            if not engine.in_flight:
+                break
+            delivered = sum(1 for p in engine.packets if p.delivered)
+            assert delivered + len(engine.in_flight) == k
+            engine.step()
+        assert not engine.in_flight
+        for packet in engine.packets:
+            assert packet.location == packet.destination
+
+    @given(problem_params)
+    @SLOW
+    def test_advance_deflection_balance(self, params):
+        """For every delivered packet:
+        advances - deflections == shortest distance."""
+        side, k, wseed = params
+        mesh = Mesh(2, side)
+        k = min(k, mesh.num_nodes)
+        problem = random_many_to_many(mesh, k=k, seed=wseed)
+        result = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=2
+        ).run()
+        for outcome in result.outcomes:
+            assert (
+                outcome.advances - outcome.deflections
+                == outcome.shortest_distance
+            )

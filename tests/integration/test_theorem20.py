@@ -1,0 +1,124 @@
+"""Integration: Theorem 20 and the Remark, across a parameter grid.
+
+Every greedy algorithm that prefers restricted packets must route
+every k-packet problem on the n x n mesh within 8*sqrt(2)*n*sqrt(k)
+steps.  These tests sweep mesh sizes, loads, and workload families and
+assert the bound (and its parity-split sharpenings) on real runs.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    FewestGoodDirectionsPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.potential.bounds import (
+    four_per_node_remark_bound,
+    permutation_remark_bound,
+    theorem20_bound,
+)
+from repro.workloads import (
+    column_collapse,
+    corner_storm,
+    quadrant_flood,
+    random_many_to_many,
+    random_permutation,
+    reversal,
+    saturated_load,
+    single_target,
+    transpose,
+)
+
+
+def run(problem, policy=None, seed=0):
+    policy = policy or RestrictedPriorityPolicy()
+    limit = int(theorem20_bound(problem.mesh.side, max(problem.k, 1))) + 1
+    engine = HotPotatoEngine(problem, policy, seed=seed, max_steps=limit)
+    result = engine.run()
+    assert result.completed, "exceeded the Theorem 20 bound"
+    return result
+
+
+class TestRandomBatches:
+    @pytest.mark.parametrize("side", [4, 8, 16])
+    @pytest.mark.parametrize("load", [0.1, 0.5, 1.0])
+    def test_bound_holds(self, side, load):
+        mesh = Mesh(2, side)
+        k = max(1, int(load * mesh.num_nodes))
+        for seed in (0, 1):
+            problem = random_many_to_many(mesh, k=k, seed=seed)
+            result = run(problem, seed=seed)
+            assert result.total_steps <= theorem20_bound(side, k)
+
+    def test_bound_holds_for_fewest_good_directions_too(self):
+        """The d-dimensional policy class restricted to d=2 also
+        prefers restricted packets, so Theorem 20 covers it."""
+        mesh = Mesh(2, 8)
+        problem = random_many_to_many(mesh, k=60, seed=5)
+        result = run(problem, FewestGoodDirectionsPolicy(), seed=5)
+        assert result.total_steps <= theorem20_bound(8, 60)
+
+
+class TestStructuredWorkloads:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            transpose,
+            reversal,
+            lambda mesh: quadrant_flood(mesh, seed=2),
+            lambda mesh: single_target(mesh, k=40, seed=3),
+            lambda mesh: column_collapse(mesh),
+            lambda mesh: corner_storm(mesh, packets_per_corner=2),
+        ],
+    )
+    def test_bound_holds(self, factory):
+        mesh = Mesh(2, 8)
+        problem = factory(mesh)
+        result = run(problem)
+        assert result.total_steps <= theorem20_bound(8, problem.k)
+
+
+class TestRemark:
+    @pytest.mark.parametrize("side", [4, 8, 12])
+    def test_full_permutation_within_8n_squared(self, side):
+        mesh = Mesh(2, side)
+        problem = random_permutation(mesh, seed=7)
+        result = run(problem, seed=7)
+        assert result.total_steps <= permutation_remark_bound(side)
+
+    def test_full_load_within_8n_squared(self):
+        mesh = Mesh(2, 8)
+        problem = saturated_load(mesh, per_node=1, seed=8)
+        result = run(problem, seed=8)
+        assert result.total_steps <= permutation_remark_bound(8)
+
+    def test_four_per_node_within_16n_squared(self):
+        mesh = Mesh(2, 8)
+        problem = saturated_load(mesh, per_node=4, seed=9)
+        result = run(problem, seed=9)
+        assert result.total_steps <= four_per_node_remark_bound(8)
+
+    def test_reversal_beats_trivial_lower_bound_sanely(self):
+        """Sanity on the other side: routing time is at least d_max."""
+        mesh = Mesh(2, 8)
+        problem = reversal(mesh)
+        result = run(problem)
+        assert result.total_steps >= problem.d_max
+
+
+class TestMeasuredFarBelowBound:
+    def test_typical_ratio_is_small(self):
+        """The paper's motivation: greedy performs far better in
+        practice than the worst-case bound.  On random batches the
+        measured time is under 15% of the Theorem 20 bound."""
+        mesh = Mesh(2, 16)
+        ratios = []
+        for seed in range(3):
+            problem = random_many_to_many(mesh, k=128, seed=seed)
+            result = run(problem, seed=seed)
+            ratios.append(
+                result.total_steps / theorem20_bound(16, problem.k)
+            )
+        assert max(ratios) < 0.15

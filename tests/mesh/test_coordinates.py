@@ -1,0 +1,113 @@
+"""Unit tests for coordinate arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.coordinates import (
+    in_box,
+    is_adjacent,
+    l1_distance,
+    offset_vector,
+    validate_node,
+)
+
+points = st.lists(st.integers(-50, 50), min_size=1, max_size=5)
+
+
+def paired_points(draw, dimension_strategy=st.integers(1, 5)):
+    dimension = draw(dimension_strategy)
+    coords = st.integers(-50, 50)
+    a = tuple(draw(coords) for _ in range(dimension))
+    b = tuple(draw(coords) for _ in range(dimension))
+    return a, b
+
+
+pair_strategy = st.composite(paired_points)()
+
+
+class TestL1Distance:
+    def test_zero_for_identical(self):
+        assert l1_distance((3, 4), (3, 4)) == 0
+
+    def test_unit_neighbors(self):
+        assert l1_distance((1, 1), (1, 2)) == 1
+        assert l1_distance((1, 1), (2, 1)) == 1
+
+    def test_known_value(self):
+        # The paper's Section 2.1 example style: sum of |a_i - b_i|.
+        assert l1_distance((1, 3, 2, 6, 1), (4, 3, 8, 2, 1)) == 3 + 6 + 4
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            l1_distance((1, 2), (1, 2, 3))
+
+    @given(pair_strategy)
+    def test_symmetric(self, pair):
+        a, b = pair
+        assert l1_distance(a, b) == l1_distance(b, a)
+
+    @given(pair_strategy)
+    def test_nonnegative_and_identity(self, pair):
+        a, b = pair
+        distance = l1_distance(a, b)
+        assert distance >= 0
+        assert (distance == 0) == (a == b)
+
+    @given(st.integers(1, 4), st.data())
+    def test_triangle_inequality(self, dimension, data):
+        coords = st.integers(-20, 20)
+        point = st.tuples(*[coords] * dimension)
+        a = data.draw(point)
+        b = data.draw(point)
+        c = data.draw(point)
+        assert l1_distance(a, c) <= l1_distance(a, b) + l1_distance(b, c)
+
+
+class TestOffsetVector:
+    def test_simple(self):
+        assert offset_vector((1, 1), (3, 0)) == (2, -1)
+
+    def test_zero(self):
+        assert offset_vector((5, 5, 5), (5, 5, 5)) == (0, 0, 0)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            offset_vector((1,), (1, 2))
+
+    @given(pair_strategy)
+    def test_offset_l1_equals_distance(self, pair):
+        a, b = pair
+        assert sum(abs(x) for x in offset_vector(a, b)) == l1_distance(a, b)
+
+
+class TestAdjacency:
+    def test_adjacent(self):
+        assert is_adjacent((2, 2), (2, 3))
+        assert is_adjacent((2, 2), (1, 2))
+
+    def test_not_adjacent_diagonal(self):
+        assert not is_adjacent((2, 2), (3, 3))
+
+    def test_not_adjacent_self(self):
+        assert not is_adjacent((2, 2), (2, 2))
+
+
+class TestValidation:
+    def test_in_box(self):
+        assert in_box((1, 8), 8)
+        assert not in_box((0, 5), 8)
+        assert not in_box((1, 9), 8)
+
+    def test_validate_node_normalizes(self):
+        assert validate_node([2, 3], 2, 4) == (2, 3)
+
+    def test_validate_node_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            validate_node((1, 2, 3), 2, 4)
+
+    def test_validate_node_rejects_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            validate_node((0, 2), 2, 4)
+        with pytest.raises(ValueError):
+            validate_node((1, 5), 2, 4)

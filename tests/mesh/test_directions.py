@@ -1,0 +1,122 @@
+"""Unit tests for Direction and direction algebra (Definition 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.directions import (
+    Direction,
+    all_directions,
+    direction_of_arc,
+    directions_toward,
+    signed_axis_offsets,
+)
+
+
+class TestDirection:
+    def test_apply_positive(self):
+        assert Direction(0, 1).apply((2, 2)) == (3, 2)
+
+    def test_apply_negative(self):
+        assert Direction(1, -1).apply((2, 2)) == (2, 1)
+
+    def test_opposite(self):
+        d = Direction(2, 1)
+        assert d.opposite == Direction(2, -1)
+        assert d.opposite.opposite == d
+
+    def test_invalid_sign(self):
+        with pytest.raises(ValueError):
+            Direction(0, 2)
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            Direction(-1, 1)
+
+    def test_apply_axis_out_of_range(self):
+        with pytest.raises(ValueError):
+            Direction(3, 1).apply((1, 2))
+
+    def test_arc_from(self):
+        assert Direction(0, 1).arc_from((1, 1)) == ((1, 1), (2, 1))
+
+    def test_str(self):
+        assert str(Direction(0, 1)) == "+x0"
+        assert str(Direction(2, -1)) == "-x2"
+
+    def test_hashable_and_ordered(self):
+        directions = {Direction(0, 1), Direction(0, 1), Direction(0, -1)}
+        assert len(directions) == 2
+        assert Direction(0, -1) < Direction(0, 1) or Direction(0, 1) < Direction(0, -1)
+
+
+class TestAllDirections:
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 5])
+    def test_count_is_2d(self, dimension):
+        assert len(all_directions(dimension)) == 2 * dimension
+
+    def test_deterministic_order(self):
+        assert all_directions(2) == [
+            Direction(0, 1),
+            Direction(0, -1),
+            Direction(1, 1),
+            Direction(1, -1),
+        ]
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            all_directions(0)
+
+    @pytest.mark.parametrize("dimension", [1, 2, 4])
+    def test_closed_under_opposite(self, dimension):
+        directions = set(all_directions(dimension))
+        assert {d.opposite for d in directions} == directions
+
+
+class TestDirectionOfArc:
+    def test_recovers_direction(self):
+        for direction in all_directions(3):
+            arc = direction.arc_from((2, 2, 2))
+            assert direction_of_arc(arc) == direction
+
+    def test_rejects_non_arc(self):
+        with pytest.raises(ValueError):
+            direction_of_arc(((1, 1), (2, 2)))
+        with pytest.raises(ValueError):
+            direction_of_arc(((1, 1), (1, 1)))
+        with pytest.raises(ValueError):
+            direction_of_arc(((1, 1), (1, 3)))
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            direction_of_arc(((1, 1), (1, 1, 2)))
+
+
+class TestDirectionsToward:
+    def test_paper_example(self):
+        # Section 2.2 example: packet at (1,3,2,6,1) destined (4,3,8,2,1)
+        # has good directions +x0, +x2, -x3.
+        good = set(directions_toward((1, 3, 2, 6, 1), (4, 3, 8, 2, 1)))
+        assert good == {Direction(0, 1), Direction(2, 1), Direction(3, -1)}
+
+    def test_empty_at_destination(self):
+        assert list(directions_toward((2, 2), (2, 2))) == []
+
+    @given(st.integers(1, 4), st.data())
+    def test_count_matches_nonzero_offsets(self, dimension, data):
+        coords = st.integers(1, 9)
+        point = st.tuples(*[coords] * dimension)
+        origin = data.draw(point)
+        target = data.draw(point)
+        toward = list(directions_toward(origin, target))
+        nonzero = sum(1 for s in signed_axis_offsets(origin, target) if s)
+        assert len(toward) == nonzero
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            list(directions_toward((1,), (1, 2)))
+
+
+class TestSignedAxisOffsets:
+    def test_values(self):
+        assert signed_axis_offsets((2, 2, 2), (1, 2, 5)) == (-1, 0, 1)

@@ -1,0 +1,172 @@
+"""Unit and property tests for the Claim 13 geometry machinery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.geometry import (
+    box_volume,
+    connected_components,
+    isoperimetric_lower_bound,
+    projection,
+    projection_sizes,
+    surface_size,
+    verify_claim_13,
+    verify_projection_product_bound,
+    verify_projection_surface_bound,
+    volume_dimension,
+)
+from repro.potential.isoperimetric import random_blob, random_scatter
+
+
+class TestSurfaceSize:
+    def test_single_cube(self):
+        # An isolated d-cube has surface 2d.
+        assert surface_size({(0, 0)}) == 4
+        assert surface_size({(0, 0, 0)}) == 6
+
+    def test_domino(self):
+        assert surface_size({(0, 0), (0, 1)}) == 6
+
+    def test_square_block(self):
+        # A 2x2 square: perimeter 8.
+        assert surface_size(box_volume((0, 0), (2, 2))) == 8
+
+    def test_cube_block_3d(self):
+        # s^3 cube has surface 6 s^2.
+        assert surface_size(box_volume((0, 0, 0), (3, 3, 3))) == 54
+
+    def test_empty(self):
+        assert surface_size(set()) == 0
+
+    def test_disconnected_adds_up(self):
+        far_apart = {(0, 0), (10, 10)}
+        assert surface_size(far_apart) == 8
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            surface_size({(0, 0), (0, 0, 0)})
+
+    def test_surface_is_sum_over_components(self):
+        rng = random.Random(3)
+        volume = random_scatter(2, 12, 10, rng)
+        components = connected_components(volume)
+        assert surface_size(volume) == sum(
+            surface_size(c) for c in components
+        )
+
+
+class TestProjections:
+    def test_projection_of_box(self):
+        box = box_volume((0, 0), (3, 2))
+        assert len(projection(box, (0,))) == 3
+        assert len(projection(box, (1,))) == 2
+
+    def test_projection_sizes_count(self):
+        box = box_volume((0, 0, 0), (2, 2, 2))
+        sizes = projection_sizes(box)
+        assert len(sizes) == 3  # choose(3, 2)
+        assert all(size == 4 for size in sizes.values())
+
+    def test_volume_dimension(self):
+        assert volume_dimension({(1, 2, 3)}) == 3
+        with pytest.raises(ValueError):
+            volume_dimension(set())
+
+
+class TestClaim13Exact:
+    """Cubes meet Claim 13 with equality — the extremal case."""
+
+    @pytest.mark.parametrize("dimension,side", [(1, 5), (2, 3), (3, 2), (2, 4)])
+    def test_cube_equality(self, dimension, side):
+        cube = box_volume((0,) * dimension, (side,) * dimension)
+        surface, bound, holds = verify_claim_13(cube)
+        assert holds
+        assert surface == pytest.approx(bound)
+
+    def test_bound_formula(self):
+        assert isoperimetric_lower_bound(4, 2) == pytest.approx(8.0)
+        assert isoperimetric_lower_bound(27, 3) == pytest.approx(54.0)
+        assert isoperimetric_lower_bound(0, 3) == 0.0
+
+    def test_bound_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            isoperimetric_lower_bound(-1, 2)
+        with pytest.raises(ValueError):
+            isoperimetric_lower_bound(4, 0)
+
+    def test_empty_volume_trivially_holds(self):
+        assert verify_claim_13(set()) == (0, 0.0, True)
+
+
+class TestClaim13Random:
+    """Claim 13 and the proof's two intermediate inequalities hold on
+    randomly generated volumes (connected blobs and scatters)."""
+
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 40),
+        st.integers(0, 10_000),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_blob_satisfies_claim_13(self, dimension, size, seed, spread):
+        volume = random_blob(dimension, size, random.Random(seed), spread)
+        surface, bound, holds = verify_claim_13(volume)
+        assert holds, f"surface {surface} < bound {bound}"
+
+    @given(st.integers(1, 3), st.integers(1, 30), st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_scatter_satisfies_claim_13(self, dimension, size, seed):
+        rng = random.Random(seed)
+        size = min(size, 8**dimension)  # fit inside the sampling box
+        volume = random_scatter(dimension, size, 8, rng)
+        _, _, holds = verify_claim_13(volume)
+        assert holds
+
+    @given(st.integers(2, 4), st.integers(1, 30), st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_equation_1_surface_vs_projections(self, dimension, size, seed):
+        volume = random_blob(dimension, size, random.Random(seed))
+        surface, twice_projections, holds = verify_projection_surface_bound(
+            volume
+        )
+        assert holds, f"{surface} < {twice_projections}"
+
+    @given(st.integers(2, 4), st.integers(1, 30), st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_equation_5_loomis_whitney(self, dimension, size, seed):
+        volume = random_blob(dimension, size, random.Random(seed))
+        lhs, rhs, holds = verify_projection_product_bound(volume)
+        assert holds, f"|V|^(d-1)={lhs} > prod={rhs}"
+
+
+class TestGenerators:
+    def test_blob_size(self):
+        volume = random_blob(2, 17, random.Random(0))
+        assert len(volume) == 17
+
+    def test_blob_connected(self):
+        volume = random_blob(3, 25, random.Random(1))
+        assert len(connected_components(volume)) == 1
+
+    def test_blob_rejects_zero(self):
+        with pytest.raises(ValueError):
+            random_blob(2, 0, random.Random(0))
+
+    def test_scatter_size_and_box(self):
+        volume = random_scatter(2, 10, 5, random.Random(2))
+        assert len(volume) == 10
+        assert all(0 <= x < 5 for cell in volume for x in cell)
+
+    def test_scatter_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            random_scatter(2, 30, 5, random.Random(0))
+
+    def test_box_volume_validation(self):
+        with pytest.raises(ValueError):
+            box_volume((0, 0), (2,))
+        with pytest.raises(ValueError):
+            box_volume((0, 0), (0, 2))

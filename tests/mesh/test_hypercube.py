@@ -1,0 +1,127 @@
+"""Tests for the hypercube topology and its routing behavior."""
+
+import pytest
+
+from repro.algorithms import FixedPriorityPolicy, PlainGreedyPolicy
+from repro.algorithms.hajek import fixed_priority_time_bound
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.hypercube import Hypercube
+from repro.workloads import random_many_to_many, random_permutation
+
+
+class TestShape:
+    def test_node_count(self):
+        assert Hypercube(4).num_nodes == 16
+        assert Hypercube(6).num_nodes == 64
+
+    def test_uniform_degree(self):
+        cube = Hypercube(4)
+        assert all(cube.degree(node) == 4 for node in cube.nodes())
+
+    def test_diameter_is_dimension(self):
+        assert Hypercube(5).diameter == 5
+
+    def test_kind(self):
+        assert Hypercube(3).kind == "hypercube"
+
+
+class TestBitAddressing:
+    def test_round_trip(self):
+        cube = Hypercube(5)
+        for bits in cube.addresses():
+            assert cube.to_bits(cube.node_of(bits)) == bits
+
+    def test_from_bits_values(self):
+        assert Hypercube.from_bits(0b101, 3) == (2, 1, 2)
+        assert Hypercube.from_bits(0, 3) == (1, 1, 1)
+
+    def test_from_bits_range(self):
+        with pytest.raises(ValueError):
+            Hypercube.from_bits(8, 3)
+
+    def test_to_bits_rejects_non_cube_node(self):
+        with pytest.raises(ValueError):
+            Hypercube.to_bits((1, 3))
+
+
+class TestHammingStructure:
+    def test_distance_is_hamming(self):
+        cube = Hypercube(4)
+        a = cube.node_of(0b0000)
+        b = cube.node_of(0b1011)
+        assert cube.hamming_distance(a, b) == 3
+        assert cube.distance(a, b) == 3
+
+    def test_adjacent_iff_one_bit_flip(self):
+        cube = Hypercube(3)
+        for bits in cube.addresses():
+            node = cube.node_of(bits)
+            neighbors = {cube.to_bits(other) for other in cube.neighbors(node)}
+            assert neighbors == {bits ^ (1 << axis) for axis in range(3)}
+
+    def test_differing_axes_are_good_directions(self):
+        cube = Hypercube(4)
+        a = cube.node_of(0b0000)
+        b = cube.node_of(0b0110)
+        axes = cube.differing_axes(a, b)
+        assert axes == [1, 2]
+        good = cube.good_directions(a, b)
+        assert sorted(d.axis for d in good) == axes
+
+    def test_flip(self):
+        cube = Hypercube(3)
+        node = cube.node_of(0b010)
+        assert cube.to_bits(cube.flip(node, 0)) == 0b011
+        assert cube.to_bits(cube.flip(node, 1)) == 0b000
+        with pytest.raises(ValueError):
+            cube.flip(node, 5)
+
+    def test_every_node_is_a_corner(self):
+        cube = Hypercube(3)
+        corners = {cube.corner(i) for i in range(8)}
+        assert corners == set(cube.nodes())
+
+
+class TestRoutingOnCube:
+    def test_greedy_routes_random_batch(self):
+        cube = Hypercube(6)
+        problem = random_many_to_many(cube, k=60, seed=0)
+        result = HotPotatoEngine(problem, PlainGreedyPolicy(), seed=0).run()
+        assert result.completed
+
+    def test_hajek_bound_2k_plus_n(self):
+        """Hajek's hypercube result: fixed-priority greedy finishes
+        within 2k + n steps (n = cube dimension)."""
+        cube = Hypercube(6)
+        for seed in (0, 1, 2):
+            problem = random_many_to_many(cube, k=30, seed=seed)
+            result = HotPotatoEngine(
+                problem, FixedPriorityPolicy(), seed=seed
+            ).run()
+            assert result.completed
+            assert result.total_steps <= 2 * problem.k + cube.dimension
+            assert result.total_steps <= fixed_priority_time_bound(
+                problem.k, problem.d_max
+            )
+
+    def test_permutation_fast(self):
+        """Borodin–Hopcroft's observation: greedy permutation routing
+        on the cube 'appears promising' — here within 2x the diameter."""
+        cube = Hypercube(6)
+        problem = random_permutation(cube, seed=3)
+        result = HotPotatoEngine(problem, PlainGreedyPolicy(), seed=3).run()
+        assert result.completed
+        assert result.total_steps <= 2 * cube.dimension
+
+    def test_load_capped_by_dimension(self):
+        cube = Hypercube(5)
+        problem = random_many_to_many(cube, k=80, seed=4)
+        engine = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), seed=4, record_steps=True
+        )
+        result = engine.run()
+        for record in result.records:
+            loads = {}
+            for info in record.infos.values():
+                loads[info.node] = loads.get(info.node, 0) + 1
+            assert max(loads.values()) <= 5

@@ -1,0 +1,89 @@
+"""Unit tests for the torus variant."""
+
+import pytest
+
+from repro.mesh.directions import Direction
+from repro.mesh.torus import Torus
+
+
+class TestTorusShape:
+    def test_minimum_side(self):
+        with pytest.raises(ValueError):
+            Torus(2, 2)
+        assert Torus(2, 3).side == 3
+
+    def test_diameter(self):
+        assert Torus(2, 8).diameter == 8  # 2 * 8 // 2
+        assert Torus(3, 5).diameter == 6  # 3 * 2
+
+    def test_kind(self):
+        assert Torus(2, 4).kind == "torus"
+
+    def test_not_equal_to_mesh(self):
+        from repro.mesh.topology import Mesh
+
+        assert Torus(2, 4) != Mesh(2, 4)
+
+
+class TestWraparound:
+    def test_wrap_high(self):
+        torus = Torus(2, 4)
+        assert torus.neighbor((4, 2), Direction(0, 1)) == (1, 2)
+
+    def test_wrap_low(self):
+        torus = Torus(2, 4)
+        assert torus.neighbor((1, 2), Direction(0, -1)) == (4, 2)
+
+    def test_full_degree_everywhere(self):
+        torus = Torus(2, 4)
+        for node in torus.nodes():
+            assert torus.degree(node) == 4
+            assert len(torus.out_directions(node)) == 4
+
+    def test_neighbor_relation_symmetric(self):
+        torus = Torus(2, 5)
+        for node in torus.nodes():
+            for other in torus.neighbors(node):
+                assert node in torus.neighbors(other)
+
+
+class TestTorusDistance:
+    def test_wrap_shorter(self):
+        torus = Torus(2, 8)
+        assert torus.distance((1, 1), (8, 1)) == 1
+        assert torus.distance((1, 1), (5, 1)) == 4
+
+    def test_symmetric(self):
+        torus = Torus(2, 7)
+        assert torus.distance((1, 2), (6, 5)) == torus.distance((6, 5), (1, 2))
+
+    def test_bfs_agreement(self):
+        torus = Torus(2, 5)
+        source = (1, 1)
+        seen = {source: 0}
+        frontier = {source}
+        level = 0
+        while frontier:
+            level += 1
+            next_frontier = set()
+            for node in frontier:
+                for other in torus.neighbors(node):
+                    if other not in seen:
+                        seen[other] = level
+                        next_frontier.add(other)
+            frontier = next_frontier
+        for node in torus.nodes():
+            assert torus.distance(source, node) == seen[node]
+
+
+class TestTorusGoodDirections:
+    def test_antipodal_axis_has_two_good_directions(self):
+        torus = Torus(2, 8)
+        # Offset of exactly side/2 along one axis: both ways shorten.
+        good = torus.good_directions((1, 1), (5, 1))
+        assert set(good) == {Direction(0, 1), Direction(0, -1)}
+
+    def test_wrap_direction_good(self):
+        torus = Torus(2, 8)
+        good = torus.good_directions((1, 1), (8, 1))
+        assert good == [Direction(0, -1)]

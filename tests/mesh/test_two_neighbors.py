@@ -1,0 +1,120 @@
+"""Unit tests for the 2-neighbor relation (Definition 4)."""
+
+import pytest
+
+from repro.mesh.directions import Direction
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+from repro.mesh.two_neighbors import (
+    are_two_neighbors,
+    class_coordinates,
+    equivalence_class_label,
+    equivalence_classes,
+    two_neighbor,
+    two_neighbors_of,
+)
+
+
+class TestTwoNeighbor:
+    def test_paper_positive_example(self):
+        # (1,2) is a 2-neighbor of (3,2) in direction "-" of coordinate 1.
+        mesh = Mesh(2, 4)
+        assert are_two_neighbors(mesh, (3, 2), (1, 2))
+
+    def test_paper_negative_example(self):
+        # (2,3) is NOT a 2-neighbor of (3,2): no length-2 path with two
+        # arcs of the same direction connects them.
+        mesh = Mesh(2, 4)
+        assert not are_two_neighbors(mesh, (3, 2), (2, 3))
+
+    def test_direction_specific(self):
+        mesh = Mesh(2, 5)
+        assert two_neighbor(mesh, (3, 3), Direction(0, 1)) == (5, 3)
+        assert two_neighbor(mesh, (3, 3), Direction(1, -1)) == (3, 1)
+
+    def test_none_near_boundary(self):
+        mesh = Mesh(2, 4)
+        assert two_neighbor(mesh, (3, 2), Direction(0, 1)) is None
+        assert two_neighbor(mesh, (4, 2), Direction(0, 1)) is None
+
+    def test_symmetry(self):
+        mesh = Mesh(2, 6)
+        for node in mesh.nodes():
+            for other in two_neighbors_of(mesh, node):
+                assert are_two_neighbors(mesh, other, node)
+
+    def test_count_interior(self):
+        mesh = Mesh(2, 8)
+        assert len(two_neighbors_of(mesh, (4, 4))) == 4
+        assert len(two_neighbors_of(mesh, (1, 1))) == 2
+
+    def test_torus_always_exists(self):
+        torus = Torus(2, 6)
+        for node in torus.nodes():
+            assert len(two_neighbors_of(torus, node)) == 4
+
+
+class TestEquivalenceClasses:
+    @pytest.mark.parametrize("dimension", [1, 2, 3])
+    def test_number_of_classes_is_2_to_d(self, dimension):
+        mesh = Mesh(dimension, 4)
+        classes = equivalence_classes(mesh)
+        assert len(classes) == 2**dimension
+
+    def test_even_side_equal_class_sizes(self):
+        # Each class isomorphic to an (n/2)^d mesh when n is even.
+        mesh = Mesh(2, 6)
+        classes = equivalence_classes(mesh)
+        assert all(len(members) == 9 for members in classes.values())
+
+    def test_classes_partition_the_mesh(self):
+        mesh = Mesh(2, 5)
+        classes = equivalence_classes(mesh)
+        all_nodes = [node for members in classes.values() for node in members]
+        assert sorted(all_nodes) == sorted(mesh.nodes())
+
+    def test_two_neighbors_share_class(self):
+        mesh = Mesh(2, 6)
+        for node in mesh.nodes():
+            for other in two_neighbors_of(mesh, node):
+                assert equivalence_class_label(node) == equivalence_class_label(
+                    other
+                )
+
+    def test_adjacent_nodes_differ_in_class(self):
+        mesh = Mesh(2, 6)
+        for node in mesh.nodes():
+            for other in mesh.neighbors(node):
+                assert equivalence_class_label(node) != equivalence_class_label(
+                    other
+                )
+
+    def test_label_is_parity_vector(self):
+        assert equivalence_class_label((3, 4)) == (1, 0)
+        assert equivalence_class_label((2, 2, 5)) == (0, 0, 1)
+
+
+class TestClassCoordinates:
+    def test_two_neighbors_become_adjacent(self):
+        """Within a class, the 2-neighbor relation maps to ordinary
+        adjacency of the class coordinates — the geometric fact behind
+        the Lemma 14 volume argument."""
+        mesh = Mesh(2, 8)
+        for node in mesh.nodes():
+            mapped = class_coordinates(node)
+            for other in two_neighbors_of(mesh, node):
+                other_mapped = class_coordinates(other)
+                assert (
+                    sum(
+                        abs(x - y)
+                        for x, y in zip(mapped, other_mapped)
+                    )
+                    == 1
+                )
+
+    def test_injective_within_class(self):
+        mesh = Mesh(2, 8)
+        classes = equivalence_classes(mesh)
+        for members in classes.values():
+            mapped = [class_coordinates(node) for node in members]
+            assert len(set(mapped)) == len(mapped)

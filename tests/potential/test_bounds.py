@@ -1,0 +1,126 @@
+"""Unit tests for the closed-form bounds of Theorems 17/20 and Section 5."""
+
+import math
+
+import pytest
+
+from repro.potential.bounds import (
+    four_per_node_remark_bound,
+    permutation_remark_bound,
+    phase_decay_bound,
+    restricted_potential_M,
+    section5_bound,
+    theorem17_bound,
+    theorem20_bound,
+    trivial_lower_bound,
+)
+
+
+class TestTheorem17:
+    def test_formula(self):
+        # (4d)^(1-1/d) * k^(1/d) * M with d=2, k=16, M=10:
+        # 8^(1/2) * 4 * 10.
+        assert theorem17_bound(2, 16, 10) == pytest.approx(
+            math.sqrt(8) * 4 * 10
+        )
+
+    def test_d3(self):
+        assert theorem17_bound(3, 27, 1) == pytest.approx(
+            12 ** (2 / 3) * 3
+        )
+
+    def test_zero_packets(self):
+        assert theorem17_bound(2, 0, 100) == 0.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            theorem17_bound(0, 5, 1)
+        with pytest.raises(ValueError):
+            theorem17_bound(2, -1, 1)
+        with pytest.raises(ValueError):
+            theorem17_bound(2, 1, -1)
+
+
+class TestTheorem20:
+    def test_is_theorem17_with_M_4n(self):
+        for side in (4, 8, 16):
+            for k in (1, 10, 100):
+                assert theorem20_bound(side, k) == pytest.approx(
+                    theorem17_bound(2, k, restricted_potential_M(side))
+                )
+
+    def test_headline_form(self):
+        # 8 * sqrt(2) * n * sqrt(k).
+        assert theorem20_bound(10, 25) == pytest.approx(
+            8 * math.sqrt(2) * 10 * 5
+        )
+
+    def test_zero_packets(self):
+        assert theorem20_bound(8, 0) == 0.0
+
+    def test_M_rejects_tiny_side(self):
+        with pytest.raises(ValueError):
+            restricted_potential_M(1)
+
+
+class TestRemarkBounds:
+    def test_full_load_is_8_n_squared(self):
+        # The parity split: 8*sqrt(2)*n*sqrt(n^2/2) == 8 n^2.
+        for side in (4, 8, 16):
+            split = theorem20_bound(side, side * side // 2)
+            assert permutation_remark_bound(side) == pytest.approx(split)
+
+    def test_four_per_node_is_16_n_squared(self):
+        for side in (4, 8):
+            split = theorem20_bound(side, 4 * side * side // 2)
+            assert four_per_node_remark_bound(side) == pytest.approx(split)
+
+
+class TestSection5:
+    def test_formula(self):
+        d, n, k = 3, 4, 8
+        expected = (
+            4 ** (d + 1 - 1 / d)
+            * d ** (1 - 1 / d)
+            * k ** (1 / d)
+            * n ** (d - 1)
+        )
+        assert section5_bound(d, n, k) == pytest.approx(expected)
+
+    def test_d2_is_looser_than_theorem20(self):
+        """Section 5's generic constants are worse than the dedicated
+        2-D analysis — the paper notes the specialization pays off."""
+        assert section5_bound(2, 8, 50) > theorem20_bound(8, 50)
+
+    def test_zero_packets(self):
+        assert section5_bound(3, 4, 0) == 0.0
+
+    def test_rejects_d1(self):
+        with pytest.raises(ValueError):
+            section5_bound(1, 4, 5)
+
+
+class TestAuxiliary:
+    def test_trivial_lower_bound(self):
+        assert trivial_lower_bound(13) == 13
+
+    def test_phase_decay_bound(self):
+        # (2d)^((d-1)/d) * phi0^(1/d) * (2M)^((d-1)/d), d=2:
+        # 2 * sqrt(phi0) * sqrt(2M).
+        assert phase_decay_bound(100, 32, 2) == pytest.approx(
+            2 * 10 * math.sqrt(64)
+        )
+
+    def test_phase_decay_dominated_by_theorem17_worst_case(self):
+        """With phi0 = k*M the instance bound equals Theorem 17's."""
+        k, M, d = 50, 32, 2
+        assert phase_decay_bound(k * M, M, d) == pytest.approx(
+            theorem17_bound(d, k, M)
+        )
+
+    def test_phase_decay_zero(self):
+        assert phase_decay_bound(0, 32, 2) == 0.0
+
+    def test_phase_decay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            phase_decay_bound(-1, 32, 2)

@@ -1,0 +1,84 @@
+"""Tests for good/bad node classification (Definition 9)."""
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine
+from repro.core.metrics import StepRecord
+from repro.potential.classification import classify_nodes, node_loads
+from repro.workloads import random_many_to_many, single_target
+from tests.core.test_metrics import make_info
+
+
+class TestClassification:
+    def test_bad_iff_more_than_d_packets(self):
+        infos = {
+            0: make_info(0, (1, 1), (2, 1), 5, 4),
+            1: make_info(1, (1, 1), (1, 2), 5, 6),
+            2: make_info(2, (1, 1), (2, 1), 5, 4),
+            3: make_info(3, (3, 3), (3, 4), 2, 1),
+        }
+        record = StepRecord(step=0, infos=infos)
+        classification = classify_nodes(record, dimension=2)
+        assert classification.bad_nodes == {(1, 1)}  # 3 > d = 2
+        assert classification.b == 3
+        assert classification.g == 1
+        assert classification.total == 4
+
+    def test_exactly_d_packets_is_good(self):
+        infos = {
+            0: make_info(0, (1, 1), (2, 1), 5, 4),
+            1: make_info(1, (1, 1), (1, 2), 5, 6),
+        }
+        record = StepRecord(step=0, infos=infos)
+        classification = classify_nodes(record, dimension=2)
+        assert classification.bad_nodes == set()
+        assert classification.g == 2
+
+    def test_empty_record(self):
+        record = StepRecord(step=0, infos={})
+        classification = classify_nodes(record, dimension=2)
+        assert classification.total == 0
+        assert classification.b == 0
+
+    def test_node_loads(self):
+        infos = {
+            0: make_info(0, (1, 1), (2, 1), 5, 4),
+            1: make_info(1, (1, 1), (1, 2), 5, 6),
+            2: make_info(2, (2, 2), (2, 3), 3, 2),
+        }
+        record = StepRecord(step=0, infos=infos)
+        assert node_loads(record) == {(1, 1): 2, (2, 2): 1}
+
+
+class TestAgainstEngineMetrics:
+    def test_matches_engine_b_and_g(self, mesh8):
+        """classify_nodes on records agrees with the engine's cheap
+        per-step metrics."""
+        problem = single_target(mesh8, k=50, seed=130)
+        engine = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(),
+            seed=130,
+            record_steps=True,
+        )
+        result = engine.run()
+        for record, metrics in zip(result.records, result.step_metrics):
+            classification = classify_nodes(record, 2)
+            assert classification.b == metrics.b
+            assert classification.g == metrics.g
+            assert len(classification.bad_nodes) == metrics.bad_nodes
+
+    def test_hot_spot_creates_bad_nodes(self, mesh8):
+        problem = single_target(mesh8, k=60, seed=131)
+        engine = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=131, record_steps=True
+        )
+        result = engine.run()
+        assert any(m.bad_nodes > 0 for m in result.step_metrics)
+
+    def test_sparse_run_all_good(self, mesh8):
+        problem = random_many_to_many(mesh8, k=3, seed=132)
+        engine = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=132, record_steps=True
+        )
+        result = engine.run()
+        assert all(m.bad_nodes == 0 for m in result.step_metrics)

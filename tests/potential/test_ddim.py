@@ -1,0 +1,92 @@
+"""Tests for the d-dimensional potential testbed."""
+
+import pytest
+
+from repro.algorithms import (
+    FewestGoodDirectionsPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.core.engine import HotPotatoEngine
+from repro.exceptions import ConfigurationError
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+from repro.potential.ddim import NaiveLiftedPotential, PaidDeflectionPotential
+from repro.potential.property8 import check_property8
+from repro.workloads import random_many_to_many, single_target
+
+
+def run_with(tracker, problem, seed=3):
+    engine = HotPotatoEngine(
+        problem,
+        FewestGoodDirectionsPolicy(),
+        seed=seed,
+        observers=[tracker],
+    )
+    result = engine.run()
+    assert result.completed
+    return tracker
+
+
+class TestTwoDimensionalReduction:
+    def test_naive_lift_equals_paper_potential_in_2d(self, mesh8):
+        """On 2-D meshes the lift *is* the Section 4.2 function: zero
+        Property 8 violations under the in-class policy."""
+        problem = single_target(mesh8, k=40, seed=4)
+        tracker = NaiveLiftedPotential()
+        engine = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(),
+            seed=4,
+            observers=[tracker],
+        )
+        engine.run()
+        assert check_property8(tracker.node_drops, 2) == []
+        assert tracker.is_monotone_nonincreasing()
+
+
+class TestThreeDimensionalFailure:
+    def test_naive_lift_fails_property8_on_hot_spot(self, mesh3d):
+        """The documented counterexample realizes: deflections of
+        multi-good-direction packets go uncompensated."""
+        mesh = Mesh(3, 5)
+        problem = single_target(mesh, k=80, seed=2)
+        tracker = run_with(NaiveLiftedPotential(), problem)
+        violations = check_property8(tracker.node_drops, 3)
+        assert len(violations) > 0
+
+    def test_paid_deflections_reduce_but_do_not_fix(self):
+        """The simplest 'compensate your victims' repair helps but
+        does not reach Property 8 — the gap the [BHS] construction's
+        complexity exists to close."""
+        mesh = Mesh(3, 5)
+        problem = single_target(mesh, k=80, seed=2)
+        naive = run_with(NaiveLiftedPotential(), problem)
+        paid = run_with(PaidDeflectionPotential(), problem)
+        naive_violations = len(check_property8(naive.node_drops, 3))
+        paid_violations = len(check_property8(paid.node_drops, 3))
+        assert 0 < paid_violations < naive_violations
+
+    def test_low_conflict_runs_are_clean(self):
+        """Without heavy multi-packet conflicts the lift behaves: the
+        failure is specifically about crowded nodes."""
+        mesh = Mesh(3, 5)
+        problem = random_many_to_many(mesh, k=20, seed=5)
+        tracker = run_with(NaiveLiftedPotential(), problem)
+        assert check_property8(tracker.node_drops, 3) == []
+
+
+class TestGuards:
+    def test_rejects_torus(self):
+        problem = random_many_to_many(Torus(2, 6), k=5, seed=0)
+        tracker = NaiveLiftedPotential()
+        engine = HotPotatoEngine(
+            problem,
+            FewestGoodDirectionsPolicy(),
+            observers=[tracker],
+        )
+        with pytest.raises(ConfigurationError):
+            engine.run()
+
+    def test_never_strict(self):
+        assert NaiveLiftedPotential().strict is False
+        assert PaidDeflectionPotential().strict is False

@@ -1,0 +1,65 @@
+"""Tests for the pure-distance potential tracker."""
+
+from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine
+from repro.core.problem import RoutingProblem
+from repro.potential.distance import DistancePotential
+from repro.potential.property8 import check_property8
+from repro.workloads import random_many_to_many, single_target
+
+
+def run_with_distance(problem, policy, seed=0):
+    tracker = DistancePotential()
+    engine = HotPotatoEngine(
+        problem, policy, seed=seed, observers=[tracker], record_steps=True
+    )
+    result = engine.run()
+    return tracker, result
+
+
+class TestDistancePotential:
+    def test_initial_is_total_distance(self, mesh8):
+        problem = random_many_to_many(mesh8, k=20, seed=170)
+        tracker, _ = run_with_distance(problem, PlainGreedyPolicy(), seed=170)
+        assert tracker.initial_total == problem.total_distance
+
+    def test_reaches_zero_on_completion(self, mesh8):
+        problem = random_many_to_many(mesh8, k=20, seed=171)
+        tracker, result = run_with_distance(
+            problem, PlainGreedyPolicy(), seed=171
+        )
+        assert result.completed
+        assert tracker.total == 0.0
+
+    def test_single_packet_drops_one_per_step(self, mesh8):
+        problem = RoutingProblem.from_pairs(mesh8, [((1, 1), (1, 5))])
+        tracker, _ = run_with_distance(problem, PlainGreedyPolicy())
+        assert tracker.phi_history == [4.0, 3.0, 2.0, 1.0, 0.0]
+
+    def test_M_is_diameter(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=172)
+        tracker, _ = run_with_distance(problem, PlainGreedyPolicy(), seed=172)
+        assert tracker.M == mesh8.diameter
+
+    def test_change_equals_deflections_minus_advances(self, mesh8):
+        """Each step Phi_dist changes by (deflected - advancing)."""
+        problem = single_target(mesh8, k=40, seed=173)
+        tracker, result = run_with_distance(
+            problem, RestrictedPriorityPolicy(), seed=173
+        )
+        for metrics, before, after in zip(
+            result.step_metrics,
+            tracker.phi_history,
+            tracker.phi_history[1:],
+        ):
+            assert after - before == metrics.deflected - metrics.advancing
+
+    def test_does_not_satisfy_property8_under_congestion(self, mesh8):
+        """The motivation for the C_p term: distance alone fails
+        Property 8 as soon as a node's deflections eat the slack."""
+        problem = single_target(mesh8, k=60, seed=174)
+        tracker, _ = run_with_distance(
+            problem, RestrictedPriorityPolicy(), seed=174
+        )
+        violations = check_property8(tracker.node_drops, dimension=2)
+        assert violations  # the naive potential breaks

@@ -1,0 +1,99 @@
+"""Tests for the Property 8 checker (and Lemma 19 empirically)."""
+
+import pytest
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine
+from repro.potential.base import NodeDrop
+from repro.potential.property8 import (
+    Property8Violation,
+    check_property8,
+    minimum_margin,
+    property8_required_drop,
+)
+from repro.potential.restricted import RestrictedPotential
+from repro.workloads import (
+    quadrant_flood,
+    random_many_to_many,
+    saturated_load,
+    single_target,
+)
+
+
+class TestRequiredDrop:
+    def test_good_node_pays_per_packet(self):
+        # l <= d: lose l.
+        assert property8_required_drop(0, 2) == 0
+        assert property8_required_drop(1, 2) == 1
+        assert property8_required_drop(2, 2) == 2
+
+    def test_bad_node_pays_per_missing_packet(self):
+        # l > d: lose 2d - l.
+        assert property8_required_drop(3, 2) == 1
+        assert property8_required_drop(4, 2) == 0
+
+    def test_d3(self):
+        assert property8_required_drop(3, 3) == 3
+        assert property8_required_drop(5, 3) == 1
+        assert property8_required_drop(6, 3) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            property8_required_drop(-1, 2)
+
+
+class TestChecker:
+    def test_detects_violation(self):
+        drops = [[NodeDrop(step=0, node=(1, 1), load=2, drop=1.0)]]
+        violations = check_property8(drops, dimension=2)
+        assert len(violations) == 1
+        assert violations[0].required == 2
+        assert "node (1, 1)" in str(violations[0])
+
+    def test_passes_sufficient_drop(self):
+        drops = [[NodeDrop(step=0, node=(1, 1), load=2, drop=2.0)]]
+        assert check_property8(drops, dimension=2) == []
+
+    def test_bad_node_with_full_load_needs_nothing(self):
+        drops = [[NodeDrop(step=0, node=(1, 1), load=4, drop=-3.0)]]
+        # 2d - l = 0; a full node may even gain... but not more than
+        # required allows.  drop=-3 < 0 = required -> violation.
+        assert len(check_property8(drops, dimension=2)) == 1
+        drops = [[NodeDrop(step=0, node=(1, 1), load=4, drop=0.0)]]
+        assert check_property8(drops, dimension=2) == []
+
+    def test_minimum_margin(self):
+        drops = [
+            [NodeDrop(step=0, node=(1, 1), load=1, drop=3.0)],
+            [NodeDrop(step=1, node=(2, 2), load=2, drop=2.5)],
+        ]
+        assert minimum_margin(drops, dimension=2) == pytest.approx(0.5)
+
+
+class TestLemma19OnRealRuns:
+    """Property 8 holds at every node of every step for the in-class
+    algorithm on every congested workload — the empirical Lemma 19."""
+
+    WORKLOADS = [
+        lambda mesh: random_many_to_many(mesh, k=120, seed=120),
+        lambda mesh: single_target(mesh, k=60, seed=121),
+        lambda mesh: quadrant_flood(mesh, seed=122),
+        lambda mesh: saturated_load(mesh, per_node=3, seed=123),
+    ]
+
+    @pytest.mark.parametrize("factory", WORKLOADS)
+    @pytest.mark.parametrize("prefer_type_a", [True, False])
+    def test_property8_holds(self, mesh8, factory, prefer_type_a):
+        problem = factory(mesh8)
+        tracker = RestrictedPotential()
+        engine = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(prefer_type_a=prefer_type_a),
+            seed=9,
+            observers=[tracker],
+        )
+        result = engine.run()
+        assert result.completed
+        violations = check_property8(tracker.node_drops, dimension=2)
+        assert violations == [], violations[:3]
+        assert minimum_margin(tracker.node_drops, dimension=2) >= 0

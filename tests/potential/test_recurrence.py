@@ -1,0 +1,150 @@
+"""Tests for the numerical Theorem 17 proof machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.potential.bounds import theorem17_bound
+from repro.potential.recurrence import (
+    claim16_b0,
+    decay_steps,
+    equation6_gap,
+    guaranteed_two_step_drop,
+    is_feasible_bad_count,
+    minimum_step_loss,
+    verify_claim16_case2,
+)
+
+
+class TestDecaySteps:
+    def test_zero_potential_is_immediate(self):
+        assert decay_steps(0.0, 10, 2) == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            decay_steps(10, 0, 2)
+        with pytest.raises(ValueError):
+            decay_steps(-1, 10, 2)
+        with pytest.raises(ValueError):
+            decay_steps(10, 10, 0)
+
+    @given(
+        st.integers(2, 4),
+        st.integers(1, 500),
+        st.integers(2, 64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_recurrence_below_closed_form(self, dimension, k, side):
+        """Iterating the Lemma 15 recurrence from Phi(0) = k*M never
+        needs more steps than Theorem 17's closed form allows."""
+        M = 4 * side
+        steps = decay_steps(k * M, M, dimension)
+        assert steps <= theorem17_bound(dimension, k, M) + 2
+
+    def test_monotone_in_phi0(self):
+        M = 32
+        small = decay_steps(100, M, 2)
+        large = decay_steps(1000, M, 2)
+        assert small <= large
+
+    def test_d1_is_linear(self):
+        """In one dimension the recurrence drops a constant per two
+        steps: (2)^1 * (phi/2M)^0 = 2."""
+        assert decay_steps(100, 50, 1) == 100
+
+
+class TestEquation6:
+    def test_gap_signs(self):
+        L = 100
+        assert equation6_gap(0, L, 2) > 0
+        assert equation6_gap(L, L, 2) < 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            equation6_gap(-1, 10, 2)
+
+
+class TestClaim16:
+    def test_zero_load(self):
+        assert claim16_b0(0, 2) == 0.0
+
+    def test_balance_point_solves_equation(self):
+        b0 = claim16_b0(100, 2)
+        assert abs(equation6_gap(b0, 100, 2)) < 1e-6
+
+    @given(st.integers(2, 5), st.integers(1, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_b0_at_least_half_of_L_in_case_1(self, dimension, L):
+        """The paper's case 1 (L >= 4d): the continuous balance point
+        of equation (6) is at least L/2."""
+        if L < 4 * dimension:
+            L += 4 * dimension  # shift into the case-1 regime
+        b0 = claim16_b0(float(L), dimension)
+        assert b0 >= L / 2 - 1e-6
+
+    def test_continuous_relaxation_fails_below_4d(self):
+        """The reason the paper needs the case analysis at all: for
+        L < 4d the continuous B_0 genuinely drops below L/2, so only
+        the discrete structure (a bad node holds >= d+1 packets)
+        rescues the claim."""
+        assert claim16_b0(5.0, 2) < 2.5
+        assert claim16_b0(8.0, 3) < 4.0
+
+    @given(st.integers(2, 4), st.integers(1, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_equation7_consequence_case1(self, dimension, L):
+        """For L >= 4d: max(L - B, surface(B)) at the balance point
+        beats (2d)^(1/d) * (L/2)^((d-1)/d)."""
+        d = dimension
+        if L < 4 * d:
+            L += 4 * d
+        guarantee = guaranteed_two_step_drop(float(L), d)
+        b0 = claim16_b0(float(L), d)
+        minimum = max(
+            L - b0, (2 * d) ** (1 / d) * b0 ** ((d - 1) / d)
+        )
+        assert minimum >= guarantee - 1e-6
+
+    @pytest.mark.parametrize("dimension", [2, 3, 4, 5])
+    def test_case2_reconstruction_holds(self, dimension):
+        """The reconstructed 'tedious case analysis': for every small
+        load and every feasible bad-packet count, the discrete two-step
+        guarantee beats the equation-(7) target."""
+        for L in range(0, 6 * dimension + 1):
+            assert verify_claim16_case2(L, dimension) == []
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            claim16_b0(-1, 2)
+        with pytest.raises(ValueError):
+            guaranteed_two_step_drop(-1, 2)
+        with pytest.raises(ValueError):
+            verify_claim16_case2(-1, 2)
+
+
+class TestDiscreteStructure:
+    def test_feasible_bad_counts_2d(self):
+        """d=2: bad nodes hold 3 or 4 packets, so feasible counts are
+        0, 3, 4, 6, 7, 8, 9, ..."""
+        feasible = [
+            B for B in range(0, 13) if is_feasible_bad_count(B, 2)
+        ]
+        assert feasible == [0, 3, 4, 6, 7, 8, 9, 10, 11, 12]
+
+    def test_small_counts_infeasible(self):
+        for d in (2, 3, 4):
+            for B in range(1, d + 1):
+                assert not is_feasible_bad_count(B, d)
+
+    def test_minimum_step_loss_values(self):
+        # d=2: cost 1,2 for loads 1,2; 1,0 for loads 3,4.
+        assert minimum_step_loss(0, 2) == 0
+        assert minimum_step_loss(1, 2) == 1
+        assert minimum_step_loss(4, 2) == 0  # one full bad node
+        assert minimum_step_loss(8, 2) == 0  # two full bad nodes
+        assert minimum_step_loss(5, 2) == 1  # 4 + 1
+        assert minimum_step_loss(2, 2) == 2
+
+    def test_minimum_step_loss_rejects_negative(self):
+        with pytest.raises(ValueError):
+            minimum_step_loss(-1, 2)

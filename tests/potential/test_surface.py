@@ -1,0 +1,138 @@
+"""Tests for surface arcs (Definition 11) and Lemma 14."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.potential.classification import classify_nodes
+from repro.potential.surface import (
+    check_lemma_14,
+    class_volumes,
+    count_surface_arcs,
+    count_surface_arcs_via_volumes,
+    f_of_t,
+    lemma_14_lower_bound,
+    surface_arcs,
+)
+from repro.workloads import single_target, saturated_load
+
+
+class TestSurfaceArcsDefinition:
+    def test_single_interior_bad_node(self):
+        """An isolated bad node in the interior has 2d surface arcs."""
+        mesh = Mesh(2, 8)
+        assert count_surface_arcs(mesh, {(4, 4)}) == 4
+
+    def test_bad_node_on_edge_counts_out_of_mesh_arcs(self):
+        """Definition 11: arcs leading out of the mesh count too, so a
+        corner bad node still has 2d surface arcs."""
+        mesh = Mesh(2, 8)
+        assert count_surface_arcs(mesh, {(1, 1)}) == 4
+
+    def test_adjacent_bad_nodes_are_not_2neighbors(self):
+        """Two adjacent bad nodes are in different equivalence classes,
+        so they shield nothing from each other: 4 + 4 arcs."""
+        mesh = Mesh(2, 8)
+        assert count_surface_arcs(mesh, {(4, 4), (4, 5)}) == 8
+
+    def test_2neighbor_bad_pair_shields_two_arcs(self):
+        """Bad 2-neighbors hide one face each: 2*4 - 2 = 6."""
+        mesh = Mesh(2, 8)
+        assert count_surface_arcs(mesh, {(4, 4), (4, 6)}) == 6
+
+    def test_enumeration_matches_count(self):
+        mesh = Mesh(2, 8)
+        bad = {(4, 4), (4, 6), (2, 2)}
+        assert len(surface_arcs(mesh, bad)) == count_surface_arcs(mesh, bad)
+
+    def test_empty(self):
+        mesh = Mesh(2, 8)
+        assert count_surface_arcs(mesh, set()) == 0
+
+
+class TestGeometricCorrespondence:
+    """F(t) equals the total surface of the per-class volumes — the
+    Section 3.2 geometric interpretation, computed both ways."""
+
+    @given(st.integers(0, 10_000), st.integers(0, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_definition_equals_volume_surface(self, seed, num_bad):
+        mesh = Mesh(2, 8)
+        rng = random.Random(seed)
+        nodes = [node for node in mesh.nodes()]
+        bad = set(rng.sample(nodes, min(num_bad, len(nodes))))
+        assert count_surface_arcs(mesh, bad) == (
+            count_surface_arcs_via_volumes(bad)
+        )
+
+    @given(st.integers(0, 10_000), st.integers(0, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_three_dimensional_correspondence(self, seed, num_bad):
+        mesh = Mesh(3, 4)
+        rng = random.Random(seed)
+        nodes = [node for node in mesh.nodes()]
+        bad = set(rng.sample(nodes, min(num_bad, len(nodes))))
+        assert count_surface_arcs(mesh, bad) == (
+            count_surface_arcs_via_volumes(bad)
+        )
+
+    def test_class_volumes_partition(self):
+        bad = {(1, 1), (1, 3), (2, 2), (4, 4)}
+        volumes = class_volumes(bad)
+        assert sum(len(v) for v in volumes.values()) == len(bad)
+
+
+class TestLemma14:
+    def test_lower_bound_formula(self):
+        # (2d)^(1/d) * B^((d-1)/d) with d=2: 2 * sqrt(B).
+        assert lemma_14_lower_bound(16, 2) == pytest.approx(8.0)
+        assert lemma_14_lower_bound(0, 2) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lemma_14_lower_bound(-1, 2)
+
+    @given(st.integers(0, 10_000), st.integers(1, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_holds_for_arbitrary_bad_sets(self, seed, num_bad):
+        """Lemma 14 with the worst case B = 2d per bad node: F >=
+        (2d)^(1/d) * B^((d-1)/d).  We check the strongest form: every
+        bad node carrying the full 2d packets."""
+        mesh = Mesh(2, 10)
+        rng = random.Random(seed)
+        nodes = [node for node in mesh.nodes()]
+        bad = set(rng.sample(nodes, min(num_bad, len(nodes))))
+        f = count_surface_arcs(mesh, bad)
+        b = 4 * len(bad)  # maximal packets in bad nodes
+        assert f >= lemma_14_lower_bound(b, 2) - 1e-9
+
+    def test_on_real_hot_spot_run(self, mesh8):
+        problem = single_target(mesh8, k=60, seed=140)
+        engine = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=140, record_steps=True
+        )
+        result = engine.run()
+        saw_bad = False
+        for record in result.records:
+            f, bound, holds = check_lemma_14(mesh8, record)
+            assert holds
+            if bound > 0:
+                saw_bad = True
+        assert saw_bad  # the workload actually exercised the lemma
+
+    def test_f_of_t_convenience(self, mesh8):
+        problem = saturated_load(mesh8, per_node=3, seed=141)
+        engine = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=141, record_steps=True
+        )
+        result = engine.run()
+        record = result.records[0]
+        classification = classify_nodes(record, 2)
+        assert f_of_t(mesh8, record) == count_surface_arcs(
+            mesh8, classification.bad_nodes
+        )

@@ -1,0 +1,110 @@
+"""Tests for the run-level verification of the full analysis chain."""
+
+import pytest
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.potential.verification import verify_restricted_run
+from repro.workloads import (
+    corner_storm,
+    quadrant_flood,
+    random_many_to_many,
+    random_permutation,
+    saturated_load,
+    single_target,
+)
+
+
+WORKLOADS = [
+    ("random-60", lambda mesh: random_many_to_many(mesh, k=60, seed=150)),
+    ("hotspot", lambda mesh: single_target(mesh, k=50, seed=151)),
+    ("flood", lambda mesh: quadrant_flood(mesh, seed=152)),
+    ("permutation", lambda mesh: random_permutation(mesh, seed=153)),
+    ("saturated", lambda mesh: saturated_load(mesh, per_node=2, seed=154)),
+    ("corner", lambda mesh: corner_storm(mesh, packets_per_corner=2)),
+]
+
+
+class TestFullChain:
+    @pytest.mark.parametrize("label,factory", WORKLOADS)
+    @pytest.mark.parametrize("prefer_type_a", [True, False])
+    def test_all_inequalities_hold(self, mesh8, label, factory, prefer_type_a):
+        """Corollary 10, Lemmas 12/14/15, Property 8, monotonicity, and
+        the Theorem 20 bound — audited on a live run."""
+        problem = factory(mesh8)
+        report = verify_restricted_run(
+            problem,
+            RestrictedPriorityPolicy(prefer_type_a=prefer_type_a),
+            seed=5,
+        )
+        assert report.result.completed
+        assert report.monotone
+        assert report.property8_violations == []
+        assert report.corollary10_violations == []
+        assert report.lemma12_violations == []
+        assert report.lemma14_violations == []
+        assert report.lemma15_violations == []
+        assert report.all_hold
+        assert 0 < report.bound_ratio < 1
+
+
+class TestReportContents:
+    def test_bgf_series_shape(self, mesh8):
+        problem = single_target(mesh8, k=40, seed=155)
+        report = verify_restricted_run(
+            problem, RestrictedPriorityPolicy(), seed=6
+        )
+        assert len(report.bgf_series) == report.result.total_steps
+        for step, b, f in report.bgf_series:
+            assert b >= 0 and f >= 0
+
+    def test_hot_spot_produces_surface_activity(self, mesh8):
+        problem = single_target(mesh8, k=60, seed=156)
+        report = verify_restricted_run(
+            problem, RestrictedPriorityPolicy(), seed=7
+        )
+        assert any(f > 0 for _, _, f in report.bgf_series)
+
+    def test_phi_decays_to_zero(self, mesh8):
+        problem = random_many_to_many(mesh8, k=30, seed=157)
+        report = verify_restricted_run(
+            problem, RestrictedPriorityPolicy(), seed=8
+        )
+        assert report.phi_history[0] > 0
+        assert report.phi_history[-1] == 0.0
+
+    def test_summary_mentions_status(self, mesh8):
+        problem = random_many_to_many(mesh8, k=20, seed=158)
+        report = verify_restricted_run(
+            problem, RestrictedPriorityPolicy(), seed=9
+        )
+        assert "ALL INEQUALITIES HOLD" in report.summary()
+
+    def test_theorem20_limit_matches_bound(self, mesh8):
+        from repro.potential.bounds import theorem20_bound
+
+        problem = random_many_to_many(mesh8, k=25, seed=159)
+        report = verify_restricted_run(
+            problem, RestrictedPriorityPolicy(), seed=10
+        )
+        assert report.theorem20_limit == theorem20_bound(8, 25)
+
+    def test_switch_counter_propagated(self, mesh8):
+        problem = single_target(mesh8, k=40, seed=160)
+        report = verify_restricted_run(
+            problem,
+            RestrictedPriorityPolicy(prefer_type_a=False),
+            seed=11,
+        )
+        assert report.switch_count > 0
+
+
+class TestLargerMesh:
+    def test_16x16_permutation(self):
+        from repro.mesh.topology import Mesh
+
+        mesh = Mesh(2, 16)
+        problem = random_permutation(mesh, seed=161)
+        report = verify_restricted_run(
+            problem, RestrictedPriorityPolicy(), seed=12
+        )
+        assert report.all_hold

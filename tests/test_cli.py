@@ -1,0 +1,176 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRoute:
+    def test_basic_route(self, capsys):
+        code = main(
+            ["route", "--side", "8", "--workload", "random", "--k", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 20 bound" in out
+        assert "delivered=10" in out
+
+    def test_verify_mode(self, capsys):
+        code = main(
+            [
+                "route",
+                "--side",
+                "8",
+                "--workload",
+                "hotspot",
+                "--k",
+                "20",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        assert "ALL INEQUALITIES HOLD" in capsys.readouterr().out
+
+    def test_verify_rejects_torus(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "route",
+                    "--topology",
+                    "torus",
+                    "--side",
+                    "8",
+                    "--verify",
+                ]
+            )
+
+    def test_save_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.json")
+        code = main(
+            [
+                "route",
+                "--side",
+                "8",
+                "--k",
+                "5",
+                "--save-trace",
+                path,
+            ]
+        )
+        assert code == 0
+        from repro.core.serialization import load_trace
+
+        trace = load_trace(path)
+        assert trace.num_steps > 0
+
+    def test_each_workload(self, capsys):
+        for workload in ("permutation", "transpose", "flood", "corners"):
+            code = main(
+                ["route", "--side", "8", "--workload", workload]
+            )
+            assert code == 0
+
+    def test_hypercube_topology(self, capsys):
+        code = main(
+            [
+                "route",
+                "--topology",
+                "hypercube",
+                "--dimension",
+                "5",
+                "--workload",
+                "random",
+                "--k",
+                "20",
+                "--policy",
+                "fixed-priority",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_policy_fails(self):
+        with pytest.raises(KeyError):
+            main(["route", "--side", "8", "--policy", "nope"])
+
+
+class TestSweep:
+    def test_table_printed(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--side",
+                "8",
+                "--k-min",
+                "4",
+                "--k-max",
+                "8",
+                "--seeds",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Thm20 bound" in out
+        assert "k" in out
+
+
+class TestDynamic:
+    def test_load_sweep(self, capsys):
+        code = main(
+            [
+                "dynamic",
+                "--side",
+                "6",
+                "--rates",
+                "0.05",
+                "0.1",
+                "--horizon",
+                "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lat mean" in out
+
+
+class TestLivelock:
+    def test_demo(self, capsys):
+        code = main(["livelock", "--steps", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0/8 delivered" in out
+        assert "recurs every 2 steps" in out
+
+
+class TestPolicies:
+    def test_listing(self, capsys):
+        code = main(["policies"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "restricted-priority" in out
+        assert "prefers-restricted" in out
+
+
+class TestParser:
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_report_from_real_results(self, capsys):
+        code = main(["report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Measured experiment tables")
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_path = str(tmp_path / "report.md")
+        code = main(["report", "--output", out_path])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_report_missing_directory(self, tmp_path, capsys):
+        code = main(["report", "--results", str(tmp_path / "none")])
+        assert code == 0
+        assert "no experiment results" in capsys.readouterr().out

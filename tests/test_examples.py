@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the library's quickstart surface, so they are executed as
+real subprocesses (fresh interpreter, no test-suite state).  The
+long-horizon traffic sweep (``network_traffic.py``) is exercised by
+benchmark E14/E21 instead and only import-checked here.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "optical_network.py",
+    "permutation_routing.py",
+    "potential_trace.py",
+    "livelock_demo.py",
+    "figures_demo.py",
+    "related_work_tour.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), f"{script} printed nothing"
+
+
+def test_every_example_is_covered():
+    """No example script is silently missing from this smoke list."""
+    scripts = sorted(
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    )
+    assert set(scripts) == set(FAST_EXAMPLES) | {"network_traffic.py"}
+
+
+def test_network_traffic_compiles():
+    path = os.path.join(EXAMPLES_DIR, "network_traffic.py")
+    with open(path, "r", encoding="utf-8") as handle:
+        compile(handle.read(), path, "exec")

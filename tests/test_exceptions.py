@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ArcAssignmentError,
+    CapacityExceededError,
+    ConfigurationError,
+    GreedinessViolationError,
+    HotPotatoViolationError,
+    InvalidProblemError,
+    LivelockSuspectedError,
+    ProtocolViolationError,
+    ReproError,
+    RestrictedPriorityViolationError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            ConfigurationError,
+            InvalidProblemError,
+            ProtocolViolationError,
+            HotPotatoViolationError,
+            ArcAssignmentError,
+            GreedinessViolationError,
+            RestrictedPriorityViolationError,
+            CapacityExceededError,
+            LivelockSuspectedError,
+            TraceError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert issubclass(exception, ReproError)
+
+    def test_problem_errors_are_configuration_errors(self):
+        assert issubclass(InvalidProblemError, ConfigurationError)
+
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            HotPotatoViolationError,
+            ArcAssignmentError,
+            GreedinessViolationError,
+            RestrictedPriorityViolationError,
+            CapacityExceededError,
+        ],
+    )
+    def test_runtime_violations_share_a_base(self, exception):
+        assert issubclass(exception, ProtocolViolationError)
+
+    def test_catching_the_base_catches_library_errors(self, mesh8):
+        from repro.core.problem import RoutingProblem
+
+        with pytest.raises(ReproError):
+            RoutingProblem.from_pairs(mesh8, [((0, 0), (1, 1))])
+
+    def test_configuration_vs_protocol_disjoint(self):
+        assert not issubclass(ConfigurationError, ProtocolViolationError)
+        assert not issubclass(ProtocolViolationError, ConfigurationError)

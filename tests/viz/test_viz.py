@@ -1,0 +1,122 @@
+"""Tests for the text-mode visualizations."""
+
+import pytest
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.core.engine import HotPotatoEngine
+from repro.mesh.topology import Mesh
+from repro.viz.ascii_art import (
+    render_loads,
+    render_nodes,
+    render_path,
+    render_step,
+)
+from repro.viz.timeseries import labeled_sparkline, sparkline, step_chart
+from repro.workloads import single_target
+
+
+class TestRenderLoads:
+    def test_grid_shape(self):
+        mesh = Mesh(2, 3)
+        out = render_loads(mesh, {(1, 1): 1})
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith(" 1 ")
+
+    def test_bad_nodes_bracketed(self):
+        mesh = Mesh(2, 3)
+        out = render_loads(mesh, {(2, 2): 3})
+        assert "[3]" in out
+
+    def test_empty_cells_dotted(self):
+        mesh = Mesh(2, 3)
+        out = render_loads(mesh, {})
+        assert out.count(".") == 9
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            render_loads(Mesh(3, 3), {})
+
+
+class TestRenderNodes:
+    def test_marking(self):
+        mesh = Mesh(2, 3)
+        out = render_nodes(mesh, [(1, 1), (3, 3)])
+        lines = out.splitlines()
+        assert lines[0][0] == "#"
+        assert lines[2][-1] == "#"
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            render_nodes(Mesh(3, 3), [])
+
+
+class TestRenderPath:
+    def test_visit_letters_and_destination(self):
+        mesh = Mesh(2, 3)
+        out = render_path(mesh, [(1, 1), (1, 2)], destination=(3, 3))
+        assert "a" in out
+        assert "b" in out
+        assert "*" in out
+
+    def test_revisit_keeps_first_letter(self):
+        mesh = Mesh(2, 3)
+        out = render_path(mesh, [(1, 1), (1, 2), (1, 1)])
+        assert out.count("a") == 1
+        assert "c" not in out
+
+
+class TestRenderStep:
+    def test_real_record(self, mesh8):
+        problem = single_target(mesh8, k=30, seed=210)
+        engine = HotPotatoEngine(
+            problem, RestrictedPriorityPolicy(), seed=210, record_steps=True
+        )
+        result = engine.run()
+        out = render_step(mesh8, result.records[0])
+        assert len(out.splitlines()) == 8
+
+
+class TestSparkline:
+    def test_length_capped_by_width(self):
+        line = sparkline(list(range(200)), width=50)
+        assert len(line) == 50
+
+    def test_short_series_uncompressed(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_shape(self):
+        line = sparkline([0, 10])
+        assert line[0] < line[-1]
+
+
+class TestLabeledSparkline:
+    def test_contains_label_and_endpoints(self):
+        out = labeled_sparkline("Phi", [100.0, 50.0, 0.0])
+        assert "Phi" in out
+        assert "100" in out
+        assert "0" in out
+
+    def test_empty(self):
+        assert "(empty)" in labeled_sparkline("x", [])
+
+
+class TestStepChart:
+    def test_dimensions(self):
+        chart = step_chart([1, 5, 3, 8], height=4)
+        lines = chart.splitlines()
+        assert len(lines) == 5  # 4 bands + baseline
+        assert set(lines[-1]) == {"-"}
+
+    def test_all_zero(self):
+        assert step_chart([0, 0]) == ".."
+
+    def test_empty(self):
+        assert step_chart([]) == ""

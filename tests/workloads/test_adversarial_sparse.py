@@ -1,0 +1,104 @@
+"""Tests for adversarial and sparse workload generators."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mesh.topology import Mesh
+from repro.workloads.adversarial import (
+    column_collapse,
+    corner_storm,
+    cross_traffic,
+    quadrant_flood,
+)
+from repro.workloads.sparse import local_cluster, scattered_sparse
+
+
+class TestQuadrantFlood:
+    def test_sources_low_destinations_high(self, mesh8):
+        problem = quadrant_flood(mesh8, seed=0)
+        assert problem.k == 16  # 4x4 low quadrant
+        for request in problem.requests:
+            assert all(x <= 4 for x in request.source)
+            assert all(x > 4 for x in request.destination)
+
+
+class TestCornerStorm:
+    def test_opposite_corners(self, mesh8):
+        problem = corner_storm(mesh8)
+        assert problem.k == 4
+        for request in problem.requests:
+            assert problem.mesh.distance(
+                request.source, request.destination
+            ) == problem.mesh.diameter
+
+    def test_packets_per_corner_capacity(self, mesh8):
+        assert corner_storm(mesh8, packets_per_corner=2).k == 8
+        with pytest.raises(ConfigurationError):
+            corner_storm(mesh8, packets_per_corner=3)
+
+    def test_three_dimensional(self, mesh3d):
+        problem = corner_storm(mesh3d, packets_per_corner=3)
+        assert problem.k == 24
+
+
+class TestColumnCollapse:
+    def test_destinations_in_one_column(self, mesh8):
+        problem = column_collapse(mesh8, target_column=3)
+        assert all(r.destination[1] == 3 for r in problem.requests)
+        assert all(
+            r.source[0] == r.destination[0] for r in problem.requests
+        )
+        # Every node except those already in the column sends.
+        assert problem.k == 64 - 8
+
+    def test_default_column_is_middle(self, mesh8):
+        problem = column_collapse(mesh8)
+        assert problem.requests[0].destination[1] == 4
+
+    def test_rejects_3d(self, mesh3d):
+        with pytest.raises(ConfigurationError):
+            column_collapse(mesh3d)
+
+    def test_rejects_bad_column(self, mesh8):
+        with pytest.raises(ConfigurationError):
+            column_collapse(mesh8, target_column=9)
+
+
+class TestCrossTraffic:
+    def test_size_and_span(self, mesh8):
+        problem = cross_traffic(mesh8)
+        assert problem.k == 4 * 8
+        for request in problem.requests:
+            assert (
+                problem.mesh.distance(request.source, request.destination)
+                == 7
+            )
+
+    def test_rejects_3d(self, mesh3d):
+        with pytest.raises(ConfigurationError):
+            cross_traffic(mesh3d)
+
+
+class TestSparse:
+    def test_scattered_enforces_sparsity(self):
+        mesh = Mesh(2, 20)  # 400 nodes -> limit 20
+        problem = scattered_sparse(mesh, k=20, seed=0)
+        assert problem.k == 20
+        with pytest.raises(ConfigurationError):
+            scattered_sparse(mesh, k=21, seed=0)
+
+    def test_local_cluster_inside_box(self, mesh8):
+        problem = local_cluster(mesh8, k=10, box_side=3, seed=1)
+        for request in problem.requests:
+            assert all(x <= 3 for x in request.source)
+            assert all(x <= 3 for x in request.destination)
+
+    def test_local_cluster_distance_bounded(self, mesh8):
+        problem = local_cluster(mesh8, k=10, box_side=3, seed=2)
+        assert problem.d_max <= 2 * (3 - 1)
+
+    def test_local_cluster_validation(self, mesh8):
+        with pytest.raises(ConfigurationError):
+            local_cluster(mesh8, k=5, box_side=1, seed=0)
+        with pytest.raises(ConfigurationError):
+            local_cluster(mesh8, k=500, box_side=2, seed=0)

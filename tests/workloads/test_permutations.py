@@ -1,0 +1,94 @@
+"""Tests for permutation workloads."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mesh.topology import Mesh
+from repro.workloads.permutations import (
+    bit_reversal,
+    partial_random_permutation,
+    random_permutation,
+    reversal,
+    transpose,
+)
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self, mesh8):
+        problem = random_permutation(mesh8, seed=0)
+        assert problem.k == 64
+        assert problem.is_permutation()
+        sources = {r.source for r in problem.requests}
+        destinations = {r.destination for r in problem.requests}
+        assert len(sources) == len(destinations) == 64
+
+    def test_reproducible(self, mesh8):
+        assert (
+            random_permutation(mesh8, seed=3).requests
+            == random_permutation(mesh8, seed=3).requests
+        )
+
+
+class TestPartialPermutation:
+    def test_k_distinct_endpoints(self, mesh8):
+        problem = partial_random_permutation(mesh8, k=10, seed=1)
+        assert problem.k == 10
+        assert problem.is_permutation()
+
+    def test_rejects_oversize(self, mesh4):
+        with pytest.raises(ConfigurationError):
+            partial_random_permutation(mesh4, k=17, seed=0)
+
+
+class TestTranspose:
+    def test_mapping(self, mesh4):
+        problem = transpose(mesh4)
+        mapping = {r.source: r.destination for r in problem.requests}
+        assert mapping[(1, 3)] == (3, 1)
+        assert mapping[(2, 2)] == (2, 2)  # diagonal fixed
+        assert problem.is_permutation()
+
+    def test_involution(self, mesh4):
+        problem = transpose(mesh4)
+        mapping = {r.source: r.destination for r in problem.requests}
+        for source, destination in mapping.items():
+            assert mapping[destination] == source
+
+
+class TestReversal:
+    def test_mapping(self, mesh4):
+        problem = reversal(mesh4)
+        mapping = {r.source: r.destination for r in problem.requests}
+        assert mapping[(1, 1)] == (4, 4)
+        assert mapping[(2, 3)] == (3, 2)
+
+    def test_maximal_total_distance(self, mesh4):
+        """Every packet travels d(n+1-2x) per axis; reversal maximizes
+        the total distance over all permutations."""
+        problem = reversal(mesh4)
+        assert problem.total_distance == sum(
+            abs(4 + 1 - 2 * x) + abs(4 + 1 - 2 * y)
+            for x in range(1, 5)
+            for y in range(1, 5)
+        )
+
+
+class TestBitReversal:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            bit_reversal(Mesh(2, 6))
+
+    def test_mapping_on_8(self, mesh8):
+        problem = bit_reversal(mesh8)
+        mapping = {r.source: r.destination for r in problem.requests}
+        # coordinate 2 -> value 1 -> bits 001 -> reversed 100 -> 4 -> coord 5.
+        assert mapping[(2, 1)] == (5, 1)
+        # coordinate 1 -> 000 -> 000 -> 1 (fixed).
+        assert mapping[(1, 1)] == (1, 1)
+        assert problem.is_permutation()
+
+    def test_involution(self, mesh8):
+        problem = bit_reversal(mesh8)
+        mapping = {r.source: r.destination for r in problem.requests}
+        for source, destination in mapping.items():
+            assert mapping[destination] == source

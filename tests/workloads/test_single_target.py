@@ -1,0 +1,60 @@
+"""Tests for single-target (hot-spot) workloads."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.single_target import ring_of_sources, single_target
+
+
+class TestSingleTarget:
+    def test_all_packets_share_target(self, mesh8):
+        problem = single_target(mesh8, k=30, seed=0)
+        assert problem.is_single_target()
+        assert problem.k == 30
+
+    def test_default_target_is_center(self, mesh8):
+        problem = single_target(mesh8, k=5, seed=1)
+        assert problem.requests[0].destination == (4, 4)
+
+    def test_custom_target(self, mesh8):
+        problem = single_target(mesh8, k=5, target=(1, 1), seed=2)
+        assert all(r.destination == (1, 1) for r in problem.requests)
+
+    def test_no_source_at_target(self, mesh8):
+        problem = single_target(mesh8, k=50, seed=3)
+        assert all(r.source != r.destination for r in problem.requests)
+
+    def test_invalid_target(self, mesh8):
+        with pytest.raises(ConfigurationError):
+            single_target(mesh8, k=5, target=(9, 9))
+
+    def test_capacity_limit(self, mesh4):
+        with pytest.raises(ConfigurationError):
+            single_target(mesh4, k=1000, seed=0)
+
+
+class TestRingOfSources:
+    def test_all_at_radius(self, mesh8):
+        problem = ring_of_sources(mesh8, radius=3)
+        target = problem.requests[0].destination
+        assert all(
+            problem.mesh.distance(r.source, target) == 3
+            for r in problem.requests
+        )
+
+    def test_interior_ring_size(self, mesh8):
+        # An L1 ring of radius 2 fully inside the mesh has 4*2 nodes.
+        problem = ring_of_sources(mesh8, radius=2)
+        assert problem.k == 8
+
+    def test_rejects_radius_zero(self, mesh8):
+        with pytest.raises(ValueError):
+            ring_of_sources(mesh8, radius=0)
+
+    def test_rejects_empty_ring(self, mesh4):
+        with pytest.raises(ConfigurationError):
+            ring_of_sources(mesh4, radius=20)
+
+    def test_rejects_bad_target(self, mesh8):
+        with pytest.raises(ConfigurationError):
+            ring_of_sources(mesh8, radius=2, target=(0, 0))
