@@ -1,0 +1,25 @@
+# Developer entry points.  The repo has no runtime dependencies; the
+# dev extras (pytest, pytest-benchmark, hypothesis) come from
+# `pip install -e .[dev]`.
+
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: test smoke bench perf-trajectory
+
+# Tier-1 verification: the full suite, exactly as CI runs it.
+test:
+	$(PYTEST) -x -q
+
+# Fast feedback loop: everything except the `slow` marker (process
+# pools, long sweeps).  Use while iterating; run `make test` before
+# shipping.
+smoke:
+	$(PYTEST) -x -q -m "not slow"
+
+# Engine micro-benchmarks (pytest-benchmark timings).
+bench:
+	$(PYTEST) benchmarks/bench_engine_perf.py -q --benchmark-only
+
+# Append packet-steps/sec for the current tree to BENCH_engine.json.
+perf-trajectory:
+	python benchmarks/bench_report.py

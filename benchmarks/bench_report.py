@@ -1,0 +1,164 @@
+"""Append an engine-throughput record to the BENCH_engine.json trajectory.
+
+Runs the same configurations as ``bench_engine_perf.py`` (strict
+validation, instrumented capacity-only, lean fast path) plus a small
+parallel-harness sweep, computes packet-steps per second for each, and
+appends one JSON record to ``BENCH_engine.json`` at the repository
+root.  The file is a list of records, one per invocation, so future
+PRs can diff simulator throughput against history and catch perf
+regressions::
+
+    PYTHONPATH=src python benchmarks/bench_report.py [--workers N] [--repeats R]
+
+Not a pytest benchmark (no ``test_`` functions): pytest-benchmark
+timings are great for relative CI comparisons but awkward to append to
+a cross-run trajectory file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from functools import partial
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.algorithms import RestrictedPriorityPolicy  # noqa: E402
+from repro.analysis.runner import run_case  # noqa: E402
+from repro.core.engine import HotPotatoEngine  # noqa: E402
+from repro.core.validation import validators_for  # noqa: E402
+from repro.mesh.topology import Mesh  # noqa: E402
+from repro.workloads import random_many_to_many  # noqa: E402
+
+TRAJECTORY = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_engine.json",
+)
+
+SIDE = 16
+K = 256
+SEED = 77
+
+
+def _run_once(strict: bool, fast_path) -> tuple:
+    """One full simulation; returns (elapsed seconds, packet-steps)."""
+    mesh = Mesh(2, SIDE)
+    problem = random_many_to_many(mesh, k=K, seed=SEED)
+    policy = RestrictedPriorityPolicy()
+    engine = HotPotatoEngine(
+        problem,
+        policy,
+        seed=SEED,
+        validators=validators_for(policy, strict=strict),
+        fast_path=fast_path,
+    )
+    start = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - start
+    assert result.completed
+    packet_steps = sum(m.in_flight for m in result.step_metrics)
+    return elapsed, packet_steps
+
+
+def _throughput(strict: bool, fast_path, repeats: int) -> float:
+    """Best-of-N packet-steps/sec (best-of controls scheduler noise)."""
+    best = None
+    for _ in range(repeats):
+        elapsed, packet_steps = _run_once(strict, fast_path)
+        rate = packet_steps / elapsed
+        if best is None or rate > best:
+            best = rate
+    return best
+
+
+def _sweep_problem(mesh, k, seed):
+    return random_many_to_many(mesh, k=k, seed=seed)
+
+
+def _sweep_seconds(workers: int, repeats: int) -> float:
+    """Wall time of a 8-seed replicate sweep through the harness."""
+    mesh = Mesh(2, SIDE)
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_case(
+            partial(_sweep_problem, mesh, K),
+            RestrictedPriorityPolicy,
+            seeds=range(8),
+            strict_validation=False,
+            workers=workers,
+        )
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def build_record(workers: int, repeats: int) -> dict:
+    strict = _throughput(True, None, repeats)
+    instrumented = _throughput(False, False, repeats)
+    fast = _throughput(False, True, repeats)
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "workload": f"random k={K} on 2-d mesh n={SIDE}, seed {SEED}",
+        "policy": "restricted-priority",
+        "packet_steps_per_sec": {
+            "strict_validation": round(strict, 1),
+            "instrumented": round(instrumented, 1),
+            "fast_path": round(fast, 1),
+        },
+        "fast_over_instrumented": round(fast / instrumented, 2),
+        "sweep_8_seeds_seconds": {
+            "serial": round(_sweep_seconds(1, repeats), 3),
+            f"workers_{workers}": round(_sweep_seconds(workers, repeats), 3),
+        },
+    }
+    return record
+
+
+def append_record(record: dict, path: str = TRAJECTORY) -> None:
+    history = []
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read().strip()
+        if content:  # tolerate a pre-created empty file (e.g. mktemp)
+            history = json.loads(content)
+    history.append(record)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(2, (os.cpu_count() or 1)),
+        help="worker count for the parallel-sweep sample",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats per config"
+    )
+    parser.add_argument(
+        "--output", default=TRAJECTORY, help="trajectory file to append to"
+    )
+    args = parser.parse_args(argv)
+    record = build_record(args.workers, args.repeats)
+    append_record(record, args.output)
+    print(json.dumps(record, indent=2))
+    print(f"appended to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,18 +7,24 @@ and typical-load behavior (measured times scale roughly like the
 trivial distance term, far below the bound's k-dependence).
 """
 
-from bench_util import emit, emit_table, once
+from functools import partial
+
+from bench_util import bench_workers, emit, emit_table, once
 
 from repro.algorithms import RestrictedPriorityPolicy
 from repro.analysis.regression import fit_power_law, fit_two_factor
+from repro.analysis.runner import run_case
 from repro.analysis.stats import summarize
-from repro.core.engine import HotPotatoEngine
 from repro.mesh.topology import Mesh
 from repro.workloads import random_many_to_many
 
 SIDES = (8, 12, 16, 24)
 LOADS = (0.25, 0.5, 1.0, 2.0)
 SEEDS = (0, 1)
+
+
+def _problem(mesh, k, seed):
+    return random_many_to_many(mesh, k=k, seed=seed)
 
 
 def _run():
@@ -28,16 +34,16 @@ def _run():
         mesh = Mesh(2, side)
         for load in LOADS:
             k = max(1, int(load * mesh.num_nodes))
+            points = run_case(
+                partial(_problem, mesh, k),
+                RestrictedPriorityPolicy,
+                SEEDS,
+                workers=bench_workers(),
+            )
             times = []
-            for seed in SEEDS:
-                problem = random_many_to_many(mesh, k=k, seed=seed)
-                result = HotPotatoEngine(
-                    problem,
-                    RestrictedPriorityPolicy(),
-                    seed=seed,
-                ).run()
-                assert result.completed
-                times.append(result.total_steps)
+            for point in points:
+                assert point.result.completed
+                times.append(point.result.total_steps)
             mean = summarize(times).mean
             rows.append([side, k, mean])
             ns.append(side)

@@ -8,11 +8,13 @@ and itself reproduces the paper's "greedy is much faster in practice"
 observation).
 """
 
-from bench_util import emit_table, once
+from functools import partial
+
+from bench_util import bench_workers, emit_table, once
 
 from repro.algorithms import RestrictedPriorityPolicy
+from repro.analysis.runner import run_case
 from repro.analysis.stats import summarize
-from repro.core.engine import HotPotatoEngine
 from repro.mesh.topology import Mesh
 from repro.potential.bounds import theorem20_bound
 from repro.workloads import random_many_to_many
@@ -20,6 +22,10 @@ from repro.workloads import random_many_to_many
 SIDES = (8, 16, 32)
 LOADS = (0.125, 0.5, 1.0, 2.0)  # k as a multiple of n^2 (capped)
 SEEDS = (0, 1, 2)
+
+
+def _problem(mesh, k, seed):
+    return random_many_to_many(mesh, k=k, seed=seed)
 
 
 def _sweep():
@@ -30,18 +36,17 @@ def _sweep():
             k = int(load * mesh.num_nodes)
             if k < 1 or k > 2 * mesh.num_nodes:
                 continue
+            points = run_case(
+                partial(_problem, mesh, k),
+                RestrictedPriorityPolicy,
+                SEEDS,
+                max_steps=int(theorem20_bound(side, k)) + 1,
+                workers=bench_workers(),
+            )
             times = []
-            for seed in SEEDS:
-                problem = random_many_to_many(mesh, k=k, seed=seed)
-                engine = HotPotatoEngine(
-                    problem,
-                    RestrictedPriorityPolicy(),
-                    seed=seed,
-                    max_steps=int(theorem20_bound(side, k)) + 1,
-                )
-                result = engine.run()
-                assert result.completed, "Theorem 20 bound exceeded!"
-                times.append(result.total_steps)
+            for point in points:
+                assert point.result.completed, "Theorem 20 bound exceeded!"
+                times.append(point.result.total_steps)
             summary = summarize(times)
             bound = theorem20_bound(side, k)
             rows.append(

@@ -47,3 +47,17 @@ def once(benchmark, fn):
     neither needed nor affordable, so every bench uses a single round.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def bench_workers() -> int:
+    """Worker-process count for the sweep-style drivers.
+
+    Controlled by the ``REPRO_BENCH_WORKERS`` environment variable so
+    CI and local runs can fan seed replicates across cores without
+    editing the benchmarks; defaults to serial (1), which produces
+    identical results (see repro.analysis.runner.ParallelExecutor).
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1

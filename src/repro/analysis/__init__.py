@@ -21,7 +21,9 @@ from repro.analysis.reporting import (
     write_report,
 )
 from repro.analysis.runner import (
+    CaseSpec,
     ExperimentPoint,
+    ParallelExecutor,
     SweepResult,
     compare_policies,
     run_case,
@@ -46,10 +48,12 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "CaseSpec",
     "DetectedCycle",
     "ExperimentBlock",
     "ExperimentPoint",
     "GreedyLivelock",
+    "ParallelExecutor",
     "PowerLawFit",
     "Summary",
     "SweepResult",

@@ -5,12 +5,22 @@ The benchmarks and examples share one way to run things: a *case* is a
 sweeps map a parameter grid to cases and collect
 :class:`~repro.core.metrics.RunResult` objects with their parameters
 attached.
+
+Replicates are independent (each builds its own problem, policy and
+engine from a seed), so the harness can fan them out across processes:
+every public entry point takes ``workers`` and routes the work through
+:class:`ParallelExecutor`, which preserves the serial result order and
+falls back to in-process execution when parallelism is unavailable
+(``workers=1``, a single case, or unpicklable factories).
 """
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.engine import HotPotatoEngine
 from repro.core.metrics import RunResult
@@ -58,6 +68,84 @@ class SweepResult:
         return all(point.result.completed for point in self.points)
 
 
+@dataclass(frozen=True)
+class CaseSpec:
+    """One picklable unit of harness work: a single seeded run.
+
+    Everything a worker process needs to reproduce the run is carried
+    by value; the factories must therefore be picklable (module-level
+    functions or :func:`functools.partial` over them — not lambdas or
+    closures, which trigger the serial fallback).
+    """
+
+    problem_factory: ProblemFactory
+    policy_factory: PolicyFactory
+    seed: int
+    params: Tuple[Tuple[str, object], ...] = ()
+    strict_validation: bool = True
+    max_steps: Optional[int] = None
+
+
+def _execute_spec(spec: CaseSpec) -> ExperimentPoint:
+    """Run one spec (in the parent or a worker process)."""
+    from repro.core.validation import validators_for
+
+    problem = spec.problem_factory(spec.seed)
+    policy = spec.policy_factory()
+    engine = HotPotatoEngine(
+        problem,
+        policy,
+        seed=spec.seed,
+        validators=validators_for(policy, strict=spec.strict_validation),
+        max_steps=spec.max_steps,
+    )
+    result = engine.run()
+    point_params: Dict[str, object] = dict(spec.params)
+    point_params.setdefault("seed", spec.seed)
+    point_params.setdefault("policy", policy.name)
+    point_params.setdefault("k", problem.k)
+    point_params.setdefault("n", problem.mesh.side)
+    return ExperimentPoint(params=point_params, result=result)
+
+
+class ParallelExecutor:
+    """Fans :class:`CaseSpec` batches across worker processes.
+
+    Results always come back in spec order, so a parallel run is
+    point-for-point identical to the serial one (each spec is an
+    independent seeded simulation; nothing leaks between workers).
+
+    The executor degrades gracefully to in-process execution when
+
+    * ``workers <= 1`` or the batch has fewer than two specs,
+    * a spec fails to pickle (lambda/closure factories), or
+    * the process pool cannot be started or breaks (restricted
+      sandboxes, missing ``fork``/``spawn`` support).
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+
+    def run(self, specs: Sequence[CaseSpec]) -> List[ExperimentPoint]:
+        """Execute all specs, returning points in spec order."""
+        specs = list(specs)
+        if self.workers == 1 or len(specs) < 2 or not self._picklable(specs):
+            return [_execute_spec(spec) for spec in specs]
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(_execute_spec, specs))
+        except (BrokenProcessPool, OSError, PermissionError):
+            return [_execute_spec(spec) for spec in specs]
+
+    @staticmethod
+    def _picklable(specs: Sequence[CaseSpec]) -> bool:
+        try:
+            pickle.dumps(specs)
+        except Exception:
+            return False
+        return True
+
+
 def run_case(
     problem_factory: ProblemFactory,
     policy_factory: PolicyFactory,
@@ -66,34 +154,28 @@ def run_case(
     params: Optional[Dict[str, object]] = None,
     strict_validation: bool = True,
     max_steps: Optional[int] = None,
+    workers: int = 1,
 ) -> List[ExperimentPoint]:
     """Run one case over several seeds.
 
     The seed feeds both the problem generator (workload randomness)
     and the engine (policy randomness), so a case is fully determined
-    by its factories and seed list.
+    by its factories and seed list.  ``workers > 1`` replicates the
+    seeds across processes (same results, same order).
     """
-    from repro.core.validation import validators_for
-
-    points: List[ExperimentPoint] = []
-    for seed in seeds:
-        problem = problem_factory(seed)
-        policy = policy_factory()
-        engine = HotPotatoEngine(
-            problem,
-            policy,
+    frozen_params = tuple((params or {}).items())
+    specs = [
+        CaseSpec(
+            problem_factory=problem_factory,
+            policy_factory=policy_factory,
             seed=seed,
-            validators=validators_for(policy, strict=strict_validation),
+            params=frozen_params,
+            strict_validation=strict_validation,
             max_steps=max_steps,
         )
-        result = engine.run()
-        point_params = dict(params or {})
-        point_params.setdefault("seed", seed)
-        point_params.setdefault("policy", policy.name)
-        point_params.setdefault("k", problem.k)
-        point_params.setdefault("n", problem.mesh.side)
-        points.append(ExperimentPoint(params=point_params, result=result))
-    return points
+        for seed in seeds
+    ]
+    return ParallelExecutor(workers).run(specs)
 
 
 def sweep(
@@ -103,26 +185,30 @@ def sweep(
     *,
     strict_validation: bool = True,
     max_steps: Optional[int] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """Evaluate a parameter grid.
 
     ``case_builder(params)`` returns ``(problem_factory, policy_factory)``
-    for one grid point; every point is replicated over ``seeds``.
+    for one grid point; every point is replicated over ``seeds``.  With
+    ``workers > 1`` the whole grid-by-seeds product is fanned out at
+    once, so parallelism helps even when one grid point has few seeds.
     """
-    result = SweepResult()
+    specs: List[CaseSpec] = []
     for params in grid:
         problem_factory, policy_factory = case_builder(params)
-        result.points.extend(
-            run_case(
-                problem_factory,
-                policy_factory,
-                seeds,
-                params=dict(params),
-                strict_validation=strict_validation,
-                max_steps=max_steps,
+        for seed in seeds:
+            specs.append(
+                CaseSpec(
+                    problem_factory=problem_factory,
+                    policy_factory=policy_factory,
+                    seed=seed,
+                    params=tuple(dict(params).items()),
+                    strict_validation=strict_validation,
+                    max_steps=max_steps,
+                )
             )
-        )
-    return result
+    return SweepResult(points=ParallelExecutor(workers).run(specs))
 
 
 def compare_policies(
@@ -132,6 +218,7 @@ def compare_policies(
     *,
     strict_validation: bool = True,
     max_steps: Optional[int] = None,
+    workers: int = 1,
 ) -> Dict[str, List[ExperimentPoint]]:
     """Run several policies on identical problem instances."""
     return {
@@ -142,6 +229,7 @@ def compare_policies(
             params={"policy": name},
             strict_validation=strict_validation,
             max_steps=max_steps,
+            workers=workers,
         )
         for name, factory in policies.items()
     }

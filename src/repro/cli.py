@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.algorithms import (
@@ -130,20 +131,29 @@ def cmd_route(args: argparse.Namespace) -> int:
     return 0 if result.completed else 1
 
 
+def _random_problem(mesh: Mesh, k: int, seed: int) -> RoutingProblem:
+    """Module-level problem factory so sweep cases pickle to workers."""
+    return random_many_to_many(mesh, k=k, seed=seed)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import run_case
+
     mesh = _build_mesh(args)
     rows = []
     k = max(1, args.k_min)
     while k <= args.k_max:
+        points = run_case(
+            partial(_random_problem, mesh, k),
+            partial(make_policy, args.policy),
+            seeds=range(args.seeds),
+            workers=args.workers,
+        )
         times = []
-        for seed in range(args.seeds):
-            problem = random_many_to_many(mesh, k=k, seed=seed)
-            result = HotPotatoEngine(
-                problem, make_policy(args.policy), seed=seed
-            ).run()
-            if not result.completed:
+        for point in points:
+            if not point.result.completed:
                 raise SystemExit(f"run did not complete at k={k}")
-            times.append(result.total_steps)
+            times.append(point.result.total_steps)
         mean = sum(times) / len(times)
         if mesh.dimension == 2 and mesh.kind == "mesh":
             bound = theorem20_bound(mesh.side, k)
@@ -288,6 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--k-min", type=int, default=8)
     sweep.add_argument("--k-max", type=int, default=256)
     sweep.add_argument("--seeds", type=int, default=3)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for seed replicates (1 = serial; results are "
+        "identical either way)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     dynamic = commands.add_parser(

@@ -18,8 +18,9 @@ violation, so experiment data can be trusted end to end.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.events import RunObserver
 from repro.core.metrics import (
@@ -34,9 +35,34 @@ from repro.core.packet import Packet
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import RoutingProblem
 from repro.core.rng import RngLike, make_rng
-from repro.core.validation import StepValidator, validators_for
-from repro.exceptions import ArcAssignmentError, LivelockSuspectedError
+from repro.core.validation import (
+    CapacityValidator,
+    StepValidator,
+    validators_for,
+)
+from repro.exceptions import (
+    ArcAssignmentError,
+    CapacityExceededError,
+    LivelockSuspectedError,
+)
 from repro.types import Node, PacketId
+
+
+def describe_seed(seed: RngLike) -> Union[int, str]:
+    """A reproducible description of an engine seed for :class:`RunResult`.
+
+    Integer seeds pass through; ``None`` is the library's deterministic
+    default stream (seed 0); a caller-provided ``random.Random``
+    carries hidden state, so its description is a digest of that state
+    — two engines handed equal-state generators report the same value,
+    and the value never silently collides with a plain integer seed.
+    """
+    if isinstance(seed, int):
+        return seed
+    if seed is None:
+        return 0  # make_rng(None) is the deterministic seed-0 stream
+    digest = hashlib.sha256(repr(seed.getstate()).encode("utf-8")).hexdigest()
+    return f"rng-state:{digest[:16]}"
 
 
 def default_step_limit(problem: RoutingProblem) -> int:
@@ -66,6 +92,12 @@ class HotPotatoEngine:
         record_paths: store each packet's node path on the packet.
         raise_on_timeout: raise :class:`LivelockSuspectedError` instead
             of returning an incomplete result when the budget runs out.
+        fast_path: ``None`` (default) lets :meth:`run` pick the lean
+            no-recording loop automatically when it is equivalent
+            (no step records, no observers, capacity-only validators);
+            ``False`` forces the fully instrumented loop; ``True``
+            additionally raises ``ValueError`` when the run is not
+            fast-path eligible (useful in tests and benchmarks).
     """
 
     def __init__(
@@ -80,12 +112,13 @@ class HotPotatoEngine:
         record_steps: bool = False,
         record_paths: bool = False,
         raise_on_timeout: bool = False,
+        fast_path: Optional[bool] = None,
     ) -> None:
         self.problem = problem
         self.mesh = problem.mesh
         self.policy = policy
         self.rng = make_rng(seed)
-        self._seed = seed if isinstance(seed, int) else None
+        self._seed = describe_seed(seed)
         self.validators: List[StepValidator] = (
             list(validators)
             if validators is not None
@@ -98,6 +131,7 @@ class HotPotatoEngine:
         self.record_steps = record_steps
         self.record_paths = record_paths
         self.raise_on_timeout = raise_on_timeout
+        self.fast_path = fast_path
 
         self.time = 0
         self.packets: List[Packet] = problem.make_packets()
@@ -113,8 +147,11 @@ class HotPotatoEngine:
     def run(self) -> RunResult:
         """Route until all packets are delivered or the budget runs out."""
         self._start()
-        while self.in_flight and self.time < self.max_steps:
-            self.step()
+        if self._fast_path_eligible():
+            self._run_fast()
+        else:
+            while self.in_flight and self.time < self.max_steps:
+                self.step()
         if self.in_flight and self.raise_on_timeout:
             raise LivelockSuspectedError(
                 f"{len(self.in_flight)} packets still in flight after "
@@ -194,6 +231,173 @@ class HotPotatoEngine:
                 remaining.append(packet)
         self.in_flight = remaining
 
+    def _fast_path_eligible(self) -> bool:
+        """Decide whether :meth:`run` may use the lean loop.
+
+        The fast path produces bit-identical :class:`RunResult`\\ s but
+        skips :class:`StepRecord`/:class:`PacketStepInfo` construction,
+        so it is only equivalent when nobody consumes those objects:
+        no step recording, no observers, and no validators beyond the
+        capacity check (which it performs inline).
+        """
+        eligible = (
+            not self.record_steps
+            and not self.observers
+            and all(
+                type(validator) is CapacityValidator
+                for validator in self.validators
+            )
+        )
+        if self.fast_path is False:
+            return False
+        if self.fast_path is True and not eligible:
+            raise ValueError(
+                "fast_path=True requested, but the run records steps, "
+                "has observers, or uses validators beyond the capacity "
+                "check; these require the instrumented loop"
+            )
+        return eligible
+
+    def _run_fast(self) -> None:
+        """The no-recording main loop.
+
+        Semantically identical to repeated :meth:`step` calls (same
+        packet outcomes, same :class:`StepMetrics`, same policy RNG
+        stream) but with the per-step allocation churn stripped out:
+        no :class:`PacketStepInfo`/:class:`StepRecord` objects, packet
+        distances tracked incrementally (every mesh hop changes the
+        distance by exactly one), and neighbor lookups served from the
+        mesh's precomputed per-node arc tables.
+        """
+        mesh = self.mesh
+        dimension = mesh.dimension
+        node_arcs = mesh.node_arcs
+        assign = self.policy.assign
+        record_paths = self.record_paths
+        append_metrics = self._metrics.append
+
+        delivered_total = sum(
+            1 for p in self.packets if p.delivered_at is not None
+        )
+        distance = mesh.distance
+        dist: Dict[PacketId, int] = {
+            p.id: distance(p.location, p.destination) for p in self.in_flight
+        }
+
+        while self.in_flight and self.time < self.max_steps:
+            step_index = self.time
+            groups: Dict[Node, List[Packet]] = defaultdict(list)
+            for packet in self.in_flight:
+                groups[packet.location].append(packet)
+
+            # Phase 1 — per-node decisions.  Nodes are visited in group
+            # insertion order, exactly like _route (see the determinism
+            # note there); the two loops must stay in lockstep so both
+            # paths consume any policy RNG identically.
+            pending: Dict[PacketId, Tuple[Node, object, bool, bool]] = {}
+            advancing = 0
+            total_distance = 0
+            max_load = 0
+            bad_nodes = 0
+            packets_in_bad = 0
+            for node, packets in groups.items():
+                load = len(packets)
+                arcs = node_arcs(node)
+                if load > arcs.degree:
+                    raise CapacityExceededError(
+                        f"step {step_index}: node {node} holds {load} "
+                        f"packets but has degree {arcs.degree}"
+                    )
+                if load > max_load:
+                    max_load = load
+                if load > dimension:
+                    bad_nodes += 1
+                    packets_in_bad += load
+                view = NodeView(mesh, node, step_index, packets)
+                assignment = assign(view)
+                by_direction = arcs.by_direction
+                good_map = view._good
+                seen = set()
+                for packet in view.packets:
+                    direction = assignment.get(packet.id)
+                    next_node = (
+                        by_direction.get(direction)
+                        if direction is not None
+                        else None
+                    )
+                    if (
+                        direction is None
+                        or direction in seen
+                        or next_node is None
+                        or len(assignment) != load
+                    ):
+                        # Bad policy output: rebuild through the strict
+                        # checker so the error matches the slow path.
+                        self._apply_assignment(view, assignment)
+                        raise ArcAssignmentError(
+                            f"step {step_index}: inconsistent assignment "
+                            f"at {node} (engine fast-path check)"
+                        )
+                    seen.add(direction)
+                    good = good_map[packet.id]
+                    advanced = direction in good
+                    pending[packet.id] = (
+                        next_node,
+                        direction,
+                        advanced,
+                        len(good) == 1,
+                    )
+                    if advanced:
+                        advancing += 1
+                    total_distance += dist[packet.id]
+
+            # Phase 2 — move, mirroring _move's in_flight iteration
+            # order so delivery order and the next step's grouping are
+            # identical to the instrumented loop.
+            self.time += 1
+            now = self.time
+            remaining: List[Packet] = []
+            for packet in self.in_flight:
+                next_node, direction, advanced, restricted = pending[
+                    packet.id
+                ]
+                packet.restricted_last_step = restricted
+                packet.advanced_last_step = advanced
+                packet.location = next_node
+                packet.entry_direction = direction
+                packet.hops += 1
+                if advanced:
+                    packet.advances += 1
+                    left = dist[packet.id] - 1
+                else:
+                    packet.deflections += 1
+                    left = dist[packet.id] + 1
+                dist[packet.id] = left
+                if record_paths:
+                    packet.path.append(next_node)
+                if left == 0:
+                    packet.delivered_at = now
+                    delivered_total += 1
+                else:
+                    remaining.append(packet)
+            self.in_flight = remaining
+
+            routed = len(pending)
+            append_metrics(
+                StepMetrics(
+                    step=step_index,
+                    in_flight=routed,
+                    advancing=advancing,
+                    deflected=routed - advancing,
+                    delivered_total=delivered_total,
+                    total_distance=total_distance,
+                    max_node_load=max_load,
+                    bad_nodes=bad_nodes,
+                    packets_in_bad_nodes=packets_in_bad,
+                    packets_in_good_nodes=routed - packets_in_bad,
+                )
+            )
+
     def _route(self) -> StepRecord:
         step_index = self.time
         groups: Dict[Node, List[Packet]] = defaultdict(list)
@@ -201,8 +405,15 @@ class HotPotatoEngine:
             groups[packet.location].append(packet)
 
         infos: Dict[PacketId, PacketStepInfo] = {}
-        for node in sorted(groups):
-            view = NodeView(self.mesh, node, step_index, groups[node])
+        # Visit nodes in group insertion order.  in_flight is kept in
+        # ascending packet-id order by _move, so the first packet seen
+        # at each node — and hence the node visit order — is a pure
+        # function of the previous step's outcome: deterministic and
+        # reproducible without re-sorting every node tuple each step
+        # (which the profile showed as measurable overhead on large
+        # meshes).
+        for node, node_packets in groups.items():
+            view = NodeView(self.mesh, node, step_index, node_packets)
             assignment = self.policy.assign(view)
             node_infos = self._apply_assignment(view, assignment)
             for validator in self.validators:

@@ -10,7 +10,7 @@ private state, so they can also be replayed from a stored trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.packet import RestrictedType
 from repro.mesh.directions import Direction
@@ -144,6 +144,11 @@ class RunResult:
     that elapse until the last packet reaches its destination.  When
     ``completed`` is False the run hit its step limit with packets
     still in flight and ``total_steps`` is the limit.
+
+    ``seed`` is the integer engine seed when one was given, or a
+    reproducible ``"rng-state:..."`` digest when the caller handed the
+    engine a ``random.Random`` instance (see
+    :func:`repro.core.engine.describe_seed`).
     """
 
     problem_name: str
@@ -158,7 +163,7 @@ class RunResult:
     step_metrics: List[StepMetrics] = field(default_factory=list)
     outcomes: List[PacketOutcome] = field(default_factory=list)
     records: Optional[List[StepRecord]] = None
-    seed: Optional[int] = None
+    seed: Optional[Union[int, str]] = None
 
     @property
     def max_load_seen(self) -> int:

@@ -50,14 +50,16 @@ class NodeView:
         self.packets: Tuple[Packet, ...] = tuple(
             sorted(packets, key=lambda p: p.id)
         )
-        #: Directions in which an arc leaves this node.
-        self.out_directions: Tuple[Direction, ...] = tuple(
-            mesh.out_directions(node)
-        )
+        #: Directions in which an arc leaves this node (shared with the
+        #: mesh's per-node arc table; treat as immutable).
+        self.out_directions: Tuple[Direction, ...] = mesh.node_arcs(
+            node
+        ).out_directions
+        good_of = mesh.good_directions_tuple
         self._good: Dict[PacketId, Tuple[Direction, ...]] = {}
         self._types: Dict[PacketId, RestrictedType] = {}
         for packet in self.packets:
-            good = tuple(mesh.good_directions(node, packet.destination))
+            good = good_of(node, packet.destination)
             self._good[packet.id] = good
             self._types[packet.id] = packet.classify(len(good) == 1)
 

@@ -33,6 +33,10 @@ class Direction:
             raise ValueError(f"axis must be non-negative, got {self.axis}")
         if self.sign not in (-1, 1):
             raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+        # Directions key the hot dicts of the engine and the matching
+        # code (assignments, adjacency, seen-sets), so the hash is
+        # precomputed once instead of re-tupling (axis, sign) per call.
+        object.__setattr__(self, "_hash", hash((self.axis, self.sign)))
 
     @property
     def opposite(self) -> "Direction":
@@ -62,6 +66,26 @@ class Direction:
     def __str__(self) -> str:
         sign = "+" if self.sign > 0 else "-"
         return f"{sign}x{self.axis}"
+
+
+def _direction_hash(self: Direction) -> int:
+    return self._hash  # type: ignore[attr-defined]
+
+
+def _direction_eq(self: Direction, other: object):
+    if self is other:
+        return True
+    if other.__class__ is Direction:
+        return self.axis == other.axis and self.sign == other.sign
+    return NotImplemented
+
+
+# Installed after class creation: @dataclass(frozen=True) would
+# otherwise replace them with generated versions that build a fresh
+# (axis, sign) tuple on every call — measurable on the engine's hot
+# path, where directions are compared and hashed per packet per step.
+Direction.__hash__ = _direction_hash  # type: ignore[assignment]
+Direction.__eq__ = _direction_eq  # type: ignore[assignment]
 
 
 def all_directions(dimension: int) -> List[Direction]:

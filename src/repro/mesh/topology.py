@@ -15,11 +15,42 @@ direction) from Section 4.1.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.mesh.coordinates import l1_distance, validate_node
 from repro.mesh.directions import Direction, all_directions
 from repro.types import Arc, Node
+
+
+class NodeArcs:
+    """Precomputed adjacency of one node: the per-node arc table.
+
+    Instances are built once per (mesh, node) and cached on the mesh,
+    so the engine's hot loop resolves neighbors, out-directions and
+    degrees with plain attribute reads instead of recomputing
+    bounds checks every step.
+
+    Attributes:
+        out_directions: directions with an arc out of the node, in the
+            mesh's canonical direction order.
+        neighbors: neighbor per direction index (``None`` off-mesh),
+            aligned with :attr:`Mesh.directions`.
+        by_direction: direction -> neighbor for existing arcs only.
+        degree: number of (bidirectional) links at the node.
+    """
+
+    __slots__ = ("out_directions", "neighbors", "by_direction", "degree")
+
+    def __init__(
+        self,
+        out_directions: Tuple[Direction, ...],
+        neighbors: Tuple[Optional[Node], ...],
+        by_direction: Dict[Direction, Node],
+    ) -> None:
+        self.out_directions = out_directions
+        self.neighbors = neighbors
+        self.by_direction = by_direction
+        self.degree = len(out_directions)
 
 
 class Mesh:
@@ -51,6 +82,17 @@ class Mesh:
         # simulation, so an unbounded per-instance memo is safe and a
         # large win on the engine's hot path.
         self._good_cache: dict = {}
+        # node -> NodeArcs, filled lazily by node_arcs(); shared across
+        # every run on this mesh instance.
+        self._arc_cache: Dict[Node, NodeArcs] = {}
+
+    def __getstate__(self) -> dict:
+        # The memo caches can be large and are pure derived data; drop
+        # them so meshes pickle small (process-pool case specs).
+        state = self.__dict__.copy()
+        state["_good_cache"] = {}
+        state["_arc_cache"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Basic shape
@@ -130,31 +172,61 @@ class Mesh:
         moved = direction.apply(node)
         return moved if self.contains(moved) else None
 
+    def node_arcs(self, node: Node) -> NodeArcs:
+        """The node's precomputed arc table (see :class:`NodeArcs`).
+
+        Built on first use via the (possibly subclass-overridden)
+        :meth:`neighbor` and cached for the lifetime of the mesh, so
+        repeated adjacency queries — the engine makes them for every
+        occupied node every step — cost a single dict lookup.
+        """
+        arcs = self._arc_cache.get(node)
+        if arcs is None:
+            neighbors = tuple(
+                self.neighbor(node, direction)
+                for direction in self._directions
+            )
+            out = tuple(
+                direction
+                for direction, other in zip(self._directions, neighbors)
+                if other is not None
+            )
+            by_direction = {
+                direction: other
+                for direction, other in zip(self._directions, neighbors)
+                if other is not None
+            }
+            arcs = NodeArcs(out, neighbors, by_direction)
+            self._arc_cache[node] = arcs
+        return arcs
+
+    def build_arc_tables(self) -> None:
+        """Eagerly build the arc table of every node.
+
+        :meth:`node_arcs` fills the cache lazily, which is right for
+        sparse workloads; long sweeps that will touch the whole mesh
+        anyway can call this once to move the cost out of the first
+        simulation steps.
+        """
+        for node in self.nodes():
+            self.node_arcs(node)
+
     def neighbors(self, node: Node) -> List[Node]:
         """All nodes adjacent to ``node``."""
-        result = []
-        for direction in self._directions:
-            other = self.neighbor(node, direction)
-            if other is not None:
-                result.append(other)
-        return result
+        return [
+            other
+            for other in self.node_arcs(node).neighbors
+            if other is not None
+        ]
 
     def out_directions(self, node: Node) -> List[Direction]:
         """Directions in which an arc actually leaves ``node``."""
-        return [
-            direction
-            for direction in self._directions
-            if self.neighbor(node, direction) is not None
-        ]
+        return list(self.node_arcs(node).out_directions)
 
     def out_arcs(self, node: Node) -> List[Arc]:
         """All arcs leaving ``node``."""
-        arcs = []
-        for direction in self._directions:
-            other = self.neighbor(node, direction)
-            if other is not None:
-                arcs.append((node, other))
-        return arcs
+        arcs = self.node_arcs(node)
+        return [(node, arcs.by_direction[d]) for d in arcs.out_directions]
 
     def in_arcs(self, node: Node) -> List[Arc]:
         """All arcs entering ``node``.
@@ -169,7 +241,7 @@ class Mesh:
 
         Between ``d`` (corner) and ``2d`` (interior) for the mesh.
         """
-        return len(self.out_directions(node))
+        return self.node_arcs(node).degree
 
     def arcs(self) -> Iterator[Arc]:
         """Iterate over every directed arc of the mesh."""
@@ -194,6 +266,45 @@ class Mesh:
         """Length of a shortest path between two nodes (L1 distance)."""
         return l1_distance(a, b)
 
+    def good_directions_tuple(
+        self, node: Node, destination: Node
+    ) -> Tuple[Direction, ...]:
+        """Memoized good directions as a shared, immutable tuple.
+
+        This is the zero-copy accessor the engine's hot path and
+        :class:`~repro.core.node_view.NodeView` use; callers must not
+        rely on identity, only on contents.
+        """
+        key = (node, destination)
+        cached = self._good_cache.get(key)
+        if cached is None:
+            cached = self._good_directions_uncached(node, destination)
+            self._good_cache[key] = cached
+        return cached
+
+    def _good_directions_uncached(
+        self, node: Node, destination: Node
+    ) -> Tuple[Direction, ...]:
+        """Compute good directions arithmetically (mesh memo-miss path).
+
+        On the box mesh, moving toward a valid destination coordinate
+        can never leave the box, so the good directions are exactly the
+        axes where the coordinates differ — no neighbor or distance
+        queries needed.  Subclasses with different adjacency (the
+        torus) override this; the result must list directions in the
+        canonical axis-major, ``+`` before ``-`` order.
+        """
+        directions = self._directions
+        good = []
+        axis2 = 0
+        for a, b in zip(node, destination):
+            if b > a:
+                good.append(directions[axis2])
+            elif b < a:
+                good.append(directions[axis2 + 1])
+            axis2 += 2
+        return tuple(good)
+
     def good_directions(self, node: Node, destination: Node) -> List[Direction]:
         """Directions whose arc takes a packet at ``node`` closer to
         ``destination`` (Definition 5).
@@ -202,18 +313,7 @@ class Mesh:
         never good.  Results are memoized (the topology is immutable);
         callers receive a fresh list each time.
         """
-        key = (node, destination)
-        cached = self._good_cache.get(key)
-        if cached is None:
-            dist_here = self.distance(node, destination)
-            cached = tuple(
-                direction
-                for direction in self._directions
-                if (other := self.neighbor(node, direction)) is not None
-                and self.distance(other, destination) < dist_here
-            )
-            self._good_cache[key] = cached
-        return list(cached)
+        return list(self.good_directions_tuple(node, destination))
 
     def bad_directions(self, node: Node, destination: Node) -> List[Direction]:
         """Directions that are not good for a packet at ``node`` destined
@@ -231,7 +331,7 @@ class Mesh:
 
     def num_good_directions(self, node: Node, destination: Node) -> int:
         """Number of good directions of a packet at ``node``."""
-        return len(self.good_directions(node, destination))
+        return len(self.good_directions_tuple(node, destination))
 
     def is_restricted(self, node: Node, destination: Node) -> bool:
         """True when a packet at ``node`` has exactly one good direction.
@@ -240,7 +340,7 @@ class Mesh:
         (stated there for the 2-D mesh; the same definition is used by
         the d-dimensional generalization's finest priority class).
         """
-        return self.num_good_directions(node, destination) == 1
+        return len(self.good_directions_tuple(node, destination)) == 1
 
     def is_good_arc(self, arc: Arc, destination: Node) -> bool:
         """True when traversing ``arc`` strictly decreases the distance

@@ -8,7 +8,7 @@ torus is node-symmetric: every node has degree exactly ``2d``.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.mesh.directions import Direction
 from repro.mesh.topology import Mesh
@@ -65,3 +65,28 @@ class Torus(Mesh):
     def degree(self, node: Node) -> int:
         """Every torus node has full degree ``2d``."""
         return 2 * self.dimension
+
+    def _good_directions_uncached(
+        self, node: Node, destination: Node
+    ) -> Tuple[Direction, ...]:
+        """Wraparound-aware good directions (memo-miss path).
+
+        Per axis the packet may travel straight or around the wrap; the
+        shorter way is good, and at the exact midpoint (even ``n``,
+        offset ``n/2``) *both* directions reduce the wrapped distance.
+        """
+        directions = self.directions
+        n = self.side
+        good = []
+        axis2 = 0
+        for a, b in zip(node, destination):
+            if a != b:
+                straight = abs(a - b)
+                wrap = n - straight
+                toward_plus = b > a
+                if (straight <= wrap) if toward_plus else (wrap <= straight):
+                    good.append(directions[axis2])
+                if (wrap <= straight) if toward_plus else (straight <= wrap):
+                    good.append(directions[axis2 + 1])
+            axis2 += 2
+        return tuple(good)

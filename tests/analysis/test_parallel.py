@@ -1,0 +1,149 @@
+"""Tests for the process-parallel experiment harness.
+
+Marked ``slow``: these spawn worker processes, which dominates their
+runtime.  The tier-1 smoke run excludes them via ``-m "not slow"``;
+the default ``pytest`` invocation still runs everything.
+
+The contract under test: ``workers=N`` is an invisible optimization —
+point-for-point identical results, in identical order, to the serial
+harness — and anything unpicklable degrades gracefully to serial.
+"""
+
+import pickle
+from functools import partial
+
+import pytest
+
+from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
+from repro.analysis.runner import (
+    CaseSpec,
+    ParallelExecutor,
+    compare_policies,
+    run_case,
+    sweep,
+)
+from repro.mesh.topology import Mesh
+from repro.workloads import random_many_to_many
+
+
+def _problem(side, k, seed):
+    return random_many_to_many(Mesh(2, side), k=k, seed=seed)
+
+
+def _case(params):
+    return (
+        partial(_problem, params["n"], params["k"]),
+        RestrictedPriorityPolicy,
+    )
+
+
+class TestSerialBehavior:
+    """Fast checks that don't spawn processes."""
+
+    def test_workers_one_matches_legacy_run_case(self):
+        points = run_case(
+            partial(_problem, 8, 24), RestrictedPriorityPolicy, [0, 1, 2]
+        )
+        assert [p.params["seed"] for p in points] == [0, 1, 2]
+        assert all(p.result.completed for p in points)
+
+    def test_case_spec_is_picklable(self):
+        spec = CaseSpec(
+            problem_factory=partial(_problem, 8, 24),
+            policy_factory=RestrictedPriorityPolicy,
+            seed=0,
+        )
+        assert pickle.loads(pickle.dumps(spec)).seed == 0
+
+    def test_lambda_factories_fall_back_to_serial(self):
+        # Lambdas cannot cross a process boundary; the executor must
+        # detect that and run in-process instead of crashing.
+        points = run_case(
+            lambda seed: _problem(8, 16, seed),
+            lambda: RestrictedPriorityPolicy(),
+            [0, 1],
+            workers=4,
+        )
+        assert len(points) == 2
+        assert all(p.result.completed for p in points)
+
+    def test_single_spec_stays_serial(self):
+        executor = ParallelExecutor(workers=8)
+        points = executor.run(
+            [
+                CaseSpec(
+                    problem_factory=partial(_problem, 8, 16),
+                    policy_factory=RestrictedPriorityPolicy,
+                    seed=0,
+                )
+            ]
+        )
+        assert len(points) == 1 and points[0].result.completed
+
+    def test_workers_floor_is_one(self):
+        assert ParallelExecutor(workers=0).workers == 1
+        assert ParallelExecutor(workers=-3).workers == 1
+
+
+@pytest.mark.slow
+class TestParallelEquivalence:
+    def test_run_case_workers_match_serial(self):
+        serial = run_case(
+            partial(_problem, 8, 32), RestrictedPriorityPolicy, range(6)
+        )
+        parallel = run_case(
+            partial(_problem, 8, 32),
+            RestrictedPriorityPolicy,
+            range(6),
+            workers=4,
+        )
+        assert [p.params for p in serial] == [p.params for p in parallel]
+        assert [p.result for p in serial] == [p.result for p in parallel]
+
+    def test_sweep_workers_match_serial(self):
+        grid = [{"n": 8, "k": k} for k in (8, 16, 32)]
+        serial = sweep(grid, _case, seeds=[0, 1])
+        parallel = sweep(grid, _case, seeds=[0, 1], workers=4)
+        assert [p.params for p in serial.points] == [
+            p.params for p in parallel.points
+        ]
+        assert [p.result for p in serial.points] == [
+            p.result for p in parallel.points
+        ]
+        assert serial.summarize_by("k").keys() == parallel.summarize_by(
+            "k"
+        ).keys()
+
+    def test_compare_policies_workers_match_serial(self):
+        policies = {
+            "restricted-priority": RestrictedPriorityPolicy,
+            "plain-greedy": PlainGreedyPolicy,
+        }
+        serial = compare_policies(
+            partial(_problem, 8, 24), policies, [0, 1]
+        )
+        parallel = compare_policies(
+            partial(_problem, 8, 24), policies, [0, 1], workers=2
+        )
+        for name in policies:
+            assert [p.result for p in serial[name]] == [
+                p.result for p in parallel[name]
+            ]
+
+    def test_strict_validation_crosses_processes(self):
+        # Validators are rebuilt per worker from the spec; a strict
+        # parallel run must behave exactly like a strict serial one.
+        serial = run_case(
+            partial(_problem, 8, 24),
+            RestrictedPriorityPolicy,
+            [0, 1],
+            strict_validation=True,
+        )
+        parallel = run_case(
+            partial(_problem, 8, 24),
+            RestrictedPriorityPolicy,
+            [0, 1],
+            strict_validation=True,
+            workers=2,
+        )
+        assert [p.result for p in serial] == [p.result for p in parallel]
