@@ -42,7 +42,6 @@ from repro.core.validation import (
 )
 from repro.exceptions import (
     ArcAssignmentError,
-    CapacityExceededError,
     LivelockSuspectedError,
 )
 from repro.types import Node, PacketId
@@ -238,7 +237,10 @@ class HotPotatoEngine:
         skips :class:`StepRecord`/:class:`PacketStepInfo` construction,
         so it is only equivalent when nobody consumes those objects:
         no step recording, no observers, and no validators beyond the
-        capacity check (which it performs inline).
+        capacity check.  (The capacity check itself can never fire on a
+        validated problem — arrivals are bounded by in-degree — and an
+        inconsistent assignment is re-raised through the strict checker,
+        so the fast path surfaces the exact slow-path errors.)
         """
         eligible = (
             not self.record_steps
@@ -265,13 +267,19 @@ class HotPotatoEngine:
         packet outcomes, same :class:`StepMetrics`, same policy RNG
         stream) but with the per-step allocation churn stripped out:
         no :class:`PacketStepInfo`/:class:`StepRecord` objects, packet
-        distances tracked incrementally (every mesh hop changes the
-        distance by exactly one), and neighbor lookups served from the
-        mesh's precomputed per-node arc tables.
+        distances tracked incrementally where the mesh guarantees the
+        ±1-per-hop invariant (``Mesh.unit_deflections``; a good hop is
+        always exactly -1, but e.g. an odd-side torus deflection can
+        leave the wrapped distance unchanged, so those meshes recompute
+        after deflections), and neighbor lookups served from the mesh's
+        precomputed per-node arc tables.  Delivery is decided by
+        destination comparison, exactly like :meth:`_move` — never by
+        the distance counter.
         """
         mesh = self.mesh
         dimension = mesh.dimension
         node_arcs = mesh.node_arcs
+        unit_deflections = mesh.unit_deflections
         assign = self.policy.assign
         record_paths = self.record_paths
         append_metrics = self._metrics.append
@@ -300,14 +308,14 @@ class HotPotatoEngine:
             max_load = 0
             bad_nodes = 0
             packets_in_bad = 0
+            # No pre-assign capacity raise here: a load above the
+            # node's degree makes a consistent assignment impossible
+            # (pigeonhole), so the bad-assignment fallback below raises
+            # the same ArcAssignmentError the instrumented loop would —
+            # after the policy ran, with the same RNG consumption.
             for node, packets in groups.items():
                 load = len(packets)
                 arcs = node_arcs(node)
-                if load > arcs.degree:
-                    raise CapacityExceededError(
-                        f"step {step_index}: node {node} holds {load} "
-                        f"packets but has degree {arcs.degree}"
-                    )
                 if load > max_load:
                     max_load = load
                 if load > dimension:
@@ -367,15 +375,24 @@ class HotPotatoEngine:
                 packet.entry_direction = direction
                 packet.hops += 1
                 if advanced:
+                    # A good hop reduces the distance by exactly one
+                    # (Definition 5), on every mesh kind.
                     packet.advances += 1
-                    left = dist[packet.id] - 1
+                    dist[packet.id] -= 1
                 else:
                     packet.deflections += 1
-                    left = dist[packet.id] + 1
-                dist[packet.id] = left
+                    if unit_deflections:
+                        dist[packet.id] += 1
+                    else:
+                        # E.g. odd-side torus: a bad hop out of a
+                        # maximal per-axis offset leaves the wrapped
+                        # distance unchanged, so recompute exactly.
+                        dist[packet.id] = distance(
+                            next_node, packet.destination
+                        )
                 if record_paths:
                     packet.path.append(next_node)
-                if left == 0:
+                if next_node == packet.destination:
                     packet.delivered_at = now
                     delivered_total += 1
                 else:

@@ -266,6 +266,21 @@ class Mesh:
         """Length of a shortest path between two nodes (L1 distance)."""
         return l1_distance(a, b)
 
+    @property
+    def unit_deflections(self) -> bool:
+        """True when every non-good hop increases every packet's
+        distance to its destination by exactly one.
+
+        On the box mesh (and the hypercube) a hop against or past the
+        destination along an axis always costs one, so the engine's
+        fast path may track distances incrementally.  Meshes that break
+        the invariant — the odd-side torus, where a bad hop out of a
+        maximal per-axis offset wraps to an equally short way around —
+        override this to ``False`` and the fast path recomputes the
+        distance after each deflection.
+        """
+        return True
+
     def good_directions_tuple(
         self, node: Node, destination: Node
     ) -> Tuple[Direction, ...]:

@@ -48,6 +48,15 @@ class Torus(Mesh):
             moved[direction.axis] = self.side
         return tuple(moved)
 
+    @property
+    def unit_deflections(self) -> bool:
+        """Even-side tori keep the ±1-per-hop distance invariant; with
+        odd ``n`` a bad hop out of a maximal per-axis offset
+        ``(n - 1) / 2`` wraps to an equally long way around, leaving
+        the distance *unchanged*, so incremental tracking is inexact.
+        """
+        return self.side % 2 == 0
+
     def distance(self, a: Node, b: Node) -> int:
         """Shortest-path distance with per-axis wraparound."""
         if len(a) != len(b):

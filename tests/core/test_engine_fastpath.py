@@ -90,6 +90,32 @@ class TestFastPathEquivalence:
                 problem, "plain-greedy", 4, False
             )
 
+    @pytest.mark.parametrize("policy_name", ["plain-greedy", "restricted-priority"])
+    @pytest.mark.parametrize("side", [5, 7])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_odd_side_torus(self, policy_name, side, seed):
+        """Odd-side tori break the ±1-per-hop distance invariant: a bad
+        hop out of a maximal per-axis offset wraps to an equally short
+        way around, leaving the distance unchanged.  The fast path must
+        recompute distances after such deflections and absorb packets by
+        destination comparison, or packets pass through their
+        destination undelivered."""
+        problem = random_many_to_many(Torus(2, side), k=24, seed=seed)
+        fast = _run(problem, policy_name, seed, True)
+        slow = _run(problem, policy_name, seed, False)
+        assert fast == slow
+
+    def test_odd_torus_delivers_through_preserved_distance(self):
+        """Regression: with incremental ±1 tracking, this exact run
+        livelocked to max_steps on the fast path (23/24 delivered after
+        480 steps) while the instrumented loop finished in 5 steps."""
+        problem = random_many_to_many(Torus(2, 5), k=24, seed=1)
+        fast = _run(problem, "plain-greedy", 1, True)
+        slow = _run(problem, "plain-greedy", 1, False)
+        assert fast.completed
+        assert fast.delivered == problem.k
+        assert fast == slow
+
     def test_three_dimensional_mesh(self):
         problem = random_many_to_many(Mesh(3, 4), k=40, seed=6)
         assert _run(problem, "fewest-good-directions", 6, True) == _run(

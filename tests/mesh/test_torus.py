@@ -24,6 +24,27 @@ class TestTorusShape:
 
         assert Torus(2, 4) != Mesh(2, 4)
 
+    def test_unit_deflections_only_for_even_sides(self):
+        """Odd-side tori have distance-preserving bad hops (out of a
+        maximal per-axis offset), so incremental ±1 distance tracking
+        is only sound with an even side; the box mesh always has it."""
+        from repro.mesh.topology import Mesh
+
+        assert Torus(2, 4).unit_deflections
+        assert Torus(2, 6).unit_deflections
+        assert not Torus(2, 5).unit_deflections
+        assert not Torus(3, 7).unit_deflections
+        assert Mesh(2, 5).unit_deflections
+
+    def test_odd_side_bad_hop_can_preserve_distance(self):
+        torus = Torus(2, 5)
+        # Offset 2 is maximal on a 5-ring; the bad hop (1,1) -> (5,1)
+        # wraps to an equally short way around: distance unchanged.
+        assert torus.neighbor((1, 1), Direction(0, -1)) == (5, 1)
+        assert torus.distance((1, 1), (3, 1)) == 2
+        assert torus.distance((5, 1), (3, 1)) == 2
+        assert Direction(0, -1) not in torus.good_directions((1, 1), (3, 1))
+
 
 class TestWraparound:
     def test_wrap_high(self):
