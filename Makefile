@@ -1,10 +1,10 @@
 # Developer entry points.  The repo has no runtime dependencies; the
-# dev extras (pytest, pytest-benchmark, hypothesis) come from
-# `pip install -e .[dev]`.
+# dev extras (pytest, pytest-benchmark, hypothesis, ruff, mypy) come
+# from `pip install -e .[dev]`.
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test smoke bench perf-trajectory
+.PHONY: test smoke bench perf-trajectory lint typecheck
 
 # Tier-1 verification: the full suite, exactly as CI runs it.
 test:
@@ -23,3 +23,23 @@ bench:
 # Append packet-steps/sec for the current tree to BENCH_engine.json.
 perf-trajectory:
 	python benchmarks/bench_report.py
+
+# Determinism linter (repro.lint) plus ruff, when available.  The
+# custom linter is the gate — it has no third-party dependencies and
+# must pass everywhere; ruff is skipped gracefully on bare containers.
+lint:
+	PYTHONPATH=src python -m repro lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping style check"; \
+	fi
+
+# mypy gate: strict on repro.core / repro.mesh / repro.lint, baseline
+# elsewhere (see pyproject.toml and docs/typing-baseline.md).
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping type check"; \
+	fi

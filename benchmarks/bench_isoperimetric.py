@@ -10,7 +10,7 @@ import random
 
 from bench_util import emit_table, once
 
-from repro.mesh.geometry import box_volume, surface_size
+from repro.mesh.geometry import box_volume
 from repro.potential.isoperimetric import (
     claim_13_ratio,
     random_blob,

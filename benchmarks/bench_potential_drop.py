@@ -5,7 +5,7 @@ per-step drop dominates the good-node count, printing the decay series
 the paper's analysis predicts (monotone, with drop at least G(t)).
 """
 
-from bench_util import emit, emit_table, once
+from bench_util import emit_table, once
 
 from repro.algorithms import RestrictedPriorityPolicy
 from repro.core.engine import HotPotatoEngine

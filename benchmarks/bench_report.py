@@ -21,6 +21,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from functools import partial
@@ -100,6 +101,31 @@ def _sweep_seconds(workers: int, repeats: int) -> float:
     return best
 
 
+def _git_sha() -> str:
+    """Short commit hash of the tree being measured, ``"unknown"`` when
+    the checkout has no git (tarball installs, stripped CI caches)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    sha = out.stdout.strip()
+    if subprocess.run(
+        ["git", "diff", "--quiet", "HEAD"],
+        cwd=os.path.dirname(os.path.abspath(__file__)),
+        capture_output=True,
+    ).returncode:
+        sha += "-dirty"
+    return sha
+
+
 def build_record(workers: int, repeats: int) -> dict:
     strict = _throughput(True, None, repeats)
     instrumented = _throughput(False, False, repeats)
@@ -107,6 +133,7 @@ def build_record(workers: int, repeats: int) -> dict:
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
+        "git_sha": _git_sha(),
         "machine": platform.machine(),
         "cpus": os.cpu_count(),
         "workload": f"random k={K} on 2-d mesh n={SIDE}, seed {SEED}",

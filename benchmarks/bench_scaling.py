@@ -9,7 +9,7 @@ trivial distance term, far below the bound's k-dependence).
 
 from functools import partial
 
-from bench_util import bench_workers, emit, emit_table, once
+from bench_util import bench_workers, emit_table, once
 
 from repro.algorithms import RestrictedPriorityPolicy
 from repro.analysis.regression import fit_power_law, fit_two_factor

@@ -19,7 +19,7 @@ schedule — so the livelock run is certified greedy step by step.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.core.node_view import NodeView
 from repro.core.policy import Assignment, RoutingPolicy

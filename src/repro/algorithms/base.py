@@ -20,7 +20,7 @@ guarantee of Definition 6 — comes from the template.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.matching import priority_maximum_matching
 from repro.core.node_view import NodeView

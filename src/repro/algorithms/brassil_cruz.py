@@ -59,7 +59,9 @@ def snake_walk_length(mesh: Mesh, destinations) -> int:
     destination rank.
     """
     ranks = snake_order(mesh)
-    dest_ranks = [ranks[d] for d in set(destinations)]
+    # dict.fromkeys dedupes in insertion order (a set would leak hash
+    # order into the iteration; DET102).
+    dest_ranks = [ranks[d] for d in dict.fromkeys(destinations)]
     if not dest_ranks:
         return 0
     return max(dest_ranks) - min(dest_ranks)

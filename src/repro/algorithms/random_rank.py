@@ -25,7 +25,6 @@ from repro.algorithms.base import GreedyMatchingPolicy
 from repro.core.node_view import NodeView
 from repro.core.packet import Packet
 from repro.core.problem import RoutingProblem
-from repro.core.rng import spawn
 from repro.mesh.topology import Mesh
 from repro.types import PacketId
 

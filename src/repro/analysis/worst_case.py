@@ -16,9 +16,8 @@ algorithm above its typical behavior.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.core.engine import HotPotatoEngine
 from repro.core.policy import RoutingPolicy

@@ -8,7 +8,8 @@ Commands:
 * ``sweep``    — sweep k for one policy, print T vs the Theorem 20 bound;
 * ``dynamic``  — continuous-traffic load sweep (latency/backlog table);
 * ``livelock`` — run the 8-packet livelock demonstration;
-* ``policies`` — list the registered routing policies.
+* ``policies`` — list the registered routing policies;
+* ``lint``     — run the determinism linter over the source tree.
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 from functools import partial
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from repro.algorithms import (
     BlockingGreedyPolicy,
@@ -232,6 +233,12 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args, sys.stdout)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import build_report, write_report
 
@@ -330,6 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     policies = commands.add_parser("policies", help="list routing policies")
     policies.set_defaults(func=cmd_policies)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism linter (see docs/ARCHITECTURE.md)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     report = commands.add_parser(
         "report",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.events import RunObserver
 from repro.core.metrics import (
@@ -32,7 +32,7 @@ from repro.core.metrics import (
 )
 from repro.core.node_view import NodeView
 from repro.core.packet import Packet
-from repro.core.policy import RoutingPolicy
+from repro.core.policy import Assignment, RoutingPolicy
 from repro.core.problem import RoutingProblem
 from repro.core.rng import RngLike, make_rng
 from repro.core.validation import (
@@ -44,7 +44,11 @@ from repro.exceptions import (
     ArcAssignmentError,
     LivelockSuspectedError,
 )
+from repro.mesh.directions import Direction
 from repro.types import Node, PacketId
+
+#: One in-flight packet's routing-relevant state in a global snapshot.
+StateEntry = Tuple[PacketId, Node, Optional[Direction], bool, bool]
 
 
 def describe_seed(seed: RngLike) -> Union[int, str]:
@@ -180,7 +184,7 @@ class HotPotatoEngine:
         self._start()
         return {p.id: p.location for p in self.in_flight}
 
-    def global_state(self) -> Tuple:
+    def global_state(self) -> Tuple[StateEntry, ...]:
         """A hashable snapshot of the routing-relevant global state.
 
         Two steps from identical global states under a deterministic
@@ -302,7 +306,7 @@ class HotPotatoEngine:
             # insertion order, exactly like _route (see the determinism
             # note there); the two loops must stay in lockstep so both
             # paths consume any policy RNG identically.
-            pending: Dict[PacketId, Tuple[Node, object, bool, bool]] = {}
+            pending: Dict[PacketId, Tuple[Node, Direction, bool, bool]] = {}
             advancing = 0
             total_distance = 0
             max_load = 0
@@ -444,7 +448,7 @@ class HotPotatoEngine:
         )
 
     def _apply_assignment(
-        self, view: NodeView, assignment: Dict[PacketId, "object"]
+        self, view: NodeView, assignment: Assignment
     ) -> List[PacketStepInfo]:
         """Validate the policy output for one node and build step infos."""
         packet_ids = {p.id for p in view.packets}
@@ -590,7 +594,7 @@ class HotPotatoEngine:
 def route(
     problem: RoutingProblem,
     policy: RoutingPolicy,
-    **kwargs,
+    **kwargs: Any,
 ) -> RunResult:
     """Convenience one-shot: build an engine and run it."""
     return HotPotatoEngine(problem, policy, **kwargs).run()

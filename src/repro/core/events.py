@@ -8,7 +8,7 @@ needs.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.metrics import RunResult, StepMetrics, StepRecord
 
@@ -38,7 +38,12 @@ class CallbackObserver(RunObserver):
         engine.observers.append(CallbackObserver(on_step=print))
     """
 
-    def __init__(self, on_run_start=None, on_step=None, on_run_end=None) -> None:
+    def __init__(
+        self,
+        on_run_start: Optional[Callable[["HotPotatoEngine"], None]] = None,
+        on_step: Optional[Callable[[StepRecord, StepMetrics], None]] = None,
+        on_run_end: Optional[Callable[[RunResult], None]] = None,
+    ) -> None:
         self._on_run_start = on_run_start
         self._on_step = on_step
         self._on_run_end = on_run_end

@@ -10,7 +10,7 @@ reproduce the trace exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.core.engine import HotPotatoEngine
 from repro.core.events import RunObserver
@@ -35,7 +35,7 @@ class Trace:
     def num_steps(self) -> int:
         return len(self.records)
 
-    def positions_at(self, time: int) -> dict:
+    def positions_at(self, time: int) -> Dict[PacketId, Node]:
         """Reconstruct in-flight packet positions at the given time.
 
         Time 0 is the initial placement; time ``t`` is after ``t``
@@ -68,7 +68,7 @@ class Trace:
             TraceError: on the first inconsistency found.
         """
         mesh = self.problem.mesh
-        expected: dict = {
+        expected: Dict[PacketId, Node] = {
             index: request.source
             for index, request in enumerate(self.problem.requests)
             if request.source != request.destination
@@ -122,7 +122,7 @@ def record_run(
     policy: RoutingPolicy,
     *,
     seed: int = 0,
-    **engine_kwargs,
+    **engine_kwargs: Any,
 ) -> Trace:
     """Run a problem under a policy and return the full trace."""
     recorder = TraceRecorder(problem, policy.name, seed)

@@ -18,7 +18,7 @@ so the two engines' latency/throughput curves compare directly
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.node_view import NodeView
 from repro.core.packet import Packet

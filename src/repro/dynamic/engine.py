@@ -18,7 +18,7 @@ literature.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Tuple
 
 from repro.core.node_view import NodeView
 from repro.core.packet import Packet

@@ -1,0 +1,39 @@
+"""Determinism-focused static analysis for the routing engine.
+
+The simulator's correctness argument leans on an invariant the paper
+never states explicitly: a run is a *pure function of its seed*.  The
+fast-path/instrumented-loop equivalence (both loops must consume policy
+RNG streams in lockstep), the livelock detector (repeated global state
+proves a cycle), and every recorded experiment in ``BENCH_engine.json``
+all silently assume that nothing in the engine draws entropy from the
+OS, iterates a salted hash container, or branches on the environment.
+
+``repro.lint`` makes that invariant checkable.  It is a small AST-based
+rule framework (:mod:`repro.lint.rules`) plus domain-specific
+determinism rules (:mod:`repro.lint.determinism`), wired into
+``python -m repro lint`` and ``make lint``.  Findings can be suppressed
+per line with ``# repro: noqa[RULE]`` when a use is provably
+order-insensitive; the suppression is visible in review, which is the
+point.
+"""
+
+from __future__ import annotations
+
+from repro.lint.determinism import DETERMINISM_RULES
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, all_rules, get_rule, register, rule_ids
+from repro.lint.runner import LintReport, lint_file, lint_paths
+
+__all__ = [
+    "DETERMINISM_RULES",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "register",
+    "rule_ids",
+]

@@ -1,0 +1,116 @@
+"""The ``repro lint`` subcommand: argument handling and rendering.
+
+Kept separate from :mod:`repro.cli` so the linter is usable as a
+library (``repro.lint.lint_paths``) and testable without a process
+boundary; the top-level CLI delegates here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO, List, Optional
+
+from repro.lint.findings import Severity
+from repro.lint.rules import all_rules
+from repro.lint.runner import LintReport, lint_paths
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=tuple(str(s) for s in Severity),
+        default=str(Severity.WARNING),
+        help="lowest severity that makes the exit code non-zero "
+        "(default: warning — any finding fails)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe the registered rules and exit",
+    )
+
+
+def render_text(report: LintReport, stream: IO[str]) -> None:
+    for error in report.parse_errors:
+        print(f"parse error: {error}", file=stream)
+    for finding in report.findings:
+        print(finding.format_text(), file=stream)
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.findings or report.parse_errors:
+        print(
+            f"{len(report.findings)} finding(s), "
+            f"{len(report.parse_errors)} parse error(s) in "
+            f"{report.files_checked} {noun}",
+            file=stream,
+        )
+    else:
+        print(f"clean: {report.files_checked} {noun} checked", file=stream)
+
+
+def render_json(report: LintReport, stream: IO[str]) -> None:
+    payload = {
+        "files_checked": report.files_checked,
+        "parse_errors": list(report.parse_errors),
+        "findings": [finding.to_json() for finding in report.findings],
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def run_lint(args: argparse.Namespace, stream: IO[str]) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(rule.describe(), file=stream)
+        return 0
+    try:
+        report = lint_paths(args.paths, args.select, args.ignore)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=stream)
+        return 2
+    if args.format == "json":
+        render_json(report, stream)
+    else:
+        render_text(report, stream)
+    return report.exit_code(Severity.parse(args.fail_on))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism linter for the routing engine.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv), sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Per-module analysis context: source, AST, module identity, imports.
+
+Rules are scoped by *domain* — the package layer a module belongs to
+(``core``, ``algorithms``, ``potential``, ...) — rather than by literal
+path, so the same rules run unchanged against ``repro`` itself and
+against the dirty fixture packages the linter's own tests use.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, List, Optional, Tuple
+
+
+class ImportMap:
+    """Resolves local names back to the dotted modules they came from.
+
+    Built once per module from its import statements; lets rules ask
+    "is this call ``time.monotonic``?" without being fooled by aliases
+    (``import time as t``, ``from random import choice``) or tricked by
+    local variables that merely share a module's name.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds ``numpy``.
+                        top = alias.name.split(".", 1)[0]
+                        self._aliases[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay package-local
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, or None.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` when
+        ``np`` aliases numpy; a chain rooted at a non-imported name
+        (say a local ``rng`` variable) resolves to None.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self._aliases.get(node.id)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name, inferred from the package layout on disk.
+
+    Walks up from the file while ``__init__.py`` markers continue, so
+    ``src/repro/core/engine.py`` maps to ``repro.core.engine`` and a
+    fixture ``tests/lint/fixtures/dirtypkg/core/bad.py`` maps to
+    ``dirtypkg.core.bad`` — both land in the ``core`` domain without
+    the linter knowing either tree's root.
+    """
+    path = os.path.abspath(path)
+    directory, filename = os.path.split(path)
+    stem = os.path.splitext(filename)[0]
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, pkg = os.path.split(directory)
+        if not pkg:
+            break
+        parts.append(pkg)
+    return ".".join(reversed(parts)) if parts else stem
+
+
+def domain_of(module: str) -> str:
+    """The package layer a dotted module belongs to.
+
+    The second dotted segment for package members (``repro.core.engine``
+    → ``core``), the sole segment for top-level modules (``repro.cli`` →
+    ``cli``), and the module itself for bare scripts.
+    """
+    parts = module.split(".")
+    if len(parts) >= 2:
+        return parts[1]
+    return parts[0]
+
+
+class ModuleContext:
+    """Everything a rule may consult about one source file."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines: Tuple[str, ...] = tuple(source.splitlines())
+        self.tree: ast.Module = ast.parse(source, filename=path)
+        self.module: str = module_name_for(path)
+        self.domain: str = domain_of(self.module)
+        self.imports = ImportMap(self.tree)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ModuleContext":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(path, handle.read())
+
+    def line_text(self, lineno: int) -> str:
+        """1-based physical source line (empty when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""

@@ -1,0 +1,520 @@
+"""Domain-specific determinism rules.
+
+Every rule here defends one facet of the same invariant: **a routing
+run is a pure function of (problem, policy, seed)**.  That invariant is
+what makes the fast-path/instrumented equivalence tests meaningful,
+what lets the livelock detector treat a repeated global state as proof
+of a cycle, and what makes the numbers in ``BENCH_engine.json``
+reproducible on another machine.
+
+The rules are syntactic (no type inference), so each is scoped to the
+package layers where its pattern is unambiguous enough to act on, and
+every rule honors ``# repro: noqa[RULE]`` for the provably-safe cases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+#: ``random`` module functions that draw from (or mutate) the hidden
+#: module-level stream.  Using them anywhere in the library bypasses
+#: the explicit ``random.Random`` plumbing of ``repro.core.rng``.
+_GLOBAL_STREAM_FUNCS: FrozenSet[str] = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "setstate",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``time`` module calls that read the wall clock (or block on it).
+_WALL_CLOCK_FUNCS: FrozenSet[str] = frozenset(
+    {
+        "clock_gettime",
+        "clock_gettime_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+        "time",
+        "time_ns",
+    }
+)
+
+#: ``datetime`` constructors that capture "now".
+_NOW_FUNCS: FrozenSet[str] = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``math`` functions returning floats whose exact bit patterns should
+#: never be compared with ``==``.
+_FLOAT_MATH_FUNCS: FrozenSet[str] = frozenset(
+    {
+        "acos",
+        "asin",
+        "atan",
+        "atan2",
+        "cbrt",
+        "cos",
+        "dist",
+        "exp",
+        "expm1",
+        "fsum",
+        "hypot",
+        "log",
+        "log10",
+        "log1p",
+        "log2",
+        "pow",
+        "sin",
+        "sqrt",
+        "tan",
+    }
+)
+
+#: Methods that resize or reorder a container in place.
+_MUTATING_METHODS: FrozenSet[str] = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Dict views whose iteration is iteration over the dict itself.
+_DICT_VIEWS: FrozenSet[str] = frozenset({"items", "keys", "values"})
+
+
+def _iter_targets(tree: ast.Module) -> Iterator[Tuple[ast.AST, ast.expr]]:
+    """Yield ``(owner, iterable)`` for every for-loop and comprehension.
+
+    ``owner`` is the node a finding should anchor to (the loop or the
+    comprehension); ``iterable`` is the expression being iterated.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node, node.iter
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for comp in node.generators:
+                yield node, comp.iter
+
+
+def _is_set_display(node: ast.expr) -> bool:
+    """A literal set, a set comprehension, or a set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _scopes(tree: ast.Module) -> Iterator[List[ast.stmt]]:
+    """Module body plus each function body (class bodies fold into the
+    module scope for the simple name-tracking the set rule does)."""
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _container_key(node: ast.expr) -> Optional[str]:
+    """A stable key for "the same container expression", or None.
+
+    Only plain names and dotted attribute chains qualify — anything
+    with calls or subscripts in it may denote a different object on
+    each mention, so the mutation rule stays silent about it.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET101 — all randomness must flow through ``repro.core.rng``.
+
+    The module-level ``random.*`` functions share one hidden global
+    stream: any call re-orders every later draw in the process, and
+    ``random.seed`` silently couples unrelated components.  Zero-arg
+    ``random.Random()`` and any ``numpy.random`` use pull OS entropy /
+    global state the run result then depends on.  ``repro.core.rng``
+    itself is exempt — it is the sanctioned wrapper.
+    """
+
+    id = "DET101"
+    name = "unseeded-random"
+    description = (
+        "module-level or unseeded random source outside repro.core.rng"
+    )
+    severity = Severity.ERROR
+    domains = None
+    exempt_modules = ("core.rng",)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        resolve = context.imports.resolve
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve(node.func)
+            if origin is None:
+                continue
+            if origin.startswith("numpy.random"):
+                yield self.finding(
+                    context,
+                    node,
+                    f"call through numpy.random ({origin}) bypasses the "
+                    "seeded random.Random plumbing; take an explicit "
+                    "rng/seed parameter (see repro.core.rng)",
+                )
+            elif origin == "random.Random" and not (
+                node.args or node.keywords
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "random.Random() with no seed draws OS entropy; pass "
+                    "an explicit seed or accept an rng parameter",
+                )
+            elif (
+                origin.startswith("random.")
+                and origin.split(".", 1)[1] in _GLOBAL_STREAM_FUNCS
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"{origin}() uses the hidden module-level stream; "
+                    "draw from an explicit random.Random "
+                    "(see repro.core.rng.make_rng)",
+                )
+
+
+@register
+class SetIterationRule(Rule):
+    """DET102 — no iteration over bare sets in engine/algorithm code.
+
+    Set iteration order depends on element hashes — salted for strings
+    (``PYTHONHASHSEED``) and an implementation detail for everything
+    else.  Inside ``core``/``algorithms`` step loops, an iteration
+    order leak becomes a different node visit order, hence a different
+    policy RNG stream, hence a different run.  Sort, or dedupe with
+    ``dict.fromkeys`` (insertion-ordered) instead.
+    """
+
+    id = "DET102"
+    name = "set-iteration"
+    description = (
+        "iteration over a bare set/frozenset in order-sensitive "
+        "engine code"
+    )
+    severity = Severity.ERROR
+    domains = frozenset({"core", "algorithms"})
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        set_names = self._set_valued_names(context.tree)
+        for owner, iterable in _iter_targets(context.tree):
+            if _is_set_display(iterable) or (
+                isinstance(iterable, ast.Name)
+                and iterable.id in set_names
+            ):
+                yield self.finding(
+                    context,
+                    owner,
+                    "iterating a set/frozenset leaks hash order into the "
+                    "run; use sorted(...) or dict.fromkeys(...) to fix "
+                    "the order",
+                )
+
+    @staticmethod
+    def _set_valued_names(tree: ast.Module) -> Set[str]:
+        """Names assigned a set display anywhere in the module.
+
+        Coarse by design: a name rebound to a list later would still be
+        flagged, and ``# repro: noqa[DET102]`` covers that rare case.
+        """
+        names: Set[str] = set()
+        for scope in _scopes(tree):
+            for stmt in scope:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and _is_set_display(stmt.value)
+                ):
+                    names.add(stmt.targets[0].id)
+        return names
+
+
+@register
+class EnvBranchingRule(Rule):
+    """DET103 — engine behavior must not depend on the environment.
+
+    ``os.environ``/``os.getenv`` reads inside ``core``/``algorithms``
+    make two runs with identical (problem, policy, seed) differ across
+    shells and CI runners — precisely the divergence the differential
+    tests exist to rule out.  Environment knobs belong at the harness
+    boundary (CLI flags, benchmark scripts), where they are recorded.
+    """
+
+    id = "DET103"
+    name = "env-branching"
+    description = "os.environ/os.getenv dependence inside engine code"
+    severity = Severity.ERROR
+    domains = frozenset({"core", "algorithms"})
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        resolve = context.imports.resolve
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                origin = resolve(node)
+                if origin in ("os.environ", "os.environb", "os.getenv"):
+                    # Flag the read itself; attribute chains hanging off
+                    # environ (environ.get) resolve to a longer origin
+                    # and are reported at their environ base instead.
+                    yield self.finding(
+                        context,
+                        node,
+                        f"{origin} read makes engine behavior depend on "
+                        "the caller's environment; pass the value in as "
+                        "an explicit parameter",
+                    )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """DET104 — no ``==``/``!=`` on floats in the potential layer.
+
+    The paper's potential arguments are exact inequalities over
+    integer-valued quantities; the float-typed helpers (bounds,
+    recurrences) accumulate rounding, so exact comparison silently
+    flips near boundaries.  Compare with ``math.isclose`` or keep the
+    potential integral.
+    """
+
+    id = "DET104"
+    name = "float-equality"
+    description = "exact ==/!= against float-valued expressions"
+    severity = Severity.ERROR
+    domains = frozenset({"potential"})
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(self._float_like(context, o) for o in operands):
+                yield self.finding(
+                    context,
+                    node,
+                    "exact ==/!= on a float-valued expression; use "
+                    "math.isclose(...) or integer potentials",
+                )
+
+    @staticmethod
+    def _float_like(context: ModuleContext, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "float":
+                return True
+            origin = context.imports.resolve(node.func)
+            if origin is not None and origin.startswith("math."):
+                return origin.split(".", 1)[1] in _FLOAT_MATH_FUNCS
+        return False
+
+
+@register
+class IterationMutationRule(Rule):
+    """DET105 — never mutate the container being iterated.
+
+    Resizing a dict during iteration raises ``RuntimeError`` — but only
+    when the rehash happens to trigger, so the bug surfaces on some
+    workloads and not others; list mutation during iteration silently
+    skips or repeats elements.  Either way the visit sequence stops
+    being a pure function of the container's contents.  Iterate a
+    snapshot (``list(xs)``) or build a new container.
+    """
+
+    id = "DET105"
+    name = "iteration-mutation"
+    description = "container mutated while being iterated"
+    severity = Severity.ERROR
+    domains = None
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            key = self._iterated_container(node.iter)
+            if key is None:
+                continue
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    mutation = self._mutation_of(inner, key)
+                    if mutation is not None:
+                        yield self.finding(
+                            context,
+                            inner,
+                            f"{mutation} mutates {key!r} while the loop at "
+                            f"line {node.lineno} iterates it; iterate "
+                            f"list({key}) or collect changes and apply "
+                            "after the loop",
+                        )
+
+    @staticmethod
+    def _iterated_container(iterable: ast.expr) -> Optional[str]:
+        """Key of the container a loop iterates directly, if any.
+
+        ``for x in d`` and ``for k, v in d.items()`` both iterate
+        ``d``; ``for x in list(d)`` iterates a snapshot and is fine.
+        """
+        if isinstance(
+            iterable, ast.Call
+        ) and isinstance(iterable.func, ast.Attribute):
+            if (
+                iterable.func.attr in _DICT_VIEWS
+                and not iterable.args
+                and not iterable.keywords
+            ):
+                return _container_key(iterable.func.value)
+            return None
+        return _container_key(iterable)
+
+    @staticmethod
+    def _mutation_of(node: ast.AST, key: str) -> Optional[str]:
+        """Describe how ``node`` mutates the container ``key``, if it does."""
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if (
+                node.func.attr in _MUTATING_METHODS
+                and _container_key(node.func.value) == key
+            ):
+                return f".{node.func.attr}()"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and _container_key(target.value) == key
+                ):
+                    return "del"
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and _container_key(target.value) == key
+                ):
+                    return "subscript assignment"
+        return None
+
+
+@register
+class WallClockRule(Rule):
+    """DET106 — no wall-clock reads in engine code.
+
+    Simulation time is ``engine.time``, advanced by the step loop; the
+    host's clock has no business inside ``core``/``algorithms``/
+    ``dynamic``.  A ``time.time()`` that leaks into a decision (or even
+    a log emitted mid-step) makes runs unreproducible and benchmarks
+    unattributable.  Timing belongs in the benchmark harness, which
+    records what it measured.  Severity is *warning*: a clock read is
+    suspect in engine code but not proof of divergence by itself.
+    """
+
+    id = "DET106"
+    name = "wall-clock"
+    description = "time.*/datetime.now read inside engine code"
+    severity = Severity.WARNING
+    domains = frozenset({"core", "algorithms", "dynamic"})
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        resolve = context.imports.resolve
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve(node.func)
+            if origin is None:
+                continue
+            if (
+                origin.startswith("time.")
+                and origin.split(".", 1)[1] in _WALL_CLOCK_FUNCS
+            ) or origin in _NOW_FUNCS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"{origin}() reads the wall clock inside engine "
+                    "code; simulation time is engine.time — measure in "
+                    "the benchmark harness instead",
+                )
+
+
+#: The shipped determinism rule set, in id order.
+DETERMINISM_RULES: Tuple[str, ...] = (
+    UnseededRandomRule.id,
+    SetIterationRule.id,
+    EnvBranchingRule.id,
+    FloatEqualityRule.id,
+    IterationMutationRule.id,
+    WallClockRule.id,
+)

@@ -1,0 +1,66 @@
+"""Lint findings and severities."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is meaningful (higher = worse).
+
+    ``WARNING`` marks constructs that are suspicious in engine code but
+    have legitimate uses elsewhere (wall-clock reads belong in
+    benchmarks, not step loops); ``ERROR`` marks constructs that break
+    the run-is-a-pure-function-of-the-seed invariant outright.
+    """
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    The dataclass is ordered so reports are deterministically sorted by
+    location — the linter holds itself to its own standard.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def format_text(self) -> str:
+        """The one-line ``path:line:col: RULE severity message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity}: {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

@@ -1,0 +1,113 @@
+"""Rule base class and registry.
+
+A rule is a stateless checker over one module's AST.  Rules declare
+their identity (``id``, ``name``), a default :class:`Severity`, and an
+optional *domain* scope — the package layers they police (see
+:func:`repro.lint.context.domain_of`).  A rule with ``domains = None``
+runs everywhere; ``exempt_modules`` carves out dotted-suffix
+exceptions (the RNG rule must not fire inside ``core.rng`` itself,
+which is the one sanctioned home of raw entropy).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, Severity
+
+#: id -> rule class, in registration order (dicts preserve it).
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def register(rule_cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = rule_cls.id
+    if not rule_id or rule_id == Rule.id:
+        raise ValueError(f"{rule_cls.__name__} must define a rule id")
+    if rule_id in _REGISTRY:
+        raise ValueError(
+            f"duplicate rule id {rule_id!r}: "
+            f"{rule_cls.__name__} vs {_REGISTRY[rule_id].__name__}"
+        )
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List["Rule"]:
+    """Fresh instances of every registered rule, in registration order."""
+    return [cls() for cls in _REGISTRY.values()]
+
+
+def rule_ids() -> Tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> "Rule":
+    """Instantiate one registered rule by id (case-insensitive)."""
+    cls = _REGISTRY.get(rule_id.upper())
+    if cls is None:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(_REGISTRY)}"
+        )
+    return cls()
+
+
+class Rule:
+    """One determinism check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding a :class:`Finding` per violation via :meth:`finding`.
+    """
+
+    #: Stable identifier, e.g. ``DET101`` (upper-case by convention).
+    id: str = ""
+    #: Short human name, e.g. ``unseeded-random``.
+    name: str = ""
+    #: One-line statement of the invariant the rule protects.
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    #: Package layers the rule polices; ``None`` means everywhere.
+    domains: Optional[FrozenSet[str]] = None
+    #: Dotted-module suffixes exempt from this rule.
+    exempt_modules: Tuple[str, ...] = ()
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        """Whether this rule runs against the given module at all."""
+        for suffix in self.exempt_modules:
+            if context.module == suffix or context.module.endswith(
+                "." + suffix
+            ):
+                return False
+        if self.domains is None:
+            return True
+        return context.domain in self.domains
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module.  Subclasses must override."""
+        raise NotImplementedError
+
+    def finding(
+        self, context: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at an AST node."""
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+    def describe(self) -> str:
+        scope = (
+            "all modules"
+            if self.domains is None
+            else "/".join(sorted(self.domains))
+        )
+        return (
+            f"{self.id} {self.name} [{self.severity}, {scope}]: "
+            f"{self.description}"
+        )

@@ -1,0 +1,131 @@
+"""File collection and the lint driver."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, all_rules
+from repro.lint.suppressions import is_suppressed
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    def worst_severity(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max(finding.severity for finding in self.findings)
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        """0 when clean; 1 on findings at/above ``fail_on``; 2 on
+        files the linter could not even parse."""
+        if self.parse_errors:
+            return 2
+        worst = self.worst_severity()
+        if worst is not None and worst >= fail_on:
+            return 1
+        return 0
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted stream of ``.py`` files.
+
+    Sorted walk: the report order must not depend on filesystem
+    enumeration order.
+    """
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs.sort()
+            dirs[:] = [d for d in dirs if d != "__pycache__"]
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def select_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """The active rule set after ``--select`` / ``--ignore`` filters."""
+    rules = all_rules()
+    if select:
+        wanted = {rule_id.upper() for rule_id in select}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            raise KeyError(
+                f"unknown rule id(s) in --select: {sorted(unknown)}"
+            )
+        rules = [rule for rule in rules if rule.id in wanted]
+    if ignore:
+        dropped = {rule_id.upper() for rule_id in ignore}
+        rules = [rule for rule in rules if rule.id not in dropped]
+    return rules
+
+
+def lint_file(
+    path: str, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint one file; suppressions already applied."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path, rules)[1]
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths``."""
+    rules = select_rules(select, ignore)
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            report.findings.extend(lint_file(path, rules))
+        except SyntaxError as error:
+            report.parse_errors.append(f"{path}: {error}")
+        except OSError as error:
+            report.parse_errors.append(f"{path}: {error}")
+        report.files_checked += 1
+    report.findings.sort()
+    return report
+
+
+def parse_source(source: str, path: str = "<string>") -> ast.Module:
+    """Parse helper exposed for the linter's own tests."""
+    return ast.parse(source, filename=path)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[ModuleContext, List[Finding]]:
+    """Lint an in-memory module (test hook; mirrors :func:`lint_file`)."""
+    active = list(rules) if rules is not None else all_rules()
+    context = ModuleContext(path, source)
+    findings: List[Finding] = []
+    for rule in active:
+        if not rule.applies_to(context):
+            continue
+        for finding in rule.check(context):
+            if is_suppressed(
+                context.line_text(finding.line), finding.rule_id
+            ):
+                continue
+            findings.append(finding)
+    findings.sort()
+    return context, findings

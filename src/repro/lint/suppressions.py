@@ -1,0 +1,51 @@
+"""Per-line suppression comments: ``# repro: noqa[RULE, ...]``.
+
+A bare ``# repro: noqa`` silences every rule on its line; the bracketed
+form silences only the listed rule ids.  Suppressions are deliberately
+line-scoped and explicit — a reviewer sees exactly which invariant the
+author is claiming doesn't apply, and the linter's tests require every
+shipped rule to have a working suppression (the escape hatch is part of
+the contract, not an afterthought).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Optional
+
+#: Matches ``# repro: noqa`` with an optional ``[RULE1, RULE2]`` list.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<rules>[A-Za-z0-9_,\s]*)\])?",
+    re.IGNORECASE,
+)
+
+#: Sentinel rule-set meaning "all rules suppressed on this line".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def parse_noqa(line: str) -> Optional[FrozenSet[str]]:
+    """Suppressed rule ids on a source line, or None when unmarked.
+
+    Returns :data:`ALL_RULES` for the bare form.  An empty bracket list
+    (``# repro: noqa[]``) suppresses nothing — the author started to
+    name rules and named none, which is more likely a typo than a
+    blanket waiver.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return ALL_RULES
+    listed = frozenset(
+        part.strip().upper() for part in rules.split(",") if part.strip()
+    )
+    return listed
+
+
+def is_suppressed(line: str, rule_id: str) -> bool:
+    """True when ``line`` carries a noqa covering ``rule_id``."""
+    suppressed = parse_noqa(line)
+    if suppressed is None:
+        return False
+    return "*" in suppressed or rule_id.upper() in suppressed

@@ -72,7 +72,7 @@ def _direction_hash(self: Direction) -> int:
     return self._hash  # type: ignore[attr-defined]
 
 
-def _direction_eq(self: Direction, other: object):
+def _direction_eq(self: Direction, other: object) -> object:
     if self is other:
         return True
     if other.__class__ is Direction:

@@ -81,12 +81,14 @@ class Mesh:
         # immutable and the same queries repeat every step of a
         # simulation, so an unbounded per-instance memo is safe and a
         # large win on the engine's hot path.
-        self._good_cache: dict = {}
+        self._good_cache: Dict[
+            Tuple[Node, Node], Tuple[Direction, ...]
+        ] = {}
         # node -> NodeArcs, filled lazily by node_arcs(); shared across
         # every run on this mesh instance.
         self._arc_cache: Dict[Node, NodeArcs] = {}
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> Dict[str, object]:
         # The memo caches can be large and are pure derived data; drop
         # them so meshes pickle small (process-pool case specs).
         state = self.__dict__.copy()

@@ -10,7 +10,7 @@ volumes used to stress the inequality in tests and benchmark E6.
 from __future__ import annotations
 
 import random
-from typing import Set, Tuple
+from typing import Set
 
 from repro.mesh.geometry import (
     Volume,

@@ -33,12 +33,11 @@ The tracker below implements the rules verbatim and can additionally
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.metrics import PacketStepInfo, StepRecord
 from repro.core.packet import RestrictedType
 from repro.exceptions import ConfigurationError
-from repro.mesh.directions import Direction
 from repro.mesh.topology import Mesh
 from repro.potential.base import PotentialTracker
 from repro.types import PacketId

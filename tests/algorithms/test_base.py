@@ -12,7 +12,6 @@ from repro.algorithms.base import (
 from repro.core.engine import route
 from repro.core.node_view import NodeView
 from repro.core.packet import Packet
-from repro.core.problem import RoutingProblem
 from repro.mesh.directions import Direction
 from repro.mesh.topology import Mesh
 from repro.workloads import random_many_to_many

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.algorithms import FixedPriorityPolicy, fixed_priority_time_bound
-from repro.core.engine import HotPotatoEngine, route
-from repro.core.problem import RoutingProblem
+from repro.core.engine import route
 from repro.workloads import (
     quadrant_flood,
     random_many_to_many,

@@ -1,7 +1,5 @@
 """Tests for the random-rank ([BNS]-flavor) policy."""
 
-import pytest
-
 from repro.algorithms import RandomRankPolicy
 from repro.algorithms.hajek import fixed_priority_time_bound
 from repro.core.engine import HotPotatoEngine, route

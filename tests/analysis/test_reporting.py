@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.reporting import (
-    ExperimentBlock,
     build_report,
     load_results,
     parse_block,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.stats import (
-    Summary,
     confidence_interval,
     geometric_mean,
     ratio_summary,

@@ -1,7 +1,5 @@
 """Tests for the adversarial permutation search."""
 
-import pytest
-
 from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
 from repro.analysis.worst_case import (
     WorstCaseResult,

@@ -4,12 +4,10 @@ import pytest
 
 from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
 from repro.core.engine import HotPotatoEngine, default_step_limit, route
-from repro.core.node_view import NodeView
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import RoutingProblem
 from repro.exceptions import ArcAssignmentError, LivelockSuspectedError
 from repro.mesh.directions import Direction
-from repro.mesh.topology import Mesh
 from repro.workloads import random_many_to_many
 
 

@@ -10,6 +10,8 @@ same policy RNG stream (the two loops visit nodes in the same order).
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.algorithms import make_policy
 from repro.core.engine import HotPotatoEngine, describe_seed
@@ -202,6 +204,73 @@ class TestFastPathEquivalence:
         ).run()
         assert not fast.completed
         assert fast == slow
+
+
+def _small_networks(draw):
+    kind = draw(st.sampled_from(["mesh", "torus", "hypercube"]))
+    if kind == "hypercube":
+        return Hypercube(draw(st.integers(min_value=2, max_value=4)))
+    dimension = draw(st.integers(min_value=2, max_value=3))
+    # Odd sides included on purpose: odd tori exercise the fast path's
+    # distance-recompute branch (see test_odd_side_torus).
+    side = draw(st.integers(min_value=3, max_value=6))
+    cls = Torus if kind == "torus" else Mesh
+    return cls(dimension, side)
+
+
+@st.composite
+def _random_instances(draw):
+    mesh = _small_networks(draw)
+    workload = draw(st.sampled_from(["many-to-many", "permutation", "hotspot"]))
+    wl_seed = draw(st.integers(min_value=0, max_value=2**16))
+    if workload == "permutation":
+        problem = random_permutation(mesh, seed=wl_seed)
+    else:
+        k = draw(st.integers(min_value=1, max_value=mesh.num_nodes))
+        if workload == "hotspot":
+            problem = single_target(mesh, k=k, seed=wl_seed)
+        else:
+            problem = random_many_to_many(mesh, k=k, seed=wl_seed)
+    policy_name = draw(st.sampled_from(POLICIES))
+    engine_seed = draw(st.integers(min_value=0, max_value=2**16))
+    return problem, policy_name, engine_seed
+
+
+class TestFastPathDifferential:
+    """Hypothesis sweep of the fast-path/instrumented-loop equivalence.
+
+    The determinism invariant the lint rules defend (a run is a pure
+    function of problem, policy and seed) is what makes this test
+    meaningful: any hidden source of nondeterminism in either loop
+    shows up here as a flaky differential failure.
+    """
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(instance=_random_instances())
+    def test_fast_equals_instrumented(self, instance):
+        problem, policy_name, seed = instance
+        fast = _run(problem, policy_name, seed, True)
+        slow = _run(problem, policy_name, seed, False)
+        assert fast == slow
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(instance=_random_instances())
+    def test_runs_are_reproducible(self, instance):
+        """Same (problem, policy, seed) twice ⇒ identical RunResult,
+        on both loops."""
+        problem, policy_name, seed = instance
+        for fast_path in (True, False):
+            first = _run(problem, policy_name, seed, fast_path)
+            second = _run(problem, policy_name, seed, fast_path)
+            assert first == second
 
 
 class TestFastPathEligibility:

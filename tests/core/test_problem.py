@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.problem import Request, RoutingProblem
 from repro.exceptions import InvalidProblemError
-from repro.mesh.topology import Mesh
 
 
 class TestValidation:

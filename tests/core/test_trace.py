@@ -4,11 +4,8 @@ import pytest
 
 from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
 from repro.core.metrics import PacketStepInfo, StepRecord
-from repro.core.packet import RestrictedType
-from repro.core.problem import RoutingProblem
 from repro.core.trace import Trace, record_run, traces_equal
 from repro.exceptions import TraceError
-from repro.mesh.directions import Direction
 from repro.workloads import random_many_to_many
 
 

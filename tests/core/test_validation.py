@@ -7,8 +7,7 @@ from repro.algorithms import (
     PlainGreedyPolicy,
     RestrictedPriorityPolicy,
 )
-from repro.core.engine import HotPotatoEngine, route
-from repro.core.node_view import NodeView
+from repro.core.engine import route
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import RoutingProblem
 from repro.core.validation import (
@@ -22,8 +21,6 @@ from repro.exceptions import (
     GreedinessViolationError,
     RestrictedPriorityViolationError,
 )
-from repro.mesh.directions import Direction
-from repro.mesh.topology import Mesh
 from repro.workloads import random_many_to_many
 
 

@@ -13,7 +13,6 @@ from repro.dynamic import (
     DynamicStats,
     ScriptedTraffic,
 )
-from repro.mesh.topology import Mesh
 
 
 class TestBasicOperation:

@@ -1,6 +1,5 @@
 """Property-based tests for the dynamic engines."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

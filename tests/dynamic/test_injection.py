@@ -9,7 +9,6 @@ from repro.dynamic.injection import (
     HotSpotTraffic,
     ScriptedTraffic,
 )
-from repro.mesh.topology import Mesh
 
 
 class TestBernoulli:

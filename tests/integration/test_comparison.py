@@ -6,8 +6,6 @@ buffered baseline needs buffers that hot-potato routing eliminates,
 and specialist priorities win on their home workloads.
 """
 
-import pytest
-
 from repro.algorithms import (
     ClosestFirstPolicy,
     DimensionOrderPolicy,

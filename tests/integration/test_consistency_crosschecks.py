@@ -6,8 +6,6 @@ surfaces, trace reconstruction vs live engine state).  These tests pin
 the equivalences on full runs.
 """
 
-import pytest
-
 from repro.algorithms import RestrictedPriorityPolicy
 from repro.core.engine import HotPotatoEngine, default_step_limit
 from repro.core.trace import TraceRecorder

@@ -5,7 +5,7 @@ import pytest
 from repro.algorithms import FewestGoodDirectionsPolicy
 from repro.core.engine import HotPotatoEngine
 from repro.mesh.topology import Mesh
-from repro.potential.bounds import section5_bound, theorem17_bound
+from repro.potential.bounds import section5_bound
 from repro.workloads import (
     corner_storm,
     random_many_to_many,

@@ -5,7 +5,6 @@ policy configuration), runs a full simulation with all validators
 active, and asserts the model- and paper-level invariants.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

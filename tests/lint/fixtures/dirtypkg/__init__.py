@@ -1,0 +1,1 @@
+"""A deliberately non-deterministic package: lint test vectors only."""

@@ -1,0 +1,15 @@
+"""A fully deterministic module: the linter must report nothing."""
+
+import random
+
+
+def route_once(packets, rng: random.Random):
+    # Seeded-Random draws, sorted iteration, snapshot mutation: all
+    # sanctioned patterns.
+    order = sorted(set(p for p in packets))
+    rng.shuffle(order)
+    queues = {node: [] for node in order}
+    for node in list(queues):
+        if node is None:
+            del queues[node]
+    return order, queues

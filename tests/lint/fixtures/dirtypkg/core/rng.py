@@ -1,0 +1,9 @@
+"""Exemption vector: this module is ``<pkg>.core.rng``, the one
+sanctioned home of raw entropy — DET101 must stay silent here."""
+
+import random
+
+
+def fresh():
+    # Would be a DET101 finding anywhere else.
+    return random.Random().random() + random.getrandbits(8)

@@ -1,0 +1,61 @@
+"""Dirty step-loop: DET102/DET103/DET105/DET106 vectors (never run)."""
+
+import os
+import time
+from datetime import datetime
+
+
+def visit_nodes(occupied, loads):
+    # DET102 fire: for-loop over a set() call.
+    for node in set(occupied):
+        loads[node] = loads.get(node, 0) + 1
+    # DET102 fire: comprehension over a set literal.
+    order = [n for n in {1, 2, 3}]
+    # DET102 suppressed twin.
+    for node in set(occupied):  # repro: noqa[DET102]
+        order.append(node)
+    # DET102 fire: name assigned a set display, iterated later.
+    frontier = {0}
+    for node in frontier:
+        order.append(node)
+    return order
+
+
+def env_dependent_budget(default):
+    # DET103 fire: os.environ read in engine code.
+    if os.environ.get("FAST"):
+        return default // 2
+    # DET103 fire: os.getenv call.
+    extra = os.getenv("BUDGET", "0")
+    # DET103 suppressed twin.
+    debug = os.environ.get("DEBUG")  # repro: noqa[DET103]
+    return default + int(extra) + (1 if debug else 0)
+
+
+def drain(queues, packets):
+    # DET105 fire: dict mutated (del) while iterating .items().
+    for node, queue in queues.items():
+        if not queue:
+            del queues[node]
+    # DET105 fire: list .remove while iterating it.
+    for packet in packets:
+        if packet is None:
+            packets.remove(packet)
+    # DET105 fire: subscript assignment while iterating the dict.
+    for node in queues:
+        queues[node + 1] = []
+    # DET105 suppressed twin.
+    for node in queues:
+        queues.pop(node)  # repro: noqa[DET105]
+        break
+    return queues, packets
+
+
+def stamp_step(record):
+    # DET106 fire: wall-clock read in engine code.
+    record["wall"] = time.time()
+    # DET106 fire: datetime.now().
+    record["at"] = datetime.now()
+    # DET106 suppressed twin.
+    record["t0"] = time.perf_counter()  # repro: noqa[DET106]
+    return record

@@ -1,0 +1,25 @@
+"""Dirty potential helpers: DET104 vectors (never run)."""
+
+import math
+
+
+def converged(phi, prev, k):
+    # DET104 fire: exact equality against a float literal.
+    if phi == 0.0:
+        return True
+    # DET104 fire: != on a true-division result.
+    if phi / k != prev:
+        return False
+    # DET104 fire: comparing a math.* float result exactly.
+    if math.sqrt(phi) == prev:
+        return True
+    # DET104 fire: float() cast compared exactly.
+    if float(k) == phi:
+        return True
+    # DET104 suppressed twin.
+    if phi == 1.5:  # repro: noqa[DET104]
+        return True
+    # Clean: integer comparison and isclose are both fine.
+    if k == 0:
+        return True
+    return math.isclose(phi, prev)

@@ -1,0 +1,24 @@
+"""Dirty workload generator: DET101 vectors (never run)."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def scramble(nodes):
+    # DET101 fire: module-level random.* call (hidden global stream).
+    random.shuffle(nodes)
+    # DET101 fire: global seeding couples unrelated components.
+    random.seed(42)
+    # DET101 fire: from-import of a module-level function.
+    shuffle(nodes)
+    # DET101 fire: unseeded Random() draws OS entropy.
+    rng = random.Random()
+    # DET101 fire: numpy.random global state.
+    noise = np.random.random(len(nodes))
+    # DET101 suppressed twin.
+    jitter = random.random()  # repro: noqa[DET101]
+    # Clean: explicitly seeded Random is the sanctioned pattern.
+    good = random.Random(7)
+    return nodes, rng, noise, jitter, good

@@ -1,0 +1,269 @@
+"""Every shipped rule fires on the dirty fixtures and is silenced by
+its ``# repro: noqa[RULE]`` twin — the firing/suppression pair contract
+from the linter's spec."""
+
+import os
+
+import pytest
+
+from repro.lint import DETERMINISM_RULES, Severity, all_rules, lint_file
+from repro.lint.context import ModuleContext, domain_of, module_name_for
+from repro.lint.runner import lint_source
+from repro.lint.suppressions import is_suppressed, parse_noqa
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "dirtypkg")
+
+
+def fixture(*parts):
+    return os.path.join(FIXTURES, *parts)
+
+
+def findings_for(path):
+    return lint_file(path)
+
+
+def rules_hit(findings):
+    return {f.rule_id for f in findings}
+
+
+class TestFixtureModuleIdentity:
+    def test_fixture_resolves_into_core_domain(self):
+        module = module_name_for(fixture("core", "step_loop.py"))
+        assert module == "dirtypkg.core.step_loop"
+        assert domain_of(module) == "core"
+
+    def test_real_engine_resolves_into_core_domain(self):
+        module = module_name_for(
+            os.path.join("src", "repro", "core", "engine.py")
+        )
+        assert module == "repro.core.engine"
+        assert domain_of(module) == "core"
+
+
+class TestUnseededRandom:
+    def test_fires_on_every_global_stream_pattern(self):
+        findings = findings_for(fixture("workloads", "gen.py"))
+        assert rules_hit(findings) == {"DET101"}
+        messages = "\n".join(f.message for f in findings)
+        assert "random.shuffle" in messages
+        assert "random.seed" in messages
+        assert "numpy.random" in messages
+        assert "OS entropy" in messages
+        # shuffle() via from-import resolves back to random.shuffle and
+        # is among the five findings (direct call, seed, from-import,
+        # Random(), numpy) — the suppressed random.random() is not.
+        assert len(findings) == 5
+
+    def test_suppressed_twin_is_silent(self):
+        findings = findings_for(fixture("workloads", "gen.py"))
+        assert not any("random.random()" in f.message for f in findings)
+
+    def test_seeded_random_is_clean(self):
+        _, findings = lint_source(
+            "import random\nrng = random.Random(7)\nrng.shuffle([])\n",
+            fixture("workloads", "seeded.py"),
+        )
+        assert findings == []
+
+    def test_core_rng_module_is_exempt(self):
+        assert findings_for(fixture("core", "rng.py")) == []
+
+    def test_local_variable_named_random_is_not_confused(self):
+        _, findings = lint_source(
+            "def f(random):\n    return random.shuffle([])\n",
+            fixture("workloads", "shadow.py"),
+        )
+        assert findings == []
+
+
+class TestSetIteration:
+    def test_fires_on_loop_comprehension_and_tracked_name(self):
+        findings = [
+            f
+            for f in findings_for(fixture("core", "step_loop.py"))
+            if f.rule_id == "DET102"
+        ]
+        # set() loop, set-literal comprehension, tracked name; the
+        # noqa'd loop is absent.
+        assert len(findings) == 3
+
+    def test_out_of_domain_module_is_ignored(self):
+        _, findings = lint_source(
+            "for x in set([1]):\n    pass\n",
+            fixture("workloads", "free.py"),
+        )
+        assert findings == []
+
+    def test_sorted_set_is_clean(self):
+        _, findings = lint_source(
+            "for x in sorted(set([1])):\n    pass\n",
+            fixture("core", "sorted_ok.py"),
+        )
+        assert findings == []
+
+
+class TestEnvBranching:
+    def test_fires_on_environ_and_getenv(self):
+        findings = [
+            f
+            for f in findings_for(fixture("core", "step_loop.py"))
+            if f.rule_id == "DET103"
+        ]
+        assert len(findings) == 2
+        assert any("os.environ" in f.message for f in findings)
+        assert any("os.getenv" in f.message for f in findings)
+
+    def test_harness_layers_may_read_env(self):
+        _, findings = lint_source(
+            "import os\nWORKERS = os.environ.get('W', '1')\n",
+            fixture("analysis", "harness.py"),
+        )
+        assert findings == []
+
+
+class TestFloatEquality:
+    def test_fires_on_each_float_shape(self):
+        findings = findings_for(fixture("potential", "energy.py"))
+        assert rules_hit(findings) == {"DET104"}
+        # literal, division, math.sqrt, float() — noqa'd 1.5 excluded.
+        assert len(findings) == 4
+
+    def test_integer_comparison_is_clean(self):
+        _, findings = lint_source(
+            "def f(k):\n    return k == 0\n",
+            fixture("potential", "ints.py"),
+        )
+        assert findings == []
+
+    def test_only_potential_domain_is_policed(self):
+        _, findings = lint_source(
+            "x = 1.0 == 2.0\n", fixture("core", "floaty.py")
+        )
+        assert findings == []
+
+
+class TestIterationMutation:
+    def test_fires_on_del_remove_and_subscript_assign(self):
+        findings = [
+            f
+            for f in findings_for(fixture("core", "step_loop.py"))
+            if f.rule_id == "DET105"
+        ]
+        assert len(findings) == 3
+        descriptions = "\n".join(f.message for f in findings)
+        assert "del" in descriptions
+        assert ".remove()" in descriptions
+        assert "subscript assignment" in descriptions
+
+    def test_snapshot_iteration_is_clean(self):
+        assert findings_for(fixture("core", "clean.py")) == []
+
+    def test_mutating_a_different_container_is_clean(self):
+        _, findings = lint_source(
+            "def f(a, b):\n"
+            "    for x in a:\n"
+            "        b.append(x)\n",
+            fixture("core", "other.py"),
+        )
+        assert findings == []
+
+
+class TestWallClock:
+    def test_fires_on_time_and_datetime_now(self):
+        findings = [
+            f
+            for f in findings_for(fixture("core", "step_loop.py"))
+            if f.rule_id == "DET106"
+        ]
+        assert len(findings) == 2
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_benchmark_layer_may_time(self):
+        _, findings = lint_source(
+            "import time\nt0 = time.perf_counter()\n",
+            fixture("benchmarks", "bench.py"),
+        )
+        assert findings == []
+
+
+class TestSuppressionSyntax:
+    def test_bare_noqa_silences_all_rules(self):
+        assert is_suppressed("x = 1  # repro: noqa", "DET101")
+        assert is_suppressed("x = 1  # repro: noqa", "DET105")
+
+    def test_bracketed_noqa_is_rule_specific(self):
+        line = "x = 1  # repro: noqa[DET101, DET104]"
+        assert is_suppressed(line, "DET101")
+        assert is_suppressed(line, "det104")
+        assert not is_suppressed(line, "DET102")
+
+    def test_empty_bracket_list_suppresses_nothing(self):
+        assert not is_suppressed("x = 1  # repro: noqa[]", "DET101")
+
+    def test_unmarked_line(self):
+        assert parse_noqa("x = 1  # plain comment") is None
+
+    def test_plain_flake8_noqa_is_not_ours(self):
+        assert parse_noqa("import x  # noqa: F401") is None
+
+
+class TestRegistry:
+    def test_all_shipped_rules_registered(self):
+        assert tuple(r.id for r in all_rules()) == DETERMINISM_RULES
+
+    def test_every_rule_fires_somewhere_in_the_fixtures(self):
+        hit = set()
+        for name in (
+            ("core", "step_loop.py"),
+            ("workloads", "gen.py"),
+            ("potential", "energy.py"),
+        ):
+            hit |= rules_hit(findings_for(fixture(*name)))
+        assert hit == set(DETERMINISM_RULES)
+
+    @pytest.mark.parametrize("rule_id", DETERMINISM_RULES)
+    def test_every_rule_has_a_working_suppression(self, rule_id):
+        """Strip the fixtures' noqa comments and the finding count for
+        the rule must grow — proving each noqa actually suppressed one."""
+        for name in (
+            ("core", "step_loop.py"),
+            ("workloads", "gen.py"),
+            ("potential", "energy.py"),
+        ):
+            path = fixture(*name)
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            with_noqa = [
+                f for f in lint_file(path) if f.rule_id == rule_id
+            ]
+            stripped = source.replace("# repro: noqa", "# stripped")
+            _, without_noqa = lint_source(stripped, path)
+            without_noqa = [
+                f for f in without_noqa if f.rule_id == rule_id
+            ]
+            if len(without_noqa) > len(with_noqa):
+                return  # found the suppressed twin
+        pytest.fail(f"no suppressed twin exercised for {rule_id}")
+
+
+class TestModuleContext:
+    def test_import_alias_resolution(self):
+        context = ModuleContext(
+            fixture("core", "alias.py"),
+            "import time as t\nfrom datetime import datetime as dt\n",
+        )
+        import ast
+
+        tree = ast.parse("t.monotonic()\ndt.now()\n")
+        calls = [n for n in ast.walk(tree) if isinstance(n, ast.Call)]
+        resolved = {context.imports.resolve(c.func) for c in calls}
+        assert resolved == {"time.monotonic", "datetime.datetime.now"}
+
+    def test_relative_imports_do_not_resolve(self):
+        context = ModuleContext(
+            fixture("core", "rel.py"), "from . import sibling\n"
+        )
+        import ast
+
+        node = ast.parse("sibling.thing()").body[0].value.func
+        assert context.imports.resolve(node) is None

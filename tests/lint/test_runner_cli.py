@@ -1,0 +1,165 @@
+"""Runner, report, and CLI behavior: exit codes, formats, filters."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import Severity, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.runner import LintReport, iter_python_files, select_rules
+
+HERE = os.path.dirname(__file__)
+FIXTURES = os.path.join(HERE, "fixtures", "dirtypkg")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+class TestLintPaths:
+    def test_repo_source_is_clean(self):
+        report = lint_paths([SRC_REPRO])
+        assert report.findings == []
+        assert report.parse_errors == []
+        assert report.files_checked > 70
+        assert report.exit_code() == 0
+
+    def test_dirty_fixture_package_fails(self):
+        report = lint_paths([FIXTURES])
+        assert report.exit_code() == 1
+        assert len(report.findings) >= 14  # all six rules, many lines
+
+    def test_findings_are_sorted_and_deterministic(self):
+        first = lint_paths([FIXTURES]).findings
+        second = lint_paths([FIXTURES]).findings
+        assert first == second
+        assert first == sorted(first)
+
+    def test_select_restricts_rules(self):
+        report = lint_paths([FIXTURES], select=["DET104"])
+        assert {f.rule_id for f in report.findings} == {"DET104"}
+
+    def test_ignore_drops_rules(self):
+        report = lint_paths([FIXTURES], ignore=["DET104"])
+        hit = {f.rule_id for f in report.findings}
+        assert "DET104" not in hit and hit  # others still fire
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError):
+            select_rules(select=["DET999"])
+
+    def test_parse_error_yields_exit_2(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = lint_paths([str(bad)])
+        assert report.parse_errors and report.exit_code() == 2
+
+    def test_fail_on_error_ignores_warnings(self):
+        warning_only = LintReport(
+            findings=[
+                Finding("x.py", 1, 1, "DET106", Severity.WARNING, "m")
+            ],
+            files_checked=1,
+        )
+        assert warning_only.exit_code(Severity.WARNING) == 1
+        assert warning_only.exit_code(Severity.ERROR) == 0
+
+    def test_iter_python_files_is_sorted(self, tmp_path):
+        for name in ("b.py", "a.py", "c.txt"):
+            (tmp_path / name).write_text("")
+        sub = tmp_path / "zz"
+        sub.mkdir()
+        (sub / "d.py").write_text("")
+        files = list(iter_python_files([str(tmp_path)]))
+        assert [os.path.basename(f) for f in files] == [
+            "a.py",
+            "b.py",
+            "d.py",
+        ]
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        stdout = io.StringIO()
+        real = sys.stdout
+        sys.stdout = stdout
+        try:
+            code = repro_main(["lint", *argv])
+        finally:
+            sys.stdout = real
+        return code, stdout.getvalue()
+
+    def test_clean_tree_exits_zero(self):
+        code, out = self.run_cli(SRC_REPRO)
+        assert code == 0
+        assert "clean" in out
+
+    def test_dirty_tree_exits_nonzero_with_findings(self):
+        code, out = self.run_cli(FIXTURES)
+        assert code == 1
+        assert "DET101" in out and "finding(s)" in out
+
+    def test_json_format_is_machine_readable(self):
+        code, out = self.run_cli(FIXTURES, "--format", "json")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["files_checked"] >= 6
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "DET104" in rules
+        sample = payload["findings"][0]
+        assert set(sample) == {
+            "path",
+            "line",
+            "col",
+            "rule",
+            "severity",
+            "message",
+        }
+
+    def test_list_rules(self):
+        code, out = self.run_cli("--list-rules")
+        assert code == 0
+        for rule_id in ("DET101", "DET106"):
+            assert rule_id in out
+
+    def test_select_filter(self):
+        code, out = self.run_cli(FIXTURES, "--select", "DET106")
+        assert code == 1
+        assert "DET106" in out and "DET101" not in out
+
+    def test_fail_on_error_passes_warning_only_selection(self):
+        code, _ = self.run_cli(
+            FIXTURES, "--select", "DET106", "--fail-on", "error"
+        )
+        assert code == 0
+
+    def test_unknown_rule_exits_2(self):
+        code, out = self.run_cli(FIXTURES, "--select", "DET999")
+        assert code == 2
+        assert "unknown rule" in out
+
+    @pytest.mark.slow
+    def test_module_invocation_matches_make_lint(self):
+        """`python -m repro lint src/repro` is the make-lint command;
+        it must exit 0 on the shipped tree and 1 on the fixtures."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        clean = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", SRC_REPRO],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        dirty = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", FIXTURES],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert dirty.returncode == 1, dirty.stdout + dirty.stderr

@@ -1,7 +1,5 @@
 """Unit tests for the d-dimensional mesh (Definitions 1 and 5)."""
 
-import itertools
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

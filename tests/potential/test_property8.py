@@ -6,7 +6,6 @@ from repro.algorithms import RestrictedPriorityPolicy
 from repro.core.engine import HotPotatoEngine
 from repro.potential.base import NodeDrop
 from repro.potential.property8 import (
-    Property8Violation,
     check_property8,
     minimum_margin,
     property8_required_drop,

@@ -9,7 +9,6 @@ from repro.algorithms import (
 from repro.core.engine import HotPotatoEngine
 from repro.core.problem import RoutingProblem
 from repro.exceptions import ConfigurationError
-from repro.mesh.topology import Mesh
 from repro.mesh.torus import Torus
 from repro.potential.restricted import RestrictedPotential
 from repro.workloads import (

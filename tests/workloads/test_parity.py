@@ -1,7 +1,5 @@
 """Tests for parity splitting (the Remark after Theorem 20)."""
 
-import pytest
-
 from repro.algorithms import RestrictedPriorityPolicy
 from repro.core.engine import HotPotatoEngine
 from repro.core.trace import record_run
