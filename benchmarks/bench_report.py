@@ -30,10 +30,19 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
-from repro.algorithms import RestrictedPriorityPolicy  # noqa: E402
+from repro.algorithms import (  # noqa: E402
+    DimensionOrderPolicy,
+    RestrictedPriorityPolicy,
+)
 from repro.analysis.runner import run_case  # noqa: E402
+from repro.core.buffered_engine import BufferedEngine  # noqa: E402
 from repro.core.engine import HotPotatoEngine  # noqa: E402
 from repro.core.validation import validators_for  # noqa: E402
+from repro.dynamic import (  # noqa: E402
+    BernoulliTraffic,
+    BufferedDynamicEngine,
+    DynamicEngine,
+)
 from repro.mesh.topology import Mesh  # noqa: E402
 from repro.workloads import random_many_to_many  # noqa: E402
 
@@ -72,6 +81,61 @@ def _throughput(strict: bool, fast_path, repeats: int) -> float:
     best = None
     for _ in range(repeats):
         elapsed, packet_steps = _run_once(strict, fast_path)
+        rate = packet_steps / elapsed
+        if best is None or rate > best:
+            best = rate
+    return best
+
+
+def _run_buffered_once() -> tuple:
+    """One store-and-forward batch run (lean kernel loop)."""
+    mesh = Mesh(2, SIDE)
+    problem = random_many_to_many(mesh, k=K, seed=SEED)
+    engine = BufferedEngine(problem, DimensionOrderPolicy(), seed=SEED)
+    start = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - start
+    assert result.completed
+    packet_steps = sum(m.in_flight for m in result.step_metrics)
+    return elapsed, packet_steps
+
+
+DYNAMIC_STEPS = 400
+DYNAMIC_WARMUP = 50
+DYNAMIC_RATE = 0.05
+
+
+def _run_dynamic_once(buffered: bool) -> tuple:
+    """One continuous-traffic run (lean kernel loop, no observers)."""
+    mesh = Mesh(2, SIDE)
+    if buffered:
+        engine = BufferedDynamicEngine(
+            mesh,
+            DimensionOrderPolicy(),
+            BernoulliTraffic(DYNAMIC_RATE),
+            seed=SEED,
+            warmup=DYNAMIC_WARMUP,
+        )
+    else:
+        engine = DynamicEngine(
+            mesh,
+            RestrictedPriorityPolicy(),
+            BernoulliTraffic(DYNAMIC_RATE),
+            seed=SEED,
+            warmup=DYNAMIC_WARMUP,
+        )
+    start = time.perf_counter()
+    stats = engine.run(DYNAMIC_STEPS)
+    elapsed = time.perf_counter() - start
+    packet_steps = sum(s.in_flight for s in stats.samples)
+    return elapsed, packet_steps
+
+
+def _best_rate(run_once, repeats: int) -> float:
+    """Best-of-N packet-steps/sec for a zero-argument runner."""
+    best = None
+    for _ in range(repeats):
+        elapsed, packet_steps = run_once()
         rate = packet_steps / elapsed
         if best is None or rate > best:
             best = rate
@@ -130,6 +194,9 @@ def build_record(workers: int, repeats: int) -> dict:
     strict = _throughput(True, None, repeats)
     instrumented = _throughput(False, False, repeats)
     fast = _throughput(False, True, repeats)
+    buffered = _best_rate(_run_buffered_once, repeats)
+    dynamic = _best_rate(partial(_run_dynamic_once, False), repeats)
+    buffered_dynamic = _best_rate(partial(_run_dynamic_once, True), repeats)
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
@@ -142,7 +209,14 @@ def build_record(workers: int, repeats: int) -> dict:
             "strict_validation": round(strict, 1),
             "instrumented": round(instrumented, 1),
             "fast_path": round(fast, 1),
+            "buffered_batch": round(buffered, 1),
+            "dynamic": round(dynamic, 1),
+            "buffered_dynamic": round(buffered_dynamic, 1),
         },
+        "dynamic_workload": (
+            f"bernoulli p={DYNAMIC_RATE} on 2-d mesh n={SIDE}, "
+            f"{DYNAMIC_STEPS} steps, warmup {DYNAMIC_WARMUP}, seed {SEED}"
+        ),
         "fast_over_instrumented": round(fast / instrumented, 2),
         "sweep_8_seeds_seconds": {
             "serial": round(_sweep_seconds(1, repeats), 3),

@@ -22,6 +22,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.buffered_engine import BufferedEngine
 from repro.core.engine import HotPotatoEngine
 from repro.core.metrics import RunResult
 from repro.core.policy import RoutingPolicy
@@ -84,6 +85,10 @@ class CaseSpec:
     params: Tuple[Tuple[str, object], ...] = ()
     strict_validation: bool = True
     max_steps: Optional[int] = None
+    #: "hot-potato" (deflection) or "buffered" (store-and-forward).
+    #: With "buffered" the policy factory must build a BufferedPolicy;
+    #: strict_validation is ignored (buffers legitimately exceed degree).
+    engine: str = "hot-potato"
 
 
 def _execute_spec(spec: CaseSpec) -> ExperimentPoint:
@@ -92,14 +97,26 @@ def _execute_spec(spec: CaseSpec) -> ExperimentPoint:
 
     problem = spec.problem_factory(spec.seed)
     policy = spec.policy_factory()
-    engine = HotPotatoEngine(
-        problem,
-        policy,
-        seed=spec.seed,
-        validators=validators_for(policy, strict=spec.strict_validation),
-        max_steps=spec.max_steps,
-    )
-    result = engine.run()
+    if spec.engine == "buffered":
+        result = BufferedEngine(
+            problem,
+            policy,
+            seed=spec.seed,
+            max_steps=spec.max_steps,
+        ).run()
+    elif spec.engine == "hot-potato":
+        result = HotPotatoEngine(
+            problem,
+            policy,
+            seed=spec.seed,
+            validators=validators_for(policy, strict=spec.strict_validation),
+            max_steps=spec.max_steps,
+        ).run()
+    else:
+        raise ValueError(
+            f"unknown engine {spec.engine!r}; "
+            "expected 'hot-potato' or 'buffered'"
+        )
     point_params: Dict[str, object] = dict(spec.params)
     point_params.setdefault("seed", spec.seed)
     point_params.setdefault("policy", policy.name)
@@ -155,13 +172,16 @@ def run_case(
     strict_validation: bool = True,
     max_steps: Optional[int] = None,
     workers: int = 1,
+    engine: str = "hot-potato",
 ) -> List[ExperimentPoint]:
     """Run one case over several seeds.
 
     The seed feeds both the problem generator (workload randomness)
     and the engine (policy randomness), so a case is fully determined
     by its factories and seed list.  ``workers > 1`` replicates the
-    seeds across processes (same results, same order).
+    seeds across processes (same results, same order).  Pass
+    ``engine="buffered"`` (with a buffered-policy factory) to run the
+    store-and-forward baseline instead of hot-potato routing.
     """
     frozen_params = tuple((params or {}).items())
     specs = [
@@ -172,6 +192,7 @@ def run_case(
             params=frozen_params,
             strict_validation=strict_validation,
             max_steps=max_steps,
+            engine=engine,
         )
         for seed in seeds
     ]

@@ -25,13 +25,15 @@ from repro.algorithms import (
     livelock_instance,
     make_policy,
 )
+from repro.algorithms.dimension_order import DimensionOrderPolicy
 from repro.analysis.livelock import detect_cycle
 from repro.analysis.tables import format_table
+from repro.core.buffered_engine import BufferedEngine
 from repro.core.engine import HotPotatoEngine
 from repro.core.problem import RoutingProblem
 from repro.core.serialization import save_trace
 from repro.core.trace import record_run
-from repro.dynamic import BernoulliTraffic, DynamicEngine
+from repro.dynamic import BernoulliTraffic, BufferedDynamicEngine, DynamicEngine
 from repro.mesh.hypercube import Hypercube
 from repro.mesh.topology import Mesh
 from repro.mesh.torus import Torus
@@ -89,6 +91,28 @@ WORKLOADS = (
     "corners",
 )
 
+#: Policies usable with ``--engine buffered`` (must be BufferedPolicy).
+BUFFERED_POLICIES = ("dimension-order",)
+
+
+def _resolve_policy(args: argparse.Namespace):
+    """Resolve ``--policy`` against ``--engine``; returns (name, policy).
+
+    The hot-potato registry and the buffered policies are disjoint
+    interfaces (total assignments vs. partial forwarding), so each
+    engine has its own default and its own valid set.
+    """
+    if args.engine == "buffered":
+        name = args.policy or "dimension-order"
+        if name not in BUFFERED_POLICIES:
+            raise SystemExit(
+                f"policy {name!r} is not a buffered policy; --engine "
+                f"buffered supports: {', '.join(BUFFERED_POLICIES)}"
+            )
+        return name, DimensionOrderPolicy()
+    name = args.policy or "restricted-priority"
+    return name, make_policy(name)
+
 
 # ----------------------------------------------------------------------
 # Commands
@@ -98,28 +122,38 @@ WORKLOADS = (
 def cmd_route(args: argparse.Namespace) -> int:
     mesh = _build_mesh(args)
     problem = _build_workload(mesh, args)
-    print(f"Routing {problem.describe()} with {args.policy!r}")
+    policy_name, policy = _resolve_policy(args)
+    print(
+        f"Routing {problem.describe()} with {policy_name!r}"
+        + (" (store-and-forward)" if args.engine == "buffered" else "")
+    )
+
+    if args.engine == "buffered":
+        if args.verify or args.save_trace:
+            raise SystemExit(
+                "--verify/--save-trace analyze hot-potato runs; they do "
+                "not apply to --engine buffered"
+            )
+        buffered_engine = BufferedEngine(problem, policy, seed=args.seed)
+        result = buffered_engine.run()
+        print(result.summary())
+        print(f"max buffer occupancy: {buffered_engine.max_buffer_seen}")
+        return 0 if result.completed else 1
 
     if args.verify:
         if mesh.dimension != 2 or mesh.kind != "mesh":
             raise SystemExit("--verify needs a 2-dimensional mesh")
-        report = verify_restricted_run(
-            problem, make_policy(args.policy), seed=args.seed
-        )
+        report = verify_restricted_run(problem, policy, seed=args.seed)
         print(report.summary())
         return 0 if report.all_hold else 1
 
     if args.save_trace:
-        trace = record_run(
-            problem, make_policy(args.policy), seed=args.seed
-        )
+        trace = record_run(problem, policy, seed=args.seed)
         save_trace(trace, args.save_trace)
         print(f"trace written to {args.save_trace}")
         result = trace.result
     else:
-        engine = HotPotatoEngine(
-            problem, make_policy(args.policy), seed=args.seed
-        )
+        engine = HotPotatoEngine(problem, policy, seed=args.seed)
         result = engine.run()
 
     print(result.summary())
@@ -175,11 +209,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_dynamic(args: argparse.Namespace) -> int:
     mesh = _build_mesh(args)
+    policy_name, _ = _resolve_policy(args)
+    buffered = args.engine == "buffered"
     rows = []
     for rate in args.rates:
-        engine = DynamicEngine(
+        # Fresh policy/traffic per rate: engines share nothing.
+        _, policy = _resolve_policy(args)
+        engine = (
+            BufferedDynamicEngine if buffered else DynamicEngine
+        )(
             mesh,
-            make_policy(args.policy),
+            policy,
             BernoulliTraffic(rate),
             seed=args.seed,
             warmup=args.horizon // 4,
@@ -192,16 +232,19 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
                 stats.latency_percentile(99),
                 stats.deflection_rate,
                 stats.throughput,
-                stats.max_backlog,
+                engine.max_queue_seen if buffered else stats.max_backlog,
                 stats.is_stable(),
             ]
         )
+    queue_header = "queue" if buffered else "backlog"
     print(
         format_table(
-            ["load", "lat mean", "lat p99", "deflect", "thruput", "backlog", "stable"],
+            ["load", "lat mean", "lat p99", "deflect", "thruput",
+             queue_header, "stable"],
             rows,
-            title=f"dynamic {args.policy} on {mesh.kind} n={mesh.side} "
-            f"({args.horizon} steps)",
+            title=f"dynamic {policy_name} on {mesh.kind} n={mesh.side} "
+            f"({args.horizon} steps"
+            + (", store-and-forward)" if buffered else ")"),
         )
     )
     return 0
@@ -287,7 +330,17 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--workload", choices=WORKLOADS, default="random")
     route.add_argument("--k", type=int, default=None, help="batch size")
     route.add_argument(
-        "--policy", default="restricted-priority", help="routing policy"
+        "--policy",
+        default=None,
+        help="routing policy (default: restricted-priority for hot-potato, "
+        "dimension-order for buffered)",
+    )
+    route.add_argument(
+        "--engine",
+        choices=("hot-potato", "buffered"),
+        default="hot-potato",
+        help="routing discipline: deflection (hot-potato) or "
+        "store-and-forward (buffered)",
     )
     route.add_argument(
         "--verify",
@@ -318,7 +371,18 @@ def build_parser() -> argparse.ArgumentParser:
         "dynamic", help="continuous-traffic load sweep"
     )
     _add_mesh_arguments(dynamic)
-    dynamic.add_argument("--policy", default="restricted-priority")
+    dynamic.add_argument(
+        "--policy",
+        default=None,
+        help="routing policy (default: restricted-priority for hot-potato, "
+        "dimension-order for buffered)",
+    )
+    dynamic.add_argument(
+        "--engine",
+        choices=("hot-potato", "buffered"),
+        default="hot-potato",
+        help="injection/routing discipline to simulate",
+    )
     dynamic.add_argument(
         "--rates",
         type=float,

@@ -9,8 +9,15 @@ greedy hot-potato routing with.
 """
 
 from repro.core.buffered_engine import BufferedEngine
-from repro.core.engine import HotPotatoEngine, default_step_limit, route
+from repro.core.engine import HotPotatoEngine, route
 from repro.core.events import CallbackObserver, RunObserver
+from repro.core.kernel import (
+    InjectionSource,
+    StepKernel,
+    StepSummary,
+    default_step_limit,
+    step_metrics_from_summary,
+)
 from repro.core.matching import (
     greedy_maximal_matching,
     is_maximal_matching,
@@ -28,7 +35,7 @@ from repro.core.node_view import NodeView
 from repro.core.packet import Packet, RestrictedType
 from repro.core.policy import Assignment, BufferedPolicy, RoutingPolicy
 from repro.core.problem import Request, RoutingProblem
-from repro.core.rng import make_rng, spawn
+from repro.core.rng import describe_seed, make_rng, spawn
 from repro.core.trace import Trace, TraceRecorder, record_run, traces_equal
 from repro.core.validation import (
     CapacityValidator,
@@ -47,6 +54,7 @@ __all__ = [
     "CapacityValidator",
     "GreedyValidator",
     "HotPotatoEngine",
+    "InjectionSource",
     "MaxAdvanceValidator",
     "NodeView",
     "Packet",
@@ -59,12 +67,15 @@ __all__ = [
     "RoutingProblem",
     "RunObserver",
     "RunResult",
+    "StepKernel",
     "StepMetrics",
     "StepRecord",
+    "StepSummary",
     "StepValidator",
     "Trace",
     "TraceRecorder",
     "default_step_limit",
+    "describe_seed",
     "greedy_maximal_matching",
     "is_maximal_matching",
     "make_rng",
@@ -73,6 +84,7 @@ __all__ = [
     "record_run",
     "route",
     "spawn",
+    "step_metrics_from_summary",
     "traces_equal",
     "validators_for",
 ]

@@ -7,25 +7,37 @@ This engine implements that model: nodes have unbounded buffers, each
 step a node may send at most one packet per outgoing arc, and packets
 that cannot be sent simply wait.
 
-It exists so the benchmark suite can compare greedy hot-potato
-algorithms against a classical structured comparator (dimension-order
-routing) on identical workloads, including buffer-occupancy statistics
-— the resource hot-potato routing eliminates.
+It is a buffered configuration of the shared
+:class:`~repro.core.kernel.StepKernel` (sorted node order, partial
+assignments via :meth:`~repro.core.policy.BufferedPolicy.forward`); no
+validators run by default because buffer occupancy legitimately
+exceeds node degree.  Step metrics carry real per-step loads and
+bad-node counts (historically this engine reported the cumulative
+buffer maximum and zeros there); ``RunResult.max_load_seen`` is
+unchanged by that, and ``RunResult.seed`` now uses the shared
+:func:`~repro.core.rng.describe_seed` convention.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
-from repro.core.metrics import PacketOutcome, RunResult, StepMetrics
-from repro.core.node_view import NodeView
+from repro.core.events import RunObserver
+from repro.core.kernel import (
+    StepKernel,
+    StepSummary,
+    build_run_result,
+    default_step_limit,
+    lean_equivalent,
+    step_metrics_from_summary,
+)
+from repro.core.metrics import RunResult, StepMetrics
 from repro.core.packet import Packet
 from repro.core.policy import BufferedPolicy
 from repro.core.problem import RoutingProblem
-from repro.core.rng import RngLike, make_rng
-from repro.exceptions import ArcAssignmentError, LivelockSuspectedError
-from repro.types import Node
+from repro.core.rng import RngLike, describe_seed, make_rng
+from repro.core.validation import StepValidator
+from repro.exceptions import LivelockSuspectedError
 
 
 class BufferedEngine:
@@ -43,6 +55,8 @@ class BufferedEngine:
         policy: BufferedPolicy,
         *,
         seed: RngLike = 0,
+        validators: Sequence[StepValidator] = (),
+        observers: Iterable[RunObserver] = (),
         max_steps: Optional[int] = None,
         raise_on_timeout: bool = False,
     ) -> None:
@@ -50,20 +64,33 @@ class BufferedEngine:
         self.mesh = problem.mesh
         self.policy = policy
         self.rng = make_rng(seed)
-        self._seed = seed if isinstance(seed, int) else None
+        self._seed = describe_seed(seed)
+        self.validators: List[StepValidator] = list(validators)
+        self.observers: List[RunObserver] = list(observers)
         self.max_steps = (
-            max_steps
-            if max_steps is not None
-            else max(256, 8 * (problem.k + self.mesh.diameter) + 64)
+            max_steps if max_steps is not None else default_step_limit(problem)
         )
         self.raise_on_timeout = raise_on_timeout
-
-        self.time = 0
         self.packets: List[Packet] = problem.make_packets()
-        self.in_flight: List[Packet] = []
         self._metrics: List[StepMetrics] = []
         self._max_buffer_seen = 0
         self._started = False
+        self._kernel = StepKernel(
+            self.mesh,
+            policy,
+            buffered=True,
+            node_order="sorted",
+            set_entry_direction=False,
+            emit=self._note,
+        )
+
+    @property
+    def time(self) -> int:
+        return self._kernel.time
+
+    @property
+    def in_flight(self) -> List[Packet]:
+        return self._kernel.in_flight
 
     @property
     def max_buffer_seen(self) -> int:
@@ -73,136 +100,54 @@ class BufferedEngine:
 
     def run(self) -> RunResult:
         self._start()
-        while self.in_flight and self.time < self.max_steps:
-            self.step()
+        if lean_equivalent(self.validators, self.observers, False):
+            self._kernel.run_lean(self.max_steps)
+        else:
+            while self.in_flight and self.time < self.max_steps:
+                self.step()
         if self.in_flight and self.raise_on_timeout:
             raise LivelockSuspectedError(
                 f"{len(self.in_flight)} packets still buffered after "
                 f"{self.time} steps under {self.policy.name!r}"
             )
-        return self._build_result()
+        result = build_run_result(
+            self.problem,
+            self.policy.name,
+            self.packets,
+            self._kernel,
+            self._metrics,
+            None,
+            self._seed,
+        )
+        for observer in self.observers:
+            observer.on_run_end(result)
+        return result
 
     def step(self) -> None:
         self._start()
-        groups: Dict[Node, List[Packet]] = defaultdict(list)
-        for packet in self.in_flight:
-            groups[packet.location].append(packet)
-        self._max_buffer_seen = max(
-            self._max_buffer_seen,
-            max((len(g) for g in groups.values()), default=0),
-        )
+        record, summary = self._kernel.step_instrumented(self.validators)
+        self._note(summary)
+        for observer in self.observers:
+            observer.on_step(record, self._metrics[-1])
 
-        moves: Dict[int, Node] = {}
-        advancing = 0
-        total_distance = 0
-        for node in sorted(groups):
-            view = NodeView(self.mesh, node, self.time, groups[node])
-            assignment = self.policy.forward(view)
-            seen_directions = set()
-            packet_ids = {p.id for p in view.packets}
-            for packet_id, direction in assignment.items():
-                if packet_id not in packet_ids:
-                    raise ArcAssignmentError(
-                        f"step {self.time}: buffered policy sent unknown "
-                        f"packet {packet_id} from {node}"
-                    )
-                if direction in seen_directions:
-                    raise ArcAssignmentError(
-                        f"step {self.time}: direction {direction} used twice "
-                        f"at {node}"
-                    )
-                seen_directions.add(direction)
-                next_node = self.mesh.neighbor(node, direction)
-                if next_node is None:
-                    raise ArcAssignmentError(
-                        f"step {self.time}: direction {direction} leaves the "
-                        f"mesh at {node}"
-                    )
-                moves[packet_id] = next_node
-            for packet in view.packets:
-                total_distance += self.mesh.distance(node, packet.destination)
-
-        self.time += 1
-        remaining: List[Packet] = []
-        for packet in self.in_flight:
-            if packet.id in moves:
-                next_node = moves[packet.id]
-                if self.mesh.distance(
-                    next_node, packet.destination
-                ) < self.mesh.distance(packet.location, packet.destination):
-                    packet.advances += 1
-                    advancing += 1
-                else:
-                    packet.deflections += 1
-                packet.location = next_node
-                packet.hops += 1
-            if packet.location == packet.destination:
-                packet.delivered_at = self.time
-            else:
-                remaining.append(packet)
-        self.in_flight = remaining
-
-        in_flight_before = sum(len(g) for g in groups.values())
-        self._metrics.append(
-            StepMetrics(
-                step=self.time - 1,
-                in_flight=in_flight_before,
-                advancing=advancing,
-                deflected=len(moves) - advancing,
-                delivered_total=sum(1 for p in self.packets if p.delivered),
-                total_distance=total_distance,
-                max_node_load=self._max_buffer_seen,
-                bad_nodes=0,
-                packets_in_bad_nodes=0,
-                packets_in_good_nodes=in_flight_before,
-            )
-        )
+    def _note(self, summary: StepSummary) -> None:
+        if summary.max_node_load > self._max_buffer_seen:
+            self._max_buffer_seen = summary.max_node_load
+        self._metrics.append(step_metrics_from_summary(summary))
 
     def _start(self) -> None:
         if self._started:
             return
         self._started = True
         self.policy.prepare(self.mesh, self.problem, self.rng)
-        self.in_flight = []
+        delivered = 0
+        remaining: List[Packet] = []
         for packet in self.packets:
             if packet.location == packet.destination:
                 packet.delivered_at = 0
+                delivered += 1
             else:
-                self.in_flight.append(packet)
-
-    def _build_result(self) -> RunResult:
-        delivered_times = [
-            p.delivered_at for p in self.packets if p.delivered_at is not None
-        ]
-        total_steps = max(delivered_times) if delivered_times else 0
-        completed = not self.in_flight
-        if not completed:
-            total_steps = self.time
-        outcomes = [
-            PacketOutcome(
-                packet_id=p.id,
-                source=p.source,
-                destination=p.destination,
-                shortest_distance=self.mesh.distance(p.source, p.destination),
-                delivered_at=p.delivered_at,
-                hops=p.hops,
-                advances=p.advances,
-                deflections=p.deflections,
-            )
-            for p in self.packets
-        ]
-        return RunResult(
-            problem_name=self.problem.name or "problem",
-            policy_name=self.policy.name,
-            mesh_kind=self.mesh.kind,
-            dimension=self.mesh.dimension,
-            side=self.mesh.side,
-            k=self.problem.k,
-            completed=completed,
-            total_steps=total_steps,
-            delivered=len(delivered_times),
-            step_metrics=self._metrics,
-            outcomes=outcomes,
-            records=None,
-            seed=self._seed,
-        )
+                remaining.append(packet)
+        self._kernel.seed_packets(remaining, delivered_total=delivered)
+        for observer in self.observers:
+            observer.on_run_start(self)

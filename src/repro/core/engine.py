@@ -14,69 +14,47 @@ Implements the model of Section 2 of the paper exactly:
 The engine validates every assignment the policy produces and raises a
 :class:`~repro.exceptions.ProtocolViolationError` subclass on the first
 violation, so experiment data can be trusted end to end.
+
+The step loop itself lives in :class:`~repro.core.kernel.StepKernel`
+(shared with the buffered and dynamic engines); this class is the
+batch hot-potato *configuration* of it — insertion-order node visits,
+total assignments, entry-direction tracking — plus the run-level
+machinery: validators, observers, step records, result construction.
 """
 
 from __future__ import annotations
 
-import hashlib
-from collections import defaultdict
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.events import RunObserver
-from repro.core.metrics import (
-    PacketOutcome,
-    PacketStepInfo,
-    RunResult,
-    StepMetrics,
-    StepRecord,
+from repro.core.kernel import (
+    StepKernel,
+    StepSummary,
+    build_run_result,
+    default_step_limit,
+    lean_equivalent,
+    step_metrics_from_summary,
 )
-from repro.core.node_view import NodeView
+from repro.core.metrics import RunResult, StepMetrics, StepRecord
 from repro.core.packet import Packet
-from repro.core.policy import Assignment, RoutingPolicy
+from repro.core.policy import RoutingPolicy
 from repro.core.problem import RoutingProblem
-from repro.core.rng import RngLike, make_rng
-from repro.core.validation import (
-    CapacityValidator,
-    StepValidator,
-    validators_for,
-)
-from repro.exceptions import (
-    ArcAssignmentError,
-    LivelockSuspectedError,
-)
+from repro.core.rng import RngLike, describe_seed, make_rng
+from repro.core.validation import StepValidator, validators_for
+from repro.exceptions import LivelockSuspectedError
 from repro.mesh.directions import Direction
 from repro.types import Node, PacketId
 
+__all__ = [
+    "HotPotatoEngine",
+    "StateEntry",
+    "default_step_limit",
+    "describe_seed",
+    "route",
+]
+
 #: One in-flight packet's routing-relevant state in a global snapshot.
 StateEntry = Tuple[PacketId, Node, Optional[Direction], bool, bool]
-
-
-def describe_seed(seed: RngLike) -> Union[int, str]:
-    """A reproducible description of an engine seed for :class:`RunResult`.
-
-    Integer seeds pass through; ``None`` is the library's deterministic
-    default stream (seed 0); a caller-provided ``random.Random``
-    carries hidden state, so its description is a digest of that state
-    — two engines handed equal-state generators report the same value,
-    and the value never silently collides with a plain integer seed.
-    """
-    if isinstance(seed, int):
-        return seed
-    if seed is None:
-        return 0  # make_rng(None) is the deterministic seed-0 stream
-    digest = hashlib.sha256(repr(seed.getstate()).encode("utf-8")).hexdigest()
-    return f"rng-state:{digest[:16]}"
-
-
-def default_step_limit(problem: RoutingProblem) -> int:
-    """A generous default step budget.
-
-    Greedy algorithms on meshes are known to finish within
-    ``2(k - 1) + d_max`` steps ([BTS], discussed in Section 6.1); the
-    default allows eight times that plus slack so that a timeout
-    genuinely signals something wrong (or an intentional livelock).
-    """
-    return max(256, 8 * (2 * problem.k + problem.d_max) + 64)
 
 
 class HotPotatoEngine:
@@ -96,11 +74,11 @@ class HotPotatoEngine:
         raise_on_timeout: raise :class:`LivelockSuspectedError` instead
             of returning an incomplete result when the budget runs out.
         fast_path: ``None`` (default) lets :meth:`run` pick the lean
-            no-recording loop automatically when it is equivalent
-            (no step records, no observers, capacity-only validators);
-            ``False`` forces the fully instrumented loop; ``True``
-            additionally raises ``ValueError`` when the run is not
-            fast-path eligible (useful in tests and benchmarks).
+            no-recording kernel loop automatically when it is
+            equivalent (no step records, no observers, capacity-only
+            validators); ``False`` forces the fully instrumented loop;
+            ``True`` additionally raises ``ValueError`` when the run is
+            not fast-path eligible (useful in tests and benchmarks).
     """
 
     def __init__(
@@ -132,16 +110,50 @@ class HotPotatoEngine:
             max_steps if max_steps is not None else default_step_limit(problem)
         )
         self.record_steps = record_steps
-        self.record_paths = record_paths
         self.raise_on_timeout = raise_on_timeout
         self.fast_path = fast_path
 
-        self.time = 0
         self.packets: List[Packet] = problem.make_packets()
-        self.in_flight: List[Packet] = []
         self._records: List[StepRecord] = []
         self._metrics: List[StepMetrics] = []
         self._started = False
+        self._kernel = StepKernel(
+            self.mesh,
+            policy,
+            buffered=False,
+            node_order="insertion",
+            set_entry_direction=True,
+            record_paths=record_paths,
+            emit=self._emit_lean,
+        )
+
+    # ------------------------------------------------------------------
+    # Kernel state, exposed under the engine's historical names
+    # ------------------------------------------------------------------
+
+    @property
+    def time(self) -> int:
+        return self._kernel.time
+
+    @time.setter
+    def time(self, value: int) -> None:
+        self._kernel.time = value
+
+    @property
+    def in_flight(self) -> List[Packet]:
+        return self._kernel.in_flight
+
+    @in_flight.setter
+    def in_flight(self, value: List[Packet]) -> None:
+        self._kernel.in_flight = value
+
+    @property
+    def record_paths(self) -> bool:
+        return self._kernel.record_paths
+
+    @record_paths.setter
+    def record_paths(self, value: bool) -> None:
+        self._kernel.record_paths = value
 
     # ------------------------------------------------------------------
     # Public driving interface
@@ -151,7 +163,7 @@ class HotPotatoEngine:
         """Route until all packets are delivered or the budget runs out."""
         self._start()
         if self._fast_path_eligible():
-            self._run_fast()
+            self._kernel.run_lean(self.max_steps)
         else:
             while self.in_flight and self.time < self.max_steps:
                 self.step()
@@ -169,8 +181,8 @@ class HotPotatoEngine:
     def step(self) -> StepRecord:
         """Execute one synchronous step and return its record."""
         self._start()
-        record = self._route()
-        metrics = self._collect_metrics(record)
+        record, summary = self._kernel.step_instrumented(self.validators)
+        metrics = step_metrics_from_summary(summary)
         self._metrics.append(metrics)
         if self.record_steps:
             self._records.append(record)
@@ -216,43 +228,34 @@ class HotPotatoEngine:
             return
         self._started = True
         self.policy.prepare(self.mesh, self.problem, self.rng)
-        self.in_flight = list(self.packets)
+        in_flight = list(self.packets)
         if self.record_paths:
-            for packet in self.in_flight:
+            for packet in in_flight:
                 packet.path.append(packet.location)
-        self._absorb_initial()  # requests with source == destination
+        # Absorb requests whose source equals their destination (time 0).
+        delivered = 0
+        remaining: List[Packet] = []
+        for packet in in_flight:
+            if packet.location == packet.destination:
+                packet.delivered_at = 0
+                delivered += 1
+            else:
+                remaining.append(packet)
+        self._kernel.seed_packets(remaining, delivered_total=delivered)
         for observer in self.observers:
             observer.on_run_start(self)
 
-    def _absorb_initial(self) -> None:
-        """Absorb requests whose source equals their destination (time 0)."""
-        remaining: List[Packet] = []
-        for packet in self.in_flight:
-            if packet.location == packet.destination:
-                packet.delivered_at = 0
-            else:
-                remaining.append(packet)
-        self.in_flight = remaining
-
     def _fast_path_eligible(self) -> bool:
-        """Decide whether :meth:`run` may use the lean loop.
+        """Decide whether :meth:`run` may use the lean kernel loop.
 
-        The fast path produces bit-identical :class:`RunResult`\\ s but
-        skips :class:`StepRecord`/:class:`PacketStepInfo` construction,
-        so it is only equivalent when nobody consumes those objects:
-        no step recording, no observers, and no validators beyond the
-        capacity check.  (The capacity check itself can never fire on a
-        validated problem — arrivals are bounded by in-degree — and an
-        inconsistent assignment is re-raised through the strict checker,
-        so the fast path surfaces the exact slow-path errors.)
+        The lean loop produces bit-identical :class:`RunResult`\\ s but
+        skips :class:`StepRecord`/per-packet info construction, so it
+        is only equivalent when nobody consumes those objects: no step
+        recording, no observers, and no validators beyond the capacity
+        check (see :func:`repro.core.kernel.lean_equivalent`).
         """
-        eligible = (
-            not self.record_steps
-            and not self.observers
-            and all(
-                type(validator) is CapacityValidator
-                for validator in self.validators
-            )
+        eligible = lean_equivalent(
+            self.validators, self.observers, self.record_steps
         )
         if self.fast_path is False:
             return False
@@ -264,330 +267,18 @@ class HotPotatoEngine:
             )
         return eligible
 
-    def _run_fast(self) -> None:
-        """The no-recording main loop.
-
-        Semantically identical to repeated :meth:`step` calls (same
-        packet outcomes, same :class:`StepMetrics`, same policy RNG
-        stream) but with the per-step allocation churn stripped out:
-        no :class:`PacketStepInfo`/:class:`StepRecord` objects, packet
-        distances tracked incrementally where the mesh guarantees the
-        ±1-per-hop invariant (``Mesh.unit_deflections``; a good hop is
-        always exactly -1, but e.g. an odd-side torus deflection can
-        leave the wrapped distance unchanged, so those meshes recompute
-        after deflections), and neighbor lookups served from the mesh's
-        precomputed per-node arc tables.  Delivery is decided by
-        destination comparison, exactly like :meth:`_move` — never by
-        the distance counter.
-        """
-        mesh = self.mesh
-        dimension = mesh.dimension
-        node_arcs = mesh.node_arcs
-        unit_deflections = mesh.unit_deflections
-        assign = self.policy.assign
-        record_paths = self.record_paths
-        append_metrics = self._metrics.append
-
-        delivered_total = sum(
-            1 for p in self.packets if p.delivered_at is not None
-        )
-        distance = mesh.distance
-        dist: Dict[PacketId, int] = {
-            p.id: distance(p.location, p.destination) for p in self.in_flight
-        }
-
-        while self.in_flight and self.time < self.max_steps:
-            step_index = self.time
-            groups: Dict[Node, List[Packet]] = defaultdict(list)
-            for packet in self.in_flight:
-                groups[packet.location].append(packet)
-
-            # Phase 1 — per-node decisions.  Nodes are visited in group
-            # insertion order, exactly like _route (see the determinism
-            # note there); the two loops must stay in lockstep so both
-            # paths consume any policy RNG identically.
-            pending: Dict[PacketId, Tuple[Node, Direction, bool, bool]] = {}
-            advancing = 0
-            total_distance = 0
-            max_load = 0
-            bad_nodes = 0
-            packets_in_bad = 0
-            # No pre-assign capacity raise here: a load above the
-            # node's degree makes a consistent assignment impossible
-            # (pigeonhole), so the bad-assignment fallback below raises
-            # the same ArcAssignmentError the instrumented loop would —
-            # after the policy ran, with the same RNG consumption.
-            for node, packets in groups.items():
-                load = len(packets)
-                arcs = node_arcs(node)
-                if load > max_load:
-                    max_load = load
-                if load > dimension:
-                    bad_nodes += 1
-                    packets_in_bad += load
-                view = NodeView(mesh, node, step_index, packets)
-                assignment = assign(view)
-                by_direction = arcs.by_direction
-                good_map = view._good
-                seen = set()
-                for packet in view.packets:
-                    direction = assignment.get(packet.id)
-                    next_node = (
-                        by_direction.get(direction)
-                        if direction is not None
-                        else None
-                    )
-                    if (
-                        direction is None
-                        or direction in seen
-                        or next_node is None
-                        or len(assignment) != load
-                    ):
-                        # Bad policy output: rebuild through the strict
-                        # checker so the error matches the slow path.
-                        self._apply_assignment(view, assignment)
-                        raise ArcAssignmentError(
-                            f"step {step_index}: inconsistent assignment "
-                            f"at {node} (engine fast-path check)"
-                        )
-                    seen.add(direction)
-                    good = good_map[packet.id]
-                    advanced = direction in good
-                    pending[packet.id] = (
-                        next_node,
-                        direction,
-                        advanced,
-                        len(good) == 1,
-                    )
-                    if advanced:
-                        advancing += 1
-                    total_distance += dist[packet.id]
-
-            # Phase 2 — move, mirroring _move's in_flight iteration
-            # order so delivery order and the next step's grouping are
-            # identical to the instrumented loop.
-            self.time += 1
-            now = self.time
-            remaining: List[Packet] = []
-            for packet in self.in_flight:
-                next_node, direction, advanced, restricted = pending[
-                    packet.id
-                ]
-                packet.restricted_last_step = restricted
-                packet.advanced_last_step = advanced
-                packet.location = next_node
-                packet.entry_direction = direction
-                packet.hops += 1
-                if advanced:
-                    # A good hop reduces the distance by exactly one
-                    # (Definition 5), on every mesh kind.
-                    packet.advances += 1
-                    dist[packet.id] -= 1
-                else:
-                    packet.deflections += 1
-                    if unit_deflections:
-                        dist[packet.id] += 1
-                    else:
-                        # E.g. odd-side torus: a bad hop out of a
-                        # maximal per-axis offset leaves the wrapped
-                        # distance unchanged, so recompute exactly.
-                        dist[packet.id] = distance(
-                            next_node, packet.destination
-                        )
-                if record_paths:
-                    packet.path.append(next_node)
-                if next_node == packet.destination:
-                    packet.delivered_at = now
-                    delivered_total += 1
-                else:
-                    remaining.append(packet)
-            self.in_flight = remaining
-
-            routed = len(pending)
-            append_metrics(
-                StepMetrics(
-                    step=step_index,
-                    in_flight=routed,
-                    advancing=advancing,
-                    deflected=routed - advancing,
-                    delivered_total=delivered_total,
-                    total_distance=total_distance,
-                    max_node_load=max_load,
-                    bad_nodes=bad_nodes,
-                    packets_in_bad_nodes=packets_in_bad,
-                    packets_in_good_nodes=routed - packets_in_bad,
-                )
-            )
-
-    def _route(self) -> StepRecord:
-        step_index = self.time
-        groups: Dict[Node, List[Packet]] = defaultdict(list)
-        for packet in self.in_flight:
-            groups[packet.location].append(packet)
-
-        infos: Dict[PacketId, PacketStepInfo] = {}
-        # Visit nodes in group insertion order.  in_flight is kept in
-        # ascending packet-id order by _move, so the first packet seen
-        # at each node — and hence the node visit order — is a pure
-        # function of the previous step's outcome: deterministic and
-        # reproducible without re-sorting every node tuple each step
-        # (which the profile showed as measurable overhead on large
-        # meshes).
-        for node, node_packets in groups.items():
-            view = NodeView(self.mesh, node, step_index, node_packets)
-            assignment = self.policy.assign(view)
-            node_infos = self._apply_assignment(view, assignment)
-            for validator in self.validators:
-                validator.validate_node(view, node_infos)
-            for info in node_infos:
-                infos[info.packet_id] = info
-
-        delivered = self._move(infos)
-        return StepRecord(
-            step=step_index, infos=infos, delivered_after=delivered
-        )
-
-    def _apply_assignment(
-        self, view: NodeView, assignment: Assignment
-    ) -> List[PacketStepInfo]:
-        """Validate the policy output for one node and build step infos."""
-        packet_ids = {p.id for p in view.packets}
-        if set(assignment) != packet_ids:
-            missing = packet_ids - set(assignment)
-            extra = set(assignment) - packet_ids
-            raise ArcAssignmentError(
-                f"step {view.step}: policy {self.policy.name!r} returned a "
-                f"bad assignment at {view.node}: missing={sorted(missing)} "
-                f"extra={sorted(extra)}"
-            )
-        seen_directions = set()
-        infos: List[PacketStepInfo] = []
-        for packet in view.packets:
-            direction = assignment[packet.id]
-            if direction in seen_directions:
-                raise ArcAssignmentError(
-                    f"step {view.step}: direction {direction} assigned to "
-                    f"two packets at {view.node}"
-                )
-            seen_directions.add(direction)
-            next_node = self.mesh.neighbor(view.node, direction)
-            if next_node is None:
-                raise ArcAssignmentError(
-                    f"step {view.step}: packet {packet.id} assigned "
-                    f"direction {direction} which leaves the mesh "
-                    f"at {view.node}"
-                )
-            distance_before = self.mesh.distance(view.node, packet.destination)
-            distance_after = self.mesh.distance(next_node, packet.destination)
-            infos.append(
-                PacketStepInfo(
-                    packet_id=packet.id,
-                    node=view.node,
-                    destination=packet.destination,
-                    entry_direction=packet.entry_direction,
-                    assigned_direction=direction,
-                    next_node=next_node,
-                    distance_before=distance_before,
-                    distance_after=distance_after,
-                    num_good=view.num_good(packet),
-                    restricted=view.is_restricted(packet),
-                    restricted_type=view.restricted_type(packet),
-                )
-            )
-        return infos
-
-    def _move(self, infos: Dict[PacketId, PacketStepInfo]) -> Tuple[PacketId, ...]:
-        """Apply a step's moves; absorb arrivals; advance the clock.
-
-        Returns the ids of packets delivered by this step's move.
-        """
-        self.time += 1
-        delivered: List[PacketId] = []
-        remaining: List[Packet] = []
-        for packet in self.in_flight:
-            info = infos[packet.id]
-            packet.restricted_last_step = info.restricted
-            packet.advanced_last_step = info.advanced
-            packet.location = info.next_node
-            packet.entry_direction = info.assigned_direction
-            packet.hops += 1
-            if info.advanced:
-                packet.advances += 1
-            else:
-                packet.deflections += 1
-            if self.record_paths:
-                packet.path.append(info.next_node)
-            if packet.location == packet.destination:
-                packet.delivered_at = self.time
-                delivered.append(packet.id)
-            else:
-                remaining.append(packet)
-        self.in_flight = remaining
-        return tuple(delivered)
-
-    def _collect_metrics(self, record: StepRecord) -> StepMetrics:
-        dimension = self.mesh.dimension
-        loads: Dict[Node, int] = defaultdict(int)
-        total_distance = 0
-        for info in record.infos.values():
-            loads[info.node] += 1
-            total_distance += info.distance_before
-        bad_nodes = 0
-        packets_in_bad = 0
-        for load in loads.values():
-            if load > dimension:
-                bad_nodes += 1
-                packets_in_bad += load
-        in_flight = len(record.infos)
-        delivered_total = sum(1 for p in self.packets if p.delivered)
-        return StepMetrics(
-            step=record.step,
-            in_flight=in_flight,
-            advancing=record.num_advancing,
-            deflected=record.num_deflected,
-            delivered_total=delivered_total,
-            total_distance=total_distance,
-            max_node_load=max(loads.values()) if loads else 0,
-            bad_nodes=bad_nodes,
-            packets_in_bad_nodes=packets_in_bad,
-            packets_in_good_nodes=in_flight - packets_in_bad,
-        )
+    def _emit_lean(self, summary: StepSummary) -> None:
+        self._metrics.append(step_metrics_from_summary(summary))
 
     def _build_result(self) -> RunResult:
-        delivered_times = [
-            p.delivered_at for p in self.packets if p.delivered_at is not None
-        ]
-        total_steps = max(delivered_times) if delivered_times else 0
-        completed = not self.in_flight
-        if not completed:
-            total_steps = self.time
-        outcomes = [
-            PacketOutcome(
-                packet_id=p.id,
-                source=p.source,
-                destination=p.destination,
-                shortest_distance=self.mesh.distance(p.source, p.destination),
-                delivered_at=p.delivered_at,
-                hops=p.hops,
-                advances=p.advances,
-                deflections=p.deflections,
-            )
-            for p in self.packets
-        ]
-        return RunResult(
-            problem_name=self.problem.name or "problem",
-            policy_name=self.policy.name,
-            mesh_kind=self.mesh.kind,
-            dimension=self.mesh.dimension,
-            side=self.mesh.side,
-            k=self.problem.k,
-            completed=completed,
-            total_steps=total_steps,
-            delivered=len(delivered_times),
-            step_metrics=self._metrics,
-            outcomes=outcomes,
-            records=self._records if self.record_steps else None,
-            seed=self._seed,
+        return build_run_result(
+            self.problem,
+            self.policy.name,
+            self.packets,
+            self._kernel,
+            self._metrics,
+            self._records if self.record_steps else None,
+            self._seed,
         )
 
 

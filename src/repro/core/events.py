@@ -8,18 +8,23 @@ needs.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.core.metrics import RunResult, StepMetrics, StepRecord
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.core.engine import HotPotatoEngine
-
 
 class RunObserver:
-    """Base class for objects notified as a run progresses."""
+    """Base class for objects notified as a run progresses.
 
-    def on_run_start(self, engine: "HotPotatoEngine") -> None:
+    ``engine`` is deliberately untyped: any engine built on
+    :class:`~repro.core.kernel.StepKernel` (batch hot-potato, buffered,
+    or the dynamic engines) can host observers, and they share duck
+    compatibility (``mesh``, ``time``, ``in_flight``) rather than a
+    base class.  Dynamic engines fire ``on_run_start``/``on_step`` but
+    not ``on_run_end`` — they produce no :class:`RunResult`.
+    """
+
+    def on_run_start(self, engine: Any) -> None:
         """Called once, after packets are placed but before step 0."""
 
     def on_step(self, record: StepRecord, metrics: StepMetrics) -> None:
@@ -40,7 +45,7 @@ class CallbackObserver(RunObserver):
 
     def __init__(
         self,
-        on_run_start: Optional[Callable[["HotPotatoEngine"], None]] = None,
+        on_run_start: Optional[Callable[[Any], None]] = None,
         on_step: Optional[Callable[[StepRecord, StepMetrics], None]] = None,
         on_run_end: Optional[Callable[[RunResult], None]] = None,
     ) -> None:
@@ -48,7 +53,7 @@ class CallbackObserver(RunObserver):
         self._on_step = on_step
         self._on_run_end = on_run_end
 
-    def on_run_start(self, engine: "HotPotatoEngine") -> None:
+    def on_run_start(self, engine: Any) -> None:
         if self._on_run_start is not None:
             self._on_run_start(engine)
 

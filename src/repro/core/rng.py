@@ -8,10 +8,28 @@ derive independent child streams for sub-components.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Union
 
 RngLike = Union[int, random.Random, None]
+
+
+def describe_seed(seed: RngLike) -> Union[int, str]:
+    """A reproducible description of an engine seed for run results.
+
+    Integer seeds pass through; ``None`` is the library's deterministic
+    default stream (seed 0); a caller-provided ``random.Random``
+    carries hidden state, so its description is a digest of that state
+    — two engines handed equal-state generators report the same value,
+    and the value never silently collides with a plain integer seed.
+    """
+    if isinstance(seed, int):
+        return seed
+    if seed is None:
+        return 0  # make_rng(None) is the deterministic seed-0 stream
+    digest = hashlib.sha256(repr(seed.getstate()).encode("utf-8")).hexdigest()
+    return f"rng-state:{digest[:16]}"
 
 
 def make_rng(seed: RngLike = None) -> random.Random:

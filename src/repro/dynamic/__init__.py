@@ -16,15 +16,18 @@ from repro.dynamic.injection import (
     ScriptedTraffic,
     TrafficModel,
 )
+from repro.dynamic.sources import CapacityLimitedInjection, ImmediateInjection
 from repro.dynamic.stats import DeliveryRecord, DynamicStats, StepSample
 
 __all__ = [
     "BernoulliTraffic",
     "BufferedDynamicEngine",
+    "CapacityLimitedInjection",
     "DeliveryRecord",
     "DynamicEngine",
     "DynamicStats",
     "HotSpotTraffic",
+    "ImmediateInjection",
     "ScriptedTraffic",
     "StepSample",
     "TrafficModel",

@@ -1,0 +1,177 @@
+"""Shared chassis for the continuous-traffic engines.
+
+:class:`DynamicEngineBase` owns everything the two dynamic engines
+have in common — RNG/stat bookkeeping, lazy start (policy then source
+preparation, in that order: both draw from the same stream, so the
+order is part of the seeded contract), observer dispatch, and the
+lean-vs-instrumented run decision.  Subclasses are pure configuration:
+they pick the injection source and the kernel's ``buffered`` flag, and
+say what "backlog" means for their discipline.
+
+Observers receive ``on_run_start``/``on_step`` only: an open-ended
+dynamic run produces no :class:`~repro.core.metrics.RunResult`, so
+``on_run_end`` never fires here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.events import RunObserver
+from repro.core.kernel import (
+    InjectionSource,
+    StepKernel,
+    StepSummary,
+    step_metrics_from_summary,
+)
+from repro.core.packet import Packet
+from repro.core.problem import RoutingProblem
+from repro.core.rng import RngLike, make_rng
+from repro.dynamic.injection import TrafficModel
+from repro.dynamic.stats import DynamicStats, StepSample
+from repro.mesh.topology import Mesh
+from repro.types import PacketId
+
+
+class DynamicEngineBase:
+    """Common driver for engines fed by an injection source.
+
+    Subclasses set :attr:`buffered` and implement :meth:`_make_source`;
+    the remaining hooks (:meth:`_observe_summary`,
+    :meth:`_sample_backlog`, :meth:`_final_backlog`) default to the
+    hot-potato meaning and are overridden where the store-and-forward
+    discipline differs.
+    """
+
+    #: Kernel mode: ``False`` routes hot-potato, ``True`` buffers.
+    buffered = False
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        policy,
+        traffic: TrafficModel,
+        *,
+        seed: RngLike = 0,
+        warmup: int = 0,
+        observers: Iterable[RunObserver] = (),
+    ) -> None:
+        self.mesh = mesh
+        self.policy = policy
+        self.traffic = traffic
+        self.rng = make_rng(seed)
+        self.warmup = warmup
+        self.observers: List[RunObserver] = list(observers)
+        self._source = self._make_source(traffic)
+        self._stats = DynamicStats(warmup=warmup)
+        self._started = False
+        self._kernel = StepKernel(
+            mesh,
+            policy,
+            buffered=self.buffered,
+            node_order="sorted",
+            injection=self._source,
+            set_entry_direction=False,
+            emit=self._note,
+            on_deliver=self._on_deliver,
+        )
+
+    # ------------------------------------------------------------------
+    # Configuration hooks
+    # ------------------------------------------------------------------
+
+    def _make_source(self, traffic: TrafficModel) -> InjectionSource:
+        raise NotImplementedError
+
+    def _observe_summary(self, summary: StepSummary) -> None:
+        """Subclass bookkeeping before the sample is recorded."""
+
+    def _sample_backlog(self, summary: StepSummary) -> int:
+        return summary.backlog
+
+    def _final_backlog(self) -> int:
+        return self._source.backlog_size()
+
+    # ------------------------------------------------------------------
+    # Kernel/source state under the engines' historical names
+    # ------------------------------------------------------------------
+
+    @property
+    def time(self) -> int:
+        return self._kernel.time
+
+    @property
+    def in_flight(self) -> List[Packet]:
+        return self._kernel.in_flight
+
+    @property
+    def _next_id(self) -> PacketId:
+        return self._source.next_id
+
+    @property
+    def _generated_at(self) -> Dict[PacketId, int]:
+        return self._source.generated_at
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, steps: int) -> DynamicStats:
+        """Simulate ``steps`` steps and return the collected statistics."""
+        self._start()
+        if self.observers:
+            for _ in range(steps):
+                self.step()
+        else:
+            self._kernel.run_lean(self.time + steps)
+        self._stats.finalize(
+            self.time, len(self.in_flight), self._final_backlog()
+        )
+        return self._stats
+
+    def step(self) -> None:
+        """One synchronous step: generate, inject, route, absorb."""
+        self._start()
+        record, summary = self._kernel.step_instrumented()
+        self._note(summary)
+        metrics = step_metrics_from_summary(summary)
+        for observer in self.observers:
+            observer.on_step(record, metrics)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        empty = RoutingProblem(mesh=self.mesh, requests=(), name="dynamic")
+        self.policy.prepare(self.mesh, empty, self.rng)
+        self._source.prepare(self.mesh, self.rng)
+        for observer in self.observers:
+            observer.on_run_start(self)
+
+    def _note(self, summary: StepSummary) -> None:
+        self._observe_summary(summary)
+        self._stats.record_step(
+            StepSample(
+                step=summary.step,
+                generated=summary.generated,
+                injected=summary.injected,
+                in_flight=summary.routed,
+                advancing=summary.advancing,
+                delivered=summary.delivered,
+                backlog=self._sample_backlog(summary),
+            )
+        )
+
+    def _on_deliver(self, packet: Packet) -> None:
+        generated = self._source.generated_at.pop(packet.id)
+        self._stats.record_delivery(
+            generated_at=generated,
+            delivered_at=self.time,
+            hops=packet.hops,
+            deflections=packet.deflections,
+            shortest=self.mesh.distance(packet.source, packet.destination),
+        )

@@ -4,181 +4,57 @@ The direct counterpart of Maxemchuk's study the paper cites —
 "Comparison of deflection and store and forward techniques" [Ma] —
 needs both disciplines running under the same traffic.
 :class:`BufferedDynamicEngine` is the buffered side: packets are
-injected unconditionally into node queues, each step every node sends
-at most one packet per outgoing arc under a
+injected unconditionally into node queues (an
+:class:`~repro.dynamic.sources.ImmediateInjection` source), each step
+every node sends at most one packet per outgoing arc under a
 :class:`~repro.core.policy.BufferedPolicy` (dimension-order by
 default), and waiting happens *inside* the fabric — the queue
 occupancy the hot-potato discipline exists to eliminate.
 
-Statistics are the shared :class:`~repro.dynamic.stats.DynamicStats`,
-so the two engines' latency/throughput curves compare directly
-(benchmark E21).
+The step loop is the shared :class:`~repro.core.kernel.StepKernel`
+(buffered semantics, sorted node order).  Statistics are the shared
+:class:`~repro.dynamic.stats.DynamicStats`, so the two engines'
+latency/throughput curves compare directly (benchmark E21).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List
-
-from repro.core.node_view import NodeView
-from repro.core.packet import Packet
-from repro.core.policy import BufferedPolicy
-from repro.core.problem import RoutingProblem
-from repro.core.rng import RngLike, make_rng
+from repro.core.kernel import StepSummary
+from repro.dynamic.base import DynamicEngineBase
 from repro.dynamic.injection import TrafficModel
-from repro.dynamic.stats import DynamicStats, StepSample
-from repro.exceptions import ArcAssignmentError
-from repro.mesh.topology import Mesh
-from repro.types import Node, PacketId
+from repro.dynamic.sources import ImmediateInjection
 
 
-class BufferedDynamicEngine:
+class BufferedDynamicEngine(DynamicEngineBase):
     """Continuous-traffic store-and-forward simulator.
 
     Mirrors :class:`~repro.dynamic.engine.DynamicEngine`'s interface;
     differences are the routing discipline (queues instead of
     deflections) and the injection rule (always immediate — buffers
-    absorb everything, so the *fabric* holds the congestion).
+    absorb everything, so the *fabric* holds the congestion, and the
+    source backlog is identically zero).
     """
 
-    def __init__(
-        self,
-        mesh: Mesh,
-        policy: BufferedPolicy,
-        traffic: TrafficModel,
-        *,
-        seed: RngLike = 0,
-        warmup: int = 0,
-    ) -> None:
-        self.mesh = mesh
-        self.policy = policy
-        self.traffic = traffic
-        self.rng = make_rng(seed)
-        self.warmup = warmup
+    buffered = True
 
-        self.time = 0
-        self.in_flight: List[Packet] = []
-        self._next_id: PacketId = 0
-        self._generated_at: Dict[PacketId, int] = {}
-        self._stats = DynamicStats(warmup=warmup)
+    def __init__(self, *args, **kwargs) -> None:
         self._max_queue = 0
-        self._started = False
+        super().__init__(*args, **kwargs)
+
+    def _make_source(self, traffic: TrafficModel) -> ImmediateInjection:
+        return ImmediateInjection(traffic)
+
+    def _observe_summary(self, summary: StepSummary) -> None:
+        if summary.max_node_load > self._max_queue:
+            self._max_queue = summary.max_node_load
+
+    def _sample_backlog(self, summary: StepSummary) -> int:
+        return 0
+
+    def _final_backlog(self) -> int:
+        return 0
 
     @property
     def max_queue_seen(self) -> int:
         """Largest single-node buffer occupancy observed."""
         return self._max_queue
-
-    def run(self, steps: int) -> DynamicStats:
-        """Simulate ``steps`` steps and return the statistics."""
-        self._start()
-        for _ in range(steps):
-            self.step()
-        self._stats.finalize(self.time, len(self.in_flight), 0)
-        return self._stats
-
-    def step(self) -> None:
-        self._start()
-        generated = self._generate()
-        routed, advanced, delivered = self._route()
-        self._stats.record_step(
-            StepSample(
-                step=self.time - 1,
-                generated=generated,
-                injected=generated,  # buffers always accept
-                in_flight=routed,
-                advancing=advanced,
-                delivered=delivered,
-                backlog=0,
-            )
-        )
-
-    # ------------------------------------------------------------------
-
-    def _start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        empty = RoutingProblem(mesh=self.mesh, requests=(), name="dynamic")
-        self.policy.prepare(self.mesh, empty, self.rng)
-        self.traffic.prepare(self.mesh, self.rng)
-
-    def _generate(self) -> int:
-        generated = 0
-        for node in self.mesh.nodes():
-            for destination in self.traffic.arrivals(node, self.time):
-                if destination == node:
-                    continue
-                packet = Packet(
-                    id=self._next_id, source=node, destination=destination
-                )
-                self._generated_at[packet.id] = self.time
-                self._next_id += 1
-                self.in_flight.append(packet)
-                generated += 1
-        return generated
-
-    def _route(self):
-        groups: Dict[Node, List[Packet]] = defaultdict(list)
-        for packet in self.in_flight:
-            groups[packet.location].append(packet)
-        if groups:
-            self._max_queue = max(
-                self._max_queue, max(len(g) for g in groups.values())
-            )
-
-        moves: Dict[PacketId, Node] = {}
-        for node in sorted(groups):
-            view = NodeView(self.mesh, node, self.time, groups[node])
-            assignment = self.policy.forward(view)
-            seen = set()
-            ids_here = {p.id for p in view.packets}
-            for packet_id, direction in assignment.items():
-                if packet_id not in ids_here or direction in seen:
-                    raise ArcAssignmentError(
-                        f"dynamic buffered step {self.time}: bad "
-                        f"assignment at {node}"
-                    )
-                seen.add(direction)
-                target = self.mesh.neighbor(node, direction)
-                if target is None:
-                    raise ArcAssignmentError(
-                        f"dynamic buffered step {self.time}: direction "
-                        f"{direction} leaves the mesh at {node}"
-                    )
-                moves[packet_id] = target
-
-        self.time += 1
-        routed = len(self.in_flight)
-        advanced = 0
-        delivered = 0
-        remaining: List[Packet] = []
-        for packet in self.in_flight:
-            target = moves.get(packet.id)
-            if target is not None:
-                if self.mesh.distance(
-                    target, packet.destination
-                ) < self.mesh.distance(packet.location, packet.destination):
-                    packet.advances += 1
-                    advanced += 1
-                else:
-                    packet.deflections += 1
-                packet.location = target
-                packet.hops += 1
-            if packet.location == packet.destination:
-                packet.delivered_at = self.time
-                delivered += 1
-                generated = self._generated_at.pop(packet.id)
-                self._stats.record_delivery(
-                    generated_at=generated,
-                    delivered_at=self.time,
-                    hops=packet.hops,
-                    deflections=packet.deflections,
-                    shortest=self.mesh.distance(
-                        packet.source, packet.destination
-                    ),
-                )
-            else:
-                remaining.append(packet)
-        self.in_flight = remaining
-        return routed, advanced, delivered

@@ -13,26 +13,30 @@ violated).  Generated packets that cannot be injected wait in a
 source queue; their latency clock starts at *generation*, so source
 queueing is part of measured latency, as in the deflection-network
 literature.
+
+The step loop is the shared :class:`~repro.core.kernel.StepKernel`
+configured with a
+:class:`~repro.dynamic.sources.CapacityLimitedInjection` source,
+sorted node order, and no entry-direction tracking (the historical
+behavior of this engine; ``deflection="reverse"`` policies therefore
+see no entry arc here, exactly as before).  Runs without observers use
+the kernel's lean loop; attach observers to get per-step
+:class:`~repro.core.metrics.StepRecord`/:class:`StepMetrics` callbacks
+(``on_run_start``/``on_step`` fire; there is no ``RunResult``, so
+``on_run_end`` does not).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, Tuple
 
-from repro.core.node_view import NodeView
-from repro.core.packet import Packet
-from repro.core.policy import RoutingPolicy
-from repro.core.problem import RoutingProblem
-from repro.core.rng import RngLike, make_rng
+from repro.dynamic.base import DynamicEngineBase
 from repro.dynamic.injection import TrafficModel
-from repro.dynamic.stats import DynamicStats, StepSample
-from repro.exceptions import ArcAssignmentError
-from repro.mesh.topology import Mesh
-from repro.types import Node, PacketId
+from repro.dynamic.sources import CapacityLimitedInjection
+from repro.types import Node
 
 
-class DynamicEngine:
+class DynamicEngine(DynamicEngineBase):
     """Hot-potato routing under continuous traffic.
 
     Args:
@@ -44,169 +48,21 @@ class DynamicEngine:
         seed: RNG seed shared by traffic and policy.
         warmup: steps excluded from steady-state statistics (packets
             *generated* before ``warmup`` are routed but not counted).
+        observers: per-step observers; forces the instrumented loop.
 
     Call :meth:`run` with a horizon; the returned
     :class:`~repro.dynamic.stats.DynamicStats` carries latency,
     throughput, deflection-rate, and backlog series.
     """
 
-    def __init__(
-        self,
-        mesh: Mesh,
-        policy: RoutingPolicy,
-        traffic: TrafficModel,
-        *,
-        seed: RngLike = 0,
-        warmup: int = 0,
-    ) -> None:
-        self.mesh = mesh
-        self.policy = policy
-        self.traffic = traffic
-        self.rng = make_rng(seed)
-        self.warmup = warmup
+    buffered = False
 
-        self.time = 0
-        self.in_flight: List[Packet] = []
-        #: Pending (generated, not yet injected) packets per node:
-        #: queue of (generation step, destination).
-        self.backlog: Dict[Node, Deque[Tuple[int, Node]]] = defaultdict(deque)
-        self._next_id: PacketId = 0
-        self._generated_at: Dict[PacketId, int] = {}
-        self._stats = DynamicStats(warmup=warmup)
-        self._started = False
+    def _make_source(
+        self, traffic: TrafficModel
+    ) -> CapacityLimitedInjection:
+        return CapacityLimitedInjection(traffic)
 
-    # ------------------------------------------------------------------
-    # Driving
-    # ------------------------------------------------------------------
-
-    def run(self, steps: int) -> DynamicStats:
-        """Simulate ``steps`` steps and return the collected statistics."""
-        self._start()
-        for _ in range(steps):
-            self.step()
-        self._stats.finalize(self.time, len(self.in_flight), self._backlog_size())
-        return self._stats
-
-    def step(self) -> None:
-        """One synchronous step: generate, inject, route, absorb."""
-        self._start()
-        self._generate()
-        injected = self._inject()
-        routed, advanced, delivered = self._route()
-        self._stats.record_step(
-            StepSample(
-                step=self.time - 1,
-                generated=self._last_generated,
-                injected=injected,
-                in_flight=routed,
-                advancing=advanced,
-                delivered=delivered,
-                backlog=self._backlog_size(),
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-
-    def _start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        empty = RoutingProblem(mesh=self.mesh, requests=(), name="dynamic")
-        self.policy.prepare(self.mesh, empty, self.rng)
-        self.traffic.prepare(self.mesh, self.rng)
-
-    def _generate(self) -> None:
-        self._last_generated = 0
-        for node in self.mesh.nodes():
-            for destination in self.traffic.arrivals(node, self.time):
-                if destination == node:
-                    continue  # zero-distance demand is a no-op
-                self.backlog[node].append((self.time, destination))
-                self._last_generated += 1
-
-    def _inject(self) -> int:
-        loads: Dict[Node, int] = defaultdict(int)
-        for packet in self.in_flight:
-            loads[packet.location] += 1
-        injected = 0
-        for node, queue in self.backlog.items():
-            free = self.mesh.degree(node) - loads[node]
-            while queue and free > 0:
-                generated_at, destination = queue.popleft()
-                packet = Packet(
-                    id=self._next_id, source=node, destination=destination
-                )
-                self._generated_at[packet.id] = generated_at
-                self._next_id += 1
-                self.in_flight.append(packet)
-                loads[node] += 1
-                free -= 1
-                injected += 1
-        return injected
-
-    def _route(self) -> Tuple[int, int, int]:
-        groups: Dict[Node, List[Packet]] = defaultdict(list)
-        for packet in self.in_flight:
-            groups[packet.location].append(packet)
-
-        moves: Dict[PacketId, Tuple[Node, bool, bool]] = {}
-        for node in sorted(groups):
-            view = NodeView(self.mesh, node, self.time, groups[node])
-            assignment = self.policy.assign(view)
-            seen = set()
-            for packet in view.packets:
-                direction = assignment.get(packet.id)
-                if direction is None or direction in seen:
-                    raise ArcAssignmentError(
-                        f"dynamic step {self.time}: bad assignment at {node}"
-                    )
-                seen.add(direction)
-                next_node = self.mesh.neighbor(node, direction)
-                if next_node is None:
-                    raise ArcAssignmentError(
-                        f"dynamic step {self.time}: direction {direction} "
-                        f"leaves the mesh at {node}"
-                    )
-                before = self.mesh.distance(node, packet.destination)
-                after = self.mesh.distance(next_node, packet.destination)
-                advanced = after < before
-                moves[packet.id] = (next_node, advanced, view.is_restricted(packet))
-
-        self.time += 1
-        routed = len(self.in_flight)
-        advanced_count = 0
-        delivered_count = 0
-        remaining: List[Packet] = []
-        for packet in self.in_flight:
-            next_node, advanced, was_restricted = moves[packet.id]
-            packet.restricted_last_step = was_restricted
-            packet.advanced_last_step = advanced
-            packet.location = next_node
-            packet.hops += 1
-            if advanced:
-                packet.advances += 1
-                advanced_count += 1
-            else:
-                packet.deflections += 1
-            if packet.location == packet.destination:
-                packet.delivered_at = self.time
-                delivered_count += 1
-                generated = self._generated_at.pop(packet.id)
-                self._stats.record_delivery(
-                    generated_at=generated,
-                    delivered_at=self.time,
-                    hops=packet.hops,
-                    deflections=packet.deflections,
-                    shortest=self.mesh.distance(
-                        packet.source, packet.destination
-                    ),
-                )
-            else:
-                remaining.append(packet)
-        self.in_flight = remaining
-        return routed, advanced_count, delivered_count
-
-    def _backlog_size(self) -> int:
-        return sum(len(queue) for queue in self.backlog.values())
+    @property
+    def backlog(self) -> Dict[Node, Deque[Tuple[int, Node]]]:
+        """Pending (generated, not yet injected) demand per node."""
+        return self._source.backlog

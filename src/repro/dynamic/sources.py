@@ -1,0 +1,116 @@
+"""Injection sources: how demand enters a kernel run.
+
+The kernel's *inject* phase is an
+:class:`~repro.core.kernel.InjectionSource`; the two disciplines the
+paper's comparison needs are here:
+
+* :class:`CapacityLimitedInjection` — the hot-potato rule.  A node may
+  inject only as many packets as it has free outgoing arcs after the
+  packets already present (otherwise "everyone leaves next step" would
+  be violated); the rest wait in a per-node source queue whose latency
+  clock started at *generation*.
+* :class:`ImmediateInjection` — the store-and-forward rule.  Buffers
+  absorb everything, so generated packets enter the fabric at once and
+  waiting happens inside the network.
+
+Both own the demand process, the packet-id counter and the
+generation-time table, so engines can delegate those wholesale.
+
+Determinism contract: generation visits ``mesh.nodes()`` in mesh
+order, and capacity-limited injection drains ``backlog.items()`` in
+*insertion* order (nodes enter the dict on their first generation and
+keep that position), which fixes packet ids and hence every downstream
+RNG-sensitive decision.  Do not "clean up" either iteration order.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.kernel import InjectionSource
+from repro.core.packet import Packet
+from repro.dynamic.injection import TrafficModel
+from repro.mesh.topology import Mesh
+from repro.types import Node, PacketId
+
+
+class CapacityLimitedInjection(InjectionSource):
+    """Inject up to each node's free out-degree; queue the rest."""
+
+    def __init__(self, traffic: TrafficModel) -> None:
+        self.traffic = traffic
+        #: Pending (generated, not yet injected) packets per node:
+        #: queue of (generation step, destination).
+        self.backlog: Dict[Node, Deque[Tuple[int, Node]]] = defaultdict(deque)
+        self.next_id: PacketId = 0
+        self.generated_at: Dict[PacketId, int] = {}
+        self._mesh: Optional[Mesh] = None
+
+    def prepare(self, mesh: Mesh, rng: random.Random) -> None:
+        self._mesh = mesh
+        self.traffic.prepare(mesh, rng)
+
+    def admit(self, time: int, in_flight: List[Packet]) -> Tuple[int, int]:
+        mesh = self._mesh
+        assert mesh is not None, "prepare() must run before admit()"
+        generated = 0
+        for node in mesh.nodes():
+            for destination in self.traffic.arrivals(node, time):
+                if destination == node:
+                    continue  # zero-distance demand is a no-op
+                self.backlog[node].append((time, destination))
+                generated += 1
+        loads: Dict[Node, int] = defaultdict(int)
+        for packet in in_flight:
+            loads[packet.location] += 1
+        injected = 0
+        for node, queue in self.backlog.items():
+            free = mesh.degree(node) - loads[node]
+            while queue and free > 0:
+                generated_at, destination = queue.popleft()
+                packet = Packet(
+                    id=self.next_id, source=node, destination=destination
+                )
+                self.generated_at[packet.id] = generated_at
+                self.next_id += 1
+                in_flight.append(packet)
+                loads[node] += 1
+                free -= 1
+                injected += 1
+        return generated, injected
+
+    def backlog_size(self) -> int:
+        return sum(len(queue) for queue in self.backlog.values())
+
+
+class ImmediateInjection(InjectionSource):
+    """Inject every generated packet at once (buffered fabric)."""
+
+    def __init__(self, traffic: TrafficModel) -> None:
+        self.traffic = traffic
+        self.next_id: PacketId = 0
+        self.generated_at: Dict[PacketId, int] = {}
+        self._mesh: Optional[Mesh] = None
+
+    def prepare(self, mesh: Mesh, rng: random.Random) -> None:
+        self._mesh = mesh
+        self.traffic.prepare(mesh, rng)
+
+    def admit(self, time: int, in_flight: List[Packet]) -> Tuple[int, int]:
+        mesh = self._mesh
+        assert mesh is not None, "prepare() must run before admit()"
+        generated = 0
+        for node in mesh.nodes():
+            for destination in self.traffic.arrivals(node, time):
+                if destination == node:
+                    continue
+                packet = Packet(
+                    id=self.next_id, source=node, destination=destination
+                )
+                self.generated_at[packet.id] = time
+                self.next_id += 1
+                in_flight.append(packet)
+                generated += 1
+        return generated, generated

@@ -245,10 +245,10 @@ class SetIterationRule(Rule):
 
     Set iteration order depends on element hashes — salted for strings
     (``PYTHONHASHSEED``) and an implementation detail for everything
-    else.  Inside ``core``/``algorithms`` step loops, an iteration
-    order leak becomes a different node visit order, hence a different
-    policy RNG stream, hence a different run.  Sort, or dedupe with
-    ``dict.fromkeys`` (insertion-ordered) instead.
+    else.  Inside ``core``/``algorithms``/``dynamic`` step loops, an
+    iteration order leak becomes a different node visit order, hence a
+    different policy RNG stream, hence a different run.  Sort, or
+    dedupe with ``dict.fromkeys`` (insertion-ordered) instead.
     """
 
     id = "DET102"
@@ -258,7 +258,7 @@ class SetIterationRule(Rule):
         "engine code"
     )
     severity = Severity.ERROR
-    domains = frozenset({"core", "algorithms"})
+    domains = frozenset({"core", "algorithms", "dynamic"})
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         set_names = self._set_valued_names(context.tree)
@@ -299,18 +299,19 @@ class SetIterationRule(Rule):
 class EnvBranchingRule(Rule):
     """DET103 — engine behavior must not depend on the environment.
 
-    ``os.environ``/``os.getenv`` reads inside ``core``/``algorithms``
-    make two runs with identical (problem, policy, seed) differ across
-    shells and CI runners — precisely the divergence the differential
-    tests exist to rule out.  Environment knobs belong at the harness
-    boundary (CLI flags, benchmark scripts), where they are recorded.
+    ``os.environ``/``os.getenv`` reads inside ``core``/``algorithms``/
+    ``dynamic`` make two runs with identical (problem, policy, seed)
+    differ across shells and CI runners — precisely the divergence the
+    differential tests exist to rule out.  Environment knobs belong at
+    the harness boundary (CLI flags, benchmark scripts), where they
+    are recorded.
     """
 
     id = "DET103"
     name = "env-branching"
     description = "os.environ/os.getenv dependence inside engine code"
     severity = Severity.ERROR
-    domains = frozenset({"core", "algorithms"})
+    domains = frozenset({"core", "algorithms", "dynamic"})
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         resolve = context.imports.resolve

@@ -1,6 +1,12 @@
 """Tests for the experiment harness."""
 
-from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
+import pytest
+
+from repro.algorithms import (
+    DimensionOrderPolicy,
+    PlainGreedyPolicy,
+    RestrictedPriorityPolicy,
+)
 from repro.analysis.runner import (
     compare_policies,
     run_case,
@@ -42,6 +48,26 @@ class TestRunCase:
             strict_validation=False,
         )
         assert points[0].result.completed
+
+    def test_buffered_engine(self, mesh8):
+        points = run_case(
+            lambda seed: random_many_to_many(mesh8, k=20, seed=seed),
+            DimensionOrderPolicy,
+            seeds=[0, 1],
+            engine="buffered",
+        )
+        assert len(points) == 2
+        assert all(p.result.completed for p in points)
+        assert points[0].params["policy"] == "dimension-order"
+
+    def test_unknown_engine_rejected(self, mesh8):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_case(
+                lambda seed: random_many_to_many(mesh8, k=5, seed=seed),
+                RestrictedPriorityPolicy,
+                seeds=[0],
+                engine="teleport",
+            )
 
 
 class TestSweep:

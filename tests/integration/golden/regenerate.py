@@ -1,0 +1,45 @@
+"""Regenerate ``engines.json`` from the current engines.
+
+The committed fixture was captured from the legacy (pre-kernel)
+engines; regenerating overwrites that baseline, so only do it when a
+behavior change is intended — and say so in CHANGES.md.
+
+    PYTHONPATH=src python tests/integration/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "..", ".."
+    ),
+)
+
+from tests.integration.golden.scenarios import (  # noqa: E402
+    FIXTURE_PATH,
+    capture_all,
+)
+
+
+def main() -> int:
+    snapshot = capture_all()
+    with open(FIXTURE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    total = sum(
+        len(record.get("samples", [])) + len(record.get("outcomes", []))
+        for record in snapshot.values()
+    )
+    print(
+        f"wrote {len(snapshot)} scenarios ({total} rows) to {FIXTURE_PATH}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

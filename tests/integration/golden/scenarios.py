@@ -1,0 +1,178 @@
+"""Golden-fixture scenarios shared by the regeneration script and tests.
+
+The fixture file ``engines.json`` was captured from the *legacy*
+per-engine step loops (the hand-rolled ``BufferedEngine._start``/
+``_route``/``_move`` clones that predate ``repro.core.kernel``)
+immediately before they were deleted.  The tests in
+``tests/integration/test_golden_engines.py`` re-run every scenario on
+the current code and require identical results, so the kernel refactor
+is pinned to the exact observable behavior of the engines it replaced
+— including policy RNG streams (the ``randomized-greedy`` scenarios)
+and injection ordering.
+
+Regenerate (only when a behavior change is intended and documented)::
+
+    PYTHONPATH=src python tests/integration/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.algorithms import (
+    DimensionOrderPolicy,
+    PlainGreedyPolicy,
+    RandomizedGreedyPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.core.buffered_engine import BufferedEngine
+from repro.dynamic import (
+    BernoulliTraffic,
+    BufferedDynamicEngine,
+    DynamicEngine,
+    HotSpotTraffic,
+    ScriptedTraffic,
+)
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+from repro.workloads import random_many_to_many, transpose
+
+FIXTURE_PATH = os.path.join(os.path.dirname(__file__), "engines.json")
+
+
+def _buffered_batch(mesh: Any, problem: Any, seed: int) -> Dict[str, Any]:
+    """Run a batch through the store-and-forward engine; full snapshot."""
+    engine = BufferedEngine(problem, DimensionOrderPolicy(), seed=seed)
+    result = engine.run()
+    return {
+        "completed": result.completed,
+        "total_steps": result.total_steps,
+        "delivered": result.delivered,
+        "max_buffer_seen": engine.max_buffer_seen,
+        "outcomes": [
+            [o.packet_id, o.delivered_at, o.hops, o.advances, o.deflections]
+            for o in result.outcomes
+        ],
+    }
+
+
+def _dynamic_snapshot(engine: Any, stats: Any) -> Dict[str, Any]:
+    """Everything a dynamic run observably produced, as plain JSON."""
+    return {
+        "delivered_count": stats.delivered_count,
+        "horizon": stats.horizon,
+        "final_in_flight": stats.final_in_flight,
+        "final_backlog": stats.final_backlog,
+        "next_id": engine._next_id,
+        "samples": [
+            [s.step, s.generated, s.injected, s.in_flight, s.advancing,
+             s.delivered, s.backlog]
+            for s in stats.samples
+        ],
+        "deliveries": [
+            [d.generated_at, d.delivered_at, d.hops, d.deflections, d.shortest]
+            for d in stats.deliveries
+        ],
+    }
+
+
+def scenario_buffered_random() -> Dict[str, Any]:
+    mesh = Mesh(2, 8)
+    return _buffered_batch(mesh, random_many_to_many(mesh, k=60, seed=13), 0)
+
+
+def scenario_buffered_transpose() -> Dict[str, Any]:
+    mesh = Mesh(2, 6)
+    return _buffered_batch(mesh, transpose(mesh), 1)
+
+
+def scenario_buffered_odd_torus() -> Dict[str, Any]:
+    mesh = Torus(2, 5)
+    return _buffered_batch(mesh, random_many_to_many(mesh, k=20, seed=3), 2)
+
+
+def scenario_dynamic_restricted() -> Dict[str, Any]:
+    engine = DynamicEngine(
+        Mesh(2, 8),
+        RestrictedPriorityPolicy(),
+        BernoulliTraffic(0.2),
+        seed=7,
+        warmup=20,
+    )
+    return _dynamic_snapshot(engine, engine.run(150))
+
+
+def scenario_dynamic_randomized() -> Dict[str, Any]:
+    # RNG-stream sensitive: the policy consumes its private stream once
+    # per node visit, so this pins the node visit order too.
+    engine = DynamicEngine(
+        Mesh(2, 6),
+        RandomizedGreedyPolicy(),
+        BernoulliTraffic(0.3),
+        seed=11,
+        warmup=10,
+    )
+    return _dynamic_snapshot(engine, engine.run(120))
+
+
+def scenario_dynamic_hotspot() -> Dict[str, Any]:
+    engine = DynamicEngine(
+        Mesh(2, 6),
+        PlainGreedyPolicy(),
+        HotSpotTraffic(0.15, hot_fraction=0.3),
+        seed=5,
+    )
+    return _dynamic_snapshot(engine, engine.run(100))
+
+
+def scenario_buffered_dynamic_bernoulli() -> Dict[str, Any]:
+    engine = BufferedDynamicEngine(
+        Mesh(2, 8),
+        DimensionOrderPolicy(),
+        BernoulliTraffic(0.3),
+        seed=9,
+        warmup=20,
+    )
+    snapshot = _dynamic_snapshot(engine, engine.run(150))
+    snapshot["max_queue_seen"] = engine.max_queue_seen
+    return snapshot
+
+
+def scenario_buffered_dynamic_scripted() -> Dict[str, Any]:
+    traffic = ScriptedTraffic(
+        [
+            ((1, 1), 0, (5, 5)),
+            ((1, 1), 0, (3, 2)),
+            ((5, 5), 1, (1, 1)),
+            ((2, 2), 4, (2, 5)),
+        ]
+    )
+    engine = BufferedDynamicEngine(
+        Mesh(2, 6), DimensionOrderPolicy(), traffic, seed=0
+    )
+    snapshot = _dynamic_snapshot(engine, engine.run(30))
+    snapshot["max_queue_seen"] = engine.max_queue_seen
+    return snapshot
+
+
+SCENARIOS: List[Tuple[str, Callable[[], Dict[str, Any]]]] = [
+    ("buffered_random", scenario_buffered_random),
+    ("buffered_transpose", scenario_buffered_transpose),
+    ("buffered_odd_torus", scenario_buffered_odd_torus),
+    ("dynamic_restricted", scenario_dynamic_restricted),
+    ("dynamic_randomized", scenario_dynamic_randomized),
+    ("dynamic_hotspot", scenario_dynamic_hotspot),
+    ("buffered_dynamic_bernoulli", scenario_buffered_dynamic_bernoulli),
+    ("buffered_dynamic_scripted", scenario_buffered_dynamic_scripted),
+]
+
+
+def capture_all() -> Dict[str, Any]:
+    return {name: build() for name, build in SCENARIOS}
+
+
+def load_fixture() -> Dict[str, Any]:
+    with open(FIXTURE_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,21 @@
+"""Dirty dynamic-layer loop: DET102/DET103 vectors (never run)."""
+
+import os
+
+
+def drain_sources(active, order):
+    # DET102 fire: for-loop over a set() call in the dynamic domain.
+    for node in set(active):
+        order.append(node)
+    # DET102 suppressed twin.
+    for node in set(active):  # repro: noqa[DET102]
+        order.append(node)
+    return order
+
+
+def injection_budget(default):
+    # DET103 fire: os.getenv call in the dynamic domain.
+    extra = os.getenv("INJECT_BUDGET", "0")
+    # DET103 suppressed twin.
+    debug = os.environ.get("DEBUG")  # repro: noqa[DET103]
+    return default + int(extra) + (1 if debug else 0)

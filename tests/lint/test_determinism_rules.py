@@ -94,6 +94,15 @@ class TestSetIteration:
         )
         assert findings == []
 
+    def test_dynamic_domain_is_policed(self):
+        findings = [
+            f
+            for f in findings_for(fixture("dynamic", "traffic_loop.py"))
+            if f.rule_id == "DET102"
+        ]
+        # The set() loop fires; its noqa'd twin is absent.
+        assert len(findings) == 1
+
     def test_sorted_set_is_clean(self):
         _, findings = lint_source(
             "for x in sorted(set([1])):\n    pass\n",
@@ -119,6 +128,15 @@ class TestEnvBranching:
             fixture("analysis", "harness.py"),
         )
         assert findings == []
+
+    def test_dynamic_domain_is_policed(self):
+        findings = [
+            f
+            for f in findings_for(fixture("dynamic", "traffic_loop.py"))
+            if f.rule_id == "DET103"
+        ]
+        assert len(findings) == 1
+        assert "os.getenv" in findings[0].message
 
 
 class TestFloatEquality:

@@ -92,6 +92,33 @@ class TestRoute:
         with pytest.raises(KeyError):
             main(["route", "--side", "8", "--policy", "nope"])
 
+    def test_buffered_engine(self, capsys):
+        code = main(
+            ["route", "--side", "8", "--k", "20", "--engine", "buffered"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store-and-forward" in out
+        assert "max buffer occupancy" in out
+
+    def test_buffered_engine_rejects_hot_potato_policy(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "route",
+                    "--side",
+                    "8",
+                    "--engine",
+                    "buffered",
+                    "--policy",
+                    "restricted-priority",
+                ]
+            )
+
+    def test_buffered_engine_rejects_verify(self):
+        with pytest.raises(SystemExit):
+            main(["route", "--side", "8", "--engine", "buffered", "--verify"])
+
 
 class TestSweep:
     def test_table_printed(self, capsys):
@@ -131,6 +158,25 @@ class TestDynamic:
         assert code == 0
         out = capsys.readouterr().out
         assert "lat mean" in out
+
+    def test_buffered_load_sweep(self, capsys):
+        code = main(
+            [
+                "dynamic",
+                "--side",
+                "6",
+                "--rates",
+                "0.1",
+                "--horizon",
+                "80",
+                "--engine",
+                "buffered",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store-and-forward" in out
+        assert "queue" in out
 
 
 class TestLivelock:
