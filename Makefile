@@ -4,7 +4,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test smoke bench perf-trajectory lint typecheck
+.PHONY: test smoke bench perf-trajectory profile lint typecheck
 
 # Tier-1 verification: the full suite, exactly as CI runs it.
 test:
@@ -23,6 +23,11 @@ bench:
 # Append packet-steps/sec for the current tree to BENCH_engine.json.
 perf-trajectory:
 	python benchmarks/bench_report.py
+
+# Phase-time table for the benchmark configuration (lean kernel loop,
+# wall-clock timestamps from repro.obs.clock around each phase).
+profile:
+	PYTHONPATH=src python -m repro profile --side 16 --k 256
 
 # Determinism linter (repro.lint) plus ruff, when available.  The
 # custom linter is the gate — it has no third-party dependencies and

@@ -21,7 +21,6 @@ import argparse
 import json
 import os
 import platform
-import subprocess
 import sys
 import time
 from functools import partial
@@ -44,6 +43,8 @@ from repro.dynamic import (  # noqa: E402
     DynamicEngine,
 )
 from repro.mesh.topology import Mesh  # noqa: E402
+from repro.obs.manifest import git_sha  # noqa: E402
+from repro.obs.profiler import PhaseProfiler  # noqa: E402
 from repro.workloads import random_many_to_many  # noqa: E402
 
 TRAJECTORY = os.path.join(
@@ -142,6 +143,32 @@ def _best_rate(run_once, repeats: int) -> float:
     return best
 
 
+def _lean_observability() -> tuple:
+    """One profiled fast-path run; returns (phase shares, counters).
+
+    The profiled loop is the lean loop with timestamps, so the shares
+    attribute the lean path's time across the kernel phases, and the
+    counters are the run's :class:`RunTelemetry` totals.
+    """
+    mesh = Mesh(2, SIDE)
+    problem = random_many_to_many(mesh, k=K, seed=SEED)
+    policy = RestrictedPriorityPolicy()
+    profiler = PhaseProfiler()
+    engine = HotPotatoEngine(
+        problem,
+        policy,
+        seed=SEED,
+        validators=validators_for(policy, strict=False),
+        profiler=profiler,
+    )
+    result = engine.run()
+    assert result.completed
+    shares = {
+        phase: round(share, 4) for phase, share in profiler.shares().items()
+    }
+    return shares, engine.telemetry.to_dict()
+
+
 def _sweep_problem(mesh, k, seed):
     return random_many_to_many(mesh, k=k, seed=seed)
 
@@ -165,31 +192,6 @@ def _sweep_seconds(workers: int, repeats: int) -> float:
     return best
 
 
-def _git_sha() -> str:
-    """Short commit hash of the tree being measured, ``"unknown"`` when
-    the checkout has no git (tarball installs, stripped CI caches)."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=os.path.dirname(os.path.abspath(__file__)),
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return "unknown"
-    if out.returncode != 0:
-        return "unknown"
-    sha = out.stdout.strip()
-    if subprocess.run(
-        ["git", "diff", "--quiet", "HEAD"],
-        cwd=os.path.dirname(os.path.abspath(__file__)),
-        capture_output=True,
-    ).returncode:
-        sha += "-dirty"
-    return sha
-
-
 def build_record(workers: int, repeats: int) -> dict:
     strict = _throughput(True, None, repeats)
     instrumented = _throughput(False, False, repeats)
@@ -197,10 +199,11 @@ def build_record(workers: int, repeats: int) -> dict:
     buffered = _best_rate(_run_buffered_once, repeats)
     dynamic = _best_rate(partial(_run_dynamic_once, False), repeats)
     buffered_dynamic = _best_rate(partial(_run_dynamic_once, True), repeats)
+    phase_shares, lean_counters = _lean_observability()
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
-        "git_sha": _git_sha(),
+        "git_sha": git_sha(),
         "machine": platform.machine(),
         "cpus": os.cpu_count(),
         "workload": f"random k={K} on 2-d mesh n={SIDE}, seed {SEED}",
@@ -218,12 +221,52 @@ def build_record(workers: int, repeats: int) -> dict:
             f"{DYNAMIC_STEPS} steps, warmup {DYNAMIC_WARMUP}, seed {SEED}"
         ),
         "fast_over_instrumented": round(fast / instrumented, 2),
+        #: Lean-path time attribution, from one profiled fast-path run
+        #: (fractions of total kernel time, keyed by PHASES order).
+        "phase_time_shares": phase_shares,
+        #: RunTelemetry totals of the same fast-path configuration.
+        "lean_counters": lean_counters,
         "sweep_8_seeds_seconds": {
             "serial": round(_sweep_seconds(1, repeats), 3),
             f"workers_{workers}": round(_sweep_seconds(workers, repeats), 3),
         },
     }
     return record
+
+
+def check_lean_regression(
+    record: dict, path: str = TRAJECTORY, tolerance: float = 0.05
+) -> str:
+    """Compare the new record's lean throughput to the last entry.
+
+    Returns an empty string when the fast-path packet-steps/s figure is
+    within ``tolerance`` of (or better than) the most recent record in
+    the trajectory file, and a human-readable warning otherwise.  The
+    guard is advisory by default because absolute throughput varies
+    across machines; same-host CI promotes it to a failure with
+    ``--fail-on-regression``.
+    """
+    if not os.path.exists(path):
+        return ""
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read().strip()
+    if not content:
+        return ""
+    history = json.loads(content)
+    if not history:
+        return ""
+    previous = history[-1]["packet_steps_per_sec"].get("fast_path")
+    current = record["packet_steps_per_sec"]["fast_path"]
+    if not previous:
+        return ""
+    if current >= previous * (1.0 - tolerance):
+        return ""
+    return (
+        f"lean throughput regression: fast_path {current:.1f} "
+        f"packet-steps/s is {1.0 - current / previous:.1%} below the "
+        f"previous entry ({previous:.1f}, {history[-1]['git_sha']}); "
+        f"tolerance is {tolerance:.0%}"
+    )
 
 
 def append_record(record: dict, path: str = TRAJECTORY) -> None:
@@ -253,11 +296,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", default=TRAJECTORY, help="trajectory file to append to"
     )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit nonzero when lean throughput drops more than 5%% "
+        "below the previous trajectory entry (advisory warning "
+        "otherwise)",
+    )
     args = parser.parse_args(argv)
     record = build_record(args.workers, args.repeats)
+    warning = check_lean_regression(record, args.output)
     append_record(record, args.output)
     print(json.dumps(record, indent=2))
     print(f"appended to {args.output}")
+    if warning:
+        print(f"WARNING: {warning}", file=sys.stderr)
+        if args.fail_on_regression:
+            return 1
     return 0
 
 

@@ -25,6 +25,7 @@ from repro.analysis.runner import (
     ExperimentPoint,
     ParallelExecutor,
     SweepResult,
+    aggregate_telemetry,
     compare_policies,
     run_case,
     sweep,
@@ -59,6 +60,7 @@ __all__ = [
     "SweepResult",
     "TwoFactorFit",
     "WorstCaseResult",
+    "aggregate_telemetry",
     "build_report",
     "compare_policies",
     "confidence_interval",

@@ -27,6 +27,7 @@ from repro.core.engine import HotPotatoEngine
 from repro.core.metrics import RunResult
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import RoutingProblem
+from repro.obs.telemetry import RunTelemetry, aggregate
 from repro.analysis.stats import Summary, summarize
 
 ProblemFactory = Callable[[int], RoutingProblem]
@@ -67,6 +68,11 @@ class SweepResult:
 
     def all_completed(self) -> bool:
         return all(point.result.completed for point in self.points)
+
+    def telemetry(self) -> Optional[RunTelemetry]:
+        """Aggregate lean-path counters over every point of the sweep
+        (totals add, peaks max; see :func:`aggregate_telemetry`)."""
+        return aggregate_telemetry(self.points)
 
 
 @dataclass(frozen=True)
@@ -125,12 +131,26 @@ def _execute_spec(spec: CaseSpec) -> ExperimentPoint:
     return ExperimentPoint(params=point_params, result=result)
 
 
+def aggregate_telemetry(
+    points: Iterable[ExperimentPoint],
+) -> Optional[RunTelemetry]:
+    """Merge the lean-path counters of many runs (totals add, peaks
+    take the max).  Returns ``None`` when no point carries telemetry
+    (e.g. results deserialized from pre-telemetry payloads)."""
+    return aggregate(point.result.telemetry for point in points)
+
+
 class ParallelExecutor:
     """Fans :class:`CaseSpec` batches across worker processes.
 
     Results always come back in spec order, so a parallel run is
     point-for-point identical to the serial one (each spec is an
     independent seeded simulation; nothing leaks between workers).
+
+    Each run's :class:`~repro.obs.telemetry.RunTelemetry` travels
+    inside its pickled :class:`RunResult`, so after :meth:`run` the
+    executor's :attr:`telemetry` holds the cross-worker aggregate of
+    the whole batch.
 
     The executor degrades gracefully to in-process execution when
 
@@ -142,10 +162,16 @@ class ParallelExecutor:
 
     def __init__(self, workers: int = 1) -> None:
         self.workers = max(1, int(workers))
+        #: Aggregate counters of the most recent :meth:`run` batch.
+        self.telemetry: Optional[RunTelemetry] = None
 
     def run(self, specs: Sequence[CaseSpec]) -> List[ExperimentPoint]:
         """Execute all specs, returning points in spec order."""
-        specs = list(specs)
+        points = self._run(list(specs))
+        self.telemetry = aggregate_telemetry(points)
+        return points
+
+    def _run(self, specs: List[CaseSpec]) -> List[ExperimentPoint]:
         if self.workers == 1 or len(specs) < 2 or not self._picklable(specs):
             return [_execute_spec(spec) for spec in specs]
         try:

@@ -7,9 +7,15 @@ Commands:
   trace as JSON);
 * ``sweep``    — sweep k for one policy, print T vs the Theorem 20 bound;
 * ``dynamic``  — continuous-traffic load sweep (latency/backlog table);
+* ``profile``  — run one scenario on the profiled kernel loop and print
+  the per-phase wall-time table;
 * ``livelock`` — run the 8-packet livelock demonstration;
 * ``policies`` — list the registered routing policies;
 * ``lint``     — run the determinism linter over the source tree.
+
+``route``/``sweep``/``dynamic``/``profile`` accept ``--telemetry PATH``
+to append one structured :class:`~repro.obs.manifest.RunManifest` JSON
+line per run (configuration, seed, git sha, lean-path counters).
 """
 
 from __future__ import annotations
@@ -95,6 +101,15 @@ WORKLOADS = (
 BUFFERED_POLICIES = ("dimension-order",)
 
 
+def _telemetry_observers(args: argparse.Namespace, command: str) -> list:
+    """A :class:`JsonlRunLogger` list for ``--telemetry PATH`` (or [])."""
+    if not getattr(args, "telemetry", None):
+        return []
+    from repro.obs.manifest import JsonlRunLogger
+
+    return [JsonlRunLogger(args.telemetry, command=command)]
+
+
 def _resolve_policy(args: argparse.Namespace):
     """Resolve ``--policy`` against ``--engine``; returns (name, policy).
 
@@ -128,16 +143,27 @@ def cmd_route(args: argparse.Namespace) -> int:
         + (" (store-and-forward)" if args.engine == "buffered" else "")
     )
 
+    if args.telemetry and (args.verify or args.save_trace):
+        raise SystemExit(
+            "--telemetry logs plain engine runs; it does not combine "
+            "with --verify/--save-trace"
+        )
+    observers = _telemetry_observers(args, "route")
+
     if args.engine == "buffered":
         if args.verify or args.save_trace:
             raise SystemExit(
                 "--verify/--save-trace analyze hot-potato runs; they do "
                 "not apply to --engine buffered"
             )
-        buffered_engine = BufferedEngine(problem, policy, seed=args.seed)
+        buffered_engine = BufferedEngine(
+            problem, policy, seed=args.seed, observers=observers
+        )
         result = buffered_engine.run()
         print(result.summary())
         print(f"max buffer occupancy: {buffered_engine.max_buffer_seen}")
+        if args.telemetry:
+            print(f"manifest appended to {args.telemetry}")
         return 0 if result.completed else 1
 
     if args.verify:
@@ -153,8 +179,12 @@ def cmd_route(args: argparse.Namespace) -> int:
         print(f"trace written to {args.save_trace}")
         result = trace.result
     else:
-        engine = HotPotatoEngine(problem, policy, seed=args.seed)
+        engine = HotPotatoEngine(
+            problem, policy, seed=args.seed, observers=observers
+        )
         result = engine.run()
+        if args.telemetry:
+            print(f"manifest appended to {args.telemetry}")
 
     print(result.summary())
     if mesh.dimension == 2 and mesh.kind == "mesh":
@@ -174,8 +204,15 @@ def _random_problem(mesh: Mesh, k: int, seed: int) -> RoutingProblem:
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.runner import run_case
 
+    if args.telemetry:
+        from repro.obs.manifest import (
+            append_manifest,
+            manifest_from_run_result,
+        )
+
     mesh = _build_mesh(args)
     rows = []
+    manifests = 0
     k = max(1, args.k_min)
     while k <= args.k_max:
         points = run_case(
@@ -184,6 +221,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             seeds=range(args.seeds),
             workers=args.workers,
         )
+        if args.telemetry:
+            # One manifest per point: telemetry rides inside each
+            # RunResult, back across worker-process boundaries.
+            for point in points:
+                append_manifest(
+                    manifest_from_run_result(
+                        point.result,
+                        command="sweep",
+                        workload=f"random k={k} seeds={args.seeds}",
+                    ),
+                    args.telemetry,
+                )
+                manifests += 1
         times = []
         for point in points:
             if not point.result.completed:
@@ -204,6 +254,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"d={mesh.dimension} ({args.seeds} seeds)",
         )
     )
+    if args.telemetry:
+        print(f"{manifests} manifests appended to {args.telemetry}")
     return 0
 
 
@@ -213,7 +265,7 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
     buffered = args.engine == "buffered"
     rows = []
     for rate in args.rates:
-        # Fresh policy/traffic per rate: engines share nothing.
+        # Fresh policy/traffic/observers per rate: engines share nothing.
         _, policy = _resolve_policy(args)
         engine = (
             BufferedDynamicEngine if buffered else DynamicEngine
@@ -223,6 +275,7 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
             BernoulliTraffic(rate),
             seed=args.seed,
             warmup=args.horizon // 4,
+            observers=_telemetry_observers(args, "dynamic"),
         )
         stats = engine.run(args.horizon)
         rows.append(
@@ -247,6 +300,86 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
             + (", store-and-forward)" if buffered else ")"),
         )
     )
+    if args.telemetry:
+        print(
+            f"{len(args.rates)} manifests appended to {args.telemetry}"
+        )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one scenario on the profiled kernel loop; print the phase
+    table, the lean-path counters, and (optionally) a manifest."""
+    from repro.core.validation import validators_for
+    from repro.obs import PhaseProfiler
+    from repro.obs.manifest import JsonlRunLogger
+
+    mesh = _build_mesh(args)
+    profiler = PhaseProfiler()
+    observers = []
+    if args.telemetry:
+        observers.append(
+            JsonlRunLogger(
+                args.telemetry, command="profile", profiler=profiler
+            )
+        )
+
+    if args.engine in ("dynamic", "buffered-dynamic"):
+        buffered = args.engine == "buffered-dynamic"
+        if buffered:
+            policy_name: str = "dimension-order"
+            policy = DimensionOrderPolicy()
+        else:
+            policy_name = args.policy or "restricted-priority"
+            policy = make_policy(policy_name)
+        dynamic_engine = (
+            BufferedDynamicEngine if buffered else DynamicEngine
+        )(
+            mesh,
+            policy,
+            BernoulliTraffic(args.rate),
+            seed=args.seed,
+            warmup=args.horizon // 4,
+            observers=observers,
+            profiler=profiler,
+        )
+        stats = dynamic_engine.run(args.horizon)
+        print(
+            f"{args.engine} {policy_name!r} on {mesh.kind} n={mesh.side} "
+            f"rate={args.rate}: {stats.summary()}"
+        )
+        telemetry = dynamic_engine.telemetry
+    else:
+        problem = _build_workload(mesh, args)
+        policy_name, policy = _resolve_policy(args)
+        if args.engine == "buffered":
+            engine = BufferedEngine(
+                problem,
+                policy,
+                seed=args.seed,
+                observers=observers,
+                profiler=profiler,
+            )
+        else:
+            # Capacity-only validators keep the run fast-path eligible —
+            # the profiled loop times the lean pipeline.
+            engine = HotPotatoEngine(
+                problem,
+                policy,
+                seed=args.seed,
+                validators=validators_for(policy, strict=False),
+                observers=observers,
+                profiler=profiler,
+            )
+        result = engine.run()
+        print(result.summary())
+        telemetry = engine.telemetry
+
+    print()
+    print(profiler.format_table())
+    print(telemetry.summary())
+    if args.telemetry:
+        print(f"manifest appended to {args.telemetry}")
     return 0
 
 
@@ -350,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--save-trace", metavar="PATH", help="archive the full trace as JSON"
     )
+    route.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="append a structured run manifest (JSONL) for this run",
+    )
     route.set_defaults(func=cmd_route)
 
     sweep = commands.add_parser("sweep", help="sweep k, print T vs bound")
@@ -364,6 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="processes for seed replicates (1 = serial; results are "
         "identical either way)",
+    )
+    sweep.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="append one run manifest (JSONL) per sweep point",
     )
     sweep.set_defaults(func=cmd_sweep)
 
@@ -391,7 +534,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="offered loads to sweep",
     )
     dynamic.add_argument("--horizon", type=int, default=600)
+    dynamic.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="append one run manifest (JSONL) per offered load",
+    )
     dynamic.set_defaults(func=cmd_dynamic)
+
+    profile = commands.add_parser(
+        "profile",
+        help="time the kernel pipeline phases for one scenario",
+    )
+    _add_mesh_arguments(profile)
+    profile.add_argument("--workload", choices=WORKLOADS, default="random")
+    profile.add_argument("--k", type=int, default=None, help="batch size")
+    profile.add_argument(
+        "--policy",
+        default=None,
+        help="routing policy (default: restricted-priority; "
+        "dimension-order for the buffered engines)",
+    )
+    profile.add_argument(
+        "--engine",
+        choices=("hot-potato", "buffered", "dynamic", "buffered-dynamic"),
+        default="hot-potato",
+        help="which engine's kernel configuration to profile",
+    )
+    profile.add_argument(
+        "--rate",
+        type=float,
+        default=0.1,
+        help="offered load (dynamic engines only)",
+    )
+    profile.add_argument(
+        "--horizon",
+        type=int,
+        default=600,
+        help="steps to simulate (dynamic engines only)",
+    )
+    profile.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="append a run manifest (JSONL) with the phase timings",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     livelock = commands.add_parser(
         "livelock", help="run the greedy livelock demonstration"

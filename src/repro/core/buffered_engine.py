@@ -24,6 +24,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
+    PhaseSink,
     StepKernel,
     StepSummary,
     build_run_result,
@@ -38,6 +39,7 @@ from repro.core.problem import RoutingProblem
 from repro.core.rng import RngLike, describe_seed, make_rng
 from repro.core.validation import StepValidator
 from repro.exceptions import LivelockSuspectedError
+from repro.obs.telemetry import RunTelemetry
 
 
 class BufferedEngine:
@@ -59,6 +61,7 @@ class BufferedEngine:
         observers: Iterable[RunObserver] = (),
         max_steps: Optional[int] = None,
         raise_on_timeout: bool = False,
+        profiler: Optional[PhaseSink] = None,
     ) -> None:
         self.problem = problem
         self.mesh = problem.mesh
@@ -71,6 +74,8 @@ class BufferedEngine:
             max_steps if max_steps is not None else default_step_limit(problem)
         )
         self.raise_on_timeout = raise_on_timeout
+        self.profiler = profiler
+        self.telemetry = RunTelemetry()
         self.packets: List[Packet] = problem.make_packets()
         self._metrics: List[StepMetrics] = []
         self._max_buffer_seen = 0
@@ -82,6 +87,7 @@ class BufferedEngine:
             node_order="sorted",
             set_entry_direction=False,
             emit=self._note,
+            telemetry=self.telemetry,
         )
 
     @property
@@ -101,8 +107,16 @@ class BufferedEngine:
     def run(self) -> RunResult:
         self._start()
         if lean_equivalent(self.validators, self.observers, False):
-            self._kernel.run_lean(self.max_steps)
+            if self.profiler is not None:
+                self._kernel.run_profiled(self.max_steps, self.profiler)
+            else:
+                self._kernel.run_lean(self.max_steps)
         else:
+            if self.profiler is not None:
+                raise ValueError(
+                    "profiling times the lean kernel loop; detach "
+                    "step-consuming observers and validators first"
+                )
             while self.in_flight and self.time < self.max_steps:
                 self.step()
         if self.in_flight and self.raise_on_timeout:

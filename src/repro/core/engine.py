@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
+    PhaseSink,
     StepKernel,
     StepSummary,
     build_run_result,
@@ -43,6 +44,7 @@ from repro.core.rng import RngLike, describe_seed, make_rng
 from repro.core.validation import StepValidator, validators_for
 from repro.exceptions import LivelockSuspectedError
 from repro.mesh.directions import Direction
+from repro.obs.telemetry import RunTelemetry
 from repro.types import Node, PacketId
 
 __all__ = [
@@ -75,10 +77,21 @@ class HotPotatoEngine:
             of returning an incomplete result when the budget runs out.
         fast_path: ``None`` (default) lets :meth:`run` pick the lean
             no-recording kernel loop automatically when it is
-            equivalent (no step records, no observers, capacity-only
-            validators); ``False`` forces the fully instrumented loop;
-            ``True`` additionally raises ``ValueError`` when the run is
-            not fast-path eligible (useful in tests and benchmarks).
+            equivalent (no step records, no step-consuming observers,
+            capacity-only validators); ``False`` forces the fully
+            instrumented loop; ``True`` additionally raises
+            ``ValueError`` when the run is not fast-path eligible
+            (useful in tests and benchmarks).
+        profiler: optional :class:`~repro.obs.profiler.PhaseProfiler`
+            (any :class:`~repro.core.kernel.PhaseSink`); when set,
+            :meth:`run` uses the kernel's profiled loop and accumulates
+            per-phase wall time into it.  Profiling requires fast-path
+            eligibility — the phases being timed are the lean loop's.
+
+    Every engine owns a :class:`~repro.obs.telemetry.RunTelemetry`
+    (``self.telemetry``, also on the returned
+    :class:`RunResult`) whose counters all kernel loops keep
+    bit-identically.
     """
 
     def __init__(
@@ -94,6 +107,7 @@ class HotPotatoEngine:
         record_paths: bool = False,
         raise_on_timeout: bool = False,
         fast_path: Optional[bool] = None,
+        profiler: Optional[PhaseSink] = None,
     ) -> None:
         self.problem = problem
         self.mesh = problem.mesh
@@ -112,6 +126,8 @@ class HotPotatoEngine:
         self.record_steps = record_steps
         self.raise_on_timeout = raise_on_timeout
         self.fast_path = fast_path
+        self.profiler = profiler
+        self.telemetry = RunTelemetry()
 
         self.packets: List[Packet] = problem.make_packets()
         self._records: List[StepRecord] = []
@@ -125,6 +141,7 @@ class HotPotatoEngine:
             set_entry_direction=True,
             record_paths=record_paths,
             emit=self._emit_lean,
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -163,8 +180,18 @@ class HotPotatoEngine:
         """Route until all packets are delivered or the budget runs out."""
         self._start()
         if self._fast_path_eligible():
-            self._kernel.run_lean(self.max_steps)
+            if self.profiler is not None:
+                self._kernel.run_profiled(self.max_steps, self.profiler)
+            else:
+                self._kernel.run_lean(self.max_steps)
         else:
+            if self.profiler is not None:
+                raise ValueError(
+                    "profiling times the lean kernel loop, but this run "
+                    "is not fast-path eligible (it records steps, has "
+                    "step-consuming observers, or uses validators beyond "
+                    "the capacity check)"
+                )
             while self.in_flight and self.time < self.max_steps:
                 self.step()
         if self.in_flight and self.raise_on_timeout:
@@ -251,7 +278,8 @@ class HotPotatoEngine:
         The lean loop produces bit-identical :class:`RunResult`\\ s but
         skips :class:`StepRecord`/per-packet info construction, so it
         is only equivalent when nobody consumes those objects: no step
-        recording, no observers, and no validators beyond the capacity
+        recording, no observers with ``needs_steps`` (run-boundary
+        observers are fine), and no validators beyond the capacity
         check (see :func:`repro.core.kernel.lean_equivalent`).
         """
         eligible = lean_equivalent(
@@ -262,8 +290,8 @@ class HotPotatoEngine:
         if self.fast_path is True and not eligible:
             raise ValueError(
                 "fast_path=True requested, but the run records steps, "
-                "has observers, or uses validators beyond the capacity "
-                "check; these require the instrumented loop"
+                "has step-consuming observers, or uses validators beyond "
+                "the capacity check; these require the instrumented loop"
             )
         return eligible
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.core.metrics import RunResult, StepMetrics, StepRecord
+from repro.core.metrics import StepMetrics, StepRecord
 
 
 class RunObserver:
@@ -20,19 +20,37 @@ class RunObserver:
     :class:`~repro.core.kernel.StepKernel` (batch hot-potato, buffered,
     or the dynamic engines) can host observers, and they share duck
     compatibility (``mesh``, ``time``, ``in_flight``) rather than a
-    base class.  Dynamic engines fire ``on_run_start``/``on_step`` but
-    not ``on_run_end`` — they produce no :class:`RunResult`.
+    base class.  All four engines fire the full lifecycle; what
+    ``on_run_end`` receives depends on the engine — a
+    :class:`RunResult` from the batch engines, a
+    :class:`~repro.dynamic.stats.DynamicStats` from the dynamic ones.
     """
+
+    #: Whether this observer consumes per-step records.  Attaching a
+    #: default (``True``) observer forces the engine onto the
+    #: instrumented step loop so ``on_step`` has records to deliver.
+    #: Observers that only act at run boundaries (telemetry loggers,
+    #: manifest writers) set this to ``False`` and keep the engine on
+    #: its lean kernel loop; their ``on_step`` then never fires.
+    needs_steps: bool = True
 
     def on_run_start(self, engine: Any) -> None:
         """Called once, after packets are placed but before step 0."""
 
     def on_step(self, record: StepRecord, metrics: StepMetrics) -> None:
-        """Called after every step, with the record of what moved."""
+        """Called after every step, with the record of what moved.
 
-    def on_run_end(self, result: RunResult) -> None:
-        """Called once, after the last packet is delivered or the
-        step limit is reached."""
+        Only fires on the instrumented loop, i.e. when at least one
+        attached observer has ``needs_steps = True``."""
+
+    def on_run_end(self, result: Any) -> None:
+        """Called once when the run returns.
+
+        Batch engines pass their :class:`RunResult` (after the last
+        packet is delivered or the step limit is reached); dynamic
+        engines pass the finalized
+        :class:`~repro.dynamic.stats.DynamicStats` when ``run(steps)``
+        returns its horizon."""
 
 
 class CallbackObserver(RunObserver):
@@ -41,17 +59,22 @@ class CallbackObserver(RunObserver):
     Useful in tests and notebooks::
 
         engine.observers.append(CallbackObserver(on_step=print))
+
+    ``needs_steps`` follows the callbacks: without an ``on_step``
+    callback the adapter is a run-boundary observer and does not force
+    the instrumented loop.
     """
 
     def __init__(
         self,
         on_run_start: Optional[Callable[[Any], None]] = None,
         on_step: Optional[Callable[[StepRecord, StepMetrics], None]] = None,
-        on_run_end: Optional[Callable[[RunResult], None]] = None,
+        on_run_end: Optional[Callable[[Any], None]] = None,
     ) -> None:
         self._on_run_start = on_run_start
         self._on_step = on_step
         self._on_run_end = on_run_end
+        self.needs_steps = on_step is not None
 
     def on_run_start(self, engine: Any) -> None:
         if self._on_run_start is not None:
@@ -61,6 +84,6 @@ class CallbackObserver(RunObserver):
         if self._on_step is not None:
             self._on_step(record, metrics)
 
-    def on_run_end(self, result: RunResult) -> None:
+    def on_run_end(self, result: Any) -> None:
         if self._on_run_end is not None:
             self._on_run_end(result)

@@ -50,11 +50,13 @@ from abc import ABC, abstractmethod
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
     List,
     Optional,
+    Protocol,
     Sequence,
     Tuple,
     Union,
@@ -76,6 +78,9 @@ from repro.exceptions import ArcAssignmentError
 from repro.mesh.directions import Direction
 from repro.mesh.topology import Mesh
 from repro.types import Node, PacketId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import RunTelemetry
 
 AnyPolicy = Union[RoutingPolicy, BufferedPolicy]
 
@@ -169,16 +174,48 @@ def lean_equivalent(
 ) -> bool:
     """True when :meth:`StepKernel.run_lean` is observably identical to
     repeated instrumented steps: nobody consumes the per-step records
-    (no recording, no observers) and no validator beyond the capacity
-    check runs.  The capacity check itself can never fire on a
-    validated problem — arrivals are bounded by in-degree — and an
-    inconsistent assignment is re-raised through the strict checker, so
-    the lean loop surfaces the exact instrumented-loop errors."""
+    (no recording, no step-consuming observers) and no validator beyond
+    the capacity check runs.  Observers that declare
+    ``needs_steps = False`` (run-boundary consumers like
+    :class:`~repro.obs.manifest.JsonlRunLogger`) do not disqualify the
+    lean loop — they only see ``on_run_start``/``on_run_end``, which
+    the engines fire on both paths.  The capacity check itself can
+    never fire on a validated problem — arrivals are bounded by
+    in-degree — and an inconsistent assignment is re-raised through the
+    strict checker, so the lean loop surfaces the exact
+    instrumented-loop errors."""
     return (
         not record_steps
-        and not observers
+        and all(not getattr(o, "needs_steps", True) for o in observers)
         and all(type(v) is CapacityValidator for v in validators)
     )
+
+
+class PhaseSink(Protocol):
+    """Where :meth:`StepKernel.run_profiled` reads its clock and writes
+    per-step phase durations.
+
+    The kernel deliberately owns no clock: wall time in engine code is
+    a determinism hazard (lint rule DET106), so the concrete sink —
+    :class:`repro.obs.profiler.PhaseProfiler` — supplies the timestamp
+    source from the sanctioned :mod:`repro.obs.clock` module and the
+    kernel only does arithmetic on the integers it returns.
+    """
+
+    def clock(self) -> int:
+        """A monotonic nanosecond timestamp."""
+        ...
+
+    def record_step(
+        self,
+        inject: int,
+        rank: int,
+        arc_assign: int,
+        move: int,
+        deliver: int,
+    ) -> None:
+        """Accumulate one step's per-phase durations (nanoseconds)."""
+        ...
 
 
 class StepKernel:
@@ -204,6 +241,10 @@ class StepKernel:
             (the instrumented step *returns* its summary instead).
         on_deliver: called with each packet the moment it is absorbed
             (the dynamic engines record latency statistics here).
+        telemetry: optional :class:`~repro.obs.telemetry.RunTelemetry`
+            whose integer counters every loop updates inline — the
+            lean loops from local variables, the instrumented step from
+            its summary — with bit-identical values on all paths.
     """
 
     def __init__(
@@ -218,6 +259,7 @@ class StepKernel:
         record_paths: bool = False,
         emit: Optional[Callable[[StepSummary], None]] = None,
         on_deliver: Optional[Callable[[Packet], None]] = None,
+        telemetry: Optional["RunTelemetry"] = None,
     ) -> None:
         if node_order not in ("insertion", "sorted"):
             raise ValueError(
@@ -243,6 +285,7 @@ class StepKernel:
         self.record_paths = record_paths
         self.emit = emit
         self.on_deliver = on_deliver
+        self.telemetry = telemetry
 
         self.time = 0
         self.in_flight: List[Packet] = []
@@ -327,6 +370,7 @@ class StepKernel:
         on_deliver = self.on_deliver
         stop_when_empty = self.injection is None
         dist = self._dist
+        tel = self.telemetry
 
         while self.time < until:
             if stop_when_empty and not self.in_flight:
@@ -510,6 +554,270 @@ class StepKernel:
             self.in_flight = remaining
             self.delivered_total += delivered_count
 
+            if tel is not None:
+                # Inline note_summary: same arithmetic, no summary
+                # object on the hot path.
+                tel.steps += 1
+                tel.packet_steps += routed
+                tel.generated += generated
+                tel.injected += injected
+                tel.delivered += delivered_count
+                tel.advances += advancing
+                tel.deflections += len(pending) - advancing
+                if routed > tel.max_in_flight:
+                    tel.max_in_flight = routed
+                if max_load > tel.max_node_load:
+                    tel.max_node_load = max_load
+                if backlog > tel.max_backlog:
+                    tel.max_backlog = backlog
+
+            if emit is not None:
+                emit(
+                    StepSummary(
+                        step=step_index,
+                        generated=generated,
+                        injected=injected,
+                        routed=routed,
+                        moved=len(pending),
+                        advancing=advancing,
+                        delivered=delivered_count,
+                        delivered_total=self.delivered_total,
+                        total_distance=total_distance,
+                        max_node_load=max_load,
+                        bad_nodes=bad_nodes,
+                        packets_in_bad_nodes=packets_in_bad,
+                        backlog=backlog,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # The profiled loop (lean semantics + phase timing)
+    # ------------------------------------------------------------------
+
+    def run_profiled(self, until: int, profiler: PhaseSink) -> None:
+        """:meth:`run_lean` with per-phase wall-clock accounting.
+
+        Routing semantics are byte-for-byte those of the lean loop —
+        same decisions, same RNG consumption, same emitted summaries
+        and telemetry — plus timestamp reads around each pipeline
+        phase, reported to ``profiler`` once per step.  The only
+        structural difference is that move and deliver run as two
+        passes over ``in_flight`` instead of one interleaved pass, so
+        each phase is separately timeable; per-packet move effects are
+        independent and delivery scans both ways in ``in_flight``
+        order, so the split is unobservable (the differential tests
+        pin profiled == lean == instrumented).
+
+        Kept next to :meth:`run_lean` deliberately: any change to one
+        loop must be mirrored in the other.
+        """
+        mesh = self.mesh
+        dimension = mesh.dimension
+        node_arcs = mesh.node_arcs
+        unit_deflections = mesh.unit_deflections
+        distance = mesh.distance
+        decide = self._decide()
+        buffered = self.buffered
+        sorted_order = self.sorted_order
+        set_entry = self.set_entry_direction
+        record_paths = self.record_paths
+        emit = self.emit
+        on_deliver = self.on_deliver
+        stop_when_empty = self.injection is None
+        dist = self._dist
+        tel = self.telemetry
+        clock = profiler.clock
+
+        while self.time < until:
+            if stop_when_empty and not self.in_flight:
+                break
+            t_start = clock()
+            generated, injected, backlog = self._admit()
+            t_injected = clock()
+
+            step_index = self.time
+            groups: Dict[Node, List[Packet]] = defaultdict(list)
+            for packet in self.in_flight:
+                groups[packet.location].append(packet)
+            routed = len(self.in_flight)
+            pending: Dict[PacketId, _PendingMove] = {}
+            advancing = 0
+            total_distance = 0
+            max_load = 0
+            bad_nodes = 0
+            packets_in_bad = 0
+            node_items: Iterable[Tuple[Node, List[Packet]]] = (
+                [(node, groups[node]) for node in sorted(groups)]
+                if sorted_order
+                else groups.items()
+            )
+            rank_ns = clock() - t_injected  # grouping is decision prep
+            assign_ns = 0
+            for node, packets in node_items:
+                load = len(packets)
+                arcs = node_arcs(node)
+                if load > max_load:
+                    max_load = load
+                if load > dimension:
+                    bad_nodes += 1
+                    packets_in_bad += load
+                t_node = clock()
+                view = NodeView(mesh, node, step_index, packets)
+                assignment = decide(view)
+                t_decided = clock()
+                rank_ns += t_decided - t_node
+                by_direction = arcs.by_direction
+                good_map = view._good
+                seen = set()
+                if buffered:
+                    for packet_id, direction in assignment.items():
+                        next_node = by_direction.get(direction)
+                        if (
+                            packet_id not in good_map
+                            or direction in seen
+                            or next_node is None
+                        ):
+                            self.build_infos(view, assignment)
+                            raise ArcAssignmentError(
+                                f"step {step_index}: inconsistent buffered "
+                                f"assignment at {node} (kernel check)"
+                            )
+                        seen.add(direction)
+                        advanced = direction in good_map[packet_id]
+                        pending[packet_id] = (
+                            next_node,
+                            direction,
+                            advanced,
+                            False,
+                        )
+                        if advanced:
+                            advancing += 1
+                    for packet in view.packets:
+                        total_distance += dist[packet.id]
+                else:
+                    for packet in view.packets:
+                        direction = assignment.get(packet.id)
+                        next_node = (
+                            by_direction.get(direction)
+                            if direction is not None
+                            else None
+                        )
+                        if (
+                            direction is None
+                            or direction in seen
+                            or next_node is None
+                            or len(assignment) != load
+                        ):
+                            self.build_infos(view, assignment)
+                            raise ArcAssignmentError(
+                                f"step {step_index}: inconsistent assignment "
+                                f"at {node} (kernel fast-path check)"
+                            )
+                        seen.add(direction)
+                        good = good_map[packet.id]
+                        advanced = direction in good
+                        pending[packet.id] = (
+                            next_node,
+                            direction,
+                            advanced,
+                            len(good) == 1,
+                        )
+                        if advanced:
+                            advancing += 1
+                        total_distance += dist[packet.id]
+                assign_ns += clock() - t_decided
+
+            # Move pass (phase 4), then delivery pass (phase 5), both
+            # in in_flight order — together equivalent to the lean
+            # loop's single interleaved pass.
+            self.time += 1
+            now = self.time
+            t_move = clock()
+            if buffered:
+                pending_get = pending.get
+                for packet in self.in_flight:
+                    entry = pending_get(packet.id)
+                    if entry is None:
+                        continue
+                    next_node, direction, advanced, _ = entry
+                    packet.location = next_node
+                    packet.hops += 1
+                    if advanced:
+                        packet.advances += 1
+                        dist[packet.id] -= 1
+                    else:
+                        packet.deflections += 1
+                        if unit_deflections:
+                            dist[packet.id] += 1
+                        else:
+                            dist[packet.id] = distance(
+                                next_node, packet.destination
+                            )
+                    if record_paths:
+                        packet.path.append(next_node)
+            else:
+                for packet in self.in_flight:
+                    next_node, direction, advanced, restricted = pending[
+                        packet.id
+                    ]
+                    packet.restricted_last_step = restricted
+                    packet.advanced_last_step = advanced
+                    packet.location = next_node
+                    if set_entry:
+                        packet.entry_direction = direction
+                    packet.hops += 1
+                    if advanced:
+                        packet.advances += 1
+                        dist[packet.id] -= 1
+                    else:
+                        packet.deflections += 1
+                        if unit_deflections:
+                            dist[packet.id] += 1
+                        else:
+                            dist[packet.id] = distance(
+                                next_node, packet.destination
+                            )
+                    if record_paths:
+                        packet.path.append(next_node)
+            t_moved = clock()
+
+            delivered_count = 0
+            remaining: List[Packet] = []
+            for packet in self.in_flight:
+                if packet.location == packet.destination:
+                    packet.delivered_at = now
+                    delivered_count += 1
+                    del dist[packet.id]
+                    if on_deliver is not None:
+                        on_deliver(packet)
+                else:
+                    remaining.append(packet)
+            self.in_flight = remaining
+            self.delivered_total += delivered_count
+            t_delivered = clock()
+            profiler.record_step(
+                t_injected - t_start,
+                rank_ns,
+                assign_ns,
+                t_moved - t_move,
+                t_delivered - t_moved,
+            )
+
+            if tel is not None:
+                tel.steps += 1
+                tel.packet_steps += routed
+                tel.generated += generated
+                tel.injected += injected
+                tel.delivered += delivered_count
+                tel.advances += advancing
+                tel.deflections += len(pending) - advancing
+                if routed > tel.max_in_flight:
+                    tel.max_in_flight = routed
+                if max_load > tel.max_node_load:
+                    tel.max_node_load = max_load
+                if backlog > tel.max_backlog:
+                    tel.max_backlog = backlog
+
             if emit is not None:
                 emit(
                     StepSummary(
@@ -602,6 +910,8 @@ class StepKernel:
             packets_in_bad_nodes=packets_in_bad,
             backlog=backlog,
         )
+        if self.telemetry is not None:
+            self.telemetry.note_summary(summary)
         return record, summary
 
     def build_infos(
@@ -757,4 +1067,5 @@ def build_run_result(
         outcomes=outcomes,
         records=records,
         seed=seed,
+        telemetry=kernel.telemetry,
     )

@@ -10,11 +10,14 @@ private state, so they can also be replayed from a stored trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.packet import RestrictedType
 from repro.mesh.directions import Direction
 from repro.types import Node, PacketId, Step
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import RunTelemetry
 
 
 @dataclass(frozen=True)
@@ -149,6 +152,11 @@ class RunResult:
     reproducible ``"rng-state:..."`` digest when the caller handed the
     engine a ``random.Random`` instance (see
     :func:`repro.core.engine.describe_seed`).
+
+    ``telemetry`` carries the run's lean-path counters
+    (:class:`~repro.obs.telemetry.RunTelemetry`); identical whichever
+    kernel loop ran, and ``None`` only for results deserialized from
+    payloads that predate it.
     """
 
     problem_name: str
@@ -164,6 +172,7 @@ class RunResult:
     outcomes: List[PacketOutcome] = field(default_factory=list)
     records: Optional[List[StepRecord]] = None
     seed: Optional[Union[int, str]] = None
+    telemetry: Optional["RunTelemetry"] = None
 
     @property
     def max_load_seen(self) -> int:

@@ -27,6 +27,7 @@ from repro.mesh.directions import Direction
 from repro.mesh.hypercube import Hypercube
 from repro.mesh.topology import Mesh
 from repro.mesh.torus import Torus
+from repro.obs.telemetry import RunTelemetry
 
 _MESH_KINDS = {
     "mesh": lambda dimension, side: Mesh(dimension, side),
@@ -147,6 +148,11 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
         "total_steps": result.total_steps,
         "delivered": result.delivered,
         "seed": result.seed,
+        "telemetry": (
+            result.telemetry.to_dict()
+            if result.telemetry is not None
+            else None
+        ),
         "step_metrics": [
             {
                 "step": m.step,
@@ -190,6 +196,11 @@ def result_from_dict(data: Dict[str, Any]) -> RunResult:
         total_steps=int(data["total_steps"]),
         delivered=int(data["delivered"]),
         seed=data.get("seed"),
+        telemetry=(
+            RunTelemetry.from_dict(data["telemetry"])
+            if data.get("telemetry") is not None
+            else None
+        ),
         step_metrics=[
             StepMetrics(**metrics) for metrics in data["step_metrics"]
         ],

@@ -8,25 +8,30 @@ lean-vs-instrumented run decision.  Subclasses are pure configuration:
 they pick the injection source and the kernel's ``buffered`` flag, and
 say what "backlog" means for their discipline.
 
-Observers receive ``on_run_start``/``on_step`` only: an open-ended
-dynamic run produces no :class:`~repro.core.metrics.RunResult`, so
-``on_run_end`` never fires here.
+Observers get the full lifecycle: ``on_run_start`` before the first
+step, ``on_step`` per step (instrumented loop only — observers that
+declare ``needs_steps = False`` keep the lean loop and skip these),
+and ``on_run_end`` when :meth:`DynamicEngineBase.run` returns, carrying
+the finalized :class:`~repro.dynamic.stats.DynamicStats` in place of
+the batch engines' :class:`~repro.core.metrics.RunResult`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
     InjectionSource,
+    PhaseSink,
     StepKernel,
     StepSummary,
     step_metrics_from_summary,
 )
 from repro.core.packet import Packet
 from repro.core.problem import RoutingProblem
-from repro.core.rng import RngLike, make_rng
+from repro.core.rng import RngLike, describe_seed, make_rng
+from repro.obs.telemetry import RunTelemetry
 from repro.dynamic.injection import TrafficModel
 from repro.dynamic.stats import DynamicStats, StepSample
 from repro.mesh.topology import Mesh
@@ -55,13 +60,17 @@ class DynamicEngineBase:
         seed: RngLike = 0,
         warmup: int = 0,
         observers: Iterable[RunObserver] = (),
+        profiler: Optional[PhaseSink] = None,
     ) -> None:
         self.mesh = mesh
         self.policy = policy
         self.traffic = traffic
         self.rng = make_rng(seed)
+        self._seed = describe_seed(seed)
         self.warmup = warmup
         self.observers: List[RunObserver] = list(observers)
+        self.profiler = profiler
+        self.telemetry = RunTelemetry()
         self._source = self._make_source(traffic)
         self._stats = DynamicStats(warmup=warmup)
         self._started = False
@@ -74,6 +83,7 @@ class DynamicEngineBase:
             set_entry_direction=False,
             emit=self._note,
             on_deliver=self._on_deliver,
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -117,16 +127,30 @@ class DynamicEngineBase:
     # ------------------------------------------------------------------
 
     def run(self, steps: int) -> DynamicStats:
-        """Simulate ``steps`` steps and return the collected statistics."""
+        """Simulate ``steps`` steps and return the collected statistics.
+
+        Fires ``on_run_end`` with the finalized stats on return, so
+        run-boundary observers (manifest loggers) work on the dynamic
+        engines exactly as on the batch ones.
+        """
         self._start()
-        if self.observers:
+        if any(getattr(o, "needs_steps", True) for o in self.observers):
+            if self.profiler is not None:
+                raise ValueError(
+                    "profiling times the lean kernel loop; detach "
+                    "step-consuming observers first"
+                )
             for _ in range(steps):
                 self.step()
+        elif self.profiler is not None:
+            self._kernel.run_profiled(self.time + steps, self.profiler)
         else:
             self._kernel.run_lean(self.time + steps)
         self._stats.finalize(
             self.time, len(self.in_flight), self._final_backlog()
         )
+        for observer in self.observers:
+            observer.on_run_end(self._stats)
         return self._stats
 
     def step(self) -> None:

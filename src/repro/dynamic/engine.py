@@ -19,11 +19,12 @@ configured with a
 :class:`~repro.dynamic.sources.CapacityLimitedInjection` source,
 sorted node order, and no entry-direction tracking (the historical
 behavior of this engine; ``deflection="reverse"`` policies therefore
-see no entry arc here, exactly as before).  Runs without observers use
-the kernel's lean loop; attach observers to get per-step
-:class:`~repro.core.metrics.StepRecord`/:class:`StepMetrics` callbacks
-(``on_run_start``/``on_step`` fire; there is no ``RunResult``, so
-``on_run_end`` does not).
+see no entry arc here, exactly as before).  Runs without step-consuming
+observers use the kernel's lean loop; attach observers to get per-step
+:class:`~repro.core.metrics.StepRecord`/:class:`StepMetrics` callbacks.
+``on_run_end`` fires when :meth:`run` returns, carrying the finalized
+:class:`~repro.dynamic.stats.DynamicStats` (there is no ``RunResult``
+here).
 """
 
 from __future__ import annotations

@@ -476,10 +476,14 @@ class WallClockRule(Rule):
 
     Simulation time is ``engine.time``, advanced by the step loop; the
     host's clock has no business inside ``core``/``algorithms``/
-    ``dynamic``.  A ``time.time()`` that leaks into a decision (or even
-    a log emitted mid-step) makes runs unreproducible and benchmarks
-    unattributable.  Timing belongs in the benchmark harness, which
-    records what it measured.  Severity is *warning*: a clock read is
+    ``dynamic``/``obs``.  A ``time.time()`` that leaks into a decision
+    (or even a log emitted mid-step) makes runs unreproducible and
+    benchmarks unattributable.  Timing belongs in the benchmark
+    harness, which records what it measured.  ``obs.clock`` is the one
+    sanctioned home of raw clock reads — it plays the role for DET106
+    that ``core.rng`` plays for DET101, so the rest of the
+    observability layer (profiler, manifests) must route every
+    timestamp through it.  Severity is *warning*: a clock read is
     suspect in engine code but not proof of divergence by itself.
     """
 
@@ -487,7 +491,8 @@ class WallClockRule(Rule):
     name = "wall-clock"
     description = "time.*/datetime.now read inside engine code"
     severity = Severity.WARNING
-    domains = frozenset({"core", "algorithms", "dynamic"})
+    domains = frozenset({"core", "algorithms", "dynamic", "obs"})
+    exempt_modules = ("obs.clock",)
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         resolve = context.imports.resolve

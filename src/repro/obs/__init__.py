@@ -1,0 +1,68 @@
+"""Observability: lean-path counters, phase profiling, run manifests.
+
+Three layers, in increasing cost:
+
+* :class:`~repro.obs.telemetry.RunTelemetry` — integer counters the
+  kernel's lean loop bumps inline; always on, near-zero cost, rides on
+  :class:`~repro.core.metrics.RunResult` (and across worker processes
+  in sweeps).
+* :class:`~repro.obs.profiler.PhaseProfiler` — opt-in wall-clock
+  timing of the kernel pipeline phases via
+  :meth:`~repro.core.kernel.StepKernel.run_profiled`; identical
+  routing semantics, just timestamped.
+* :class:`~repro.obs.manifest.RunManifest` /
+  :class:`~repro.obs.manifest.JsonlRunLogger` — structured JSONL
+  self-descriptions of whole runs (config, seed, git sha, telemetry,
+  phase timings), written from the CLI via ``--telemetry PATH``.
+
+This package is the sanctioned wall-clock domain for the DET106 lint
+rule (``repro.obs.clock`` specifically), mirroring how
+:mod:`repro.core.rng` is the sanctioned RNG home for DET101.
+
+Import structure: :mod:`repro.obs.telemetry`, ``.clock`` and
+``.profiler`` never import ``repro.core`` at runtime (the core engines
+import *them*, so this direction must stay acyclic).  Manifest names
+are re-exported lazily — they pull in the core layer.
+"""
+
+from typing import Any
+
+from repro.obs.profiler import PHASES, PhaseProfiler
+from repro.obs.telemetry import RunTelemetry, aggregate
+
+__all__ = [
+    "PHASES",
+    "JsonlRunLogger",
+    "PhaseProfiler",
+    "RunManifest",
+    "RunTelemetry",
+    "aggregate",
+    "append_manifest",
+    "git_sha",
+    "manifest_for_engine",
+    "manifest_from_run_result",
+    "read_manifests",
+    "validate_manifest",
+]
+
+_MANIFEST_NAMES = frozenset(
+    {
+        "JsonlRunLogger",
+        "RunManifest",
+        "append_manifest",
+        "git_sha",
+        "manifest_for_engine",
+        "manifest_from_run_result",
+        "read_manifests",
+        "validate_manifest",
+    }
+)
+
+
+def __getattr__(name: str) -> Any:
+    """PEP 562 lazy re-export of the manifest layer (imports core)."""
+    if name in _MANIFEST_NAMES:
+        from repro.obs import manifest
+
+        return getattr(manifest, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,31 @@
+"""The sanctioned wall-clock home.
+
+Determinism rule DET106 flags wall-clock reads in engine code: wall
+time must never influence routing decisions, and stray ``time.time()``
+calls in hot loops are a classic source of unreproducible "it was
+slower that day" artifacts.  Profiling still needs a clock, so —
+exactly as :mod:`repro.core.rng` is the one sanctioned home for RNG
+construction under DET101 — this module is the one place in the
+policed domains allowed to touch :mod:`time`.  Everything else in
+``repro.obs`` goes through these helpers, keeping the rest of the
+observability layer lint-clean without per-line ``noqa`` scatter.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+
+__all__ = ["perf_ns", "utc_now_iso"]
+
+
+def perf_ns() -> int:
+    """Monotonic high-resolution timestamp for phase timing."""
+    return time.perf_counter_ns()
+
+
+def utc_now_iso() -> str:
+    """Current UTC wall time as an ISO-8601 string (manifests only)."""
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )

@@ -18,6 +18,7 @@ from repro.algorithms import PlainGreedyPolicy, RestrictedPriorityPolicy
 from repro.analysis.runner import (
     CaseSpec,
     ParallelExecutor,
+    aggregate_telemetry,
     compare_policies,
     run_case,
     sweep,
@@ -83,6 +84,69 @@ class TestSerialBehavior:
     def test_workers_floor_is_one(self):
         assert ParallelExecutor(workers=0).workers == 1
         assert ParallelExecutor(workers=-3).workers == 1
+
+
+class TestTelemetryAggregation:
+    """Lean-path counters ride inside RunResult and aggregate at the
+    harness boundary (totals add, peaks max)."""
+
+    def test_executor_aggregates_the_batch(self):
+        points = run_case(
+            partial(_problem, 8, 24), RestrictedPriorityPolicy, [0, 1, 2]
+        )
+        total = aggregate_telemetry(points)
+        assert total is not None
+        assert total.delivered == sum(
+            p.result.delivered for p in points
+        )
+        assert total.steps == sum(
+            p.result.total_steps for p in points
+        )
+        assert total.max_in_flight == max(
+            p.result.telemetry.max_in_flight for p in points
+        )
+
+    def test_executor_records_its_last_batch(self):
+        executor = ParallelExecutor(workers=1)
+        assert executor.telemetry is None
+        specs = [
+            CaseSpec(
+                problem_factory=partial(_problem, 8, 24),
+                policy_factory=RestrictedPriorityPolicy,
+                seed=seed,
+            )
+            for seed in (0, 1)
+        ]
+        points = executor.run(specs)
+        assert executor.telemetry == aggregate_telemetry(points)
+
+    def test_sweep_result_exposes_the_aggregate(self):
+        grid = [{"n": 8, "k": k} for k in (8, 16)]
+        result = sweep(grid, _case, seeds=[0, 1])
+        total = result.telemetry()
+        assert total is not None
+        assert total.delivered == sum(
+            p.result.delivered for p in result.points
+        )
+
+    def test_aggregate_of_no_points_is_none(self):
+        assert aggregate_telemetry([]) is None
+
+
+@pytest.mark.slow
+class TestParallelTelemetry:
+    def test_counters_cross_the_process_boundary(self):
+        serial = run_case(
+            partial(_problem, 8, 32), RestrictedPriorityPolicy, range(4)
+        )
+        parallel = run_case(
+            partial(_problem, 8, 32),
+            RestrictedPriorityPolicy,
+            range(4),
+            workers=4,
+        )
+        assert aggregate_telemetry(parallel) == aggregate_telemetry(serial)
+        assert all(p.result.telemetry is not None for p in parallel)
 
 
 @pytest.mark.slow

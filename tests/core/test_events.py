@@ -76,3 +76,44 @@ class TestCallbackObserver:
             problem, PlainGreedyPolicy(), observers=[observer]
         )
         assert engine.run().completed
+
+    def test_only_run_end_wired(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=45)
+        seen = []
+        observer = CallbackObserver(on_run_end=seen.append)
+        result = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), observers=[observer]
+        ).run()
+        assert seen == [result]
+
+    def test_only_step_wired(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=46)
+        steps = []
+        observer = CallbackObserver(
+            on_step=lambda record, metrics: steps.append(record.step)
+        )
+        result = HotPotatoEngine(
+            problem, PlainGreedyPolicy(), observers=[observer]
+        ).run()
+        assert steps == list(range(result.total_steps))
+
+
+class TestNeedsSteps:
+    def test_base_observer_consumes_steps_by_default(self):
+        assert RunObserver.needs_steps is True
+
+    def test_callback_observer_mirrors_its_wiring(self):
+        assert CallbackObserver().needs_steps is False
+        assert (
+            CallbackObserver(on_run_end=lambda result: None).needs_steps
+            is False
+        )
+        assert (
+            CallbackObserver(on_step=lambda r, m: None).needs_steps is True
+        )
+
+    def test_step_free_callbacks_keep_the_lean_loop(self, mesh8):
+        from repro.core.kernel import lean_equivalent
+
+        observer = CallbackObserver(on_run_end=lambda result: None)
+        assert lean_equivalent([], [observer], False)

@@ -149,3 +149,15 @@ class TestLeanEquivalence:
             pass
 
         assert not lean_equivalent([Tightened()], [], False)
+
+    def test_step_free_observer_does_not_disqualify(self):
+        class RunBoundaryObserver(RunObserver):
+            needs_steps = False
+
+        assert lean_equivalent(
+            [CapacityValidator()], [RunBoundaryObserver()], False
+        )
+        # Mixing in one step consumer flips it back.
+        assert not lean_equivalent(
+            [], [RunBoundaryObserver(), RunObserver()], False
+        )

@@ -49,6 +49,18 @@ class TestStepRecord:
         assert set(groups) == {(1, 1), (3, 3)}
         assert [i.packet_id for i in groups[(1, 1)]] == [0, 1]
 
+    def test_node_groups_sorted_by_packet_id_within_node(self):
+        # Insert out of id order: grouping must still come back sorted,
+        # so analyses see a deterministic per-node packet order.
+        infos = {
+            7: make_info(7, (1, 1), (2, 1), 5, 4),
+            2: make_info(2, (1, 1), (1, 2), 5, 6),
+            5: make_info(5, (1, 1), (0, 1), 4, 3),
+        }
+        record = StepRecord(step=0, infos=infos)
+        groups = record.node_groups()
+        assert [i.packet_id for i in groups[(1, 1)]] == [2, 5, 7]
+
     def test_advancing_deflected_counts(self):
         infos = {
             0: make_info(0, (1, 1), (2, 1), 5, 4),
@@ -57,6 +69,14 @@ class TestStepRecord:
         record = StepRecord(step=0, infos=infos)
         assert record.num_advancing == 1
         assert record.num_deflected == 1
+
+    def test_advancing_and_deflected_partition_the_record(self):
+        infos = {
+            i: make_info(i, (1, 1), (2, 1), 5, 4 if i % 2 else 6)
+            for i in range(5)
+        }
+        record = StepRecord(step=0, infos=infos)
+        assert record.num_advancing + record.num_deflected == len(infos)
 
 
 class TestStepMetricsAliases:

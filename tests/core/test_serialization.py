@@ -68,6 +68,15 @@ class TestResultRoundTrip:
         assert restored.step_metrics[0] == result.step_metrics[0]
         assert restored.outcomes[3].hops == result.outcomes[3].hops
         assert restored.summary() == result.summary()
+        assert restored.telemetry == result.telemetry
+        assert restored.telemetry is not None
+
+    def test_pre_telemetry_payload_loads_as_none(self, mesh8):
+        problem = random_many_to_many(mesh8, k=5, seed=2)
+        result = route(problem, RestrictedPriorityPolicy(), seed=2)
+        data = result_to_dict(result)
+        del data["telemetry"]  # payload written before telemetry existed
+        assert result_from_dict(data).telemetry is None
 
     def test_file_round_trip(self, mesh8, tmp_path):
         problem = random_many_to_many(mesh8, k=10, seed=3)

@@ -97,6 +97,72 @@ class TestBasicOperation:
         assert stats.throughput == pytest.approx(offered, rel=0.25)
 
 
+class TestObserverLifecycle:
+    def test_on_run_end_fires_with_finalized_stats(self, mesh8):
+        from repro.core.events import RunObserver
+
+        class EndCatcher(RunObserver):
+            needs_steps = False
+
+            def __init__(self):
+                self.results = []
+
+            def on_run_end(self, result):
+                self.results.append(result)
+
+        catcher = EndCatcher()
+        stats = DynamicEngine(
+            mesh8,
+            RestrictedPriorityPolicy(),
+            BernoulliTraffic(0.1),
+            seed=9,
+            observers=[catcher],
+        ).run(60)
+        assert catcher.results == [stats]
+        assert isinstance(catcher.results[0], DynamicStats)
+        assert catcher.results[0].horizon == 60
+
+    def test_on_run_end_fires_on_the_instrumented_loop_too(self, mesh8):
+        from repro.core.events import RunObserver
+
+        class Full(RunObserver):
+            def __init__(self):
+                self.steps = 0
+                self.ends = 0
+
+            def on_step(self, record, metrics):
+                self.steps += 1
+
+            def on_run_end(self, result):
+                self.ends += 1
+
+        full = Full()
+        DynamicEngine(
+            mesh8,
+            RestrictedPriorityPolicy(),
+            BernoulliTraffic(0.1),
+            seed=9,
+            observers=[full],
+        ).run(30)
+        assert full.steps == 30
+        assert full.ends == 1
+
+    def test_buffered_dynamic_fires_on_run_end(self, mesh8):
+        from repro.algorithms import DimensionOrderPolicy
+        from repro.core.events import CallbackObserver
+        from repro.dynamic import BufferedDynamicEngine
+
+        seen = []
+        stats = BufferedDynamicEngine(
+            mesh8,
+            DimensionOrderPolicy(),
+            BernoulliTraffic(0.1),
+            seed=9,
+            observers=[CallbackObserver(on_run_end=seen.append)],
+        ).run(60)
+        assert seen == [stats]
+
+
 class TestWarmup:
     def test_warmup_excludes_early_packets(self, mesh8):
         traffic = ScriptedTraffic(

@@ -142,6 +142,7 @@ class TestDynamicDifferential:
         assert _stats_tuple(lean.run(steps)) == _stats_tuple(
             instrumented.run(steps)
         )
+        assert lean.telemetry == instrumented.telemetry
         assert lean._next_id == instrumented._next_id
         assert [p.id for p in lean.in_flight] == [
             p.id for p in instrumented.in_flight
@@ -167,4 +168,5 @@ class TestBufferedDynamicDifferential:
         assert _stats_tuple(lean.run(steps)) == _stats_tuple(
             instrumented.run(steps)
         )
+        assert lean.telemetry == instrumented.telemetry
         assert lean.max_queue_seen == instrumented.max_queue_seen

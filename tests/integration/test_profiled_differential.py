@@ -1,0 +1,202 @@
+"""Profiled-loop differential tests.
+
+:meth:`StepKernel.run_profiled` re-implements the lean loop with
+timestamps around each phase, so it must be *observably identical* to
+:meth:`run_lean`: same :class:`RunResult` (telemetry included), same
+RNG consumption, same delivery order.  These tests pin that contract
+for all four engines, and check that the profiler actually measured
+something while telemetry stayed bit-identical.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    DimensionOrderPolicy,
+    PlainGreedyPolicy,
+    RandomizedGreedyPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.core.buffered_engine import BufferedEngine
+from repro.core.engine import HotPotatoEngine
+from repro.core.validation import validators_for
+from repro.dynamic import (
+    BernoulliTraffic,
+    BufferedDynamicEngine,
+    DynamicEngine,
+)
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+from repro.obs.profiler import PhaseProfiler
+from repro.workloads import random_many_to_many, random_permutation
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+POLICIES = (
+    RestrictedPriorityPolicy,
+    PlainGreedyPolicy,
+    RandomizedGreedyPolicy,
+)
+
+
+def _stats_tuple(stats):
+    return (
+        stats.samples,
+        stats.deliveries,
+        stats.horizon,
+        stats.final_in_flight,
+        stats.final_backlog,
+    )
+
+
+@st.composite
+def _batch_problems(draw):
+    kind = draw(st.sampled_from(["mesh", "torus"]))
+    side = draw(st.integers(min_value=3, max_value=6))
+    mesh = (Torus if kind == "torus" else Mesh)(2, side)
+    if draw(st.booleans()):
+        problem = random_permutation(
+            mesh, seed=draw(st.integers(min_value=0, max_value=2**16))
+        )
+    else:
+        problem = random_many_to_many(
+            mesh,
+            k=draw(st.integers(min_value=1, max_value=mesh.num_nodes)),
+            seed=draw(st.integers(min_value=0, max_value=2**16)),
+        )
+    return problem, draw(st.integers(min_value=0, max_value=2**16))
+
+
+class TestHotPotatoProfiled:
+    @_SETTINGS
+    @given(
+        instance=_batch_problems(), policy_cls=st.sampled_from(POLICIES)
+    )
+    def test_profiled_equals_lean(self, instance, policy_cls):
+        problem, seed = instance
+
+        def engine(profiler=None):
+            policy = policy_cls()
+            return HotPotatoEngine(
+                problem,
+                policy,
+                seed=seed,
+                validators=validators_for(policy, strict=False),
+                profiler=profiler,
+            )
+
+        profiler = PhaseProfiler()
+        lean_result = engine().run()
+        profiled_result = engine(profiler).run()
+        assert profiled_result == lean_result
+        assert profiler.steps == profiled_result.total_steps
+
+
+class TestBufferedProfiled:
+    @_SETTINGS
+    @given(instance=_batch_problems())
+    def test_profiled_equals_lean(self, instance):
+        problem, seed = instance
+        lean = BufferedEngine(problem, DimensionOrderPolicy(), seed=seed)
+        profiler = PhaseProfiler()
+        profiled = BufferedEngine(
+            problem, DimensionOrderPolicy(), seed=seed, profiler=profiler
+        )
+        assert profiled.run() == lean.run()
+        assert profiled.max_buffer_seen == lean.max_buffer_seen
+        assert profiler.steps > 0 or problem.k == 0
+
+
+class TestDynamicProfiled:
+    @_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.05, max_value=0.3),
+        steps=st.integers(min_value=1, max_value=50),
+        policy_cls=st.sampled_from(POLICIES),
+    )
+    def test_profiled_equals_lean(self, seed, rate, steps, policy_cls):
+        mesh = Mesh(2, 4)
+        lean = DynamicEngine(
+            mesh, policy_cls(), BernoulliTraffic(rate), seed=seed
+        )
+        profiler = PhaseProfiler()
+        profiled = DynamicEngine(
+            mesh,
+            policy_cls(),
+            BernoulliTraffic(rate),
+            seed=seed,
+            profiler=profiler,
+        )
+        assert _stats_tuple(profiled.run(steps)) == _stats_tuple(
+            lean.run(steps)
+        )
+        assert profiled.telemetry == lean.telemetry
+        assert profiler.steps == steps
+
+
+class TestBufferedDynamicProfiled:
+    @_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.05, max_value=0.3),
+        steps=st.integers(min_value=1, max_value=50),
+    )
+    def test_profiled_equals_lean(self, seed, rate, steps):
+        mesh = Mesh(2, 4)
+        lean = BufferedDynamicEngine(
+            mesh, DimensionOrderPolicy(), BernoulliTraffic(rate), seed=seed
+        )
+        profiler = PhaseProfiler()
+        profiled = BufferedDynamicEngine(
+            mesh,
+            DimensionOrderPolicy(),
+            BernoulliTraffic(rate),
+            seed=seed,
+            profiler=profiler,
+        )
+        assert _stats_tuple(profiled.run(steps)) == _stats_tuple(
+            lean.run(steps)
+        )
+        assert profiled.telemetry == lean.telemetry
+        assert profiled.max_queue_seen == lean.max_queue_seen
+
+
+class TestProfilerRefusals:
+    def test_batch_profiling_requires_the_lean_loop(self, mesh4):
+        import pytest
+
+        from repro.core.events import RunObserver
+
+        problem = random_many_to_many(mesh4, k=5, seed=1)
+        policy = RestrictedPriorityPolicy()
+        engine = HotPotatoEngine(
+            problem,
+            policy,
+            seed=1,
+            validators=validators_for(policy, strict=False),
+            observers=[RunObserver()],
+            profiler=PhaseProfiler(),
+        )
+        with pytest.raises(ValueError, match="profiling times the lean"):
+            engine.run()
+
+    def test_dynamic_profiling_requires_the_lean_loop(self, mesh4):
+        import pytest
+
+        from repro.core.events import RunObserver
+
+        engine = DynamicEngine(
+            mesh4,
+            RestrictedPriorityPolicy(),
+            BernoulliTraffic(0.1),
+            seed=1,
+            observers=[RunObserver()],
+            profiler=PhaseProfiler(),
+        )
+        with pytest.raises(ValueError, match="profiling times the lean"):
+            engine.run(10)

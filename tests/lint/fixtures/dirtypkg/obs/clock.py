@@ -1,0 +1,15 @@
+"""Exemption vector: this module is ``<pkg>.obs.clock``, the one
+sanctioned home of wall-clock reads — DET106 must stay silent here,
+exactly as DET101 stays silent in ``core.rng``."""
+
+import time
+from datetime import datetime, timezone
+
+
+def perf_ns():
+    # Would be a DET106 finding anywhere else in the obs domain.
+    return time.perf_counter_ns()
+
+
+def utc_now_iso():
+    return datetime.now(timezone.utc).isoformat()

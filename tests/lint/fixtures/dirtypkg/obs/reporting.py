@@ -1,0 +1,23 @@
+"""Dirty observability-layer module: DET106 vectors (never run).
+
+The obs domain is policed like engine code — any timestamp must come
+from ``obs.clock``, never from a direct ``time.*``/``datetime.now``
+read.
+"""
+
+import time
+from datetime import datetime
+
+
+def stamp_record(record):
+    # DET106 fire: direct monotonic read in the obs domain.
+    record["elapsed"] = time.monotonic()
+    # DET106 fire: datetime.now capture in the obs domain.
+    record["created"] = datetime.now()
+    return record
+
+
+def stamp_record_sanctioned(record):
+    # DET106 suppressed twin.
+    record["elapsed"] = time.monotonic()  # repro: noqa[DET106]
+    return record

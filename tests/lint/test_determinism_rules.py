@@ -203,6 +203,28 @@ class TestWallClock:
         )
         assert findings == []
 
+    def test_obs_domain_is_policed(self):
+        findings = [
+            f
+            for f in findings_for(fixture("obs", "reporting.py"))
+            if f.rule_id == "DET106"
+        ]
+        # monotonic + datetime.now fire; the noqa'd twin is absent.
+        assert len(findings) == 2
+        messages = "\n".join(f.message for f in findings)
+        assert "time.monotonic" in messages
+        assert "datetime.datetime.now" in messages
+
+    def test_obs_clock_module_is_exempt(self):
+        assert findings_for(fixture("obs", "clock.py")) == []
+
+    def test_real_obs_clock_resolves_into_obs_domain(self):
+        module = module_name_for(
+            os.path.join("src", "repro", "obs", "clock.py")
+        )
+        assert module == "repro.obs.clock"
+        assert domain_of(module) == "obs"
+
 
 class TestSuppressionSyntax:
     def test_bare_noqa_silences_all_rules(self):

@@ -1,0 +1,219 @@
+"""Tests for run manifests and the JSONL run logger."""
+
+import json
+
+import pytest
+
+from repro.algorithms import DimensionOrderPolicy, RestrictedPriorityPolicy
+from repro.core.buffered_engine import BufferedEngine
+from repro.core.engine import HotPotatoEngine
+from repro.dynamic import BernoulliTraffic, BufferedDynamicEngine, DynamicEngine
+from repro.obs.manifest import (
+    SCHEMA_VERSION,
+    JsonlRunLogger,
+    RunManifest,
+    append_manifest,
+    git_sha,
+    manifest_for_engine,
+    manifest_from_run_result,
+    read_manifests,
+    validate_manifest,
+)
+from repro.obs.profiler import PhaseProfiler
+from repro.workloads import random_many_to_many
+
+
+def run_batch_engine(mesh, **kwargs):
+    problem = random_many_to_many(mesh, k=10, seed=21)
+    engine = HotPotatoEngine(problem, RestrictedPriorityPolicy(), seed=21,
+                             **kwargs)
+    return engine, engine.run()
+
+
+class TestGitSha:
+    def test_returns_short_sha_for_this_repo(self):
+        sha = git_sha()
+        assert sha != "unknown"
+        assert len(sha.replace("-dirty", "")) >= 7
+
+    def test_unknown_outside_any_repo(self, tmp_path):
+        assert git_sha(cwd=str(tmp_path)) == "unknown"
+
+
+class TestManifestForEngine:
+    def test_describes_a_finished_batch_run(self, mesh8):
+        engine, result = run_batch_engine(mesh8)
+        manifest = manifest_for_engine(engine, result, command="route")
+        assert manifest.command == "route"
+        assert manifest.engine == "hot-potato"
+        assert manifest.mesh["side"] == 8
+        assert manifest.mesh["num_nodes"] == 64
+        assert manifest.policy == "restricted-priority"
+        assert manifest.seed == 21
+        assert manifest.result["kind"] == "batch"
+        assert manifest.result["delivered"] == 10
+        assert manifest.telemetry is not None
+        assert manifest.telemetry["delivered"] == 10
+        assert validate_manifest(manifest.to_dict()) == []
+
+    def test_profiler_payload_attached_when_given(self, mesh8):
+        from repro.core.validation import validators_for
+
+        profiler = PhaseProfiler()
+        policy = RestrictedPriorityPolicy()
+        problem = random_many_to_many(mesh8, k=10, seed=21)
+        engine = HotPotatoEngine(
+            problem,
+            policy,
+            seed=21,
+            validators=validators_for(policy, strict=False),
+            profiler=profiler,
+        )
+        result = engine.run()
+        manifest = manifest_for_engine(engine, result, profiler=profiler)
+        assert manifest.phases is not None
+        assert manifest.phases["steps"] == result.total_steps
+        assert manifest.phase_profile() == profiler
+
+
+class TestManifestFromRunResult:
+    def test_builds_without_an_engine_in_hand(self, mesh8):
+        _, result = run_batch_engine(mesh8)
+        manifest = manifest_from_run_result(result, command="sweep")
+        assert manifest.engine == "hot-potato"
+        assert manifest.mesh["num_nodes"] is None
+        assert manifest.seed == result.seed
+        assert manifest.run_telemetry() == result.telemetry
+        assert validate_manifest(manifest.to_dict()) == []
+
+
+class TestValidateManifest:
+    def manifest_dict(self, mesh8):
+        engine, result = run_batch_engine(mesh8)
+        return manifest_for_engine(engine, result).to_dict()
+
+    def test_missing_field_reported(self, mesh8):
+        data = self.manifest_dict(mesh8)
+        del data["git_sha"]
+        assert any("git_sha" in p for p in validate_manifest(data))
+
+    def test_wrong_type_reported(self, mesh8):
+        data = self.manifest_dict(mesh8)
+        data["engine"] = 7
+        assert any("engine" in p for p in validate_manifest(data))
+
+    def test_unknown_field_reported(self, mesh8):
+        data = self.manifest_dict(mesh8)
+        data["surprise"] = 1
+        assert any("surprise" in p for p in validate_manifest(data))
+
+    def test_schema_version_mismatch_reported(self, mesh8):
+        data = self.manifest_dict(mesh8)
+        data["schema_version"] = SCHEMA_VERSION + 1
+        assert any("schema_version" in p for p in validate_manifest(data))
+
+    def test_from_dict_raises_on_invalid(self):
+        with pytest.raises(ValueError, match="invalid run manifest"):
+            RunManifest.from_dict({"schema_version": SCHEMA_VERSION})
+
+
+class TestJsonlRoundTrip:
+    def test_append_then_read_back_identical(self, mesh8, tmp_path):
+        path = str(tmp_path / "runs" / "manifests.jsonl")
+        engine, result = run_batch_engine(mesh8)
+        manifest = manifest_for_engine(engine, result, command="route")
+        append_manifest(manifest, path)
+        append_manifest(manifest, path)
+        read = read_manifests(path)
+        assert len(read) == 2
+        assert read[0] == manifest
+
+    def test_lines_are_plain_compact_json(self, mesh8, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        engine, result = run_batch_engine(mesh8)
+        append_manifest(manifest_for_engine(engine, result), path)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert validate_manifest(parsed) == []
+
+
+class TestJsonlRunLogger:
+    def test_logs_hot_potato_run(self, mesh8, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        logger = JsonlRunLogger(path, command="route")
+        run_batch_engine(mesh8, observers=[logger])
+        assert logger.written == 1
+        manifest = read_manifests(path)[0]
+        assert manifest.engine == "hot-potato"
+        assert manifest.result["kind"] == "batch"
+
+    def test_logs_buffered_run(self, mesh8, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        problem = random_many_to_many(mesh8, k=10, seed=22)
+        BufferedEngine(
+            problem,
+            DimensionOrderPolicy(),
+            seed=22,
+            observers=[JsonlRunLogger(path)],
+        ).run()
+        manifest = read_manifests(path)[0]
+        assert manifest.engine == "buffered"
+        assert manifest.seed == 22
+
+    def test_logs_dynamic_runs(self, mesh8, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        DynamicEngine(
+            mesh8,
+            RestrictedPriorityPolicy(),
+            BernoulliTraffic(0.1),
+            seed=5,
+            observers=[JsonlRunLogger(path, command="dynamic")],
+        ).run(50)
+        BufferedDynamicEngine(
+            mesh8,
+            DimensionOrderPolicy(),
+            BernoulliTraffic(0.1),
+            seed=5,
+            observers=[JsonlRunLogger(path, command="dynamic")],
+        ).run(50)
+        manifests = read_manifests(path)
+        assert [m.engine for m in manifests] == ["dynamic",
+                                                 "buffered-dynamic"]
+        assert all(m.result["kind"] == "dynamic" for m in manifests)
+        assert all(m.result["horizon"] == 50 for m in manifests)
+        assert all(m.telemetry is not None for m in manifests)
+
+    def test_logger_keeps_the_lean_loop(self, mesh8, tmp_path):
+        from repro.core.kernel import lean_equivalent
+        from repro.core.validation import validators_for
+
+        logger = JsonlRunLogger(str(tmp_path / "m.jsonl"))
+        assert logger.needs_steps is False
+        assert lean_equivalent([], [logger], False)
+        # The profiler only runs on the lean loop, so a profiled run
+        # with the logger attached proves the logger didn't force the
+        # instrumented loop (the engine would raise otherwise).
+        policy = RestrictedPriorityPolicy()
+        engine = HotPotatoEngine(
+            random_many_to_many(mesh8, k=10, seed=21),
+            policy,
+            seed=21,
+            validators=validators_for(policy, strict=False),
+            observers=[logger],
+            profiler=PhaseProfiler(),
+        )
+        assert engine.run().completed
+        assert logger.written == 1
+
+    def test_fires_without_on_run_start_only_for_run_results(self, mesh8,
+                                                             tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        logger = JsonlRunLogger(path)
+        _, result = run_batch_engine(mesh8)
+        logger.on_run_end(result)
+        assert read_manifests(path)[0].engine == "hot-potato"
+        bare = JsonlRunLogger(path)
+        with pytest.raises(RuntimeError, match="without on_run_start"):
+            bare.on_run_end(object())

@@ -1,0 +1,92 @@
+"""Unit tests for the kernel phase profiler."""
+
+import pytest
+
+from repro.obs.profiler import PHASES, PhaseProfiler
+
+
+class TestRecordStep:
+    def test_accumulates_per_phase(self):
+        prof = PhaseProfiler()
+        prof.record_step(1, 2, 3, 4, 5)
+        prof.record_step(10, 20, 30, 40, 50)
+        assert prof.steps == 2
+        assert prof.totals() == {
+            "inject": 11,
+            "rank": 22,
+            "arc_assign": 33,
+            "move": 44,
+            "deliver": 55,
+        }
+        assert prof.total_ns == 165
+
+    def test_totals_keys_match_phase_order(self):
+        assert tuple(PhaseProfiler().totals()) == PHASES
+
+
+class TestShares:
+    def test_shares_sum_to_one(self):
+        prof = PhaseProfiler()
+        prof.record_step(1, 2, 3, 4, 10)
+        shares = prof.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["deliver"] == pytest.approx(0.5)
+
+    def test_empty_run_shares_are_zero(self):
+        assert PhaseProfiler().shares() == {p: 0.0 for p in PHASES}
+
+
+class TestMerge:
+    def test_everything_adds(self):
+        a = PhaseProfiler()
+        a.record_step(1, 1, 1, 1, 1)
+        b = PhaseProfiler()
+        b.record_step(2, 2, 2, 2, 2)
+        b.record_step(3, 3, 3, 3, 3)
+        a.merge(b)
+        assert a.steps == 3
+        assert a.total_ns == 30
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        prof = PhaseProfiler()
+        prof.record_step(1, 2, 3, 4, 5)
+        assert PhaseProfiler.from_dict(prof.to_dict()) == prof
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown profiler fields"):
+            PhaseProfiler.from_dict({"steps": 1, "bogus_ns": 2})
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            PhaseProfiler.from_dict({"rank_ns": 1.5})
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            PhaseProfiler.from_dict({"steps": True})
+
+
+class TestClock:
+    def test_clock_is_monotonic_nanoseconds(self):
+        prof = PhaseProfiler()
+        first = prof.clock()
+        second = prof.clock()
+        assert isinstance(first, int)
+        assert second >= first
+
+
+class TestFormatTable:
+    def test_table_lists_every_phase_and_total(self):
+        prof = PhaseProfiler()
+        prof.record_step(1_000_000, 2_000_000, 3_000_000,
+                         4_000_000, 5_000_000)
+        table = prof.format_table()
+        for phase in PHASES:
+            assert phase in table
+        assert "total" in table
+        assert "1 steps" in table
+
+    def test_empty_profile_renders_without_division_error(self):
+        table = PhaseProfiler().format_table()
+        assert "total" in table

@@ -1,0 +1,128 @@
+"""Unit tests for the lean-path run counters."""
+
+import pytest
+
+from repro.core.kernel import StepSummary
+from repro.obs.telemetry import RunTelemetry, aggregate
+
+
+def summary(**overrides):
+    base = dict(
+        step=0,
+        generated=0,
+        injected=0,
+        routed=0,
+        moved=0,
+        advancing=0,
+        delivered=0,
+        delivered_total=0,
+        total_distance=0,
+        max_node_load=0,
+        bad_nodes=0,
+        packets_in_bad_nodes=0,
+        backlog=0,
+    )
+    base.update(overrides)
+    return StepSummary(**base)
+
+
+class TestNoteSummary:
+    def test_totals_add_and_peaks_max(self):
+        tel = RunTelemetry()
+        tel.note_summary(
+            summary(routed=5, moved=5, advancing=4, delivered=1,
+                    max_node_load=2, backlog=3)
+        )
+        tel.note_summary(
+            summary(routed=3, moved=3, advancing=3, delivered=2,
+                    max_node_load=1, backlog=1)
+        )
+        assert tel.steps == 2
+        assert tel.packet_steps == 8
+        assert tel.delivered == 3
+        assert tel.advances == 7
+        assert tel.deflections == 1
+        assert tel.max_in_flight == 5
+        assert tel.max_node_load == 2
+        assert tel.max_backlog == 3
+
+    def test_generated_and_injected_counted(self):
+        tel = RunTelemetry()
+        tel.note_summary(summary(generated=4, injected=2))
+        assert tel.generated == 4
+        assert tel.injected == 2
+
+
+class TestMergeAndAggregate:
+    def test_merge_is_the_cross_worker_rule(self):
+        a = RunTelemetry(steps=2, packet_steps=10, delivered=3,
+                         advances=8, deflections=2, max_in_flight=7,
+                         max_node_load=2, max_backlog=0)
+        b = RunTelemetry(steps=3, packet_steps=4, delivered=1,
+                         advances=4, deflections=0, max_in_flight=2,
+                         max_node_load=3, max_backlog=5)
+        a.merge(b)
+        assert a.steps == 5
+        assert a.packet_steps == 14
+        assert a.delivered == 4
+        assert a.max_in_flight == 7
+        assert a.max_node_load == 3
+        assert a.max_backlog == 5
+
+    def test_aggregate_skips_none_entries(self):
+        total = aggregate([None, RunTelemetry(steps=1), None,
+                           RunTelemetry(steps=2)])
+        assert total is not None
+        assert total.steps == 3
+
+    def test_aggregate_of_all_none_is_none(self):
+        assert aggregate([None, None]) is None
+        assert aggregate([]) is None
+
+    def test_aggregate_does_not_mutate_inputs(self):
+        item = RunTelemetry(steps=1)
+        total = aggregate([item, RunTelemetry(steps=1)])
+        assert item.steps == 1
+        assert total.steps == 2
+
+
+class TestDeflectionRate:
+    def test_rate_over_moved_packet_steps(self):
+        tel = RunTelemetry(advances=6, deflections=2)
+        assert tel.deflection_rate == pytest.approx(0.25)
+
+    def test_empty_run_is_zero_not_nan(self):
+        assert RunTelemetry().deflection_rate == 0.0
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        tel = RunTelemetry(steps=4, packet_steps=9, generated=1,
+                           injected=1, delivered=2, advances=7,
+                           deflections=2, max_in_flight=3,
+                           max_node_load=2, max_backlog=1)
+        assert RunTelemetry.from_dict(tel.to_dict()) == tel
+
+    def test_partial_dict_fills_defaults(self):
+        tel = RunTelemetry.from_dict({"steps": 2})
+        assert tel.steps == 2
+        assert tel.packet_steps == 0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown telemetry fields"):
+            RunTelemetry.from_dict({"steps": 1, "bogus": 2})
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            RunTelemetry.from_dict({"steps": 1.5})
+
+    def test_bool_rejected_despite_being_int_subclass(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            RunTelemetry.from_dict({"steps": True})
+
+
+class TestSummaryLine:
+    def test_one_line_with_headline_counters(self):
+        line = RunTelemetry(steps=3, packet_steps=12).summary()
+        assert "\n" not in line
+        assert line.startswith("telemetry: steps=3 packet_steps=12")

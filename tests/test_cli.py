@@ -179,6 +179,177 @@ class TestDynamic:
         assert "queue" in out
 
 
+class TestProfile:
+    def test_batch_profile_prints_phase_table(self, capsys):
+        code = main(["profile", "--side", "6", "--k", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for phase in ("inject", "rank", "arc_assign", "move", "deliver"):
+            assert phase in out
+        assert "telemetry:" in out
+        assert "us/step" in out
+
+    def test_buffered_profile(self, capsys):
+        code = main(
+            ["profile", "--side", "6", "--k", "12", "--engine", "buffered"]
+        )
+        assert code == 0
+        assert "dimension-order" in capsys.readouterr().out
+
+    def test_dynamic_profile(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--engine",
+                "dynamic",
+                "--side",
+                "5",
+                "--rate",
+                "0.1",
+                "--horizon",
+                "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        assert "telemetry:" in out
+
+    def test_buffered_dynamic_profile(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--engine",
+                "buffered-dynamic",
+                "--side",
+                "5",
+                "--rate",
+                "0.1",
+                "--horizon",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert "buffered-dynamic" in capsys.readouterr().out
+
+    def test_profile_writes_manifest_with_phases(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests
+
+        path = str(tmp_path / "m.jsonl")
+        code = main(
+            ["profile", "--side", "6", "--k", "8", "--telemetry", path]
+        )
+        assert code == 0
+        manifests = read_manifests(path)
+        assert len(manifests) == 1
+        assert manifests[0].command == "profile"
+        assert manifests[0].phases is not None
+        assert manifests[0].phases["steps"] > 0
+
+
+class TestTelemetryFlag:
+    def test_route_appends_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests, validate_manifest
+
+        path = str(tmp_path / "m.jsonl")
+        code = main(
+            ["route", "--side", "6", "--k", "8", "--telemetry", path]
+        )
+        assert code == 0
+        assert "manifest appended" in capsys.readouterr().out
+        manifests = read_manifests(path)
+        assert len(manifests) == 1
+        manifest = manifests[0]
+        assert manifest.command == "route"
+        assert manifest.engine == "hot-potato"
+        assert manifest.seed == 0
+        assert manifest.git_sha != ""
+        assert validate_manifest(manifest.to_dict()) == []
+
+    def test_route_buffered_appends_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests
+
+        path = str(tmp_path / "m.jsonl")
+        code = main(
+            [
+                "route",
+                "--side",
+                "6",
+                "--k",
+                "8",
+                "--engine",
+                "buffered",
+                "--telemetry",
+                path,
+            ]
+        )
+        assert code == 0
+        assert read_manifests(path)[0].engine == "buffered"
+
+    def test_route_telemetry_rejects_verify(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "route",
+                    "--side",
+                    "6",
+                    "--verify",
+                    "--telemetry",
+                    "unused.jsonl",
+                ]
+            )
+
+    def test_sweep_appends_one_manifest_per_point(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests
+
+        path = str(tmp_path / "m.jsonl")
+        code = main(
+            [
+                "sweep",
+                "--side",
+                "6",
+                "--k-min",
+                "4",
+                "--k-max",
+                "8",
+                "--seeds",
+                "2",
+                "--telemetry",
+                path,
+            ]
+        )
+        assert code == 0
+        manifests = read_manifests(path)
+        # two k values (4, 8) x two seeds
+        assert len(manifests) == 4
+        assert all(m.command == "sweep" for m in manifests)
+        assert all(m.telemetry is not None for m in manifests)
+
+    def test_dynamic_appends_one_manifest_per_rate(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests
+
+        path = str(tmp_path / "m.jsonl")
+        code = main(
+            [
+                "dynamic",
+                "--side",
+                "5",
+                "--rates",
+                "0.1",
+                "0.2",
+                "--horizon",
+                "50",
+                "--telemetry",
+                path,
+            ]
+        )
+        assert code == 0
+        manifests = read_manifests(path)
+        assert len(manifests) == 2
+        assert all(m.engine == "dynamic" for m in manifests)
+        assert all(m.result["kind"] == "dynamic" for m in manifests)
+
+
 class TestLivelock:
     def test_demo(self, capsys):
         code = main(["livelock", "--steps", "50"])
