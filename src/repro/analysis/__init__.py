@@ -1,5 +1,10 @@
 """Experiment harness: runners, statistics, fits, tables, livelock tools."""
 
+from repro.analysis.checkpoint import (
+    SweepCheckpoint,
+    point_from_manifest,
+    spec_key,
+)
 from repro.analysis.livelock import (
     DetectedCycle,
     GreedyLivelock,
@@ -57,6 +62,7 @@ __all__ = [
     "ParallelExecutor",
     "PowerLawFit",
     "Summary",
+    "SweepCheckpoint",
     "SweepResult",
     "TwoFactorFit",
     "WorstCaseResult",
@@ -75,7 +81,9 @@ __all__ = [
     "greedy_successors",
     "load_results",
     "parse_block",
+    "point_from_manifest",
     "ratio_summary",
+    "spec_key",
     "run_case",
     "search_with_restarts",
     "search_worst_permutation",

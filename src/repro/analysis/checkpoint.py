@@ -1,0 +1,176 @@
+"""Crash-safe sweep checkpointing over JSONL run manifests.
+
+A sweep is a pure function of its :class:`~repro.analysis.runner.CaseSpec`
+list, so each spec gets a stable content-derived identity
+(:func:`spec_key`) and every finished point is appended — fsynced — to
+a manifest file as it lands.  If the sweep process dies (power loss,
+OOM kill, ctrl-C), rerunning the same sweep with the same checkpoint
+restores every acknowledged point from disk and executes only the
+missing specs.  A torn trailing line from the crash itself is skipped
+by :func:`~repro.obs.manifest.read_manifests`'s recovery mode and the
+interrupted spec simply runs again.
+
+The checkpoint file is an ordinary run-manifest JSONL: each line is a
+full :class:`~repro.obs.manifest.RunManifest` whose optional ``case``
+field carries the spec key and sweep parameters.  Restored points hold
+a summary-level :class:`~repro.core.metrics.RunResult` (totals,
+telemetry, abort record — no per-step metrics or per-packet outcomes),
+which is exactly what sweep aggregation consumes.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+from typing import Any, Dict, List, Optional
+
+from repro.core.metrics import RunResult
+from repro.faults.report import RunAborted
+from repro.obs.manifest import (
+    RunManifest,
+    append_manifest,
+    manifest_from_run_result,
+    read_manifests,
+)
+from repro.analysis.runner import CaseSpec, ExperimentPoint
+
+__all__ = ["SweepCheckpoint", "point_from_manifest", "spec_key"]
+
+
+def _token(value: Any) -> str:
+    """A stable, seed-friendly description of one spec ingredient.
+
+    Factories must be picklable to run in a pool anyway, so they are
+    module-level callables or :func:`functools.partial` over them —
+    both have deterministic names.  Closures/lambdas fall back to
+    their qualname (without the memory address a bare repr would
+    leak), which is stable within one source version.
+    """
+    if isinstance(value, functools.partial):
+        args = ",".join(_token(a) for a in value.args)
+        kwargs = ",".join(
+            f"{k}={_token(v)}" for k, v in sorted(value.keywords.items())
+        )
+        return f"partial({_token(value.func)};{args};{kwargs})"
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        name = getattr(value, "__qualname__", None) or getattr(
+            value, "__name__", None
+        )
+        if name is None:
+            name = type(value).__name__
+        return f"{module}:{name}"
+    return repr(value)
+
+
+def spec_key(spec: CaseSpec) -> str:
+    """Stable 16-hex-digit identity of one sweep unit.
+
+    Two specs collide exactly when they would produce the same run:
+    same factories, seed, parameters, validation mode, step budget and
+    engine.  The key survives process restarts, which is what lets a
+    resumed sweep match checkpoint lines to its own spec list.
+    """
+    material = "|".join(
+        (
+            _token(spec.problem_factory),
+            _token(spec.policy_factory),
+            repr(spec.seed),
+            repr(spec.params),
+            repr(spec.strict_validation),
+            repr(spec.max_steps),
+            spec.engine,
+        )
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def point_from_manifest(manifest: RunManifest) -> ExperimentPoint:
+    """Rebuild a summary-level sweep point from a checkpoint line."""
+    case = manifest.case or {}
+    result = manifest.result
+    abort = (
+        RunAborted.from_dict(result["abort"])
+        if result.get("abort") is not None
+        else None
+    )
+    run = RunResult(
+        problem_name=manifest.workload,
+        policy_name=manifest.policy,
+        mesh_kind=manifest.mesh.get("kind", "?"),
+        dimension=manifest.mesh.get("dimension", 0),
+        side=manifest.mesh.get("side", 0),
+        k=result.get("k", 0),
+        completed=bool(result.get("completed", False)),
+        total_steps=result.get("total_steps", 0),
+        delivered=result.get("delivered", 0),
+        seed=manifest.seed,
+        telemetry=manifest.run_telemetry(),
+        abort=abort,
+    )
+    return ExperimentPoint(params=dict(case.get("params", {})), result=run)
+
+
+class SweepCheckpoint:
+    """Append-only sweep progress ledger backed by one JSONL file.
+
+    ``record`` is called by the harness as each point completes and is
+    durable on return (``fsync``); ``restore`` reads back every intact
+    line, skipping torn or foreign ones and collecting a description
+    of each skip in :attr:`errors`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: Problems encountered by the most recent :meth:`restore` —
+        #: one human-readable string per skipped line.
+        self.errors: List[str] = []
+
+    def record(
+        self, key: str, spec: CaseSpec, point: ExperimentPoint
+    ) -> None:
+        """Durably append one finished point under its spec key."""
+        manifest = manifest_from_run_result(
+            point.result,
+            command="sweep",
+            engine=spec.engine,
+            case={"key": key, "params": dict(point.params)},
+        )
+        append_manifest(manifest, self.path, fsync=True)
+
+    def restore(self) -> Dict[str, ExperimentPoint]:
+        """Load completed points keyed by spec key.
+
+        Missing file means a fresh sweep (empty dict).  Lines without
+        a ``case`` payload (e.g. a shared manifest file that also logs
+        individual runs) are ignored rather than treated as errors.
+        """
+        self.errors = []
+        try:
+            manifests = read_manifests(self.path, errors=self.errors)
+        except FileNotFoundError:
+            return {}
+        restored: Dict[str, ExperimentPoint] = {}
+        for manifest in manifests:
+            case = manifest.case
+            if not case or "key" not in case:
+                continue
+            restored[str(case["key"])] = point_from_manifest(manifest)
+        return restored
+
+
+def restore_points(
+    checkpoint: Optional[SweepCheckpoint],
+    specs: List[CaseSpec],
+) -> Dict[int, ExperimentPoint]:
+    """Map spec indices to restored points (empty without checkpoint)."""
+    if checkpoint is None:
+        return {}
+    restored = checkpoint.restore()
+    if not restored:
+        return {}
+    return {
+        index: restored[key]
+        for index, key in enumerate(spec_key(s) for s in specs)
+        if key in restored
+    }

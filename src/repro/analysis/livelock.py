@@ -27,7 +27,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultSchedule
 
 from repro.algorithms.adversarial import SchedulePolicy, schedule_from_moves
 from repro.core.engine import HotPotatoEngine
@@ -64,6 +75,7 @@ def detect_cycle(
     *,
     seed: int = 0,
     max_steps: int = 10_000,
+    faults: Optional["FaultSchedule"] = None,
 ) -> Optional[DetectedCycle]:
     """Run a deterministic policy and report the first state repeat.
 
@@ -71,17 +83,40 @@ def detect_cycle(
     tie-breaks, a repeated state does not imply a repeated future.
     Returns None when the run terminates (all delivered) or no repeat
     shows up within ``max_steps``.
+
+    With a ``faults`` schedule the run happens on the masked topology.
+    State repeats are only counted once every scheduled event is in its
+    terminal regime (past the last window start/end), because before
+    that the topology itself is still changing and a repeated packet
+    configuration does not imply a repeated future.
     """
     engine = HotPotatoEngine(
-        problem, policy, seed=seed, max_steps=max_steps + 1
+        problem,
+        policy,
+        seed=seed,
+        max_steps=max_steps + 1,
+        faults=faults,
     )
-    seen: Dict[tuple, int] = {engine.global_state(): 0}
+    settled_at = 0
+    if faults is not None:
+        edges: List[int] = [0]
+        for event in faults.events:
+            for key in ("start", "end", "step"):
+                value = getattr(event, key, None)
+                if value is not None:
+                    edges.append(int(value))
+        settled_at = max(edges)
+    seen: Dict[tuple, int] = {}
+    if settled_at == 0:
+        seen[engine.global_state()] = 0
     step = 0
     while engine.in_flight and step < max_steps:
         engine.step()
         step += 1
         if not engine.in_flight:
             return None
+        if step < settled_at:
+            continue
         state = engine.global_state()
         if state in seen:
             return DetectedCycle(

@@ -17,7 +17,8 @@ falls back to in-process execution when parallelism is unavailable
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -51,6 +52,13 @@ class SweepResult:
     """All runs of a sweep, with aggregation helpers."""
 
     points: List[ExperimentPoint] = field(default_factory=list)
+    #: True when the harness had to retry or serially re-run part of
+    #: the batch (worker crash, wedged pool, pool start failure).  The
+    #: results are still complete and deterministic; the flag only
+    #: records that the parallel fabric misbehaved along the way.
+    degraded: bool = False
+    #: Number of points restored from a checkpoint instead of re-run.
+    resumed: int = 0
 
     def steps_by(self, key: str) -> Dict[object, List[int]]:
         """Group total-step counts by one parameter."""
@@ -158,27 +166,151 @@ class ParallelExecutor:
     * a spec fails to pickle (lambda/closure factories), or
     * the process pool cannot be started or breaks (restricted
       sandboxes, missing ``fork``/``spawn`` support).
+
+    Crash recovery: a killed or crashed worker loses only the specs it
+    was holding.  Every completed spec is kept, and up to ``retries``
+    fresh pools re-run *only* the unfinished specs (with exponential
+    ``backoff`` between attempts).  ``timeout`` bounds the wait for the
+    *next* completion: if no spec finishes within it the pool is
+    declared wedged, abandoned (``cancel_futures``), and the attempt
+    ends.  Whatever is still missing after the last attempt runs
+    serially in-process, so every spec is executed and reported exactly
+    once.  Any of these detours sets :attr:`degraded`.
+
+    Exceptions raised *by a spec itself* (policy bugs, validation
+    errors) are deterministic and re-raised immediately — retrying
+    cannot fix them and would just repeat the failure.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.25,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
         self.workers = max(1, int(workers))
+        #: Max seconds to wait for the next completion before the pool
+        #: is declared wedged; ``None`` waits forever.
+        self.timeout = timeout
+        #: Extra pool attempts after the first (0 disables retry).
+        self.retries = max(0, int(retries))
+        #: Base delay before retry ``k`` is ``backoff * 2**(k-1)``.
+        self.backoff = backoff
+        self._sleep = sleep if sleep is not None else time.sleep
         #: Aggregate counters of the most recent :meth:`run` batch.
         self.telemetry: Optional[RunTelemetry] = None
+        #: True when the most recent batch needed retries or fallbacks.
+        self.degraded = False
 
-    def run(self, specs: Sequence[CaseSpec]) -> List[ExperimentPoint]:
-        """Execute all specs, returning points in spec order."""
-        points = self._run(list(specs))
+    def run(
+        self,
+        specs: Sequence[CaseSpec],
+        *,
+        on_point: Optional[Callable[[int, ExperimentPoint], None]] = None,
+    ) -> List[ExperimentPoint]:
+        """Execute all specs, returning points in spec order.
+
+        ``on_point(index, point)`` fires once per spec as its result
+        lands (checkpoint hooks); indices refer to ``specs`` order, and
+        the callback runs in this process regardless of worker fan-out.
+        """
+        self.degraded = False
+        points = self._run(list(specs), on_point)
         self.telemetry = aggregate_telemetry(points)
         return points
 
-    def _run(self, specs: List[CaseSpec]) -> List[ExperimentPoint]:
+    def _run(
+        self,
+        specs: List[CaseSpec],
+        on_point: Optional[Callable[[int, ExperimentPoint], None]],
+    ) -> List[ExperimentPoint]:
+        results: Dict[int, ExperimentPoint] = {}
+
+        def record(index: int, point: ExperimentPoint) -> None:
+            results[index] = point
+            if on_point is not None:
+                on_point(index, point)
+
         if self.workers == 1 or len(specs) < 2 or not self._picklable(specs):
-            return [_execute_spec(spec) for spec in specs]
+            for index, spec in enumerate(specs):
+                record(index, _execute_spec(spec))
+            return [results[i] for i in range(len(specs))]
+
+        pending = list(range(len(specs)))
+        for attempt in range(self.retries + 1):
+            if not pending:
+                break
+            if attempt:
+                self.degraded = True
+                if self.backoff > 0:
+                    self._sleep(self.backoff * (2 ** (attempt - 1)))
+            self._pool_pass(specs, pending, record)
+            pending = [i for i in pending if i not in results]
+        if pending:
+            # Last resort: whatever the pools never finished runs
+            # serially here, so the batch always comes back whole.
+            self.degraded = True
+            for index in pending:
+                record(index, _execute_spec(specs[index]))
+        return [results[i] for i in range(len(specs))]
+
+    def _pool_pass(
+        self,
+        specs: List[CaseSpec],
+        pending: Sequence[int],
+        record: Callable[[int, ExperimentPoint], None],
+    ) -> None:
+        """One pool attempt over ``pending``; records what completes.
+
+        Infrastructure casualties (worker crashes, unstartable or
+        wedged pools) are swallowed — the caller retries the gaps.
+        Exceptions raised by the specs themselves propagate.
+        """
         try:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                return list(pool.map(_execute_spec, specs))
-        except (BrokenProcessPool, OSError, PermissionError):
-            return [_execute_spec(spec) for spec in specs]
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+        except (OSError, PermissionError):
+            self.degraded = True
+            return
+        clean = True
+        try:
+            futures = {
+                pool.submit(_execute_spec, specs[i]): i for i in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding,
+                    timeout=self.timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Nothing finished within the timeout: the pool is
+                    # wedged (hung worker).  Abandon it and move on.
+                    clean = False
+                    break
+                for future in done:
+                    index = futures[future]
+                    try:
+                        point = future.result()
+                    except (BrokenProcessPool, OSError, PermissionError):
+                        # This worker died; its spec stays pending.
+                        clean = False
+                        continue
+                    except BaseException:
+                        # Deterministic spec failure: don't let the
+                        # rest of the pool grind on before re-raising.
+                        clean = False
+                        raise
+                    record(index, point)
+        finally:
+            if clean:
+                pool.shutdown(wait=True)
+            else:
+                self.degraded = True
+                pool.shutdown(wait=False, cancel_futures=True)
 
     @staticmethod
     def _picklable(specs: Sequence[CaseSpec]) -> bool:
@@ -233,6 +365,8 @@ def sweep(
     strict_validation: bool = True,
     max_steps: Optional[int] = None,
     workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
+    checkpoint: Optional["object"] = None,
 ) -> SweepResult:
     """Evaluate a parameter grid.
 
@@ -240,7 +374,16 @@ def sweep(
     for one grid point; every point is replicated over ``seeds``.  With
     ``workers > 1`` the whole grid-by-seeds product is fanned out at
     once, so parallelism helps even when one grid point has few seeds.
+
+    Pass a configured :class:`ParallelExecutor` as ``executor`` to
+    control timeouts/retries (``workers`` is then ignored), and a
+    :class:`~repro.analysis.checkpoint.SweepCheckpoint` as
+    ``checkpoint`` to make the sweep crash-safe: each finished point is
+    durably recorded as it lands, and a rerun of the same sweep skips
+    every point already on disk (``SweepResult.resumed`` counts them).
     """
+    from repro.analysis.checkpoint import restore_points, spec_key
+
     specs: List[CaseSpec] = []
     for params in grid:
         problem_factory, policy_factory = case_builder(params)
@@ -255,7 +398,22 @@ def sweep(
                     max_steps=max_steps,
                 )
             )
-    return SweepResult(points=ParallelExecutor(workers).run(specs))
+    restored = restore_points(checkpoint, specs)
+    pending = [i for i in range(len(specs)) if i not in restored]
+    runner = executor if executor is not None else ParallelExecutor(workers)
+    on_point = None
+    if checkpoint is not None:
+        def on_point(local_index: int, point: ExperimentPoint) -> None:
+            index = pending[local_index]
+            checkpoint.record(spec_key(specs[index]), specs[index], point)
+    fresh = runner.run([specs[i] for i in pending], on_point=on_point)
+    by_index = dict(restored)
+    by_index.update(zip(pending, fresh))
+    return SweepResult(
+        points=[by_index[i] for i in range(len(specs))],
+        degraded=runner.degraded,
+        resumed=len(restored),
+    )
 
 
 def compare_policies(

@@ -134,6 +134,37 @@ def _resolve_policy(args: argparse.Namespace):
 # ----------------------------------------------------------------------
 
 
+def _load_faults(args: argparse.Namespace, mesh: Mesh):
+    """Load and mesh-check ``--faults PATH`` (None without the flag)."""
+    if not getattr(args, "faults", None):
+        return None
+    from repro.exceptions import ConfigurationError
+    from repro.faults import FaultSchedule
+
+    try:
+        schedule = FaultSchedule.load(args.faults)
+        schedule.check(mesh)
+    except (OSError, ValueError, ConfigurationError) as problem:
+        raise SystemExit(f"cannot use fault schedule {args.faults}: {problem}")
+    events = schedule.events
+    label = schedule.description or "unnamed"
+    print(
+        f"fault schedule {label!r}: {len(events)} events "
+        f"({len(schedule.link_faults())} link, "
+        f"{len(schedule.node_faults())} node, "
+        f"{len(schedule.packet_drops())} drop)"
+    )
+    return schedule
+
+
+def _print_fault_outcome(result) -> None:
+    """One line per fault consequence: drops always, abort when set."""
+    if result.total_dropped:
+        print(f"dropped by faults: {result.total_dropped}")
+    if result.abort is not None:
+        print(result.abort.summary())
+
+
 def cmd_route(args: argparse.Namespace) -> int:
     mesh = _build_mesh(args)
     problem = _build_workload(mesh, args)
@@ -148,7 +179,13 @@ def cmd_route(args: argparse.Namespace) -> int:
             "--telemetry logs plain engine runs; it does not combine "
             "with --verify/--save-trace"
         )
+    if args.faults and (args.verify or args.save_trace):
+        raise SystemExit(
+            "--faults injects failures into plain engine runs; it does "
+            "not combine with --verify/--save-trace"
+        )
     observers = _telemetry_observers(args, "route")
+    faults = _load_faults(args, mesh)
 
     if args.engine == "buffered":
         if args.verify or args.save_trace:
@@ -157,10 +194,12 @@ def cmd_route(args: argparse.Namespace) -> int:
                 "not apply to --engine buffered"
             )
         buffered_engine = BufferedEngine(
-            problem, policy, seed=args.seed, observers=observers
+            problem, policy, seed=args.seed, observers=observers,
+            faults=faults,
         )
         result = buffered_engine.run()
         print(result.summary())
+        _print_fault_outcome(result)
         print(f"max buffer occupancy: {buffered_engine.max_buffer_seen}")
         if args.telemetry:
             print(f"manifest appended to {args.telemetry}")
@@ -180,13 +219,15 @@ def cmd_route(args: argparse.Namespace) -> int:
         result = trace.result
     else:
         engine = HotPotatoEngine(
-            problem, policy, seed=args.seed, observers=observers
+            problem, policy, seed=args.seed, observers=observers,
+            faults=faults,
         )
         result = engine.run()
         if args.telemetry:
             print(f"manifest appended to {args.telemetry}")
 
     print(result.summary())
+    _print_fault_outcome(result)
     if mesh.dimension == 2 and mesh.kind == "mesh":
         bound = theorem20_bound(mesh.side, problem.k)
         print(
@@ -487,6 +528,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         metavar="PATH",
         help="append a structured run manifest (JSONL) for this run",
+    )
+    route.add_argument(
+        "--faults",
+        metavar="PATH",
+        help="inject failures from a JSON fault schedule (see "
+        "repro.faults.FaultSchedule); the run degrades gracefully and "
+        "ends in a structured verdict instead of a crash",
     )
     route.set_defaults(func=cmd_route)
 

@@ -39,6 +39,12 @@ from repro.core.problem import RoutingProblem
 from repro.core.rng import RngLike, describe_seed, make_rng
 from repro.core.validation import StepValidator
 from repro.exceptions import LivelockSuspectedError
+from repro.faults import (
+    ActiveFaults,
+    FaultSchedule,
+    RunWatchdog,
+    step_limit_abort,
+)
 from repro.obs.telemetry import RunTelemetry
 
 
@@ -62,6 +68,8 @@ class BufferedEngine:
         max_steps: Optional[int] = None,
         raise_on_timeout: bool = False,
         profiler: Optional[PhaseSink] = None,
+        faults: Optional[FaultSchedule] = None,
+        watchdog: Optional[RunWatchdog] = None,
     ) -> None:
         self.problem = problem
         self.mesh = problem.mesh
@@ -76,6 +84,17 @@ class BufferedEngine:
         self.raise_on_timeout = raise_on_timeout
         self.profiler = profiler
         self.telemetry = RunTelemetry()
+        self.faults = faults
+        if watchdog is None and faults is not None:
+            watchdog = RunWatchdog()
+        self.watchdog = watchdog
+        if profiler is not None and (
+            faults is not None or watchdog is not None
+        ):
+            raise ValueError(
+                "profiling is incompatible with faults/watchdogs; "
+                "drop the profiler or the fault schedule"
+            )
         self.packets: List[Packet] = problem.make_packets()
         self._metrics: List[StepMetrics] = []
         self._max_buffer_seen = 0
@@ -88,6 +107,12 @@ class BufferedEngine:
             set_entry_direction=False,
             emit=self._note,
             telemetry=self.telemetry,
+            faults=(
+                ActiveFaults(self.mesh, faults)
+                if faults is not None
+                else None
+            ),
+            watchdog=watchdog,
         )
 
     @property
@@ -106,6 +131,9 @@ class BufferedEngine:
 
     def run(self) -> RunResult:
         self._start()
+        watchdog = self._kernel.watchdog
+        if watchdog is not None:
+            watchdog.reset(self._kernel)
         if lean_equivalent(self.validators, self.observers, False):
             if self.profiler is not None:
                 self._kernel.run_profiled(self.max_steps, self.profiler)
@@ -118,11 +146,28 @@ class BufferedEngine:
                     "step-consuming observers and validators first"
                 )
             while self.in_flight and self.time < self.max_steps:
+                if watchdog is not None:
+                    verdict = watchdog.check(self._kernel)
+                    if verdict is not None:
+                        self._kernel.abort = verdict
+                        break
                 self.step()
-        if self.in_flight and self.raise_on_timeout:
+        if (
+            self.in_flight
+            and self.raise_on_timeout
+            and self._kernel.abort is None
+        ):
             raise LivelockSuspectedError(
                 f"{len(self.in_flight)} packets still buffered after "
                 f"{self.time} steps under {self.policy.name!r}"
+            )
+        if (
+            self._kernel.abort is None
+            and self.in_flight
+            and self.time >= self.max_steps
+        ):
+            self._kernel.abort = step_limit_abort(
+                self._kernel, self.max_steps
             )
         result = build_run_result(
             self.problem,
@@ -132,6 +177,7 @@ class BufferedEngine:
             self._metrics,
             None,
             self._seed,
+            abort=self._kernel.abort,
         )
         for observer in self.observers:
             observer.on_run_end(result)

@@ -43,6 +43,12 @@ from repro.core.problem import RoutingProblem
 from repro.core.rng import RngLike, describe_seed, make_rng
 from repro.core.validation import StepValidator, validators_for
 from repro.exceptions import LivelockSuspectedError
+from repro.faults import (
+    ActiveFaults,
+    FaultSchedule,
+    RunWatchdog,
+    step_limit_abort,
+)
 from repro.mesh.directions import Direction
 from repro.obs.telemetry import RunTelemetry
 from repro.types import Node, PacketId
@@ -87,6 +93,17 @@ class HotPotatoEngine:
             :meth:`run` uses the kernel's profiled loop and accumulates
             per-phase wall time into it.  Profiling requires fast-path
             eligibility — the phases being timed are the lean loop's.
+        faults: optional :class:`~repro.faults.FaultSchedule` applied
+            deterministically during the run (down links, failed nodes,
+            packet drops); the engine routes around failures through
+            the masked topology view.  ``None`` (and an empty
+            schedule) leaves runs bit-identical to a fault-free
+            engine.  Incompatible with ``profiler``.
+        watchdog: optional :class:`~repro.faults.RunWatchdog`; checked
+            every step, its verdict ends the run with a structured
+            :class:`~repro.faults.RunAborted` on the result.  A
+            default watchdog is installed automatically whenever
+            ``faults`` is given.
 
     Every engine owns a :class:`~repro.obs.telemetry.RunTelemetry`
     (``self.telemetry``, also on the returned
@@ -108,6 +125,8 @@ class HotPotatoEngine:
         raise_on_timeout: bool = False,
         fast_path: Optional[bool] = None,
         profiler: Optional[PhaseSink] = None,
+        faults: Optional[FaultSchedule] = None,
+        watchdog: Optional[RunWatchdog] = None,
     ) -> None:
         self.problem = problem
         self.mesh = problem.mesh
@@ -128,6 +147,17 @@ class HotPotatoEngine:
         self.fast_path = fast_path
         self.profiler = profiler
         self.telemetry = RunTelemetry()
+        self.faults = faults
+        if watchdog is None and faults is not None:
+            watchdog = RunWatchdog()
+        self.watchdog = watchdog
+        if profiler is not None and (
+            faults is not None or watchdog is not None
+        ):
+            raise ValueError(
+                "profiling is incompatible with faults/watchdogs; "
+                "drop the profiler or the fault schedule"
+            )
 
         self.packets: List[Packet] = problem.make_packets()
         self._records: List[StepRecord] = []
@@ -142,6 +172,12 @@ class HotPotatoEngine:
             record_paths=record_paths,
             emit=self._emit_lean,
             telemetry=self.telemetry,
+            faults=(
+                ActiveFaults(self.mesh, faults)
+                if faults is not None
+                else None
+            ),
+            watchdog=watchdog,
         )
 
     # ------------------------------------------------------------------
@@ -177,8 +213,12 @@ class HotPotatoEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        """Route until all packets are delivered or the budget runs out."""
+        """Route until all packets are delivered, the budget runs out,
+        or a watchdog issues a verdict."""
         self._start()
+        watchdog = self._kernel.watchdog
+        if watchdog is not None:
+            watchdog.reset(self._kernel)
         if self._fast_path_eligible():
             if self.profiler is not None:
                 self._kernel.run_profiled(self.max_steps, self.profiler)
@@ -193,12 +233,32 @@ class HotPotatoEngine:
                     "the capacity check)"
                 )
             while self.in_flight and self.time < self.max_steps:
+                if watchdog is not None:
+                    verdict = watchdog.check(self._kernel)
+                    if verdict is not None:
+                        self._kernel.abort = verdict
+                        break
                 self.step()
-        if self.in_flight and self.raise_on_timeout:
+        if (
+            self.in_flight
+            and self.raise_on_timeout
+            and self._kernel.abort is None
+        ):
             raise LivelockSuspectedError(
                 f"{len(self.in_flight)} packets still in flight after "
                 f"{self.time} steps (policy {self.policy.name!r} on "
                 f"{self.problem.describe()})"
+            )
+        if (
+            self._kernel.abort is None
+            and self.in_flight
+            and self.time >= self.max_steps
+        ):
+            # Unified incomplete-run vocabulary: a plain step-budget
+            # timeout carries the same structured record as the
+            # watchdog verdicts.
+            self._kernel.abort = step_limit_abort(
+                self._kernel, self.max_steps
             )
         result = self._build_result()
         for observer in self.observers:
@@ -307,6 +367,7 @@ class HotPotatoEngine:
             self._metrics,
             self._records if self.record_steps else None,
             self._seed,
+            abort=self._kernel.abort,
         )
 
 

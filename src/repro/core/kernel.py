@@ -80,6 +80,9 @@ from repro.mesh.topology import Mesh
 from repro.types import Node, PacketId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.report import RunAborted
+    from repro.faults.state import ActiveFaults
+    from repro.faults.watchdog import RunWatchdog
     from repro.obs.telemetry import RunTelemetry
 
 AnyPolicy = Union[RoutingPolicy, BufferedPolicy]
@@ -123,6 +126,8 @@ class StepSummary:
     bad_nodes: int
     packets_in_bad_nodes: int
     backlog: int
+    #: Packets removed by fault events this step (0 without faults).
+    dropped: int = 0
 
 
 def step_metrics_from_summary(summary: StepSummary) -> StepMetrics:
@@ -245,6 +250,15 @@ class StepKernel:
             whose integer counters every loop updates inline — the
             lean loops from local variables, the instrumented step from
             its summary — with bit-identical values on all paths.
+        faults: optional :class:`~repro.faults.state.ActiveFaults`.
+            When set, every step starts with the fault phase (mask
+            advance + packet drops) and routing consults the masked
+            mesh view; ``run_lean`` transparently switches to its
+            guarded twin.  ``None`` leaves every loop untouched —
+            the no-fault paths stay bit-identical to before.
+        watchdog: optional :class:`~repro.faults.watchdog.RunWatchdog`
+            checked at the top of every step by the run loops; a
+            verdict lands in :attr:`abort` and the loop exits.
     """
 
     def __init__(
@@ -260,6 +274,8 @@ class StepKernel:
         emit: Optional[Callable[[StepSummary], None]] = None,
         on_deliver: Optional[Callable[[Packet], None]] = None,
         telemetry: Optional["RunTelemetry"] = None,
+        faults: Optional["ActiveFaults"] = None,
+        watchdog: Optional["RunWatchdog"] = None,
     ) -> None:
         if node_order not in ("insertion", "sorted"):
             raise ValueError(
@@ -286,6 +302,10 @@ class StepKernel:
         self.emit = emit
         self.on_deliver = on_deliver
         self.telemetry = telemetry
+        self.faults = faults
+        self.watchdog = watchdog
+        #: Set by a watchdog verdict; run loops exit when it appears.
+        self.abort: Optional["RunAborted"] = None
 
         self.time = 0
         self.in_flight: List[Packet] = []
@@ -333,6 +353,36 @@ class StepKernel:
                 dist[packet.id] = distance(packet.location, packet.destination)
         return generated, injected, source.backlog_size()
 
+    def _apply_faults(self) -> int:
+        """The fault phase: advance the mask, remove this step's victims.
+
+        Runs at the very top of a step, before injection, on both the
+        guarded lean loop and the instrumented step.  Victim selection
+        (packets at failed nodes, plus scheduled drop events, lowest
+        ids first) is delegated to
+        :meth:`~repro.faults.state.ActiveFaults.select_drops`; this
+        method applies the removal to the kernel's state.  Returns the
+        number of packets dropped.
+        """
+        faults = self.faults
+        if faults is None:
+            return 0
+        faults.advance(self.time)
+        victims = faults.select_drops(self.time, self.in_flight)
+        if not victims:
+            return 0
+        victim_ids = {p.id for p in victims}
+        self.in_flight = [
+            p for p in self.in_flight if p.id not in victim_ids
+        ]
+        dist = self._dist
+        now = self.time
+        for packet in victims:
+            packet.dropped_at = now
+            del dist[packet.id]
+            faults.dropped_ids.append(packet.id)
+        return len(victims)
+
     # ------------------------------------------------------------------
     # The lean loop (formerly HotPotatoEngine._run_fast)
     # ------------------------------------------------------------------
@@ -355,7 +405,14 @@ class StepKernel:
 
         Batch kernels (no injection) stop early once ``in_flight``
         drains; injecting kernels run the full horizon.
+
+        With faults or a watchdog configured the call transparently
+        dispatches to :meth:`_run_lean_guarded`; this loop itself
+        never checks for them, so pristine runs pay nothing.
         """
+        if self.faults is not None or self.watchdog is not None:
+            self._run_lean_guarded(until)
+            return
         mesh = self.mesh
         dimension = mesh.dimension
         node_arcs = mesh.node_arcs
@@ -591,6 +648,262 @@ class StepKernel:
                 )
 
     # ------------------------------------------------------------------
+    # The guarded lean loop (faults + watchdog)
+    # ------------------------------------------------------------------
+
+    def _run_lean_guarded(self, until: int) -> None:
+        """The lean loop's fault/watchdog-aware twin.
+
+        Same per-step semantics as :meth:`run_lean` — same node visit
+        order, same policy RNG stream, same summary arithmetic — plus
+        three guarded phases:
+
+        * a watchdog check at the top of every step (a verdict lands
+          in :attr:`abort` and the loop exits);
+        * the fault phase (:meth:`_apply_faults`) before injection;
+        * graceful degradation — when masking leaves a node with fewer
+          live out arcs than packets, the excess packets (highest ids)
+          wait in place for the step instead of making a consistent
+          hot-potato assignment impossible.  Waiting only ever happens
+          while something is actually down; a pristine mask keeps the
+          strict pigeonhole error of the plain loop.
+
+        Routing consults the masked mesh view, so policies never see a
+        down arc.  With an empty schedule the masked tables *are* the
+        base tables and every branch below reduces to the plain lean
+        loop — the chaos-differential suite pins that bit-identity.
+        """
+        faults = self.faults
+        watchdog = self.watchdog
+        mesh = self.mesh
+        mesh_v = faults.view if faults is not None else mesh
+        dimension = mesh.dimension
+        node_arcs = mesh_v.node_arcs
+        unit_deflections = mesh.unit_deflections
+        distance = mesh.distance
+        decide = self._decide()
+        buffered = self.buffered
+        sorted_order = self.sorted_order
+        set_entry = self.set_entry_direction
+        record_paths = self.record_paths
+        emit = self.emit
+        on_deliver = self.on_deliver
+        stop_when_empty = self.injection is None
+        dist = self._dist
+        tel = self.telemetry
+
+        while self.time < until:
+            if stop_when_empty and not self.in_flight:
+                break
+            if watchdog is not None:
+                verdict = watchdog.check(self)
+                if verdict is not None:
+                    self.abort = verdict
+                    break
+            dropped_now = self._apply_faults()
+            generated, injected, backlog = self._admit()
+            step_index = self.time
+            groups: Dict[Node, List[Packet]] = defaultdict(list)
+            for packet in self.in_flight:
+                groups[packet.location].append(packet)
+            routed = len(self.in_flight)
+
+            pending: Dict[PacketId, _PendingMove] = {}
+            advancing = 0
+            total_distance = 0
+            max_load = 0
+            bad_nodes = 0
+            packets_in_bad = 0
+            node_items: Iterable[Tuple[Node, List[Packet]]] = (
+                [(node, groups[node]) for node in sorted(groups)]
+                if sorted_order
+                else groups.items()
+            )
+            for node, packets in node_items:
+                load = len(packets)
+                arcs = node_arcs(node)
+                if load > max_load:
+                    max_load = load
+                if load > dimension:
+                    bad_nodes += 1
+                    packets_in_bad += load
+                view = NodeView(mesh_v, node, step_index, packets)
+                good_map = view._good
+                for packet in view.packets:
+                    total_distance += dist[packet.id]
+                decide_view = view
+                if (
+                    not buffered
+                    and faults is not None
+                    and faults.anything_down
+                    and load > arcs.degree
+                ):
+                    # Graceful degradation (only reachable while the
+                    # mask actually hides something): the excess
+                    # packets wait in place this step.
+                    live = arcs.degree
+                    for packet in view.packets[live:]:
+                        packet.advanced_last_step = False
+                        packet.restricted_last_step = (
+                            len(good_map[packet.id]) == 1
+                        )
+                    decide_view = NodeView(
+                        mesh_v, node, step_index, list(view.packets[:live])
+                    )
+                    if not decide_view.packets:
+                        continue
+                assignment = decide(decide_view)
+                by_direction = arcs.by_direction
+                seen = set()
+                if buffered:
+                    if faults is not None and faults.anything_down:
+                        # Store-and-forward degradation: a forward onto
+                        # an arc that exists but is currently down just
+                        # waits (the packet stays buffered), exactly as
+                        # if the policy had not forwarded it.  Arcs that
+                        # leave the mesh outright still fall through to
+                        # the strict check below.
+                        base_bd = mesh.node_arcs(node).by_direction
+                        assignment = {
+                            pid: d
+                            for pid, d in assignment.items()
+                            if by_direction.get(d) is not None
+                            or base_bd.get(d) is None
+                        }
+                    for packet_id, direction in assignment.items():
+                        next_node = by_direction.get(direction)
+                        if (
+                            packet_id not in good_map
+                            or direction in seen
+                            or next_node is None
+                        ):
+                            self.build_infos(decide_view, assignment)
+                            raise ArcAssignmentError(
+                                f"step {step_index}: inconsistent buffered "
+                                f"assignment at {node} (kernel check)"
+                            )
+                        seen.add(direction)
+                        advanced = direction in good_map[packet_id]
+                        pending[packet_id] = (
+                            next_node,
+                            direction,
+                            advanced,
+                            False,
+                        )
+                        if advanced:
+                            advancing += 1
+                else:
+                    load_movable = len(decide_view.packets)
+                    for packet in decide_view.packets:
+                        direction = assignment.get(packet.id)
+                        next_node = (
+                            by_direction.get(direction)
+                            if direction is not None
+                            else None
+                        )
+                        if (
+                            direction is None
+                            or direction in seen
+                            or next_node is None
+                            or len(assignment) != load_movable
+                        ):
+                            self.build_infos(decide_view, assignment)
+                            raise ArcAssignmentError(
+                                f"step {step_index}: inconsistent assignment "
+                                f"at {node} (kernel fast-path check)"
+                            )
+                        seen.add(direction)
+                        good = good_map[packet.id]
+                        advanced = direction in good
+                        pending[packet.id] = (
+                            next_node,
+                            direction,
+                            advanced,
+                            len(good) == 1,
+                        )
+                        if advanced:
+                            advancing += 1
+
+            # Move phase: one interleaved pass in in_flight order, as in
+            # the lean loop, with waiting packets (absent from
+            # ``pending``) left in place.
+            self.time += 1
+            now = self.time
+            delivered_count = 0
+            remaining: List[Packet] = []
+            pending_get = pending.get
+            for packet in self.in_flight:
+                entry = pending_get(packet.id)
+                if entry is not None:
+                    next_node, direction, advanced, restricted = entry
+                    if not buffered:
+                        packet.restricted_last_step = restricted
+                        packet.advanced_last_step = advanced
+                    packet.location = next_node
+                    if set_entry:
+                        packet.entry_direction = direction
+                    packet.hops += 1
+                    if advanced:
+                        packet.advances += 1
+                        dist[packet.id] -= 1
+                    else:
+                        packet.deflections += 1
+                        if unit_deflections:
+                            dist[packet.id] += 1
+                        else:
+                            dist[packet.id] = distance(
+                                next_node, packet.destination
+                            )
+                    if record_paths:
+                        packet.path.append(next_node)
+                if packet.location == packet.destination:
+                    packet.delivered_at = now
+                    delivered_count += 1
+                    del dist[packet.id]
+                    if on_deliver is not None:
+                        on_deliver(packet)
+                else:
+                    remaining.append(packet)
+            self.in_flight = remaining
+            self.delivered_total += delivered_count
+
+            if tel is not None:
+                tel.steps += 1
+                tel.packet_steps += routed
+                tel.generated += generated
+                tel.injected += injected
+                tel.delivered += delivered_count
+                tel.dropped += dropped_now
+                tel.advances += advancing
+                tel.deflections += len(pending) - advancing
+                if routed > tel.max_in_flight:
+                    tel.max_in_flight = routed
+                if max_load > tel.max_node_load:
+                    tel.max_node_load = max_load
+                if backlog > tel.max_backlog:
+                    tel.max_backlog = backlog
+
+            if emit is not None:
+                emit(
+                    StepSummary(
+                        step=step_index,
+                        generated=generated,
+                        injected=injected,
+                        routed=routed,
+                        moved=len(pending),
+                        advancing=advancing,
+                        delivered=delivered_count,
+                        delivered_total=self.delivered_total,
+                        total_distance=total_distance,
+                        max_node_load=max_load,
+                        bad_nodes=bad_nodes,
+                        packets_in_bad_nodes=packets_in_bad,
+                        backlog=backlog,
+                        dropped=dropped_now,
+                    )
+                )
+
+    # ------------------------------------------------------------------
     # The profiled loop (lean semantics + phase timing)
     # ------------------------------------------------------------------
 
@@ -610,7 +923,16 @@ class StepKernel:
 
         Kept next to :meth:`run_lean` deliberately: any change to one
         loop must be mirrored in the other.
+
+        Profiling a faulted or watchdog-guarded run is not supported —
+        the engines route those through the guarded lean loop or the
+        instrumented step instead.
         """
+        if self.faults is not None or self.watchdog is not None:
+            raise ValueError(
+                "run_profiled does not support faults or watchdogs; "
+                "drop the profiler or the fault schedule"
+            )
         mesh = self.mesh
         dimension = mesh.dimension
         node_arcs = mesh.node_arcs
@@ -845,9 +1167,12 @@ class StepKernel:
         self, validators: Sequence[StepValidator] = ()
     ) -> Tuple[StepRecord, StepSummary]:
         """Execute one step, building the full record and validating."""
+        dropped_now = self._apply_faults()
         generated, injected, backlog = self._admit()
         step_index = self.time
         mesh = self.mesh
+        faults = self.faults
+        mesh_v = faults.view if faults is not None else mesh
         dimension = mesh.dimension
         decide = self._decide()
         dist = self._dist
@@ -881,15 +1206,50 @@ class StepKernel:
             if load > dimension:
                 bad_nodes += 1
                 packets_in_bad += load
-            view = NodeView(mesh, node, step_index, node_packets)
-            assignment = decide(view)
-            node_infos = self.build_infos(view, assignment)
-            for validator in validators:
-                validator.validate_node(view, node_infos)
-            for info in node_infos:
-                infos[info.packet_id] = info
+            view = NodeView(mesh_v, node, step_index, node_packets)
             for packet in view.packets:
                 total_distance += dist[packet.id]
+            decide_view = view
+            if (
+                not self.buffered
+                and faults is not None
+                and faults.anything_down
+                and load > mesh_v.node_arcs(node).degree
+            ):
+                # Graceful degradation, mirroring _run_lean_guarded:
+                # excess packets (highest ids) wait in place.
+                live = mesh_v.node_arcs(node).degree
+                good_map = view._good
+                for packet in view.packets[live:]:
+                    packet.advanced_last_step = False
+                    packet.restricted_last_step = (
+                        len(good_map[packet.id]) == 1
+                    )
+                decide_view = NodeView(
+                    mesh_v, node, step_index, list(view.packets[:live])
+                )
+                if not decide_view.packets:
+                    continue
+            assignment = decide(decide_view)
+            if (
+                self.buffered
+                and faults is not None
+                and faults.anything_down
+            ):
+                # Store-and-forward degradation, mirroring the guarded
+                # lean loop: forwards onto down-but-real arcs wait.
+                live_bd = mesh_v.node_arcs(node).by_direction
+                base_bd = mesh.node_arcs(node).by_direction
+                assignment = {
+                    pid: d
+                    for pid, d in assignment.items()
+                    if live_bd.get(d) is not None or base_bd.get(d) is None
+                }
+            node_infos = self.build_infos(decide_view, assignment)
+            for validator in validators:
+                validator.validate_node(decide_view, node_infos)
+            for info in node_infos:
+                infos[info.packet_id] = info
 
         delivered = self._move_instrumented(infos)
         record = StepRecord(
@@ -909,6 +1269,7 @@ class StepKernel:
             bad_nodes=bad_nodes,
             packets_in_bad_nodes=packets_in_bad,
             backlog=backlog,
+            dropped=dropped_now,
         )
         if self.telemetry is not None:
             self.telemetry.note_summary(summary)
@@ -954,15 +1315,19 @@ class StepKernel:
                     f"two packets at {view.node}"
                 )
             seen_directions.add(direction)
-            next_node = self.mesh.neighbor(view.node, direction)
+            # Resolved through the view's mesh: on faulted runs that is
+            # the masked FaultView, so an assignment onto a down arc
+            # fails here exactly like one that leaves the mesh.
+            # Distances are served by the underlying geometry either way.
+            next_node = view.mesh.neighbor(view.node, direction)
             if next_node is None:
                 raise ArcAssignmentError(
                     f"step {view.step}: packet {packet.id} assigned "
                     f"direction {direction} which leaves the mesh "
                     f"at {view.node}"
                 )
-            distance_before = self.mesh.distance(view.node, packet.destination)
-            distance_after = self.mesh.distance(next_node, packet.destination)
+            distance_before = view.mesh.distance(view.node, packet.destination)
+            distance_after = view.mesh.distance(next_node, packet.destination)
             infos.append(
                 PacketStepInfo(
                     packet_id=packet.id,
@@ -987,13 +1352,17 @@ class StepKernel:
         self.time += 1
         now = self.time
         buffered = self.buffered
+        # Waiting is possible under buffered semantics and under fault
+        # degradation; only the plain hot-potato step insists on a
+        # total assignment.
+        partial = buffered or self.faults is not None
         set_entry = self.set_entry_direction
         on_deliver = self.on_deliver
         dist = self._dist
         delivered: List[PacketId] = []
         remaining: List[Packet] = []
         for packet in self.in_flight:
-            info = infos.get(packet.id) if buffered else infos[packet.id]
+            info = infos.get(packet.id) if partial else infos[packet.id]
             if info is not None:
                 if not buffered:
                     packet.restricted_last_step = info.restricted
@@ -1030,14 +1399,22 @@ def build_run_result(
     step_metrics: List[StepMetrics],
     records: Optional[List[StepRecord]],
     seed: Optional[Union[int, str]],
+    abort: Optional["RunAborted"] = None,
 ) -> RunResult:
-    """Assemble the :class:`RunResult` both batch engines return."""
+    """Assemble the :class:`RunResult` both batch engines return.
+
+    A run counts as ``completed`` only when nothing is left in flight
+    *and* no abort verdict was issued: a run whose last packets were
+    dropped by faults still completed (every packet's fate is known),
+    while a step-limit/no-progress/partition abort is structurally
+    incomplete even though the engine returned normally.
+    """
     mesh = problem.mesh
     delivered_times = [
         p.delivered_at for p in packets if p.delivered_at is not None
     ]
     total_steps = max(delivered_times) if delivered_times else 0
-    completed = not kernel.in_flight
+    completed = not kernel.in_flight and abort is None
     if not completed:
         total_steps = kernel.time
     outcomes = [
@@ -1050,6 +1427,7 @@ def build_run_result(
             hops=p.hops,
             advances=p.advances,
             deflections=p.deflections,
+            dropped_at=p.dropped_at,
         )
         for p in packets
     ]
@@ -1068,4 +1446,5 @@ def build_run_result(
         records=records,
         seed=seed,
         telemetry=kernel.telemetry,
+        abort=abort,
     )

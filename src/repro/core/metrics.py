@@ -17,6 +17,7 @@ from repro.mesh.directions import Direction
 from repro.types import Node, PacketId, Step
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.report import RunAborted
     from repro.obs.telemetry import RunTelemetry
 
 
@@ -123,10 +124,16 @@ class PacketOutcome:
     hops: int
     advances: int
     deflections: int
+    #: Step at which a fault event removed the packet, or None.
+    dropped_at: Optional[Step] = None
 
     @property
     def delivered(self) -> bool:
         return self.delivered_at is not None
+
+    @property
+    def dropped(self) -> bool:
+        return self.dropped_at is not None
 
     @property
     def stretch(self) -> Optional[float]:
@@ -157,6 +164,11 @@ class RunResult:
     (:class:`~repro.obs.telemetry.RunTelemetry`); identical whichever
     kernel loop ran, and ``None`` only for results deserialized from
     payloads that predate it.
+
+    ``abort`` is the structured termination record
+    (:class:`~repro.faults.report.RunAborted`) when a watchdog or step
+    budget ended the run early; ``None`` for runs that drained
+    normally.  ``completed`` is False whenever ``abort`` is set.
     """
 
     problem_name: str
@@ -173,6 +185,7 @@ class RunResult:
     records: Optional[List[StepRecord]] = None
     seed: Optional[Union[int, str]] = None
     telemetry: Optional["RunTelemetry"] = None
+    abort: Optional["RunAborted"] = None
 
     @property
     def max_load_seen(self) -> int:
@@ -205,9 +218,28 @@ class RunResult:
             return 1.0
         return sum(stretches) / len(stretches)
 
+    @property
+    def total_dropped(self) -> int:
+        """Packets removed by fault events during the run."""
+        return sum(1 for o in self.outcomes if o.dropped_at is not None)
+
+    @property
+    def undelivered_ids(self) -> List[PacketId]:
+        """Ids of packets neither delivered nor dropped, ascending."""
+        return sorted(
+            o.packet_id
+            for o in self.outcomes
+            if o.delivered_at is None and o.dropped_at is None
+        )
+
     def summary(self) -> str:
         """One-line result summary for tables and logs."""
-        status = "ok" if self.completed else "TIMEOUT"
+        if self.completed:
+            status = "ok"
+        elif self.abort is None or self.abort.reason == "step-limit":
+            status = "TIMEOUT"
+        else:
+            status = self.abort.reason.upper()
         return (
             f"{self.policy_name} on {self.problem_name}: "
             f"T={self.total_steps} ({status}), k={self.k}, "

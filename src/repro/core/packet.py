@@ -60,6 +60,8 @@ class Packet:
     entry_direction: Optional[Direction] = field(default=None, compare=False)
     #: Step at which the packet was absorbed at its destination, or None.
     delivered_at: Optional[Step] = field(default=None, compare=False)
+    #: Step at which a fault event removed the packet, or None.
+    dropped_at: Optional[Step] = field(default=None, compare=False)
 
     #: True when the packet got closer to its destination last step.
     advanced_last_step: bool = field(default=False, compare=False)
@@ -84,9 +86,14 @@ class Packet:
         return self.delivered_at is not None
 
     @property
+    def dropped(self) -> bool:
+        """True once a fault event removed the packet from the network."""
+        return self.dropped_at is not None
+
+    @property
     def in_flight(self) -> bool:
         """True while the packet still occupies a mesh node."""
-        return self.delivered_at is None
+        return self.delivered_at is None and self.dropped_at is None
 
     def classify(self, restricted_now: bool) -> RestrictedType:
         """Classify the packet at the start of the current step.
@@ -107,6 +114,7 @@ class Packet:
         duplicate.location = self.location
         duplicate.entry_direction = self.entry_direction
         duplicate.delivered_at = self.delivered_at
+        duplicate.dropped_at = self.dropped_at
         duplicate.advanced_last_step = self.advanced_last_step
         duplicate.restricted_last_step = self.restricted_last_step
         duplicate.hops = self.hops

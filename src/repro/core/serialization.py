@@ -23,6 +23,7 @@ from repro.core.packet import RestrictedType
 from repro.core.problem import RoutingProblem
 from repro.core.trace import Trace
 from repro.exceptions import TraceError
+from repro.faults.report import RunAborted
 from repro.mesh.directions import Direction
 from repro.mesh.hypercube import Hypercube
 from repro.mesh.topology import Mesh
@@ -135,9 +136,11 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
 
     The optional ``records`` payload is intentionally dropped — full
     movement history belongs in a :class:`Trace`, archived separately
-    via :func:`save_trace`.
+    via :func:`save_trace`.  The ``abort`` record and per-outcome
+    ``dropped_at`` stamps are emitted only when present, so payloads
+    from fault-free runs are unchanged.
     """
-    return {
+    payload = {
         "problem_name": result.problem_name,
         "policy_name": result.policy_name,
         "mesh_kind": result.mesh_kind,
@@ -178,10 +181,18 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
                 "hops": o.hops,
                 "advances": o.advances,
                 "deflections": o.deflections,
+                **(
+                    {"dropped_at": o.dropped_at}
+                    if o.dropped_at is not None
+                    else {}
+                ),
             }
             for o in result.outcomes
         ],
     }
+    if result.abort is not None:
+        payload["abort"] = result.abort.to_dict()
+    return payload
 
 
 def result_from_dict(data: Dict[str, Any]) -> RunResult:
@@ -214,9 +225,15 @@ def result_from_dict(data: Dict[str, Any]) -> RunResult:
                 hops=int(o["hops"]),
                 advances=int(o["advances"]),
                 deflections=int(o["deflections"]),
+                dropped_at=o.get("dropped_at"),
             )
             for o in data["outcomes"]
         ],
+        abort=(
+            RunAborted.from_dict(data["abort"])
+            if data.get("abort") is not None
+            else None
+        ),
     )
 
 

@@ -31,6 +31,7 @@ from repro.core.kernel import (
 from repro.core.packet import Packet
 from repro.core.problem import RoutingProblem
 from repro.core.rng import RngLike, describe_seed, make_rng
+from repro.faults import ActiveFaults, FaultSchedule, RunWatchdog
 from repro.obs.telemetry import RunTelemetry
 from repro.dynamic.injection import TrafficModel
 from repro.dynamic.stats import DynamicStats, StepSample
@@ -61,6 +62,8 @@ class DynamicEngineBase:
         warmup: int = 0,
         observers: Iterable[RunObserver] = (),
         profiler: Optional[PhaseSink] = None,
+        faults: Optional[FaultSchedule] = None,
+        watchdog: Optional[RunWatchdog] = None,
     ) -> None:
         self.mesh = mesh
         self.policy = policy
@@ -71,6 +74,17 @@ class DynamicEngineBase:
         self.observers: List[RunObserver] = list(observers)
         self.profiler = profiler
         self.telemetry = RunTelemetry()
+        self.faults = faults
+        if watchdog is None and faults is not None:
+            watchdog = RunWatchdog()
+        self.watchdog = watchdog
+        if profiler is not None and (
+            faults is not None or watchdog is not None
+        ):
+            raise ValueError(
+                "profiling is incompatible with faults/watchdogs; "
+                "drop the profiler or the fault schedule"
+            )
         self._source = self._make_source(traffic)
         self._stats = DynamicStats(warmup=warmup)
         self._started = False
@@ -84,6 +98,10 @@ class DynamicEngineBase:
             emit=self._note,
             on_deliver=self._on_deliver,
             telemetry=self.telemetry,
+            faults=(
+                ActiveFaults(mesh, faults) if faults is not None else None
+            ),
+            watchdog=watchdog,
         )
 
     # ------------------------------------------------------------------
@@ -132,22 +150,38 @@ class DynamicEngineBase:
         Fires ``on_run_end`` with the finalized stats on return, so
         run-boundary observers (manifest loggers) work on the dynamic
         engines exactly as on the batch ones.
+
+        A watchdog verdict ends the run before the requested horizon;
+        the structured :class:`~repro.faults.RunAborted` lands on
+        ``stats.abort`` (``None`` when the horizon was reached).
         """
         self._start()
+        watchdog = self._kernel.watchdog
+        if watchdog is not None:
+            watchdog.reset(self._kernel)
+        until = self.time + steps
         if any(getattr(o, "needs_steps", True) for o in self.observers):
             if self.profiler is not None:
                 raise ValueError(
                     "profiling times the lean kernel loop; detach "
                     "step-consuming observers first"
                 )
-            for _ in range(steps):
+            while self.time < until:
+                if watchdog is not None:
+                    verdict = watchdog.check(self._kernel)
+                    if verdict is not None:
+                        self._kernel.abort = verdict
+                        break
                 self.step()
         elif self.profiler is not None:
-            self._kernel.run_profiled(self.time + steps, self.profiler)
+            self._kernel.run_profiled(until, self.profiler)
         else:
-            self._kernel.run_lean(self.time + steps)
+            self._kernel.run_lean(until)
         self._stats.finalize(
-            self.time, len(self.in_flight), self._final_backlog()
+            self.time,
+            len(self.in_flight),
+            self._final_backlog(),
+            abort=self._kernel.abort,
         )
         for observer in self.observers:
             observer.on_run_end(self._stats)

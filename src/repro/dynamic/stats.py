@@ -9,7 +9,10 @@ measuring stationary behavior.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.report import RunAborted
 
 
 @dataclass(frozen=True)
@@ -51,6 +54,9 @@ class DynamicStats:
     horizon: int = 0
     final_in_flight: int = 0
     final_backlog: int = 0
+    #: Structured early-termination record when a watchdog ended the
+    #: run before its requested horizon; None for runs that finished.
+    abort: Optional["RunAborted"] = None
 
     # ------------------------------------------------------------------
     # Collection (called by the engine)
@@ -80,11 +86,16 @@ class DynamicStats:
         )
 
     def finalize(
-        self, horizon: int, in_flight: int, backlog: int
+        self,
+        horizon: int,
+        in_flight: int,
+        backlog: int,
+        abort: Optional["RunAborted"] = None,
     ) -> None:
         self.horizon = horizon
         self.final_in_flight = in_flight
         self.final_backlog = backlog
+        self.abort = abort
 
     # ------------------------------------------------------------------
     # Steady-state summaries

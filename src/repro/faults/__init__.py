@@ -1,0 +1,47 @@
+"""Deterministic fault injection and graceful degradation.
+
+Public surface:
+
+* :class:`~repro.faults.schedule.FaultSchedule` and its event types
+  (:class:`~repro.faults.schedule.LinkFault`,
+  :class:`~repro.faults.schedule.NodeFault`,
+  :class:`~repro.faults.schedule.PacketDrop`) — declarative, seeded,
+  JSON-serializable chaos.
+* :class:`~repro.faults.state.ActiveFaults` /
+  :class:`~repro.faults.state.FaultView` — the per-run masked-topology
+  runtime the kernel routes through.
+* :class:`~repro.faults.watchdog.RunWatchdog` and
+  :class:`~repro.faults.report.RunAborted` — structured termination
+  for runs that cannot finish.
+
+Engines accept ``faults=FaultSchedule(...)`` and ``watchdog=`` directly;
+see the "Fault model & graceful degradation" section of
+``docs/ARCHITECTURE.md`` for the full semantics.
+"""
+
+from repro.faults.report import ABORT_REASONS, RunAborted
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    LinkFault,
+    NodeFault,
+    PacketDrop,
+    random_schedule,
+)
+from repro.faults.state import ActiveFaults, FaultView
+from repro.faults.watchdog import RunWatchdog, step_limit_abort
+
+__all__ = [
+    "ABORT_REASONS",
+    "ActiveFaults",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultView",
+    "LinkFault",
+    "NodeFault",
+    "PacketDrop",
+    "RunAborted",
+    "RunWatchdog",
+    "random_schedule",
+    "step_limit_abort",
+]

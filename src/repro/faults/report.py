@@ -1,0 +1,98 @@
+"""Structured abort records for degraded runs.
+
+A run that cannot finish — step budget exhausted, no forward progress,
+or a fault-partitioned mesh — should end in *data*, not in a raised
+exception halfway through a sweep.  :class:`RunAborted` is that data: a
+frozen record of why the run stopped, when, what was still undelivered,
+which of those packets were provably unreachable, and the fault
+timeline that produced the situation.  Batch engines attach it to
+``RunResult.abort``; dynamic engines to ``DynamicStats.abort``.
+
+This module must stay import-light (dataclasses and typing only): the
+core result types reference :class:`RunAborted` and nothing here may
+import back into ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.types import PacketId
+
+__all__ = ["ABORT_REASONS", "RunAborted"]
+
+#: The closed vocabulary of abort reasons, shared by every engine.
+ABORT_REASONS = ("step-limit", "no-progress", "partition")
+
+
+@dataclass(frozen=True)
+class RunAborted:
+    """Why and how a run was terminated early.
+
+    Attributes:
+        reason: one of :data:`ABORT_REASONS` — ``"step-limit"`` (budget
+            exhausted), ``"no-progress"`` (watchdog saw no delivery for
+            too long), ``"partition"`` (every in-flight packet's
+            destination is unreachable through the live topology).
+        step: kernel time at which the run stopped.
+        message: one human-readable sentence.
+        undelivered: ids of every packet still in flight at the stop,
+            in ascending order (the undelivered-packet census).
+        stranded: the subset of ``undelivered`` whose destination is
+            provably unreachable from its location through live links
+            (always empty without fault injection).
+        dropped: packets removed by fault events during the run.
+        fault_events: the fault timeline (serialized schedule events)
+            that was active, for post-mortems; empty without faults.
+    """
+
+    reason: str
+    step: int
+    message: str
+    undelivered: Tuple[PacketId, ...] = ()
+    stranded: Tuple[PacketId, ...] = ()
+    dropped: int = 0
+    fault_events: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.reason not in ABORT_REASONS:
+            raise ValueError(
+                f"abort reason must be one of {ABORT_REASONS}, "
+                f"got {self.reason!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly mapping (tuples become lists)."""
+        return {
+            "reason": self.reason,
+            "step": self.step,
+            "message": self.message,
+            "undelivered": list(self.undelivered),
+            "stranded": list(self.stranded),
+            "dropped": self.dropped,
+            "fault_events": [dict(e) for e in self.fault_events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunAborted":
+        """Inverse of :meth:`to_dict` (tolerates missing new fields)."""
+        return cls(
+            reason=data["reason"],
+            step=data["step"],
+            message=data.get("message", ""),
+            undelivered=tuple(data.get("undelivered", ())),
+            stranded=tuple(data.get("stranded", ())),
+            dropped=data.get("dropped", 0),
+            fault_events=tuple(
+                dict(e) for e in data.get("fault_events", ())
+            ),
+        )
+
+    def summary(self) -> str:
+        """One log-friendly line."""
+        return (
+            f"aborted[{self.reason}] at step {self.step}: {self.message} "
+            f"(undelivered={len(self.undelivered)}, "
+            f"stranded={len(self.stranded)}, dropped={self.dropped})"
+        )

@@ -1,0 +1,166 @@
+"""Run watchdogs: graceful termination for runs that cannot finish.
+
+A faulted (or livelocked) run can circulate packets forever.  The
+:class:`RunWatchdog` watches a kernel between steps and converts three
+hopeless situations into a structured
+:class:`~repro.faults.report.RunAborted` instead of an unbounded loop
+or a mid-run exception:
+
+* **no-progress** — no packet has been delivered for
+  ``no_progress_limit`` consecutive steps while packets are in flight;
+* **partition** — fault masking has split the live topology so that
+  *every* in-flight packet's destination is unreachable from its
+  location (checked every ``partition_interval`` steps; while at least
+  one packet can still make it, the run keeps going and only the
+  stranded rest circulates);
+* **step-limit** — not detected by the watchdog itself (engines own
+  their budgets) but synthesized with the same record type via
+  :func:`step_limit_abort`, so all four engines share one incomplete-
+  run vocabulary.
+
+The watchdog holds per-run state; engines call :meth:`RunWatchdog.reset`
+at run start and :meth:`RunWatchdog.check` at the top of every step on
+both kernel paths, so lean and instrumented runs abort at the same
+step with the same record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.faults.report import RunAborted
+
+__all__ = ["RunWatchdog", "step_limit_abort"]
+
+#: Steps without a single delivery before a no-progress abort.
+DEFAULT_NO_PROGRESS_LIMIT = 512
+
+#: Steps between partition (reachability) checks.
+DEFAULT_PARTITION_INTERVAL = 32
+
+
+def _census(kernel: Any) -> tuple:
+    """(undelivered ids, stranded ids, dropped count, fault timeline)."""
+    undelivered = tuple(sorted(p.id for p in kernel.in_flight))
+    faults = getattr(kernel, "faults", None)
+    if faults is None:
+        return undelivered, (), 0, ()
+    return (
+        undelivered,
+        tuple(faults.stranded_ids(kernel.in_flight)),
+        len(faults.dropped_ids),
+        faults.timeline(),
+    )
+
+
+def step_limit_abort(kernel: Any, limit: int) -> RunAborted:
+    """The structured record for a run that exhausted its step budget."""
+    undelivered, stranded, dropped, timeline = _census(kernel)
+    return RunAborted(
+        reason="step-limit",
+        step=kernel.time,
+        message=(
+            f"step limit {limit} reached with {len(undelivered)} "
+            f"packets in flight"
+        ),
+        undelivered=undelivered,
+        stranded=stranded,
+        dropped=dropped,
+        fault_events=timeline,
+    )
+
+
+class RunWatchdog:
+    """Per-run guardian; see the module docstring for semantics.
+
+    Args:
+        no_progress_limit: consecutive delivery-free steps tolerated
+            while packets are in flight; ``None`` disables the check.
+        partition_interval: steps between reachability sweeps;
+            ``None`` disables partition detection.
+
+    A single watchdog instance belongs to a single run at a time —
+    engines :meth:`reset` it at run start.
+    """
+
+    def __init__(
+        self,
+        *,
+        no_progress_limit: Optional[int] = DEFAULT_NO_PROGRESS_LIMIT,
+        partition_interval: Optional[int] = DEFAULT_PARTITION_INTERVAL,
+    ) -> None:
+        if no_progress_limit is not None and no_progress_limit < 1:
+            raise ValueError("no_progress_limit must be >= 1 or None")
+        if partition_interval is not None and partition_interval < 1:
+            raise ValueError("partition_interval must be >= 1 or None")
+        self.no_progress_limit = no_progress_limit
+        self.partition_interval = partition_interval
+        self._last_progress = 0
+        self._last_delivered = 0
+        self._next_partition_check = 0
+
+    def reset(self, kernel: Any) -> None:
+        """Start guarding a (possibly mid-simulation) kernel."""
+        self._last_progress = kernel.time
+        self._last_delivered = kernel.delivered_total
+        if self.partition_interval is not None:
+            self._next_partition_check = (
+                kernel.time + self.partition_interval
+            )
+
+    def check(self, kernel: Any) -> Optional[RunAborted]:
+        """Inspect the kernel before a step; a non-``None`` return is
+        the structured verdict that the run cannot usefully continue."""
+        time = kernel.time
+        delivered = kernel.delivered_total
+        if delivered > self._last_delivered:
+            self._last_delivered = delivered
+            self._last_progress = time
+        if not kernel.in_flight:
+            return None
+        if (
+            self.no_progress_limit is not None
+            and time - self._last_progress >= self.no_progress_limit
+        ):
+            undelivered, stranded, dropped, timeline = _census(kernel)
+            return RunAborted(
+                reason="no-progress",
+                step=time,
+                message=(
+                    f"no packet delivered for {time - self._last_progress} "
+                    f"steps with {len(undelivered)} in flight"
+                ),
+                undelivered=undelivered,
+                stranded=stranded,
+                dropped=dropped,
+                fault_events=timeline,
+            )
+        faults = getattr(kernel, "faults", None)
+        if (
+            faults is not None
+            and self.partition_interval is not None
+            and time >= self._next_partition_check
+        ):
+            self._next_partition_check = time + self.partition_interval
+            if faults.anything_down:
+                stranded_ids = faults.stranded_ids(kernel.in_flight)
+                if stranded_ids and len(stranded_ids) == len(
+                    kernel.in_flight
+                ):
+                    undelivered, stranded, dropped, timeline = _census(
+                        kernel
+                    )
+                    return RunAborted(
+                        reason="partition",
+                        step=time,
+                        message=(
+                            f"all {len(undelivered)} in-flight packets "
+                            f"are cut off from their destinations by "
+                            f"the live topology"
+                        ),
+                        undelivered=undelivered,
+                        stranded=stranded,
+                        dropped=dropped,
+                        fault_events=timeline,
+                    )
+        return None

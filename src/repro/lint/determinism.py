@@ -476,7 +476,8 @@ class WallClockRule(Rule):
 
     Simulation time is ``engine.time``, advanced by the step loop; the
     host's clock has no business inside ``core``/``algorithms``/
-    ``dynamic``/``obs``.  A ``time.time()`` that leaks into a decision
+    ``dynamic``/``obs``/``faults``.  A ``time.time()`` that leaks into
+    a decision
     (or even a log emitted mid-step) makes runs unreproducible and
     benchmarks unattributable.  Timing belongs in the benchmark
     harness, which records what it measured.  ``obs.clock`` is the one
@@ -491,7 +492,7 @@ class WallClockRule(Rule):
     name = "wall-clock"
     description = "time.*/datetime.now read inside engine code"
     severity = Severity.WARNING
-    domains = frozenset({"core", "algorithms", "dynamic", "obs"})
+    domains = frozenset({"core", "algorithms", "dynamic", "obs", "faults"})
     exempt_modules = ("obs.clock",)
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:

@@ -71,6 +71,13 @@ _REQUIRED_FIELDS: Dict[str, tuple] = {
     "phases": (dict, type(None)),
 }
 
+#: Optional manifest keys (newer writers only) and their JSON types.
+#: ``case`` is the sweep-checkpoint identity payload (see
+#: :mod:`repro.analysis.checkpoint`); readers must tolerate its absence.
+_OPTIONAL_FIELDS: Dict[str, tuple] = {
+    "case": (dict, type(None)),
+}
+
 
 def git_sha(cwd: Optional[str] = None) -> str:
     """Short commit hash of the running tree (``-dirty`` suffix when the
@@ -114,6 +121,8 @@ class RunManifest:
     result: Dict[str, Any]
     telemetry: Optional[Dict[str, int]] = None
     phases: Optional[Dict[str, int]] = None
+    #: Sweep-checkpoint identity: which CaseSpec produced this run.
+    case: Optional[Dict[str, Any]] = None
     schema_version: int = SCHEMA_VERSION
     created_at: str = field(default_factory=utc_now_iso)
     git_sha: str = field(default_factory=git_sha)
@@ -121,7 +130,7 @@ class RunManifest:
     machine: str = field(default_factory=platform.machine)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "schema_version": self.schema_version,
             "created_at": self.created_at,
             "command": self.command,
@@ -137,6 +146,9 @@ class RunManifest:
             "telemetry": self.telemetry,
             "phases": self.phases,
         }
+        if self.case is not None:
+            payload["case"] = self.case
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunManifest":
@@ -161,6 +173,11 @@ class RunManifest:
             ),
             phases=(
                 dict(data["phases"]) if data["phases"] is not None else None
+            ),
+            case=(
+                dict(data["case"])
+                if data.get("case") is not None
+                else None
             ),
             schema_version=data["schema_version"],
             created_at=data["created_at"],
@@ -201,7 +218,17 @@ def validate_manifest(data: Mapping[str, Any]) -> List[str]:
         problems.append(
             f"schema_version {data['schema_version']} != {SCHEMA_VERSION}"
         )
-    unknown = set(data) - set(_REQUIRED_FIELDS)
+    for name, types in _OPTIONAL_FIELDS.items():
+        if name not in data:
+            continue
+        value = data[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            expected = "/".join(t.__name__ for t in types)
+            problems.append(
+                f"field {name!r} must be {expected}, "
+                f"got {type(value).__name__}"
+            )
+    unknown = set(data) - set(_REQUIRED_FIELDS) - set(_OPTIONAL_FIELDS)
     if unknown:
         problems.append(f"unknown fields {sorted(unknown)}")
     return problems
@@ -218,8 +245,9 @@ def _mesh_dict(mesh: Any) -> Dict[str, Any]:
 
 def _result_dict(result: Any) -> Dict[str, Any]:
     """A compact outcome summary for either result flavor."""
+    abort = getattr(result, "abort", None)
     if isinstance(result, RunResult):
-        return {
+        payload = {
             "kind": "batch",
             "completed": result.completed,
             "total_steps": result.total_steps,
@@ -227,16 +255,21 @@ def _result_dict(result: Any) -> Dict[str, Any]:
             "delivered": result.delivered,
             "total_deflections": result.total_deflections,
         }
-    # DynamicStats, duck-typed so this module never imports repro.dynamic.
-    return {
-        "kind": "dynamic",
-        "horizon": result.horizon,
-        "delivered": result.delivered_count,
-        "mean_latency": result.mean_latency,
-        "throughput": result.throughput,
-        "final_in_flight": result.final_in_flight,
-        "final_backlog": result.final_backlog,
-    }
+    else:
+        # DynamicStats, duck-typed so this module never imports
+        # repro.dynamic.
+        payload = {
+            "kind": "dynamic",
+            "horizon": result.horizon,
+            "delivered": result.delivered_count,
+            "mean_latency": result.mean_latency,
+            "throughput": result.throughput,
+            "final_in_flight": result.final_in_flight,
+            "final_backlog": result.final_backlog,
+        }
+    if abort is not None:
+        payload["abort"] = abort.to_dict()
+    return payload
 
 
 def _workload_description(engine: Any) -> str:
@@ -293,10 +326,16 @@ def manifest_from_run_result(
     engine: str = "hot-potato",
     workload: str = "",
     profiler: Optional[PhaseProfiler] = None,
+    case: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Build a manifest from a bare :class:`RunResult` (no engine in
-    hand — e.g. sweep points shipped back from worker processes)."""
+    hand — e.g. sweep points shipped back from worker processes).
+
+    ``case`` attaches the sweep-checkpoint identity payload so crashed
+    sweeps can be resumed from the manifest file alone.
+    """
     return RunManifest(
+        case=case,
         command=command,
         engine=engine,
         mesh={
@@ -318,23 +357,51 @@ def manifest_from_run_result(
     )
 
 
-def append_manifest(manifest: RunManifest, path: str) -> None:
-    """Append one manifest as a JSON line (parents created as needed)."""
+def append_manifest(
+    manifest: RunManifest, path: str, *, fsync: bool = False
+) -> None:
+    """Append one manifest as a JSON line (parents created as needed).
+
+    With ``fsync=True`` the line is flushed and fsynced before the
+    file closes, so a crash immediately after the call can lose at
+    most a torn trailing line, never an acknowledged one — the
+    durability contract the sweep checkpoint relies on.
+    """
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
     with open(path, "a", encoding="utf-8") as handle:
         json.dump(manifest.to_dict(), handle, separators=(",", ":"))
         handle.write("\n")
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
-def read_manifests(path: str) -> List[RunManifest]:
-    """Parse a JSONL manifest file back (blank lines skipped)."""
+def read_manifests(
+    path: str, *, errors: Optional[List[str]] = None
+) -> List[RunManifest]:
+    """Parse a JSONL manifest file back (blank lines skipped).
+
+    By default a malformed line raises, preserving strict behavior for
+    curated files.  Passing ``errors`` switches to recovery mode: bad
+    lines — torn tails from a crashed writer, invalid payloads — are
+    skipped and one description per casualty is appended to ``errors``,
+    so checkpoint restores survive a dirty shutdown while still
+    reporting what was lost.
+    """
     manifests: List[RunManifest] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            if errors is None:
                 manifests.append(RunManifest.from_dict(json.loads(line)))
+                continue
+            try:
+                manifests.append(RunManifest.from_dict(json.loads(line)))
+            except (ValueError, TypeError, KeyError) as problem:
+                errors.append(f"{path}:{number}: {problem}")
     return manifests
 
 

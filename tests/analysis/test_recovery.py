@@ -1,0 +1,261 @@
+"""Crash recovery in the harness: worker loss, wedged pools, spec
+retries, and checkpoint/resume for sweeps.
+
+The process-spawning scenarios are marked ``slow`` like the rest of
+the parallel suite.  Crash/hang behavior is armed through sentinel
+files so a factory misbehaves exactly once and then runs normally —
+first pool pass fails, the retry (or serial fallback) succeeds.
+"""
+
+import json
+import os
+import time
+from functools import partial
+
+import pytest
+
+from repro.algorithms import RestrictedPriorityPolicy
+from repro.analysis.checkpoint import SweepCheckpoint, spec_key
+from repro.analysis.runner import (
+    CaseSpec,
+    ParallelExecutor,
+    sweep,
+)
+from repro.mesh.topology import Mesh
+from repro.workloads import random_many_to_many
+
+
+def _problem(side, k, seed):
+    return random_many_to_many(Mesh(2, side), k=k, seed=seed)
+
+
+def _crashy_problem(sentinel, side, k, seed):
+    """Kill the whole worker process on first use, then behave."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8"):
+            pass
+        os._exit(1)
+    return _problem(side, k, seed)
+
+
+def _sleepy_problem(sentinel, side, k, seed):
+    """Hang (longer than any test timeout) on first use, then behave."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8"):
+            pass
+        time.sleep(8.0)
+    return _problem(side, k, seed)
+
+
+def _raising_problem(seed):
+    raise ValueError("deterministic spec failure")
+
+
+def _specs(problem_factory, seeds):
+    return [
+        CaseSpec(
+            problem_factory=problem_factory,
+            policy_factory=RestrictedPriorityPolicy,
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+
+
+def _case(params):
+    return (
+        partial(_problem, params["n"], params["k"]),
+        RestrictedPriorityPolicy,
+    )
+
+
+@pytest.mark.slow
+class TestWorkerCrashRecovery:
+    def test_killed_worker_costs_nothing_but_a_retry(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+        executor = ParallelExecutor(workers=2, retries=2, backoff=0)
+        specs = _specs(
+            partial(_crashy_problem, sentinel, 4, 8), [0, 1, 2, 3]
+        )
+        points = executor.run(specs)
+        assert len(points) == 4
+        assert [p.params["seed"] for p in points] == [0, 1, 2, 3]
+        assert all(p.result.completed for p in points)
+        assert executor.degraded
+        assert os.path.exists(sentinel)
+
+    def test_crash_results_match_a_clean_run(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+        crashed = ParallelExecutor(workers=2, retries=2, backoff=0).run(
+            _specs(partial(_crashy_problem, sentinel, 4, 8), [0, 1, 2])
+        )
+        clean = ParallelExecutor(workers=1).run(
+            _specs(partial(_problem, 4, 8), [0, 1, 2])
+        )
+        assert [p.result for p in crashed] == [p.result for p in clean]
+
+    def test_retries_zero_falls_back_to_serial(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+        executor = ParallelExecutor(workers=2, retries=0)
+        points = executor.run(
+            _specs(partial(_crashy_problem, sentinel, 4, 8), [0, 1])
+        )
+        assert len(points) == 2
+        assert all(p.result.completed for p in points)
+        assert executor.degraded
+
+
+@pytest.mark.slow
+class TestWedgedPoolRecovery:
+    def test_hung_worker_is_abandoned_after_the_timeout(self, tmp_path):
+        sentinel = str(tmp_path / "slept")
+        executor = ParallelExecutor(
+            workers=2, timeout=0.5, retries=1, backoff=0
+        )
+        start = time.monotonic()
+        points = executor.run(
+            _specs(partial(_sleepy_problem, sentinel, 4, 8), [0, 1, 2])
+        )
+        elapsed = time.monotonic() - start
+        assert len(points) == 3
+        assert all(p.result.completed for p in points)
+        assert executor.degraded
+        # The 8s sleeper must not be waited out.
+        assert elapsed < 6
+
+
+@pytest.mark.slow
+class TestSpecFailures:
+    def test_deterministic_spec_exception_propagates(self):
+        executor = ParallelExecutor(workers=2, retries=3, backoff=0)
+        with pytest.raises(ValueError, match="deterministic spec failure"):
+            executor.run(_specs(_raising_problem, [0, 1]))
+
+
+class TestSpecKeys:
+    def test_key_is_stable_across_equal_specs(self):
+        first = _specs(partial(_problem, 4, 8), [0])[0]
+        second = _specs(partial(_problem, 4, 8), [0])[0]
+        assert spec_key(first) == spec_key(second)
+
+    def test_key_distinguishes_every_ingredient(self):
+        base = _specs(partial(_problem, 4, 8), [0])[0]
+        keys = {spec_key(base)}
+        variants = [
+            _specs(partial(_problem, 4, 8), [1])[0],
+            _specs(partial(_problem, 4, 12), [0])[0],
+            CaseSpec(
+                problem_factory=base.problem_factory,
+                policy_factory=base.policy_factory,
+                seed=0,
+                max_steps=99,
+            ),
+            CaseSpec(
+                problem_factory=base.problem_factory,
+                policy_factory=base.policy_factory,
+                seed=0,
+                engine="buffered",
+            ),
+            CaseSpec(
+                problem_factory=base.problem_factory,
+                policy_factory=base.policy_factory,
+                seed=0,
+                strict_validation=False,
+            ),
+        ]
+        for variant in variants:
+            keys.add(spec_key(variant))
+        assert len(keys) == len(variants) + 1
+
+
+class TestCheckpointResume:
+    GRID = [{"n": 4, "k": 8}, {"n": 4, "k": 12}]
+
+    def test_fresh_sweep_records_every_point(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
+        result = sweep(self.GRID, _case, seeds=[0, 1], checkpoint=checkpoint)
+        assert result.resumed == 0
+        assert len(result.points) == 4
+        with open(checkpoint.path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(l) for l in handle if l.strip()]
+        assert len(lines) == 4
+        keys = [line["case"]["key"] for line in lines]
+        assert len(set(keys)) == 4
+
+    def test_rerun_restores_instead_of_rerunning(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
+        first = sweep(self.GRID, _case, seeds=[0, 1], checkpoint=checkpoint)
+        second = sweep(self.GRID, _case, seeds=[0, 1], checkpoint=checkpoint)
+        assert second.resumed == 4
+        assert [p.params for p in second.points] == [
+            p.params for p in first.points
+        ]
+        assert [p.result.total_steps for p in second.points] == [
+            p.result.total_steps for p in first.points
+        ]
+        assert [p.result.telemetry for p in second.points] == [
+            p.result.telemetry for p in first.points
+        ]
+        # No new lines were appended by the resumed run.
+        with open(checkpoint.path, "r", encoding="utf-8") as handle:
+            assert sum(1 for l in handle if l.strip()) == 4
+
+    def test_grown_sweep_runs_only_the_new_points(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
+        sweep(self.GRID[:1], _case, seeds=[0, 1], checkpoint=checkpoint)
+        grown = sweep(self.GRID, _case, seeds=[0, 1], checkpoint=checkpoint)
+        assert grown.resumed == 2
+        assert len(grown.points) == 4
+        with open(checkpoint.path, "r", encoding="utf-8") as handle:
+            assert sum(1 for l in handle if l.strip()) == 4
+
+    def test_torn_trailing_line_is_recovered(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
+        sweep(self.GRID, _case, seeds=[0, 1], checkpoint=checkpoint)
+        with open(checkpoint.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema_version": 1, "comman')  # torn write
+        result = sweep(self.GRID, _case, seeds=[0, 1], checkpoint=checkpoint)
+        assert result.resumed == 4
+        assert len(checkpoint.errors) == 1
+        assert "ck.jsonl" in checkpoint.errors[0]
+
+    def test_missing_file_means_fresh_sweep(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path / "never-written.jsonl"))
+        assert checkpoint.restore() == {}
+        result = sweep(self.GRID, _case, seeds=[0], checkpoint=checkpoint)
+        assert result.resumed == 0
+        assert len(result.points) == 2
+
+    def test_sweep_without_checkpoint_is_unchanged(self):
+        plain = sweep(self.GRID, _case, seeds=[0])
+        assert plain.resumed == 0
+        assert len(plain.points) == 2
+
+
+@pytest.mark.slow
+class TestCheckpointWithCrashes:
+    def test_killed_worker_sweep_checkpoints_each_spec_once(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+
+        def crashy_case(params):
+            return (
+                partial(_crashy_problem, sentinel, params["n"], params["k"]),
+                RestrictedPriorityPolicy,
+            )
+
+        checkpoint = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
+        executor = ParallelExecutor(workers=2, retries=2, backoff=0)
+        result = sweep(
+            [{"n": 4, "k": 8}],
+            crashy_case,
+            seeds=[0, 1, 2, 3],
+            executor=executor,
+            checkpoint=checkpoint,
+        )
+        assert len(result.points) == 4
+        assert result.degraded
+        with open(checkpoint.path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(l) for l in handle if l.strip()]
+        keys = [line["case"]["key"] for line in lines]
+        assert len(keys) == 4
+        assert len(set(keys)) == 4

@@ -1,0 +1,143 @@
+"""FaultSchedule: validation, serialization, seeded generation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    FaultSchedule,
+    LinkFault,
+    NodeFault,
+    PacketDrop,
+    random_schedule,
+)
+from repro.faults.schedule import SCHEDULE_SCHEMA_VERSION
+from repro.mesh.topology import Mesh
+
+
+def small_schedule():
+    return FaultSchedule(
+        events=(
+            LinkFault(a=(1, 1), b=(1, 2), start=2, end=10),
+            LinkFault(a=(2, 2), b=(3, 2), start=0, end=None),
+            NodeFault(node=(4, 4), start=5),
+            PacketDrop(node=(2, 3), step=7, count=2),
+        ),
+        description="unit fixture",
+    )
+
+
+class TestEventWindows:
+    def test_link_fault_window_is_half_open(self):
+        fault = LinkFault(a=(1, 1), b=(1, 2), start=2, end=5)
+        assert not fault.active_at(1)
+        assert fault.active_at(2)
+        assert fault.active_at(4)
+        assert not fault.active_at(5)
+
+    def test_open_ended_link_fault_never_recovers(self):
+        fault = LinkFault(a=(1, 1), b=(1, 2), start=3, end=None)
+        assert fault.active_at(3) and fault.active_at(10**6)
+
+    def test_node_fault_is_permanent(self):
+        fault = NodeFault(node=(2, 2), start=4)
+        assert not fault.active_at(3)
+        assert fault.active_at(4) and fault.active_at(1000)
+
+
+class TestValidation:
+    def test_valid_schedule_has_no_problems(self):
+        assert small_schedule().validate(Mesh(2, 4)) == []
+
+    def test_off_mesh_endpoint_is_reported(self):
+        schedule = FaultSchedule(
+            events=(LinkFault(a=(0, 1), b=(1, 1), start=0),)
+        )
+        problems = schedule.validate(Mesh(2, 4))
+        assert len(problems) == 1
+        assert "not a mesh node" in problems[0]
+
+    def test_non_adjacent_link_is_reported(self):
+        schedule = FaultSchedule(
+            events=(LinkFault(a=(1, 1), b=(3, 3), start=0),)
+        )
+        problems = schedule.validate(Mesh(2, 4))
+        assert problems and "not adjacent" in problems[0]
+
+    def test_empty_window_is_reported(self):
+        schedule = FaultSchedule(
+            events=(LinkFault(a=(1, 1), b=(1, 2), start=5, end=5),)
+        )
+        problems = schedule.validate(Mesh(2, 4))
+        assert problems and "is empty" in problems[0]
+
+    def test_nonpositive_drop_count_is_reported(self):
+        schedule = FaultSchedule(
+            events=(PacketDrop(node=(1, 1), step=0, count=0),)
+        )
+        problems = schedule.validate(Mesh(2, 4))
+        assert problems and "count must be >= 1" in problems[0]
+
+    def test_check_raises_configuration_error(self):
+        schedule = FaultSchedule(
+            events=(NodeFault(node=(9, 9), start=0),)
+        )
+        with pytest.raises(ConfigurationError, match="does not fit"):
+            schedule.check(Mesh(2, 4))
+
+
+class TestSerialization:
+    def test_dict_round_trip_is_identity(self):
+        schedule = small_schedule()
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_file_round_trip_is_identity(self, tmp_path):
+        schedule = small_schedule()
+        path = str(tmp_path / "sched.json")
+        schedule.save(path)
+        assert FaultSchedule.load(path) == schedule
+
+    def test_schema_version_is_stamped(self):
+        assert (
+            small_schedule().to_dict()["schema_version"]
+            == SCHEDULE_SCHEMA_VERSION
+        )
+
+    def test_unknown_schema_version_raises(self):
+        data = small_schedule().to_dict()
+        data["schema_version"] = SCHEDULE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            FaultSchedule.from_dict(data)
+
+    def test_unknown_event_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fault event kind"):
+            FaultSchedule.from_dict(
+                {"schema_version": 1, "events": [{"kind": "meteor"}]}
+            )
+
+    def test_empty_schedule(self):
+        empty = FaultSchedule.empty()
+        assert empty.is_empty
+        assert FaultSchedule.from_dict(empty.to_dict()) == empty
+
+
+class TestRandomSchedule:
+    def test_same_seed_same_schedule(self):
+        mesh = Mesh(2, 5)
+        kwargs = dict(link_faults=3, node_faults=1, packet_drops=2)
+        first = random_schedule(mesh, seed=11, **kwargs)
+        second = random_schedule(mesh, seed=11, **kwargs)
+        assert first == second
+
+    def test_different_seed_different_schedule(self):
+        mesh = Mesh(2, 5)
+        assert random_schedule(mesh, seed=1) != random_schedule(mesh, seed=2)
+
+    def test_generated_schedule_fits_its_mesh(self):
+        mesh = Mesh(2, 5)
+        schedule = random_schedule(
+            mesh, seed=3, link_faults=4, node_faults=2, packet_drops=3
+        )
+        assert schedule.validate(mesh) == []
+        assert len(schedule.link_faults()) == 4
+        assert len(schedule.node_faults()) == 2
+        assert len(schedule.packet_drops()) == 3

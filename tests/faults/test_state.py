@@ -1,0 +1,198 @@
+"""ActiveFaults masking, drop selection, and reachability."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import ActiveFaults, FaultSchedule
+from repro.faults.schedule import LinkFault, NodeFault, PacketDrop
+from repro.mesh.topology import Mesh
+
+
+def active(mesh, *events):
+    return ActiveFaults(mesh, FaultSchedule(events=tuple(events)))
+
+
+def packet(pid, location, destination=(1, 1)):
+    return SimpleNamespace(id=pid, location=location, destination=destination)
+
+
+class TestConstruction:
+    def test_schedule_is_checked_against_the_mesh(self):
+        with pytest.raises(ConfigurationError):
+            active(Mesh(2, 3), NodeFault(node=(9, 9), start=0))
+
+    def test_empty_schedule_masks_nothing(self):
+        faults = active(Mesh(2, 3))
+        faults.advance(0)
+        assert not faults.anything_down
+        mesh = Mesh(2, 3)
+        node = (2, 2)
+        assert faults.node_arcs(node) is mesh.node_arcs(node) or (
+            faults.node_arcs(node).by_direction
+            == mesh.node_arcs(node).by_direction
+        )
+
+
+class TestLinkMask:
+    def test_down_link_vanishes_in_both_directions(self):
+        mesh = Mesh(2, 3)
+        faults = active(mesh, LinkFault(a=(1, 1), b=(1, 2), start=0, end=5))
+        faults.advance(0)
+        assert not faults.arc_is_live((1, 1), (1, 2))
+        assert not faults.arc_is_live((1, 2), (1, 1))
+        assert (1, 2) not in faults.node_arcs((1, 1)).by_direction.values()
+        assert (1, 1) not in faults.node_arcs((1, 2)).by_direction.values()
+
+    def test_window_expiry_restores_the_link(self):
+        mesh = Mesh(2, 3)
+        faults = active(mesh, LinkFault(a=(1, 1), b=(1, 2), start=0, end=5))
+        faults.advance(0)
+        assert faults.anything_down
+        faults.advance(5)
+        assert not faults.anything_down
+        assert faults.arc_is_live((1, 1), (1, 2))
+        assert faults.node_arcs((1, 1)).by_direction == Mesh(
+            2, 3
+        ).node_arcs((1, 1)).by_direction
+
+    def test_window_not_yet_open_masks_nothing(self):
+        faults = active(
+            Mesh(2, 3), LinkFault(a=(1, 1), b=(1, 2), start=3, end=5)
+        )
+        faults.advance(0)
+        assert not faults.anything_down
+        faults.advance(3)
+        assert faults.anything_down
+
+    def test_good_directions_omit_the_down_arc(self):
+        mesh = Mesh(2, 3)
+        faults = active(mesh, LinkFault(a=(1, 1), b=(2, 1), start=0))
+        faults.advance(0)
+        base = mesh.good_directions_tuple((1, 1), (3, 3))
+        masked = faults.good_directions_tuple((1, 1), (3, 3))
+        assert set(masked) < set(base)
+        live = faults.node_arcs((1, 1)).by_direction
+        assert all(d in live for d in masked)
+
+
+class TestNodeMask:
+    def test_failed_node_has_degree_zero(self):
+        faults = active(Mesh(2, 3), NodeFault(node=(2, 2), start=0))
+        faults.advance(0)
+        assert faults.is_node_down((2, 2))
+        arcs = faults.node_arcs((2, 2))
+        assert arcs.out_directions == ()
+        assert arcs.by_direction == {}
+
+    def test_neighbors_lose_the_arc_toward_the_failed_node(self):
+        faults = active(Mesh(2, 3), NodeFault(node=(2, 2), start=0))
+        faults.advance(0)
+        for neighbor in Mesh(2, 3).neighbors((2, 2)):
+            assert (2, 2) not in faults.node_arcs(
+                neighbor
+            ).by_direction.values()
+
+    def test_failure_time_is_honoured(self):
+        faults = active(Mesh(2, 3), NodeFault(node=(2, 2), start=7))
+        faults.advance(6)
+        assert not faults.is_node_down((2, 2))
+        faults.advance(7)
+        assert faults.is_node_down((2, 2))
+
+
+class TestSelectDrops:
+    def test_drop_event_takes_lowest_ids_first(self):
+        faults = active(
+            Mesh(2, 3), PacketDrop(node=(2, 2), step=4, count=2)
+        )
+        faults.advance(4)
+        in_flight = [
+            packet(1, (2, 2)),
+            packet(3, (2, 2)),
+            packet(5, (2, 2)),
+            packet(7, (1, 1)),
+        ]
+        victims = faults.select_drops(4, in_flight)
+        assert [p.id for p in victims] == [1, 3]
+        # Non-mutating: the kernel applies the removal.
+        assert len(in_flight) == 4
+
+    def test_drop_event_only_fires_on_its_step(self):
+        faults = active(
+            Mesh(2, 3), PacketDrop(node=(2, 2), step=4, count=2)
+        )
+        faults.advance(3)
+        assert faults.select_drops(3, [packet(1, (2, 2))]) == []
+
+    def test_packets_at_a_failed_node_are_dropped(self):
+        faults = active(Mesh(2, 3), NodeFault(node=(3, 3), start=2))
+        faults.advance(2)
+        in_flight = [packet(0, (3, 3)), packet(1, (1, 2))]
+        victims = faults.select_drops(2, in_flight)
+        assert [p.id for p in victims] == [0]
+
+    def test_budgets_accumulate_across_events_at_one_node(self):
+        faults = active(
+            Mesh(2, 3),
+            PacketDrop(node=(2, 2), step=1, count=1),
+            PacketDrop(node=(2, 2), step=1, count=1),
+        )
+        faults.advance(1)
+        in_flight = [packet(i, (2, 2)) for i in range(3)]
+        victims = faults.select_drops(1, in_flight)
+        assert [p.id for p in victims] == [0, 1]
+
+
+class TestReachability:
+    def test_intact_mesh_is_one_component(self):
+        faults = active(Mesh(2, 3))
+        faults.advance(0)
+        labels = faults.components()
+        assert len(labels) == 9
+        assert set(labels.values()) == {0}
+
+    def test_failed_corner_cut_strands_the_corner(self):
+        # Killing (1, 2) and (2, 1) isolates corner (1, 1) on a 3x3.
+        faults = active(
+            Mesh(2, 3),
+            NodeFault(node=(1, 2), start=0),
+            NodeFault(node=(2, 1), start=0),
+        )
+        faults.advance(0)
+        labels = faults.components()
+        assert (1, 2) not in labels and (2, 1) not in labels
+        assert labels[(1, 1)] != labels[(3, 3)]
+        assert faults.is_stranded((1, 1), (3, 3))
+        assert faults.is_stranded((3, 3), (1, 1))
+        assert not faults.is_stranded((2, 2), (3, 3))
+
+    def test_down_endpoint_strands(self):
+        faults = active(Mesh(2, 3), NodeFault(node=(3, 3), start=0))
+        faults.advance(0)
+        assert faults.is_stranded((1, 1), (3, 3))
+
+    def test_stranded_ids_are_ascending(self):
+        faults = active(
+            Mesh(2, 3),
+            NodeFault(node=(1, 2), start=0),
+            NodeFault(node=(2, 1), start=0),
+        )
+        faults.advance(0)
+        in_flight = [
+            packet(9, (1, 1), destination=(3, 3)),
+            packet(2, (1, 1), destination=(3, 3)),
+            packet(5, (2, 2), destination=(3, 3)),
+        ]
+        assert faults.stranded_ids(in_flight) == [2, 9]
+
+    def test_components_refresh_after_recovery(self):
+        faults = active(
+            Mesh(2, 3), LinkFault(a=(1, 1), b=(1, 2), start=0, end=2)
+        )
+        faults.advance(0)
+        faults.components()
+        faults.advance(2)
+        labels = faults.components()
+        assert set(labels.values()) == {0}

@@ -1,0 +1,219 @@
+"""RunWatchdog verdicts and the RunAborted record."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.faults import ActiveFaults, FaultSchedule, RunAborted, RunWatchdog
+from repro.faults.report import ABORT_REASONS
+from repro.faults.schedule import NodeFault
+from repro.faults.watchdog import step_limit_abort
+from repro.mesh.topology import Mesh
+
+
+def packet(pid, location=(1, 1), destination=(3, 3)):
+    return SimpleNamespace(id=pid, location=location, destination=destination)
+
+
+class StubKernel:
+    """The four attributes the watchdog reads, nothing else."""
+
+    def __init__(self, *, in_flight=(), faults=None):
+        self.time = 0
+        self.delivered_total = 0
+        self.in_flight = list(in_flight)
+        self.faults = faults
+
+
+class TestConstruction:
+    def test_limits_must_be_positive_or_none(self):
+        with pytest.raises(ValueError):
+            RunWatchdog(no_progress_limit=0)
+        with pytest.raises(ValueError):
+            RunWatchdog(partition_interval=0)
+        RunWatchdog(no_progress_limit=None, partition_interval=None)
+
+
+class TestNoProgress:
+    def test_verdict_after_the_limit(self):
+        kernel = StubKernel(in_flight=[packet(0), packet(1)])
+        watchdog = RunWatchdog(
+            no_progress_limit=5, partition_interval=None
+        )
+        watchdog.reset(kernel)
+        for step in range(5):
+            kernel.time = step
+            assert watchdog.check(kernel) is None
+        kernel.time = 5
+        abort = watchdog.check(kernel)
+        assert isinstance(abort, RunAborted)
+        assert abort.reason == "no-progress"
+        assert abort.step == 5
+        assert abort.undelivered == (0, 1)
+        assert abort.stranded == ()
+
+    def test_a_delivery_resets_the_clock(self):
+        kernel = StubKernel(in_flight=[packet(0)])
+        watchdog = RunWatchdog(
+            no_progress_limit=5, partition_interval=None
+        )
+        watchdog.reset(kernel)
+        kernel.time = 4
+        kernel.delivered_total = 1
+        assert watchdog.check(kernel) is None
+        kernel.time = 8
+        assert watchdog.check(kernel) is None
+        kernel.time = 9
+        abort = watchdog.check(kernel)
+        assert abort is not None and abort.reason == "no-progress"
+
+    def test_empty_flight_never_aborts(self):
+        kernel = StubKernel(in_flight=[])
+        watchdog = RunWatchdog(no_progress_limit=1)
+        watchdog.reset(kernel)
+        kernel.time = 100
+        assert watchdog.check(kernel) is None
+
+    def test_disabled_check_never_fires(self):
+        kernel = StubKernel(in_flight=[packet(0)])
+        watchdog = RunWatchdog(
+            no_progress_limit=None, partition_interval=None
+        )
+        watchdog.reset(kernel)
+        kernel.time = 10_000
+        assert watchdog.check(kernel) is None
+
+
+def corner_cut_faults():
+    """Killing (1, 2) and (2, 1) isolates corner (1, 1) on a 3x3."""
+    faults = ActiveFaults(
+        Mesh(2, 3),
+        FaultSchedule(
+            events=(
+                NodeFault(node=(1, 2), start=0),
+                NodeFault(node=(2, 1), start=0),
+            )
+        ),
+    )
+    faults.advance(0)
+    return faults
+
+
+class TestPartition:
+    def test_all_stranded_aborts(self):
+        faults = corner_cut_faults()
+        kernel = StubKernel(
+            in_flight=[packet(0, location=(1, 1), destination=(3, 3))],
+            faults=faults,
+        )
+        watchdog = RunWatchdog(
+            no_progress_limit=None, partition_interval=1
+        )
+        watchdog.reset(kernel)
+        kernel.time = 1
+        abort = watchdog.check(kernel)
+        assert abort is not None
+        assert abort.reason == "partition"
+        assert abort.stranded == (0,)
+        assert abort.undelivered == (0,)
+        assert len(abort.fault_events) == 2
+
+    def test_some_deliverable_keeps_running(self):
+        faults = corner_cut_faults()
+        kernel = StubKernel(
+            in_flight=[
+                packet(0, location=(1, 1), destination=(3, 3)),
+                packet(1, location=(2, 2), destination=(3, 3)),
+            ],
+            faults=faults,
+        )
+        watchdog = RunWatchdog(
+            no_progress_limit=None, partition_interval=1
+        )
+        watchdog.reset(kernel)
+        kernel.time = 1
+        assert watchdog.check(kernel) is None
+
+    def test_check_respects_the_interval(self):
+        faults = corner_cut_faults()
+        kernel = StubKernel(
+            in_flight=[packet(0, location=(1, 1), destination=(3, 3))],
+            faults=faults,
+        )
+        watchdog = RunWatchdog(
+            no_progress_limit=None, partition_interval=10
+        )
+        watchdog.reset(kernel)
+        kernel.time = 5
+        assert watchdog.check(kernel) is None  # before the first sweep
+        kernel.time = 10
+        assert watchdog.check(kernel) is not None
+
+    def test_faultless_kernel_never_partition_aborts(self):
+        kernel = StubKernel(in_flight=[packet(0)], faults=None)
+        watchdog = RunWatchdog(
+            no_progress_limit=None, partition_interval=1
+        )
+        watchdog.reset(kernel)
+        kernel.time = 50
+        assert watchdog.check(kernel) is None
+
+
+class TestStepLimitAbort:
+    def test_shared_vocabulary(self):
+        kernel = StubKernel(in_flight=[packet(3), packet(1)])
+        kernel.time = 42
+        abort = step_limit_abort(kernel, 42)
+        assert abort.reason == "step-limit"
+        assert abort.step == 42
+        assert abort.undelivered == (1, 3)
+        assert abort.stranded == () and abort.dropped == 0
+
+    def test_census_reads_fault_state(self):
+        faults = corner_cut_faults()
+        faults.dropped_ids.extend([4, 5])
+        kernel = StubKernel(
+            in_flight=[packet(0, location=(1, 1), destination=(3, 3))],
+            faults=faults,
+        )
+        kernel.time = 7
+        abort = step_limit_abort(kernel, 7)
+        assert abort.stranded == (0,)
+        assert abort.dropped == 2
+        assert len(abort.fault_events) == 2
+
+
+class TestRunAbortedRecord:
+    def test_reason_vocabulary_is_closed(self):
+        with pytest.raises(ValueError, match="abort reason"):
+            RunAborted(reason="gremlins", step=0, message="")
+        for reason in ABORT_REASONS:
+            RunAborted(reason=reason, step=0, message="")
+
+    def test_dict_round_trip(self):
+        abort = RunAborted(
+            reason="partition",
+            step=9,
+            message="cut off",
+            undelivered=(1, 2),
+            stranded=(2,),
+            dropped=1,
+            fault_events=({"kind": "node", "node": [2, 2], "start": 0},),
+        )
+        assert RunAborted.from_dict(abort.to_dict()) == abort
+
+    def test_summary_mentions_reason_and_counts(self):
+        abort = RunAborted(
+            reason="no-progress",
+            step=512,
+            message="stalled",
+            undelivered=(1, 2, 3),
+            stranded=(3,),
+            dropped=2,
+        )
+        line = abort.summary()
+        assert "no-progress" in line
+        assert "step 512" in line
+        assert "undelivered=3" in line
+        assert "stranded=1" in line
+        assert "dropped=2" in line

@@ -1,0 +1,27 @@
+"""Dirty fault-schedule module: DET101/DET106 vectors for the
+``faults`` domain (never run).
+
+The real ``repro.faults`` package is pure data + masking: schedules
+are fixed before the run and never touch entropy or the wall clock at
+simulation time.  These are exactly the violations that would break
+that contract.
+"""
+
+import random
+import time
+
+
+def improvised_schedule(mesh):
+    # DET101 fire: module-level random stream picks the failed link.
+    victim = random.choice(list(mesh.nodes()))
+    # DET101 suppressed twin.
+    backup = random.choice(list(mesh.nodes()))  # repro: noqa[DET101]
+    return victim, backup
+
+
+def stamp_fault_event(event):
+    # DET106 fire: wall-clock read inside fault bookkeeping.
+    event["observed_at"] = time.time()
+    # DET106 suppressed twin.
+    event["logged_at"] = time.time()  # repro: noqa[DET106]
+    return event

@@ -226,6 +226,38 @@ class TestWallClock:
         assert domain_of(module) == "obs"
 
 
+class TestFaultsDomain:
+    """The fault layer is policed like engine code: schedules are
+    declarative data, so entropy and wall-clock reads are violations."""
+
+    def test_fixture_resolves_into_faults_domain(self):
+        module = module_name_for(fixture("faults", "chaos_schedule.py"))
+        assert module == "dirtypkg.faults.chaos_schedule"
+        assert domain_of(module) == "faults"
+
+    def test_real_faults_package_resolves_into_faults_domain(self):
+        module = module_name_for(
+            os.path.join("src", "repro", "faults", "schedule.py")
+        )
+        assert module == "repro.faults.schedule"
+        assert domain_of(module) == "faults"
+
+    def test_det101_and_det106_fire_and_their_twins_are_silent(self):
+        findings = findings_for(fixture("faults", "chaos_schedule.py"))
+        assert rules_hit(findings) == {"DET101", "DET106"}
+        assert len([f for f in findings if f.rule_id == "DET101"]) == 1
+        assert len([f for f in findings if f.rule_id == "DET106"]) == 1
+
+    def test_stripping_noqa_doubles_the_findings(self):
+        path = fixture("faults", "chaos_schedule.py")
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        stripped = source.replace("# repro: noqa", "# stripped")
+        _, findings = lint_source(stripped, path)
+        assert len([f for f in findings if f.rule_id == "DET101"]) == 2
+        assert len([f for f in findings if f.rule_id == "DET106"]) == 2
+
+
 class TestSuppressionSyntax:
     def test_bare_noqa_silences_all_rules(self):
         assert is_suppressed("x = 1  # repro: noqa", "DET101")

@@ -217,3 +217,85 @@ class TestJsonlRunLogger:
         bare = JsonlRunLogger(path)
         with pytest.raises(RuntimeError, match="without on_run_start"):
             bare.on_run_end(object())
+
+
+class TestDurableAppend:
+    def test_fsync_append_reads_back_identically(self, mesh8, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        engine, result = run_batch_engine(mesh8)
+        manifest = manifest_for_engine(engine, result, command="route")
+        append_manifest(manifest, path, fsync=True)
+        append_manifest(manifest, path, fsync=False)
+        read = read_manifests(path)
+        assert len(read) == 2
+        assert read[0] == read[1] == manifest
+
+
+class TestTornLineRecovery:
+    def write_file(self, mesh8, tmp_path, *, torn):
+        path = str(tmp_path / "m.jsonl")
+        engine, result = run_batch_engine(mesh8)
+        manifest = manifest_for_engine(engine, result)
+        append_manifest(manifest, path)
+        append_manifest(manifest, path)
+        if torn:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write('{"schema_version": 1, "comm')
+        return path, manifest
+
+    def test_strict_mode_raises_on_a_torn_tail(self, mesh8, tmp_path):
+        path, _ = self.write_file(mesh8, tmp_path, torn=True)
+        with pytest.raises((ValueError, KeyError)):
+            read_manifests(path)
+
+    def test_recovery_mode_skips_and_reports_the_tail(self, mesh8, tmp_path):
+        path, manifest = self.write_file(mesh8, tmp_path, torn=True)
+        errors = []
+        read = read_manifests(path, errors=errors)
+        assert len(read) == 2
+        assert read[0] == manifest
+        assert len(errors) == 1
+        assert errors[0].startswith(f"{path}:3:")
+
+    def test_recovery_mode_skips_mid_file_corruption(self, mesh8, tmp_path):
+        path, manifest = self.write_file(mesh8, tmp_path, torn=False)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(lines[0] + "\n")
+            handle.write("not json at all\n")
+            handle.write('{"schema_version": 99}\n')
+            handle.write(lines[1] + "\n")
+        errors = []
+        read = read_manifests(path, errors=errors)
+        assert len(read) == 2
+        assert len(errors) == 2
+        assert read[0] == read[1] == manifest
+
+    def test_clean_file_reports_no_errors(self, mesh8, tmp_path):
+        path, _ = self.write_file(mesh8, tmp_path, torn=False)
+        errors = []
+        assert len(read_manifests(path, errors=errors)) == 2
+        assert errors == []
+
+
+class TestCasePayload:
+    def test_case_field_round_trips(self, mesh8, tmp_path):
+        _, result = run_batch_engine(mesh8)
+        manifest = manifest_from_run_result(
+            result,
+            command="sweep",
+            case={"key": "abcd1234", "params": {"n": 8, "seed": 21}},
+        )
+        assert validate_manifest(manifest.to_dict()) == []
+        path = str(tmp_path / "m.jsonl")
+        append_manifest(manifest, path)
+        read = read_manifests(path)[0]
+        assert read.case == {"key": "abcd1234", "params": {"n": 8, "seed": 21}}
+
+    def test_case_field_is_optional(self, mesh8):
+        _, result = run_batch_engine(mesh8)
+        manifest = manifest_from_run_result(result, command="sweep")
+        assert manifest.case is None
+        assert "case" not in manifest.to_dict()
+        assert validate_manifest(manifest.to_dict()) == []
