@@ -57,7 +57,13 @@ K = 256
 SEED = 77
 
 
-def _run_once(strict: bool, fast_path) -> tuple:
+#: The large-scale workload only the array backend can complete in
+#: reasonable time (the scalar kernel would take minutes per run).
+LARGE_SIDE = 256
+LARGE_K = 65536
+
+
+def _run_once(strict: bool, fast_path, backend: str = "object") -> tuple:
     """One full simulation; returns (elapsed seconds, packet-steps)."""
     mesh = Mesh(2, SIDE)
     problem = random_many_to_many(mesh, k=K, seed=SEED)
@@ -68,6 +74,7 @@ def _run_once(strict: bool, fast_path) -> tuple:
         seed=SEED,
         validators=validators_for(policy, strict=strict),
         fast_path=fast_path,
+        backend=backend,
     )
     start = time.perf_counter()
     result = engine.run()
@@ -77,15 +84,43 @@ def _run_once(strict: bool, fast_path) -> tuple:
     return elapsed, packet_steps
 
 
-def _throughput(strict: bool, fast_path, repeats: int) -> float:
+def _throughput(
+    strict: bool, fast_path, repeats: int, backend: str = "object"
+) -> float:
     """Best-of-N packet-steps/sec (best-of controls scheduler noise)."""
     best = None
     for _ in range(repeats):
-        elapsed, packet_steps = _run_once(strict, fast_path)
+        elapsed, packet_steps = _run_once(strict, fast_path, backend)
         rate = packet_steps / elapsed
         if best is None or rate > best:
             best = rate
     return best
+
+
+def _run_large_once() -> tuple:
+    """The n=256, k=65536 workload on the soa backend.
+
+    Scalar-kernel throughput (~50k packet-steps/s) would need minutes
+    for the ~11M packet-steps here, so this row is array-backend only.
+    The first call also pays the one-time ArcTables build for the
+    65536-node mesh; best-of repeats absorb it.
+    """
+    mesh = Mesh(2, LARGE_SIDE)
+    problem = random_many_to_many(mesh, k=LARGE_K, seed=SEED)
+    policy = RestrictedPriorityPolicy()
+    engine = HotPotatoEngine(
+        problem,
+        policy,
+        seed=SEED,
+        validators=validators_for(policy, strict=False),
+        backend="soa",
+    )
+    start = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - start
+    assert result.completed
+    packet_steps = sum(m.in_flight for m in result.step_metrics)
+    return elapsed, packet_steps
 
 
 def _run_buffered_once() -> tuple:
@@ -192,14 +227,29 @@ def _sweep_seconds(workers: int, repeats: int) -> float:
     return best
 
 
-def build_record(workers: int, repeats: int) -> dict:
+def build_record(
+    workers: int, repeats: int, include_large: bool = True
+) -> dict:
     strict = _throughput(True, None, repeats)
     instrumented = _throughput(False, False, repeats)
     fast = _throughput(False, True, repeats)
+    soa = _throughput(False, None, repeats, backend="soa")
     buffered = _best_rate(_run_buffered_once, repeats)
     dynamic = _best_rate(partial(_run_dynamic_once, False), repeats)
     buffered_dynamic = _best_rate(partial(_run_dynamic_once, True), repeats)
     phase_shares, lean_counters = _lean_observability()
+    rates = {
+        "strict_validation": round(strict, 1),
+        "instrumented": round(instrumented, 1),
+        "fast_path": round(fast, 1),
+        "soa": round(soa, 1),
+        "buffered_batch": round(buffered, 1),
+        "dynamic": round(dynamic, 1),
+        "buffered_dynamic": round(buffered_dynamic, 1),
+    }
+    #: Which kernel produced each throughput row.
+    backend = {name: "object" for name in rates}
+    backend["soa"] = "soa"
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
@@ -208,14 +258,8 @@ def build_record(workers: int, repeats: int) -> dict:
         "cpus": os.cpu_count(),
         "workload": f"random k={K} on 2-d mesh n={SIDE}, seed {SEED}",
         "policy": "restricted-priority",
-        "packet_steps_per_sec": {
-            "strict_validation": round(strict, 1),
-            "instrumented": round(instrumented, 1),
-            "fast_path": round(fast, 1),
-            "buffered_batch": round(buffered, 1),
-            "dynamic": round(dynamic, 1),
-            "buffered_dynamic": round(buffered_dynamic, 1),
-        },
+        "backend": backend,
+        "packet_steps_per_sec": rates,
         "dynamic_workload": (
             f"bernoulli p={DYNAMIC_RATE} on 2-d mesh n={SIDE}, "
             f"{DYNAMIC_STEPS} steps, warmup {DYNAMIC_WARMUP}, seed {SEED}"
@@ -231,7 +275,21 @@ def build_record(workers: int, repeats: int) -> dict:
             f"workers_{workers}": round(_sweep_seconds(workers, repeats), 3),
         },
     }
+    if include_large:
+        large = _best_rate(_run_large_once, repeats)
+        rates["soa_large"] = round(large, 1)
+        backend["soa_large"] = "soa"
+        record["large_workload"] = (
+            f"random k={LARGE_K} on 2-d mesh n={LARGE_SIDE}, seed {SEED}"
+        )
     return record
+
+
+#: Throughput rows the 5% regression guard watches.  A row only
+#: participates once both the previous trajectory entry and the new
+#: record carry it, so the guard extends itself to new rows (``soa``,
+#: ``soa_large``) as soon as a baseline exists.
+GUARDED_ROWS = ("fast_path", "soa", "soa_large")
 
 
 def check_lean_regression(
@@ -239,11 +297,12 @@ def check_lean_regression(
 ) -> str:
     """Compare the new record's lean throughput to the last entry.
 
-    Returns an empty string when the fast-path packet-steps/s figure is
-    within ``tolerance`` of (or better than) the most recent record in
-    the trajectory file, and a human-readable warning otherwise.  The
-    guard is advisory by default because absolute throughput varies
-    across machines; same-host CI promotes it to a failure with
+    Returns an empty string when every guarded packet-steps/s figure
+    (object fast path and soa rows) is within ``tolerance`` of (or
+    better than) the most recent record in the trajectory file, and a
+    human-readable warning otherwise.  The guard is advisory by
+    default because absolute throughput varies across machines;
+    same-host CI promotes it to a failure with
     ``--fail-on-regression``.
     """
     if not os.path.exists(path):
@@ -255,18 +314,21 @@ def check_lean_regression(
     history = json.loads(content)
     if not history:
         return ""
-    previous = history[-1]["packet_steps_per_sec"].get("fast_path")
-    current = record["packet_steps_per_sec"]["fast_path"]
-    if not previous:
-        return ""
-    if current >= previous * (1.0 - tolerance):
-        return ""
-    return (
-        f"lean throughput regression: fast_path {current:.1f} "
-        f"packet-steps/s is {1.0 - current / previous:.1%} below the "
-        f"previous entry ({previous:.1f}, {history[-1]['git_sha']}); "
-        f"tolerance is {tolerance:.0%}"
-    )
+    warnings = []
+    for row in GUARDED_ROWS:
+        previous = history[-1]["packet_steps_per_sec"].get(row)
+        current = record["packet_steps_per_sec"].get(row)
+        if not previous or not current:
+            continue
+        if current >= previous * (1.0 - tolerance):
+            continue
+        warnings.append(
+            f"lean throughput regression: {row} {current:.1f} "
+            f"packet-steps/s is {1.0 - current / previous:.1%} below the "
+            f"previous entry ({previous:.1f}, {history[-1]['git_sha']}); "
+            f"tolerance is {tolerance:.0%}"
+        )
+    return "; ".join(warnings)
 
 
 def append_record(record: dict, path: str = TRAJECTORY) -> None:
@@ -303,9 +365,27 @@ def main(argv=None) -> int:
         "below the previous trajectory entry (advisory warning "
         "otherwise)",
     )
+    parser.add_argument(
+        "--skip-large",
+        action="store_true",
+        help=f"skip the n={LARGE_SIDE}, k={LARGE_K} soa row (CI smoke "
+        "runs use this to stay fast)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed fractional throughput drop before the regression "
+        "guard fires (CI smoke loosens this: short reference runs are "
+        "noisy on shared runners)",
+    )
     args = parser.parse_args(argv)
-    record = build_record(args.workers, args.repeats)
-    warning = check_lean_regression(record, args.output)
+    record = build_record(
+        args.workers, args.repeats, include_large=not args.skip_large
+    )
+    warning = check_lean_regression(
+        record, args.output, tolerance=args.tolerance
+    )
     append_record(record, args.output)
     print(json.dumps(record, indent=2))
     print(f"appended to {args.output}")

@@ -59,6 +59,11 @@ class SweepResult:
     degraded: bool = False
     #: Number of points restored from a checkpoint instead of re-run.
     resumed: int = 0
+    #: Number of chunks the parallel fabric dispatched (0 for serial
+    #: in-process execution).  Chunked dispatch sends each worker a
+    #: contiguous slice of specs in one submission, so per-task
+    #: pickling/IPC overhead is paid per chunk, not per spec.
+    chunked: int = 0
 
     def steps_by(self, key: str) -> Dict[object, List[int]]:
         """Group total-step counts by one parameter."""
@@ -103,6 +108,10 @@ class CaseSpec:
     #: With "buffered" the policy factory must build a BufferedPolicy;
     #: strict_validation is ignored (buffers legitimately exceed degree).
     engine: str = "hot-potato"
+    #: Step-kernel implementation: "object" (per-packet objects) or
+    #: "soa" (structure-of-arrays).  With "soa" the hot-potato engine
+    #: needs the lean loop, so strict_validation must be False.
+    backend: str = "object"
 
 
 def _execute_spec(spec: CaseSpec) -> ExperimentPoint:
@@ -117,6 +126,7 @@ def _execute_spec(spec: CaseSpec) -> ExperimentPoint:
             policy,
             seed=spec.seed,
             max_steps=spec.max_steps,
+            backend=spec.backend,
         ).run()
     elif spec.engine == "hot-potato":
         result = HotPotatoEngine(
@@ -125,6 +135,7 @@ def _execute_spec(spec: CaseSpec) -> ExperimentPoint:
             seed=spec.seed,
             validators=validators_for(policy, strict=spec.strict_validation),
             max_steps=spec.max_steps,
+            backend=spec.backend,
         ).run()
     else:
         raise ValueError(
@@ -139,6 +150,17 @@ def _execute_spec(spec: CaseSpec) -> ExperimentPoint:
     return ExperimentPoint(params=point_params, result=result)
 
 
+def _execute_chunk(specs: Sequence[CaseSpec]) -> List[ExperimentPoint]:
+    """Run a contiguous slice of specs inside one worker process.
+
+    Engine construction happens here, in the worker, from the pickled
+    :class:`CaseSpec` values — the parent never builds (or pickles) an
+    engine.  One submission per chunk amortizes task pickling and IPC
+    over the whole slice instead of paying it per spec.
+    """
+    return [_execute_spec(spec) for spec in specs]
+
+
 def aggregate_telemetry(
     points: Iterable[ExperimentPoint],
 ) -> Optional[RunTelemetry]:
@@ -150,6 +172,12 @@ def aggregate_telemetry(
 
 class ParallelExecutor:
     """Fans :class:`CaseSpec` batches across worker processes.
+
+    Dispatch is chunked: each pool submission carries a contiguous
+    slice of specs (about :attr:`CHUNKS_PER_WORKER` chunks per worker)
+    and the worker runs the whole slice in one call, so per-task
+    pickling and IPC overhead is paid per chunk rather than per spec.
+    :attr:`chunked` counts the chunks of the most recent batch.
 
     Results always come back in spec order, so a parallel run is
     point-for-point identical to the serial one (each spec is an
@@ -204,6 +232,9 @@ class ParallelExecutor:
         self.telemetry: Optional[RunTelemetry] = None
         #: True when the most recent batch needed retries or fallbacks.
         self.degraded = False
+        #: Chunks dispatched to pools in the most recent batch (0 when
+        #: the batch ran serially in-process).
+        self.chunked = 0
 
     def run(
         self,
@@ -218,6 +249,7 @@ class ParallelExecutor:
         the callback runs in this process regardless of worker fan-out.
         """
         self.degraded = False
+        self.chunked = 0
         points = self._run(list(specs), on_point)
         self.telemetry = aggregate_telemetry(points)
         return points
@@ -257,6 +289,20 @@ class ParallelExecutor:
                 record(index, _execute_spec(specs[index]))
         return [results[i] for i in range(len(specs))]
 
+    #: Target chunks per worker: mild oversubscription keeps workers
+    #: busy when chunks finish unevenly without reverting to the old
+    #: spec-at-a-time dispatch (whose per-task IPC dominated short runs).
+    CHUNKS_PER_WORKER = 4
+
+    def _chunks(self, pending: Sequence[int]) -> List[List[int]]:
+        """Partition ``pending`` into contiguous, near-equal chunks."""
+        target = self.workers * self.CHUNKS_PER_WORKER
+        size = max(1, -(-len(pending) // target))
+        return [
+            list(pending[start : start + size])
+            for start in range(0, len(pending), size)
+        ]
+
     def _pool_pass(
         self,
         specs: List[CaseSpec],
@@ -265,9 +311,15 @@ class ParallelExecutor:
     ) -> None:
         """One pool attempt over ``pending``; records what completes.
 
+        Dispatch is *chunked*: each submission carries a contiguous
+        slice of specs and one worker call (:func:`_execute_chunk`)
+        runs the whole slice, building every engine worker-side from
+        the pickled :class:`CaseSpec` values.
+
         Infrastructure casualties (worker crashes, unstartable or
-        wedged pools) are swallowed — the caller retries the gaps.
-        Exceptions raised by the specs themselves propagate.
+        wedged pools) are swallowed — a lost chunk's specs simply stay
+        pending and the caller retries the gaps.  Exceptions raised by
+        the specs themselves propagate.
         """
         try:
             pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -277,8 +329,10 @@ class ParallelExecutor:
         clean = True
         try:
             futures = {
-                pool.submit(_execute_spec, specs[i]): i for i in pending
+                pool.submit(_execute_chunk, [specs[i] for i in chunk]): chunk
+                for chunk in self._chunks(pending)
             }
+            self.chunked += len(futures)
             outstanding = set(futures)
             while outstanding:
                 done, outstanding = wait(
@@ -292,11 +346,11 @@ class ParallelExecutor:
                     clean = False
                     break
                 for future in done:
-                    index = futures[future]
+                    chunk = futures[future]
                     try:
-                        point = future.result()
+                        points = future.result()
                     except (BrokenProcessPool, OSError, PermissionError):
-                        # This worker died; its spec stays pending.
+                        # This worker died; its chunk stays pending.
                         clean = False
                         continue
                     except BaseException:
@@ -304,7 +358,8 @@ class ParallelExecutor:
                         # rest of the pool grind on before re-raising.
                         clean = False
                         raise
-                    record(index, point)
+                    for index, point in zip(chunk, points):
+                        record(index, point)
         finally:
             if clean:
                 pool.shutdown(wait=True)
@@ -331,6 +386,7 @@ def run_case(
     max_steps: Optional[int] = None,
     workers: int = 1,
     engine: str = "hot-potato",
+    backend: str = "object",
 ) -> List[ExperimentPoint]:
     """Run one case over several seeds.
 
@@ -339,7 +395,10 @@ def run_case(
     by its factories and seed list.  ``workers > 1`` replicates the
     seeds across processes (same results, same order).  Pass
     ``engine="buffered"`` (with a buffered-policy factory) to run the
-    store-and-forward baseline instead of hot-potato routing.
+    store-and-forward baseline instead of hot-potato routing, and
+    ``backend="soa"`` for the structure-of-arrays kernel (hot-potato
+    requires ``strict_validation=False`` there — the array kernel runs
+    the lean loop).
     """
     frozen_params = tuple((params or {}).items())
     specs = [
@@ -351,6 +410,7 @@ def run_case(
             strict_validation=strict_validation,
             max_steps=max_steps,
             engine=engine,
+            backend=backend,
         )
         for seed in seeds
     ]
@@ -367,6 +427,7 @@ def sweep(
     workers: int = 1,
     executor: Optional[ParallelExecutor] = None,
     checkpoint: Optional["object"] = None,
+    backend: str = "object",
 ) -> SweepResult:
     """Evaluate a parameter grid.
 
@@ -396,6 +457,7 @@ def sweep(
                     params=tuple(dict(params).items()),
                     strict_validation=strict_validation,
                     max_steps=max_steps,
+                    backend=backend,
                 )
             )
     restored = restore_points(checkpoint, specs)
@@ -413,6 +475,7 @@ def sweep(
         points=[by_index[i] for i in range(len(specs))],
         degraded=runner.degraded,
         resumed=len(restored),
+        chunked=runner.chunked,
     )
 
 

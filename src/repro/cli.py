@@ -187,6 +187,17 @@ def cmd_route(args: argparse.Namespace) -> int:
     observers = _telemetry_observers(args, "route")
     faults = _load_faults(args, mesh)
 
+    if args.backend == "soa":
+        if args.verify or args.save_trace:
+            raise SystemExit(
+                "--backend soa runs the lean array kernel; it does not "
+                "combine with --verify/--save-trace"
+            )
+        if faults is not None:
+            raise SystemExit(
+                "--backend soa does not support fault schedules"
+            )
+
     if args.engine == "buffered":
         if args.verify or args.save_trace:
             raise SystemExit(
@@ -195,7 +206,7 @@ def cmd_route(args: argparse.Namespace) -> int:
             )
         buffered_engine = BufferedEngine(
             problem, policy, seed=args.seed, observers=observers,
-            faults=faults,
+            faults=faults, backend=args.backend,
         )
         result = buffered_engine.run()
         print(result.summary())
@@ -218,9 +229,16 @@ def cmd_route(args: argparse.Namespace) -> int:
         print(f"trace written to {args.save_trace}")
         result = trace.result
     else:
+        extra = {}
+        if args.backend == "soa":
+            # The array kernel runs the lean loop, which requires
+            # capacity-only validation (same as fast_path=True runs).
+            from repro.core.validation import validators_for
+
+            extra["validators"] = validators_for(policy, strict=False)
         engine = HotPotatoEngine(
             problem, policy, seed=args.seed, observers=observers,
-            faults=faults,
+            faults=faults, backend=args.backend, **extra,
         )
         result = engine.run()
         if args.telemetry:
@@ -317,6 +335,7 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
             seed=args.seed,
             warmup=args.horizon // 4,
             observers=_telemetry_observers(args, "dynamic"),
+            backend=args.backend,
         )
         stats = engine.run(args.horizon)
         rows.append(
@@ -383,6 +402,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             warmup=args.horizon // 4,
             observers=observers,
             profiler=profiler,
+            backend=args.backend,
         )
         stats = dynamic_engine.run(args.horizon)
         print(
@@ -400,6 +420,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 observers=observers,
                 profiler=profiler,
+                backend=args.backend,
             )
         else:
             # Capacity-only validators keep the run fast-path eligible —
@@ -411,6 +432,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 validators=validators_for(policy, strict=False),
                 observers=observers,
                 profiler=profiler,
+                backend=args.backend,
             )
         result = engine.run()
         print(result.summary())
@@ -491,6 +513,16 @@ def _add_mesh_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("object", "soa"),
+        default="object",
+        help="step-kernel implementation: per-packet objects (object) "
+        "or the bit-identical structure-of-arrays kernel (soa)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -501,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     route = commands.add_parser("route", help="route one workload")
     _add_mesh_arguments(route)
+    _add_backend_argument(route)
     route.add_argument("--workload", choices=WORKLOADS, default="random")
     route.add_argument("--k", type=int, default=None, help="batch size")
     route.add_argument(
@@ -562,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
         "dynamic", help="continuous-traffic load sweep"
     )
     _add_mesh_arguments(dynamic)
+    _add_backend_argument(dynamic)
     dynamic.add_argument(
         "--policy",
         default=None,
@@ -594,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="time the kernel pipeline phases for one scenario",
     )
     _add_mesh_arguments(profile)
+    _add_backend_argument(profile)
     profile.add_argument("--workload", choices=WORKLOADS, default="random")
     profile.add_argument("--k", type=int, default=None, help="batch size")
     profile.add_argument(

@@ -20,7 +20,7 @@ unchanged by that, and ``RunResult.seed`` now uses the shared
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
@@ -47,6 +47,9 @@ from repro.faults import (
 )
 from repro.obs.telemetry import RunTelemetry
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.soa.adapters import PolicyAdapter
+
 
 class BufferedEngine:
     """Synchronous store-and-forward simulator.
@@ -70,7 +73,32 @@ class BufferedEngine:
         profiler: Optional[PhaseSink] = None,
         faults: Optional[FaultSchedule] = None,
         watchdog: Optional[RunWatchdog] = None,
+        backend: str = "object",
     ) -> None:
+        if backend not in ("object", "soa"):
+            raise ValueError(
+                f"backend must be 'object' or 'soa', got {backend!r}"
+            )
+        self.backend = backend
+        self._soa_adapter: Optional["PolicyAdapter"] = None
+        if backend == "soa":
+            from repro.core.soa import adapter_for
+
+            if watchdog is not None:
+                raise ValueError(
+                    "backend='soa' does not support watchdogs"
+                )
+            if faults is not None:
+                if not faults.is_empty:
+                    raise ValueError(
+                        "backend='soa' does not support fault "
+                        "schedules; an empty FaultSchedule is "
+                        "accepted and ignored"
+                    )
+                faults = None
+            self._soa_adapter = adapter_for(
+                policy, buffered=True, has_injection=False
+            )
         self.problem = problem
         self.mesh = problem.mesh
         self.policy = policy
@@ -135,11 +163,24 @@ class BufferedEngine:
         if watchdog is not None:
             watchdog.reset(self._kernel)
         if lean_equivalent(self.validators, self.observers, False):
-            if self.profiler is not None:
+            if self.backend == "soa":
+                from repro.core.soa import SoaKernel
+
+                adapter = self._soa_adapter
+                assert adapter is not None
+                SoaKernel(self._kernel, adapter).run(
+                    self.max_steps, profiler=self.profiler
+                )
+            elif self.profiler is not None:
                 self._kernel.run_profiled(self.max_steps, self.profiler)
             else:
                 self._kernel.run_lean(self.max_steps)
         else:
+            if self.backend == "soa":
+                raise ValueError(
+                    "backend='soa' runs the lean loop only; detach "
+                    "step-consuming observers and validators first"
+                )
             if self.profiler is not None:
                 raise ValueError(
                     "profiling times the lean kernel loop; detach "

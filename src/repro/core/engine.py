@@ -24,7 +24,16 @@ machinery: validators, observers, step records, result construction.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
@@ -52,6 +61,9 @@ from repro.faults import (
 from repro.mesh.directions import Direction
 from repro.obs.telemetry import RunTelemetry
 from repro.types import Node, PacketId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.soa.adapters import PolicyAdapter
 
 __all__ = [
     "HotPotatoEngine",
@@ -104,6 +116,14 @@ class HotPotatoEngine:
             :class:`~repro.faults.RunAborted` on the result.  A
             default watchdog is installed automatically whenever
             ``faults`` is given.
+        backend: ``"object"`` (default) routes with the object kernel;
+            ``"soa"`` with the structure-of-arrays kernel
+            (:mod:`repro.core.soa`) — bit-identical results, flat
+            columns instead of per-packet objects on the hot path.
+            Requires a fast-path-eligible run and a policy the array
+            kernel has an adapter for; incompatible with
+            ``record_paths``, watchdogs and non-empty fault schedules
+            (an empty :class:`FaultSchedule` is accepted and ignored).
 
     Every engine owns a :class:`~repro.obs.telemetry.RunTelemetry`
     (``self.telemetry``, also on the returned
@@ -127,7 +147,40 @@ class HotPotatoEngine:
         profiler: Optional[PhaseSink] = None,
         faults: Optional[FaultSchedule] = None,
         watchdog: Optional[RunWatchdog] = None,
+        backend: str = "object",
     ) -> None:
+        if backend not in ("object", "soa"):
+            raise ValueError(
+                f"backend must be 'object' or 'soa', got {backend!r}"
+            )
+        self.backend = backend
+        self._soa_adapter: Optional["PolicyAdapter"] = None
+        if backend == "soa":
+            from repro.core.soa import adapter_for
+
+            if record_paths:
+                raise ValueError(
+                    "backend='soa' does not support record_paths"
+                )
+            if watchdog is not None:
+                raise ValueError(
+                    "backend='soa' does not support watchdogs"
+                )
+            if faults is not None:
+                if not faults.is_empty:
+                    raise ValueError(
+                        "backend='soa' does not support fault "
+                        "schedules; an empty FaultSchedule is "
+                        "accepted and ignored"
+                    )
+                # An empty schedule is bit-identical to no faults, so
+                # drop it (and the watchdog it would auto-install) —
+                # this is the FaultSchedule.empty() equivalence the
+                # differential suite pins.
+                faults = None
+            self._soa_adapter = adapter_for(
+                policy, buffered=False, has_injection=False
+            )
         self.problem = problem
         self.mesh = problem.mesh
         self.policy = policy
@@ -220,11 +273,25 @@ class HotPotatoEngine:
         if watchdog is not None:
             watchdog.reset(self._kernel)
         if self._fast_path_eligible():
-            if self.profiler is not None:
+            if self.backend == "soa":
+                from repro.core.soa import SoaKernel
+
+                adapter = self._soa_adapter
+                assert adapter is not None
+                SoaKernel(self._kernel, adapter).run(
+                    self.max_steps, profiler=self.profiler
+                )
+            elif self.profiler is not None:
                 self._kernel.run_profiled(self.max_steps, self.profiler)
             else:
                 self._kernel.run_lean(self.max_steps)
         else:
+            if self.backend == "soa":
+                raise ValueError(
+                    "backend='soa' runs the lean loop only; this run "
+                    "records steps, has step-consuming observers, or "
+                    "uses validators beyond the capacity check"
+                )
             if self.profiler is not None:
                 raise ValueError(
                     "profiling times the lean kernel loop, but this run "

@@ -1,0 +1,26 @@
+"""Optional-numpy gate for the array kernel.
+
+The core package keeps no hard numpy dependency: the structure-of-
+arrays kernel vectorizes with numpy when it is importable and falls
+back to a columnar pure-Python loop otherwise.  All soa modules read
+``_compat.np`` at kernel construction time, so tests can monkeypatch
+it to ``None`` to force the fallback without uninstalling numpy.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Optional
+
+np: Optional[ModuleType]
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy
+
+    np = numpy
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI leg
+    np = None
+
+
+def numpy_available() -> bool:
+    """True when the vectorized numpy path can be used."""
+    return np is not None

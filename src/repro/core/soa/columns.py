@@ -1,0 +1,142 @@
+"""Structure-of-arrays packet state: pack / unpack against ``Packet``.
+
+:class:`PacketColumns` holds the mutable per-packet state of a run as
+parallel plain-Python lists — one column per field, one row per
+in-flight packet, rows in ``StepKernel.in_flight`` order (ascending
+packet id; the kernel maintains that invariant).  Node locations are
+stored as :class:`~repro.mesh.tables.ArcTables` node indices and entry
+directions as canonical direction indices (``-1`` for none), so the
+step kernels operate on integers only.
+
+The columns are the interchange format between the object and array
+worlds: :meth:`pack` snapshots live ``Packet`` objects (without
+mutating them), :meth:`writeback_row` / :meth:`unpack` write column
+state back into the same objects.  The numpy path converts these lists
+to arrays on entry and back on exit; the pure-Python fallback loops
+over them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.packet import Packet
+from repro.mesh.tables import ArcTables, direction_index
+from repro.types import PacketId
+
+__all__ = ["PacketColumns"]
+
+
+class PacketColumns:
+    """Flat per-packet state columns (rows in packet-id order)."""
+
+    __slots__ = (
+        "tables",
+        "ids",
+        "pos",
+        "dest",
+        "dest_coords",
+        "entry",
+        "restricted_last",
+        "advanced_last",
+        "hops",
+        "advances",
+        "deflections",
+        "by_id",
+    )
+
+    def __init__(self, tables: ArcTables) -> None:
+        self.tables = tables
+        self.ids: List[PacketId] = []
+        #: Node index of the packet's current location.
+        self.pos: List[int] = []
+        #: Node index of the packet's destination.
+        self.dest: List[int] = []
+        #: Per axis, the (1-based) destination coordinate — the gather
+        #: key into the per-axis packed goodness/distance tables.
+        self.dest_coords: List[List[int]] = [
+            [] for _ in range(tables.dimension)
+        ]
+        #: Canonical direction index of ``entry_direction``; -1 = None.
+        self.entry: List[int] = []
+        self.restricted_last: List[bool] = []
+        self.advanced_last: List[bool] = []
+        self.hops: List[int] = []
+        self.advances: List[int] = []
+        self.deflections: List[int] = []
+        #: The live Packet object behind each id, for delivery
+        #: callbacks and final unpacking.
+        self.by_id: Dict[PacketId, Packet] = {}
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def pack(
+        cls, packets: Iterable[Packet], tables: ArcTables
+    ) -> "PacketColumns":
+        """Snapshot live packets into columns (packets unmodified)."""
+        columns = cls(tables)
+        for packet in packets:
+            columns.append(packet)
+        return columns
+
+    def append(self, packet: Packet) -> None:
+        """Add one packet as the last row."""
+        node_index = self.tables.node_index
+        self.ids.append(packet.id)
+        self.pos.append(node_index[packet.location])
+        self.dest.append(node_index[packet.destination])
+        for axis in range(self.tables.dimension):
+            self.dest_coords[axis].append(packet.destination[axis])
+        entry = packet.entry_direction
+        self.entry.append(-1 if entry is None else direction_index(entry))
+        self.restricted_last.append(packet.restricted_last_step)
+        self.advanced_last.append(packet.advanced_last_step)
+        self.hops.append(packet.hops)
+        self.advances.append(packet.advances)
+        self.deflections.append(packet.deflections)
+        self.by_id[packet.id] = packet
+
+    def writeback_row(self, row: int) -> Packet:
+        """Write row state back into its Packet object and return it."""
+        tables = self.tables
+        packet = self.by_id[self.ids[row]]
+        packet.location = tables.index_node[self.pos[row]]
+        entry = self.entry[row]
+        packet.entry_direction = (
+            None if entry < 0 else tables.directions[entry]
+        )
+        packet.restricted_last_step = self.restricted_last[row]
+        packet.advanced_last_step = self.advanced_last[row]
+        packet.hops = self.hops[row]
+        packet.advances = self.advances[row]
+        packet.deflections = self.deflections[row]
+        return packet
+
+    def unpack(self) -> List[Packet]:
+        """Write every row back and return the packets in row order."""
+        return [self.writeback_row(row) for row in range(len(self.ids))]
+
+    def compact(self, keep: List[bool]) -> None:
+        """Drop rows whose ``keep`` flag is False (delivered packets).
+
+        The corresponding ``by_id`` entries must already have been
+        popped by the caller's delivery processing.
+        """
+        selected = [row for row, flag in enumerate(keep) if flag]
+        self.ids = [self.ids[row] for row in selected]
+        self.pos = [self.pos[row] for row in selected]
+        self.dest = [self.dest[row] for row in selected]
+        self.dest_coords = [
+            [column[row] for row in selected]
+            for column in self.dest_coords
+        ]
+        self.entry = [self.entry[row] for row in selected]
+        self.restricted_last = [
+            self.restricted_last[row] for row in selected
+        ]
+        self.advanced_last = [self.advanced_last[row] for row in selected]
+        self.hops = [self.hops[row] for row in selected]
+        self.advances = [self.advances[row] for row in selected]
+        self.deflections = [self.deflections[row] for row in selected]

@@ -18,7 +18,7 @@ the batch engines' :class:`~repro.core.metrics.RunResult`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
@@ -37,6 +37,9 @@ from repro.dynamic.injection import TrafficModel
 from repro.dynamic.stats import DynamicStats, StepSample
 from repro.mesh.topology import Mesh
 from repro.types import PacketId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.soa.adapters import PolicyAdapter
 
 
 class DynamicEngineBase:
@@ -64,7 +67,32 @@ class DynamicEngineBase:
         profiler: Optional[PhaseSink] = None,
         faults: Optional[FaultSchedule] = None,
         watchdog: Optional[RunWatchdog] = None,
+        backend: str = "object",
     ) -> None:
+        if backend not in ("object", "soa"):
+            raise ValueError(
+                f"backend must be 'object' or 'soa', got {backend!r}"
+            )
+        self.backend = backend
+        self._soa_adapter: Optional["PolicyAdapter"] = None
+        if backend == "soa":
+            from repro.core.soa import adapter_for
+
+            if watchdog is not None:
+                raise ValueError(
+                    "backend='soa' does not support watchdogs"
+                )
+            if faults is not None:
+                if not faults.is_empty:
+                    raise ValueError(
+                        "backend='soa' does not support fault "
+                        "schedules; an empty FaultSchedule is "
+                        "accepted and ignored"
+                    )
+                faults = None
+            self._soa_adapter = adapter_for(
+                policy, buffered=self.buffered, has_injection=True
+            )
         self.mesh = mesh
         self.policy = policy
         self.traffic = traffic
@@ -161,6 +189,11 @@ class DynamicEngineBase:
             watchdog.reset(self._kernel)
         until = self.time + steps
         if any(getattr(o, "needs_steps", True) for o in self.observers):
+            if self.backend == "soa":
+                raise ValueError(
+                    "backend='soa' runs the lean loop only; detach "
+                    "step-consuming observers first"
+                )
             if self.profiler is not None:
                 raise ValueError(
                     "profiling times the lean kernel loop; detach "
@@ -173,6 +206,14 @@ class DynamicEngineBase:
                         self._kernel.abort = verdict
                         break
                 self.step()
+        elif self.backend == "soa":
+            from repro.core.soa import SoaKernel
+
+            adapter = self._soa_adapter
+            assert adapter is not None
+            SoaKernel(self._kernel, adapter).run(
+                until, profiler=self.profiler
+            )
         elif self.profiler is not None:
             self._kernel.run_profiled(until, self.profiler)
         else:

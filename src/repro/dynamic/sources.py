@@ -53,6 +53,25 @@ class CapacityLimitedInjection(InjectionSource):
         self.traffic.prepare(mesh, rng)
 
     def admit(self, time: int, in_flight: List[Packet]) -> Tuple[int, int]:
+        loads: Dict[Node, int] = defaultdict(int)
+        for packet in in_flight:
+            loads[packet.location] += 1
+        generated, injected = self.admit_batch(time, loads)
+        in_flight.extend(injected)
+        return generated, len(injected)
+
+    def admit_batch(
+        self, time: int, loads: Dict[Node, int]
+    ) -> Tuple[int, List[Packet]]:
+        """The inject phase against precomputed node loads.
+
+        Same generation and drain order as :meth:`admit` — the array
+        kernel calls this directly with loads derived from its
+        position column, so the traffic stream and packet ids stay
+        bit-identical to the object kernel.  ``loads`` is updated with
+        the injected packets (callers that reuse it see post-injection
+        occupancy, like the object path's local count did).
+        """
         mesh = self._mesh
         assert mesh is not None, "prepare() must run before admit()"
         generated = 0
@@ -62,12 +81,10 @@ class CapacityLimitedInjection(InjectionSource):
                     continue  # zero-distance demand is a no-op
                 self.backlog[node].append((time, destination))
                 generated += 1
-        loads: Dict[Node, int] = defaultdict(int)
-        for packet in in_flight:
-            loads[packet.location] += 1
-        injected = 0
+        injected: List[Packet] = []
         for node, queue in self.backlog.items():
-            free = mesh.degree(node) - loads[node]
+            free = mesh.degree(node) - loads.get(node, 0)
+            count = 0
             while queue and free > 0:
                 generated_at, destination = queue.popleft()
                 packet = Packet(
@@ -75,10 +92,11 @@ class CapacityLimitedInjection(InjectionSource):
                 )
                 self.generated_at[packet.id] = generated_at
                 self.next_id += 1
-                in_flight.append(packet)
-                loads[node] += 1
+                injected.append(packet)
+                count += 1
                 free -= 1
-                injected += 1
+            if count:
+                loads[node] = loads.get(node, 0) + count
         return generated, injected
 
     def backlog_size(self) -> int:
@@ -99,9 +117,18 @@ class ImmediateInjection(InjectionSource):
         self.traffic.prepare(mesh, rng)
 
     def admit(self, time: int, in_flight: List[Packet]) -> Tuple[int, int]:
+        generated, injected = self.admit_batch(time, {})
+        in_flight.extend(injected)
+        return generated, len(injected)
+
+    def admit_batch(
+        self, time: int, loads: Dict[Node, int]
+    ) -> Tuple[int, List[Packet]]:
+        """Batch twin of :meth:`admit`; ``loads`` is ignored (buffers
+        absorb everything)."""
         mesh = self._mesh
         assert mesh is not None, "prepare() must run before admit()"
-        generated = 0
+        injected: List[Packet] = []
         for node in mesh.nodes():
             for destination in self.traffic.arrivals(node, time):
                 if destination == node:
@@ -111,6 +138,5 @@ class ImmediateInjection(InjectionSource):
                 )
                 self.generated_at[packet.id] = time
                 self.next_id += 1
-                in_flight.append(packet)
-                generated += 1
-        return generated, generated
+                injected.append(packet)
+        return len(injected), injected

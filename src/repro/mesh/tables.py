@@ -1,0 +1,169 @@
+"""Flat arc-index tables: the mesh exported as dense integer arrays.
+
+The object kernel resolves adjacency through per-node
+:class:`~repro.mesh.topology.NodeArcs` tables — one Python object per
+node, one dict lookup per query.  Array kernels
+(:mod:`repro.core.soa`) want the same information as flat integer
+columns indexed by a *node index* so that neighbor resolution, good
+directions and distances become table gathers.  :class:`ArcTables`
+is that export:
+
+* nodes are numbered ``0 .. N-1`` in :meth:`Mesh.nodes` order
+  (lexicographic), so sorting node indices numerically reproduces the
+  object kernel's sorted node-tuple visit order;
+* directions are numbered ``0 .. 2d-1`` in the canonical axis-major,
+  ``+`` before ``-`` order (direction ``k`` is ``directions[k]``, its
+  opposite is ``k ^ 1``);
+* per-axis *packed tables* fold each axis' contribution to a packet's
+  distance and good-direction set into one integer,
+  ``(distance << 2d) | good_mask``, so summing ``d`` gathers yields
+  both at once.  This packing is valid because on every mesh family in
+  the library (box mesh, torus, hypercube) goodness and distance
+  factor per axis; the tables are built by *probing* the mesh's own
+  :meth:`~repro.mesh.topology.Mesh.good_directions_tuple` and
+  :meth:`~repro.mesh.topology.Mesh.distance` on nodes that differ in a
+  single coordinate, so subclass overrides (torus wraparound) are
+  honored by construction.
+
+This module is deliberately numpy-free: the mesh layer has no optional
+dependencies.  Array backends convert the plain lists to their own
+array types and may cache those views on the instance (see
+:attr:`ArcTables.backend_views`).
+
+Tables depend only on the topology *shape*, so they are shared
+process-wide through :func:`arc_tables_for`, keyed by
+``(type, dimension, side)`` — benchmark code that builds a fresh mesh
+per run still hits warm tables.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.mesh.directions import Direction
+from repro.types import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mesh.topology import Mesh
+
+__all__ = ["ArcTables", "arc_tables_for", "direction_index"]
+
+
+def direction_index(direction: Direction) -> int:
+    """The canonical integer index of a direction (``opposite == k ^ 1``)."""
+    return 2 * direction.axis + (0 if direction.sign > 0 else 1)
+
+
+class ArcTables:
+    """Dense integer tables describing one mesh shape.
+
+    Attributes:
+        dimension, side, num_nodes: the shape.
+        num_directions: ``2 * dimension``.
+        shift: bit position of the distance field in packed entries.
+        good_mask_all: mask selecting the good-direction bits.
+        directions: the mesh's canonical direction tuple (index ``k``
+            is the direction with :func:`direction_index` ``k``).
+        index_node: node tuple per node index (lexicographic order).
+        node_index: node tuple -> node index.
+        neighbor_flat: length ``N * 2d``; entry ``n * 2d + k`` is the
+            node index of the neighbor of node ``n`` in direction ``k``,
+            or ``-1`` when that arc leaves the mesh.
+        out_mask: per node, bitmask of directions with an outgoing arc.
+        degrees: per node, the number of outgoing arcs.
+        coords: per axis, the (1-based) coordinate of each node index.
+        packed: per axis, a ``(side+1) ** 2`` table indexed by
+            ``here * (side+1) + dest`` holding
+            ``(axis_distance << shift) | axis_good_mask``; summing the
+            ``d`` per-axis entries of a (node, destination) pair gives
+            the packet's full distance and good-direction mask.
+    """
+
+    def __init__(self, mesh: "Mesh") -> None:
+        dimension = mesh.dimension
+        side = mesh.side
+        self.dimension = dimension
+        self.side = side
+        self.num_directions = 2 * dimension
+        self.shift = 2 * dimension
+        self.good_mask_all = (1 << self.shift) - 1
+        self.directions: Tuple[Direction, ...] = mesh.directions
+
+        nodes: List[Node] = list(mesh.nodes())
+        self.num_nodes = len(nodes)
+        self.index_node: List[Node] = nodes
+        self.node_index: Dict[Node, int] = {
+            node: index for index, node in enumerate(nodes)
+        }
+
+        neighbor_flat: List[int] = []
+        out_mask: List[int] = []
+        degrees: List[int] = []
+        for node in nodes:
+            mask = 0
+            for k, direction in enumerate(self.directions):
+                other = mesh.neighbor(node, direction)
+                if other is None:
+                    neighbor_flat.append(-1)
+                else:
+                    neighbor_flat.append(self.node_index[other])
+                    mask |= 1 << k
+            out_mask.append(mask)
+            degrees.append(mask.bit_count())
+        self.neighbor_flat = neighbor_flat
+        self.out_mask = out_mask
+        self.degrees = degrees
+
+        self.coords: List[List[int]] = [
+            [node[axis] for node in nodes] for axis in range(dimension)
+        ]
+
+        # Probe the mesh itself along one axis at a time, so torus
+        # wraparound (or any per-axis-factoring override) lands in the
+        # tables by construction rather than by reimplementation.
+        base = nodes[0]
+        shift = self.shift
+        packed: List[List[int]] = []
+        for axis in range(dimension):
+            table = [0] * ((side + 1) * (side + 1))
+            for here in range(1, side + 1):
+                probe = tuple(
+                    here if i == axis else base[i] for i in range(dimension)
+                )
+                row = here * (side + 1)
+                for there in range(1, side + 1):
+                    target = tuple(
+                        there if i == axis else base[i]
+                        for i in range(dimension)
+                    )
+                    mask = 0
+                    for direction in mesh.good_directions_tuple(
+                        probe, target
+                    ):
+                        mask |= 1 << direction_index(direction)
+                    table[row + there] = (
+                        mesh.distance(probe, target) << shift
+                    ) | mask
+            packed.append(table)
+        self.packed = packed
+
+        #: Opaque cache slot for array backends (e.g. numpy views of
+        #: the lists above).  The mesh layer never touches it.
+        self.backend_views: Optional[Dict[str, Any]] = None
+
+
+#: Process-wide table cache.  Tables are pure derived data keyed by the
+#: topology shape, so sharing them across mesh instances is safe and
+#: keeps repeated engine construction (benchmark loops, sweeps) from
+#: rebuilding ``O(N * d)`` tables every run.
+_TABLE_CACHE: Dict[Tuple[type, int, int], ArcTables] = {}
+
+
+def arc_tables_for(mesh: "Mesh") -> ArcTables:
+    """The shared :class:`ArcTables` for a mesh's shape (cached)."""
+    key = (type(mesh), mesh.dimension, mesh.side)
+    tables = _TABLE_CACHE.get(key)
+    if tables is None:
+        tables = ArcTables(mesh)
+        _TABLE_CACHE[key] = tables
+    return tables

@@ -15,11 +15,22 @@ direction) from Section 4.1.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.mesh.coordinates import l1_distance, validate_node
 from repro.mesh.directions import Direction, all_directions
 from repro.types import Arc, Node
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.mesh.tables import ArcTables
 
 
 class NodeArcs:
@@ -212,6 +223,18 @@ class Mesh:
         """
         for node in self.nodes():
             self.node_arcs(node)
+
+    def arc_tables(self) -> "ArcTables":
+        """Flat integer arc/goodness/distance tables for array kernels.
+
+        The returned :class:`~repro.mesh.tables.ArcTables` is shared
+        process-wide between meshes of the same shape (the tables are
+        pure derived data); see :mod:`repro.mesh.tables` for the
+        layout contract.
+        """
+        from repro.mesh.tables import arc_tables_for
+
+        return arc_tables_for(self)
 
     def neighbors(self, node: Node) -> List[Node]:
         """All nodes adjacent to ``node``."""

@@ -85,6 +85,77 @@ class TestSerialBehavior:
         assert ParallelExecutor(workers=0).workers == 1
         assert ParallelExecutor(workers=-3).workers == 1
 
+    def test_serial_run_dispatches_no_chunks(self):
+        executor = ParallelExecutor(workers=1)
+        executor.run(
+            [
+                CaseSpec(
+                    problem_factory=partial(_problem, 8, 16),
+                    policy_factory=RestrictedPriorityPolicy,
+                    seed=seed,
+                )
+                for seed in (0, 1)
+            ]
+        )
+        assert executor.chunked == 0
+
+
+class TestChunkPartition:
+    """The chunk planner alone — no processes spawned."""
+
+    def test_chunks_cover_pending_in_order(self):
+        executor = ParallelExecutor(workers=2)
+        pending = list(range(37))
+        chunks = executor._chunks(pending)
+        flattened = [index for chunk in chunks for index in chunk]
+        assert flattened == pending  # contiguous, order-preserving
+        assert all(chunks)  # no empty chunks
+
+    def test_chunk_count_tracks_workers(self):
+        pending = list(range(64))
+        few = ParallelExecutor(workers=2)._chunks(pending)
+        many = ParallelExecutor(workers=8)._chunks(pending)
+        assert len(few) <= 2 * ParallelExecutor.CHUNKS_PER_WORKER
+        assert len(many) >= len(few)
+
+    def test_small_batches_chunk_one_spec_each(self):
+        executor = ParallelExecutor(workers=4)
+        chunks = executor._chunks([0, 1, 2])
+        assert chunks == [[0], [1], [2]]
+
+
+class TestBackendPlumbing:
+    """CaseSpec.backend reaches worker-side engine construction."""
+
+    def test_soa_backend_matches_object_backend(self):
+        kwargs = dict(strict_validation=False)
+        object_points = run_case(
+            partial(_problem, 8, 24),
+            RestrictedPriorityPolicy,
+            [0, 1],
+            **kwargs,
+        )
+        soa_points = run_case(
+            partial(_problem, 8, 24),
+            RestrictedPriorityPolicy,
+            [0, 1],
+            backend="soa",
+            **kwargs,
+        )
+        assert [p.result for p in object_points] == [
+            p.result for p in soa_points
+        ]
+
+    def test_soa_spec_is_picklable(self):
+        spec = CaseSpec(
+            problem_factory=partial(_problem, 8, 24),
+            policy_factory=RestrictedPriorityPolicy,
+            seed=0,
+            strict_validation=False,
+            backend="soa",
+        )
+        assert pickle.loads(pickle.dumps(spec)).backend == "soa"
+
 
 class TestTelemetryAggregation:
     """Lean-path counters ride inside RunResult and aggregate at the
@@ -177,6 +248,10 @@ class TestParallelEquivalence:
         assert serial.summarize_by("k").keys() == parallel.summarize_by(
             "k"
         ).keys()
+        # Chunked dispatch is recorded: the parallel sweep submitted at
+        # least one chunk, the serial one none.
+        assert serial.chunked == 0
+        assert 1 <= parallel.chunked <= len(parallel.points)
 
     def test_compare_policies_workers_match_serial(self):
         policies = {

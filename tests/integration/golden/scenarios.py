@@ -42,9 +42,13 @@ from repro.workloads import random_many_to_many, transpose
 FIXTURE_PATH = os.path.join(os.path.dirname(__file__), "engines.json")
 
 
-def _buffered_batch(mesh: Any, problem: Any, seed: int) -> Dict[str, Any]:
+def _buffered_batch(
+    mesh: Any, problem: Any, seed: int, backend: str = "object"
+) -> Dict[str, Any]:
     """Run a batch through the store-and-forward engine; full snapshot."""
-    engine = BufferedEngine(problem, DimensionOrderPolicy(), seed=seed)
+    engine = BufferedEngine(
+        problem, DimensionOrderPolicy(), seed=seed, backend=backend
+    )
     result = engine.run()
     return {
         "completed": result.completed,
@@ -78,33 +82,46 @@ def _dynamic_snapshot(engine: Any, stats: Any) -> Dict[str, Any]:
     }
 
 
-def scenario_buffered_random() -> Dict[str, Any]:
+def scenario_buffered_random(backend: str = "object") -> Dict[str, Any]:
     mesh = Mesh(2, 8)
-    return _buffered_batch(mesh, random_many_to_many(mesh, k=60, seed=13), 0)
+    return _buffered_batch(
+        mesh, random_many_to_many(mesh, k=60, seed=13), 0, backend
+    )
 
 
-def scenario_buffered_transpose() -> Dict[str, Any]:
+def scenario_buffered_transpose(
+    backend: str = "object",
+) -> Dict[str, Any]:
     mesh = Mesh(2, 6)
-    return _buffered_batch(mesh, transpose(mesh), 1)
+    return _buffered_batch(mesh, transpose(mesh), 1, backend)
 
 
-def scenario_buffered_odd_torus() -> Dict[str, Any]:
+def scenario_buffered_odd_torus(
+    backend: str = "object",
+) -> Dict[str, Any]:
     mesh = Torus(2, 5)
-    return _buffered_batch(mesh, random_many_to_many(mesh, k=20, seed=3), 2)
+    return _buffered_batch(
+        mesh, random_many_to_many(mesh, k=20, seed=3), 2, backend
+    )
 
 
-def scenario_dynamic_restricted() -> Dict[str, Any]:
+def scenario_dynamic_restricted(
+    backend: str = "object",
+) -> Dict[str, Any]:
     engine = DynamicEngine(
         Mesh(2, 8),
         RestrictedPriorityPolicy(),
         BernoulliTraffic(0.2),
         seed=7,
         warmup=20,
+        backend=backend,
     )
     return _dynamic_snapshot(engine, engine.run(150))
 
 
-def scenario_dynamic_randomized() -> Dict[str, Any]:
+def scenario_dynamic_randomized(
+    backend: str = "object",
+) -> Dict[str, Any]:
     # RNG-stream sensitive: the policy consumes its private stream once
     # per node visit, so this pins the node visit order too.
     engine = DynamicEngine(
@@ -113,34 +130,41 @@ def scenario_dynamic_randomized() -> Dict[str, Any]:
         BernoulliTraffic(0.3),
         seed=11,
         warmup=10,
+        backend=backend,
     )
     return _dynamic_snapshot(engine, engine.run(120))
 
 
-def scenario_dynamic_hotspot() -> Dict[str, Any]:
+def scenario_dynamic_hotspot(backend: str = "object") -> Dict[str, Any]:
     engine = DynamicEngine(
         Mesh(2, 6),
         PlainGreedyPolicy(),
         HotSpotTraffic(0.15, hot_fraction=0.3),
         seed=5,
+        backend=backend,
     )
     return _dynamic_snapshot(engine, engine.run(100))
 
 
-def scenario_buffered_dynamic_bernoulli() -> Dict[str, Any]:
+def scenario_buffered_dynamic_bernoulli(
+    backend: str = "object",
+) -> Dict[str, Any]:
     engine = BufferedDynamicEngine(
         Mesh(2, 8),
         DimensionOrderPolicy(),
         BernoulliTraffic(0.3),
         seed=9,
         warmup=20,
+        backend=backend,
     )
     snapshot = _dynamic_snapshot(engine, engine.run(150))
     snapshot["max_queue_seen"] = engine.max_queue_seen
     return snapshot
 
 
-def scenario_buffered_dynamic_scripted() -> Dict[str, Any]:
+def scenario_buffered_dynamic_scripted(
+    backend: str = "object",
+) -> Dict[str, Any]:
     traffic = ScriptedTraffic(
         [
             ((1, 1), 0, (5, 5)),
@@ -150,7 +174,7 @@ def scenario_buffered_dynamic_scripted() -> Dict[str, Any]:
         ]
     )
     engine = BufferedDynamicEngine(
-        Mesh(2, 6), DimensionOrderPolicy(), traffic, seed=0
+        Mesh(2, 6), DimensionOrderPolicy(), traffic, seed=0, backend=backend
     )
     snapshot = _dynamic_snapshot(engine, engine.run(30))
     snapshot["max_queue_seen"] = engine.max_queue_seen

@@ -31,5 +31,15 @@ def test_scenario_matches_legacy_capture(name, build, fixture_data):
     assert build() == fixture_data[name]
 
 
+@pytest.mark.parametrize(
+    "name,build", SCENARIOS, ids=[name for name, _ in SCENARIOS]
+)
+def test_soa_backend_matches_legacy_capture(name, build, fixture_data):
+    # The structure-of-arrays kernel must reproduce the very same
+    # legacy captures: identical samples, outcomes, packet-id
+    # sequences and queue maxima, with no soa-specific fixtures.
+    assert build(backend="soa") == fixture_data[name]
+
+
 def test_fixture_has_no_orphan_scenarios(fixture_data):
     assert set(fixture_data) == {name for name, _ in SCENARIOS}

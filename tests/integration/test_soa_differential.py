@@ -1,0 +1,218 @@
+"""Object/array differential: ``backend="soa"`` must be bit-identical.
+
+The structure-of-arrays kernel (:mod:`repro.core.soa`) re-implements
+:meth:`~repro.core.kernel.StepKernel.run_lean` on flat columns, with a
+vectorized numpy path for RNG-free policies and a columnar pure-Python
+path for the rest.  Its correctness claim is *bit identity*: for every
+supported engine and policy, a soa run must produce exactly the object
+kernel's results — ``RunResult``, ``RunTelemetry``, per-packet
+outcomes, dynamic step samples, packet-id sequences, and the RNG
+stream (pinned indirectly through RNG-consuming policies).
+
+These hypothesis suites are the proof harness; the golden fixtures
+(``tests/integration/test_golden_engines.py``) pin the same property
+against the pre-kernel legacy captures.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    DimensionOrderPolicy,
+    MaximalGreedyPolicy,
+    PlainGreedyPolicy,
+    RandomizedGreedyPolicy,
+    RestrictedPriorityPolicy,
+)
+from repro.algorithms.random_rank import RandomRankPolicy
+from repro.core.buffered_engine import BufferedEngine
+from repro.core.engine import HotPotatoEngine
+from repro.core.soa import _compat
+from repro.core.validation import validators_for
+from repro.dynamic import BufferedDynamicEngine, DynamicEngine
+from repro.faults import FaultSchedule
+
+from .test_engine_differential import (
+    _SETTINGS,
+    DYNAMIC_POLICIES,
+    _batch_problems,
+    _dynamic_configs,
+    _stats_tuple,
+)
+
+#: Every hot-potato policy family the adapter supports, including the
+#: RNG-consuming ones (columnar path) and the RNG-free ones
+#: (vectorized path).
+HOT_POTATO_POLICIES = (
+    lambda: RestrictedPriorityPolicy(),
+    lambda: RestrictedPriorityPolicy(prefer_type_a=False),
+    lambda: RestrictedPriorityPolicy(tie_break="random"),
+    lambda: RestrictedPriorityPolicy(deflection="reverse"),
+    lambda: RestrictedPriorityPolicy(deflection="random"),
+    lambda: PlainGreedyPolicy(),
+    lambda: RandomizedGreedyPolicy(),
+    lambda: MaximalGreedyPolicy(),
+    lambda: MaximalGreedyPolicy(deflection="random"),
+    lambda: RandomRankPolicy(),
+)
+
+
+def _hot_potato(problem, policy, seed, backend, **kwargs):
+    # Capacity-only validators: the soa backend runs the lean loop,
+    # and the object run must use the same (lean) configuration.
+    return HotPotatoEngine(
+        problem,
+        policy,
+        seed=seed,
+        validators=validators_for(policy, strict=False),
+        backend=backend,
+        **kwargs,
+    )
+
+
+class TestHotPotatoSoaDifferential:
+    @_SETTINGS
+    @given(
+        instance=_batch_problems(),
+        policy_index=st.integers(
+            min_value=0, max_value=len(HOT_POTATO_POLICIES) - 1
+        ),
+    )
+    def test_soa_equals_object(self, instance, policy_index):
+        problem, seed = instance
+        make = HOT_POTATO_POLICIES[policy_index]
+        obj = _hot_potato(problem, make(), seed, "object")
+        soa = _hot_potato(problem, make(), seed, "soa")
+        assert obj.run() == soa.run()
+        assert obj.telemetry == soa.telemetry
+
+    @_SETTINGS
+    @given(instance=_batch_problems())
+    def test_incomplete_run_leaves_identical_packets(self, instance):
+        # A tight step budget stops mid-flight, so this pins the soa
+        # kernel's writeback of live packet state (location, entry
+        # direction, flags, counters), not just delivered outcomes.
+        problem, seed = instance
+        obj = _hot_potato(
+            problem, RestrictedPriorityPolicy(), seed, "object", max_steps=3
+        )
+        soa = _hot_potato(
+            problem, RestrictedPriorityPolicy(), seed, "soa", max_steps=3
+        )
+        assert obj.run() == soa.run()
+        assert len(obj.in_flight) == len(soa.in_flight)
+        for left, right in zip(obj.in_flight, soa.in_flight):
+            assert left.id == right.id
+            assert left.location == right.location
+            assert left.entry_direction == right.entry_direction
+            assert left.restricted_last_step == right.restricted_last_step
+            assert left.advanced_last_step == right.advanced_last_step
+            assert left.hops == right.hops
+            assert left.advances == right.advances
+            assert left.deflections == right.deflections
+
+    @_SETTINGS
+    @given(instance=_batch_problems())
+    def test_empty_fault_schedule_is_equivalent(self, instance):
+        # backend="soa" accepts FaultSchedule.empty() and must behave
+        # exactly like a fault-free object run (the empty schedule's
+        # auto-watchdog can never fire on the lean path either).
+        problem, seed = instance
+        obj = _hot_potato(problem, RestrictedPriorityPolicy(), seed, "object")
+        soa = HotPotatoEngine(
+            problem,
+            RestrictedPriorityPolicy(),
+            seed=seed,
+            validators=validators_for(
+                RestrictedPriorityPolicy(), strict=False
+            ),
+            backend="soa",
+            faults=FaultSchedule.empty(),
+        )
+        assert obj.run() == soa.run()
+        assert obj.telemetry == soa.telemetry
+
+    @_SETTINGS
+    @given(
+        instance=_batch_problems(),
+        policy_index=st.integers(
+            min_value=0, max_value=len(HOT_POTATO_POLICIES) - 1
+        ),
+    )
+    def test_pure_python_fallback_equals_object(self, instance, policy_index):
+        # With numpy unavailable the soa backend must transparently run
+        # its columnar pure-Python loop — same bit-identical results.
+        problem, seed = instance
+        make = HOT_POTATO_POLICIES[policy_index]
+        obj = _hot_potato(problem, make(), seed, "object")
+        expected = obj.run()
+        soa = _hot_potato(problem, make(), seed, "soa")
+        saved = _compat.np
+        _compat.np = None
+        try:
+            assert expected == soa.run()
+        finally:
+            _compat.np = saved
+        assert obj.telemetry == soa.telemetry
+
+
+class TestBufferedSoaDifferential:
+    @_SETTINGS
+    @given(instance=_batch_problems())
+    def test_soa_equals_object(self, instance):
+        problem, seed = instance
+        obj = BufferedEngine(problem, DimensionOrderPolicy(), seed=seed)
+        soa = BufferedEngine(
+            problem, DimensionOrderPolicy(), seed=seed, backend="soa"
+        )
+        assert obj.run() == soa.run()
+        assert obj.telemetry == soa.telemetry
+        assert obj.max_buffer_seen == soa.max_buffer_seen
+
+
+class TestDynamicSoaDifferential:
+    @_SETTINGS
+    @given(
+        instance=_dynamic_configs(),
+        policy_cls=st.sampled_from(DYNAMIC_POLICIES),
+    )
+    def test_soa_equals_object(self, instance, policy_cls):
+        mesh, traffic, seed, warmup, steps = instance
+        obj = DynamicEngine(
+            mesh, policy_cls(), traffic(), seed=seed, warmup=warmup
+        )
+        soa = DynamicEngine(
+            mesh,
+            policy_cls(),
+            traffic(),
+            seed=seed,
+            warmup=warmup,
+            backend="soa",
+        )
+        assert _stats_tuple(obj.run(steps)) == _stats_tuple(soa.run(steps))
+        assert obj.telemetry == soa.telemetry
+        assert obj._next_id == soa._next_id
+        assert [p.id for p in obj.in_flight] == [
+            p.id for p in soa.in_flight
+        ]
+
+
+class TestBufferedDynamicSoaDifferential:
+    @_SETTINGS
+    @given(instance=_dynamic_configs())
+    def test_soa_equals_object(self, instance):
+        mesh, traffic, seed, warmup, steps = instance
+        obj = BufferedDynamicEngine(
+            mesh, DimensionOrderPolicy(), traffic(), seed=seed, warmup=warmup
+        )
+        soa = BufferedDynamicEngine(
+            mesh,
+            DimensionOrderPolicy(),
+            traffic(),
+            seed=seed,
+            warmup=warmup,
+            backend="soa",
+        )
+        assert _stats_tuple(obj.run(steps)) == _stats_tuple(soa.run(steps))
+        assert obj.telemetry == soa.telemetry
+        assert obj.max_queue_seen == soa.max_queue_seen

@@ -1,0 +1,30 @@
+"""Dirty array-kernel module: DET101/DET102 vectors for the soa
+subpackage (never run).
+
+The real ``repro.core.soa`` draws randomness only through the policy's
+sanctioned ``repro.core.rng`` stream and visits rows by integer index,
+because its whole contract is bit identity with the object kernel.
+These are exactly the violations that would silently break it: numpy's
+global RNG diverges from the seeded stream, and set iteration order
+would scramble the node visit order the columnar path replays.
+"""
+
+import numpy as np
+
+
+def shuffle_rows(ids):
+    # DET101 fire: numpy's global RNG bypasses the sanctioned stream.
+    order = np.random.permutation(len(ids))
+    # DET101 suppressed twin.
+    jitter = np.random.random()  # repro: noqa[DET101]
+    return order, jitter
+
+
+def visit_occupied(rows, out):
+    # DET102 fire: set iteration decides the node visit order.
+    for node in set(rows):
+        out.append(node)
+    # DET102 suppressed twin.
+    for node in set(rows):  # repro: noqa[DET102]
+        out.append(node)
+    return out

@@ -258,6 +258,41 @@ class TestFaultsDomain:
         assert len([f for f in findings if f.rule_id == "DET106"]) == 2
 
 
+class TestSoaDomain:
+    """The array kernel is core code: its bit-identity contract makes
+    unseeded randomness and set-order iteration exactly as fatal as in
+    the object kernel, so DET101/DET102 must police it too."""
+
+    def test_fixture_resolves_into_core_domain(self):
+        module = module_name_for(fixture("core", "soa", "kernel.py"))
+        assert module == "dirtypkg.core.soa.kernel"
+        assert domain_of(module) == "core"
+
+    def test_real_soa_package_resolves_into_core_domain(self):
+        module = module_name_for(
+            os.path.join("src", "repro", "core", "soa", "kernel.py")
+        )
+        assert module == "repro.core.soa.kernel"
+        assert domain_of(module) == "core"
+
+    def test_det101_and_det102_fire_and_their_twins_are_silent(self):
+        findings = findings_for(fixture("core", "soa", "kernel.py"))
+        assert rules_hit(findings) == {"DET101", "DET102"}
+        assert len([f for f in findings if f.rule_id == "DET101"]) == 1
+        assert len([f for f in findings if f.rule_id == "DET102"]) == 1
+        messages = "\n".join(f.message for f in findings)
+        assert "numpy.random" in messages
+
+    def test_stripping_noqa_doubles_the_findings(self):
+        path = fixture("core", "soa", "kernel.py")
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        stripped = source.replace("# repro: noqa", "# stripped")
+        _, findings = lint_source(stripped, path)
+        assert len([f for f in findings if f.rule_id == "DET101"]) == 2
+        assert len([f for f in findings if f.rule_id == "DET102"]) == 2
+
+
 class TestSuppressionSyntax:
     def test_bare_noqa_silences_all_rules(self):
         assert is_suppressed("x = 1  # repro: noqa", "DET101")

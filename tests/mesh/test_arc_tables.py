@@ -1,0 +1,181 @@
+"""The flat arc-index tables must agree with the mesh's own queries.
+
+:class:`~repro.mesh.tables.ArcTables` is the array kernels' only view
+of the topology, so every column is checked against the object-layer
+methods it replaces: node numbering against :meth:`Mesh.nodes`,
+``neighbor_flat`` against :meth:`Mesh.neighbor` (including off-mesh
+arcs on the box mesh and wraparound on the torus), and the per-axis
+packed tables against :meth:`Mesh.distance` and
+:meth:`Mesh.good_directions_tuple` for arbitrary node/destination
+pairs.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.mesh.directions import Direction
+from repro.mesh.hypercube import Hypercube
+from repro.mesh.tables import ArcTables, arc_tables_for, direction_index
+from repro.mesh.topology import Mesh
+from repro.mesh.torus import Torus
+
+# Odd and even torus sides behave differently at the wrap seam, so
+# both appear; Mesh(3, 3) exercises the packing beyond two axes.
+MESHES = [
+    Mesh(2, 5),
+    Mesh(3, 3),
+    Torus(2, 4),
+    Torus(2, 5),
+    Hypercube(3),
+]
+IDS = [f"{type(m).__name__}-{m.dimension}d-{m.side}" for m in MESHES]
+
+
+def _pairs(mesh, count=60, seed=7):
+    rng = random.Random(seed)
+    nodes = list(mesh.nodes())
+    exhaustive = len(nodes) ** 2 <= count
+    if exhaustive:
+        return list(itertools.product(nodes, nodes))
+    return [
+        (rng.choice(nodes), rng.choice(nodes)) for _ in range(count)
+    ]
+
+
+class TestDirectionIndex:
+    def test_axis_major_plus_before_minus(self):
+        assert direction_index(Direction(0, 1)) == 0
+        assert direction_index(Direction(0, -1)) == 1
+        assert direction_index(Direction(2, 1)) == 4
+        assert direction_index(Direction(2, -1)) == 5
+
+    @pytest.mark.parametrize("mesh", MESHES, ids=IDS)
+    def test_opposite_is_xor_one(self, mesh):
+        tables = ArcTables(mesh)
+        for k, direction in enumerate(tables.directions):
+            assert direction_index(direction) == k
+            assert direction_index(direction.opposite) == k ^ 1
+
+
+class TestNodeNumbering:
+    @pytest.mark.parametrize("mesh", MESHES, ids=IDS)
+    def test_index_node_is_nodes_order(self, mesh):
+        tables = ArcTables(mesh)
+        assert tables.index_node == list(mesh.nodes())
+        assert tables.num_nodes == mesh.num_nodes
+        for index, node in enumerate(tables.index_node):
+            assert tables.node_index[node] == index
+
+    @pytest.mark.parametrize("mesh", MESHES, ids=IDS)
+    def test_coords_column_matches_node_tuples(self, mesh):
+        tables = ArcTables(mesh)
+        for axis in range(mesh.dimension):
+            assert tables.coords[axis] == [
+                node[axis] for node in tables.index_node
+            ]
+
+
+class TestAdjacencyColumns:
+    @pytest.mark.parametrize("mesh", MESHES, ids=IDS)
+    def test_neighbor_flat_matches_mesh_neighbor(self, mesh):
+        tables = ArcTables(mesh)
+        two_d = tables.num_directions
+        for index, node in enumerate(tables.index_node):
+            for k, direction in enumerate(tables.directions):
+                other = mesh.neighbor(node, direction)
+                entry = tables.neighbor_flat[index * two_d + k]
+                if other is None:
+                    assert entry == -1
+                else:
+                    assert tables.index_node[entry] == other
+
+    @pytest.mark.parametrize("mesh", MESHES, ids=IDS)
+    def test_out_mask_and_degrees_match_mesh_degree(self, mesh):
+        tables = ArcTables(mesh)
+        for index, node in enumerate(tables.index_node):
+            mask = tables.out_mask[index]
+            assert tables.degrees[index] == mesh.degree(node)
+            assert mask.bit_count() == mesh.degree(node)
+            for k, direction in enumerate(tables.directions):
+                present = mesh.neighbor(node, direction) is not None
+                assert bool(mask & (1 << k)) == present
+
+    def test_box_mesh_boundary_arcs_are_off_mesh(self):
+        tables = ArcTables(Mesh(2, 5))
+        corner = tables.node_index[(1, 1)]
+        two_d = tables.num_directions
+        # (1, 1) has no -x / -y neighbors (indices 1 and 3).
+        assert tables.neighbor_flat[corner * two_d + 1] == -1
+        assert tables.neighbor_flat[corner * two_d + 3] == -1
+        assert tables.degrees[corner] == 2
+
+    def test_torus_wraps_where_box_mesh_ends(self):
+        tables = ArcTables(Torus(2, 4))
+        corner = tables.node_index[(1, 1)]
+        two_d = tables.num_directions
+        assert (
+            tables.index_node[tables.neighbor_flat[corner * two_d + 1]]
+            == (4, 1)
+        )
+        assert all(degree == 4 for degree in tables.degrees)
+
+
+class TestPackedTables:
+    @pytest.mark.parametrize("mesh", MESHES, ids=IDS)
+    def test_packed_sum_reproduces_distance_and_goodness(self, mesh):
+        tables = ArcTables(mesh)
+        side1 = mesh.side + 1
+        for node, dest in _pairs(mesh):
+            acc = 0
+            for axis in range(mesh.dimension):
+                acc += tables.packed[axis][
+                    node[axis] * side1 + dest[axis]
+                ]
+            good_mask = acc & tables.good_mask_all
+            distance = acc >> tables.shift
+            assert distance == mesh.distance(node, dest)
+            expected_mask = 0
+            for direction in mesh.good_directions_tuple(node, dest):
+                expected_mask |= 1 << direction_index(direction)
+            assert good_mask == expected_mask
+
+    def test_torus_odd_side_has_unique_good_direction(self):
+        # Odd side: the shorter way around is never a tie, so each
+        # off-axis coordinate contributes exactly one good direction.
+        mesh = Torus(2, 5)
+        tables = ArcTables(mesh)
+        for here in range(1, 6):
+            for there in range(1, 6):
+                if here == there:
+                    continue
+                entry = tables.packed[0][here * 6 + there]
+                assert (entry & tables.good_mask_all).bit_count() == 1
+
+    def test_torus_even_side_ties_give_two_good_directions(self):
+        # Even side: opposite coordinates are equidistant both ways
+        # around, so both directions on that axis are good.
+        mesh = Torus(2, 4)
+        tables = ArcTables(mesh)
+        entry = tables.packed[0][1 * 5 + 3]  # 1 -> 3 on side 4
+        assert (entry & tables.good_mask_all).bit_count() == 2
+        assert entry >> tables.shift == 2
+
+
+class TestCache:
+    def test_same_shape_shares_tables(self):
+        assert arc_tables_for(Mesh(2, 6)) is arc_tables_for(Mesh(2, 6))
+
+    def test_distinct_shapes_get_distinct_tables(self):
+        assert arc_tables_for(Mesh(2, 6)) is not arc_tables_for(Mesh(2, 7))
+        # A torus is not a box mesh even at the same (dimension, side).
+        assert arc_tables_for(Torus(2, 6)) is not arc_tables_for(Mesh(2, 6))
+
+    def test_cached_tables_match_fresh_tables(self):
+        mesh = Torus(2, 5)
+        cached = arc_tables_for(mesh)
+        fresh = ArcTables(mesh)
+        assert cached.neighbor_flat == fresh.neighbor_flat
+        assert cached.packed == fresh.packed
+        assert cached.out_mask == fresh.out_mask
