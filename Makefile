@@ -4,7 +4,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test smoke bench perf-trajectory profile lint typecheck
+.PHONY: test smoke bench perf-trajectory profile lint lint-baseline typecheck
 
 # Tier-1 verification: the full suite, exactly as CI runs it.
 test:
@@ -29,19 +29,27 @@ perf-trajectory:
 profile:
 	PYTHONPATH=src python -m repro profile --side 16 --k 256
 
-# Determinism linter (repro.lint) plus ruff, when available.  The
-# custom linter is the gate — it has no third-party dependencies and
-# must pass everywhere; ruff is skipped gracefully on bare containers.
+# Static analysis (repro.lint) plus ruff, when available.  The custom
+# linter is the gate — it has no third-party dependencies and must
+# pass everywhere; --strict-new applies the committed
+# lint-baseline.json ratchet, so only findings the baseline does not
+# record fail.  ruff is skipped gracefully on bare containers.
 lint:
-	PYTHONPATH=src python -m repro lint src/repro
+	PYTHONPATH=src python -m repro lint src/repro --strict-new
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \
 		echo "ruff not installed; skipping style check"; \
 	fi
 
-# mypy gate: strict on repro.core / repro.mesh / repro.lint, baseline
-# elsewhere (see pyproject.toml and docs/typing-baseline.md).
+# Regenerate the committed findings baseline after triaging real
+# findings (see docs/lint-rules.md for the ratchet semantics).
+lint-baseline:
+	PYTHONPATH=src python -m repro lint src/repro --write-baseline
+
+# mypy gate: strict on repro.core / repro.mesh / repro.lint /
+# repro.obs / repro.dynamic / repro.faults, baseline elsewhere (see
+# pyproject.toml and docs/typing-baseline.md).
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy; \

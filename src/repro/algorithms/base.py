@@ -27,7 +27,7 @@ from repro.core.node_view import NodeView
 from repro.core.packet import Packet
 from repro.core.policy import Assignment, RoutingPolicy
 from repro.core.problem import RoutingProblem
-from repro.core.rng import spawn
+from repro.core.rng import make_rng, spawn
 from repro.mesh.directions import Direction
 from repro.mesh.topology import Mesh
 from repro.types import PacketId
@@ -115,7 +115,7 @@ class GreedyMatchingPolicy(RoutingPolicy):
             )
         self.tie_break = tie_break
         self.deflection = deflection
-        self._rng = random.Random(0)
+        self._rng = make_rng(0)
 
     def prepare(
         self, mesh: Mesh, problem: RoutingProblem, rng: random.Random

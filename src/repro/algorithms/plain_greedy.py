@@ -19,7 +19,7 @@ from repro.core.matching import greedy_maximal_matching
 from repro.core.node_view import NodeView
 from repro.core.policy import Assignment, RoutingPolicy
 from repro.core.problem import RoutingProblem
-from repro.core.rng import spawn
+from repro.core.rng import make_rng, spawn
 from repro.mesh.topology import Mesh
 
 
@@ -76,7 +76,7 @@ class MaximalGreedyPolicy(RoutingPolicy):
                 f"{DEFLECTION_RULES}"
             )
         self.deflection = deflection
-        self._rng = random.Random(0)
+        self._rng = make_rng(0)
 
     def prepare(
         self, mesh: Mesh, problem: RoutingProblem, rng: random.Random

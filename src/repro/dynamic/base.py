@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
+    AnyPolicy,
     InjectionSource,
     PhaseSink,
     StepKernel,
@@ -58,7 +59,7 @@ class DynamicEngineBase:
     def __init__(
         self,
         mesh: Mesh,
-        policy,
+        policy: AnyPolicy,
         traffic: TrafficModel,
         *,
         seed: RngLike = 0,

@@ -19,6 +19,8 @@ latency/throughput curves compare directly (benchmark E21).
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.kernel import StepSummary
 from repro.dynamic.base import DynamicEngineBase
 from repro.dynamic.injection import TrafficModel
@@ -37,7 +39,7 @@ class BufferedDynamicEngine(DynamicEngineBase):
 
     buffered = True
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         self._max_queue = 0
         super().__init__(*args, **kwargs)
 

@@ -15,6 +15,7 @@ import abc
 import random
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.rng import make_rng
 from repro.mesh.topology import Mesh
 from repro.types import Node
 
@@ -50,7 +51,7 @@ class BernoulliTraffic(TrafficModel):
             raise ValueError(f"rate must be in [0, 1], got {rate}")
         self.rate = rate
         self._nodes: List[Node] = []
-        self._rng = random.Random(0)
+        self._rng = make_rng(0)
 
     def prepare(self, mesh: Mesh, rng: random.Random) -> None:
         self._nodes = list(mesh.nodes())
@@ -89,7 +90,7 @@ class HotSpotTraffic(TrafficModel):
         self.hot_fraction = hot_fraction
         self.hot_spot = hot_spot
         self._nodes: List[Node] = []
-        self._rng = random.Random(0)
+        self._rng = make_rng(0)
 
     def prepare(self, mesh: Mesh, rng: random.Random) -> None:
         self._nodes = list(mesh.nodes())

@@ -26,7 +26,7 @@ step with the same record.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.faults.report import RunAborted
 
@@ -39,7 +39,11 @@ DEFAULT_NO_PROGRESS_LIMIT = 512
 DEFAULT_PARTITION_INTERVAL = 32
 
 
-def _census(kernel: Any) -> tuple:
+def _census(
+    kernel: Any,
+) -> Tuple[
+    Tuple[Any, ...], Tuple[Any, ...], int, Tuple[Dict[str, Any], ...]
+]:
     """(undelivered ids, stranded ids, dropped count, fault timeline)."""
     undelivered = tuple(sorted(p.id for p in kernel.in_flight))
     faults = getattr(kernel, "faults", None)

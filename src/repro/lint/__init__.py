@@ -20,20 +20,53 @@ point.
 from __future__ import annotations
 
 from repro.lint.determinism import DETERMINISM_RULES
+from repro.lint.dataflow import DATAFLOW_RULES
+from repro.lint.contracts import CONTRACT_RULES
+from repro.lint.arrays import ARRAY_RULES
+from repro.lint.parallel import PARALLEL_RULES
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import Rule, all_rules, get_rule, register, rule_ids
+from repro.lint.project import ProjectModel, SymbolTable
+from repro.lint.rules import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    rule_ids,
+)
 from repro.lint.runner import LintReport, lint_file, lint_paths
 
+#: Every shipped rule family, in registration order.
+ALL_RULE_FAMILIES = (
+    DETERMINISM_RULES,
+    DATAFLOW_RULES,
+    CONTRACT_RULES,
+    ARRAY_RULES,
+    PARALLEL_RULES,
+)
+
 __all__ = [
+    "ALL_RULE_FAMILIES",
+    "ARRAY_RULES",
+    "Baseline",
+    "CONTRACT_RULES",
+    "DATAFLOW_RULES",
     "DETERMINISM_RULES",
     "Finding",
     "LintReport",
+    "PARALLEL_RULES",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "Severity",
+    "SymbolTable",
     "all_rules",
     "get_rule",
     "lint_file",
     "lint_paths",
+    "load_baseline",
     "register",
     "rule_ids",
+    "write_baseline",
 ]

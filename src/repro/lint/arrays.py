@@ -1,0 +1,245 @@
+"""Array determinism rules (NPY4xx), scoped to the soa subpackage.
+
+The soa kernel's bit-identity proof leans on three numpy facts that
+nothing in numpy enforces:
+
+* ``NPY401`` — only ``kind="stable"`` sorts are reproducible across
+  numpy versions and platforms; the default introsort breaks ties by
+  partition order.  (``lexsort`` is always stable and exempt.)
+* ``NPY402`` — numpy's global RNG smuggled in through a non-import
+  channel.  DET101 already catches ``np.random`` when ``np`` is a
+  literal import; the soa tree, however, receives numpy through
+  ``_compat.np`` (the optional-dependency shim) and as an ``np``
+  *parameter*, both invisible to import-map resolution.  This rule
+  tracks those channels.
+* ``NPY403`` — float reductions are order-sensitive (``(a+b)+c ≠
+  a+(b+c)``), so a bare ``.sum()`` is only deterministic if the array
+  is integral.  Reductions wrapped directly in ``int(...)`` are exact
+  by construction and exempt; everything else warns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Set
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+__all__ = ["ARRAY_RULES"]
+
+#: Rule ids this module registers, in registration order.
+ARRAY_RULES = ("NPY401", "NPY402", "NPY403")
+
+#: Reduction methods whose float results depend on evaluation order.
+_REDUCTIONS = frozenset({"cumsum", "dot", "mean", "prod", "sum"})
+
+#: Parameter names conventionally carrying the numpy module object.
+_NP_PARAMS = frozenset({"np", "xp"})
+
+
+def _in_soa(module: str) -> bool:
+    parts = module.split(".")
+    return "soa" in parts[1:] or parts[0] == "soa"
+
+
+class _SoaRule(Rule):
+    """Base: applies to ``*.soa.*`` modules regardless of domain."""
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        if not _in_soa(context.module):
+            return False
+        return super().applies_to(context)
+
+
+def _compat_numpy_names(context: ModuleContext) -> FrozenSet[str]:
+    """Local names bound to numpy through non-import channels.
+
+    Two shapes: ``np = _compat.np`` (any assignment whose value is the
+    ``np`` attribute of a ``*._compat`` module) and function parameters
+    literally named ``np``/``xp`` — the soa helpers pass the module
+    object around to keep the no-numpy fallback importable.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "np"
+            ):
+                origin = context.imports.resolve(value.value)
+                if origin is not None and (
+                    origin == "_compat"
+                    or origin.endswith("._compat")
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ):
+                if arg.arg in _NP_PARAMS:
+                    names.add(arg.arg)
+    return frozenset(names)
+
+
+def _is_numpy_name(
+    context: ModuleContext, node: ast.expr, tracked: FrozenSet[str]
+) -> bool:
+    """Whether an expression denotes the numpy module, any channel."""
+    if isinstance(node, ast.Name) and node.id in tracked:
+        return True
+    origin = context.imports.resolve(node)
+    return origin is not None and (
+        origin == "numpy" or origin.startswith("numpy.")
+    )
+
+
+def _stable_kind(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "kind":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value == "stable"
+            )
+    return False
+
+
+@register
+class UnstableSortRule(_SoaRule):
+    """NPY401: sort without ``kind="stable"`` in the soa tree."""
+
+    id = "NPY401"
+    name = "unstable-sort"
+    description = (
+        "numpy sort/argsort without kind='stable' breaks ties by "
+        "partition order and is not reproducible across platforms"
+    )
+    severity = Severity.ERROR
+    domains = None
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        tracked = _compat_numpy_names(context)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_numpy_sort(
+                context, node, tracked
+            ) and not _stable_kind(node):
+                yield self.finding(
+                    context,
+                    node,
+                    "sort without kind='stable'; the soa kernels' "
+                    "bit-identity proof requires stable tie-breaking",
+                )
+
+    @staticmethod
+    def _is_numpy_sort(
+        context: ModuleContext,
+        node: ast.Call,
+        tracked: FrozenSet[str],
+    ) -> bool:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "argsort":
+                # Arrays only grow .argsort from numpy; flag any
+                # receiver.  (.sort is shared with list and only
+                # flagged on the module object itself.)
+                return True
+            if func.attr == "sort":
+                return _is_numpy_name(context, func.value, tracked)
+            return False
+        if isinstance(func, ast.Name):
+            origin = context.imports.resolve(func)
+            return origin in ("numpy.argsort", "numpy.sort")
+        return False
+
+
+@register
+class CompatChannelRngRule(_SoaRule):
+    """NPY402: numpy global RNG through a non-import channel."""
+
+    id = "NPY402"
+    name = "compat-channel-rng"
+    description = (
+        "numpy.random reached through _compat.np or an np parameter; "
+        "DET101 cannot see these channels, and the soa tree must not "
+        "touch numpy's global RNG at all"
+    )
+    severity = Severity.ERROR
+    domains = None
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        tracked = _compat_numpy_names(context)
+        if not tracked:
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "random"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in tracked
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"numpy global RNG via '{node.value.id}.random' "
+                    "(compat channel); draw through the policy's "
+                    "sanctioned stream instead",
+                )
+
+
+@register
+class FloatReductionRule(_SoaRule):
+    """NPY403: order-sensitive float reduction (warning)."""
+
+    id = "NPY403"
+    name = "float-reduction"
+    description = (
+        "float reductions depend on summation order; wrap integral "
+        "reductions in int(...) or use a compensated sum"
+    )
+    severity = Severity.WARNING
+    domains = None
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        int_wrapped = self._int_wrapped_calls(context)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _REDUCTIONS
+            ):
+                continue
+            if id(node) in int_wrapped:
+                continue
+            yield self.finding(
+                context,
+                node,
+                f"'.{func.attr}()' reduction is order-sensitive on "
+                "floats; wrap in int(...) if the array is integral",
+            )
+
+    @staticmethod
+    def _int_wrapped_calls(context: ModuleContext) -> Set[int]:
+        """ids of calls appearing directly inside ``int(...)``."""
+        wrapped: Set[int] = set()
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "int"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Call)
+            ):
+                wrapped.add(id(node.args[0]))
+        return wrapped
+

@@ -1,0 +1,161 @@
+"""Committed-findings baseline: ratchet semantics for new rules.
+
+Turning on a project-wide rule family over an existing tree surfaces
+findings nobody can fix in the same change.  The baseline file records
+those pre-existing findings by *fingerprint* so ``--strict-new`` can
+fail CI on new violations while the recorded ones burn down; a
+fingerprint that stops matching is reported as stale so the file
+shrinks monotonically instead of rotting.
+
+Fingerprints hash the normalized path, rule id, the stripped source
+line text, and an occurrence index — deliberately *not* the line
+number, so unrelated edits above a baselined finding don't unbaseline
+it, while the occurrence index keeps two identical lines in one file
+distinct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "baseline_payload",
+    "compute_fingerprints",
+    "load_baseline",
+    "normalize_path",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+_TOOL_NAME = "repro-lint"
+
+
+def normalize_path(path: str) -> str:
+    """Repo-relative forward-slash path when possible.
+
+    Fingerprints must agree between a developer's checkout and CI, so
+    paths under the working directory are relativized; paths outside it
+    (tempdir fixtures in tests) stay absolute rather than acquiring
+    fragile ``../..`` prefixes.
+    """
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # pragma: no cover - windows cross-drive only
+        rel = path
+    if not rel.startswith(".."):
+        path = rel
+    return path.replace(os.sep, "/")
+
+
+def compute_fingerprints(
+    findings: Sequence[Finding],
+    line_text_of: Callable[[Finding], str],
+) -> Dict[Finding, str]:
+    """Stable fingerprint per finding (input must be pre-sorted).
+
+    The occurrence index is assigned in report order, so the *n*-th
+    identical violation on identical line text keeps its identity as
+    long as the earlier ones survive.
+    """
+    counts: Dict[Tuple[str, str, str], int] = {}
+    fingerprints: Dict[Finding, str] = {}
+    for finding in findings:
+        text = line_text_of(finding).strip()
+        key = (normalize_path(finding.path), finding.rule_id, text)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        token = "\x00".join((key[0], key[1], key[2], str(index)))
+        fingerprints[finding] = hashlib.sha1(
+            token.encode("utf-8")
+        ).hexdigest()
+    return fingerprints
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline file: fingerprint → recorded entry."""
+
+    entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    path: str = ""
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read and validate a baseline file.
+
+    Raises:
+        ValueError: on a malformed file — a silently ignored baseline
+            would quietly re-admit every recorded violation.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON ({error})") from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: baseline must be a JSON object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    raw_entries = payload.get("entries")
+    if not isinstance(raw_entries, list):
+        raise ValueError(f"{path}: 'entries' must be a list")
+    entries: Dict[str, Dict[str, Any]] = {}
+    for position, entry in enumerate(raw_entries):
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("fingerprint"), str
+        ):
+            raise ValueError(
+                f"{path}: entry {position} lacks a string fingerprint"
+            )
+        entries[entry["fingerprint"]] = entry
+    return Baseline(entries=entries, path=path)
+
+
+def baseline_payload(
+    findings: Sequence[Finding],
+    fingerprints: Dict[Finding, str],
+) -> Dict[str, Any]:
+    """The JSON document recording ``findings`` as the new baseline."""
+    entries: List[Dict[str, Any]] = [
+        {
+            "fingerprint": fingerprints[finding],
+            "rule": finding.rule_id,
+            "path": normalize_path(finding.path),
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in sorted(findings)
+    ]
+    return {
+        "version": BASELINE_VERSION,
+        "tool": _TOOL_NAME,
+        "entries": entries,
+    }
+
+
+def write_baseline(
+    path: str,
+    findings: Sequence[Finding],
+    fingerprints: Dict[Finding, str],
+) -> None:
+    payload = baseline_payload(findings, fingerprints)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -12,9 +12,18 @@ import json
 import sys
 from typing import IO, List, Optional
 
+from repro.lint.baseline import (
+    Baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.findings import Severity
 from repro.lint.rules import all_rules
 from repro.lint.runner import LintReport, lint_paths
+from repro.lint.sarif import sarif_payload
+
+#: Default committed baseline location (repo-root relative).
+DEFAULT_BASELINE = "lint-baseline.json"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -27,9 +36,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the report to PATH instead of stdout "
+        "(summary still prints to stdout)",
     )
     parser.add_argument(
         "--select",
@@ -51,6 +66,27 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: warning — any finding fails)",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="suppress findings recorded in this baseline file; "
+        "only new findings affect the exit code",
+    )
+    parser.add_argument(
+        "--strict-new",
+        action="store_true",
+        help=f"CI mode: apply the baseline ({DEFAULT_BASELINE} unless "
+        "--baseline is given) and fail on any finding it does not "
+        "record",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        metavar="PATH",
+        help="record the current findings as the new baseline "
+        f"(default path: {DEFAULT_BASELINE}) and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="describe the registered rules and exit",
@@ -63,15 +99,28 @@ def render_text(report: LintReport, stream: IO[str]) -> None:
     for finding in report.findings:
         print(finding.format_text(), file=stream)
     noun = "file" if report.files_checked == 1 else "files"
+    extras = []
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.stale_baseline:
+        extras.append(
+            f"{len(report.stale_baseline)} stale baseline entr"
+            + ("y" if len(report.stale_baseline) == 1 else "ies")
+            + " (re-run with --write-baseline)"
+        )
+    suffix = f" [{'; '.join(extras)}]" if extras else ""
     if report.findings or report.parse_errors:
         print(
             f"{len(report.findings)} finding(s), "
             f"{len(report.parse_errors)} parse error(s) in "
-            f"{report.files_checked} {noun}",
+            f"{report.files_checked} {noun}{suffix}",
             file=stream,
         )
     else:
-        print(f"clean: {report.files_checked} {noun} checked", file=stream)
+        print(
+            f"clean: {report.files_checked} {noun} checked{suffix}",
+            file=stream,
+        )
 
 
 def render_json(report: LintReport, stream: IO[str]) -> None:
@@ -79,9 +128,41 @@ def render_json(report: LintReport, stream: IO[str]) -> None:
         "files_checked": report.files_checked,
         "parse_errors": list(report.parse_errors),
         "findings": [finding.to_json() for finding in report.findings],
+        "baselined": [
+            finding.to_json() for finding in report.baselined
+        ],
+        "stale_baseline": list(report.stale_baseline),
     }
     json.dump(payload, stream, indent=2)
     stream.write("\n")
+
+
+def render_sarif(report: LintReport, stream: IO[str]) -> None:
+    json.dump(sarif_payload(report), stream, indent=2)
+    stream.write("\n")
+
+
+def _load_baseline_arg(
+    args: argparse.Namespace, stream: IO[str]
+) -> Optional[Baseline]:
+    """The baseline to apply, honoring --strict-new's default path."""
+    path = args.baseline
+    if path is None and args.strict_new:
+        path = DEFAULT_BASELINE
+    if path is None:
+        return None
+    try:
+        return load_baseline(path)
+    except FileNotFoundError:
+        if args.baseline is None:
+            # --strict-new with no committed baseline yet: everything
+            # is a new finding, which is exactly strict.
+            return Baseline()
+        print(f"error: baseline {path!r} not found", file=stream)
+        return None
+    except ValueError as error:
+        print(f"error: {error}", file=stream)
+        return None
 
 
 def run_lint(args: argparse.Namespace, stream: IO[str]) -> int:
@@ -90,15 +171,41 @@ def run_lint(args: argparse.Namespace, stream: IO[str]) -> int:
         for rule in all_rules():
             print(rule.describe(), file=stream)
         return 0
+    wants_baseline = bool(args.baseline) or args.strict_new
+    baseline: Optional[Baseline] = None
+    if wants_baseline and args.write_baseline is None:
+        baseline = _load_baseline_arg(args, stream)
+        if baseline is None:
+            return 2
     try:
-        report = lint_paths(args.paths, args.select, args.ignore)
+        report = lint_paths(
+            args.paths, args.select, args.ignore, baseline=baseline
+        )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=stream)
         return 2
-    if args.format == "json":
-        render_json(report, stream)
-    else:
+    if args.write_baseline is not None:
+        write_baseline(
+            args.write_baseline, report.findings, report.fingerprints
+        )
+        print(
+            f"baseline: {len(report.findings)} finding(s) recorded "
+            f"in {args.write_baseline}",
+            file=stream,
+        )
+        return 0
+    renderers = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }
+    render = renderers[args.format]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            render(report, handle)
         render_text(report, stream)
+    else:
+        render(report, stream)
     return report.exit_code(Severity.parse(args.fail_on))
 
 

@@ -24,9 +24,14 @@ class ImportMap:
 
     def __init__(self, tree: ast.AST) -> None:
         self._aliases: Dict[str, str] = {}
+        #: Full dotted names of imported modules — ``import pkg.util``
+        #: binds only ``pkg`` as a local name, but the import graph
+        #: still needs the ``pkg.util`` edge.
+        self._modules: List[str] = []
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
+                    self._modules.append(alias.name)
                     if alias.asname is not None:
                         self._aliases[alias.asname] = alias.name
                     else:
@@ -39,6 +44,12 @@ class ImportMap:
                 for alias in node.names:
                     local = alias.asname or alias.name
                     self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def origins(self) -> Tuple[str, ...]:
+        """Every dotted origin this module imports, sorted."""
+        return tuple(
+            sorted(set(self._aliases.values()) | set(self._modules))
+        )
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Dotted origin of a Name/Attribute chain, or None.
@@ -94,6 +105,25 @@ def domain_of(module: str) -> str:
     return parts[0]
 
 
+#: Compound statements whose *body* must not absorb suppressions: a
+#: ``# repro: noqa`` inside a function body must never silence a
+#: finding anchored on the ``def`` line, so only their header lines
+#: (signature up to the first body statement) count as one span.
+_COMPOUND_STMTS = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.If,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.Match,
+)
+
+
 class ModuleContext:
     """Everything a rule may consult about one source file."""
 
@@ -105,6 +135,7 @@ class ModuleContext:
         self.module: str = module_name_for(path)
         self.domain: str = domain_of(self.module)
         self.imports = ImportMap(self.tree)
+        self._spans: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @classmethod
     def from_file(cls, path: str) -> "ModuleContext":
@@ -116,3 +147,46 @@ class ModuleContext:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1]
         return ""
+
+    def _statement_spans(self) -> Tuple[Tuple[int, int], ...]:
+        """(first, last) physical-line spans of every statement.
+
+        Simple statements span their full extent; compound statements
+        contribute only their header (``def``/``for``/... line through
+        the line before the first body statement), so suppressions
+        inside a block never leak out to findings anchored on it.
+        """
+        if self._spans is not None:
+            return self._spans
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            first = node.lineno
+            if isinstance(node, _COMPOUND_STMTS):
+                body = getattr(node, "body", None)
+                last = body[0].lineno - 1 if body else first
+            else:
+                last = node.end_lineno or first
+            if last >= first:
+                spans.append((first, last))
+        self._spans = tuple(spans)
+        return self._spans
+
+    def suppression_lines(self, lineno: int) -> Tuple[int, ...]:
+        """Physical lines whose comments may suppress a finding.
+
+        A ``# repro: noqa[RULE]`` anywhere on the *smallest* statement
+        span enclosing ``lineno`` counts, so the trailing comment of a
+        multi-line call still suppresses a finding anchored on the
+        call's first line.
+        """
+        best: Optional[Tuple[int, int]] = None
+        for first, last in self._statement_spans():
+            if not (first <= lineno <= last):
+                continue
+            if best is None or (last - first) < (best[1] - best[0]):
+                best = (first, last)
+        if best is None:
+            return (lineno,)
+        return tuple(range(best[0], best[1] + 1))

@@ -1,0 +1,519 @@
+"""RNG dataflow rules (DET2xx).
+
+The DET1xx family catches syntactically obvious entropy (bare
+``random.Random()``, module-level ``random.shuffle``).  This family
+tracks where RNG *values* come from and where they flow:
+
+* ``DET201`` — every seeded RNG must be constructed through the
+  sanctioned ``repro.core.rng`` factories (``make_rng``/``spawn``),
+  which normalize seeds and record provenance; a raw
+  ``random.Random(seed)`` elsewhere silently forks the seed-derivation
+  scheme.
+* ``DET202`` — an RNG stored in a module global is shared mutable
+  state: two runs in one process consume from the same stream and stop
+  being pure functions of their seeds.
+* ``DET203`` — a project-wide reachability pass over the call graph
+  rooted at the soa *vectorized* entrypoints.  Per the backend
+  contract only the columnar fallback may consume policy RNG (it
+  replays the object kernel's node-visit order draw for draw); any RNG
+  consumption reachable from the vectorized roots would diverge from
+  the object kernel on the first draw.  The pass is argument-sensitive:
+  a shared helper like ``conflict.resolve_node`` is legal as long as
+  the vectorized call site passes ``rng=None``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import ImportMap, ModuleContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.kernelspec import VECTORIZED_ENTRYPOINTS
+from repro.lint.project import (
+    FunctionNode,
+    ProjectModel,
+    resolve_call,
+)
+from repro.lint.rules import ProjectRule, Rule, register
+
+__all__ = ["DATAFLOW_RULES"]
+
+#: Rule ids this module registers, in registration order.
+DATAFLOW_RULES = ("DET201", "DET202", "DET203")
+
+#: Origins that construct a raw standard-library RNG.
+_RANDOM_CLASSES = frozenset({"random.Random", "random.SystemRandom"})
+
+#: Methods that advance a ``random.Random`` stream when called.
+_STREAM_METHODS: FrozenSet[str] = frozenset(
+    {
+        "betavariate",
+        "binomialvariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Attribute names that conventionally hold the sanctioned RNG.
+_RNG_ATTRS = frozenset({"rng", "_rng"})
+
+
+def _is_factory_origin(origin: str) -> bool:
+    """True for ``<pkg>.rng.make_rng`` / ``<pkg>.rng.spawn`` origins."""
+    parts = origin.split(".")
+    return (
+        len(parts) >= 2
+        and parts[-1] in ("make_rng", "spawn")
+        and parts[-2] == "rng"
+    )
+
+
+def _rng_source_origin(
+    imports: ImportMap, node: ast.Call
+) -> Optional[str]:
+    """The dotted origin when a call constructs an RNG, else None."""
+    origin = imports.resolve(node.func)
+    if origin is None:
+        return None
+    if origin in _RANDOM_CLASSES or _is_factory_origin(origin):
+        return origin
+    return None
+
+
+@register
+class RngConstructionRule(Rule):
+    """DET201: seeded RNG construction outside the sanctioned factory."""
+
+    id = "DET201"
+    name = "rng-outside-factory"
+    description = (
+        "seeded random.Random construction bypasses the repro.core.rng "
+        "factories that normalize seeds and record provenance"
+    )
+    severity = Severity.ERROR
+    domains = None
+    exempt_modules = ("core.rng",)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = context.imports.resolve(node.func)
+            if origin == "random.SystemRandom":
+                yield self.finding(
+                    context,
+                    node,
+                    "random.SystemRandom draws OS entropy and can "
+                    "never replay; use make_rng(seed) from the "
+                    "sanctioned rng module",
+                )
+            elif origin == "random.Random" and (
+                node.args or node.keywords
+            ):
+                # The bare unseeded form is DET101's finding.
+                yield self.finding(
+                    context,
+                    node,
+                    "seeded RNG constructed outside the sanctioned "
+                    "factory; use make_rng(seed) / spawn(rng, key) so "
+                    "seed derivation stays uniform",
+                )
+
+
+@register
+class ModuleGlobalRngRule(Rule):
+    """DET202: RNG stored in module-global state."""
+
+    id = "DET202"
+    name = "module-global-rng"
+    description = (
+        "an RNG bound to a module global is cross-run shared state; "
+        "runs stop being pure functions of their seeds"
+    )
+    severity = Severity.ERROR
+    domains = None
+    exempt_modules = ("core.rng",)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        yield from self._module_level(context)
+        yield from self._via_global_stmt(context)
+
+    def _module_level(self, context: ModuleContext) -> Iterator[Finding]:
+        for stmt in context.tree.body:
+            value = self._assigned_value(stmt)
+            if value is None or not isinstance(value, ast.Call):
+                continue
+            origin = _rng_source_origin(context.imports, value)
+            if origin is not None:
+                yield self.finding(
+                    context,
+                    stmt,
+                    f"RNG from {origin} stored in a module global; "
+                    "thread it through run state instead",
+                )
+
+    def _via_global_stmt(self, context: ModuleContext) -> Iterator[Finding]:
+        for func in ast.walk(context.tree):
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            declared: Set[str] = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    declared.update(node.names)
+            if not declared:
+                continue
+            for node in ast.walk(func):
+                value = self._assigned_value(node)
+                if value is None or not isinstance(value, ast.Call):
+                    continue
+                if not self._targets_any(node, declared):
+                    continue
+                origin = _rng_source_origin(context.imports, value)
+                if origin is not None:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"RNG from {origin} published to module "
+                        "global via 'global' statement",
+                    )
+
+    @staticmethod
+    def _assigned_value(node: ast.AST) -> Optional[ast.expr]:
+        if isinstance(node, ast.Assign):
+            return node.value
+        if isinstance(node, ast.AnnAssign):
+            return node.value
+        return None
+
+    @staticmethod
+    def _targets_any(node: ast.AST, names: Set[str]) -> bool:
+        targets: List[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            return False
+        return any(
+            isinstance(target, ast.Name) and target.id in names
+            for target in targets
+        )
+
+
+class _RegionFunction:
+    """One function in the vectorized-reachable region."""
+
+    __slots__ = ("context", "qualname", "node", "param_marks")
+
+    def __init__(
+        self,
+        context: ModuleContext,
+        qualname: str,
+        node: FunctionNode,
+    ) -> None:
+        self.context = context
+        self.qualname = qualname
+        self.node = node
+        #: Parameter names proven RNG-valued by call edges *within*
+        #: the region; call sites outside the region never contribute
+        #: (that is what makes the pass argument-sensitive).
+        self.param_marks: Set[str] = set()
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.context.module, self.qualname)
+
+    def param_names(self) -> List[str]:
+        args = self.node.args
+        return [
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+
+
+@register
+class VectorizedRngRule(ProjectRule):
+    """DET203: RNG consumption reachable from the vectorized path."""
+
+    id = "DET203"
+    name = "vectorized-rng"
+    description = (
+        "RNG use reachable from the soa vectorized entrypoints; only "
+        "the columnar fallback may consume policy RNG (it replays the "
+        "object kernel's draw order)"
+    )
+    severity = Severity.ERROR
+    domains = None
+
+    def __init__(self) -> None:
+        #: id(Call) -> resolved (module, qualname) target, rebuilt per
+        #: run — AST node ids are only unique while the model lives.
+        self._resolved: Dict[int, Optional[Tuple[str, str]]] = {}
+        self._returning: Set[Tuple[str, str]] = set()
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        self._resolved = {}
+        self._returning = set()
+        region = self._build_region(project)
+        if not region:
+            return
+        self._fixpoint(project, region)
+        for key in sorted(region):
+            yield from self._collect(project, region, region[key])
+
+    # -- region construction ------------------------------------------
+
+    def _build_region(
+        self, project: ProjectModel
+    ) -> Dict[Tuple[str, str], _RegionFunction]:
+        region: Dict[Tuple[str, str], _RegionFunction] = {}
+        worklist: List[_RegionFunction] = []
+        for spec in VECTORIZED_ENTRYPOINTS:
+            for context in project.modules_matching(spec.module_suffix):
+                node = project.function(context.module, spec.qualname)
+                if node is None:
+                    continue
+                entry = _RegionFunction(context, spec.qualname, node)
+                if entry.key not in region:
+                    region[entry.key] = entry
+                    worklist.append(entry)
+        while worklist:
+            current = worklist.pop()
+            for call in ast.walk(current.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                resolved = resolve_call(
+                    project, current.context, current.qualname, call
+                )
+                if resolved is None or resolved in region:
+                    continue
+                module, qualname = resolved
+                node = project.function(module, qualname)
+                if node is None:
+                    continue
+                callee = _RegionFunction(
+                    project.by_module[module], qualname, node
+                )
+                region[callee.key] = callee
+                worklist.append(callee)
+        return region
+
+    # -- dataflow ------------------------------------------------------
+
+    def _fixpoint(
+        self,
+        project: ProjectModel,
+        region: Dict[Tuple[str, str], _RegionFunction],
+    ) -> None:
+        """Propagate RNG marks along region call edges to a fixpoint."""
+        returning: Set[Tuple[str, str]] = set()
+        for _ in range(len(region) + 2):
+            changed = False
+            for key in sorted(region):
+                func = region[key]
+                marked = self._local_marks(func, region, returning)
+                if self._returns_rng(func, marked, region, returning):
+                    if key not in returning:
+                        returning.add(key)
+                        changed = True
+                changed |= self._propagate_args(
+                    project, func, marked, region, returning
+                )
+            if not changed:
+                break
+        self._returning = returning
+
+    def _local_marks(
+        self,
+        func: _RegionFunction,
+        region: Dict[Tuple[str, str], _RegionFunction],
+        returning: Set[Tuple[str, str]],
+    ) -> Set[str]:
+        """Names bound to RNG values inside one function."""
+        marked: Set[str] = set(func.param_marks)
+        for _ in range(32):
+            grew = False
+            for node in ast.walk(func.node):
+                value = None
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    value, targets = node.value, list(node.targets)
+                elif isinstance(node, ast.AnnAssign) and node.value:
+                    value, targets = node.value, [node.target]
+                if value is None:
+                    continue
+                if not self._is_rng_expr(
+                    value, marked, func, region, returning
+                ):
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id not in marked
+                    ):
+                        marked.add(target.id)
+                        grew = True
+            if not grew:
+                break
+        return marked
+
+    def _is_rng_expr(
+        self,
+        expr: ast.expr,
+        marked: Set[str],
+        func: _RegionFunction,
+        region: Dict[Tuple[str, str], _RegionFunction],
+        returning: Set[Tuple[str, str]],
+    ) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in marked
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in _RNG_ATTRS
+        if isinstance(expr, ast.Call):
+            if (
+                _rng_source_origin(func.context.imports, expr)
+                is not None
+            ):
+                return True
+            resolved = self._resolved.get(id(expr))
+            return resolved is not None and resolved in returning
+        return False
+
+    def _returns_rng(
+        self,
+        func: _RegionFunction,
+        marked: Set[str],
+        region: Dict[Tuple[str, str], _RegionFunction],
+        returning: Set[Tuple[str, str]],
+    ) -> bool:
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if self._is_rng_expr(
+                    node.value, marked, func, region, returning
+                ):
+                    return True
+        return False
+
+    def _propagate_args(
+        self,
+        project: ProjectModel,
+        func: _RegionFunction,
+        marked: Set[str],
+        region: Dict[Tuple[str, str], _RegionFunction],
+        returning: Set[Tuple[str, str]],
+    ) -> bool:
+        """Push RNG-valued arguments into callee parameter marks."""
+        changed = False
+        for call in ast.walk(func.node):
+            if not isinstance(call, ast.Call):
+                continue
+            resolved = resolve_call(
+                project, func.context, func.qualname, call
+            )
+            self._resolved[id(call)] = resolved
+            if resolved is None or resolved not in region:
+                continue
+            callee = region[resolved]
+            names = callee.param_names()
+            offset = 1 if self._is_bound_call(call, callee) else 0
+            for index, arg in enumerate(call.args):
+                if not self._is_rng_expr(
+                    arg, marked, func, region, returning
+                ):
+                    continue
+                slot = index + offset
+                if slot < len(names) and names[slot] not in (
+                    callee.param_marks
+                ):
+                    callee.param_marks.add(names[slot])
+                    changed = True
+            for keyword in call.keywords:
+                if keyword.arg is None:
+                    continue
+                if not self._is_rng_expr(
+                    keyword.value, marked, func, region, returning
+                ):
+                    continue
+                if (
+                    keyword.arg in names
+                    and keyword.arg not in callee.param_marks
+                ):
+                    callee.param_marks.add(keyword.arg)
+                    changed = True
+        return changed
+
+    @staticmethod
+    def _is_bound_call(
+        call: ast.Call, callee: _RegionFunction
+    ) -> bool:
+        """``self.method(...)`` skips the receiver's ``self`` slot."""
+        return (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self"
+            and "." in callee.qualname
+        )
+
+    # -- finding collection -------------------------------------------
+
+    def _collect(
+        self,
+        project: ProjectModel,
+        region: Dict[Tuple[str, str], _RegionFunction],
+        func: _RegionFunction,
+    ) -> Iterator[Finding]:
+        returning = self._returning
+        marked = self._local_marks(func, region, returning)
+        for call in ast.walk(func.node):
+            if not isinstance(call, ast.Call):
+                continue
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _STREAM_METHODS
+                and self._is_rng_expr(
+                    call.func.value, marked, func, region, returning
+                )
+            ):
+                yield self.finding(
+                    func.context,
+                    call,
+                    f"'.{call.func.attr}()' draw on the vectorized "
+                    f"path (in {func.qualname}); only the columnar "
+                    "fallback may consume policy RNG",
+                )
+                continue
+            resolved = self._resolved.get(id(call))
+            if resolved is not None and resolved in region:
+                continue  # propagation handled the edge
+            for arg in (*call.args, *(k.value for k in call.keywords)):
+                if self._is_rng_expr(
+                    arg, marked, func, region, returning
+                ):
+                    yield self.finding(
+                        func.context,
+                        call,
+                        f"RNG value escapes the vectorized path (in "
+                        f"{func.qualname}) into a call the linter "
+                        "cannot resolve; pass None on this path",
+                    )
+                    break

@@ -1,0 +1,194 @@
+"""The project model: what project-wide rules see.
+
+The original linter was strictly per-module — every rule saw one AST
+and nothing else.  The DET2xx/KER3xx families need more: "is this call
+reachable from the vectorized loop?" and "does the columnar twin still
+exist?" are questions about the *project*, not a file.  This module
+builds that view once per lint run (pass 1): every
+:class:`~repro.lint.context.ModuleContext`, a per-module symbol table
+(qualname → def node), and the project-internal import graph.  Rules
+then run over it in pass 2 without ever re-parsing a file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.lint.context import ModuleContext
+
+__all__ = [
+    "FunctionNode",
+    "ProjectModel",
+    "SymbolTable",
+    "resolve_call",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class SymbolTable:
+    """Qualname-addressed defs of one module.
+
+    ``functions`` maps dotted qualnames (``SoaKernel._run_vectorized``,
+    ``helper``, ``outer.inner``) to their def nodes; ``classes`` does
+    the same for class statements.  Nesting inside functions keeps the
+    plain dotted path — the linter never needs pickle's ``<locals>``
+    marker to address a def.
+    """
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.module = context.module
+        self.functions: Dict[str, FunctionNode] = {}
+        self.classes: Dict[str, ast.ClassDef] = {}
+        self._collect(context.tree.body, prefix="")
+
+    def _collect(self, body: Sequence[ast.stmt], prefix: str) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = prefix + node.name
+                self.functions[qualname] = node
+                self._collect(node.body, qualname + ".")
+            elif isinstance(node, ast.ClassDef):
+                qualname = prefix + node.name
+                self.classes[qualname] = node
+                self._collect(node.body, qualname + ".")
+
+    def top_level_functions(self) -> Tuple[str, ...]:
+        return tuple(
+            name for name in self.functions if "." not in name
+        )
+
+
+class ProjectModel:
+    """Immutable snapshot of every linted module (pass 1 output)."""
+
+    def __init__(self, contexts: Sequence[ModuleContext]) -> None:
+        self.contexts: Tuple[ModuleContext, ...] = tuple(contexts)
+        self.by_module: Dict[str, ModuleContext] = {
+            context.module: context for context in self.contexts
+        }
+        self.symbols: Dict[str, SymbolTable] = {
+            context.module: SymbolTable(context)
+            for context in self.contexts
+        }
+        self.import_graph: Dict[str, FrozenSet[str]] = {
+            context.module: self._project_imports(context)
+            for context in self.contexts
+        }
+
+    def _project_imports(self, context: ModuleContext) -> FrozenSet[str]:
+        """Project modules a module's imports resolve into.
+
+        An origin like ``repro.core.rng.make_rng`` is trimmed right to
+        left until a segment prefix names a linted module, so both
+        ``import repro.core.rng`` and ``from repro.core.rng import
+        make_rng`` contribute the edge ``→ repro.core.rng``.
+        """
+        targets: Set[str] = set()
+        for origin in context.imports.origins():
+            parts = origin.split(".")
+            for end in range(len(parts), 0, -1):
+                candidate = ".".join(parts[:end])
+                if (
+                    candidate in self.by_module
+                    and candidate != context.module
+                ):
+                    targets.add(candidate)
+                    break
+        return frozenset(targets)
+
+    def importers_of(self, module: str) -> Tuple[str, ...]:
+        """Modules importing ``module``, in deterministic order."""
+        return tuple(
+            name
+            for name in sorted(self.import_graph)
+            if module in self.import_graph[name]
+        )
+
+    def modules_matching(self, suffix: str) -> List[ModuleContext]:
+        """Every module whose dotted name ends with ``suffix``.
+
+        Suffix matching (``core.kernel`` → ``repro.core.kernel`` and
+        ``dirtypkg.core.kernel``) keeps declarations like the kernel
+        phase contract portable between the real tree and the linter's
+        fixture packages.
+        """
+        return [
+            context
+            for context in self.contexts
+            if context.module == suffix
+            or context.module.endswith("." + suffix)
+        ]
+
+    def function(
+        self, module: str, qualname: str
+    ) -> Optional[FunctionNode]:
+        table = self.symbols.get(module)
+        if table is None:
+            return None
+        return table.functions.get(qualname)
+
+
+def _enclosing_class(qualname: str) -> Optional[str]:
+    """``SoaKernel`` for ``SoaKernel._run_vectorized``; None at top level."""
+    if "." not in qualname:
+        return None
+    return qualname.rsplit(".", 1)[0]
+
+
+def resolve_call(
+    project: ProjectModel,
+    context: ModuleContext,
+    caller_qualname: str,
+    node: ast.Call,
+) -> Optional[Tuple[str, str]]:
+    """Statically resolve a call to a project function, if possible.
+
+    Returns ``(module, qualname)`` for three resolvable shapes —
+    ``self.method(...)`` (same class), ``helper(...)`` (same module's
+    top level), and ``mod.helper(...)`` / ``from mod import helper``
+    (another linted module, via the import map) — or None.  Methods on
+    arbitrary receivers stay unresolved on purpose: guessing a
+    receiver's class statically is exactly the kind of unsoundness a
+    determinism linter cannot afford.
+    """
+    func = node.func
+    table = project.symbols[context.module]
+
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            cls = _enclosing_class(caller_qualname)
+            if cls is not None:
+                qualname = f"{cls}.{func.attr}"
+                if qualname in table.functions:
+                    return (context.module, qualname)
+            return None
+        origin = context.imports.resolve(func)
+        if origin is not None and "." in origin:
+            module, name = origin.rsplit(".", 1)
+            target = project.symbols.get(module)
+            if target is not None and name in target.functions:
+                return (module, name)
+        return None
+
+    if isinstance(func, ast.Name):
+        if func.id in table.functions and "." not in func.id:
+            return (context.module, func.id)
+        origin = context.imports.resolve(func)
+        if origin is not None and "." in origin:
+            module, name = origin.rsplit(".", 1)
+            target = project.symbols.get(module)
+            if target is not None and name in target.functions:
+                return (module, name)
+    return None

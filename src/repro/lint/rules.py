@@ -12,10 +12,22 @@ which is the one sanctioned home of raw entropy).
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Type,
+)
 
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.project import ProjectModel
 
 #: id -> rule class, in registration order (dicts preserve it).
 _REGISTRY: Dict[str, Type["Rule"]] = {}
@@ -111,3 +123,25 @@ class Rule:
             f"{self.id} {self.name} [{self.severity}, {scope}]: "
             f"{self.description}"
         )
+
+
+class ProjectRule(Rule):
+    """A rule over the whole project model rather than one module.
+
+    Project rules run in pass 2 against the
+    :class:`~repro.lint.project.ProjectModel` that pass 1 built; they
+    answer questions no single AST can ("is this call reachable from
+    the vectorized loop?", "did the columnar twin disappear?").  Their
+    findings still anchor at concrete module locations, so per-line
+    suppressions and ``--select``/``--ignore`` work unchanged.
+    """
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Project rules contribute nothing in the per-module pass."""
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectModel"
+    ) -> Iterator[Finding]:
+        """Yield findings over the whole project.  Must override."""
+        raise NotImplementedError

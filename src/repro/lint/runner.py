@@ -1,25 +1,46 @@
-"""File collection and the lint driver."""
+"""File collection and the two-pass lint driver.
+
+Pass 1 parses every file exactly once into
+:class:`~repro.lint.context.ModuleContext` objects and assembles the
+:class:`~repro.lint.project.ProjectModel` (symbol tables + import
+graph).  Pass 2 runs the per-module rules over each context and the
+:class:`~repro.lint.rules.ProjectRule` families over the model, applies
+line/statement-scoped suppressions, then partitions the result against
+an optional committed baseline.
+"""
 
 from __future__ import annotations
 
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.baseline import Baseline, compute_fingerprints
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import Rule, all_rules
+from repro.lint.project import ProjectModel
+from repro.lint.rules import ProjectRule, Rule, all_rules
 from repro.lint.suppressions import is_suppressed
 
 
 @dataclass
 class LintReport:
-    """Outcome of one lint run."""
+    """Outcome of one lint run.
+
+    ``findings`` holds the *actionable* findings; when a baseline was
+    applied, matched findings move to ``baselined`` and recorded
+    fingerprints that no longer fire land in ``stale_baseline`` —
+    neither affects the exit code, but both are rendered so the
+    baseline burns down visibly.
+    """
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    fingerprints: Dict[Finding, str] = field(default_factory=dict)
 
     def worst_severity(self) -> Optional[Severity]:
         if not self.findings:
@@ -75,33 +96,100 @@ def select_rules(
     return rules
 
 
-def lint_file(
-    path: str, rules: Optional[Sequence[Rule]] = None
+def _suppressed(context: ModuleContext, finding: Finding) -> bool:
+    """Whether any line of the enclosing statement carries a noqa."""
+    return any(
+        is_suppressed(context.line_text(lineno), finding.rule_id)
+        for lineno in context.suppression_lines(finding.line)
+    )
+
+
+def _run_rules(
+    contexts: Sequence[ModuleContext],
+    rules: Sequence[Rule],
 ) -> List[Finding]:
-    """Lint one file; suppressions already applied."""
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    return lint_source(source, path, rules)[1]
+    """Pass 2: per-module rules, then project rules over the model."""
+    project = ProjectModel(contexts)
+    by_path = {context.path: context for context in contexts}
+    raw: List[Finding] = []
+    for context in contexts:
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            if not rule.applies_to(context):
+                continue
+            raw.extend(rule.check(context))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(project))
+    findings = [
+        finding
+        for finding in raw
+        if finding.path not in by_path
+        or not _suppressed(by_path[finding.path], finding)
+    ]
+    findings.sort()
+    return findings
+
+
+def _apply_baseline(report: LintReport, baseline: Baseline) -> None:
+    """Partition findings against the baseline; record stale entries."""
+    seen: Set[str] = set()
+    fresh: List[Finding] = []
+    for finding in report.findings:
+        fingerprint = report.fingerprints[finding]
+        if fingerprint in baseline:
+            report.baselined.append(finding)
+            seen.add(fingerprint)
+        else:
+            fresh.append(finding)
+    report.findings = fresh
+    report.stale_baseline = sorted(set(baseline.entries) - seen)
 
 
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
 ) -> LintReport:
     """Lint every Python file under ``paths``."""
     rules = select_rules(select, ignore)
     report = LintReport()
+    contexts: List[ModuleContext] = []
     for path in iter_python_files(paths):
+        report.files_checked += 1
         try:
-            report.findings.extend(lint_file(path, rules))
+            contexts.append(ModuleContext.from_file(path))
         except SyntaxError as error:
             report.parse_errors.append(f"{path}: {error}")
         except OSError as error:
             report.parse_errors.append(f"{path}: {error}")
-        report.files_checked += 1
-    report.findings.sort()
+    report.findings = _run_rules(contexts, rules)
+    by_path = {context.path: context for context in contexts}
+    report.fingerprints = compute_fingerprints(
+        report.findings,
+        lambda finding: by_path[finding.path].line_text(finding.line)
+        if finding.path in by_path
+        else "",
+    )
+    if baseline is not None:
+        _apply_baseline(report, baseline)
     return report
+
+
+def lint_file(
+    path: str, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint one file; suppressions already applied.
+
+    The file is its own one-module project, so project rules still run
+    — a fixture missing a declared kernel twin fires KER303 even when
+    linted alone.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path, rules)[1]
 
 
 def parse_source(source: str, path: str = "<string>") -> ast.Module:
@@ -117,15 +205,4 @@ def lint_source(
     """Lint an in-memory module (test hook; mirrors :func:`lint_file`)."""
     active = list(rules) if rules is not None else all_rules()
     context = ModuleContext(path, source)
-    findings: List[Finding] = []
-    for rule in active:
-        if not rule.applies_to(context):
-            continue
-        for finding in rule.check(context):
-            if is_suppressed(
-                context.line_text(finding.line), finding.rule_id
-            ):
-                continue
-            findings.append(finding)
-    findings.sort()
-    return context, findings
+    return context, _run_rules([context], active)

@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 rendering for CI code-scanning annotations.
+
+Emits the minimal valid document GitHub code scanning ingests: one run,
+one driver, rule metadata for every rule that produced a finding, and
+one result per actionable finding.  Baselined findings are omitted on
+purpose — an annotation on a known, recorded violation is noise that
+trains reviewers to ignore the signal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.lint.baseline import normalize_path
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import get_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.runner import LintReport
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "sarif_payload"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.WARNING: "warning", Severity.ERROR: "error"}
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, Any]:
+    rule = get_rule(rule_id)
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": normalize_path(finding.path)
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_payload(report: "LintReport") -> Dict[str, Any]:
+    """The SARIF document for one lint run's actionable findings."""
+    rule_ids = sorted({f.rule_id for f in report.findings})
+    rules: List[Dict[str, Any]] = [
+        _rule_descriptor(rule_id) for rule_id in rule_ids
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(finding) for finding in report.findings
+                ],
+            }
+        ],
+    }

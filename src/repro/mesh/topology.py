@@ -364,10 +364,13 @@ class Mesh:
 
     def good_arcs(self, node: Node, destination: Node) -> List[Arc]:
         """Arcs out of ``node`` that enter a node closer to ``destination``."""
-        return [
-            (node, self.neighbor(node, direction))  # type: ignore[misc]
-            for direction in self.good_directions(node, destination)
-        ]
+        arcs: List[Arc] = []
+        for direction in self.good_directions(node, destination):
+            successor = self.neighbor(node, direction)
+            # A good direction always has an arc (Definition 5).
+            assert successor is not None
+            arcs.append((node, successor))
+        return arcs
 
     def num_good_directions(self, node: Node, destination: Node) -> int:
         """Number of good directions of a packet at ``node``."""

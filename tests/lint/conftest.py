@@ -1,0 +1,31 @@
+"""Shared helpers for the lint test suite."""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def write_tree(tmp_path):
+    """Materialize ``{relpath: source}`` as an importable package tree.
+
+    Every intermediate directory gets an ``__init__.py`` marker so
+    :func:`repro.lint.context.module_name_for` infers the dotted module
+    names the project rules key on (``pkg/core/soa/kernel.py`` →
+    ``pkg.core.soa.kernel``).  Returns the tree root as a string.
+    """
+
+    def _write(files):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            directory = target.parent
+            while directory != tmp_path:
+                marker = directory / "__init__.py"
+                if not marker.exists():
+                    marker.write_text('"""lint test fixture pkg."""\n')
+                directory = directory.parent
+            target.write_text(textwrap.dedent(source))
+        return str(tmp_path)
+
+    return _write

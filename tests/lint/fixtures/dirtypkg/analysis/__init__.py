@@ -1,0 +1,1 @@
+"""Dirty analysis fixture subpackage (never imported, only parsed)."""

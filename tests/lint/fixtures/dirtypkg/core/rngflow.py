@@ -1,0 +1,37 @@
+"""Dirty RNG-dataflow module: DET201/DET202 vectors (never run).
+
+The sanctioned pattern threads ``make_rng(seed)`` / ``spawn(rng, key)``
+values through run state; these are the escapes the dataflow rules
+catch — raw seeded construction (the seed-derivation scheme forks) and
+module-global storage (two runs share one stream).
+"""
+
+import random
+
+from dirtypkg.core.rng import make_rng
+
+# DET202 fire: an RNG in a module global is cross-run shared state.
+SHARED = make_rng(7)
+# DET202 suppressed twin.
+FALLBACK = make_rng(0)  # repro: noqa[DET202]
+
+
+def fresh_stream(seed):
+    # DET201 fire: seeded construction outside the sanctioned factory.
+    rng = random.Random(seed)
+    # DET201 suppressed twin.
+    other = random.Random(seed + 1)  # repro: noqa[DET201]
+    return rng, other
+
+
+def os_entropy():
+    # DET201 fire: SystemRandom can never replay, seed or not.
+    return random.SystemRandom()
+
+
+def publish(seed):
+    # DET202 fire: publishing through a ``global`` statement is the
+    # same shared state with extra steps.
+    global CURRENT
+    CURRENT = make_rng(seed)
+    return CURRENT

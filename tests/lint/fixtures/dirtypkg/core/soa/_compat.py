@@ -1,0 +1,8 @@
+"""Stand-in for the real soa ``_compat`` shim (never run).
+
+Exists so ``sorting.py``'s ``from dirtypkg.core.soa import _compat``
+mirrors the real tree's optional-numpy plumbing; the linter only ever
+parses it.
+"""
+
+np = None

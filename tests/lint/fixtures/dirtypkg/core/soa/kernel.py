@@ -28,3 +28,28 @@ def visit_occupied(rows, out):
     for node in set(rows):  # repro: noqa[DET102]
         out.append(node)
     return out
+
+
+class SoaKernel:
+    """Twin of the real array kernel with two contract breaches.
+
+    KER303 fire: the phase contract declares a ``_run_columnar``
+    fallback for this class and it is missing — the loop was "renamed"
+    without updating the declaration.
+    """
+
+    def _run_vectorized(self, steps, packet, pending, ids):
+        for now in range(steps):
+            # The six contract phases, in declared order, so KER301 and
+            # KER302 stay silent while DET203 exercises the RNG pass.
+            self._admit_batch(now)
+            order = np.argsort(ids, kind="stable")
+            pending[now] = order
+            hops = hops + 1  # noqa-free: 'hops' increment is the move marker
+            packet.delivered_at = now
+            # DET203 fire: a policy RNG draw on the vectorized path.
+            rng = self.adapter.rng
+            winner = rng.choice(ids)
+            # DET203 suppressed twin.
+            jitter = rng.random()  # repro: noqa[DET203]
+        return winner, jitter

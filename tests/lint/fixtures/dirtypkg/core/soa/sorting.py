@@ -1,0 +1,42 @@
+"""Dirty array-determinism module: NPY4xx vectors (never run).
+
+The real soa tree reaches numpy two ways the import map cannot see —
+the ``_compat.np`` optional-dependency shim and ``np`` passed as a
+function parameter.  These vectors cover both channels plus the plain
+imported-module one.
+"""
+
+import numpy as np
+
+from dirtypkg.core.soa import _compat
+
+
+def order_rows(keys):
+    # NPY401 fire: default introsort breaks ties by partition order.
+    bad = np.argsort(keys)
+    # NPY401 suppressed twin.
+    tolerated = np.argsort(keys)  # repro: noqa[NPY401]
+    # Clean: stable sort is the sanctioned form.
+    good = np.argsort(keys, kind="stable")
+    return bad, tolerated, good
+
+
+def compat_entropy(rows):
+    xp = _compat.np
+    # NPY402 fire: numpy's global RNG through the compat channel,
+    # invisible to DET101's import-map resolution.
+    noise = xp.random.random(len(rows))
+    # NPY402 suppressed twin.
+    more = xp.random.random(2)  # repro: noqa[NPY402]
+    return noise, more
+
+
+def total_potential(values, np):
+    # NPY403 fire (warning): float summation order is not associative.
+    total = np.sum(values)
+    # NPY403 suppressed twin.
+    rough = np.sum(values)  # repro: noqa[NPY403]
+    # Clean: an int() wrap asserts the array is integral, so the
+    # reduction is exact in any order.
+    exact = int(np.sum(values))
+    return total, rough, exact

@@ -1,0 +1,177 @@
+"""NPY4xx array determinism: soa scoping, sorts, compat channels,
+float reductions."""
+
+from repro.lint import lint_paths
+
+SORT_SOURCE = """\
+import numpy as np
+
+def order(keys, rows):
+    bad = np.argsort(keys)
+    explicit = np.argsort(keys, kind="quicksort")
+    good = np.argsort(keys, kind="stable")
+    ties = np.lexsort((rows, keys))
+    return bad, explicit, good, ties
+"""
+
+
+def _rules(report):
+    return [(f.rule_id, f.line) for f in report.findings]
+
+
+class TestSoaScoping:
+    def test_rules_only_apply_inside_soa_modules(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/core/soa/sorting.py": SORT_SOURCE,
+                "pkg/core/dense.py": SORT_SOURCE,
+            }
+        )
+        report = lint_paths([root], select=["NPY401"])
+        assert {f.path.rsplit("/", 1)[-1] for f in report.findings} == {
+            "sorting.py"
+        }
+
+    def test_top_level_soa_package_counts(self, write_tree):
+        root = write_tree({"soa/sorting.py": SORT_SOURCE})
+        report = lint_paths([root], select=["NPY401"])
+        assert len(report.findings) == 2
+
+
+class TestNpy401Sorts:
+    def test_only_unstable_sorts_fire(self, write_tree):
+        root = write_tree({"pkg/soa/sorting.py": SORT_SOURCE})
+        report = lint_paths([root], select=["NPY401"])
+        # argsort default and explicit quicksort fire; stable and
+        # lexsort (always stable) stay clean.
+        assert _rules(report) == [("NPY401", 4), ("NPY401", 5)]
+
+    def test_method_argsort_fires_on_any_receiver(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/soa/mod.py": """\
+                def order(column):
+                    return column.argsort()
+                """,
+            }
+        )
+        report = lint_paths([root], select=["NPY401"])
+        assert _rules(report) == [("NPY401", 2)]
+
+    def test_list_sort_is_not_numpy(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/soa/mod.py": """\
+                import numpy as np
+
+                def order(items, arr):
+                    items.sort()
+                    np.sort(arr)
+                    return items
+                """,
+            }
+        )
+        report = lint_paths([root], select=["NPY401"])
+        # Only the module-object .sort fires; list.sort is untyped and
+        # deliberately left alone.
+        assert _rules(report) == [("NPY401", 5)]
+
+    def test_from_import_argsort_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/soa/mod.py": """\
+                from numpy import argsort
+
+                def order(keys):
+                    return argsort(keys)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["NPY401"])
+        assert _rules(report) == [("NPY401", 4)]
+
+
+class TestNpy402CompatChannels:
+    def test_compat_assignment_channel_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/soa/_compat.py": "np = None\n",
+                "pkg/soa/mod.py": """\
+                from pkg.soa import _compat
+
+                def entropy(rows):
+                    xp = _compat.np
+                    return xp.random.random(len(rows))
+                """,
+            }
+        )
+        report = lint_paths([root], select=["NPY402"])
+        assert _rules(report) == [("NPY402", 5)]
+
+    def test_np_parameter_channel_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/soa/mod.py": """\
+                def entropy(rows, np):
+                    return np.random.random(len(rows))
+                """,
+            }
+        )
+        report = lint_paths([root], select=["NPY402"])
+        assert _rules(report) == [("NPY402", 2)]
+
+    def test_untracked_names_stay_silent(self, write_tree):
+        # ``library.random`` on an ordinary name is not numpy's RNG;
+        # without a tracked channel the rule must not guess.
+        root = write_tree(
+            {
+                "pkg/soa/mod.py": """\
+                def pick(library, rows):
+                    return library.random.choice(rows)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["NPY402"])
+        assert report.findings == []
+
+
+class TestNpy403Reductions:
+    def test_bare_reduction_warns_int_wrap_is_exempt(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/soa/mod.py": """\
+                def potential(values):
+                    rough = values.sum()
+                    averaged = values.mean()
+                    exact = int(values.sum())
+                    return rough, averaged, exact
+                """,
+            }
+        )
+        report = lint_paths([root], select=["NPY403"])
+        assert _rules(report) == [("NPY403", 2), ("NPY403", 3)]
+
+    def test_severity_is_warning(self, write_tree):
+        from repro.lint import Severity
+
+        root = write_tree(
+            {"pkg/soa/mod.py": "def f(v):\n    return v.sum()\n"}
+        )
+        report = lint_paths([root], select=["NPY403"])
+        assert [f.severity for f in report.findings] == [
+            Severity.WARNING
+        ]
+        # Warnings fail by default but pass under --fail-on error.
+        assert report.exit_code(Severity.WARNING) == 1
+        assert report.exit_code(Severity.ERROR) == 0
+
+    def test_real_soa_tree_is_reduction_clean(self):
+        import os
+
+        here = os.path.dirname(__file__)
+        repo_root = os.path.dirname(os.path.dirname(here))
+        soa = os.path.join(repo_root, "src", "repro", "core", "soa")
+        report = lint_paths(
+            [soa], select=["NPY401", "NPY402", "NPY403"]
+        )
+        assert report.findings == []

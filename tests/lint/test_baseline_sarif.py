@@ -1,0 +1,305 @@
+"""Baseline ratchet and SARIF rendering: fingerprints, round-trips,
+strict-new CI semantics, schema shape."""
+
+import io
+import json
+import sys
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import lint_paths
+from repro.lint.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    load_baseline,
+    normalize_path,
+    write_baseline,
+)
+
+DIRTY = {
+    "pkg/mod.py": """\
+    import random
+
+    def first(seed):
+        rng = random.Random(seed)
+        return rng
+
+    def second(seed):
+        rng = random.Random(seed)
+        return rng
+    """,
+}
+
+
+def run_cli(*argv):
+    stdout = io.StringIO()
+    real = sys.stdout
+    sys.stdout = stdout
+    try:
+        code = repro_main(["lint", *argv])
+    finally:
+        sys.stdout = real
+    return code, stdout.getvalue()
+
+
+class TestFingerprints:
+    def test_identical_lines_get_distinct_fingerprints(
+        self, write_tree
+    ):
+        report = lint_paths([write_tree(dict(DIRTY))])
+        assert len(report.findings) == 2
+        prints = [report.fingerprints[f] for f in report.findings]
+        assert len(set(prints)) == 2
+
+    def test_fingerprints_survive_line_shifts(self, write_tree):
+        base = lint_paths([write_tree(dict(DIRTY))])
+        shifted_source = "    # a new header comment\n\n" + DIRTY[
+            "pkg/mod.py"
+        ]
+        shifted = lint_paths(
+            [write_tree({"pkg/mod.py": shifted_source})]
+        )
+        assert [f.line for f in shifted.findings] != [
+            f.line for f in base.findings
+        ]
+        assert sorted(shifted.fingerprints.values()) == sorted(
+            base.fingerprints.values()
+        )
+
+    def test_normalize_path_uses_forward_slashes(self):
+        assert "\\" not in normalize_path("pkg\\mod.py".replace("\\", "/"))
+        # Paths outside the working directory stay absolute.
+        assert normalize_path("/nowhere/x.py") == "/nowhere/x.py"
+
+
+class TestBaselineRoundTrip:
+    def test_write_load_apply_reaches_zero_findings(
+        self, write_tree, tmp_path
+    ):
+        root = write_tree(dict(DIRTY))
+        first = lint_paths([root])
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, first.findings, first.fingerprints)
+
+        loaded = load_baseline(path)
+        assert len(loaded) == len(first.findings)
+
+        second = lint_paths([root], baseline=loaded)
+        assert second.findings == []
+        assert len(second.baselined) == len(first.findings)
+        assert second.stale_baseline == []
+        assert second.exit_code() == 0
+
+    def test_stale_entries_are_reported(self, write_tree):
+        root = write_tree(dict(DIRTY))
+        stale = Baseline(
+            entries={"deadbeef" * 5: {"fingerprint": "deadbeef" * 5}}
+        )
+        report = lint_paths([root], baseline=stale)
+        assert report.stale_baseline == ["deadbeef" * 5]
+        assert len(report.findings) == 2  # nothing matched
+
+    def test_payload_shape(self, write_tree, tmp_path):
+        root = write_tree(dict(DIRTY))
+        report = lint_paths([root])
+        path = tmp_path / "baseline.json"
+        write_baseline(
+            str(path), report.findings, report.fingerprints
+        )
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BASELINE_VERSION
+        assert payload["tool"] == "repro-lint"
+        assert len(payload["entries"]) == 2
+        assert set(payload["entries"][0]) == {
+            "fingerprint",
+            "rule",
+            "path",
+            "line",
+            "message",
+        }
+
+    @pytest.mark.parametrize(
+        "content,complaint",
+        [
+            ("not json at all", "not valid JSON"),
+            ("[]", "must be a JSON object"),
+            ('{"version": 99, "entries": []}', "version"),
+            ('{"version": 1, "entries": 7}', "'entries' must be a list"),
+            ('{"version": 1, "entries": [{"rule": "X"}]}', "fingerprint"),
+        ],
+    )
+    def test_malformed_baselines_are_rejected(
+        self, tmp_path, content, complaint
+    ):
+        path = tmp_path / "bad.json"
+        path.write_text(content)
+        with pytest.raises(ValueError, match=complaint):
+            load_baseline(str(path))
+
+
+class TestStrictNewCli:
+    def test_ratchet_lifecycle(self, write_tree, tmp_path):
+        root = write_tree(dict(DIRTY))
+        baseline = str(tmp_path / "baseline.json")
+
+        code, out = run_cli(root, "--write-baseline", baseline)
+        assert code == 0
+        assert "2 finding(s) recorded" in out
+
+        code, out = run_cli(root, "--baseline", baseline, "--strict-new")
+        assert code == 0
+        assert "2 baselined" in out
+
+        # A new violation lands: only it fails, the recorded two stay
+        # suppressed, and the text names the baseline split.
+        (tmp_path / "pkg" / "fresh.py").write_text(
+            "import random\n\nNEW = random.Random(3)\n"
+        )
+        code, out = run_cli(root, "--baseline", baseline, "--strict-new")
+        assert code == 1
+        assert "fresh.py" in out
+        assert "2 baselined" in out
+
+    def test_fixed_finding_goes_stale(self, write_tree, tmp_path):
+        root = write_tree(dict(DIRTY))
+        baseline = str(tmp_path / "baseline.json")
+        run_cli(root, "--write-baseline", baseline)
+
+        # Fix one of the two recorded findings.
+        mod = tmp_path / "pkg" / "mod.py"
+        source = mod.read_text().replace(
+            "def second(seed):\n    rng = random.Random(seed)",
+            "def second(seed):\n    rng = None",
+        )
+        mod.write_text(source)
+
+        code, out = run_cli(root, "--baseline", baseline)
+        assert code == 0
+        assert "1 stale baseline entry" in out
+
+    def test_strict_new_without_baseline_file_is_fully_strict(
+        self, write_tree, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        root = write_tree(dict(DIRTY))
+        code, out = run_cli(root, "--strict-new")
+        assert code == 1
+        assert "2 finding(s)" in out
+
+    def test_explicit_missing_baseline_is_an_error(
+        self, write_tree, tmp_path
+    ):
+        root = write_tree(dict(DIRTY))
+        code, out = run_cli(
+            root, "--baseline", str(tmp_path / "absent.json")
+        )
+        assert code == 2
+        assert "not found" in out
+
+    def test_malformed_baseline_is_an_error(
+        self, write_tree, tmp_path
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        root = write_tree(dict(DIRTY))
+        code, out = run_cli(root, "--baseline", str(bad))
+        assert code == 2
+        assert "error:" in out
+
+
+class TestSarif:
+    def _document(self, write_tree, *argv):
+        root = write_tree(
+            {
+                **DIRTY,
+                "pkg/soa/mod.py": (
+                    "def f(values):\n    return values.sum()\n"
+                ),
+            }
+        )
+        code, out = run_cli(root, "--format", "sarif", *argv)
+        return code, json.loads(out)
+
+    def test_document_shape(self, write_tree):
+        code, doc = self._document(write_tree)
+        assert code == 1
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {rule["id"] for rule in driver["rules"]} == {
+            "DET201",
+            "NPY403",
+        }
+        assert len(run["results"]) == 3
+
+    def test_levels_map_severities(self, write_tree):
+        _, doc = self._document(write_tree)
+        levels = {
+            result["ruleId"]: result["level"]
+            for result in doc["runs"][0]["results"]
+        }
+        assert levels == {"DET201": "error", "NPY403": "warning"}
+
+    def test_results_carry_physical_locations(self, write_tree):
+        _, doc = self._document(write_tree)
+        location = doc["runs"][0]["results"][0]["locations"][0]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"].endswith(".py")
+        assert physical["region"]["startLine"] >= 1
+
+    def test_baselined_findings_are_omitted(
+        self, write_tree, tmp_path
+    ):
+        root = write_tree(dict(DIRTY))
+        baseline = str(tmp_path / "baseline.json")
+        run_cli(root, "--write-baseline", baseline)
+        code, out = run_cli(
+            root, "--format", "sarif", "--baseline", baseline
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestOutputAndJson:
+    def test_output_writes_file_and_prints_summary(
+        self, write_tree, tmp_path
+    ):
+        root = write_tree(dict(DIRTY))
+        target = tmp_path / "report.sarif"
+        code, out = run_cli(
+            root, "--format", "sarif", "--output", str(target)
+        )
+        assert code == 1
+        doc = json.loads(target.read_text())
+        assert doc["version"] == "2.1.0"
+        # stdout still carries the human summary, not the document.
+        assert "finding(s)" in out and "$schema" not in out
+
+    def test_json_reports_baseline_partition(
+        self, write_tree, tmp_path
+    ):
+        root = write_tree(dict(DIRTY))
+        baseline = str(tmp_path / "baseline.json")
+        run_cli(root, "--write-baseline", baseline)
+        code, out = run_cli(
+            root, "--format", "json", "--baseline", baseline
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["findings"] == []
+        assert len(payload["baselined"]) == 2
+        assert payload["stale_baseline"] == []
+        sample = payload["baselined"][0]
+        assert set(sample) == {
+            "path",
+            "line",
+            "col",
+            "rule",
+            "severity",
+            "message",
+        }

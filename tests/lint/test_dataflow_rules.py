@@ -1,0 +1,272 @@
+"""DET2xx RNG dataflow: construction, global storage, reachability."""
+
+from repro.lint import lint_paths
+
+#: A sanctioned factory module; the dotted path ends in ``.rng`` so
+#: ``make_rng``/``spawn`` resolve as factory origins.
+RNG_MODULE = {
+    "pkg/core/rng.py": """\
+    import random
+
+    def make_rng(seed):
+        return random.Random(seed)
+
+    def spawn(rng, key):
+        return random.Random((id(rng), key))
+    """,
+}
+
+
+def _rules(report):
+    return [(f.rule_id, f.line) for f in report.findings]
+
+
+class TestDet201Construction:
+    def test_seeded_random_fires_unseeded_does_not(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                import random
+
+                def build(seed):
+                    seeded = random.Random(seed)
+                    keyword = random.Random(x=seed)
+                    bare = random.Random()
+                    return seeded, keyword, bare
+                """,
+            }
+        )
+        report = lint_paths([root], select=["DET201"])
+        assert _rules(report) == [("DET201", 4), ("DET201", 5)]
+
+    def test_system_random_fires_even_unseeded(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                import random
+
+                def entropy():
+                    return random.SystemRandom()
+                """,
+            }
+        )
+        report = lint_paths([root], select=["DET201"])
+        assert _rules(report) == [("DET201", 4)]
+
+    def test_factory_module_itself_is_exempt(self, write_tree):
+        # The sanctioned factory has to construct the raw RNG somewhere.
+        report = lint_paths(
+            [write_tree(dict(RNG_MODULE))], select=["DET201"]
+        )
+        assert report.findings == []
+
+    def test_factory_call_is_clean(self, write_tree):
+        root = write_tree(
+            {
+                **RNG_MODULE,
+                "pkg/mod.py": """\
+                from pkg.core.rng import make_rng, spawn
+
+                def build(seed):
+                    rng = make_rng(seed)
+                    return spawn(rng, "worker")
+                """,
+            }
+        )
+        report = lint_paths([root], select=["DET201"])
+        assert report.findings == []
+
+
+class TestDet202ModuleGlobals:
+    def test_module_level_storage_fires(self, write_tree):
+        root = write_tree(
+            {
+                **RNG_MODULE,
+                "pkg/mod.py": """\
+                import random
+
+                from pkg.core.rng import make_rng
+
+                SHARED = make_rng(7)
+                TYPED: object = random.Random(7)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["DET202"])
+        assert _rules(report) == [("DET202", 5), ("DET202", 6)]
+
+    def test_function_local_rng_is_clean(self, write_tree):
+        root = write_tree(
+            {
+                **RNG_MODULE,
+                "pkg/mod.py": """\
+                from pkg.core.rng import make_rng
+
+                def run(seed):
+                    rng = make_rng(seed)
+                    return rng.random()
+                """,
+            }
+        )
+        report = lint_paths([root], select=["DET202"])
+        assert report.findings == []
+
+    def test_global_statement_publication_fires(self, write_tree):
+        root = write_tree(
+            {
+                **RNG_MODULE,
+                "pkg/mod.py": """\
+                from pkg.core.rng import make_rng
+
+                CURRENT = None
+
+                def install(seed):
+                    global CURRENT
+                    CURRENT = make_rng(seed)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["DET202"])
+        assert _rules(report) == [("DET202", 7)]
+
+    def test_factory_origin_requires_rng_module(self, write_tree):
+        # A same-named helper living outside an ``*.rng`` module is not
+        # a sanctioned factory, so DET202's source check ignores it.
+        root = write_tree(
+            {
+                "pkg/helpers.py": "def make_rng(seed):\n    return seed\n",
+                "pkg/mod.py": (
+                    "from pkg.helpers import make_rng\n\n"
+                    "VALUE = make_rng(7)\n"
+                ),
+            }
+        )
+        report = lint_paths([root], select=["DET202"])
+        assert report.findings == []
+
+
+class TestDet203VectorizedReachability:
+    def _lint(self, write_tree, kernel_source, extra=None):
+        files = {
+            **RNG_MODULE,
+            "pkg/core/soa/kernel.py": kernel_source,
+        }
+        if extra:
+            files.update(extra)
+        return lint_paths([write_tree(files)], select=["DET203"])
+
+    def test_direct_draw_in_vectorized_loop_fires(self, write_tree):
+        report = self._lint(
+            write_tree,
+            """\
+            class SoaKernel:
+                def _run_vectorized(self, steps):
+                    winner = self._rng.choice(steps)
+                    return winner
+            """,
+        )
+        assert _rules(report) == [("DET203", 3)]
+
+    def test_draw_in_helper_reached_via_self_call_fires(
+        self, write_tree
+    ):
+        report = self._lint(
+            write_tree,
+            """\
+            class SoaKernel:
+                def _run_vectorized(self, steps):
+                    return self._pick(self.rng, steps)
+
+                def _pick(self, rng, steps):
+                    return rng.choice(steps)
+            """,
+        )
+        assert _rules(report) == [("DET203", 6)]
+
+    def test_same_helper_with_none_argument_is_clean(self, write_tree):
+        # Argument sensitivity: the shared helper is legal as long as
+        # the vectorized call site passes None in the rng slot.
+        report = self._lint(
+            write_tree,
+            """\
+            class SoaKernel:
+                def _run_vectorized(self, steps):
+                    return self._pick(None, steps)
+
+                def _pick(self, rng, steps):
+                    if rng is None:
+                        return steps[0]
+                    return rng.choice(steps)
+            """,
+        )
+        assert report.findings == []
+
+    def test_rng_escaping_to_unresolvable_call_fires(self, write_tree):
+        report = self._lint(
+            write_tree,
+            """\
+            from mystery import resolve
+
+            class SoaKernel:
+                def _run_vectorized(self, steps):
+                    rng = self.adapter.rng
+                    return resolve(steps, rng)
+            """,
+        )
+        assert _rules(report) == [("DET203", 6)]
+
+    def test_cross_module_helper_is_tracked(self, write_tree):
+        report = self._lint(
+            write_tree,
+            """\
+            from pkg.core.soa.conflict import resolve_ties
+
+            class SoaKernel:
+                def _run_vectorized(self, steps):
+                    return resolve_ties(steps, self.rng)
+            """,
+            extra={
+                "pkg/core/soa/conflict.py": """\
+                def resolve_ties(steps, rng):
+                    if rng is not None:
+                        return rng.shuffle(steps)
+                    return steps
+                """,
+            },
+        )
+        assert _rules(report) == [("DET203", 3)]
+        assert "conflict.py" in report.findings[0].path
+
+    def test_columnar_fallback_may_consume_rng(self, write_tree):
+        # Only the vectorized roots seed the region; the columnar twin
+        # replays the object kernel's draws and stays legal.
+        report = self._lint(
+            write_tree,
+            """\
+            class SoaKernel:
+                def _run_vectorized(self, steps):
+                    return steps
+
+                def _run_columnar(self, steps):
+                    return self._rng.choice(steps)
+            """,
+        )
+        assert report.findings == []
+
+    def test_noqa_suppresses_the_draw(self, write_tree):
+        report = self._lint(
+            write_tree,
+            """\
+            class SoaKernel:
+                def _run_vectorized(self, steps):
+                    return self._rng.choice(steps)  # repro: noqa[DET203]
+            """,
+        )
+        assert report.findings == []
+
+    def test_silent_without_entrypoints(self, write_tree):
+        root = write_tree(
+            {"pkg/mod.py": "def f(rng):\n    return rng.random()\n"}
+        )
+        report = lint_paths([root], select=["DET203"])
+        assert report.findings == []

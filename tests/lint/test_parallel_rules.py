@@ -1,0 +1,145 @@
+"""PAR5xx parallel payload purity: what may cross the pickle boundary."""
+
+from repro.lint import lint_paths
+
+
+def _rules(report):
+    return [(f.rule_id, f.line) for f in report.findings]
+
+
+class TestPar501Lambdas:
+    def test_inline_lambda_payload_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                def build(seed):
+                    return CaseSpec(problem_factory=lambda: None, seed=seed)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR501"])
+        assert _rules(report) == [("PAR501", 2)]
+        assert "CaseSpec" in report.findings[0].message
+
+    def test_lambda_via_name_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                def build(executor):
+                    payload = lambda: None
+                    return executor.submit(payload)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR501"])
+        assert _rules(report) == [("PAR501", 3)]
+
+    def test_partial_over_lambda_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                from functools import partial
+
+                def build(executor):
+                    return executor.submit(partial(lambda x: x, 1))
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR501"])
+        assert _rules(report) == [("PAR501", 4)]
+
+    def test_lambda_outside_submission_is_fine(self, write_tree):
+        # Lambdas are only a problem across the pickle boundary.
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                def order(rows):
+                    return sorted(rows, key=lambda row: row[0])
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR501"])
+        assert report.findings == []
+
+
+class TestPar502LocalCallables:
+    def test_nested_def_payload_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                def build(seed):
+                    def local_problem():
+                        return None
+
+                    return CaseSpec(problem_factory=local_problem)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR502"])
+        assert _rules(report) == [("PAR502", 5)]
+
+    def test_partial_over_nested_def_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                from functools import partial
+
+                def build(executor, payload):
+                    def local_step():
+                        return payload
+
+                    return executor.submit(partial(local_step, payload))
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR502"])
+        assert _rules(report) == [("PAR502", 7)]
+
+    def test_module_level_function_is_clean(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                from functools import partial
+
+                def module_problem():
+                    return None
+
+                def build(seed):
+                    direct = CaseSpec(problem_factory=module_problem)
+                    wrapped = CaseSpec(
+                        problem_factory=partial(module_problem), seed=seed
+                    )
+                    return direct, wrapped
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR501", "PAR502"])
+        assert report.findings == []
+
+    def test_parameter_names_are_not_local_defs(self, write_tree):
+        # The real analysis front doors forward factory *parameters*
+        # into specs; those are the caller's problem, not this module's.
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                def run_cases(problem_factory, seeds):
+                    return [
+                        CaseSpec(problem_factory=problem_factory, seed=s)
+                        for s in seeds
+                    ]
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR501", "PAR502"])
+        assert report.findings == []
+
+    def test_real_analysis_tree_is_payload_clean(self):
+        import os
+
+        here = os.path.dirname(__file__)
+        repo_root = os.path.dirname(os.path.dirname(here))
+        report = lint_paths(
+            [os.path.join(repo_root, "src", "repro")],
+            select=["PAR501", "PAR502"],
+        )
+        assert report.findings == []

@@ -1,0 +1,257 @@
+"""Project model pass: symbol tables, import graph, call resolution,
+and the statement-span suppression machinery it feeds."""
+
+import ast
+import os
+
+from repro.lint import lint_paths
+from repro.lint.context import ModuleContext
+from repro.lint.project import ProjectModel, SymbolTable, resolve_call
+
+
+def _context(write_tree, relpath, source):
+    root = write_tree({relpath: source})
+    return ModuleContext.from_file(os.path.join(root, relpath))
+
+
+class TestSymbolTable:
+    def test_collects_nested_qualnames(self, write_tree):
+        context = _context(
+            write_tree,
+            "pkg/mod.py",
+            """\
+            def top(x):
+                def inner(y):
+                    return y
+                return inner
+
+            class Box:
+                def method(self):
+                    return None
+
+                class Lid:
+                    def shut(self):
+                        return None
+            """,
+        )
+        table = SymbolTable(context)
+        assert set(table.functions) == {
+            "top",
+            "top.inner",
+            "Box.method",
+            "Box.Lid.shut",
+        }
+        assert set(table.classes) == {"Box", "Box.Lid"}
+        assert table.top_level_functions() == ("top",)
+
+    def test_module_identity_comes_from_context(self, write_tree):
+        context = _context(write_tree, "pkg/core/mod.py", "x = 1\n")
+        assert SymbolTable(context).module == "pkg.core.mod"
+
+
+class TestProjectModel:
+    def _model(self, write_tree, files):
+        root = write_tree(files)
+        contexts = [
+            ModuleContext.from_file(os.path.join(root, relpath))
+            for relpath in sorted(files)
+        ]
+        return ProjectModel(contexts)
+
+    def test_import_graph_resolves_from_imports(self, write_tree):
+        project = self._model(
+            write_tree,
+            {
+                "pkg/util.py": "def helper(x):\n    return x\n",
+                "pkg/main.py": (
+                    "from pkg.util import helper\n\n"
+                    "def go():\n    return helper(1)\n"
+                ),
+            },
+        )
+        assert project.import_graph["pkg.main"] == frozenset(
+            {"pkg.util"}
+        )
+        assert project.import_graph["pkg.util"] == frozenset()
+        assert project.importers_of("pkg.util") == ("pkg.main",)
+
+    def test_import_graph_trims_dotted_origins(self, write_tree):
+        # ``import pkg.util`` binds the top name; the origin still has
+        # to be trimmed right-to-left back onto a linted module.
+        project = self._model(
+            write_tree,
+            {
+                "pkg/util.py": "def helper(x):\n    return x\n",
+                "pkg/main.py": (
+                    "import pkg.util\n\n"
+                    "def go():\n    return pkg.util.helper(1)\n"
+                ),
+            },
+        )
+        assert project.import_graph["pkg.main"] == frozenset(
+            {"pkg.util"}
+        )
+
+    def test_modules_matching_requires_segment_boundary(self, write_tree):
+        project = self._model(
+            write_tree,
+            {
+                "pkg/core/kernel.py": "x = 1\n",
+                "pkg/core/unkernel.py": "x = 1\n",
+            },
+        )
+        matched = [
+            c.module for c in project.modules_matching("core.kernel")
+        ]
+        assert matched == ["pkg.core.kernel"]
+        # A suffix that crosses a dot boundary must not match.
+        assert project.modules_matching("ore.kernel") == []
+
+    def test_function_lookup(self, write_tree):
+        project = self._model(
+            write_tree,
+            {"pkg/mod.py": "class Box:\n    def m(self):\n        pass\n"},
+        )
+        assert project.function("pkg.mod", "Box.m") is not None
+        assert project.function("pkg.mod", "Box.gone") is None
+        assert project.function("no.such.module", "m") is None
+
+
+class TestResolveCall:
+    def _project(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/util.py": "def helper(x):\n    return x\n",
+                "pkg/main.py": """\
+                from pkg.util import helper
+
+                def top(x):
+                    return x
+
+                class Box:
+                    def method(self):
+                        return None
+
+                    def caller(self, obj):
+                        self.method()
+                        top(1)
+                        helper(2)
+                        obj.method()
+                """,
+            }
+        )
+        contexts = [
+            ModuleContext.from_file(os.path.join(root, rel))
+            for rel in ("pkg/main.py", "pkg/util.py")
+        ]
+        return ProjectModel(contexts), contexts[0]
+
+    def _calls_in(self, project, context, qualname):
+        node = project.function(context.module, qualname)
+        return [
+            sub for sub in ast.walk(node) if isinstance(sub, ast.Call)
+        ]
+
+    def test_resolves_three_shapes_and_refuses_receivers(
+        self, write_tree
+    ):
+        project, main = self._project(write_tree)
+        calls = self._calls_in(project, main, "Box.caller")
+        resolved = [
+            resolve_call(project, main, "Box.caller", call)
+            for call in calls
+        ]
+        assert resolved == [
+            ("pkg.main", "Box.method"),  # self.method()
+            ("pkg.main", "top"),  # same-module top level
+            ("pkg.util", "helper"),  # via the import map
+            None,  # obj.method(): unknown receiver stays unresolved
+        ]
+
+    def test_self_call_outside_class_is_unresolved(self, write_tree):
+        project, main = self._project(write_tree)
+        call = ast.parse("self.method()").body[0].value
+        assert resolve_call(project, main, "top", call) is None
+
+
+class TestStatementSpans:
+    def test_multiline_statement_is_one_span(self, write_tree):
+        context = _context(
+            write_tree,
+            "pkg/mod.py",
+            """\
+            value = make(
+                7,
+            )
+            """,
+        )
+        assert context.suppression_lines(1) == (1, 2, 3)
+        assert context.suppression_lines(2) == (1, 2, 3)
+
+    def test_compound_statement_contributes_header_only(
+        self, write_tree
+    ):
+        context = _context(
+            write_tree,
+            "pkg/mod.py",
+            """\
+            def f(
+                x,
+            ):
+                body = 1
+            """,
+        )
+        # The def's span is its header; the body line is its own span.
+        assert context.suppression_lines(1) == (1, 2, 3)
+        assert context.suppression_lines(4) == (4,)
+
+    def test_trailing_noqa_suppresses_multiline_call(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                import random
+
+                value = random.Random(
+                    7,
+                )  # repro: noqa[DET201]
+                """,
+            }
+        )
+        report = lint_paths([root], select=["DET201"])
+        assert report.findings == []
+
+    def test_noqa_in_body_never_silences_def_finding(self, write_tree):
+        # KER302 anchors on the twin's def line; a suppression buried
+        # in the body must not reach it.
+        root = write_tree(
+            {
+                "pkg/core/kernel.py": """\
+                class StepKernel:
+                    def run_lean(self, steps, packet):
+                        packet.x = 1  # repro: noqa[KER302]
+                        return packet
+                """,
+            }
+        )
+        report = lint_paths([root], select=["KER302"])
+        assert [f.rule_id for f in report.findings] == ["KER302"]
+
+    def test_overlapping_findings_suppress_independently(
+        self, write_tree
+    ):
+        # One line fires DET201 (seeded ctor) and DET202 (module
+        # global); a bracketed noqa silences only the named rule.
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                import random
+
+                partly = random.Random(7)  # repro: noqa[DET201]
+                fully = random.Random(7)  # repro: noqa
+                """,
+            }
+        )
+        report = lint_paths([root], select=["DET201", "DET202"])
+        assert [(f.rule_id, f.line) for f in report.findings] == [
+            ("DET202", 3)
+        ]
