@@ -34,6 +34,16 @@ from repro.algorithms import (  # noqa: E402
     RestrictedPriorityPolicy,
 )
 from repro.analysis.runner import run_case  # noqa: E402
+from repro.campaign import (  # noqa: E402
+    Campaign,
+    CampaignStore,
+    CaseSpec,
+    WorkerPool,
+)
+from repro.campaign.worker import (  # noqa: E402
+    execute_chunk,
+    initialize_worker,
+)
 from repro.core.buffered_engine import BufferedEngine  # noqa: E402
 from repro.core.engine import HotPotatoEngine  # noqa: E402
 from repro.core.validation import validators_for  # noqa: E402
@@ -227,6 +237,92 @@ def _sweep_seconds(workers: int, repeats: int) -> float:
     return best
 
 
+def _campaign_specs() -> list:
+    """The declarative form of the 8-seed reference sweep."""
+    return [
+        CaseSpec(
+            topology="mesh",
+            workload="random",
+            policy="restricted-priority",
+            seed=seed,
+            side=SIDE,
+            workload_params=(("k", K),),
+            strict_validation=False,
+        )
+        for seed in range(8)
+    ]
+
+
+def _campaign_sweep_seconds(workers: int, repeats: int) -> float:
+    """Wall time of the 8-seed sweep through the campaign orchestrator.
+
+    Both variants run against a real event-sourced store (fsync per
+    finished case): that is the configuration where ``workers=2`` beats
+    serial even on one CPU, because the parent overlaps event-log I/O
+    with worker compute.  The pool is started and warmed *outside* the
+    timed region — campaign pools are persistent, so steady-state cost
+    is what the trajectory should track.
+    """
+    import gc
+    import tempfile
+
+    specs = _campaign_specs()
+    # The earlier throughput rows leave a large, garbage-laden heap in
+    # this process.  Settle and freeze it (symmetrically, for both the
+    # serial and pooled variant) so the timed region measures the
+    # campaign stack, not GC passes over benchmark debris — and so
+    # forked workers don't spend the measurement copy-on-write-faulting
+    # inherited pages every time a collection touches them.
+    gc.collect()
+    gc.freeze()
+    pool = None
+    if workers > 1:
+        pool = WorkerPool(
+            workers,
+            initializer=initialize_worker,
+            initargs=((specs[0].shape,),),
+        )
+        pool.start()
+        # Touch every worker process once so spawn + import cost stays
+        # out of the measurement (a 2-item batch makes 2 chunks).
+        warm = [
+            CaseSpec(
+                topology="mesh",
+                workload="random",
+                policy="restricted-priority",
+                seed=seed,
+                side=4,
+                workload_params=(("k", 4),),
+            )
+            for seed in range(2)
+        ]
+        pool.run_batch(warm, execute_chunk)
+    best = None
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            # Sub-second rows need more best-of samples than the
+            # multi-second throughput rows to shake scheduler noise.
+            for attempt in range(max(repeats, 5)):
+                store = CampaignStore(
+                    os.path.join(tmp, f"campaign-{workers}-{attempt}.jsonl")
+                )
+                if pool is not None:
+                    campaign = Campaign(specs, store=store, pool=pool)
+                else:
+                    campaign = Campaign(specs, store=store)
+                start = time.perf_counter()
+                result = campaign.run()
+                elapsed = time.perf_counter() - start
+                assert len(result.points) == 8
+                if best is None or elapsed < best:
+                    best = elapsed
+    finally:
+        if pool is not None:
+            pool.close()
+        gc.unfreeze()
+    return best
+
+
 def build_record(
     workers: int, repeats: int, include_large: bool = True
 ) -> dict:
@@ -274,6 +370,15 @@ def build_record(
             "serial": round(_sweep_seconds(1, repeats), 3),
             f"workers_{workers}": round(_sweep_seconds(workers, repeats), 3),
         },
+        #: Same 8-seed sweep through the campaign orchestrator with a
+        #: durable event store; the pooled figure uses a pre-started
+        #: persistent pool (steady-state campaign cost).
+        "campaign_pool": {
+            "serial": round(_campaign_sweep_seconds(1, repeats), 3),
+            f"workers_{workers}": round(
+                _campaign_sweep_seconds(workers, repeats), 3
+            ),
+        },
     }
     if include_large:
         large = _best_rate(_run_large_once, repeats)
@@ -291,18 +396,26 @@ def build_record(
 #: ``soa_large``) as soon as a baseline exists.
 GUARDED_ROWS = ("fast_path", "soa", "soa_large")
 
+#: Wall-time tables the guard also watches (lower is better).  Every
+#: variant present in both the previous entry and the new record
+#: participates, so the serial *and* parallel sweep figures — and the
+#: campaign-orchestrator equivalents — are covered as soon as a
+#: baseline entry carries them.
+GUARDED_SECONDS_TABLES = ("sweep_8_seeds_seconds", "campaign_pool")
+
 
 def check_lean_regression(
     record: dict, path: str = TRAJECTORY, tolerance: float = 0.05
 ) -> str:
     """Compare the new record's lean throughput to the last entry.
 
-    Returns an empty string when every guarded packet-steps/s figure
-    (object fast path and soa rows) is within ``tolerance`` of (or
-    better than) the most recent record in the trajectory file, and a
-    human-readable warning otherwise.  The guard is advisory by
-    default because absolute throughput varies across machines;
-    same-host CI promotes it to a failure with
+    Returns an empty string when every guarded figure — packet-steps/s
+    for the object fast path and soa rows (higher is better), wall
+    seconds for the 8-seed sweep and campaign tables (lower is better)
+    — is within ``tolerance`` of the most recent record in the
+    trajectory file, and a human-readable warning otherwise.  The
+    guard is advisory by default because absolute timings vary across
+    machines; same-host CI promotes it to a failure with
     ``--fail-on-regression``.
     """
     if not os.path.exists(path):
@@ -328,6 +441,22 @@ def check_lean_regression(
             f"previous entry ({previous:.1f}, {history[-1]['git_sha']}); "
             f"tolerance is {tolerance:.0%}"
         )
+    for table in GUARDED_SECONDS_TABLES:
+        previous_table = history[-1].get(table) or {}
+        current_table = record.get(table) or {}
+        for row in sorted(set(previous_table) & set(current_table)):
+            previous = previous_table[row]
+            current = current_table[row]
+            if not previous or not current:
+                continue
+            if current <= previous * (1.0 + tolerance):
+                continue
+            warnings.append(
+                f"sweep wall-time regression: {table}[{row}] "
+                f"{current:.3f}s is {current / previous - 1.0:.1%} above "
+                f"the previous entry ({previous:.3f}s, "
+                f"{history[-1]['git_sha']}); tolerance is {tolerance:.0%}"
+            )
     return "; ".join(warnings)
 
 

@@ -1,4 +1,16 @@
-"""Crash-safe sweep checkpointing over JSONL run manifests.
+"""Legacy crash-safe sweep checkpointing (compatibility shim).
+
+.. deprecated::
+    New code should use the event-sourced campaign store
+    (:mod:`repro.campaign.store`) with declarative specs
+    (:mod:`repro.campaign.spec`): it subsumes this journal — same
+    fsync-per-point durability and torn-line recovery, plus queued /
+    started / failed lifecycle events, priority-ordered resume, and a
+    content identity derived from canonical JSON instead of factory
+    qualnames (which silently change when a factory is renamed).
+    This module stays for the factory-based ``sweep(checkpoint=...)``
+    surface and existing checkpoint files; it receives no new
+    features.
 
 A sweep is a pure function of its :class:`~repro.analysis.runner.CaseSpec`
 list, so each spec gets a stable content-derived identity

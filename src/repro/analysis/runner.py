@@ -12,39 +12,46 @@ every public entry point takes ``workers`` and routes the work through
 :class:`ParallelExecutor`, which preserves the serial result order and
 falls back to in-process execution when parallelism is unavailable
 (``workers=1``, a single case, or unpicklable factories).
+
+Process fan-out itself lives in :class:`repro.campaign.pool.WorkerPool`
+(the campaign execution layer); this module keeps the factory-based
+:class:`CaseSpec` surface on top of it.  Every entry point also
+accepts a started ``pool`` so repeated sweeps can share persistent
+workers; for new code prefer the declarative campaign stack
+(:mod:`repro.campaign`), which ships ~100-byte specs instead of
+pickled factories and adds the durable event log.
 """
 
 from __future__ import annotations
 
-import pickle
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.campaign.pool import WorkerPool
+from repro.campaign.results import (
+    ExperimentPoint,
+    aggregate_telemetry,
+)
 from repro.core.buffered_engine import BufferedEngine
 from repro.core.engine import HotPotatoEngine
-from repro.core.metrics import RunResult
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import RoutingProblem
-from repro.obs.telemetry import RunTelemetry, aggregate
+from repro.obs.telemetry import RunTelemetry
 from repro.analysis.stats import Summary, summarize
 
 ProblemFactory = Callable[[int], RoutingProblem]
 PolicyFactory = Callable[[], RoutingPolicy]
 
-
-@dataclass
-class ExperimentPoint:
-    """One run plus the sweep parameters that produced it."""
-
-    params: Dict[str, object]
-    result: RunResult
-
-    @property
-    def steps(self) -> int:
-        return self.result.total_steps
+__all__ = [
+    "CaseSpec",
+    "ExperimentPoint",
+    "ParallelExecutor",
+    "SweepResult",
+    "aggregate_telemetry",
+    "compare_policies",
+    "run_case",
+    "sweep",
+]
 
 
 @dataclass
@@ -161,32 +168,25 @@ def _execute_chunk(specs: Sequence[CaseSpec]) -> List[ExperimentPoint]:
     return [_execute_spec(spec) for spec in specs]
 
 
-def aggregate_telemetry(
-    points: Iterable[ExperimentPoint],
-) -> Optional[RunTelemetry]:
-    """Merge the lean-path counters of many runs (totals add, peaks
-    take the max).  Returns ``None`` when no point carries telemetry
-    (e.g. results deserialized from pre-telemetry payloads)."""
-    return aggregate(point.result.telemetry for point in points)
-
-
 class ParallelExecutor:
     """Fans :class:`CaseSpec` batches across worker processes.
 
-    Dispatch is chunked: each pool submission carries a contiguous
-    slice of specs (about :attr:`CHUNKS_PER_WORKER` chunks per worker)
-    and the worker runs the whole slice in one call, so per-task
-    pickling and IPC overhead is paid per chunk rather than per spec.
-    :attr:`chunked` counts the chunks of the most recent batch.
+    Since the ``repro.campaign`` refactor this class is the legacy
+    harness's face over :class:`repro.campaign.pool.WorkerPool`: the
+    chunked dispatch, the retry-through-killed-workers machinery, the
+    wedged-pool timeout and the serial last resort all live in the
+    pool (one implementation, shared with campaigns), while this
+    wrapper keeps the factory-based spec type, the telemetry
+    aggregation and the historical constructor.
 
     Results always come back in spec order, so a parallel run is
     point-for-point identical to the serial one (each spec is an
     independent seeded simulation; nothing leaks between workers).
 
     Each run's :class:`~repro.obs.telemetry.RunTelemetry` travels
-    inside its pickled :class:`RunResult`, so after :meth:`run` the
-    executor's :attr:`telemetry` holds the cross-worker aggregate of
-    the whole batch.
+    inside its pickled :class:`~repro.core.metrics.RunResult`, so
+    after :meth:`run` the executor's :attr:`telemetry` holds the
+    cross-worker aggregate of the whole batch.
 
     The executor degrades gracefully to in-process execution when
 
@@ -195,20 +195,27 @@ class ParallelExecutor:
     * the process pool cannot be started or breaks (restricted
       sandboxes, missing ``fork``/``spawn`` support).
 
-    Crash recovery: a killed or crashed worker loses only the specs it
-    was holding.  Every completed spec is kept, and up to ``retries``
-    fresh pools re-run *only* the unfinished specs (with exponential
-    ``backoff`` between attempts).  ``timeout`` bounds the wait for the
-    *next* completion: if no spec finishes within it the pool is
-    declared wedged, abandoned (``cancel_futures``), and the attempt
-    ends.  Whatever is still missing after the last attempt runs
-    serially in-process, so every spec is executed and reported exactly
-    once.  Any of these detours sets :attr:`degraded`.
+    Crash recovery (see :class:`~repro.campaign.pool.WorkerPool`): a
+    killed or crashed worker loses only the specs it was holding; up
+    to ``retries`` fresh pool passes re-run *only* the unfinished
+    specs (exponential ``backoff`` between attempts), ``timeout``
+    bounds the wait for the *next* completion before a wedged pool is
+    abandoned, and whatever is still missing after the last attempt
+    runs serially in-process.  Any detour sets :attr:`degraded`.
 
     Exceptions raised *by a spec itself* (policy bugs, validation
     errors) are deterministic and re-raised immediately — retrying
     cannot fix them and would just repeat the failure.
+
+    Pass a started :class:`~repro.campaign.pool.WorkerPool` as
+    ``pool`` to reuse persistent workers across batches (the executor
+    then ignores ``workers``/``timeout``/``retries``/``backoff`` and
+    never shuts the pool down); otherwise each :meth:`run` owns a
+    transient pool, preserving the historical lifecycle.
     """
+
+    #: Target chunks per worker (see :class:`WorkerPool`).
+    CHUNKS_PER_WORKER = WorkerPool.CHUNKS_PER_WORKER
 
     def __init__(
         self,
@@ -218,6 +225,7 @@ class ParallelExecutor:
         retries: int = 2,
         backoff: float = 0.25,
         sleep: Optional[Callable[[float], None]] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         self.workers = max(1, int(workers))
         #: Max seconds to wait for the next completion before the pool
@@ -227,7 +235,8 @@ class ParallelExecutor:
         self.retries = max(0, int(retries))
         #: Base delay before retry ``k`` is ``backoff * 2**(k-1)``.
         self.backoff = backoff
-        self._sleep = sleep if sleep is not None else time.sleep
+        self._sleep = sleep
+        self._shared_pool = pool
         #: Aggregate counters of the most recent :meth:`run` batch.
         self.telemetry: Optional[RunTelemetry] = None
         #: True when the most recent batch needed retries or fallbacks.
@@ -235,6 +244,15 @@ class ParallelExecutor:
         #: Chunks dispatched to pools in the most recent batch (0 when
         #: the batch ran serially in-process).
         self.chunked = 0
+
+    def _make_pool(self) -> WorkerPool:
+        return WorkerPool(
+            self.workers,
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            sleep=self._sleep,
+        )
 
     def run(
         self,
@@ -248,132 +266,26 @@ class ParallelExecutor:
         lands (checkpoint hooks); indices refer to ``specs`` order, and
         the callback runs in this process regardless of worker fan-out.
         """
-        self.degraded = False
-        self.chunked = 0
-        points = self._run(list(specs), on_point)
+        pool = self._shared_pool
+        owned = pool is None
+        if pool is None:
+            pool = self._make_pool()
+        try:
+            points: List[ExperimentPoint] = pool.run_batch(
+                list(specs), _execute_chunk, on_result=on_point
+            )
+        finally:
+            self.degraded = pool.degraded
+            self.chunked = pool.chunked
+            if owned:
+                pool.close()
         self.telemetry = aggregate_telemetry(points)
         return points
 
-    def _run(
-        self,
-        specs: List[CaseSpec],
-        on_point: Optional[Callable[[int, ExperimentPoint], None]],
-    ) -> List[ExperimentPoint]:
-        results: Dict[int, ExperimentPoint] = {}
-
-        def record(index: int, point: ExperimentPoint) -> None:
-            results[index] = point
-            if on_point is not None:
-                on_point(index, point)
-
-        if self.workers == 1 or len(specs) < 2 or not self._picklable(specs):
-            for index, spec in enumerate(specs):
-                record(index, _execute_spec(spec))
-            return [results[i] for i in range(len(specs))]
-
-        pending = list(range(len(specs)))
-        for attempt in range(self.retries + 1):
-            if not pending:
-                break
-            if attempt:
-                self.degraded = True
-                if self.backoff > 0:
-                    self._sleep(self.backoff * (2 ** (attempt - 1)))
-            self._pool_pass(specs, pending, record)
-            pending = [i for i in pending if i not in results]
-        if pending:
-            # Last resort: whatever the pools never finished runs
-            # serially here, so the batch always comes back whole.
-            self.degraded = True
-            for index in pending:
-                record(index, _execute_spec(specs[index]))
-        return [results[i] for i in range(len(specs))]
-
-    #: Target chunks per worker: mild oversubscription keeps workers
-    #: busy when chunks finish unevenly without reverting to the old
-    #: spec-at-a-time dispatch (whose per-task IPC dominated short runs).
-    CHUNKS_PER_WORKER = 4
-
     def _chunks(self, pending: Sequence[int]) -> List[List[int]]:
-        """Partition ``pending`` into contiguous, near-equal chunks."""
-        target = self.workers * self.CHUNKS_PER_WORKER
-        size = max(1, -(-len(pending) // target))
-        return [
-            list(pending[start : start + size])
-            for start in range(0, len(pending), size)
-        ]
-
-    def _pool_pass(
-        self,
-        specs: List[CaseSpec],
-        pending: Sequence[int],
-        record: Callable[[int, ExperimentPoint], None],
-    ) -> None:
-        """One pool attempt over ``pending``; records what completes.
-
-        Dispatch is *chunked*: each submission carries a contiguous
-        slice of specs and one worker call (:func:`_execute_chunk`)
-        runs the whole slice, building every engine worker-side from
-        the pickled :class:`CaseSpec` values.
-
-        Infrastructure casualties (worker crashes, unstartable or
-        wedged pools) are swallowed — a lost chunk's specs simply stay
-        pending and the caller retries the gaps.  Exceptions raised by
-        the specs themselves propagate.
-        """
-        try:
-            pool = ProcessPoolExecutor(max_workers=self.workers)
-        except (OSError, PermissionError):
-            self.degraded = True
-            return
-        clean = True
-        try:
-            futures = {
-                pool.submit(_execute_chunk, [specs[i] for i in chunk]): chunk
-                for chunk in self._chunks(pending)
-            }
-            self.chunked += len(futures)
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(
-                    outstanding,
-                    timeout=self.timeout,
-                    return_when=FIRST_COMPLETED,
-                )
-                if not done:
-                    # Nothing finished within the timeout: the pool is
-                    # wedged (hung worker).  Abandon it and move on.
-                    clean = False
-                    break
-                for future in done:
-                    chunk = futures[future]
-                    try:
-                        points = future.result()
-                    except (BrokenProcessPool, OSError, PermissionError):
-                        # This worker died; its chunk stays pending.
-                        clean = False
-                        continue
-                    except BaseException:
-                        # Deterministic spec failure: don't let the
-                        # rest of the pool grind on before re-raising.
-                        clean = False
-                        raise
-                    for index, point in zip(chunk, points):
-                        record(index, point)
-        finally:
-            if clean:
-                pool.shutdown(wait=True)
-            else:
-                self.degraded = True
-                pool.shutdown(wait=False, cancel_futures=True)
-
-    @staticmethod
-    def _picklable(specs: Sequence[CaseSpec]) -> bool:
-        try:
-            pickle.dumps(specs)
-        except Exception:
-            return False
-        return True
+        """Partition ``pending`` into contiguous, near-equal chunks
+        (delegates to the pool's math; kept for callers and tests)."""
+        return self._make_pool()._chunks(pending)
 
 
 def run_case(
@@ -387,6 +299,7 @@ def run_case(
     workers: int = 1,
     engine: str = "hot-potato",
     backend: str = "object",
+    pool: Optional[WorkerPool] = None,
 ) -> List[ExperimentPoint]:
     """Run one case over several seeds.
 
@@ -398,7 +311,9 @@ def run_case(
     store-and-forward baseline instead of hot-potato routing, and
     ``backend="soa"`` for the structure-of-arrays kernel (hot-potato
     requires ``strict_validation=False`` there — the array kernel runs
-    the lean loop).
+    the lean loop).  A started
+    :class:`~repro.campaign.pool.WorkerPool` passed as ``pool``
+    persists across calls (``workers`` is then ignored).
     """
     frozen_params = tuple((params or {}).items())
     specs = [
@@ -414,7 +329,7 @@ def run_case(
         )
         for seed in seeds
     ]
-    return ParallelExecutor(workers).run(specs)
+    return ParallelExecutor(workers, pool=pool).run(specs)
 
 
 def sweep(
@@ -428,6 +343,7 @@ def sweep(
     executor: Optional[ParallelExecutor] = None,
     checkpoint: Optional["object"] = None,
     backend: str = "object",
+    pool: Optional[WorkerPool] = None,
 ) -> SweepResult:
     """Evaluate a parameter grid.
 
@@ -442,6 +358,9 @@ def sweep(
     ``checkpoint`` to make the sweep crash-safe: each finished point is
     durably recorded as it lands, and a rerun of the same sweep skips
     every point already on disk (``SweepResult.resumed`` counts them).
+    A started :class:`~repro.campaign.pool.WorkerPool` passed as
+    ``pool`` persists across sweeps (ignored when ``executor`` is
+    given — configure the executor with the pool instead).
     """
     from repro.analysis.checkpoint import restore_points, spec_key
 
@@ -462,7 +381,11 @@ def sweep(
             )
     restored = restore_points(checkpoint, specs)
     pending = [i for i in range(len(specs)) if i not in restored]
-    runner = executor if executor is not None else ParallelExecutor(workers)
+    runner = (
+        executor
+        if executor is not None
+        else ParallelExecutor(workers, pool=pool)
+    )
     on_point = None
     if checkpoint is not None:
         def on_point(local_index: int, point: ExperimentPoint) -> None:
@@ -487,8 +410,13 @@ def compare_policies(
     strict_validation: bool = True,
     max_steps: Optional[int] = None,
     workers: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[str, List[ExperimentPoint]]:
-    """Run several policies on identical problem instances."""
+    """Run several policies on identical problem instances.
+
+    With a shared ``pool`` the per-policy batches reuse one set of
+    worker processes instead of spawning a pool per policy.
+    """
     return {
         name: run_case(
             problem_factory,
@@ -498,6 +426,7 @@ def compare_policies(
             strict_validation=strict_validation,
             max_steps=max_steps,
             workers=workers,
+            pool=pool,
         )
         for name, factory in policies.items()
     }

@@ -6,6 +6,8 @@ Commands:
   (optionally audit the full Theorem 20 analysis chain, or archive the
   trace as JSON);
 * ``sweep``    — sweep k for one policy, print T vs the Theorem 20 bound;
+* ``campaign`` — run / resume / inspect resumable experiment campaigns
+  backed by the event-sourced store (see :mod:`repro.campaign`);
 * ``dynamic``  — continuous-traffic load sweep (latency/backlog table);
 * ``profile``  — run one scenario on the profiled kernel loop and print
   the per-phase wall-time table;
@@ -472,6 +474,97 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_specs(args: argparse.Namespace) -> list:
+    """Seed-replicated declarative specs for ``repro campaign run``."""
+    from repro.campaign import CaseSpec
+
+    workload_params = ()
+    if args.k is not None:
+        workload_params = (("k", args.k),)
+    if args.policy:
+        policy = args.policy
+    elif args.engine == "buffered":
+        policy = "dimension-order"
+    else:
+        policy = "restricted-priority"
+    try:
+        return [
+            CaseSpec(
+                topology=args.topology,
+                side=args.side,
+                dimension=args.dimension,
+                workload=args.workload,
+                workload_params=workload_params,
+                policy=policy,
+                seed=seed,
+                # The soa kernel runs the lean loop, which requires
+                # capacity-only validation (same rule as `repro route`).
+                strict_validation=args.backend != "soa",
+                max_steps=args.max_steps,
+                engine=args.engine,
+                backend=args.backend,
+            )
+            for seed in range(args.seeds)
+        ]
+    except ValueError as problem:
+        raise SystemExit(f"invalid campaign case: {problem}")
+
+
+def _print_campaign_result(result) -> int:
+    print(
+        f"campaign: {len(result.points)} finished "
+        f"({result.resumed} restored from the store), "
+        f"{len(result.failures)} failed"
+        + (", degraded" if result.degraded else "")
+    )
+    for failure in result.failures:
+        print(f"  {failure.key}: {failure.error}: {failure.message}")
+    if result.points:
+        steps = [p.result.total_steps for p in result.points]
+        print(
+            f"T mean={sum(steps) / len(steps):.1f} max={max(steps)} "
+            f"over {len(steps)} cases"
+        )
+    return 0 if result.all_completed() else 1
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import Campaign, CampaignStore
+
+    specs = _campaign_specs(args)
+    store = CampaignStore(args.store) if args.store else None
+    with Campaign(specs, store=store, workers=args.workers) as campaign:
+        result = campaign.run()
+    return _print_campaign_result(result)
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.campaign import Campaign
+
+    campaign = Campaign.from_store(args.store, workers=args.workers)
+    if not campaign.specs:
+        raise SystemExit(f"no cases queued in {args.store}")
+    with campaign:
+        result = campaign.run()
+    return _print_campaign_result(result)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore
+
+    state = CampaignStore(args.store).replay()
+    if not state.order:
+        raise SystemExit(f"no cases queued in {args.store}")
+    counts = state.counts()
+    total = len(state.order)
+    print(f"{total} cases in {args.store}")
+    for name in ("finished", "started", "queued", "failed"):
+        print(f"  {name:9s} {counts[name]}")
+    for problem in state.errors:
+        print(f"  damaged line skipped: {problem}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint
 
@@ -661,6 +754,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a run manifest (JSONL) with the phase timings",
     )
     profile.set_defaults(func=cmd_profile)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run resumable experiment campaigns (event-sourced store)",
+    )
+    campaign_commands = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_run = campaign_commands.add_parser(
+        "run", help="queue and execute a seed-replicated campaign"
+    )
+    _add_mesh_arguments(campaign_run)
+    _add_backend_argument(campaign_run)
+    campaign_run.add_argument(
+        "--workload", choices=WORKLOADS, default="random"
+    )
+    campaign_run.add_argument(
+        "--k", type=int, default=None, help="batch size"
+    )
+    campaign_run.add_argument(
+        "--policy",
+        default=None,
+        help="routing policy (default: restricted-priority for hot-potato, "
+        "dimension-order for buffered)",
+    )
+    campaign_run.add_argument(
+        "--engine",
+        choices=("hot-potato", "buffered"),
+        default="hot-potato",
+        help="routing discipline",
+    )
+    campaign_run.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        help="replicate seeds 0..N-1 (default 3)",
+    )
+    campaign_run.add_argument(
+        "--max-steps", type=int, default=None, help="per-case step budget"
+    )
+    campaign_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="persistent pool size (1 = serial; results are identical "
+        "either way)",
+    )
+    campaign_run.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="event-log JSONL; with it the campaign is durable and "
+        "resumable (repro campaign resume)",
+    )
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_resume = campaign_commands.add_parser(
+        "resume",
+        help="restore finished cases from a store and run the rest",
+    )
+    campaign_resume.add_argument(
+        "--store", metavar="PATH", required=True, help="event-log JSONL"
+    )
+    campaign_resume.add_argument(
+        "--workers", type=int, default=1, help="persistent pool size"
+    )
+    campaign_resume.set_defaults(func=cmd_campaign_resume)
+
+    campaign_status = campaign_commands.add_parser(
+        "status", help="summarize a campaign store without running it"
+    )
+    campaign_status.add_argument(
+        "--store", metavar="PATH", required=True, help="event-log JSONL"
+    )
+    campaign_status.set_defaults(func=cmd_campaign_status)
 
     livelock = commands.add_parser(
         "livelock", help="run the greedy livelock demonstration"

@@ -492,7 +492,9 @@ class WallClockRule(Rule):
     name = "wall-clock"
     description = "time.*/datetime.now read inside engine code"
     severity = Severity.WARNING
-    domains = frozenset({"core", "algorithms", "dynamic", "obs", "faults"})
+    domains = frozenset(
+        {"core", "algorithms", "dynamic", "obs", "faults", "campaign"}
+    )
     exempt_modules = ("obs.clock",)
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:

@@ -30,17 +30,26 @@ __all__ = ["PARALLEL_RULES"]
 PARALLEL_RULES = ("PAR501", "PAR502")
 
 #: Calls whose arguments cross the pickling boundary: spec
-#: construction, executor submission, and the analysis front doors
-#: that forward factories into specs.
+#: construction, executor and campaign-pool submission, and the
+#: analysis front doors that forward factories into specs.
 _SUBMISSION_CALLS: FrozenSet[str] = frozenset(
     {
         "CaseSpec",
         "compare_policies",
+        "run_batch",
         "run_case",
         "run_cases",
         "submit",
         "sweep",
     }
+)
+
+
+#: Keyword arguments of submission calls that stay in the parent
+#: process: result callbacks fire after the worker's payload comes
+#: back, so they never pickle and may close over anything.
+_PARENT_SIDE_KEYWORDS: FrozenSet[str] = frozenset(
+    {"on_point", "on_result"}
 )
 
 
@@ -55,6 +64,8 @@ def _call_name(node: ast.Call) -> str:
 def _payload_args(node: ast.Call) -> Iterator[ast.expr]:
     yield from node.args
     for keyword in node.keywords:
+        if keyword.arg in _PARENT_SIDE_KEYWORDS:
+            continue
         yield keyword.value
 
 

@@ -38,6 +38,7 @@ per run still hits warm tables.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.mesh.directions import Direction
@@ -46,7 +47,12 @@ from repro.types import Node
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mesh.topology import Mesh
 
-__all__ = ["ArcTables", "arc_tables_for", "direction_index"]
+__all__ = [
+    "ArcTables",
+    "TABLE_CACHE_LIMIT",
+    "arc_tables_for",
+    "direction_index",
+]
 
 
 def direction_index(direction: Direction) -> int:
@@ -152,18 +158,34 @@ class ArcTables:
         self.backend_views: Optional[Dict[str, Any]] = None
 
 
+#: Upper bound on the number of shapes the process-wide table cache
+#: retains.  A campaign sweeping many topologies touches one
+#: :class:`ArcTables` per distinct ``(type, dimension, side)`` shape;
+#: each table holds ``O(N * d)`` integers, which for large meshes is
+#: megabytes.  32 shapes is far beyond what any single sweep interleaves
+#: (campaign workers sort cases so same-shape cases run consecutively)
+#: while keeping worst-case retention bounded.  Read at call time so
+#: tests can shrink it via monkeypatch.
+TABLE_CACHE_LIMIT = 32
+
 #: Process-wide table cache.  Tables are pure derived data keyed by the
 #: topology shape, so sharing them across mesh instances is safe and
 #: keeps repeated engine construction (benchmark loops, sweeps) from
-#: rebuilding ``O(N * d)`` tables every run.
-_TABLE_CACHE: Dict[Tuple[type, int, int], ArcTables] = {}
+#: rebuilding ``O(N * d)`` tables every run.  Ordered for LRU eviction:
+#: least-recently-used shape is dropped once more than
+#: :data:`TABLE_CACHE_LIMIT` shapes are live.
+_TABLE_CACHE: "OrderedDict[Tuple[type, int, int], ArcTables]" = OrderedDict()
 
 
 def arc_tables_for(mesh: "Mesh") -> ArcTables:
-    """The shared :class:`ArcTables` for a mesh's shape (cached)."""
+    """The shared :class:`ArcTables` for a mesh's shape (LRU-cached)."""
     key = (type(mesh), mesh.dimension, mesh.side)
     tables = _TABLE_CACHE.get(key)
     if tables is None:
         tables = ArcTables(mesh)
         _TABLE_CACHE[key] = tables
+    else:
+        _TABLE_CACHE.move_to_end(key)
+    while len(_TABLE_CACHE) > TABLE_CACHE_LIMIT:
+        _TABLE_CACHE.popitem(last=False)
     return tables

@@ -16,12 +16,23 @@ from __future__ import annotations
 import datetime
 import time
 
-__all__ = ["perf_ns", "utc_now_iso"]
+__all__ = ["perf_ns", "sleep_for", "utc_now_iso"]
 
 
 def perf_ns() -> int:
     """Monotonic high-resolution timestamp for phase timing."""
     return time.perf_counter_ns()
+
+
+def sleep_for(seconds: float) -> None:
+    """Block the calling thread (retry backoff in the campaign pool).
+
+    Sleeping never belongs in engine code — simulation time is
+    ``engine.time`` — but the experiment orchestrator genuinely waits
+    between pool retry attempts, and that wait must flow through the
+    sanctioned clock module exactly like every other wall-time touch.
+    """
+    time.sleep(seconds)
 
 
 def utc_now_iso() -> str:

@@ -22,7 +22,7 @@ import os
 import platform
 import subprocess
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.events import RunObserver
 from repro.core.metrics import RunResult
@@ -34,6 +34,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "JsonlRunLogger",
     "RunManifest",
+    "append_jsonl",
     "append_manifest",
     "git_sha",
     "manifest_for_engine",
@@ -357,24 +358,36 @@ def manifest_from_run_result(
     )
 
 
-def append_manifest(
-    manifest: RunManifest, path: str, *, fsync: bool = False
+def append_jsonl(
+    payloads: Sequence[Mapping[str, Any]], path: str, *, fsync: bool = False
 ) -> None:
-    """Append one manifest as a JSON line (parents created as needed).
+    """Append JSON lines in one open (parents created as needed).
 
-    With ``fsync=True`` the line is flushed and fsynced before the
+    With ``fsync=True`` the batch is flushed and fsynced before the
     file closes, so a crash immediately after the call can lose at
     most a torn trailing line, never an acknowledged one — the
-    durability contract the sweep checkpoint relies on.
+    durability contract the sweep checkpoint and the campaign event
+    log both rely on.  Batching several payloads into one call pays
+    the fsync once for the whole batch.
     """
+    if not payloads:
+        return
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
     with open(path, "a", encoding="utf-8") as handle:
-        json.dump(manifest.to_dict(), handle, separators=(",", ":"))
-        handle.write("\n")
+        for payload in payloads:
+            json.dump(payload, handle, separators=(",", ":"))
+            handle.write("\n")
         if fsync:
             handle.flush()
             os.fsync(handle.fileno())
+
+
+def append_manifest(
+    manifest: RunManifest, path: str, *, fsync: bool = False
+) -> None:
+    """Append one manifest as a JSON line (see :func:`append_jsonl`)."""
+    append_jsonl([manifest.to_dict()], path, fsync=fsync)
 
 
 def read_manifests(

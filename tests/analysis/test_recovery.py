@@ -259,3 +259,108 @@ class TestCheckpointWithCrashes:
         keys = [line["case"]["key"] for line in lines]
         assert len(keys) == 4
         assert len(set(keys)) == 4
+
+
+@pytest.mark.slow
+class TestKilledSweepResume:
+    """SIGKILL the sweeping *process* mid-chunk; the checkpoint alone
+    must carry the resume — no completed case re-runs, no key appends
+    twice."""
+
+    # The child imports this very module so its factory qualnames (and
+    # therefore its spec keys) match the resuming parent's exactly.
+    CHILD = """\
+from repro.analysis.checkpoint import SweepCheckpoint
+from repro.analysis.runner import sweep
+from tests.analysis.test_recovery import TestKilledSweepResume, _case
+
+sweep(
+    TestKilledSweepResume.GRID,
+    _case,
+    seeds=[0, 1, 2, 3],
+    checkpoint=SweepCheckpoint({path!r}),
+)
+"""
+
+    GRID = [{"n": 10, "k": 60}, {"n": 10, "k": 80}]
+
+    def test_sigkilled_sweep_resumes_without_reruns(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (
+                repo_root,
+                os.path.join(repo_root, "src"),
+                env.get("PYTHONPATH", ""),
+            )
+            if part
+        )
+        path = str(tmp_path / "ck.jsonl")
+        child = subprocess.Popen(
+            [sys.executable, "-c", self.CHILD.format(path=path)],
+            env=env,
+            cwd=repo_root,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+        def checkpointed():
+            if not os.path.exists(path):
+                return 0
+            with open(path, "r", encoding="utf-8") as handle:
+                return sum(1 for line in handle if line.strip())
+
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if checkpointed() >= 2 or child.poll() is not None:
+                    break
+                time.sleep(0.005)
+            if child.poll() is None:
+                child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+
+        survived = checkpointed()
+        assert survived >= 2
+
+        checkpoint = SweepCheckpoint(path)
+        resumed = sweep(
+            self.GRID, _case, seeds=[0, 1, 2, 3], checkpoint=checkpoint
+        )
+        assert resumed.resumed >= 2
+        assert len(resumed.points) == 8
+
+        clean = sweep(self.GRID, _case, seeds=[0, 1, 2, 3])
+        # Restored points are summary-level; strip the fresh ones to
+        # the same diet before comparing.
+        from repro.campaign.results import summary_result
+
+        assert [summary_result(p.result) for p in resumed.points] == [
+            summary_result(p.result) for p in clean.points
+        ]
+        assert [p.params for p in resumed.points] == [
+            p.params for p in clean.points
+        ]
+
+        # Every case checkpointed exactly once across both processes
+        # (a torn tail from the kill parses to nothing and is rewritten).
+        with open(path, "r", encoding="utf-8") as handle:
+            keys = []
+            for line in handle:
+                try:
+                    keys.append(json.loads(line)["case"]["key"])
+                except (ValueError, KeyError, TypeError):
+                    continue
+        assert len(keys) == 8
+        assert len(set(keys)) == 8

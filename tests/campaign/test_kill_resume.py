@@ -1,0 +1,132 @@
+"""SIGKILL a live campaign process, resume from its event log alone.
+
+The child process runs a real campaign against a store; the parent
+watches the event log and kills the child -9 once at least two cases
+have durably finished.  Resume must restore the acknowledged points
+(never re-running them), execute only the remainder, and end up
+bit-identical to a campaign that was never interrupted.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import Campaign, CampaignStore, CaseSpec
+
+SEEDS = list(range(8))
+
+CHILD = """\
+import sys
+
+from repro.campaign import Campaign, CampaignStore, CaseSpec
+
+specs = [
+    CaseSpec(
+        topology="mesh",
+        workload="random",
+        policy="restricted-priority",
+        seed=seed,
+        side=10,
+        workload_params=(("k", 60),),
+    )
+    for seed in range({seeds})
+]
+store = CampaignStore({store_path!r})
+with Campaign(specs, store=store) as campaign:
+    campaign.run()
+"""
+
+
+def _specs():
+    return [
+        CaseSpec(
+            topology="mesh",
+            workload="random",
+            policy="restricted-priority",
+            seed=seed,
+            side=10,
+            workload_params=(("k", 60),),
+        )
+        for seed in SEEDS
+    ]
+
+
+def _finished_count(path):
+    if not os.path.exists(path):
+        return 0
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if event.get("event") == "case-finished":
+                count += 1
+    return count
+
+
+@pytest.mark.slow
+class TestKillResume:
+    def test_sigkilled_campaign_resumes_to_the_clean_answer(self, tmp_path):
+        store_path = str(tmp_path / "campaign.jsonl")
+        child = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                CHILD.format(seeds=len(SEEDS), store_path=store_path),
+            ],
+            env=dict(os.environ),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if _finished_count(store_path) >= 2:
+                    break
+                if child.poll() is not None:
+                    break
+                time.sleep(0.005)
+            if child.poll() is None:
+                child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+
+        survived = _finished_count(store_path)
+        assert survived >= 2  # the kill landed after real progress
+
+        resumed = Campaign.from_store(store_path)
+        with resumed:
+            after = resumed.run()
+        assert resumed.specs == _specs()
+        assert after.resumed >= min(2, len(SEEDS))
+        assert len(after.points) == len(SEEDS)
+        assert after.all_completed()
+
+        # Identical to a campaign that was never interrupted.
+        with Campaign(_specs()) as clean_campaign:
+            clean = clean_campaign.run()
+        assert after.points == clean.points
+
+        # Durable cases were never re-run: one case-finished per key.
+        # (A torn tail from the kill is unparseable and not an event.)
+        finished_keys = []
+        with open(store_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if event.get("event") == "case-finished":
+                    finished_keys.append(event["key"])
+        assert len(finished_keys) == len(SEEDS)
+        assert len(set(finished_keys)) == len(SEEDS)

@@ -1,0 +1,118 @@
+"""The persistent WorkerPool: serial paths, persistence, callbacks.
+
+The chunk functions live at module level — the same PAR502 pickling
+contract the pool enforces on its callers.  Process-spawning cases are
+marked ``slow`` like the rest of the parallel suite.
+"""
+
+import pytest
+
+from repro.campaign.pool import WorkerPool
+
+
+def _double_chunk(chunk):
+    return [2 * item for item in chunk]
+
+
+def _raising_chunk(chunk):
+    raise ValueError("deterministic chunk failure")
+
+
+class TestSerialPath:
+    def test_workers_one_runs_in_process(self):
+        pool = WorkerPool(workers=1)
+        assert pool.run_batch([1, 2, 3], _double_chunk) == [2, 4, 6]
+        assert pool.chunked == 0
+        assert not pool.degraded
+        assert pool.starts == 0
+
+    def test_single_item_batches_stay_serial(self):
+        pool = WorkerPool(workers=4)
+        assert pool.run_batch([5], _double_chunk) == [10]
+        assert pool.chunked == 0
+        pool.close()
+
+    def test_unpicklable_items_fall_back_to_serial(self):
+        pool = WorkerPool(workers=2)
+        items = [1, lambda: None, 3]
+
+        def identity_chunk(chunk):
+            return list(chunk)
+
+        # The serial path never pickles, so even the local chunk fn
+        # and the lambda item are fine.
+        out = pool.run_batch(items, identity_chunk)
+        assert out[0] == 1 and out[2] == 3
+        assert pool.chunked == 0
+        pool.close()
+
+    def test_empty_batch_returns_empty(self):
+        pool = WorkerPool(workers=1)
+        assert pool.run_batch([], _double_chunk) == []
+
+    def test_on_result_fires_per_item_with_items_index(self):
+        pool = WorkerPool(workers=1)
+        seen = []
+        pool.run_batch(
+            [10, 20, 30],
+            _double_chunk,
+            on_result=lambda index, result: seen.append((index, result)),
+        )
+        assert sorted(seen) == [(0, 20), (1, 40), (2, 60)]
+
+    def test_deterministic_chunk_exception_propagates(self):
+        pool = WorkerPool(workers=1)
+        with pytest.raises(ValueError, match="deterministic chunk"):
+            pool.run_batch([1, 2], _raising_chunk)
+
+    def test_start_declines_without_workers(self):
+        pool = WorkerPool(workers=1)
+        assert pool.start() is False
+        assert pool.starts == 0
+
+
+@pytest.mark.slow
+class TestPersistence:
+    def test_pool_survives_across_batches(self):
+        with WorkerPool(workers=2) as pool:
+            first = pool.run_batch(list(range(8)), _double_chunk)
+            second = pool.run_batch(list(range(8, 16)), _double_chunk)
+        assert first == [2 * i for i in range(8)]
+        assert second == [2 * i for i in range(8, 16)]
+        # One spawn serves both batches: the whole point of the pool.
+        assert pool.starts == 1
+        assert not pool.degraded
+
+    def test_start_is_idempotent(self):
+        with WorkerPool(workers=2) as pool:
+            assert pool.start() is True
+            assert pool.start() is True
+            assert pool.starts == 1
+
+    def test_closed_pool_restarts_on_demand(self):
+        pool = WorkerPool(workers=2)
+        pool.run_batch(list(range(4)), _double_chunk)
+        pool.close()
+        assert pool.run_batch(list(range(4)), _double_chunk) == [
+            0,
+            2,
+            4,
+            6,
+        ]
+        assert pool.starts == 2
+        pool.close()
+
+    def test_pooled_results_match_serial(self):
+        items = list(range(20))
+        serial = WorkerPool(workers=1).run_batch(items, _double_chunk)
+        with WorkerPool(workers=2) as pool:
+            pooled = pool.run_batch(items, _double_chunk)
+        assert pooled == serial
+        assert pool.chunked > 0
+
+    def test_chunks_partition_contiguously(self):
+        pool = WorkerPool(workers=2)
+        chunks = pool._chunks(list(range(10)))
+        flattened = [i for chunk in chunks for i in chunk]
+        assert flattened == list(range(10))
+        assert all(chunk == sorted(chunk) for chunk in chunks)

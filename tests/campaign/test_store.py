@@ -1,0 +1,202 @@
+"""The event-sourced campaign ledger: append, replay, recover."""
+
+import json
+
+from repro.campaign.results import CaseFailure
+from repro.campaign.spec import CaseSpec, spec_key
+from repro.campaign.store import (
+    EVENT_SCHEMA_VERSION,
+    CampaignStore,
+)
+from repro.campaign.worker import execute_case
+
+
+def _spec(seed, **overrides):
+    base = dict(
+        topology="mesh",
+        workload="random",
+        policy="restricted-priority",
+        seed=seed,
+        side=4,
+        workload_params=(("k", 6),),
+    )
+    base.update(overrides)
+    return CaseSpec(**base)
+
+
+def _entries(specs):
+    return [(spec_key(spec), spec) for spec in specs]
+
+
+def _lines(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(l) for l in handle if l.strip()]
+
+
+class TestAppendReplay:
+    def test_queued_specs_replay_in_order(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        specs = [_spec(0), _spec(1), _spec(2)]
+        store.queue(_entries(specs))
+        state = store.replay()
+        assert [state.specs[key] for key in state.order] == specs
+        assert state.errors == []
+        assert state.counts() == {
+            "queued": 3,
+            "started": 0,
+            "finished": 0,
+            "failed": 0,
+        }
+
+    def test_full_lifecycle_counts(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        specs = [_spec(0), _spec(1), _spec(2)]
+        keys = [spec_key(s) for s in specs]
+        store.queue(_entries(specs))
+        store.start(keys)
+        store.finish(keys[0], execute_case(specs[0]))
+        store.fail(keys[1], CaseFailure(keys[1], "ValueError", "boom"))
+        assert store.status() == {
+            "queued": 0,
+            "started": 1,
+            "finished": 1,
+            "failed": 1,
+        }
+
+    def test_finished_point_survives_the_round_trip(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(3)
+        key = spec_key(spec)
+        point = execute_case(spec)
+        store.queue(_entries([spec]))
+        store.finish(key, point)
+        assert store.restored_points() == {key: point}
+
+    def test_every_line_carries_the_schema_version(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        store.queue(_entries([spec]))
+        store.start([spec_key(spec)])
+        for line in _lines(store.path):
+            assert line["schema_version"] == EVENT_SCHEMA_VERSION
+            assert line["created_at"]
+
+    def test_missing_file_replays_to_fresh_state(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "never.jsonl"))
+        state = store.replay()
+        assert state.order == []
+        assert state.errors == []
+
+
+class TestFoldSemantics:
+    def test_duplicate_queue_events_dedupe(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        store.queue(_entries([spec]))
+        store.queue(_entries([spec]))
+        state = store.replay()
+        assert state.order == [spec_key(spec)]
+
+    def test_first_finished_event_wins(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        key = spec_key(spec)
+        point = execute_case(spec)
+        store.queue(_entries([spec]))
+        store.finish(key, point)
+        # A crashed retry appends noise after the acknowledged result.
+        store.fail(key, CaseFailure(key, "RuntimeError", "late failure"))
+        store.start([key])
+        state = store.replay()
+        assert state.points == {key: point}
+        assert state.status[key] == "finished"
+        assert state.failures == {}
+
+    def test_failed_case_counts_as_pending(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        specs = [_spec(0), _spec(1)]
+        keys = [spec_key(s) for s in specs]
+        store.queue(_entries(specs))
+        store.finish(keys[0], execute_case(specs[0]))
+        store.fail(keys[1], CaseFailure(keys[1], "ValueError", "boom"))
+        assert store.replay().pending() == [keys[1]]
+
+    def test_pending_orders_by_priority_then_submission(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        specs = [
+            _spec(0, priority=0),
+            _spec(1, priority=5),
+            _spec(2, priority=5),
+            _spec(3, priority=1),
+        ]
+        keys = [spec_key(s) for s in specs]
+        store.queue(_entries(specs))
+        assert store.replay().pending() == [
+            keys[1],
+            keys[2],
+            keys[3],
+            keys[0],
+        ]
+
+    def test_event_for_unqueued_key_is_an_error(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        store.start(["feedfacefeedface"])
+        state = store.replay()
+        assert state.order == []
+        assert len(state.errors) == 1
+        assert "unqueued" in state.errors[0]
+
+
+class TestTornLineRecovery:
+    def test_torn_tail_is_skipped_and_reported(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        specs = [_spec(0), _spec(1)]
+        keys = [spec_key(s) for s in specs]
+        store.queue(_entries(specs))
+        store.finish(keys[0], execute_case(specs[0]))
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema_version": 1, "event": "case-fini')
+        state = store.replay()
+        assert len(state.errors) == 1
+        assert "log.jsonl" in state.errors[0]
+        # The torn event's case simply runs again.
+        assert state.pending() == [keys[1]]
+        assert keys[0] in state.points
+
+    def test_foreign_schema_version_is_skipped(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        store.queue(_entries([spec]))
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "schema_version": 99,
+                        "event": "case-started",
+                        "key": spec_key(spec),
+                    }
+                )
+                + "\n"
+            )
+        state = store.replay()
+        assert state.status[spec_key(spec)] == "queued"
+        assert any("schema_version" in error for error in state.errors)
+
+    def test_unknown_event_kind_is_skipped(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        store.queue(_entries([spec]))
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "schema_version": EVENT_SCHEMA_VERSION,
+                        "event": "case-paused",
+                        "key": spec_key(spec),
+                    }
+                )
+                + "\n"
+            )
+        state = store.replay()
+        assert any("unknown event kind" in error for error in state.errors)
+        assert state.order == [spec_key(spec)]

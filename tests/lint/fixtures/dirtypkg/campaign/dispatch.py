@@ -1,0 +1,56 @@
+"""Dirty campaign-layer module: DET101/DET106/PAR5xx vectors (never
+run).
+
+The real ``repro.campaign`` package is policed like engine code:
+worker-side randomness must come from seeds flowing through
+``repro.core.rng``, every wall-clock touch (retry backoff, event
+timestamps) must route through ``repro.obs.clock``, and anything
+handed to ``WorkerPool.run_batch`` crosses the pickle boundary.
+"""
+
+import random
+import time
+
+
+def jittered_backoff(attempt):
+    # DET101 fire: module-level random stream decides retry timing.
+    delay = random.uniform(0, 2**attempt)
+    # DET101 suppressed twin.
+    extra = random.uniform(0, 1)  # repro: noqa[DET101]
+    return delay + extra
+
+
+def stamp_event(event):
+    # DET106 fire: wall-clock read outside obs.clock in the campaign
+    # domain (event timestamps must use utc_now_iso).
+    event["created_at"] = time.time()
+    # DET106 suppressed twin.
+    event["acked_at"] = time.time()  # repro: noqa[DET106]
+    return event
+
+
+def dispatch(pool, specs):
+    # PAR501 fire: a lambda handed to the campaign pool would
+    # pickle-fail inside a worker.
+    doomed = pool.run_batch(specs, lambda chunk: list(chunk))
+    # PAR501 suppressed twin.
+    waved = pool.run_batch(specs, lambda chunk: list(chunk))  # repro: noqa[PAR501]
+
+    def local_chunk_fn(chunk):
+        return list(chunk)
+
+    # PAR502 fire: a locally-defined chunk function pickles by a
+    # <locals> qualname no worker can resolve.
+    nested = pool.run_batch(specs, local_chunk_fn)
+
+    def local_hook(index, result):
+        return None
+
+    # Clean: on_result stays in the parent process and never pickles,
+    # so a local callback is fine.
+    hooked = pool.run_batch(specs, module_chunk_fn, on_result=local_hook)
+    return doomed, waved, nested, hooked
+
+
+def module_chunk_fn(chunk):
+    return list(chunk)

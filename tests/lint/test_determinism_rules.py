@@ -275,6 +275,47 @@ class TestFaultsDomain:
         assert len([f for f in findings if f.rule_id == "DET106"]) == 2
 
 
+class TestCampaignDomain:
+    """The campaign orchestrator is policed like engine code: worker
+    randomness flows from seeds, backoff and event timestamps route
+    through ``repro.obs.clock``, and ``run_batch`` payloads pickle."""
+
+    def test_fixture_resolves_into_campaign_domain(self):
+        module = module_name_for(fixture("campaign", "dispatch.py"))
+        assert module == "dirtypkg.campaign.dispatch"
+        assert domain_of(module) == "campaign"
+
+    def test_real_campaign_package_resolves_into_campaign_domain(self):
+        module = module_name_for(
+            os.path.join("src", "repro", "campaign", "pool.py")
+        )
+        assert module == "repro.campaign.pool"
+        assert domain_of(module) == "campaign"
+
+    def test_det101_and_det106_fire_and_their_twins_are_silent(self):
+        findings = findings_for(fixture("campaign", "dispatch.py"))
+        # The fixture also carries the run_batch payload vectors
+        # (PAR501/PAR502) exercised by tests/lint/test_parallel_rules.
+        assert rules_hit(findings) == {
+            "DET101",
+            "DET106",
+            "PAR501",
+            "PAR502",
+        }
+        assert len([f for f in findings if f.rule_id == "DET101"]) == 1
+        assert len([f for f in findings if f.rule_id == "DET106"]) == 1
+
+    def test_stripping_noqa_doubles_the_findings(self):
+        path = fixture("campaign", "dispatch.py")
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        stripped = source.replace("# repro: noqa", "# stripped")
+        _, findings = lint_source(stripped, path)
+        assert len([f for f in findings if f.rule_id == "DET101"]) == 2
+        assert len([f for f in findings if f.rule_id == "DET106"]) == 2
+        assert len([f for f in findings if f.rule_id == "PAR501"]) == 2
+
+
 class TestSoaDomain:
     """The array kernel is core code: its bit-identity contract makes
     unseeded randomness and set-order iteration exactly as fatal as in

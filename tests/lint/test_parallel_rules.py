@@ -143,3 +143,72 @@ class TestPar502LocalCallables:
             select=["PAR501", "PAR502"],
         )
         assert report.findings == []
+
+
+class TestRunBatchSubmission:
+    """The campaign pool's ``run_batch`` is a submission boundary: its
+    items and chunk function pickle into workers, but its ``on_result``
+    callback stays in the parent and may close over anything."""
+
+    def test_lambda_chunk_fn_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                def dispatch(pool, specs):
+                    return pool.run_batch(specs, lambda c: list(c))
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR501"])
+        assert _rules(report) == [("PAR501", 2)]
+        assert "run_batch" in report.findings[0].message
+
+    def test_local_chunk_fn_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                def dispatch(pool, specs):
+                    def chunk_fn(chunk):
+                        return list(chunk)
+
+                    return pool.run_batch(specs, chunk_fn)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR502"])
+        assert _rules(report) == [("PAR502", 5)]
+
+    def test_parent_side_on_result_callback_is_clean(self, write_tree):
+        # on_result fires in the parent after the chunk's results come
+        # back; it never crosses the pickle boundary.
+        root = write_tree(
+            {
+                "pkg/mod.py": """\
+                def module_chunk_fn(chunk):
+                    return list(chunk)
+
+                def dispatch(pool, specs, sink):
+                    def hook(index, result):
+                        sink.append(result)
+
+                    return pool.run_batch(
+                        specs, module_chunk_fn, on_result=hook
+                    )
+                """,
+            }
+        )
+        report = lint_paths([root], select=["PAR501", "PAR502"])
+        assert report.findings == []
+
+    def test_fixture_pair_fires_and_suppresses(self):
+        import os
+
+        here = os.path.dirname(__file__)
+        path = os.path.join(
+            here, "fixtures", "dirtypkg", "campaign", "dispatch.py"
+        )
+        report = lint_paths([path], select=["PAR501", "PAR502"])
+        assert sorted(f.rule_id for f in report.findings) == [
+            "PAR501",
+            "PAR502",
+        ]

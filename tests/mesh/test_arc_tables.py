@@ -179,3 +179,29 @@ class TestCache:
         assert cached.neighbor_flat == fresh.neighbor_flat
         assert cached.packed == fresh.packed
         assert cached.out_mask == fresh.out_mask
+
+    def test_cache_evicts_least_recently_used_shape(self, monkeypatch):
+        import repro.mesh.tables as tables_mod
+
+        monkeypatch.setattr(tables_mod, "TABLE_CACHE_LIMIT", 2)
+        tables_mod._TABLE_CACHE.clear()
+
+        first = arc_tables_for(Mesh(2, 3))
+        second = arc_tables_for(Mesh(2, 4))
+        # Touch the first entry so the second becomes least recent.
+        assert arc_tables_for(Mesh(2, 3)) is first
+        # A third shape overflows the limit and evicts Mesh(2, 4).
+        third = arc_tables_for(Mesh(2, 5))
+        assert arc_tables_for(Mesh(2, 3)) is first
+        assert arc_tables_for(Mesh(2, 5)) is third
+        assert arc_tables_for(Mesh(2, 4)) is not second
+        assert len(tables_mod._TABLE_CACHE) == tables_mod.TABLE_CACHE_LIMIT
+
+    def test_cache_stays_within_documented_limit(self, monkeypatch):
+        import repro.mesh.tables as tables_mod
+
+        monkeypatch.setattr(tables_mod, "TABLE_CACHE_LIMIT", 3)
+        tables_mod._TABLE_CACHE.clear()
+        for side in range(3, 10):
+            arc_tables_for(Mesh(2, side))
+        assert len(tables_mod._TABLE_CACHE) == 3
