@@ -73,7 +73,9 @@ LARGE_SIDE = 256
 LARGE_K = 65536
 
 
-def _run_once(strict: bool, fast_path, backend: str = "object") -> tuple:
+def _run_once(
+    strict: bool, fast_path, backend: str = "object", observers=()
+) -> tuple:
     """One full simulation; returns (elapsed seconds, packet-steps)."""
     mesh = Mesh(2, SIDE)
     problem = random_many_to_many(mesh, k=K, seed=SEED)
@@ -85,6 +87,7 @@ def _run_once(strict: bool, fast_path, backend: str = "object") -> tuple:
         validators=validators_for(policy, strict=strict),
         fast_path=fast_path,
         backend=backend,
+        observers=list(observers),
     )
     start = time.perf_counter()
     result = engine.run()
@@ -182,6 +185,29 @@ def _best_rate(run_once, repeats: int) -> float:
     best = None
     for _ in range(repeats):
         elapsed, packet_steps = run_once()
+        rate = packet_steps / elapsed
+        if best is None or rate > best:
+            best = rate
+    return best
+
+
+def _observed_throughput(repeats: int) -> float:
+    """Best-of-N fast-path packet-steps/sec with obs recorders attached.
+
+    The recorders are the summary-fed pair (``RunMetricsRecorder`` +
+    ``StepSeries``) that ``--series`` and campaign metric folding use:
+    ``needs_steps=False``, so the engine stays on the lean loop and the
+    entire observability cost is the per-step summary dispatch.  Fresh
+    recorders per attempt keep run state independent.
+    """
+    from repro.obs.metrics import RunMetricsRecorder
+    from repro.obs.series import SeriesRecorder
+
+    best = None
+    for _ in range(repeats):
+        elapsed, packet_steps = _run_once(
+            False, True, observers=[RunMetricsRecorder(), SeriesRecorder()]
+        )
         rate = packet_steps / elapsed
         if best is None or rate > best:
             best = rate
@@ -329,6 +355,7 @@ def build_record(
     strict = _throughput(True, None, repeats)
     instrumented = _throughput(False, False, repeats)
     fast = _throughput(False, True, repeats)
+    observed = _observed_throughput(repeats)
     soa = _throughput(False, None, repeats, backend="soa")
     buffered = _best_rate(_run_buffered_once, repeats)
     dynamic = _best_rate(partial(_run_dynamic_once, False), repeats)
@@ -361,6 +388,17 @@ def build_record(
             f"{DYNAMIC_STEPS} steps, warmup {DYNAMIC_WARMUP}, seed {SEED}"
         ),
         "fast_over_instrumented": round(fast / instrumented, 2),
+        #: Cost of the summary-fed obs layer on the lean loop: the
+        #: fast-path row re-run with RunMetricsRecorder + StepSeries
+        #: attached.  ``overhead`` is the fractional throughput drop
+        #: ((plain - observed) / plain); the regression guard fails it
+        #: above the tolerance, measured fresh each run (no baseline
+        #: entry needed).
+        "obs_overhead": {
+            "plain": round(fast, 1),
+            "observed": round(observed, 1),
+            "overhead": round(max(0.0, 1.0 - observed / fast), 4),
+        },
         #: Lean-path time attribution, from one profiled fast-path run
         #: (fractions of total kernel time, keyed by PHASES order).
         "phase_time_shares": phase_shares,
@@ -414,20 +452,30 @@ def check_lean_regression(
     seconds for the 8-seed sweep and campaign tables (lower is better)
     — is within ``tolerance`` of the most recent record in the
     trajectory file, and a human-readable warning otherwise.  The
-    guard is advisory by default because absolute timings vary across
-    machines; same-host CI promotes it to a failure with
-    ``--fail-on-regression``.
+    ``obs_overhead`` figure is guarded against the same-run plain row
+    rather than history (both throughputs come from this record), so
+    it fires even on a fresh trajectory file.  The guard is advisory
+    by default because absolute timings vary across machines; same-host
+    CI promotes it to a failure with ``--fail-on-regression``.
     """
-    if not os.path.exists(path):
-        return ""
-    with open(path, "r", encoding="utf-8") as handle:
-        content = handle.read().strip()
-    if not content:
-        return ""
-    history = json.loads(content)
-    if not history:
-        return ""
     warnings = []
+    overhead = (record.get("obs_overhead") or {}).get("overhead")
+    if overhead is not None and overhead > tolerance:
+        warnings.append(
+            f"obs overhead regression: summary-fed recorders cost "
+            f"{overhead:.1%} of lean throughput "
+            f"({record['obs_overhead']['observed']:.1f} vs "
+            f"{record['obs_overhead']['plain']:.1f} packet-steps/s); "
+            f"tolerance is {tolerance:.0%}"
+        )
+    history = []
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read().strip()
+        if content:
+            history = json.loads(content)
+    if not history:
+        return "; ".join(warnings)
     for row in GUARDED_ROWS:
         previous = history[-1]["packet_steps_per_sec"].get(row)
         current = record["packet_steps_per_sec"].get(row)

@@ -21,7 +21,11 @@ mesh pickling per sweep.  The package splits into four layers:
   (append-only JSONL: ``case-queued`` / ``case-started`` /
   ``case-finished`` / ``case-failed``) and the
   :class:`~repro.campaign.orchestrator.Campaign` front door with
-  crash-safe resume.
+  crash-safe resume;
+* :mod:`repro.campaign.progress` — live progress
+  (:class:`~repro.campaign.progress.CampaignProgress`, counts /
+  throughput / ETA) reconstructed purely from the event log, behind
+  ``repro campaign status --watch``.
 
 The legacy factory-based harness (``repro.analysis.runner``) routes
 its process fan-out through :class:`WorkerPool` too, so chaos-recovery
@@ -30,17 +34,25 @@ behavior is shared rather than duplicated.
 
 from repro.campaign.orchestrator import Campaign, CampaignResult
 from repro.campaign.pool import WorkerPool
+from repro.campaign.progress import (
+    CampaignProgress,
+    registry_from_state,
+    watch,
+)
 from repro.campaign.results import CaseFailure, ExperimentPoint
 from repro.campaign.spec import CaseSpec, spec_key
 from repro.campaign.store import CampaignStore
 
 __all__ = [
     "Campaign",
+    "CampaignProgress",
     "CampaignResult",
     "CampaignStore",
     "CaseFailure",
     "CaseSpec",
     "ExperimentPoint",
     "WorkerPool",
+    "registry_from_state",
     "spec_key",
+    "watch",
 ]

@@ -39,6 +39,7 @@ from repro.campaign.results import (
 from repro.campaign.spec import CaseSpec, spec_key
 from repro.campaign.store import CampaignStore
 from repro.campaign.worker import execute_chunk, initialize_worker
+from repro.obs.metrics import MetricRegistry, fold_telemetry
 from repro.obs.telemetry import RunTelemetry
 
 __all__ = ["Campaign", "CampaignResult"]
@@ -105,6 +106,15 @@ class Campaign:
                 + ", ".join(sorted(duplicates))
             )
         self.store = store
+        #: Campaign-level aggregate metrics.  As each worker result
+        #: lands in ``on_result`` its metric snapshot (the telemetry
+        #: riding on the point) is folded in — counters add, peaks
+        #: take the max — alongside lifecycle counters, so the
+        #: registry is live *during* :meth:`run`, not just after.
+        #: The fold is order-independent, so pooled completion order
+        #: cannot change the aggregate.  Accumulates across repeated
+        #: :meth:`run` calls on the same campaign object.
+        self.metrics = MetricRegistry()
         self._owns_pool = pool is None
         if pool is None:
             pool = WorkerPool(
@@ -186,6 +196,18 @@ class Campaign:
             }
         return self.store.status()
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Schema-versioned snapshot of the campaign-level aggregates
+        (export with :func:`repro.obs.export.render_prometheus`)."""
+        return self.metrics.snapshot()
+
+    def _fold_point(self, point: ExperimentPoint, counter: str) -> None:
+        self.metrics.counter(
+            f"repro_campaign_cases_{counter}_total",
+            f"Campaign cases {counter}",
+        ).inc()
+        fold_telemetry(self.metrics, point.result.telemetry)
+
     def run(self) -> CampaignResult:
         """Execute every open case; returns points in spec order.
 
@@ -214,6 +236,9 @@ class Campaign:
             if fresh:
                 self.store.queue(fresh)
 
+        for point in restored.values():
+            self._fold_point(point, "restored")
+
         position = {key: index for index, key in enumerate(self.keys)}
         pending = [key for key in self.keys if key not in restored]
         pending.sort(
@@ -230,6 +255,13 @@ class Campaign:
             ) -> None:
                 key = pending[index]
                 outcome[key] = result
+                if isinstance(result, CaseFailure):
+                    self.metrics.counter(
+                        "repro_campaign_cases_failed_total",
+                        "Campaign cases failed",
+                    ).inc()
+                else:
+                    self._fold_point(result, "finished")
                 if self.store is None:
                     return
                 if isinstance(result, CaseFailure):

@@ -1,0 +1,182 @@
+"""Live campaign progress, reconstructed from the event log alone.
+
+``repro campaign status --watch`` must never touch the running pool —
+a watcher is a second process with no channel to the orchestrator.  It
+does not need one: every lifecycle transition is already an fsynced
+event in the :class:`~repro.campaign.store.CampaignStore` log, each
+stamped with ``created_at``.  :class:`CampaignProgress` is the pure
+fold of one :class:`~repro.campaign.store.CampaignState` into the
+numbers a progress display wants — state counts, completion fraction,
+throughput, ETA — and :func:`watch` is the polling loop around it.
+
+Everything here derives from event timestamps; the only wall-clock
+touches are the inter-poll sleeps, which go through the sanctioned
+:func:`repro.obs.clock.sleep_for` (lint rules DET106/OBS602).
+Throughput is finished-cases per second over the window from the first
+dispatch (or first queue, for restored logs) to the latest finish; the
+ETA extrapolates that rate over the still-pending cases, failed cases
+included — an immutable log makes them re-runnable, so they are still
+owed work.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import IO, Optional
+
+from repro.campaign.store import CampaignState, CampaignStore
+from repro.obs.clock import sleep_for
+from repro.obs.metrics import MetricRegistry, fold_telemetry
+
+__all__ = ["CampaignProgress", "registry_from_state", "watch"]
+
+
+def _parse_iso(stamp: str) -> Optional[datetime.datetime]:
+    try:
+        return datetime.datetime.fromisoformat(stamp)
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """One snapshot of campaign progress (a pure fold of the log)."""
+
+    total: int
+    queued: int
+    started: int
+    finished: int
+    failed: int
+    pending: int
+    #: Finished cases per second over the observed window; ``None``
+    #: until at least one case finished over a measurable window.
+    throughput: Optional[float]
+    #: Seconds of work remaining at the observed throughput; ``None``
+    #: whenever ``throughput`` is.
+    eta_seconds: Optional[float]
+    #: Log lines replay could not apply (torn tails, foreign lines).
+    errors: int
+
+    @property
+    def done(self) -> bool:
+        """True when no case is owed a result."""
+        return self.pending == 0
+
+    @property
+    def fraction(self) -> float:
+        """Finished fraction in [0, 1] (1.0 for an empty campaign)."""
+        return self.finished / self.total if self.total else 1.0
+
+    @classmethod
+    def from_state(cls, state: CampaignState) -> "CampaignProgress":
+        counts = state.counts()
+        pending = len(state.pending())
+        throughput: Optional[float] = None
+        eta: Optional[float] = None
+        finish_times = [
+            parsed
+            for parsed in (
+                _parse_iso(stamp) for stamp in state.finished_at.values()
+            )
+            if parsed is not None
+        ]
+        anchor_stamps = state.started_at or state.queued_at
+        anchor_times = [
+            parsed
+            for parsed in (
+                _parse_iso(stamp) for stamp in anchor_stamps.values()
+            )
+            if parsed is not None
+        ]
+        if finish_times and anchor_times:
+            window = (max(finish_times) - min(anchor_times)).total_seconds()
+            if window > 0:
+                throughput = counts["finished"] / window
+                if throughput > 0:
+                    eta = pending / throughput
+        return cls(
+            total=len(state.order),
+            queued=counts["queued"],
+            started=counts["started"],
+            finished=counts["finished"],
+            failed=counts["failed"],
+            pending=pending,
+            throughput=throughput,
+            eta_seconds=eta,
+            errors=len(state.errors),
+        )
+
+    def render(self) -> str:
+        """One status line, stable enough to grep in CI."""
+        parts = [
+            f"campaign: {self.total} cases",
+            (
+                f"queued {self.queued} started {self.started} "
+                f"finished {self.finished} failed {self.failed}"
+            ),
+            f"{self.fraction * 100.0:.1f}% done",
+        ]
+        if self.throughput is not None:
+            parts.append(f"{self.throughput:.2f} case/s")
+        if self.eta_seconds is not None and not self.done:
+            parts.append(f"eta ~{self.eta_seconds:.0f}s")
+        if self.errors:
+            parts.append(f"{self.errors} log errors")
+        return " | ".join(parts)
+
+
+def registry_from_state(state: CampaignState) -> MetricRegistry:
+    """Campaign-level aggregate metrics from a replayed event log.
+
+    The same fold :class:`~repro.campaign.orchestrator.Campaign`
+    maintains live during a run, recomputed offline for a watcher
+    process: lifecycle counts land in
+    ``repro_campaign_cases_<state>_total`` counters and every finished
+    point's telemetry folds in through
+    :func:`repro.obs.metrics.fold_telemetry` (counters add, peaks take
+    the max), so ``repro campaign status --prometheus`` renders the
+    identical aggregates from the log file alone.
+    """
+    registry = MetricRegistry()
+    counts = state.counts()
+    for name in ("queued", "started", "finished", "failed"):
+        registry.counter(
+            f"repro_campaign_cases_{name}_total",
+            f"Campaign cases currently {name}",
+        ).inc(counts[name])
+    for point in state.points.values():
+        fold_telemetry(registry, point.result.telemetry)
+    return registry
+
+
+def watch(
+    store: CampaignStore,
+    *,
+    interval: float = 1.0,
+    stream: Optional[IO[str]] = None,
+    max_polls: Optional[int] = None,
+) -> CampaignProgress:
+    """Tail a campaign's event log until it has no pending work.
+
+    Replays the log every ``interval`` seconds, writing one rendered
+    progress line per poll to ``stream`` (default: stdout).  Returns
+    the final snapshot.  A finished (or empty) store returns after a
+    single poll, so pointing ``--watch`` at a completed campaign is a
+    cheap one-shot.  ``max_polls`` bounds the loop for tests and for
+    watching a campaign whose driver may have died.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    polls = 0
+    while True:
+        progress = CampaignProgress.from_state(store.replay())
+        out.write(progress.render() + "\n")
+        out.flush()
+        polls += 1
+        if progress.done:
+            return progress
+        if max_polls is not None and polls >= max_polls:
+            return progress
+        sleep_for(interval)

@@ -84,6 +84,13 @@ class CampaignState:
     points: Dict[str, ExperimentPoint] = field(default_factory=dict)
     failures: Dict[str, CaseFailure] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
+    #: Event ``created_at`` stamps per key: when the case was first
+    #: queued, last dispatched, and first finished.  Live progress
+    #: (:mod:`repro.campaign.progress`) derives throughput and ETA from
+    #: these alone, so a watcher needs nothing but the log file.
+    queued_at: Dict[str, str] = field(default_factory=dict)
+    started_at: Dict[str, str] = field(default_factory=dict)
+    finished_at: Dict[str, str] = field(default_factory=dict)
 
     def pending(self) -> List[str]:
         """Keys still owed a result, in execution order.
@@ -129,7 +136,7 @@ class CampaignStore:
             "schema_version": EVENT_SCHEMA_VERSION,
             "event": kind,
             "key": key,
-            "created_at": utc_now_iso(),
+            "created_at": utc_now_iso(timespec="milliseconds"),
         }
         event.update(payload)
         return event
@@ -204,11 +211,15 @@ class CampaignStore:
             raise ValueError(f"unknown event kind {kind!r}")
         if not isinstance(key, str) or not key:
             raise ValueError(f"event {kind!r} without a case key")
+        created_at = data.get("created_at")
+        stamp = created_at if isinstance(created_at, str) else ""
         if kind == "case-queued":
             if key not in state.specs:
                 state.specs[key] = CaseSpec.from_dict(data["spec"])
                 state.order.append(key)
                 state.status[key] = "queued"
+                if stamp:
+                    state.queued_at[key] = stamp
             return
         if key not in state.specs:
             raise ValueError(f"event {kind!r} for unqueued key {key!r}")
@@ -219,9 +230,13 @@ class CampaignStore:
             return
         if kind == "case-started":
             state.status[key] = "started"
+            if stamp:
+                state.started_at[key] = stamp
         elif kind == "case-finished":
             state.points[key] = point_from_dict(data["point"])
             state.status[key] = "finished"
+            if stamp:
+                state.finished_at[key] = stamp
         elif kind == "case-failed":
             state.failures[key] = CaseFailure.from_dict(data["failure"])
             state.status[key] = "failed"

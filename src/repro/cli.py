@@ -112,6 +112,37 @@ def _telemetry_observers(args: argparse.Namespace, command: str) -> list:
     return [JsonlRunLogger(args.telemetry, command=command)]
 
 
+def _series_recorder(args: argparse.Namespace):
+    """A :class:`SeriesRecorder` for ``--series PATH`` (or None).
+
+    The recorder is summary-fed (``needs_steps=False``), so attaching
+    it never disqualifies the lean loop or the soa kernel.
+    """
+    if not getattr(args, "series", None):
+        return None
+    from repro.obs.series import SeriesRecorder
+
+    return SeriesRecorder()
+
+
+def _write_series(args: argparse.Namespace, recorder, command: str) -> None:
+    """Export a recorder's series to ``--series PATH`` (JSONL)."""
+    if recorder is None:
+        return
+    from repro.obs.export import write_series_jsonl
+
+    meta = {
+        "command": command,
+        "workload": args.workload,
+        "policy": args.policy or "",
+        "engine": args.engine,
+        "backend": args.backend,
+        "seed": args.seed,
+    }
+    samples = write_series_jsonl(recorder.series, args.series, meta=meta)
+    print(f"series written to {args.series} ({samples} samples)")
+
+
 def _resolve_policy(args: argparse.Namespace):
     """Resolve ``--policy`` against ``--engine``; returns (name, policy).
 
@@ -181,12 +212,20 @@ def cmd_route(args: argparse.Namespace) -> int:
             "--telemetry logs plain engine runs; it does not combine "
             "with --verify/--save-trace"
         )
+    if args.series and (args.verify or args.save_trace):
+        raise SystemExit(
+            "--series records plain engine runs; it does not combine "
+            "with --verify/--save-trace"
+        )
     if args.faults and (args.verify or args.save_trace):
         raise SystemExit(
             "--faults injects failures into plain engine runs; it does "
             "not combine with --verify/--save-trace"
         )
     observers = _telemetry_observers(args, "route")
+    series = _series_recorder(args)
+    if series is not None:
+        observers = observers + [series]
     faults = _load_faults(args, mesh)
 
     if args.backend == "soa":
@@ -216,6 +255,7 @@ def cmd_route(args: argparse.Namespace) -> int:
         print(f"max buffer occupancy: {buffered_engine.max_buffer_seen}")
         if args.telemetry:
             print(f"manifest appended to {args.telemetry}")
+        _write_series(args, series, "route")
         return 0 if result.completed else 1
 
     if args.verify:
@@ -245,6 +285,7 @@ def cmd_route(args: argparse.Namespace) -> int:
         result = engine.run()
         if args.telemetry:
             print(f"manifest appended to {args.telemetry}")
+        _write_series(args, series, "route")
 
     print(result.summary())
     _print_fault_outcome(result)
@@ -528,6 +569,39 @@ def _print_campaign_result(result) -> int:
     return 0 if result.all_completed() else 1
 
 
+def _append_campaign_manifests(campaign, result, path: str) -> None:
+    """One manifest per finished point for ``--telemetry PATH``.
+
+    Points come back in spec order with failed cases skipped, so
+    filtering the failure keys out of the campaign's own key/spec
+    pairing realigns specs with points.
+    """
+    from repro.obs.manifest import append_manifest, manifest_from_run_result
+
+    failed = {failure.key for failure in result.failures}
+    specs = [
+        spec
+        for key, spec in zip(campaign.keys, campaign.specs)
+        if key not in failed
+    ]
+    for spec, point in zip(specs, result.points):
+        append_manifest(
+            manifest_from_run_result(
+                point.result,
+                command="campaign",
+                engine=spec.engine,
+                workload=spec.workload,
+                case=dict(point.params),
+            ),
+            path,
+        )
+    print(
+        f"{len(result.points)} manifest"
+        + ("" if len(result.points) == 1 else "s")
+        + f" appended to {path}"
+    )
+
+
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.campaign import Campaign, CampaignStore
 
@@ -535,6 +609,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     store = CampaignStore(args.store) if args.store else None
     with Campaign(specs, store=store, workers=args.workers) as campaign:
         result = campaign.run()
+    if args.telemetry:
+        _append_campaign_manifests(campaign, result, args.telemetry)
     return _print_campaign_result(result)
 
 
@@ -546,22 +622,38 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
         raise SystemExit(f"no cases queued in {args.store}")
     with campaign:
         result = campaign.run()
+    if args.telemetry:
+        _append_campaign_manifests(campaign, result, args.telemetry)
     return _print_campaign_result(result)
 
 
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignStore
 
-    state = CampaignStore(args.store).replay()
+    store = CampaignStore(args.store)
+    state = store.replay()
     if not state.order:
         raise SystemExit(f"no cases queued in {args.store}")
-    counts = state.counts()
-    total = len(state.order)
-    print(f"{total} cases in {args.store}")
-    for name in ("finished", "started", "queued", "failed"):
-        print(f"  {name:9s} {counts[name]}")
-    for problem in state.errors:
-        print(f"  damaged line skipped: {problem}")
+    if args.watch:
+        from repro.campaign import watch
+
+        watch(store, interval=args.interval, max_polls=args.max_polls)
+        state = store.replay()
+    else:
+        counts = state.counts()
+        total = len(state.order)
+        print(f"{total} cases in {args.store}")
+        for name in ("finished", "started", "queued", "failed"):
+            print(f"  {name:9s} {counts[name]}")
+        for problem in state.errors:
+            print(f"  damaged line skipped: {problem}")
+    if args.prometheus:
+        from repro.campaign import registry_from_state
+        from repro.obs.export import render_prometheus
+
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(registry_from_state(state)))
+        print(f"prometheus metrics written to {args.prometheus}")
     return 0
 
 
@@ -654,6 +746,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         metavar="PATH",
         help="append a structured run manifest (JSONL) for this run",
+    )
+    route.add_argument(
+        "--series",
+        metavar="PATH",
+        help="export the per-step time series (phi, in-flight, "
+        "deflections, max node load) as schema-versioned JSONL; "
+        "summary-fed, so the lean loop and the soa kernel stay eligible",
     )
     route.add_argument(
         "--faults",
@@ -809,6 +908,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="event-log JSONL; with it the campaign is durable and "
         "resumable (repro campaign resume)",
     )
+    campaign_run.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="append one run manifest (JSONL) per finished case",
+    )
     campaign_run.set_defaults(func=cmd_campaign_run)
 
     campaign_resume = campaign_commands.add_parser(
@@ -821,6 +925,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_resume.add_argument(
         "--workers", type=int, default=1, help="persistent pool size"
     )
+    campaign_resume.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="append one run manifest (JSONL) per finished case",
+    )
     campaign_resume.set_defaults(func=cmd_campaign_resume)
 
     campaign_status = campaign_commands.add_parser(
@@ -828,6 +937,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_status.add_argument(
         "--store", metavar="PATH", required=True, help="event-log JSONL"
+    )
+    campaign_status.add_argument(
+        "--watch",
+        action="store_true",
+        help="tail the event log, printing one progress line per poll "
+        "(counts, throughput, ETA) until no case is pending; never "
+        "touches the running pool",
+    )
+    campaign_status.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between --watch polls (default 1.0)",
+    )
+    campaign_status.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        help="stop --watch after N polls even if cases are pending "
+        "(bounds watching a campaign whose driver died)",
+    )
+    campaign_status.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        help="write campaign-level aggregates (lifecycle counters plus "
+        "folded per-run telemetry) in Prometheus text exposition format",
     )
     campaign_status.set_defaults(func=cmd_campaign_status)
 

@@ -20,7 +20,7 @@ unchanged by that, and ``RunResult.seed`` now uses the shared
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
@@ -125,6 +125,7 @@ class BufferedEngine:
             )
         self.packets: List[Packet] = problem.make_packets()
         self._metrics: List[StepMetrics] = []
+        self._summary_sinks: List[Any] = []
         self._max_buffer_seen = 0
         self._started = False
         self._kernel = StepKernel(
@@ -235,6 +236,8 @@ class BufferedEngine:
         if summary.max_node_load > self._max_buffer_seen:
             self._max_buffer_seen = summary.max_node_load
         self._metrics.append(step_metrics_from_summary(summary))
+        for sink in self._summary_sinks:
+            sink(summary)
 
     def _start(self) -> None:
         if self._started:
@@ -250,5 +253,10 @@ class BufferedEngine:
             else:
                 remaining.append(packet)
         self._kernel.seed_packets(remaining, delivered_total=delivered)
+        self._summary_sinks = [
+            o.on_summary
+            for o in self.observers
+            if getattr(o, "needs_summaries", False)
+        ]
         for observer in self.observers:
             observer.on_run_start(self)

@@ -215,6 +215,7 @@ class HotPotatoEngine:
         self.packets: List[Packet] = problem.make_packets()
         self._records: List[StepRecord] = []
         self._metrics: List[StepMetrics] = []
+        self._summary_sinks: List[Any] = []
         self._started = False
         self._kernel = StepKernel(
             self.mesh,
@@ -336,8 +337,8 @@ class HotPotatoEngine:
         """Execute one synchronous step and return its record."""
         self._start()
         record, summary = self._kernel.step_instrumented(self.validators)
-        metrics = step_metrics_from_summary(summary)
-        self._metrics.append(metrics)
+        self._emit_lean(summary)
+        metrics = self._metrics[-1]
         if self.record_steps:
             self._records.append(record)
         for observer in self.observers:
@@ -396,6 +397,11 @@ class HotPotatoEngine:
             else:
                 remaining.append(packet)
         self._kernel.seed_packets(remaining, delivered_total=delivered)
+        self._summary_sinks = [
+            o.on_summary
+            for o in self.observers
+            if getattr(o, "needs_summaries", False)
+        ]
         for observer in self.observers:
             observer.on_run_start(self)
 
@@ -424,6 +430,8 @@ class HotPotatoEngine:
 
     def _emit_lean(self, summary: StepSummary) -> None:
         self._metrics.append(step_metrics_from_summary(summary))
+        for sink in self._summary_sinks:
+            sink(summary)
 
     def _build_result(self) -> RunResult:
         return build_run_result(

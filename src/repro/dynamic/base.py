@@ -18,7 +18,7 @@ the batch engines' :class:`~repro.core.metrics.RunResult`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
@@ -116,6 +116,7 @@ class DynamicEngineBase:
             )
         self._source = self._make_source(traffic)
         self._stats = DynamicStats(warmup=warmup)
+        self._summary_sinks: List[Any] = []
         self._started = False
         self._kernel = StepKernel(
             mesh,
@@ -249,6 +250,11 @@ class DynamicEngineBase:
         empty = RoutingProblem(mesh=self.mesh, requests=(), name="dynamic")
         self.policy.prepare(self.mesh, empty, self.rng)
         self._source.prepare(self.mesh, self.rng)
+        self._summary_sinks = [
+            o.on_summary
+            for o in self.observers
+            if getattr(o, "needs_summaries", False)
+        ]
         for observer in self.observers:
             observer.on_run_start(self)
 
@@ -265,6 +271,8 @@ class DynamicEngineBase:
                 backlog=self._sample_backlog(summary),
             )
         )
+        for sink in self._summary_sinks:
+            sink(summary)
 
     def _on_deliver(self, packet: Packet) -> None:
         generated = self._source.generated_at.pop(packet.id)

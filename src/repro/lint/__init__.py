@@ -24,6 +24,7 @@ from repro.lint.dataflow import DATAFLOW_RULES
 from repro.lint.contracts import CONTRACT_RULES
 from repro.lint.arrays import ARRAY_RULES
 from repro.lint.parallel import PARALLEL_RULES
+from repro.lint.obs import OBS_RULES
 from repro.lint.baseline import Baseline, load_baseline, write_baseline
 from repro.lint.findings import Finding, Severity
 from repro.lint.project import ProjectModel, SymbolTable
@@ -44,6 +45,7 @@ ALL_RULE_FAMILIES = (
     CONTRACT_RULES,
     ARRAY_RULES,
     PARALLEL_RULES,
+    OBS_RULES,
 )
 
 __all__ = [
@@ -53,6 +55,7 @@ __all__ = [
     "CONTRACT_RULES",
     "DATAFLOW_RULES",
     "DETERMINISM_RULES",
+    "OBS_RULES",
     "Finding",
     "LintReport",
     "PARALLEL_RULES",

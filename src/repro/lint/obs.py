@@ -1,0 +1,138 @@
+"""Observability-layer discipline rules (OBS6xx).
+
+The metric registry (:mod:`repro.obs.metrics`) is deterministic only
+if every metric in a process is owned by a registry: get-or-create by
+name, kind-checked, merged with the commutative counter-add / gauge-max
+fold.  A :class:`Counter` constructed directly floats free of any
+snapshot or merge, so campaign aggregation silently loses it — the
+same shape of bug as an unseeded RNG, and caught the same way:
+
+* ``OBS601`` — a metric class (``Counter`` / ``Gauge`` / ``Histogram``
+  from ``obs.metrics``) is instantiated directly instead of through
+  ``MetricRegistry.counter()`` / ``.gauge()`` / ``.histogram()``;
+* ``OBS602`` — an observability module imports ``time`` or
+  ``datetime`` at all.  DET106 already flags wall-clock *calls* in the
+  obs domain; OBS602 is the stricter import-level gate that closes the
+  aliasing holes call resolution cannot see (``from time import
+  monotonic as t``).  ``obs.clock`` is the one sanctioned home.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+__all__ = ["OBS_RULES"]
+
+#: Rule ids this module registers, in registration order.
+OBS_RULES: Tuple[str, ...] = ("OBS601", "OBS602")
+
+#: Metric classes the registry owns; a direct call to any of these
+#: (resolved through the import map, so ``collections.Counter`` never
+#: matches) bypasses get-or-create, kind checking, and merging.
+_METRIC_CLASSES: FrozenSet[str] = frozenset(
+    {"Counter", "Gauge", "Histogram"}
+)
+
+#: Registry factory methods to suggest per class.
+_FACTORY_FOR = {
+    "Counter": "counter",
+    "Gauge": "gauge",
+    "Histogram": "histogram",
+}
+
+#: Module roots OBS602 refuses outside ``obs.clock``.
+_CLOCK_MODULES: FrozenSet[str] = frozenset({"time", "datetime"})
+
+
+@register
+class RegistryBypassRule(Rule):
+    """OBS601 — metrics must be created through a ``MetricRegistry``.
+
+    Registry ownership is what makes the metric layer mergeable:
+    ``snapshot()`` only sees registered metrics, ``merge()`` only folds
+    them, and the campaign aggregate is exactly the sum of its runs.
+    A directly-constructed metric object still counts — and then
+    vanishes from every export.  The rule fires on any call whose
+    resolved origin is a metric class of ``obs.metrics``; the module
+    itself is exempt (its get-or-create helpers and snapshot decoding
+    are the sanctioned construction sites).
+    """
+
+    id = "OBS601"
+    name = "registry-bypass"
+    description = (
+        "metric class instantiated directly instead of through "
+        "MetricRegistry get-or-create"
+    )
+    severity = Severity.ERROR
+    domains = None  # a free-floating metric is wrong in any layer
+    exempt_modules = ("obs.metrics",)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        resolve = context.imports.resolve
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve(node.func)
+            if origin is None:
+                continue
+            head, _, cls = origin.rpartition(".")
+            if cls not in _METRIC_CLASSES:
+                continue
+            if not (head == "obs.metrics" or head.endswith(".obs.metrics")):
+                continue
+            yield self.finding(
+                context,
+                node,
+                f"{origin}() constructs a metric outside the registry; "
+                f"use MetricRegistry.{_FACTORY_FOR[cls]}() so the metric "
+                "participates in snapshots and campaign merges",
+            )
+
+
+@register
+class ObsClockImportRule(Rule):
+    """OBS602 — obs modules must not import ``time`` or ``datetime``.
+
+    The observability layer feeds deterministic artifacts — golden
+    series fixtures, bit-identity differentials, schema-versioned
+    exports — so a stray timestamp is a reproducibility bug, not a
+    style issue.  DET106 flags wall-clock *call sites*, but resolution
+    is blind to ``from time import monotonic as tick``; refusing the
+    import closes that hole.  :mod:`repro.obs.clock` is the sanctioned
+    home of raw clock reads (exempt below); everything else in the
+    domain takes its timestamps from the clock module's helpers.
+    """
+
+    id = "OBS602"
+    name = "obs-clock-import"
+    description = (
+        "time/datetime imported in an obs module outside obs.clock"
+    )
+    severity = Severity.ERROR
+    domains = frozenset({"obs"})
+    exempt_modules = ("obs.clock",)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                names = [node.module] if node.module else []
+            else:
+                continue
+            for name in names:
+                root = name.split(".", 1)[0]
+                if root in _CLOCK_MODULES:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"obs module imports {name!r}; wall-clock access "
+                        "in the observability layer is confined to "
+                        "obs.clock — call its helpers instead",
+                    )

@@ -35,8 +35,10 @@ def sleep_for(seconds: float) -> None:
     time.sleep(seconds)
 
 
-def utc_now_iso() -> str:
-    """Current UTC wall time as an ISO-8601 string (manifests only)."""
+def utc_now_iso(timespec: str = "seconds") -> str:
+    """Current UTC wall time as an ISO-8601 string (manifests and the
+    campaign event log; the latter passes ``"milliseconds"`` so live
+    progress can compute sub-second throughput)."""
     return datetime.datetime.now(datetime.timezone.utc).isoformat(
-        timespec="seconds"
+        timespec=timespec
     )

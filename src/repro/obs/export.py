@@ -1,0 +1,279 @@
+"""Schema-versioned exporters: JSONL sinks and Prometheus text.
+
+Three export surfaces, all deterministic renderings of in-memory
+observability state (no clocks, no sampling — byte-identical output
+for byte-identical input):
+
+* :func:`write_series_jsonl` / :func:`read_series_jsonl` — a
+  :class:`~repro.obs.series.StepSeries` as a header line plus one
+  sample object per line (``SERIES_SCHEMA_VERSION`` stamped on the
+  header, validated on read).
+* :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — a
+  :class:`~repro.obs.tracing.PacketTrace` in the same shape under
+  ``TRACE_SCHEMA_VERSION``.
+* :func:`render_prometheus` — a
+  :class:`~repro.obs.metrics.MetricRegistry` snapshot in the
+  Prometheus text exposition format (``# HELP``/``# TYPE`` headers,
+  cumulative ``_bucket{le="..."}`` histogram lines), so any scraper or
+  ``promtool check metrics`` can consume campaign aggregates.
+
+Like the rest of the low-level obs layer this module never imports
+``repro.core``; it renders whatever payloads it is handed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.obs.series import (
+    SERIES_COLUMNS,
+    SERIES_SCHEMA_VERSION,
+    StepSeries,
+)
+from repro.obs.tracing import TRACE_SCHEMA_VERSION, PacketTrace, TraceEvent
+
+__all__ = [
+    "read_series_jsonl",
+    "read_trace_jsonl",
+    "render_prometheus",
+    "write_series_jsonl",
+    "write_trace_jsonl",
+]
+
+
+def _write_jsonl(
+    path: Union[str, "os.PathLike[str]"],
+    lines: List[Dict[str, Any]],
+    fsync: bool,
+) -> None:
+    with open(path, "a", encoding="utf-8") as handle:
+        for payload in lines:
+            handle.write(
+                json.dumps(payload, separators=(",", ":"), sort_keys=True)
+            )
+            handle.write("\n")
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+
+
+# ----------------------------------------------------------------------
+# Series
+# ----------------------------------------------------------------------
+
+
+def write_series_jsonl(
+    series: StepSeries,
+    path: Union[str, "os.PathLike[str]"],
+    *,
+    meta: Optional[Mapping[str, Any]] = None,
+    fsync: bool = False,
+) -> int:
+    """Append a series to ``path``: one header line, one line per
+    sample.  ``meta`` (run identification — policy, seed, case key) is
+    embedded in the header under ``"meta"``.  Returns the number of
+    sample lines written.
+    """
+    payload = series.to_dict()
+    columns = payload.pop("columns")
+    header: Dict[str, Any] = {"kind": "series-header", **payload}
+    if meta is not None:
+        header["meta"] = dict(meta)
+    names = list(SERIES_COLUMNS)
+    lines = [header]
+    for row in zip(*(columns[name] for name in names)):
+        sample: Dict[str, Any] = {"kind": "sample"}
+        sample.update(zip(names, row))
+        lines.append(sample)
+    _write_jsonl(path, lines, fsync)
+    return len(lines) - 1
+
+
+def read_series_jsonl(
+    path: Union[str, "os.PathLike[str]"],
+) -> List[Tuple[Dict[str, Any], StepSeries]]:
+    """Read every (header, series) pair appended to ``path``.
+
+    Strict: unknown kinds, schema-version mismatches, samples before a
+    header, and header/sample count disagreements all raise
+    ``ValueError`` — an exported series is a proof artifact, not a log.
+    """
+    results: List[Tuple[Dict[str, Any], StepSeries]] = []
+    header: Optional[Dict[str, Any]] = None
+    series: Optional[StepSeries] = None
+
+    def _finish() -> None:
+        if header is None or series is None:
+            return
+        if len(series) != header["samples"]:
+            raise ValueError(
+                f"series header promised {header['samples']} samples, "
+                f"found {len(series)}"
+            )
+        series.stride = header["stride"]
+        series.dropped = header["dropped"]
+        results.append((header, series))
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            kind = data.get("kind")
+            if kind == "series-header":
+                _finish()
+                version = data.get("schema_version")
+                if version != SERIES_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}:{lineno}: unsupported series "
+                        f"schema_version {version!r}"
+                    )
+                header = data
+                series = StepSeries(
+                    capacity=data["capacity"], mode=data["mode"]
+                )
+            elif kind == "sample":
+                if series is None:
+                    raise ValueError(
+                        f"{path}:{lineno}: sample before series-header"
+                    )
+                for name, column in series.columns.items():
+                    column.append(int(data[name]))
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown line kind {kind!r}"
+                )
+    _finish()
+    return results
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+
+
+def write_trace_jsonl(
+    trace: PacketTrace,
+    path: Union[str, "os.PathLike[str]"],
+    *,
+    meta: Optional[Mapping[str, Any]] = None,
+    fsync: bool = False,
+) -> int:
+    """Append a trace to ``path``: header line plus one event per
+    line.  Returns the number of event lines written."""
+    header: Dict[str, Any] = {
+        "kind": "trace-header",
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "events": len(trace),
+    }
+    if meta is not None:
+        header["meta"] = dict(meta)
+    lines = [header]
+    for event in trace.events:
+        payload: Dict[str, Any] = {"kind": "event"}
+        payload["event"] = event.to_dict()
+        lines.append(payload)
+    _write_jsonl(path, lines, fsync)
+    return len(lines) - 1
+
+
+def read_trace_jsonl(
+    path: Union[str, "os.PathLike[str]"],
+) -> List[Tuple[Dict[str, Any], PacketTrace]]:
+    """Read every (header, trace) pair appended to ``path``."""
+    results: List[Tuple[Dict[str, Any], PacketTrace]] = []
+    header: Optional[Dict[str, Any]] = None
+    trace: Optional[PacketTrace] = None
+
+    def _finish() -> None:
+        if header is None or trace is None:
+            return
+        if len(trace) != header["events"]:
+            raise ValueError(
+                f"trace header promised {header['events']} events, "
+                f"found {len(trace)}"
+            )
+        results.append((header, trace))
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            kind = data.get("kind")
+            if kind == "trace-header":
+                _finish()
+                version = data.get("schema_version")
+                if version != TRACE_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}:{lineno}: unsupported trace "
+                        f"schema_version {version!r}"
+                    )
+                header = data
+                trace = PacketTrace()
+            elif kind == "event":
+                if trace is None:
+                    raise ValueError(
+                        f"{path}:{lineno}: event before trace-header"
+                    )
+                trace.append(TraceEvent.from_dict(data["event"]))
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown line kind {kind!r}"
+                )
+    _finish()
+    return results
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(
+    registry: Union[MetricRegistry, Mapping[str, Any]],
+) -> str:
+    """Render a registry (or snapshot) as Prometheus exposition text.
+
+    Counters and gauges render as single samples; histograms render
+    with *cumulative* ``_bucket{le="..."}`` samples (the registry
+    stores per-bucket counts), a ``+Inf`` bucket, ``_sum`` and
+    ``_count``.  Metrics appear in sorted-name order, so the output is
+    deterministic.
+    """
+    if not isinstance(registry, MetricRegistry):
+        registry = MetricRegistry.from_snapshot(registry)
+    out: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            out.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        out.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            out.append(f"{metric.name} {metric.value}")
+        elif isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                out.append(
+                    f'{metric.name}_bucket{{le="{bound}"}} {cumulative}'
+                )
+            out.append(
+                f'{metric.name}_bucket{{le="+Inf"}} {metric.count}'
+            )
+            out.append(f"{metric.name}_sum {metric.sum}")
+            out.append(f"{metric.name}_count {metric.count}")
+    return "\n".join(out) + "\n" if out else ""

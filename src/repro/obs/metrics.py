@@ -1,0 +1,479 @@
+"""Deterministic metric registry: counters, gauges, histograms.
+
+The registry is the observability layer's general-purpose instrument
+store.  Three metric kinds, all plain-integer and bit-reproducible:
+
+* :class:`Counter` — a monotone total (``inc``).
+* :class:`Gauge` — a **high-water mark** (``set`` keeps the maximum).
+  Last-write-wins gauges cannot be merged order-independently across
+  workers, so the registry deliberately does not offer them.
+* :class:`Histogram` — fixed upper-bound buckets declared at creation
+  time (``observe``).  No adaptive bucketing, no sampling: two runs
+  that observe the same values produce byte-identical snapshots.
+
+Nothing here reads a clock or an RNG (lint rules OBS602/DET106 police
+that), and the cross-registry :meth:`MetricRegistry.merge` is
+commutative and associative — counters add, gauges take the max,
+histogram buckets add elementwise — so campaign-level aggregation
+cannot depend on worker completion order (pinned by the property tests
+in ``tests/obs/test_merge_properties.py``).
+
+Metrics must be created *through the registry* (``registry.counter``,
+``registry.gauge``, ``registry.histogram``) so every instrument is
+named, deduplicated, and snapshot-visible; lint rule OBS601 flags
+direct ``Counter(...)`` construction outside this module.
+
+Like :mod:`repro.obs.telemetry`, this module must stay import-light:
+engine code attaches its recorders, so nothing here may import
+``repro.core`` at runtime.  :class:`RunMetricsRecorder` is therefore
+duck-typed against the :class:`~repro.core.events.RunObserver`
+protocol rather than subclassing it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+from typing import Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.kernel import StepSummary
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "RunMetricsRecorder",
+    "REGISTRY_SCHEMA_VERSION",
+    "fold_telemetry",
+]
+
+#: Version stamp carried by every registry snapshot.
+REGISTRY_SCHEMA_VERSION = 1
+
+_NAME_ALPHABET_FIRST = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:"
+)
+_NAME_ALPHABET = _NAME_ALPHABET_FIRST | frozenset("0123456789")
+
+
+def _check_name(name: str) -> str:
+    """Enforce the Prometheus metric-name grammar at creation time."""
+    if (
+        not name
+        or name[0] not in _NAME_ALPHABET_FIRST
+        or any(ch not in _NAME_ALPHABET for ch in name)
+    ):
+        raise ValueError(
+            f"invalid metric name {name!r}: must match "
+            "[a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    return name
+
+
+def _check_amount(amount: int) -> int:
+    if isinstance(amount, bool) or not isinstance(amount, int):
+        raise TypeError(f"metric values must be plain ints, got {amount!r}")
+    return amount
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (a non-negative int) to the total."""
+        if _check_amount(amount) < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A high-water mark: ``set`` keeps the maximum ever seen.
+
+    The max fold is what makes cross-worker merges order-independent;
+    a last-write-wins gauge would silently depend on completion order.
+    """
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        """Record ``value``; the gauge keeps the maximum."""
+        if _check_amount(value) > self.value:
+            self.value = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket integer histogram (cumulative +Inf bucket implicit).
+
+    ``buckets`` are strictly increasing upper bounds; an observation
+    lands in the first bucket whose bound is ``>= value``, or in the
+    implicit overflow bucket.  ``counts`` has ``len(buckets) + 1``
+    entries (the last is the overflow).
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Sequence[int], help: str = ""
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(_check_amount(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"histogram {name!r} buckets must be a non-empty "
+                f"strictly increasing sequence, got {bounds!r}"
+            )
+        self.buckets: Tuple[int, ...] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value: int) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, _check_amount(value))] += 1
+        self.sum += value
+        self.count += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricRegistry:
+    """The one sanctioned factory and store for metrics.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for
+    an existing name returns the existing instrument (kind and buckets
+    must match), so library code and its callers can share metrics
+    without coordination.  Snapshots iterate in sorted-name order,
+    making every export deterministic regardless of creation order.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, factory: Any, kind: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {kind}"
+                )
+            return existing
+        metric: Metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get_or_create(
+            name, lambda: Counter(name, help), "counter"
+        )
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get_or_create(
+            name, lambda: Gauge(name, help), "gauge"
+        )
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Sequence[int], help: str = ""
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name, lambda: Histogram(name, buckets, help), "histogram"
+        )
+        assert isinstance(metric, Histogram)
+        if metric.buckets != tuple(buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{metric.buckets!r}, not {tuple(buckets)!r}"
+            )
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def metrics(self) -> List[Metric]:
+        """All instruments, sorted by name (the canonical order)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A schema-versioned, JSON-safe copy of every instrument."""
+        return {
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "metrics": [m.to_dict() for m in self.metrics()],
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "MetricRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        version = data.get("schema_version")
+        if version != REGISTRY_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported registry schema_version {version!r} "
+                f"(expected {REGISTRY_SCHEMA_VERSION})"
+            )
+        registry = cls()
+        entries = data.get("metrics")
+        if not isinstance(entries, list):
+            raise ValueError("registry snapshot 'metrics' must be a list")
+        for entry in entries:
+            kind = entry.get("kind")
+            name = entry.get("name")
+            help_text = entry.get("help", "")
+            if kind == "counter":
+                registry.counter(name, help_text).inc(entry["value"])
+            elif kind == "gauge":
+                registry.gauge(name, help_text).set(entry["value"])
+            elif kind == "histogram":
+                hist = registry.histogram(
+                    name, entry["buckets"], help_text
+                )
+                counts = entry["counts"]
+                if len(counts) != len(hist.counts):
+                    raise ValueError(
+                        f"histogram {name!r} snapshot has "
+                        f"{len(counts)} counts, expected "
+                        f"{len(hist.counts)}"
+                    )
+                hist.counts = [_check_amount(c) for c in counts]
+                hist.sum = _check_amount(entry["sum"])
+                hist.count = _check_amount(entry["count"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+        return registry
+
+    def merge(
+        self, other: Union["MetricRegistry", Mapping[str, Any]]
+    ) -> None:
+        """Fold another registry (or snapshot) into this one.
+
+        Counters add, gauges take the max, histogram buckets add
+        elementwise (bucket bounds must agree).  Metrics unknown to
+        ``self`` are created, so merging into an empty registry copies.
+        The fold is commutative and associative.
+        """
+        if not isinstance(other, MetricRegistry):
+            other = MetricRegistry.from_snapshot(other)
+        for metric in other.metrics():
+            if isinstance(metric, Counter):
+                self.counter(metric.name, metric.help).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(metric.name, metric.help).set(metric.value)
+            else:
+                hist = self.histogram(
+                    metric.name, metric.buckets, metric.help
+                )
+                hist.counts = [
+                    a + b for a, b in zip(hist.counts, metric.counts)
+                ]
+                hist.sum += metric.sum
+                hist.count += metric.count
+
+
+def fold_telemetry(
+    registry: MetricRegistry, telemetry: Any, prefix: str = "repro_run"
+) -> None:
+    """Fold one run's :class:`~repro.obs.telemetry.RunTelemetry` into
+    campaign-level registry metrics.
+
+    Totals land in ``<prefix>_*_total`` counters, peaks in
+    ``<prefix>_peak_*`` gauges — the same add/max fold as
+    :meth:`~repro.obs.telemetry.RunTelemetry.merge`, so folding N runs
+    one at a time equals folding their merged telemetry once.
+    ``telemetry`` is duck-typed (anything with the counter attributes)
+    to keep this module free of core imports; ``None`` is a no-op.
+    """
+    if telemetry is None:
+        return
+    for field in (
+        "steps",
+        "packet_steps",
+        "generated",
+        "injected",
+        "delivered",
+        "advances",
+        "deflections",
+        "dropped",
+    ):
+        registry.counter(
+            f"{prefix}_{field}_total",
+            f"Total {field.replace('_', ' ')} across runs",
+        ).inc(getattr(telemetry, field))
+    for field in ("max_in_flight", "max_node_load", "max_backlog"):
+        registry.gauge(
+            f"{prefix}_peak_{field[4:]}",
+            f"Peak per-step {field[4:].replace('_', ' ')} of any run",
+        ).set(getattr(telemetry, field))
+
+
+#: Bucket bounds for the per-step node-load histogram (powers of two:
+#: node load is bounded by in-degree plus injections, small meshes saturate
+#: the low buckets, pathological congestion shows up in the overflow).
+NODE_LOAD_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: Bucket bounds for the per-step deflection-count histogram.
+DEFLECTION_BUCKETS: Tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class RunMetricsRecorder:
+    """Run observer that keeps a :class:`MetricRegistry` per step.
+
+    A lean-loop-safe observer (``needs_steps = False``,
+    ``needs_summaries = True``): it consumes only the
+    :class:`~repro.core.kernel.StepSummary` every kernel path already
+    emits, so attaching it never forces the instrumented loop and the
+    routing outcome is bit-identical with or without it (pinned by the
+    obs differential tests).
+
+    Metrics kept, all under the ``repro_step`` namespace:
+
+    * counters ``repro_step_steps_total``, ``_packet_steps_total``,
+      ``_advances_total``, ``_deflections_total``, ``_delivered_total``,
+      ``_injected_total``, ``_generated_total``, ``_dropped_total``;
+    * gauges ``repro_step_peak_in_flight``, ``_peak_node_load``,
+      ``_peak_backlog``;
+    * histograms ``repro_step_node_load`` (per-step max node load) and
+      ``repro_step_deflections`` (per-step deflection count).
+    """
+
+    needs_steps = False
+    needs_summaries = True
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._steps = reg.counter(
+            "repro_step_steps_total", "Kernel steps executed"
+        )
+        self._packet_steps = reg.counter(
+            "repro_step_packet_steps_total",
+            "In-flight packets summed over steps",
+        )
+        self._advances = reg.counter(
+            "repro_step_advances_total", "Distance-reducing hops"
+        )
+        self._deflections = reg.counter(
+            "repro_step_deflections_total", "Deflected hops (Definition 5)"
+        )
+        self._delivered = reg.counter(
+            "repro_step_delivered_total", "Packets absorbed at destination"
+        )
+        self._injected = reg.counter(
+            "repro_step_injected_total", "Packets injected by a source"
+        )
+        self._generated = reg.counter(
+            "repro_step_generated_total", "Packets generated by a source"
+        )
+        self._dropped = reg.counter(
+            "repro_step_dropped_total", "Packets removed by fault events"
+        )
+        self._peak_in_flight = reg.gauge(
+            "repro_step_peak_in_flight", "Peak in-flight population"
+        )
+        self._peak_node_load = reg.gauge(
+            "repro_step_peak_node_load", "Peak single-node load"
+        )
+        self._peak_backlog = reg.gauge(
+            "repro_step_peak_backlog", "Peak source backlog"
+        )
+        self._load_hist = reg.histogram(
+            "repro_step_node_load",
+            NODE_LOAD_BUCKETS,
+            "Per-step max node load distribution",
+        )
+        self._deflection_hist = reg.histogram(
+            "repro_step_deflections",
+            DEFLECTION_BUCKETS,
+            "Per-step deflection count distribution",
+        )
+
+    def on_summary(self, summary: "StepSummary") -> None:
+        """Accumulate one step (fires on every kernel path)."""
+        deflected = summary.moved - summary.advancing
+        self._steps.inc()
+        self._packet_steps.inc(summary.routed)
+        self._advances.inc(summary.advancing)
+        self._deflections.inc(deflected)
+        self._delivered.inc(summary.delivered)
+        self._injected.inc(summary.injected)
+        self._generated.inc(summary.generated)
+        self._dropped.inc(summary.dropped)
+        self._peak_in_flight.set(summary.routed)
+        self._peak_node_load.set(summary.max_node_load)
+        self._peak_backlog.set(summary.backlog)
+        self._load_hist.observe(summary.max_node_load)
+        self._deflection_hist.observe(deflected)
+
+    # RunObserver protocol (duck-typed; run boundaries are no-ops).
+    def on_run_start(self, engine: Any) -> None:
+        """Nothing to do at run start."""
+
+    def on_step(self, record: Any, metrics: Any) -> None:
+        """Never fires: ``needs_steps`` is False."""
+
+    def on_run_end(self, result: Any) -> None:
+        """Nothing to do at run end; read :attr:`registry` any time."""

@@ -1,0 +1,222 @@
+"""Per-step time series with bounded, deterministic storage.
+
+The paper's whole argument is about *trajectories*: the potential Φ
+decreases as packets advance and is perturbed every time "p is
+deflected by q" (Definition 5).  :class:`StepSeries` records exactly
+those trajectories — Φ (the distance potential, i.e. the sum of
+in-flight packets' distances the kernel already computes as
+``StepSummary.total_distance``), the in-flight population, per-step
+deflection counts, and max node load — without forcing the engines off
+their lean loops: :class:`SeriesRecorder` is a summary observer
+(``needs_steps = False``, ``needs_summaries = True``) fed by the
+per-step :class:`~repro.core.kernel.StepSummary` every kernel path
+already emits.
+
+Storage is bounded and deterministic.  Two modes:
+
+* ``"decimate"`` (default): when ``capacity`` samples are held, every
+  second sample is dropped and the keep-stride doubles, so the series
+  always spans the whole run at progressively coarser resolution.
+  Which samples survive depends only on step numbers — never on time
+  or sampling randomness — so two identical runs keep identical
+  samples.
+* ``"ring"``: keep the most recent ``capacity`` samples (a sliding
+  window over the run's tail).
+
+No wall clock, no RNG, no floats in storage: rates are derived on
+demand from the stored integer columns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.kernel import StepSummary
+
+__all__ = [
+    "SERIES_SCHEMA_VERSION",
+    "SeriesRecorder",
+    "StepSeries",
+    "SERIES_COLUMNS",
+]
+
+#: Version stamp carried by every exported series payload.
+SERIES_SCHEMA_VERSION = 1
+
+#: The integer columns a series stores, in canonical order.
+SERIES_COLUMNS = (
+    "step",
+    "phi",
+    "in_flight",
+    "advancing",
+    "deflected",
+    "delivered",
+    "max_node_load",
+    "backlog",
+)
+
+_MODES = ("decimate", "ring")
+
+
+class StepSeries:
+    """Columnar per-step samples with bounded storage.
+
+    Columns (parallel integer lists, one entry per kept sample):
+
+    * ``step`` — kernel step number;
+    * ``phi`` — distance potential Φ: sum over in-flight packets of
+      their distance to destination at the start of the step;
+    * ``in_flight`` — packets routed this step;
+    * ``advancing`` — packets that moved closer to their destination;
+    * ``deflected`` — packets that moved but not closer (Definition 5);
+    * ``delivered`` — packets absorbed this step;
+    * ``max_node_load`` — largest single-node load this step;
+    * ``backlog`` — source backlog (0 for batch runs).
+    """
+
+    __slots__ = ("capacity", "mode", "stride", "dropped", "columns")
+
+    def __init__(self, capacity: int = 4096, mode: str = "decimate") -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.capacity = capacity
+        self.mode = mode
+        #: Keep one sample per ``stride`` steps (decimate mode only).
+        self.stride = 1
+        #: Samples discarded by bounding (ring evictions + decimation
+        #: drops + stride skips) — exported so consumers can tell a
+        #: complete series from a bounded one.
+        self.dropped = 0
+        self.columns: Dict[str, List[int]] = {
+            name: [] for name in SERIES_COLUMNS
+        }
+
+    def __len__(self) -> int:
+        return len(self.columns["step"])
+
+    def record(self, summary: "StepSummary") -> None:
+        """Append one step's sample (subject to the bounding policy)."""
+        if self.mode == "decimate" and summary.step % self.stride != 0:
+            self.dropped += 1
+            return
+        cols = self.columns
+        cols["step"].append(summary.step)
+        cols["phi"].append(summary.total_distance)
+        cols["in_flight"].append(summary.routed)
+        cols["advancing"].append(summary.advancing)
+        cols["deflected"].append(summary.moved - summary.advancing)
+        cols["delivered"].append(summary.delivered)
+        cols["max_node_load"].append(summary.max_node_load)
+        cols["backlog"].append(summary.backlog)
+        if len(cols["step"]) <= self.capacity:
+            return
+        if self.mode == "ring":
+            for column in cols.values():
+                del column[0]
+            self.dropped += 1
+        else:
+            # Halve resolution: double the stride, keep only samples
+            # whose step number is a multiple of it.  Depends only on
+            # step numbers — two identical runs decimate identically,
+            # and the survivors agree with the append-time check.
+            self.stride *= 2
+            keep = [
+                i
+                for i, step in enumerate(cols["step"])
+                if step % self.stride == 0
+            ]
+            self.dropped += len(cols["step"]) - len(keep)
+            for name in SERIES_COLUMNS:
+                column = cols[name]
+                cols[name] = [column[i] for i in keep]
+
+    def deflection_rates(self) -> List[float]:
+        """Per-sample deflection rate: deflected / moved (0.0 idle)."""
+        rates: List[float] = []
+        for advancing, deflected in zip(
+            self.columns["advancing"], self.columns["deflected"]
+        ):
+            moved = advancing + deflected
+            rates.append(deflected / moved if moved else 0.0)
+        return rates
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A schema-versioned, JSON-safe payload of the series."""
+        return {
+            "schema_version": SERIES_SCHEMA_VERSION,
+            "mode": self.mode,
+            "capacity": self.capacity,
+            "stride": self.stride,
+            "dropped": self.dropped,
+            "samples": len(self),
+            "columns": {
+                name: list(column) for name, column in self.columns.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StepSeries":
+        """Inverse of :meth:`to_dict` (strict on schema and columns)."""
+        version = data.get("schema_version")
+        if version != SERIES_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported series schema_version {version!r} "
+                f"(expected {SERIES_SCHEMA_VERSION})"
+            )
+        series = cls(capacity=data["capacity"], mode=data["mode"])
+        series.stride = data["stride"]
+        series.dropped = data["dropped"]
+        columns = data["columns"]
+        if set(columns) != set(SERIES_COLUMNS):
+            raise ValueError(
+                f"series columns {sorted(columns)} do not match "
+                f"{sorted(SERIES_COLUMNS)}"
+            )
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged series columns: lengths {lengths}")
+        series.columns = {
+            name: [int(v) for v in columns[name]] for name in SERIES_COLUMNS
+        }
+        return series
+
+
+class SeriesRecorder:
+    """Run observer that feeds a :class:`StepSeries` from summaries.
+
+    Lean-loop safe (``needs_steps = False``, ``needs_summaries = True``)
+    and backend-agnostic: the soa kernel emits the same summaries, so
+    the same recorder works under ``backend="soa"``.
+    """
+
+    needs_steps = False
+    needs_summaries = True
+
+    def __init__(
+        self,
+        series: Optional[StepSeries] = None,
+        *,
+        capacity: int = 4096,
+        mode: str = "decimate",
+    ) -> None:
+        self.series = (
+            series
+            if series is not None
+            else StepSeries(capacity=capacity, mode=mode)
+        )
+
+    def on_summary(self, summary: "StepSummary") -> None:
+        self.series.record(summary)
+
+    # RunObserver protocol (duck-typed; run boundaries are no-ops).
+    def on_run_start(self, engine: Any) -> None:
+        """Nothing to do at run start."""
+
+    def on_step(self, record: Any, metrics: Any) -> None:
+        """Never fires: ``needs_steps`` is False."""
+
+    def on_run_end(self, result: Any) -> None:
+        """Nothing to do at run end; read :attr:`series` any time."""

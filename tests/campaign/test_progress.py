@@ -1,0 +1,290 @@
+"""Live progress is a pure fold of the event log: counts, throughput,
+ETA, campaign-level metric aggregates, and the ``watch`` polling loop
+— including watching a SIGKILL-orphaned store from a separate
+process, exactly how ``repro campaign status --watch`` is used."""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignProgress,
+    CampaignStore,
+    CaseSpec,
+    registry_from_state,
+    watch,
+)
+from repro.campaign.results import aggregate_telemetry
+from repro.campaign.store import CampaignState
+
+
+def _specs(seeds=3, side=6, k=20):
+    return [
+        CaseSpec(
+            topology="mesh",
+            workload="random",
+            policy="restricted-priority",
+            seed=seed,
+            side=side,
+            workload_params=(("k", k),),
+        )
+        for seed in range(seeds)
+    ]
+
+
+def _finished_store(tmp_path, seeds=3):
+    path = str(tmp_path / "campaign.jsonl")
+    store = CampaignStore(path)
+    with Campaign(_specs(seeds), store=store) as campaign:
+        campaign.run()
+    return store
+
+
+def _stamped_state(anchors, finishes, *, total):
+    """A synthetic replayed state with controlled timestamps."""
+    state = CampaignState()
+    specs = _specs(total)
+    for index, spec in enumerate(specs):
+        key = f"case-{index}"
+        state.specs[key] = spec
+        state.order.append(key)
+        state.status[key] = "queued"
+    for index, stamp in enumerate(anchors):
+        state.started_at[f"case-{index}"] = stamp
+    for index, stamp in enumerate(finishes):
+        key = f"case-{index}"
+        state.finished_at[key] = stamp
+        state.status[key] = "finished"
+        # A bare stand-in: the progress math only checks membership.
+        state.points[key] = _Point()
+    return state
+
+
+class _Point:
+    """Timestamp-only stand-in: progress math never touches results."""
+
+
+class TestCampaignProgress:
+    def test_counts_from_a_real_run(self, tmp_path):
+        store = _finished_store(tmp_path)
+        progress = CampaignProgress.from_state(store.replay())
+        assert progress.total == progress.finished == 3
+        assert progress.queued == progress.started == progress.failed == 0
+        assert progress.pending == 0
+        assert progress.done
+        assert progress.fraction == 1.0
+        assert progress.errors == 0
+        # Millisecond stamps over a real multi-case window.
+        assert progress.throughput is not None and progress.throughput > 0
+
+    def test_empty_campaign_is_vacuously_done(self):
+        progress = CampaignProgress.from_state(CampaignState())
+        assert progress.total == 0
+        assert progress.done
+        assert progress.fraction == 1.0
+        assert progress.throughput is None
+
+    def test_throughput_and_eta_from_stamps(self):
+        state = _stamped_state(
+            anchors=["2026-01-01T00:00:00.000", "2026-01-01T00:00:01.000"],
+            finishes=["2026-01-01T00:00:02.000", "2026-01-01T00:00:10.000"],
+            total=4,
+        )
+        progress = CampaignProgress.from_state(state)
+        # 2 finished over the 10s from first dispatch to last finish.
+        assert progress.throughput == pytest.approx(0.2)
+        # 2 still pending at 0.2 case/s.
+        assert progress.eta_seconds == pytest.approx(10.0)
+
+    def test_zero_width_window_yields_no_throughput(self):
+        stamp = "2026-01-01T00:00:00.000"
+        state = _stamped_state(anchors=[stamp], finishes=[stamp], total=2)
+        progress = CampaignProgress.from_state(state)
+        assert progress.throughput is None
+        assert progress.eta_seconds is None
+
+    def test_render_is_greppable(self, tmp_path):
+        store = _finished_store(tmp_path)
+        line = CampaignProgress.from_state(store.replay()).render()
+        assert line.startswith("campaign: 3 cases")
+        assert "queued 0 started 0 finished 3 failed 0" in line
+        assert "100.0% done" in line
+        assert "case/s" in line
+        assert "eta" not in line  # done runs owe no estimate
+        assert "log errors" not in line
+
+
+class TestRegistryFromState:
+    def test_lifecycle_counters_and_folded_telemetry(self, tmp_path):
+        store = _finished_store(tmp_path)
+        state = store.replay()
+        registry = registry_from_state(state)
+        assert (
+            registry.counter("repro_campaign_cases_finished_total").value
+            == 3
+        )
+        assert (
+            registry.counter("repro_campaign_cases_queued_total").value == 0
+        )
+        total = aggregate_telemetry(state.points.values())
+        assert (
+            registry.counter("repro_run_delivered_total").value
+            == total.delivered
+            == 60
+        )
+        assert (
+            registry.gauge("repro_run_peak_in_flight").value
+            == total.max_in_flight
+        )
+
+    def test_unfinished_state_has_zero_run_counters(self):
+        state = CampaignState()
+        for index, spec in enumerate(_specs(2)):
+            key = f"case-{index}"
+            state.specs[key] = spec
+            state.order.append(key)
+            state.status[key] = "queued"
+        registry = registry_from_state(state)
+        assert (
+            registry.counter("repro_campaign_cases_queued_total").value == 2
+        )
+        assert "repro_run_delivered_total" not in registry
+
+
+class TestWatch:
+    def test_finished_store_returns_after_one_poll(self, tmp_path):
+        store = _finished_store(tmp_path)
+        stream = io.StringIO()
+        progress = watch(store, interval=0.001, stream=stream)
+        assert progress.done
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert lines[0] == progress.render()
+
+    def test_max_polls_bounds_a_pending_store(self, tmp_path):
+        path = str(tmp_path / "pending.jsonl")
+        store = CampaignStore(path)
+        store.queue([("case-0", _specs(1)[0])])
+        stream = io.StringIO()
+        progress = watch(
+            store, interval=0.001, stream=stream, max_polls=3
+        )
+        assert not progress.done
+        assert progress.pending == 1
+        assert len(stream.getvalue().splitlines()) == 3
+
+
+CHILD = """\
+from repro.campaign import Campaign, CampaignStore, CaseSpec
+
+specs = [
+    CaseSpec(
+        topology="mesh",
+        workload="random",
+        policy="restricted-priority",
+        seed=seed,
+        side=10,
+        workload_params=(("k", 60),),
+    )
+    for seed in range(8)
+]
+with Campaign(specs, store=CampaignStore({store_path!r})) as campaign:
+    campaign.run()
+"""
+
+
+def _finished_count(path):
+    if not os.path.exists(path):
+        return 0
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if event.get("event") == "case-finished":
+                count += 1
+    return count
+
+
+@pytest.mark.slow
+class TestWatchKilledCampaign:
+    def test_watch_tails_an_orphaned_store_then_the_resume(self, tmp_path):
+        # Kill a campaign process mid-run, then do what a real operator
+        # does: point `repro campaign status --watch` at the orphaned
+        # log from a second process, resume, and watch again.
+        store_path = str(tmp_path / "campaign.jsonl")
+        child = subprocess.Popen(
+            [sys.executable, "-c", CHILD.format(store_path=store_path)],
+            env=dict(os.environ),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if _finished_count(store_path) >= 2:
+                    break
+                if child.poll() is not None:
+                    break
+                time.sleep(0.005)
+            if child.poll() is None:
+                child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+
+        survived = _finished_count(store_path)
+        assert survived >= 2
+
+        cli = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "campaign",
+                "status",
+                "--store",
+                store_path,
+                "--watch",
+                "--interval",
+                "0.01",
+                "--max-polls",
+                "2",
+            ],
+            env=dict(os.environ),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert cli.returncode == 0, cli.stderr
+        watch_lines = [
+            line
+            for line in cli.stdout.splitlines()
+            if line.startswith("campaign: 8 cases")
+        ]
+        # The watcher polled the partial log without touching any pool.
+        assert len(watch_lines) == 2
+        assert f"finished {survived}" in watch_lines[0]
+
+        resumed = Campaign.from_store(store_path)
+        with resumed:
+            resumed.run()
+
+        stream = io.StringIO()
+        progress = watch(
+            CampaignStore(store_path), interval=0.001, stream=stream
+        )
+        assert progress.done
+        assert progress.finished == progress.total == 8
+        assert len(stream.getvalue().splitlines()) == 1

@@ -1,0 +1,52 @@
+"""Dirty obs module: OBS601/OBS602 vectors (never run).
+
+Metrics must be owned by a :class:`MetricRegistry` — get-or-create by
+name, kind-checked, mergeable — and obs modules must take timestamps
+from ``obs.clock`` rather than importing the clock modules themselves.
+"""
+
+# OBS602 fire: obs module imports time directly.
+import time
+
+# OBS602 fire: from-import of datetime is the aliasing hole DET106
+# call resolution cannot see.
+from datetime import datetime as dt
+
+# OBS602 suppressed twin.
+import time as quiet_time  # repro: noqa[OBS602]
+
+from collections import Counter as TagCounter
+
+from repro.obs.metrics import Counter, Gauge, MetricRegistry
+
+
+def free_floating_counter():
+    # OBS601 fire: constructed outside any registry, so snapshots and
+    # campaign merges never see it.
+    return Counter("repro_orphan_total", "never exported")
+
+
+def free_floating_gauge():
+    # OBS601 fire: same bypass through the Gauge class.
+    return Gauge("repro_orphan_peak", "never exported")
+
+
+def registry_owned():
+    # Clean: the registry factory is the sanctioned construction site.
+    registry = MetricRegistry()
+    return registry.counter("repro_owned_total", "exported")
+
+
+def stdlib_counter(tags):
+    # Clean: collections.Counter resolves outside obs.metrics.
+    return TagCounter(tags)
+
+
+def suppressed_bypass():
+    # OBS601 suppressed twin.
+    return Counter("repro_quiet_total", "quiet")  # repro: noqa[OBS601]
+
+
+def suppressed_stamp():
+    # OBS602-suppressed modules still exercise DET106 at the call site.
+    return time.monotonic(), dt.now()  # repro: noqa[DET106]

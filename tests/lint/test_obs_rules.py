@@ -1,0 +1,208 @@
+"""OBS6xx observability discipline: registry-owned metrics and the
+clock-import gate that keeps obs timestamps inside ``obs.clock``."""
+
+import os
+
+from repro.lint import lint_paths
+from repro.lint.context import domain_of, module_name_for
+from repro.lint.rules import get_rule
+
+HERE = os.path.dirname(__file__)
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+FIXTURES = os.path.join(HERE, "fixtures", "dirtypkg")
+
+
+def _rules(report):
+    return [(f.rule_id, f.line) for f in report.findings]
+
+
+class TestObs601RegistryBypass:
+    def test_direct_counter_construction_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/analysis/mod.py": """\
+                from repro.obs.metrics import Counter
+
+                def orphan():
+                    return Counter("repro_lost_total", "never merged")
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS601"])
+        assert _rules(report) == [("OBS601", 4)]
+        assert "MetricRegistry.counter()" in report.findings[0].message
+
+    def test_module_attribute_construction_fires(self, write_tree):
+        # The bypass resolves through a module alias too.
+        root = write_tree(
+            {
+                "pkg/campaign/mod.py": """\
+                from repro.obs import metrics
+
+                def orphan():
+                    return metrics.Histogram("repro_h", "", buckets=(1,))
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS601"])
+        assert _rules(report) == [("OBS601", 4)]
+        assert "histogram" in report.findings[0].message
+
+    def test_collections_counter_is_clean(self, write_tree):
+        # Same class name, different origin — must not fire.
+        root = write_tree(
+            {
+                "pkg/analysis/mod.py": """\
+                from collections import Counter
+
+                def tally(tags):
+                    return Counter(tags)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS601"])
+        assert report.findings == []
+
+    def test_registry_factories_are_clean(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/campaign/mod.py": """\
+                from repro.obs.metrics import MetricRegistry
+
+                def owned():
+                    registry = MetricRegistry()
+                    registry.counter("repro_ok_total", "owned").inc()
+                    registry.gauge("repro_ok_peak", "owned").set(3)
+                    return registry
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS601"])
+        assert report.findings == []
+
+    def test_obs_metrics_module_itself_is_exempt(self, write_tree):
+        # The registry's own get-or-create is the sanctioned
+        # construction site, wherever the package tree is rooted.
+        root = write_tree(
+            {
+                "pkg/obs/metrics.py": """\
+                from repro.obs.metrics import Counter
+
+                def _get_or_create(name, help_text):
+                    return Counter(name, help_text)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS601"])
+        assert report.findings == []
+
+
+class TestObs602ClockImport:
+    def test_time_import_in_obs_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/obs/stamps.py": """\
+                import time
+
+                def stamp():
+                    return time.monotonic()
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS602"])
+        assert _rules(report) == [("OBS602", 1)]
+        assert "obs.clock" in report.findings[0].message
+
+    def test_aliased_from_import_fires(self, write_tree):
+        # The hole DET106 call resolution cannot see.
+        root = write_tree(
+            {
+                "pkg/obs/stamps.py": """\
+                from time import monotonic as tick
+
+                def stamp():
+                    return tick()
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS602"])
+        assert _rules(report) == [("OBS602", 1)]
+
+    def test_datetime_import_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/obs/stamps.py": """\
+                from datetime import datetime, timezone
+
+                def stamp():
+                    return datetime.now(timezone.utc)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS602"])
+        assert _rules(report) == [("OBS602", 1)]
+
+    def test_outside_obs_domain_is_clean(self, write_tree):
+        # The import gate is obs-scoped; the campaign progress module
+        # legitimately parses ISO stamps with datetime.
+        root = write_tree(
+            {
+                "pkg/campaign/progress.py": """\
+                import datetime
+
+                def parse(stamp):
+                    return datetime.datetime.fromisoformat(stamp)
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS602"])
+        assert report.findings == []
+
+    def test_obs_clock_is_exempt(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/obs/clock.py": """\
+                import time
+
+                def perf_ns():
+                    return time.perf_counter_ns()
+                """,
+            }
+        )
+        report = lint_paths([root], select=["OBS602"])
+        assert report.findings == []
+
+
+class TestFixturePairAndRealTree:
+    def test_fixture_pair_fires_and_suppresses(self):
+        path = os.path.join(FIXTURES, "obs", "metrics_bypass.py")
+        report = lint_paths([path], select=["OBS601", "OBS602"])
+        hits = sorted(f.rule_id for f in report.findings)
+        # Two OBS601 fires (Counter + Gauge; the noqa'd twin is
+        # absent) and two OBS602 fires (import time + from datetime;
+        # the noqa'd `import time as quiet_time` is absent).
+        assert hits == ["OBS601", "OBS601", "OBS602", "OBS602"]
+
+    def test_shipped_tree_is_clean(self):
+        report = lint_paths(
+            [os.path.join(REPO_ROOT, "src", "repro")],
+            select=["OBS601", "OBS602"],
+        )
+        assert report.findings == []
+
+    def test_det106_domain_covers_new_obs_modules(self):
+        # DET106's obs-domain coverage extends to the new observability
+        # modules automatically: each resolves into the obs domain and
+        # none is exempt.
+        rule = get_rule("DET106")
+        assert "obs" in rule.domains
+        for module in ("metrics", "series", "tracing", "export"):
+            name = module_name_for(
+                os.path.join(REPO_ROOT, "src", "repro", "obs", f"{module}.py")
+            )
+            assert name == f"repro.obs.{module}"
+            assert domain_of(name) == "obs"
+            assert not any(
+                name.endswith("." + suffix)
+                for suffix in rule.exempt_modules
+            )

@@ -1,0 +1,157 @@
+"""Exporters: JSONL round-trips (strict on schema) and the Prometheus
+text exposition rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    read_series_jsonl,
+    read_trace_jsonl,
+    render_prometheus,
+    write_series_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricRegistry
+from repro.obs.series import StepSeries
+from repro.obs.tracing import PacketTrace, TraceEvent
+
+from tests.obs.test_series import summary
+
+
+def small_series(steps=5):
+    series = StepSeries(capacity=16)
+    for step in range(steps):
+        series.record(summary(step, phi=100 - step, routed=3, advancing=2))
+    return series
+
+
+def small_trace():
+    trace = PacketTrace()
+    trace.append(TraceEvent(kind="inject", step=0, packet=1, node=(0, 0)))
+    trace.append(
+        TraceEvent(
+            kind="deflect", step=1, packet=1, node=(0, 1), to=(0, 0), by=2
+        )
+    )
+    trace.append(TraceEvent(kind="deliver", step=4, packet=1, node=(2, 2)))
+    return trace
+
+
+class TestSeriesJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        written = write_series_jsonl(
+            small_series(), path, meta={"seed": 7}
+        )
+        assert written == 5
+        [(header, series)] = read_series_jsonl(path)
+        assert header["schema_version"] == 1
+        assert header["meta"] == {"seed": 7}
+        assert series.to_dict() == small_series().to_dict()
+
+    def test_appends_multiple_series(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        write_series_jsonl(small_series(3), path)
+        write_series_jsonl(small_series(5), path)
+        pairs = read_series_jsonl(path)
+        assert [len(series) for _, series in pairs] == [3, 5]
+
+    def test_sample_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"sample","step":0}\n')
+        with pytest.raises(ValueError, match="before series-header"):
+            read_series_jsonl(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        write_series_jsonl(small_series(2), path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = 99
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="schema_version"):
+            read_series_jsonl(path)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        write_series_jsonl(small_series(3), path)
+        truncated = path.read_text().splitlines()[:-1]
+        path.write_text("\n".join(truncated) + "\n")
+        with pytest.raises(ValueError, match="promised 3 samples"):
+            read_series_jsonl(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"mystery"}\n')
+        with pytest.raises(ValueError, match="unknown line kind"):
+            read_series_jsonl(path)
+
+
+class TestTraceJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = write_trace_jsonl(small_trace(), path, meta={"seed": 1})
+        assert written == 3
+        [(header, trace)] = read_trace_jsonl(path)
+        assert header["meta"] == {"seed": 1}
+        assert trace.events == small_trace().events
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        write_trace_jsonl(small_trace(), path)
+        truncated = path.read_text().splitlines()[:-1]
+        path.write_text("\n".join(truncated) + "\n")
+        with pytest.raises(ValueError, match="promised 3 events"):
+            read_trace_jsonl(path)
+
+
+class TestPrometheusRendering:
+    def test_counters_and_gauges(self):
+        registry = MetricRegistry()
+        registry.counter("repro_c_total", "c help").inc(5)
+        registry.gauge("repro_g", "g help").set(2)
+        text = render_prometheus(registry)
+        assert "# HELP repro_c_total c help" in text
+        assert "# TYPE repro_c_total counter" in text
+        assert "repro_c_total 5" in text
+        assert "# TYPE repro_g gauge" in text
+        assert "repro_g 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("repro_h", buckets=(1, 4))
+        for value in (0, 1, 3, 9):
+            hist.observe(value)
+        text = render_prometheus(registry)
+        assert 'repro_h_bucket{le="1"} 2' in text
+        assert 'repro_h_bucket{le="4"} 3' in text
+        assert 'repro_h_bucket{le="+Inf"} 4' in text
+        assert "repro_h_sum 13" in text
+        assert "repro_h_count 4" in text
+
+    def test_sorted_name_order_is_deterministic(self):
+        first = MetricRegistry()
+        first.counter("repro_b").inc()
+        first.counter("repro_a").inc()
+        second = MetricRegistry()
+        second.counter("repro_a").inc()
+        second.counter("repro_b").inc()
+        assert render_prometheus(first) == render_prometheus(second)
+
+    def test_accepts_snapshot_payload(self):
+        registry = MetricRegistry()
+        registry.counter("repro_c").inc(3)
+        assert render_prometheus(registry.snapshot()) == render_prometheus(
+            registry
+        )
+
+    def test_help_escaping(self):
+        registry = MetricRegistry()
+        registry.counter("repro_c", "line\nbreak \\ slash")
+        text = render_prometheus(registry)
+        assert "# HELP repro_c line\\nbreak \\\\ slash" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricRegistry()) == ""

@@ -1,0 +1,159 @@
+"""Property tests: the cross-worker aggregation rules are commutative
+and associative, so campaign results cannot depend on worker
+scheduling order."""
+
+import dataclasses
+from types import SimpleNamespace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.results import aggregate_telemetry
+from repro.obs.metrics import MetricRegistry
+from repro.obs.telemetry import RunTelemetry, aggregate
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+counts = st.integers(min_value=0, max_value=10**6)
+
+telemetries = st.builds(
+    RunTelemetry,
+    steps=counts,
+    packet_steps=counts,
+    generated=counts,
+    injected=counts,
+    delivered=counts,
+    advances=counts,
+    deflections=counts,
+    dropped=counts,
+    max_in_flight=counts,
+    max_node_load=counts,
+    max_backlog=counts,
+)
+
+# A small shared name pool so shuffled registries overlap on metrics;
+# every histogram name uses the same buckets (mismatched buckets are a
+# hard error by design, covered in test_metrics.py).
+_BUCKETS = (1, 4, 16)
+
+
+@st.composite
+def registries(draw):
+    registry = MetricRegistry()
+    for name in draw(st.sets(st.sampled_from("abcde"), min_size=1)):
+        registry.counter(f"repro_c_{name}").inc(draw(counts))
+    for name in draw(st.sets(st.sampled_from("abc"))):
+        registry.gauge(f"repro_g_{name}").set(draw(counts))
+    for name in draw(st.sets(st.sampled_from("ab"))):
+        hist = registry.histogram(f"repro_h_{name}", buckets=_BUCKETS)
+        for value in draw(st.lists(counts, max_size=5)):
+            hist.observe(value)
+    return registry
+
+
+def merged_telemetry(items):
+    total = RunTelemetry()
+    for item in items:
+        total.merge(item)
+    return total
+
+
+def merged_registry(items):
+    total = MetricRegistry()
+    for item in items:
+        total.merge(item)
+    return total.snapshot()
+
+
+class TestTelemetryMerge:
+    @SLOW
+    @given(st.lists(telemetries, min_size=1, max_size=6), st.randoms())
+    def test_order_independent(self, items, rng):
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert merged_telemetry(shuffled) == merged_telemetry(items)
+
+    @SLOW
+    @given(telemetries, telemetries, telemetries)
+    def test_associative(self, a, b, c):
+        left = merged_telemetry([merged_telemetry([a, b]), c])
+        right = merged_telemetry([a, merged_telemetry([b, c])])
+        assert left == right
+
+    @SLOW
+    @given(telemetries, telemetries)
+    def test_merge_matches_fieldwise_rule(self, a, b):
+        merged = merged_telemetry([a, b])
+        for field in dataclasses.fields(RunTelemetry):
+            x, y = getattr(a, field.name), getattr(b, field.name)
+            expected = max(x, y) if field.name.startswith("max_") else x + y
+            assert getattr(merged, field.name) == expected
+
+
+class TestAggregateTelemetry:
+    @SLOW
+    @given(
+        st.lists(st.one_of(st.none(), telemetries), max_size=6),
+        st.randoms(),
+    )
+    def test_order_independent_and_none_transparent(self, items, rng):
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert aggregate(shuffled) == aggregate(items)
+        present = [item for item in items if item is not None]
+        if present:
+            assert aggregate(items) == merged_telemetry(present)
+        else:
+            assert aggregate(items) is None
+
+    @SLOW
+    @given(st.lists(st.one_of(st.none(), telemetries), max_size=6))
+    def test_campaign_aggregation_is_the_same_fold(self, items):
+        # aggregate_telemetry is aggregate() lifted over campaign
+        # points; a point whose result predates telemetry carries None.
+        points = [
+            SimpleNamespace(result=SimpleNamespace(telemetry=item))
+            for item in items
+        ]
+        assert aggregate_telemetry(points) == aggregate(items)
+
+
+class TestRegistryMerge:
+    @SLOW
+    @given(st.lists(registries(), min_size=1, max_size=5), st.randoms())
+    def test_order_independent(self, items, rng):
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert merged_registry(shuffled) == merged_registry(items)
+
+    @SLOW
+    @given(registries(), registries(), registries())
+    def test_associative(self, a, b, c):
+        ab = MetricRegistry()
+        ab.merge(a)
+        ab.merge(b)
+        bc = MetricRegistry()
+        bc.merge(b)
+        bc.merge(c)
+        left = MetricRegistry()
+        left.merge(ab)
+        left.merge(c)
+        right = MetricRegistry()
+        right.merge(a)
+        right.merge(bc)
+        assert left.snapshot() == right.snapshot()
+
+    @SLOW
+    @given(registries(), registries())
+    def test_merge_via_snapshot_matches_direct(self, a, b):
+        direct = MetricRegistry()
+        direct.merge(a)
+        direct.merge(b)
+        via_snapshot = MetricRegistry()
+        via_snapshot.merge(a.snapshot())
+        via_snapshot.merge(b.snapshot())
+        assert direct.snapshot() == via_snapshot.snapshot()

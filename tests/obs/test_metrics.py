@@ -1,0 +1,242 @@
+"""Metric registry semantics: plain-int instruments, get-or-create
+ownership, schema-versioned snapshots, and the commutative merge."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFLECTION_BUCKETS,
+    NODE_LOAD_BUCKETS,
+    REGISTRY_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    RunMetricsRecorder,
+    fold_telemetry,
+)
+from repro.obs.telemetry import RunTelemetry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("repro_x_total", "help")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        counter = Counter("repro_x_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_rejects_floats_and_bools(self):
+        counter = Counter("repro_x_total")
+        with pytest.raises(TypeError, match="plain ints"):
+            counter.inc(1.5)
+        with pytest.raises(TypeError, match="plain ints"):
+            counter.inc(True)
+
+    @pytest.mark.parametrize(
+        "name", ["", "9starts_with_digit", "has space", "has-dash"]
+    )
+    def test_rejects_bad_names(self, name):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter(name)
+
+    def test_accepts_prometheus_grammar(self):
+        for name in ("repro_x_total", "_x", "ns:sub:metric", "X9"):
+            assert Counter(name).name == name
+
+
+class TestGauge:
+    def test_keeps_high_water_mark(self):
+        gauge = Gauge("repro_peak")
+        gauge.set(5)
+        gauge.set(3)
+        assert gauge.value == 5
+        gauge.set(9)
+        assert gauge.value == 9
+
+
+class TestHistogram:
+    def test_bucket_placement_and_overflow(self):
+        hist = Histogram("repro_h", buckets=(1, 4, 8))
+        for value in (0, 1, 2, 4, 5, 8, 9, 100):
+            hist.observe(value)
+        # <=1: 0,1 | <=4: 2,4 | <=8: 5,8 | overflow: 9,100
+        assert hist.counts == [2, 2, 2, 2]
+        assert hist.count == 8
+        assert hist.sum == 129
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("repro_h", buckets=(1, 1, 2))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("repro_h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricRegistry()
+        first = registry.counter("repro_a_total", "help")
+        second = registry.counter("repro_a_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricRegistry()
+        registry.counter("repro_a")
+        with pytest.raises(ValueError, match="already registered as"):
+            registry.gauge("repro_a")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricRegistry()
+        registry.histogram("repro_h", buckets=(1, 2))
+        with pytest.raises(ValueError, match="already registered with"):
+            registry.histogram("repro_h", buckets=(1, 3))
+
+    def test_metrics_sorted_by_name(self):
+        registry = MetricRegistry()
+        registry.counter("repro_z")
+        registry.counter("repro_a")
+        registry.gauge("repro_m")
+        assert [m.name for m in registry.metrics()] == [
+            "repro_a",
+            "repro_m",
+            "repro_z",
+        ]
+
+    def test_snapshot_round_trip(self):
+        registry = MetricRegistry()
+        registry.counter("repro_c", "c help").inc(7)
+        registry.gauge("repro_g", "g help").set(3)
+        hist = registry.histogram("repro_h", buckets=(1, 2), help="h help")
+        hist.observe(0)
+        hist.observe(5)
+        snapshot = registry.snapshot()
+        assert snapshot["schema_version"] == REGISTRY_SCHEMA_VERSION
+        rebuilt = MetricRegistry.from_snapshot(snapshot)
+        assert rebuilt.snapshot() == snapshot
+
+    def test_snapshot_version_checked(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            MetricRegistry.from_snapshot(
+                {"schema_version": 99, "metrics": []}
+            )
+
+    def test_merge_semantics(self):
+        a = MetricRegistry()
+        a.counter("repro_c").inc(3)
+        a.gauge("repro_g").set(10)
+        a.histogram("repro_h", buckets=(1, 2)).observe(1)
+        b = MetricRegistry()
+        b.counter("repro_c").inc(4)
+        b.gauge("repro_g").set(6)
+        b.histogram("repro_h", buckets=(1, 2)).observe(5)
+        b.counter("repro_only_b").inc(1)
+        a.merge(b)
+        assert a.counter("repro_c").value == 7
+        assert a.gauge("repro_g").value == 10
+        assert a.histogram("repro_h", buckets=(1, 2)).counts == [1, 0, 1]
+        assert a.counter("repro_only_b").value == 1
+
+    def test_merge_accepts_snapshot_payload(self):
+        a = MetricRegistry()
+        a.counter("repro_c").inc(1)
+        b = MetricRegistry()
+        b.counter("repro_c").inc(2)
+        a.merge(b.snapshot())
+        assert a.counter("repro_c").value == 3
+
+    def test_merge_bucket_mismatch_raises(self):
+        a = MetricRegistry()
+        a.histogram("repro_h", buckets=(1, 2))
+        b = MetricRegistry()
+        b.histogram("repro_h", buckets=(1, 4))
+        with pytest.raises(ValueError, match="already registered with"):
+            a.merge(b)
+
+
+class TestFoldTelemetry:
+    def test_totals_and_peaks(self):
+        registry = MetricRegistry()
+        fold_telemetry(
+            registry,
+            RunTelemetry(
+                steps=5,
+                packet_steps=20,
+                delivered=4,
+                advances=15,
+                deflections=5,
+                max_in_flight=6,
+                max_node_load=3,
+            ),
+        )
+        fold_telemetry(
+            registry,
+            RunTelemetry(
+                steps=2, packet_steps=4, max_in_flight=2, max_node_load=9
+            ),
+        )
+        assert registry.counter("repro_run_steps_total").value == 7
+        assert registry.counter("repro_run_packet_steps_total").value == 24
+        assert registry.gauge("repro_run_peak_in_flight").value == 6
+        assert registry.gauge("repro_run_peak_node_load").value == 9
+
+    def test_none_is_noop(self):
+        registry = MetricRegistry()
+        fold_telemetry(registry, None)
+        assert len(registry) == 0
+
+
+class TestRunMetricsRecorder:
+    def test_lean_loop_safe_flags(self):
+        recorder = RunMetricsRecorder()
+        assert recorder.needs_steps is False
+        assert recorder.needs_summaries is True
+
+    def test_metrics_preregistered(self):
+        recorder = RunMetricsRecorder()
+        registry = recorder.registry
+        assert "repro_step_steps_total" in registry
+        assert "repro_step_peak_node_load" in registry
+        hist = registry.get("repro_step_node_load")
+        assert hist.buckets == NODE_LOAD_BUCKETS
+        assert (
+            registry.get("repro_step_deflections").buckets
+            == DEFLECTION_BUCKETS
+        )
+
+    def test_shares_caller_registry(self):
+        registry = MetricRegistry()
+        recorder = RunMetricsRecorder(registry)
+        assert recorder.registry is registry
+
+    def test_on_summary_accumulates(self):
+        from repro.core.kernel import StepSummary
+
+        recorder = RunMetricsRecorder()
+        recorder.on_summary(
+            StepSummary(
+                step=0,
+                generated=0,
+                injected=0,
+                routed=4,
+                moved=4,
+                advancing=3,
+                delivered=1,
+                delivered_total=1,
+                total_distance=9,
+                max_node_load=2,
+                bad_nodes=0,
+                packets_in_bad_nodes=0,
+                backlog=0,
+            )
+        )
+        registry = recorder.registry
+        assert registry.counter("repro_step_steps_total").value == 1
+        assert registry.counter("repro_step_packet_steps_total").value == 4
+        assert registry.counter("repro_step_advances_total").value == 3
+        assert registry.counter("repro_step_deflections_total").value == 1
+        assert registry.gauge("repro_step_peak_in_flight").value == 4
+        assert registry.get("repro_step_node_load").counts[1] == 1

@@ -1,0 +1,154 @@
+"""Bounded per-step series: deterministic decimation, ring windows,
+and the strict schema round-trip."""
+
+import pytest
+
+from repro.core.kernel import StepSummary
+from repro.obs.series import (
+    SERIES_COLUMNS,
+    SERIES_SCHEMA_VERSION,
+    SeriesRecorder,
+    StepSeries,
+)
+
+
+def summary(step, *, phi=0, routed=0, advancing=0, moved=None, **extra):
+    """A minimal StepSummary for feeding a series directly."""
+    moved = routed if moved is None else moved
+    values = dict(
+        step=step,
+        generated=0,
+        injected=0,
+        routed=routed,
+        moved=moved,
+        advancing=advancing,
+        delivered=0,
+        delivered_total=0,
+        total_distance=phi,
+        max_node_load=0,
+        bad_nodes=0,
+        packets_in_bad_nodes=0,
+        backlog=0,
+    )
+    values.update(extra)
+    return StepSummary(**values)
+
+
+class TestRecording:
+    def test_columns_fill_in_canonical_order(self):
+        series = StepSeries()
+        series.record(
+            summary(0, phi=12, routed=4, advancing=3, max_node_load=2)
+        )
+        assert tuple(series.columns) == SERIES_COLUMNS
+        assert series.columns["step"] == [0]
+        assert series.columns["phi"] == [12]
+        assert series.columns["in_flight"] == [4]
+        assert series.columns["advancing"] == [3]
+        assert series.columns["deflected"] == [1]
+        assert series.columns["max_node_load"] == [2]
+        assert len(series) == 1
+
+    def test_rejects_bad_capacity_and_mode(self):
+        with pytest.raises(ValueError, match="capacity"):
+            StepSeries(capacity=1)
+        with pytest.raises(ValueError, match="mode"):
+            StepSeries(mode="sliding")
+
+    def test_deflection_rates(self):
+        series = StepSeries()
+        series.record(summary(0, routed=4, advancing=3))
+        series.record(summary(1, routed=0, advancing=0))
+        assert series.deflection_rates() == [0.25, 0.0]
+
+
+class TestRingMode:
+    def test_keeps_the_tail(self):
+        series = StepSeries(capacity=3, mode="ring")
+        for step in range(10):
+            series.record(summary(step, phi=step * 10))
+        assert series.columns["step"] == [7, 8, 9]
+        assert series.columns["phi"] == [70, 80, 90]
+        assert series.dropped == 7
+
+
+class TestDecimateMode:
+    def test_stride_doubles_and_keeps_step_multiples(self):
+        series = StepSeries(capacity=4, mode="decimate")
+        for step in range(10):
+            series.record(summary(step))
+        # Overflow at 5 samples doubled the stride to 2 (keeping even
+        # steps), then again to 4 at the next overflow.
+        assert series.stride == 4
+        assert series.columns["step"] == [0, 4, 8]
+        assert series.dropped == 7
+        assert len(series) + series.dropped == 10
+
+    def test_spans_whole_run(self):
+        series = StepSeries(capacity=8, mode="decimate")
+        steps = 1000
+        for step in range(steps):
+            series.record(summary(step))
+        kept = series.columns["step"]
+        assert kept[0] == 0
+        assert all(step % series.stride == 0 for step in kept)
+        assert kept == sorted(kept)
+        assert steps - series.stride <= kept[-1] < steps
+
+    def test_deterministic_across_identical_runs(self):
+        def run():
+            series = StepSeries(capacity=16)
+            for step in range(500):
+                series.record(summary(step, phi=step % 7))
+            return series.to_dict()
+
+        assert run() == run()
+
+
+class TestSchemaRoundTrip:
+    def test_round_trip(self):
+        series = StepSeries(capacity=4)
+        for step in range(9):
+            series.record(summary(step, phi=step, routed=1))
+        payload = series.to_dict()
+        assert payload["schema_version"] == SERIES_SCHEMA_VERSION
+        assert payload["samples"] == len(series)
+        rebuilt = StepSeries.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_version_checked(self):
+        payload = StepSeries().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            StepSeries.from_dict(payload)
+
+    def test_missing_column_rejected(self):
+        payload = StepSeries().to_dict()
+        del payload["columns"]["phi"]
+        with pytest.raises(ValueError, match="columns"):
+            StepSeries.from_dict(payload)
+
+    def test_ragged_columns_rejected(self):
+        series = StepSeries()
+        series.record(summary(0))
+        payload = series.to_dict()
+        payload["columns"]["phi"] = []
+        with pytest.raises(ValueError, match="ragged"):
+            StepSeries.from_dict(payload)
+
+
+class TestSeriesRecorder:
+    def test_lean_loop_safe_flags(self):
+        recorder = SeriesRecorder()
+        assert recorder.needs_steps is False
+        assert recorder.needs_summaries is True
+
+    def test_feeds_series(self):
+        recorder = SeriesRecorder(capacity=8, mode="ring")
+        recorder.on_summary(summary(0, phi=5))
+        assert recorder.series.columns["phi"] == [5]
+
+    def test_wraps_caller_series(self):
+        series = StepSeries(capacity=2)
+        recorder = SeriesRecorder(series)
+        assert recorder.series is series
