@@ -4,7 +4,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test smoke bench perf-trajectory profile lint lint-baseline typecheck
+.PHONY: test smoke bench perf-trajectory profile crashtest lint lint-baseline typecheck
 
 # Tier-1 verification: the full suite, exactly as CI runs it.
 test:
@@ -28,6 +28,14 @@ perf-trajectory:
 # wall-clock timestamps from repro.obs.clock around each phase).
 profile:
 	PYTHONPATH=src python -m repro profile --side 16 --k 256
+
+# Kill-and-resume sweep: every engine x backend combination is
+# snapshotted at every checkpoint boundary and resumed, the durability
+# layer is run under injected fsync/ENOSPC/SIGKILL faults, and a real
+# worker pool is SIGKILLed mid-campaign and resumed from its log
+# (see docs/robustness.md for the failure model).
+crashtest:
+	PYTHONPATH=src python -m repro.chaos.crashtest all
 
 # Static analysis (repro.lint) plus ruff, when available.  The custom
 # linter is the gate — it has no third-party dependencies and must

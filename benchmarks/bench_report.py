@@ -214,6 +214,49 @@ def _observed_throughput(repeats: int) -> float:
     return best
 
 
+#: Checkpoint interval for the overhead row.  The reference workload
+#: completes in ~25 steps, so every-8 gives a few snapshots per run —
+#: frequent enough to measure serialization cost, and *denser* than a
+#: sane production interval, which makes the ≤5% guard conservative.
+CHECKPOINT_EVERY = 8
+
+
+def _checkpoint_throughput(repeats: int) -> float:
+    """Best-of-N fast-path packet-steps/sec with checkpointing on.
+
+    The sink discards the snapshot after asserting one arrived, so the
+    row measures exactly what ``checkpoint_every`` adds on the lean
+    loop: segment-boundary exits plus snapshot serialization — not
+    disk I/O, which belongs to the chosen sink (store append, atomic
+    file write) rather than to the engine.
+    """
+    mesh = Mesh(2, SIDE)
+    problem = random_many_to_many(mesh, k=K, seed=SEED)
+    best = None
+    for _ in range(repeats):
+        taken = []
+        policy = RestrictedPriorityPolicy()
+        engine = HotPotatoEngine(
+            problem,
+            policy,
+            seed=SEED,
+            validators=validators_for(policy, strict=False),
+            fast_path=True,
+            checkpoint_every=CHECKPOINT_EVERY,
+            on_checkpoint=taken.append,
+        )
+        start = time.perf_counter()
+        result = engine.run()
+        elapsed = time.perf_counter() - start
+        assert result.completed
+        assert taken, "reference run too short to checkpoint"
+        packet_steps = sum(m.in_flight for m in result.step_metrics)
+        rate = packet_steps / elapsed
+        if best is None or rate > best:
+            best = rate
+    return best
+
+
 def _lean_observability() -> tuple:
     """One profiled fast-path run; returns (phase shares, counters).
 
@@ -356,6 +399,7 @@ def build_record(
     instrumented = _throughput(False, False, repeats)
     fast = _throughput(False, True, repeats)
     observed = _observed_throughput(repeats)
+    checkpointed = _checkpoint_throughput(repeats)
     soa = _throughput(False, None, repeats, backend="soa")
     buffered = _best_rate(_run_buffered_once, repeats)
     dynamic = _best_rate(partial(_run_dynamic_once, False), repeats)
@@ -398,6 +442,18 @@ def build_record(
             "plain": round(fast, 1),
             "observed": round(observed, 1),
             "overhead": round(max(0.0, 1.0 - observed / fast), 4),
+        },
+        #: Cost of mid-run checkpointing on the lean loop: the
+        #: fast-path row re-run with ``checkpoint_every=64`` and a
+        #: discard sink, so the figure isolates segmentation plus
+        #: snapshot serialization.  Guarded same-run like obs_overhead
+        #: (zero cost when the knob is off — the off path has no
+        #: per-step branch at all).
+        "checkpoint_overhead": {
+            "every": CHECKPOINT_EVERY,
+            "plain": round(fast, 1),
+            "checkpointed": round(checkpointed, 1),
+            "overhead": round(max(0.0, 1.0 - checkpointed / fast), 4),
         },
         #: Lean-path time attribution, from one profiled fast-path run
         #: (fractions of total kernel time, keyed by PHASES order).
@@ -452,9 +508,10 @@ def check_lean_regression(
     seconds for the 8-seed sweep and campaign tables (lower is better)
     — is within ``tolerance`` of the most recent record in the
     trajectory file, and a human-readable warning otherwise.  The
-    ``obs_overhead`` figure is guarded against the same-run plain row
-    rather than history (both throughputs come from this record), so
-    it fires even on a fresh trajectory file.  The guard is advisory
+    ``obs_overhead`` and ``checkpoint_overhead`` figures are guarded
+    against the same-run plain row rather than history (all three
+    throughputs come from this record), so they fire even on a fresh
+    trajectory file.  The guard is advisory
     by default because absolute timings vary across machines; same-host
     CI promotes it to a failure with ``--fail-on-regression``.
     """
@@ -467,6 +524,16 @@ def check_lean_regression(
             f"({record['obs_overhead']['observed']:.1f} vs "
             f"{record['obs_overhead']['plain']:.1f} packet-steps/s); "
             f"tolerance is {tolerance:.0%}"
+        )
+    ck_overhead = (record.get("checkpoint_overhead") or {}).get("overhead")
+    if ck_overhead is not None and ck_overhead > tolerance:
+        warnings.append(
+            f"checkpoint overhead regression: checkpoint_every="
+            f"{record['checkpoint_overhead']['every']} costs "
+            f"{ck_overhead:.1%} of lean throughput "
+            f"({record['checkpoint_overhead']['checkpointed']:.1f} vs "
+            f"{record['checkpoint_overhead']['plain']:.1f} "
+            f"packet-steps/s); tolerance is {tolerance:.0%}"
         )
     history = []
     if os.path.exists(path):

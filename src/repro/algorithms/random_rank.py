@@ -19,7 +19,7 @@ correlation between the ranking and the workload.
 from __future__ import annotations
 
 import random
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.algorithms.base import GreedyMatchingPolicy
 from repro.core.node_view import NodeView
@@ -50,6 +50,23 @@ class RandomRankPolicy(GreedyMatchingPolicy):
         self._ranks = {
             index: self._rng.random()
             for index in range(len(problem.requests))
+        }
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The rank table, JSON-safe (see :mod:`repro.snapshot`); the
+        spawned RNG stream is captured separately by the engine
+        snapshot.  Floats round-trip exactly through JSON."""
+        return {
+            "ranks": {
+                str(packet_id): rank
+                for packet_id, rank in self._ranks.items()
+            }
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        self._ranks = {
+            int(packet_id): float(rank)
+            for packet_id, rank in payload["ranks"].items()
         }
 
     def _rank(self, packet_id: PacketId) -> float:

@@ -26,9 +26,11 @@ payload contract.
 
 from __future__ import annotations
 
+import dataclasses
+import functools
 from dataclasses import dataclass, field
 from types import TracebackType
-from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.campaign.pool import WorkerPool
 from repro.campaign.results import (
@@ -208,6 +210,63 @@ class Campaign:
         ).inc()
         fold_telemetry(self.metrics, point.result.telemetry)
 
+    def _chunk_fn(
+        self,
+        pending: Sequence[str],
+        by_key: Dict[str, CaseSpec],
+        checkpoints: Dict[str, Dict[str, Any]],
+    ):
+        """The chunk function for this batch.
+
+        When no pending spec asks for mid-run durability the bare
+        :func:`~repro.campaign.worker.execute_chunk` goes out, exactly
+        as before.  Otherwise the stored snapshots for pending keys and
+        the store path are bound via :func:`functools.partial` — pure
+        data riding next to the spec payload, so the PAR5xx submission
+        purity rules hold and the serial path behaves identically.
+        """
+        durable = self.store is not None and any(
+            by_key[key].checkpoint_every is not None for key in pending
+        )
+        relevant = {
+            key: checkpoints[key] for key in pending if key in checkpoints
+        }
+        if not durable and not relevant:
+            return execute_chunk
+        assert self.store is not None
+        return functools.partial(
+            execute_chunk,
+            checkpoints=relevant,
+            store_path=self.store.path,
+        )
+
+    def _enrich_failure(
+        self,
+        key: str,
+        index: int,
+        failure: CaseFailure,
+        prior_failures: Dict[str, CaseFailure],
+    ) -> CaseFailure:
+        """Fold retry accounting into a failure before it is recorded.
+
+        ``attempts`` counts every execution try the pool made for this
+        item in the current batch, plus whatever earlier campaign runs
+        already burned (replayed from the last ``case-failed`` event);
+        ``history`` carries one line per earlier terminal failure so a
+        permanently broken case shows its whole trajectory.
+        """
+        attempts = self.pool.attempts.get(index, 1)
+        prior = prior_failures.get(key)
+        history: Tuple[str, ...] = ()
+        if prior is not None:
+            attempts += prior.attempts
+            history = prior.history + (
+                f"{prior.error}: {prior.message}",
+            )
+        return dataclasses.replace(
+            failure, attempts=attempts, history=history
+        )
+
     def run(self) -> CampaignResult:
         """Execute every open case; returns points in spec order.
 
@@ -220,9 +279,13 @@ class Campaign:
         by_key = {key: spec for key, spec in zip(self.keys, self.specs)}
         restored: Dict[str, ExperimentPoint] = {}
         known: Dict[str, str] = {}
+        checkpoints: Dict[str, Dict[str, Any]] = {}
+        prior_failures: Dict[str, CaseFailure] = {}
         if self.store is not None:
             state = self.store.replay()
             known = {key: "seen" for key in state.specs}
+            checkpoints = state.checkpoints
+            prior_failures = state.failures
             restored = {
                 key: point
                 for key, point in state.points.items()
@@ -254,6 +317,9 @@ class Campaign:
                 index: int, result: Union[ExperimentPoint, CaseFailure]
             ) -> None:
                 key = pending[index]
+                if isinstance(result, CaseFailure):
+                    result = self._enrich_failure(key, index, result,
+                                                  prior_failures)
                 outcome[key] = result
                 if isinstance(result, CaseFailure):
                     self.metrics.counter(
@@ -271,7 +337,7 @@ class Campaign:
 
             self.pool.run_batch(
                 [by_key[key] for key in pending],
-                execute_chunk,
+                self._chunk_fn(pending, by_key, checkpoints),
                 on_result=on_result,
             )
 

@@ -52,9 +52,14 @@ from typing import (
 
 from repro.obs.clock import sleep_for
 
-__all__ = ["WorkerPool"]
+__all__ = ["BACKOFF_CAP", "WorkerPool"]
 
 ChunkFn = Callable[[Sequence[Any]], List[Any]]
+
+#: Ceiling on the exponential retry backoff, in seconds.  Uncapped
+#: doubling reaches minutes within a dozen attempts, which turns a
+#: transiently failing case into a silently stalled campaign.
+BACKOFF_CAP = 5.0
 
 
 class WorkerPool:
@@ -99,7 +104,8 @@ class WorkerPool:
         self.timeout = timeout
         #: Extra pool attempts after the first (0 disables retry).
         self.retries = max(0, int(retries))
-        #: Base delay before retry ``k`` is ``backoff * 2**(k-1)``.
+        #: Base delay before retry ``k`` is ``backoff * 2**(k-1)``,
+        #: bounded by :data:`BACKOFF_CAP`.
         self.backoff = backoff
         self._sleep = sleep if sleep is not None else sleep_for
         self._initializer = initializer
@@ -113,6 +119,11 @@ class WorkerPool:
         #: Pool (re)starts over this instance's lifetime.  A healthy
         #: campaign shows 1; each crash/wedge recovery adds one.
         self.starts = 0
+        #: Execution tries per item index in the most recent batch
+        #: (first dispatch counts as 1).  Lets callers report a
+        #: permanently failing item's retry history instead of just
+        #: its final exception.
+        self.attempts: Dict[int, int] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -187,6 +198,7 @@ class WorkerPool:
         self.degraded = False
         self.chunked = 0
         items = list(items)
+        self.attempts = {index: 0 for index in range(len(items))}
         results: Dict[int, Any] = {}
 
         def record(index: int, result: Any) -> None:
@@ -200,6 +212,7 @@ class WorkerPool:
             or not self._picklable(items)
         ):
             for index, item in enumerate(items):
+                self.attempts[index] = 1
                 record(index, fn([item])[0])
             return [results[i] for i in range(len(items))]
 
@@ -210,7 +223,9 @@ class WorkerPool:
             if attempt:
                 self.degraded = True
                 if self.backoff > 0:
-                    self._sleep(self.backoff * (2 ** (attempt - 1)))
+                    self._sleep(
+                        min(BACKOFF_CAP, self.backoff * (2 ** (attempt - 1)))
+                    )
             self._pool_pass(items, pending, fn, record)
             pending = [i for i in pending if i not in results]
         if pending:
@@ -218,6 +233,7 @@ class WorkerPool:
             # serially here, so the batch always comes back whole.
             self.degraded = True
             for index in pending:
+                self.attempts[index] += 1
                 record(index, fn([items[index]])[0])
         return [results[i] for i in range(len(items))]
 
@@ -253,9 +269,13 @@ class WorkerPool:
         assert pool is not None
         healthy = True
         try:
+            chunks = self._chunks(pending)
+            for chunk in chunks:
+                for index in chunk:
+                    self.attempts[index] += 1
             futures: Dict[Future[List[Any]], Sequence[int]] = {
                 pool.submit(fn, [items[i] for i in chunk]): chunk
-                for chunk in self._chunks(pending)
+                for chunk in chunks
             }
             self.chunked += len(futures)
             outstanding = set(futures)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Mapping, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.core.metrics import RunResult
 from repro.faults.report import RunAborted
@@ -53,26 +53,37 @@ class CaseFailure:
     Deterministic failures (policy bugs, validation errors) repeat on
     retry, so the campaign records them as data — keyed like any other
     event — rather than crashing the whole run.  ``error`` is the
-    exception class name, ``message`` its text.
+    exception class name, ``message`` its text; ``attempts`` counts
+    every execution try (first run + retries), and ``history`` keeps
+    one line per earlier attempt so a permanently failing case reports
+    its whole retry trajectory, not just the last exception.
     """
 
     key: str
     error: str
     message: str
+    attempts: int = 1
+    history: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "key": self.key,
             "error": self.error,
             "message": self.message,
+            "attempts": self.attempts,
+            "history": list(self.history),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CaseFailure":
+        # attempts/history are absent from pre-checkpointing event
+        # logs; default them so old stores keep replaying.
         return cls(
             key=str(data["key"]),
             error=str(data["error"]),
             message=str(data["message"]),
+            attempts=int(data.get("attempts", 1)),
+            history=tuple(str(line) for line in data.get("history", ())),
         )
 
 

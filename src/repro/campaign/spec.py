@@ -82,6 +82,12 @@ class CaseSpec:
             (None = fault-free run).
         priority: campaign queue priority — higher runs earlier;
             ties keep submission order.
+        checkpoint_every: mid-run checkpoint interval in steps; the
+            worker appends a ``case-checkpointed`` event (an engine
+            snapshot, :mod:`repro.snapshot`) at every interval so a
+            killed case resumes from its last checkpoint instead of
+            step 0.  ``None`` (default) disables mid-run durability
+            for the case.
     """
 
     topology: str
@@ -98,6 +104,7 @@ class CaseSpec:
     backend: str = "object"
     faults: Optional[str] = None
     priority: int = 0
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -131,6 +138,11 @@ class CaseSpec:
             )
         if self.backend == "soa" and self.faults is not None:
             raise ValueError("backend='soa' does not support fault schedules")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, "
+                f"got {self.checkpoint_every}"
+            )
 
     @property
     def shape(self) -> Tuple[str, int, int]:
@@ -157,6 +169,7 @@ class CaseSpec:
             "backend": self.backend,
             "faults": self.faults,
             "priority": self.priority,
+            "checkpoint_every": self.checkpoint_every,
         }
 
     @classmethod
@@ -177,6 +190,7 @@ class CaseSpec:
             "backend",
             "faults",
             "priority",
+            "checkpoint_every",
         }
         unknown = set(data) - known
         if unknown:
@@ -205,6 +219,11 @@ class CaseSpec:
                 None if data.get("faults") is None else str(data["faults"])
             ),
             priority=int(data.get("priority", 0)),
+            checkpoint_every=(
+                None
+                if data.get("checkpoint_every") is None
+                else int(data["checkpoint_every"])
+            ),
         )
 
 
@@ -219,8 +238,12 @@ def spec_key(spec: CaseSpec) -> str:
 
     ``priority`` is deliberately excluded: re-prioritizing a queue
     must not orphan the work already finished under the old priority.
+    ``checkpoint_every`` likewise — it changes *how durably* a case
+    runs, never its result, so retuning the interval on resume must
+    keep matching the history.
     """
     payload = spec.to_dict()
     del payload["priority"]
+    del payload["checkpoint_every"]
     material = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]

@@ -9,7 +9,11 @@ events, one JSON object per line:
 * ``case-finished`` — the case produced a summary-level point
   (:func:`repro.campaign.results.point_to_dict` payload);
 * ``case-failed``   — the case raised; carries the
-  :class:`~repro.campaign.results.CaseFailure` payload.
+  :class:`~repro.campaign.results.CaseFailure` payload;
+* ``case-checkpointed`` — a mid-run engine snapshot for the case (see
+  :mod:`repro.snapshot`); a later checkpoint supersedes an earlier
+  one, and the first ``case-finished`` discards them all, so a killed
+  case resumes from its last checkpoint instead of step 0.
 
 Every line carries ``schema_version`` and a ``created_at`` timestamp
 (via the sanctioned :func:`repro.obs.clock.utc_now_iso`); every event
@@ -64,6 +68,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     "case-started",
     "case-finished",
     "case-failed",
+    "case-checkpointed",
 )
 
 
@@ -83,6 +88,9 @@ class CampaignState:
     status: Dict[str, str] = field(default_factory=dict)
     points: Dict[str, ExperimentPoint] = field(default_factory=dict)
     failures: Dict[str, CaseFailure] = field(default_factory=dict)
+    #: Latest mid-run snapshot per unfinished key (the resume seed for
+    #: a killed case); dropped the moment the key finishes.
+    checkpoints: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
     #: Event ``created_at`` stamps per key: when the case was first
     #: queued, last dispatched, and first finished.  Live progress
@@ -177,22 +185,52 @@ class CampaignStore:
             fsync=True,
         )
 
+    def checkpoint(self, key: str, snapshot: Mapping[str, Any]) -> None:
+        """Durably append one ``case-checkpointed`` (fsynced on
+        return); ``snapshot`` is an engine snapshot payload from
+        :mod:`repro.snapshot`."""
+        append_jsonl(
+            [
+                self._event(
+                    "case-checkpointed",
+                    key,
+                    step=int(snapshot.get("step", 0)),
+                    snapshot=dict(snapshot),
+                )
+            ],
+            self.path,
+            fsync=True,
+        )
+
     # -- reading -------------------------------------------------------
 
     def replay(self) -> CampaignState:
-        """Fold the log into current state (missing file = fresh)."""
+        """Fold the log into current state (missing file = fresh).
+
+        The file is read as *bytes* and decoded per line: a crash can
+        tear the trailing line anywhere, including mid-way through a
+        multi-byte UTF-8 sequence, and a text-mode iterator would
+        raise ``UnicodeDecodeError`` from the read itself — outside
+        any per-line tolerance.  Decoding inside the per-line ``try``
+        turns every form of torn tail (truncated JSON, split UTF-8,
+        several unterminated lines from torn multi-event appends) into
+        a recorded error instead of an unreadable store.
+        """
         state = CampaignState()
         try:
-            handle = open(self.path, "r", encoding="utf-8")
+            handle = open(self.path, "rb")
         except FileNotFoundError:
             return state
         with handle:
-            for number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
+            for number, raw in enumerate(handle, start=1):
+                raw = raw.strip()
+                if not raw:
                     continue
                 try:
-                    self._apply(state, json.loads(line))
+                    # UnicodeDecodeError is a ValueError subclass, so
+                    # a torn multi-byte character lands in the same
+                    # tolerance as torn JSON.
+                    self._apply(state, json.loads(raw.decode("utf-8")))
                 except (ValueError, TypeError, KeyError) as problem:
                     state.errors.append(
                         f"{self.path}:{number}: {problem}"
@@ -235,11 +273,21 @@ class CampaignStore:
         elif kind == "case-finished":
             state.points[key] = point_from_dict(data["point"])
             state.status[key] = "finished"
+            # A finished case needs no resume seed.
+            state.checkpoints.pop(key, None)
             if stamp:
                 state.finished_at[key] = stamp
         elif kind == "case-failed":
             state.failures[key] = CaseFailure.from_dict(data["failure"])
             state.status[key] = "failed"
+        elif kind == "case-checkpointed":
+            snapshot = data["snapshot"]
+            if not isinstance(snapshot, Mapping):
+                raise ValueError("case-checkpointed without a snapshot")
+            # Later checkpoints supersede earlier ones; the sticky
+            # finished check above already discards stragglers from a
+            # crashed retry.
+            state.checkpoints[key] = dict(snapshot)
 
     def status(self) -> Dict[str, int]:
         """Counts per lifecycle state (replays the log)."""

@@ -24,7 +24,17 @@ engines, which construct their streams through ``repro.core.rng``.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.campaign.results import (
     CaseFailure,
@@ -163,7 +173,11 @@ def resolve_policy(spec: CaseSpec) -> RoutingPolicy:
     return make_policy(spec.policy)
 
 
-def _run_engine(spec: CaseSpec) -> Tuple[RunResult, RoutingPolicy, int]:
+def _run_engine(
+    spec: CaseSpec,
+    checkpoint: Optional[Mapping[str, Any]] = None,
+    on_checkpoint: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Tuple[RunResult, RoutingPolicy, int]:
     from repro.core.validation import validators_for
 
     mesh = mesh_for(spec)
@@ -175,17 +189,20 @@ def _run_engine(spec: CaseSpec) -> Tuple[RunResult, RoutingPolicy, int]:
 
         faults = FaultSchedule.load(spec.faults)
         faults.check(mesh)
+    checkpoint_every = spec.checkpoint_every if on_checkpoint else None
     if spec.engine == "buffered":
-        result = BufferedEngine(
+        engine: Union[BufferedEngine, HotPotatoEngine] = BufferedEngine(
             problem,
             policy,
             seed=spec.seed,
             max_steps=spec.max_steps,
             backend=spec.backend,
             faults=faults,
-        ).run()
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
     else:
-        result = HotPotatoEngine(
+        engine = HotPotatoEngine(
             problem,
             policy,
             seed=spec.seed,
@@ -193,11 +210,24 @@ def _run_engine(spec: CaseSpec) -> Tuple[RunResult, RoutingPolicy, int]:
             max_steps=spec.max_steps,
             backend=spec.backend,
             faults=faults,
-        ).run()
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
+    if checkpoint is not None:
+        # The spec rebuilds the identical problem/policy/seed, so the
+        # snapshot restores cleanly and the remaining steps reproduce
+        # the uninterrupted run bit-identically.
+        engine.resume_from(dict(checkpoint))
+    result = engine.run()
     return result, policy, problem.k
 
 
-def execute_case(spec: CaseSpec) -> ExperimentPoint:
+def execute_case(
+    spec: CaseSpec,
+    *,
+    checkpoint: Optional[Mapping[str, Any]] = None,
+    store_path: Optional[str] = None,
+) -> ExperimentPoint:
     """Resolve and run one spec; returns a summary-level point.
 
     The point's params are the spec's sweep labels with ``seed`` /
@@ -205,8 +235,28 @@ def execute_case(spec: CaseSpec) -> ExperimentPoint:
     legacy harness), and the result is stripped to summary level —
     the representation that crosses process boundaries and lands in
     the event log.
+
+    With ``store_path`` set and a spec that carries
+    ``checkpoint_every``, the run appends a ``case-checkpointed``
+    event to the campaign store at every interval (each append is one
+    fsynced ``O_APPEND`` write, so concurrent workers interleave whole
+    events, never bytes).  ``checkpoint`` is a previously stored
+    snapshot to resume from instead of step 0.
     """
-    result, policy, k = _run_engine(spec)
+    on_checkpoint: Optional[Callable[[Dict[str, Any]], None]] = None
+    if store_path is not None and spec.checkpoint_every is not None:
+        from repro.campaign.store import CampaignStore
+
+        store = CampaignStore(store_path)
+        key = spec_key(spec)
+
+        def _append_checkpoint(snapshot: Dict[str, Any]) -> None:
+            store.checkpoint(key, snapshot)
+
+        on_checkpoint = _append_checkpoint
+    result, policy, k = _run_engine(
+        spec, checkpoint=checkpoint, on_checkpoint=on_checkpoint
+    )
     params: Dict[str, object] = dict(spec.params)
     params.setdefault("seed", spec.seed)
     params.setdefault("policy", policy.name)
@@ -217,6 +267,9 @@ def execute_case(spec: CaseSpec) -> ExperimentPoint:
 
 def execute_chunk(
     specs: Sequence[CaseSpec],
+    *,
+    checkpoints: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    store_path: Optional[str] = None,
 ) -> List[Union[ExperimentPoint, CaseFailure]]:
     """Run a contiguous slice of specs inside one worker process.
 
@@ -225,15 +278,32 @@ def execute_chunk(
     instead of poisoning its siblings: deterministic failures repeat
     on retry, so surfacing them as data (keyed for the event log) is
     the only outcome that lets a large campaign finish.
+
+    ``checkpoints`` maps spec keys to stored snapshots (cases present
+    resume mid-run); ``store_path`` enables ``case-checkpointed``
+    appends for specs that carry ``checkpoint_every``.  The orchestrator
+    binds both via ``functools.partial``, which keeps the chunk
+    payload itself pure data (PAR5xx).
     """
     out: List[Union[ExperimentPoint, CaseFailure]] = []
     for spec in specs:
+        key = spec_key(spec)
         try:
-            out.append(execute_case(spec))
+            out.append(
+                execute_case(
+                    spec,
+                    checkpoint=(
+                        checkpoints.get(key)
+                        if checkpoints is not None
+                        else None
+                    ),
+                    store_path=store_path,
+                )
+            )
         except Exception as problem:
             out.append(
                 CaseFailure(
-                    key=spec_key(spec),
+                    key=key,
                     error=type(problem).__name__,
                     message=str(problem),
                 )

@@ -1,0 +1,59 @@
+"""Infrastructure chaos: fault injection for the durability layer.
+
+:mod:`repro.faults` breaks the *simulated* network; this package
+breaks the *simulator's own* infrastructure — fsyncs that fail, disks
+that fill mid-write, processes that die between a write and its
+acknowledgement — and proves the recovery paths
+(:mod:`repro.snapshot`, the campaign event log) actually recover.
+
+* :mod:`repro.chaos.injector` — deterministic syscall-seam fault
+  injection (``EIO``/``ENOSPC``/mid-write kill) plus byte-level tail
+  tearing.
+* :mod:`repro.chaos.crashtest` — kill-and-resume drivers: every
+  checkpoint boundary of every batch engine, a chaos-beaten campaign
+  store, and a genuinely SIGKILLed 2-worker campaign subprocess.
+  ``python -m repro.chaos.crashtest`` runs them all.
+
+See ``docs/robustness.md`` for the failure model these tools enforce.
+"""
+
+from repro.chaos.injector import (
+    ChaosLog,
+    ChaosPlan,
+    ProcessKilled,
+    durability_chaos,
+    tear_tail,
+)
+
+_CRASHTEST_NAMES = (
+    "CrashtestReport",
+    "crashtest_campaign",
+    "crashtest_engine",
+    "crashtest_route",
+    "crashtest_store",
+)
+
+
+def __getattr__(name: str):
+    # Lazy: ``python -m repro.chaos.crashtest`` imports this package
+    # first, and an eager crashtest import here would double-load the
+    # module runpy is about to execute.
+    if name in _CRASHTEST_NAMES:
+        from repro.chaos import crashtest
+
+        return getattr(crashtest, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ChaosLog",
+    "ChaosPlan",
+    "CrashtestReport",
+    "ProcessKilled",
+    "crashtest_campaign",
+    "crashtest_engine",
+    "crashtest_route",
+    "crashtest_store",
+    "durability_chaos",
+    "tear_tail",
+]

@@ -198,6 +198,65 @@ def _print_fault_outcome(result) -> None:
         print(result.abort.summary())
 
 
+def _route_durability(args: argparse.Namespace):
+    """Resolve ``--checkpoint-every/--checkpoint/--resume-from``.
+
+    Returns ``(on_checkpoint, resume_payload)`` — either may be None.
+    Both knobs run plain engine runs only: the analysis paths
+    (``--verify``/``--save-trace``) replay a run in full, so mid-run
+    durability has nothing to attach to there.
+    """
+    on_checkpoint = None
+    resume_payload = None
+    if args.checkpoint_every is not None or args.resume_from:
+        if args.verify or args.save_trace:
+            raise SystemExit(
+                "--checkpoint-every/--resume-from checkpoint plain "
+                "engine runs; they do not combine with "
+                "--verify/--save-trace"
+            )
+    if args.checkpoint_every is not None:
+        if not args.checkpoint:
+            raise SystemExit(
+                "--checkpoint-every needs --checkpoint PATH to know "
+                "where to write snapshots"
+            )
+        from repro.snapshot import save_snapshot
+
+        def on_checkpoint(snapshot, _path=args.checkpoint):
+            save_snapshot(snapshot, _path)
+
+    elif args.checkpoint:
+        raise SystemExit("--checkpoint needs --checkpoint-every N")
+    if args.resume_from:
+        from repro.snapshot import load_snapshot
+
+        try:
+            resume_payload = load_snapshot(args.resume_from)
+        except (OSError, ValueError) as problem:
+            raise SystemExit(
+                f"cannot resume from {args.resume_from}: {problem}"
+            )
+        print(
+            f"resuming from {args.resume_from} "
+            f"(step {resume_payload.get('step')})"
+        )
+    return on_checkpoint, resume_payload
+
+
+def _route_resume(engine, args: argparse.Namespace, payload) -> None:
+    """Restore a snapshot into a freshly built engine (or exit)."""
+    if payload is None:
+        return
+    try:
+        engine.resume_from(payload)
+    except (ValueError, TypeError, KeyError) as problem:
+        raise SystemExit(
+            f"snapshot {args.resume_from} does not match this run "
+            f"(same mesh/workload/policy/seed flags required): {problem}"
+        )
+
+
 def cmd_route(args: argparse.Namespace) -> int:
     mesh = _build_mesh(args)
     problem = _build_workload(mesh, args)
@@ -222,6 +281,7 @@ def cmd_route(args: argparse.Namespace) -> int:
             "--faults injects failures into plain engine runs; it does "
             "not combine with --verify/--save-trace"
         )
+    checkpoint_cb, resume_payload = _route_durability(args)
     observers = _telemetry_observers(args, "route")
     series = _series_recorder(args)
     if series is not None:
@@ -248,8 +308,13 @@ def cmd_route(args: argparse.Namespace) -> int:
         buffered_engine = BufferedEngine(
             problem, policy, seed=args.seed, observers=observers,
             faults=faults, backend=args.backend,
+            checkpoint_every=args.checkpoint_every,
+            on_checkpoint=checkpoint_cb,
         )
+        _route_resume(buffered_engine, args, resume_payload)
         result = buffered_engine.run()
+        if checkpoint_cb is not None:
+            print(f"checkpoints written to {args.checkpoint}")
         print(result.summary())
         _print_fault_outcome(result)
         print(f"max buffer occupancy: {buffered_engine.max_buffer_seen}")
@@ -280,9 +345,14 @@ def cmd_route(args: argparse.Namespace) -> int:
             extra["validators"] = validators_for(policy, strict=False)
         engine = HotPotatoEngine(
             problem, policy, seed=args.seed, observers=observers,
-            faults=faults, backend=args.backend, **extra,
+            faults=faults, backend=args.backend,
+            checkpoint_every=args.checkpoint_every,
+            on_checkpoint=checkpoint_cb, **extra,
         )
+        _route_resume(engine, args, resume_payload)
         result = engine.run()
+        if checkpoint_cb is not None:
+            print(f"checkpoints written to {args.checkpoint}")
         if args.telemetry:
             print(f"manifest appended to {args.telemetry}")
         _write_series(args, series, "route")
@@ -544,6 +614,7 @@ def _campaign_specs(args: argparse.Namespace) -> list:
                 max_steps=args.max_steps,
                 engine=args.engine,
                 backend=args.backend,
+                checkpoint_every=getattr(args, "checkpoint_every", None),
             )
             for seed in range(args.seeds)
         ]
@@ -605,6 +676,11 @@ def _append_campaign_manifests(campaign, result, path: str) -> None:
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.campaign import Campaign, CampaignStore
 
+    if getattr(args, "checkpoint_every", None) is not None and not args.store:
+        raise SystemExit(
+            "--checkpoint-every appends snapshots to the event log; "
+            "it needs --store PATH"
+        )
     specs = _campaign_specs(args)
     store = CampaignStore(args.store) if args.store else None
     with Campaign(specs, store=store, workers=args.workers) as campaign:
@@ -761,6 +837,29 @@ def build_parser() -> argparse.ArgumentParser:
         "repro.faults.FaultSchedule); the run degrades gracefully and "
         "ends in a structured verdict instead of a crash",
     )
+    route.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a deterministic engine snapshot every N steps "
+        "(needs --checkpoint PATH); a killed run resumes bit-identically "
+        "with --resume-from",
+    )
+    route.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="snapshot file for --checkpoint-every (atomically "
+        "overwritten at each interval)",
+    )
+    route.add_argument(
+        "--resume-from",
+        metavar="PATH",
+        default=None,
+        help="resume from a snapshot written by --checkpoint; all "
+        "mesh/workload/policy/seed flags must match the original run",
+    )
     route.set_defaults(func=cmd_route)
 
     sweep = commands.add_parser("sweep", help="sweep k, print T vs bound")
@@ -907,6 +1006,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="event-log JSONL; with it the campaign is durable and "
         "resumable (repro campaign resume)",
+    )
+    campaign_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="append a mid-run engine snapshot to the store every N "
+        "steps per case (needs --store); a killed case resumes from "
+        "its last checkpoint instead of step 0",
     )
     campaign_run.add_argument(
         "--telemetry",

@@ -20,7 +20,16 @@ unchanged by that, and ``RunResult.seed`` now uses the shared
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
@@ -74,6 +83,8 @@ class BufferedEngine:
         faults: Optional[FaultSchedule] = None,
         watchdog: Optional[RunWatchdog] = None,
         backend: str = "object",
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if backend not in ("object", "soa"):
             raise ValueError(
@@ -123,11 +134,24 @@ class BufferedEngine:
                 "profiling is incompatible with faults/watchdogs; "
                 "drop the profiler or the fault schedule"
             )
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if on_checkpoint is None:
+                raise ValueError(
+                    "checkpoint_every needs an on_checkpoint sink to "
+                    "receive the snapshots"
+                )
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
         self.packets: List[Packet] = problem.make_packets()
         self._metrics: List[StepMetrics] = []
         self._summary_sinks: List[Any] = []
         self._max_buffer_seen = 0
         self._started = False
+        self._resumed = False
         self._kernel = StepKernel(
             self.mesh,
             policy,
@@ -161,21 +185,23 @@ class BufferedEngine:
     def run(self) -> RunResult:
         self._start()
         watchdog = self._kernel.watchdog
-        if watchdog is not None:
+        if watchdog is not None and not self._resumed:
+            # A resumed run keeps its restored watchdog counters (see
+            # HotPotatoEngine.run).
             watchdog.reset(self._kernel)
+        every = self.checkpoint_every
         if lean_equivalent(self.validators, self.observers, False):
-            if self.backend == "soa":
-                from repro.core.soa import SoaKernel
-
-                adapter = self._soa_adapter
-                assert adapter is not None
-                SoaKernel(self._kernel, adapter).run(
-                    self.max_steps, profiler=self.profiler
-                )
-            elif self.profiler is not None:
-                self._kernel.run_profiled(self.max_steps, self.profiler)
+            if every is None:
+                self._run_fast(self.max_steps)
             else:
-                self._kernel.run_lean(self.max_steps)
+                while (
+                    self.in_flight
+                    and self.time < self.max_steps
+                    and self._kernel.abort is None
+                ):
+                    boundary = ((self.time // every) + 1) * every
+                    self._run_fast(min(self.max_steps, boundary))
+                    self._maybe_checkpoint()
         else:
             if self.backend == "soa":
                 raise ValueError(
@@ -194,6 +220,8 @@ class BufferedEngine:
                         self._kernel.abort = verdict
                         break
                 self.step()
+                if every is not None and self.time % every == 0:
+                    self._maybe_checkpoint()
         if (
             self.in_flight
             and self.raise_on_timeout
@@ -231,6 +259,46 @@ class BufferedEngine:
         self._note(summary)
         for observer in self.observers:
             observer.on_step(record, self._metrics[-1])
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture this engine's complete state as a JSON-safe dict
+        (see :mod:`repro.snapshot`); valid at any step boundary."""
+        from repro.snapshot.engine import engine_snapshot
+
+        return engine_snapshot(self)
+
+    def resume_from(self, payload: Dict[str, Any]) -> None:
+        """Restore a snapshot onto this freshly constructed engine
+        (same inputs, not yet run); the next :meth:`run` continues
+        bit-identically from the checkpointed step."""
+        from repro.snapshot.engine import resume_engine
+
+        resume_engine(self, payload)
+
+    def _run_fast(self, until: int) -> None:
+        """One lean-loop segment up to absolute step ``until``."""
+        if self.backend == "soa":
+            from repro.core.soa import SoaKernel
+
+            adapter = self._soa_adapter
+            assert adapter is not None
+            SoaKernel(self._kernel, adapter).run(
+                until, profiler=self.profiler
+            )
+        elif self.profiler is not None:
+            self._kernel.run_profiled(until, self.profiler)
+        else:
+            self._kernel.run_lean(until)
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self.on_checkpoint is None
+            or not self.in_flight
+            or self._kernel.abort is not None
+            or self.time >= self.max_steps
+        ):
+            return
+        self.on_checkpoint(self.snapshot())
 
     def _note(self, summary: StepSummary) -> None:
         if summary.max_node_load > self._max_buffer_seen:

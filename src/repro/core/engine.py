@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -124,6 +125,18 @@ class HotPotatoEngine:
             kernel has an adapter for; incompatible with
             ``record_paths``, watchdogs and non-empty fault schedules
             (an empty :class:`FaultSchedule` is accepted and ignored).
+        checkpoint_every: periodic checkpoint interval in steps.  When
+            set, :meth:`run` pauses at every multiple of this step
+            count and hands a snapshot (see :mod:`repro.snapshot`) to
+            ``on_checkpoint``.  ``None`` (default) disables
+            checkpointing entirely — the run loops are untouched and
+            pay nothing.  Requires ``on_checkpoint``; incompatible
+            with ``record_steps`` (snapshots do not carry step
+            records).
+        on_checkpoint: callback receiving each checkpoint's snapshot
+            payload (a JSON-safe dict); typically
+            :func:`repro.snapshot.save_snapshot` bound to a path, or a
+            campaign store's ``checkpoint`` writer.
 
     Every engine owns a :class:`~repro.obs.telemetry.RunTelemetry`
     (``self.telemetry``, also on the returned
@@ -148,6 +161,8 @@ class HotPotatoEngine:
         faults: Optional[FaultSchedule] = None,
         watchdog: Optional[RunWatchdog] = None,
         backend: str = "object",
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if backend not in ("object", "soa"):
             raise ValueError(
@@ -211,12 +226,30 @@ class HotPotatoEngine:
                 "profiling is incompatible with faults/watchdogs; "
                 "drop the profiler or the fault schedule"
             )
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if on_checkpoint is None:
+                raise ValueError(
+                    "checkpoint_every needs an on_checkpoint sink to "
+                    "receive the snapshots"
+                )
+            if record_steps:
+                raise ValueError(
+                    "checkpointing is incompatible with record_steps; "
+                    "snapshots do not carry step records"
+                )
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
 
         self.packets: List[Packet] = problem.make_packets()
         self._records: List[StepRecord] = []
         self._metrics: List[StepMetrics] = []
         self._summary_sinks: List[Any] = []
         self._started = False
+        self._resumed = False
         self._kernel = StepKernel(
             self.mesh,
             policy,
@@ -271,21 +304,28 @@ class HotPotatoEngine:
         or a watchdog issues a verdict."""
         self._start()
         watchdog = self._kernel.watchdog
-        if watchdog is not None:
+        if watchdog is not None and not self._resumed:
+            # A resumed run keeps its restored watchdog counters; a
+            # reset here would re-baseline them and mask a pre-crash
+            # stall, diverging from the uninterrupted run.
             watchdog.reset(self._kernel)
+        every = self.checkpoint_every
         if self._fast_path_eligible():
-            if self.backend == "soa":
-                from repro.core.soa import SoaKernel
-
-                adapter = self._soa_adapter
-                assert adapter is not None
-                SoaKernel(self._kernel, adapter).run(
-                    self.max_steps, profiler=self.profiler
-                )
-            elif self.profiler is not None:
-                self._kernel.run_profiled(self.max_steps, self.profiler)
+            if every is None:
+                self._run_fast(self.max_steps)
             else:
-                self._kernel.run_lean(self.max_steps)
+                # Segmented lean run: pause at every absolute multiple
+                # of the interval, checkpoint, continue.  Segment
+                # boundaries are absolute step numbers, so a resumed
+                # run checkpoints at the same steps as the original.
+                while (
+                    self.in_flight
+                    and self.time < self.max_steps
+                    and self._kernel.abort is None
+                ):
+                    boundary = ((self.time // every) + 1) * every
+                    self._run_fast(min(self.max_steps, boundary))
+                    self._maybe_checkpoint()
         else:
             if self.backend == "soa":
                 raise ValueError(
@@ -307,6 +347,8 @@ class HotPotatoEngine:
                         self._kernel.abort = verdict
                         break
                 self.step()
+                if every is not None and self.time % every == 0:
+                    self._maybe_checkpoint()
         if (
             self.in_flight
             and self.raise_on_timeout
@@ -375,8 +417,59 @@ class HotPotatoEngine:
         )
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture this engine's complete state as a JSON-safe dict
+        (see :mod:`repro.snapshot`); valid at any step boundary."""
+        from repro.snapshot.engine import engine_snapshot
+
+        return engine_snapshot(self)
+
+    def resume_from(self, payload: Dict[str, Any]) -> None:
+        """Restore a snapshot onto this freshly constructed engine.
+
+        The engine must be built from the same inputs (problem,
+        policy, seed, faults, observers) and not yet run; the next
+        :meth:`run` then continues bit-identically from the
+        checkpointed step.
+        """
+        from repro.snapshot.engine import resume_engine
+
+        resume_engine(self, payload)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _run_fast(self, until: int) -> None:
+        """One lean-loop segment up to absolute step ``until``."""
+        if self.backend == "soa":
+            from repro.core.soa import SoaKernel
+
+            adapter = self._soa_adapter
+            assert adapter is not None
+            SoaKernel(self._kernel, adapter).run(
+                until, profiler=self.profiler
+            )
+        elif self.profiler is not None:
+            self._kernel.run_profiled(until, self.profiler)
+        else:
+            self._kernel.run_lean(until)
+
+    def _maybe_checkpoint(self) -> None:
+        """Hand a snapshot to the sink, but only when the run will
+        continue — a run that just finished, aborted, or exhausted its
+        budget is fully described by its result."""
+        if (
+            self.on_checkpoint is None
+            or not self.in_flight
+            or self._kernel.abort is not None
+            or self.time >= self.max_steps
+        ):
+            return
+        self.on_checkpoint(self.snapshot())
 
     def _start(self) -> None:
         if self._started:

@@ -51,6 +51,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -330,6 +331,25 @@ class StepKernel:
         self._dist = {
             p.id: distance(p.location, p.destination) for p in self.in_flight
         }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The kernel-owned run state as a JSON-safe dict (packets by
+        id reference; see :mod:`repro.snapshot.state`).  Engines embed
+        this in their full snapshots alongside the packet objects."""
+        from repro.snapshot.state import kernel_state
+
+        return kernel_state(self)
+
+    def resume_from(
+        self,
+        payload: Dict[str, Any],
+        packets_by_id: Dict[PacketId, Packet],
+    ) -> None:
+        """Overwrite this kernel with checkpointed state; the inverse
+        of :meth:`snapshot` given the restored packet objects."""
+        from repro.snapshot.state import restore_kernel_state
+
+        restore_kernel_state(self, payload, packets_by_id)
 
     def _decide(self) -> Callable[[NodeView], Assignment]:
         """The per-node decision function for this discipline."""

@@ -18,7 +18,15 @@ the batch engines' :class:`~repro.core.metrics.RunResult`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+)
 
 from repro.core.events import RunObserver
 from repro.core.kernel import (
@@ -69,6 +77,8 @@ class DynamicEngineBase:
         faults: Optional[FaultSchedule] = None,
         watchdog: Optional[RunWatchdog] = None,
         backend: str = "object",
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if backend not in ("object", "soa"):
             raise ValueError(
@@ -114,10 +124,23 @@ class DynamicEngineBase:
                 "profiling is incompatible with faults/watchdogs; "
                 "drop the profiler or the fault schedule"
             )
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if on_checkpoint is None:
+                raise ValueError(
+                    "checkpoint_every needs an on_checkpoint sink to "
+                    "receive the snapshots"
+                )
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
         self._source = self._make_source(traffic)
         self._stats = DynamicStats(warmup=warmup)
         self._summary_sinks: List[Any] = []
         self._started = False
+        self._resumed = False
         self._kernel = StepKernel(
             mesh,
             policy,
@@ -187,9 +210,12 @@ class DynamicEngineBase:
         """
         self._start()
         watchdog = self._kernel.watchdog
-        if watchdog is not None:
+        if watchdog is not None and not self._resumed:
+            # A resumed run keeps its restored watchdog counters (see
+            # HotPotatoEngine.run).
             watchdog.reset(self._kernel)
         until = self.time + steps
+        every = self.checkpoint_every
         if any(getattr(o, "needs_steps", True) for o in self.observers):
             if self.backend == "soa":
                 raise ValueError(
@@ -208,18 +234,18 @@ class DynamicEngineBase:
                         self._kernel.abort = verdict
                         break
                 self.step()
-        elif self.backend == "soa":
-            from repro.core.soa import SoaKernel
-
-            adapter = self._soa_adapter
-            assert adapter is not None
-            SoaKernel(self._kernel, adapter).run(
-                until, profiler=self.profiler
-            )
-        elif self.profiler is not None:
-            self._kernel.run_profiled(until, self.profiler)
+                if every is not None and self.time % every == 0:
+                    self._maybe_checkpoint(until)
+        elif every is None:
+            self._run_fast(until)
         else:
-            self._kernel.run_lean(until)
+            # Segmented lean run at absolute step boundaries; the
+            # injecting kernels run the full horizon, so segments
+            # always make progress and the loop terminates.
+            while self.time < until and self._kernel.abort is None:
+                boundary = ((self.time // every) + 1) * every
+                self._run_fast(min(until, boundary))
+                self._maybe_checkpoint(until)
         self._stats.finalize(
             self.time,
             len(self.in_flight),
@@ -238,6 +264,53 @@ class DynamicEngineBase:
         metrics = step_metrics_from_summary(summary)
         for observer in self.observers:
             observer.on_step(record, metrics)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture this engine's complete state — live packets,
+        injection-source backlog, both RNG streams, statistics — as a
+        JSON-safe dict (see :mod:`repro.snapshot`)."""
+        from repro.snapshot.engine import engine_snapshot
+
+        return engine_snapshot(self)
+
+    def resume_from(self, payload: Dict[str, Any]) -> None:
+        """Restore a snapshot onto this freshly constructed engine
+        (same mesh/policy/traffic/seed, not yet run); the next
+        :meth:`run` continues bit-identically."""
+        from repro.snapshot.engine import resume_engine
+
+        resume_engine(self, payload)
+
+    def _run_fast(self, until: int) -> None:
+        """One lean-loop segment up to absolute step ``until``."""
+        if self.backend == "soa":
+            from repro.core.soa import SoaKernel
+
+            adapter = self._soa_adapter
+            assert adapter is not None
+            SoaKernel(self._kernel, adapter).run(
+                until, profiler=self.profiler
+            )
+        elif self.profiler is not None:
+            self._kernel.run_profiled(until, self.profiler)
+        else:
+            self._kernel.run_lean(until)
+
+    def _maybe_checkpoint(self, until: int) -> None:
+        """Checkpoint only when the run will continue past this
+        boundary (dynamic runs keep going on an empty network, so the
+        horizon and abort verdict are the only stop conditions)."""
+        if (
+            self.on_checkpoint is None
+            or self._kernel.abort is not None
+            or self.time >= until
+        ):
+            return
+        self.on_checkpoint(self.snapshot())
 
     # ------------------------------------------------------------------
     # Internals

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.kernel import InjectionSource
 from repro.core.packet import Packet
@@ -102,6 +102,50 @@ class CapacityLimitedInjection(InjectionSource):
     def backlog_size(self) -> int:
         return sum(len(queue) for queue in self.backlog.values())
 
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-safe source state (see :mod:`repro.snapshot`).
+
+        The backlog is serialized as an ordered list of
+        ``[node, [[generated, destination], ...]]`` pairs: dict
+        *insertion* order is the drain-order determinism contract, so
+        it must survive the round trip — including nodes whose queue
+        is currently empty, which keep their position.
+        """
+        return {
+            "type": "capacity-limited",
+            "next_id": self.next_id,
+            "generated_at": {
+                str(packet_id): step
+                for packet_id, step in self.generated_at.items()
+            },
+            "backlog": [
+                [
+                    list(node),
+                    [[step, list(destination)] for step, destination in queue],
+                ]
+                for node, queue in self.backlog.items()
+            ],
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        if payload.get("type") != "capacity-limited":
+            raise ValueError(
+                f"source snapshot type {payload.get('type')!r} does not "
+                f"match CapacityLimitedInjection"
+            )
+        self.next_id = int(payload["next_id"])
+        self.generated_at = {
+            int(packet_id): int(step)
+            for packet_id, step in payload["generated_at"].items()
+        }
+        self.backlog = defaultdict(deque)
+        for node_data, queue_data in payload["backlog"]:
+            node = tuple(int(c) for c in node_data)
+            self.backlog[node] = deque(
+                (int(step), tuple(int(c) for c in destination))
+                for step, destination in queue_data
+            )
+
 
 class ImmediateInjection(InjectionSource):
     """Inject every generated packet at once (buffered fabric)."""
@@ -140,3 +184,26 @@ class ImmediateInjection(InjectionSource):
                 self.next_id += 1
                 injected.append(packet)
         return len(injected), injected
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-safe source state (no backlog: buffers absorb all)."""
+        return {
+            "type": "immediate",
+            "next_id": self.next_id,
+            "generated_at": {
+                str(packet_id): step
+                for packet_id, step in self.generated_at.items()
+            },
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        if payload.get("type") != "immediate":
+            raise ValueError(
+                f"source snapshot type {payload.get('type')!r} does not "
+                f"match ImmediateInjection"
+            )
+        self.next_id = int(payload["next_id"])
+        self.generated_at = {
+            int(packet_id): int(step)
+            for packet_id, step in payload["generated_at"].items()
+        }

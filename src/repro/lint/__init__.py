@@ -25,6 +25,7 @@ from repro.lint.contracts import CONTRACT_RULES
 from repro.lint.arrays import ARRAY_RULES
 from repro.lint.parallel import PARALLEL_RULES
 from repro.lint.obs import OBS_RULES
+from repro.lint.snapshots import SNAPSHOT_RULES
 from repro.lint.baseline import Baseline, load_baseline, write_baseline
 from repro.lint.findings import Finding, Severity
 from repro.lint.project import ProjectModel, SymbolTable
@@ -46,6 +47,7 @@ ALL_RULE_FAMILIES = (
     ARRAY_RULES,
     PARALLEL_RULES,
     OBS_RULES,
+    SNAPSHOT_RULES,
 )
 
 __all__ = [
@@ -62,6 +64,7 @@ __all__ = [
     "ProjectModel",
     "ProjectRule",
     "Rule",
+    "SNAPSHOT_RULES",
     "Severity",
     "SymbolTable",
     "all_rules",

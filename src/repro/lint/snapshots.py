@@ -1,0 +1,129 @@
+"""Snapshot-coverage discipline (SNP7xx).
+
+Deterministic resume (:mod:`repro.snapshot`) hinges on a complete
+inventory of mutable run state: an attribute the serializer does not
+know about resumes as its constructor default, and the run diverges
+*silently* — no crash, no validation error, just a different answer.
+The registry (:data:`repro.snapshot.registry.SNAPSHOT_REGISTRY`)
+records, per checkpointed class, which attributes snapshots carry
+(``fields``) and which are sanctioned to stay out because resume
+reconstructs them (``derived``).
+
+* ``SNP701`` — a class registered for snapshotting declares or assigns
+  an instance attribute (class-level declaration, ``self.<attr> =``,
+  ``self.<attr> +=``, annotated assignment) that appears in *neither*
+  set.  The fix is a decision, not a deletion: either serialize the
+  attribute (add to ``fields`` and the serializers) or document why
+  resume rebuilds it (add to ``derived``).
+
+The rule keys classes by module suffix + class name, exactly like the
+kernel-twin specs, so the fixture packages under ``tests/lint`` test
+it against the same registry entries the shipped tree uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+from repro.snapshot.registry import spec_for
+
+__all__ = ["SNAPSHOT_RULES"]
+
+#: Rule ids this module registers, in registration order.
+SNAPSHOT_RULES: Tuple[str, ...] = ("SNP701",)
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+@register
+class SnapshotCoverageRule(Rule):
+    """SNP701 — every mutable attribute of a checkpointed class needs
+    a snapshot verdict.
+
+    Fires on the first declaration or assignment of each attribute the
+    registry has no answer for.  Upper-case class constants are skipped
+    (they are code, not state); everything else — including private
+    ``_caches`` — must be classified, because "it's just a cache" is a
+    claim the registry exists to make auditable.
+    """
+
+    id = "SNP701"
+    name = "snapshot-coverage"
+    description = (
+        "attribute on a snapshot-registered class is in neither the "
+        "fields nor the derived set of the snapshot registry"
+    )
+    severity = Severity.ERROR
+    domains = None  # registered classes are matched by module suffix
+    exempt_modules = ()
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            spec = spec_for(context.module, node.name)
+            if spec is None:
+                continue
+            covered = spec.covered
+            reported: Set[str] = set()
+            for attr, site in self._attribute_sites(node):
+                if (
+                    attr in covered
+                    or attr in reported
+                    or _is_dunder(attr)
+                    or attr.isupper()
+                ):
+                    continue
+                reported.add(attr)
+                yield self.finding(
+                    context,
+                    site,
+                    f"{node.name}.{attr} is not covered by the snapshot "
+                    f"registry ({spec.module_suffix}.{spec.qualname}); "
+                    "a resumed run silently resets it — add it to the "
+                    "spec's fields (and the serializers) or to derived "
+                    "(with resume rebuilding it)",
+                )
+
+    @staticmethod
+    def _attribute_sites(
+        cls_node: ast.ClassDef,
+    ) -> Iterator[Tuple[str, ast.AST]]:
+        """Every attribute declaration/assignment site of one class.
+
+        Class-level statements declare attributes by name; method
+        bodies (any nesting) declare them through ``self.<attr>``
+        targets.  Yields in source order so the *first* site of an
+        uncovered attribute anchors the finding.
+        """
+        sites: List[Tuple[int, str, ast.AST]] = []
+        for stmt in cls_node.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    sites.append((stmt.lineno, target.id, stmt))
+        for sub in ast.walk(cls_node):
+            targets = []
+            if isinstance(sub, ast.Assign):
+                targets = list(sub.targets)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                targets = [sub.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    sites.append((sub.lineno, target.attr, sub))
+        for _, attr, site in sorted(sites, key=lambda item: item[0]):
+            yield attr, site

@@ -358,29 +358,61 @@ def manifest_from_run_result(
     )
 
 
+# Syscall seams for the durability layer.  Production code never
+# rebinds these; the chaos harness (repro.chaos) patches them to
+# inject fsync failures, ENOSPC short writes, and torn tails at exact
+# byte offsets — the failure modes the recovery paths claim to
+# survive.  Keeping the indirection at module level (instead of
+# monkey-patching ``os``) scopes injection to this file's appends.
+_os_write = os.write
+_os_fsync = os.fsync
+
+
 def append_jsonl(
     payloads: Sequence[Mapping[str, Any]], path: str, *, fsync: bool = False
 ) -> None:
-    """Append JSON lines in one open (parents created as needed).
+    """Append JSON lines in one write (parents created as needed).
 
-    With ``fsync=True`` the batch is flushed and fsynced before the
-    file closes, so a crash immediately after the call can lose at
-    most a torn trailing line, never an acknowledged one — the
-    durability contract the sweep checkpoint and the campaign event
-    log both rely on.  Batching several payloads into one call pays
-    the fsync once for the whole batch.
+    The whole batch is encoded into a single buffer and pushed through
+    one ``O_APPEND`` file descriptor.  ``O_APPEND`` makes each write
+    land atomically at the current end of file, so concurrent writers
+    (campaign workers appending to a shared event log) interleave whole
+    buffers, never bytes — a torn *line* can only come from a crash
+    mid-write, not from interleaving.
+
+    With ``fsync=True`` the buffer is fsynced before the descriptor
+    closes, so a crash immediately after the call can lose at most a
+    torn trailing line, never an acknowledged one — the durability
+    contract the sweep checkpoint and the campaign event log both rely
+    on.  Batching several payloads into one call pays the fsync once
+    for the whole batch.
     """
     if not payloads:
         return
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        for payload in payloads:
-            json.dump(payload, handle, separators=(",", ":"))
-            handle.write("\n")
+    # ensure_ascii=False keeps non-ASCII payload text (workload
+    # labels, fault descriptions) as real UTF-8 instead of \uXXXX
+    # escapes — which is why every reader of these files must (and
+    # does) tolerate a tail torn mid-way through a multi-byte
+    # character.
+    buffer = b"".join(
+        json.dumps(
+            payload, separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+        + b"\n"
+        for payload in payloads
+    )
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        view = memoryview(buffer)
+        while view:
+            written = _os_write(fd, view)
+            view = view[written:]
         if fsync:
-            handle.flush()
-            os.fsync(handle.fileno())
+            _os_fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def append_manifest(

@@ -468,6 +468,17 @@ class RunMetricsRecorder:
         self._load_hist.observe(summary.max_node_load)
         self._deflection_hist.observe(deflected)
 
+    # Checkpoint protocol (see repro.snapshot): counters add, gauges
+    # keep maxima and histograms add elementwise, so merging a
+    # snapshot into the fresh all-zeros registry is an exact restore —
+    # and the cached instrument handles above stay valid because
+    # merge() mutates the existing instruments in place.
+    def snapshot_state(self) -> Dict[str, Any]:
+        return self.registry.snapshot()
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        self.registry.merge(payload)
+
     # RunObserver protocol (duck-typed; run boundaries are no-ops).
     def on_run_start(self, engine: Any) -> None:
         """Nothing to do at run start."""

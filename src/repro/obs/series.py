@@ -211,6 +211,14 @@ class SeriesRecorder:
     def on_summary(self, summary: "StepSummary") -> None:
         self.series.record(summary)
 
+    # Checkpoint protocol (see repro.snapshot): the series payload is
+    # already schema-versioned and exact, so snapshots reuse it.
+    def snapshot_state(self) -> Dict[str, Any]:
+        return self.series.to_dict()
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        self.series = StepSeries.from_dict(payload)
+
     # RunObserver protocol (duck-typed; run boundaries are no-ops).
     def on_run_start(self, engine: Any) -> None:
         """Nothing to do at run start."""

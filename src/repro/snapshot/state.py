@@ -1,0 +1,323 @@
+"""JSON-safe (de)serializers for the kernel-level state pieces.
+
+Everything here is a pure value transformation: no file I/O, no RNG
+consumption, no wall clock.  The conversions are exact —
+``random.Random.getstate()`` tuples round-trip through lists of ints,
+floats survive via JSON's shortest-repr round-trip, node tuples
+become lists and come back as tuples — so a payload produced by
+:func:`packet_to_dict` and folded back by :func:`packet_from_dict`
+reconstructs a packet that is indistinguishable from the original to
+every kernel path.
+
+The field lists these functions capture are declared in
+:mod:`repro.snapshot.registry`; the ``SNP701`` lint rule keeps them in
+lockstep with the classes they serialize.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import fields as dataclass_fields
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import StepMetrics
+from repro.core.packet import Packet
+from repro.dynamic.stats import DeliveryRecord, DynamicStats, StepSample
+from repro.faults.report import RunAborted
+from repro.mesh.directions import Direction
+from repro.types import Node, PacketId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.kernel import StepKernel
+    from repro.faults.watchdog import RunWatchdog
+    from repro.obs.telemetry import RunTelemetry
+
+__all__ = [
+    "kernel_state",
+    "metrics_from_json",
+    "metrics_to_json",
+    "node_from_json",
+    "node_to_json",
+    "packet_from_dict",
+    "packet_to_dict",
+    "restore_kernel_state",
+    "restore_telemetry",
+    "rng_state_from_json",
+    "rng_state_to_json",
+    "stats_from_dict",
+    "stats_to_dict",
+    "watchdog_state",
+    "restore_watchdog",
+]
+
+RngState = Tuple[Any, ...]
+
+
+# ----------------------------------------------------------------------
+# RNG streams
+# ----------------------------------------------------------------------
+
+
+def rng_state_to_json(state: RngState) -> List[Any]:
+    """``random.Random.getstate()`` as a JSON array.
+
+    The Mersenne Twister state is ``(version, (int, ...), gauss_next)``
+    where ``gauss_next`` is ``None`` or a float; both survive JSON
+    exactly (ints are arbitrary precision, floats round-trip by
+    shortest repr).
+    """
+    version, internal, gauss_next = state
+    return [int(version), [int(word) for word in internal], gauss_next]
+
+
+def rng_state_from_json(data: Sequence[Any]) -> RngState:
+    """Inverse of :func:`rng_state_to_json` (tuples restored)."""
+    version, internal, gauss_next = data
+    return (
+        int(version),
+        tuple(int(word) for word in internal),
+        None if gauss_next is None else float(gauss_next),
+    )
+
+
+def capture_rng(rng: random.Random) -> List[Any]:
+    return rng_state_to_json(rng.getstate())
+
+
+def restore_rng(rng: random.Random, data: Sequence[Any]) -> None:
+    rng.setstate(rng_state_from_json(data))
+
+
+# ----------------------------------------------------------------------
+# Nodes, directions, packets
+# ----------------------------------------------------------------------
+
+
+def node_to_json(node: Node) -> List[int]:
+    return [int(coordinate) for coordinate in node]
+
+
+def node_from_json(data: Sequence[Any]) -> Node:
+    return tuple(int(coordinate) for coordinate in data)
+
+
+def _direction_to_json(
+    direction: Optional[Direction],
+) -> Optional[List[int]]:
+    if direction is None:
+        return None
+    return [int(direction.axis), int(direction.sign)]
+
+
+def _direction_from_json(data: Optional[Sequence[Any]]) -> Optional[Direction]:
+    if data is None:
+        return None
+    axis, sign = data
+    return Direction(axis=int(axis), sign=int(sign))
+
+
+def packet_to_dict(packet: Packet) -> Dict[str, Any]:
+    """Every slot of a :class:`~repro.core.packet.Packet`, JSON-safe."""
+    return {
+        "id": packet.id,
+        "source": node_to_json(packet.source),
+        "destination": node_to_json(packet.destination),
+        "location": node_to_json(packet.location),
+        "entry_direction": _direction_to_json(packet.entry_direction),
+        "delivered_at": packet.delivered_at,
+        "dropped_at": packet.dropped_at,
+        "advanced_last_step": bool(packet.advanced_last_step),
+        "restricted_last_step": bool(packet.restricted_last_step),
+        "hops": packet.hops,
+        "advances": packet.advances,
+        "deflections": packet.deflections,
+        "path": [node_to_json(node) for node in packet.path],
+    }
+
+
+def packet_from_dict(data: Dict[str, Any]) -> Packet:
+    """Inverse of :func:`packet_to_dict`."""
+    packet = Packet(
+        id=int(data["id"]),
+        source=node_from_json(data["source"]),
+        destination=node_from_json(data["destination"]),
+    )
+    packet.location = node_from_json(data["location"])
+    packet.entry_direction = _direction_from_json(data["entry_direction"])
+    packet.delivered_at = (
+        None if data["delivered_at"] is None else int(data["delivered_at"])
+    )
+    packet.dropped_at = (
+        None if data["dropped_at"] is None else int(data["dropped_at"])
+    )
+    packet.advanced_last_step = bool(data["advanced_last_step"])
+    packet.restricted_last_step = bool(data["restricted_last_step"])
+    packet.hops = int(data["hops"])
+    packet.advances = int(data["advances"])
+    packet.deflections = int(data["deflections"])
+    packet.path = [node_from_json(node) for node in data["path"]]
+    return packet
+
+
+# ----------------------------------------------------------------------
+# Step metrics
+# ----------------------------------------------------------------------
+
+_METRIC_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclass_fields(StepMetrics)
+)
+
+
+def metrics_to_json(metrics: Sequence[StepMetrics]) -> List[List[int]]:
+    """Per-step metrics as compact positional rows (field order is
+    :class:`~repro.core.metrics.StepMetrics` declaration order)."""
+    return [
+        [getattr(m, name) for name in _METRIC_FIELDS] for m in metrics
+    ]
+
+
+def metrics_from_json(rows: Sequence[Sequence[Any]]) -> List[StepMetrics]:
+    return [
+        StepMetrics(**dict(zip(_METRIC_FIELDS, row))) for row in rows
+    ]
+
+
+# ----------------------------------------------------------------------
+# Kernel state
+# ----------------------------------------------------------------------
+
+
+def kernel_state(kernel: "StepKernel") -> Dict[str, Any]:
+    """The kernel-owned run state (packets travel by id reference;
+    the engine payload carries the packet objects)."""
+    faults = kernel.faults
+    return {
+        "time": kernel.time,
+        "delivered_total": kernel.delivered_total,
+        "in_flight": [packet.id for packet in kernel.in_flight],
+        "abort": (
+            kernel.abort.to_dict() if kernel.abort is not None else None
+        ),
+        "dropped_ids": (
+            list(faults.dropped_ids) if faults is not None else None
+        ),
+    }
+
+
+def restore_kernel_state(
+    kernel: "StepKernel",
+    payload: Dict[str, Any],
+    packets_by_id: Dict[PacketId, Packet],
+) -> None:
+    """Overwrite a freshly-started kernel with checkpointed state.
+
+    ``packets_by_id`` must contain every id in the payload's
+    ``in_flight`` list.  The distance table is recomputed from the
+    restored locations (it is a pure function of them), and the fault
+    mask is left to rebuild itself on the next ``advance()`` — a fresh
+    :class:`~repro.faults.state.ActiveFaults` starts with ``_step``
+    unset, so the first post-resume step recompiles the mask for the
+    current regime deterministically.
+    """
+    kernel.time = int(payload["time"])
+    kernel.delivered_total = int(payload["delivered_total"])
+    kernel.in_flight = [
+        packets_by_id[int(packet_id)] for packet_id in payload["in_flight"]
+    ]
+    kernel.abort = (
+        RunAborted.from_dict(payload["abort"])
+        if payload["abort"] is not None
+        else None
+    )
+    distance = kernel.mesh.distance
+    kernel._dist = {
+        p.id: distance(p.location, p.destination) for p in kernel.in_flight
+    }
+    if kernel.faults is not None and payload["dropped_ids"] is not None:
+        kernel.faults.dropped_ids[:] = [
+            int(packet_id) for packet_id in payload["dropped_ids"]
+        ]
+
+
+# ----------------------------------------------------------------------
+# Telemetry, watchdog
+# ----------------------------------------------------------------------
+
+
+def restore_telemetry(
+    telemetry: "RunTelemetry", payload: Dict[str, Any]
+) -> None:
+    """In-place restore: the kernel and engine share one telemetry
+    object, so the instance must keep its identity."""
+    for field in dataclass_fields(telemetry):
+        setattr(telemetry, field.name, int(payload[field.name]))
+
+
+def watchdog_state(watchdog: Optional["RunWatchdog"]) -> Optional[Dict[str, int]]:
+    if watchdog is None:
+        return None
+    return {
+        "last_progress": watchdog._last_progress,
+        "last_delivered": watchdog._last_delivered,
+        "next_partition_check": watchdog._next_partition_check,
+    }
+
+
+def restore_watchdog(
+    watchdog: "RunWatchdog", payload: Dict[str, Any]
+) -> None:
+    watchdog._last_progress = int(payload["last_progress"])
+    watchdog._last_delivered = int(payload["last_delivered"])
+    watchdog._next_partition_check = int(payload["next_partition_check"])
+
+
+# ----------------------------------------------------------------------
+# Dynamic statistics
+# ----------------------------------------------------------------------
+
+_SAMPLE_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclass_fields(StepSample)
+)
+_DELIVERY_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclass_fields(DeliveryRecord)
+)
+
+
+def stats_to_dict(stats: DynamicStats) -> Dict[str, Any]:
+    """A :class:`~repro.dynamic.stats.DynamicStats` as positional rows."""
+    return {
+        "warmup": stats.warmup,
+        "samples": [
+            [getattr(s, name) for name in _SAMPLE_FIELDS]
+            for s in stats.samples
+        ],
+        "deliveries": [
+            [getattr(d, name) for name in _DELIVERY_FIELDS]
+            for d in stats.deliveries
+        ],
+        "horizon": stats.horizon,
+        "final_in_flight": stats.final_in_flight,
+        "final_backlog": stats.final_backlog,
+        "abort": stats.abort.to_dict() if stats.abort is not None else None,
+    }
+
+
+def stats_from_dict(payload: Dict[str, Any]) -> DynamicStats:
+    stats = DynamicStats(warmup=int(payload["warmup"]))
+    stats.samples = [
+        StepSample(**dict(zip(_SAMPLE_FIELDS, row)))
+        for row in payload["samples"]
+    ]
+    stats.deliveries = [
+        DeliveryRecord(**dict(zip(_DELIVERY_FIELDS, row)))
+        for row in payload["deliveries"]
+    ]
+    stats.horizon = int(payload["horizon"])
+    stats.final_in_flight = int(payload["final_in_flight"])
+    stats.final_backlog = int(payload["final_backlog"])
+    stats.abort = (
+        RunAborted.from_dict(payload["abort"])
+        if payload["abort"] is not None
+        else None
+    )
+    return stats

@@ -225,3 +225,40 @@ class TestDifferentialIdentity:
             assert pool.starts == 1
         assert first.points == serial.points
         assert second.points == serial.points
+
+
+class TestFailureHistoryAcrossResume:
+    def test_attempts_accumulate_and_history_grows(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        bad = _specs([1], policy="no-such-policy")[0]
+        with Campaign([bad], store=store) as campaign:
+            first = campaign.run().failures[0]
+        assert first.attempts == 1
+        assert first.history == ()
+        with Campaign([bad], store=store) as campaign:
+            second = campaign.run().failures[0]
+        # The resumed retry knows the whole trajectory, not just the
+        # latest exception.
+        assert second.attempts == 2
+        assert len(second.history) == 1
+        assert first.error in second.history[0]
+        assert first.message in second.history[0]
+        # And the enriched record is what the log durably carries.
+        replayed = store.replay().failures[spec_key(bad)]
+        assert replayed.attempts == 2
+        assert replayed.history == second.history
+
+    def test_checkpointed_spec_round_trips_through_the_log(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _specs([0], checkpoint_every=2)[0]
+        with Campaign([spec], store=store) as campaign:
+            result = campaign.run()
+        assert not result.failures
+        state = store.replay()
+        restored = state.specs[spec_key(spec)]
+        assert restored.checkpoint_every == 2
+        # The durability knob is not part of the case identity: the
+        # same case without it resumes from the same history.
+        assert spec_key(spec) == spec_key(
+            _specs([0], checkpoint_every=None)[0]
+        )

@@ -7,7 +7,7 @@ marked ``slow`` like the rest of the parallel suite.
 
 import pytest
 
-from repro.campaign.pool import WorkerPool
+from repro.campaign.pool import BACKOFF_CAP, WorkerPool
 
 
 def _double_chunk(chunk):
@@ -116,3 +116,36 @@ class TestPersistence:
         flattened = [i for chunk in chunks for i in chunk]
         assert flattened == list(range(10))
         assert all(chunk == sorted(chunk) for chunk in chunks)
+
+
+class TestRetryBackoffAndAttempts:
+    def test_backoff_delays_are_capped(self):
+        # Stub out the pool pass so every attempt "fails": the sleep
+        # schedule must double from `backoff` and saturate at
+        # BACKOFF_CAP instead of reaching minutes.
+        delays = []
+        pool = WorkerPool(workers=2, retries=4, backoff=1.0, sleep=delays.append)
+        pool._pool_pass = lambda items, pending, fn, record: None
+        assert pool.run_batch([1, 2], _double_chunk) == [2, 4]
+        assert delays == [1.0, 2.0, 4.0, BACKOFF_CAP]
+        assert pool.degraded
+
+    def test_zero_backoff_never_sleeps(self):
+        delays = []
+        pool = WorkerPool(workers=2, retries=3, backoff=0.0, sleep=delays.append)
+        pool._pool_pass = lambda items, pending, fn, record: None
+        pool.run_batch([1, 2], _double_chunk)
+        assert delays == []
+
+    def test_attempts_count_the_serial_fallback(self):
+        pool = WorkerPool(workers=2, retries=1, backoff=0.0, sleep=lambda _: None)
+        pool._pool_pass = lambda items, pending, fn, record: None
+        pool.run_batch([1, 2], _double_chunk)
+        # Pool passes never landed anything; the serial rescue ran
+        # each item exactly once.
+        assert pool.attempts == {0: 1, 1: 1}
+
+    def test_attempts_on_the_plain_serial_path(self):
+        pool = WorkerPool(workers=1)
+        assert pool.run_batch([1, 2, 3], _double_chunk) == [2, 4, 6]
+        assert pool.attempts == {0: 1, 1: 1, 2: 1}

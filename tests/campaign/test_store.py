@@ -200,3 +200,123 @@ class TestTornLineRecovery:
         state = store.replay()
         assert any("unknown event kind" in error for error in state.errors)
         assert state.order == [spec_key(spec)]
+
+
+class TestTornUtf8Recovery:
+    def test_tail_torn_inside_multibyte_character(self, tmp_path):
+        # Logs carry real UTF-8 (ensure_ascii=False), so a crash can
+        # cut the final line mid-character; the undecodable tail must
+        # land in errors, not blow up the read.
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        plain, labeled = _spec(0), _spec(1, params=(("label", "torn ✓"),))
+        store.queue(_entries([plain]))
+        store.finish(spec_key(plain), execute_case(plain))
+        store.queue(_entries([labeled]))
+        with open(store.path, "rb") as handle:
+            raw = handle.read()
+        mark = raw.rfind("✓".encode("utf-8"))
+        assert mark >= 0
+        with open(store.path, "rb+") as handle:
+            handle.truncate(mark + 1)  # one byte of the 3-byte ✓
+        state = store.replay()
+        assert len(state.errors) == 1
+        # Everything before the torn line survives; the torn queue
+        # event's case is simply unknown until re-queued.
+        assert spec_key(plain) in state.points
+        assert spec_key(labeled) not in state.specs
+
+    def test_multiple_torn_lines_each_reported(self, tmp_path):
+        # A torn multi-event append leaves several unterminated lines;
+        # every one is an error, none stops the fold.
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        store.queue(_entries([spec]))
+        store.finish(spec_key(spec), execute_case(spec))
+        with open(store.path, "ab") as handle:
+            handle.write(b'{"torn\n')
+            handle.write('{"event": "case-st ✓'.encode("utf-8")[:-2] + b"\n")
+        state = store.replay()
+        assert len(state.errors) == 2
+        assert spec_key(spec) in state.points
+        assert state.pending() == []
+
+
+class TestCheckpointEvents:
+    def _snapshot(self, step):
+        return {"schema_version": 1, "kind": "hot-potato", "step": step}
+
+    def test_checkpoint_replays_into_state(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        key = spec_key(spec)
+        store.queue(_entries([spec]))
+        store.start([key])
+        store.checkpoint(key, self._snapshot(4))
+        state = store.replay()
+        assert state.checkpoints[key]["step"] == 4
+        # A checkpointed case is still owed a result.
+        assert state.pending() == [key]
+
+    def test_later_checkpoint_supersedes_earlier(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        key = spec_key(spec)
+        store.queue(_entries([spec]))
+        store.checkpoint(key, self._snapshot(4))
+        store.checkpoint(key, self._snapshot(8))
+        assert store.replay().checkpoints[key]["step"] == 8
+
+    def test_finished_case_drops_its_checkpoints(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        key = spec_key(spec)
+        store.queue(_entries([spec]))
+        store.checkpoint(key, self._snapshot(4))
+        store.finish(key, execute_case(spec))
+        state = store.replay()
+        assert state.checkpoints == {}
+        assert key in state.points
+
+    def test_checkpoint_after_finish_is_ignored(self, tmp_path):
+        # finished is sticky: a straggler checkpoint from a crashed
+        # retry must not resurrect a resume seed.
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        key = spec_key(spec)
+        store.queue(_entries([spec]))
+        store.finish(key, execute_case(spec))
+        store.checkpoint(key, self._snapshot(4))
+        state = store.replay()
+        assert state.checkpoints == {}
+        assert state.status[key] == "finished"
+
+    def test_checkpoint_event_carries_step_and_schema(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        store.queue(_entries([spec]))
+        store.checkpoint(spec_key(spec), self._snapshot(12))
+        event = _lines(store.path)[-1]
+        assert event["event"] == "case-checkpointed"
+        assert event["step"] == 12
+        assert event["schema_version"] == EVENT_SCHEMA_VERSION
+        assert event["snapshot"]["step"] == 12
+
+    def test_checkpoint_without_snapshot_is_an_error(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "log.jsonl"))
+        spec = _spec(0)
+        store.queue(_entries([spec]))
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "schema_version": EVENT_SCHEMA_VERSION,
+                        "event": "case-checkpointed",
+                        "key": spec_key(spec),
+                        "snapshot": None,
+                    }
+                )
+                + "\n"
+            )
+        state = store.replay()
+        assert any("snapshot" in error for error in state.errors)
+        assert state.checkpoints == {}

@@ -1,0 +1,134 @@
+"""Unit tests for the deterministic infrastructure-fault injector.
+
+The injector patches the manifest module's syscall seams, so every
+test here also pins the seam contract ``append_jsonl`` relies on —
+most importantly that one append is one write (whole-buffer
+``O_APPEND`` atomicity).
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.chaos import ChaosPlan, ProcessKilled, durability_chaos, tear_tail
+from repro.obs import manifest
+from repro.obs.manifest import append_jsonl
+
+
+def _append(path, payloads, fsync=True):
+    append_jsonl(payloads, str(path), fsync=fsync)
+
+
+class TestSeams:
+    def test_batch_is_one_write(self, tmp_path):
+        # Three payloads, one buffer, one write: concurrent workers
+        # interleave whole batches, never bytes.
+        path = tmp_path / "log.jsonl"
+        with durability_chaos(ChaosPlan()) as log:
+            _append(path, [{"i": i} for i in range(3)])
+        assert log.writes == 1
+        assert log.fsyncs == 1
+        assert log.injected == []
+        assert path.read_bytes().count(b"\n") == 3
+
+    def test_fsync_not_called_when_disabled(self, tmp_path):
+        with durability_chaos(ChaosPlan()) as log:
+            _append(tmp_path / "log.jsonl", [{"i": 0}], fsync=False)
+        assert log.fsyncs == 0
+
+    def test_seams_restored_after_scope(self, tmp_path):
+        real_write, real_fsync = manifest._os_write, manifest._os_fsync
+        with durability_chaos(ChaosPlan(kill_at_write=10)):
+            assert manifest._os_write is not real_write
+        assert manifest._os_write is real_write
+        assert manifest._os_fsync is real_fsync
+
+    def test_seams_restored_after_injected_failure(self, tmp_path):
+        real_write = manifest._os_write
+        with pytest.raises(ProcessKilled):
+            with durability_chaos(ChaosPlan(kill_at_write=1)):
+                _append(tmp_path / "log.jsonl", [{"i": 0}])
+        assert manifest._os_write is real_write
+
+
+class TestInjection:
+    def test_fsync_eio_at_ordinal(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with durability_chaos(ChaosPlan(fail_fsync_at=2)) as log:
+            _append(path, [{"i": 0}])
+            with pytest.raises(OSError) as excinfo:
+                _append(path, [{"i": 1}])
+            _append(path, [{"i": 2}])
+        assert excinfo.value.errno == errno.EIO
+        assert log.injected == ["EIO at fsync 2"]
+        # The doomed append's bytes reached the page cache — only the
+        # durability acknowledgement failed.
+        assert path.read_bytes().count(b"\n") == 3
+
+    def test_enospc_short_write(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with durability_chaos(
+            ChaosPlan(enospc_at_write=1, short_bytes=5)
+        ) as log:
+            with pytest.raises(OSError) as excinfo:
+                _append(path, [{"payload": "x" * 40}])
+        assert excinfo.value.errno == errno.ENOSPC
+        assert log.injected == ["ENOSPC at write 1 after 5 bytes"]
+        # Exactly the torn prefix landed.
+        assert path.read_bytes() == b'{"pay'
+
+    def test_kill_is_not_an_exception(self, tmp_path):
+        # A simulated SIGKILL must sail through `except Exception` —
+        # no recovery layer gets to "survive" it.
+        path = tmp_path / "log.jsonl"
+        with pytest.raises(ProcessKilled):
+            with durability_chaos(ChaosPlan(kill_at_write=1)):
+                try:
+                    _append(path, [{"i": 0}])
+                except Exception:  # noqa: BLE001
+                    pytest.fail("ProcessKilled was caught as Exception")
+        assert not issubclass(ProcessKilled, Exception)
+        assert issubclass(ProcessKilled, BaseException)
+
+    def test_untargeted_ordinals_pass_through(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with durability_chaos(
+            ChaosPlan(enospc_at_write=99, fail_fsync_at=99)
+        ) as log:
+            for i in range(4):
+                _append(path, [{"i": i}])
+        assert log.writes == 4 and log.fsyncs == 4
+        assert log.injected == []
+
+
+class TestTearTail:
+    def test_tears_exact_bytes(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(b"0123456789")
+        assert tear_tail(str(path), 3) == 7
+        assert path.read_bytes() == b"0123456"
+
+    def test_tear_inside_multibyte_character(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes('{"label": "torn ✓"}\n'.encode("utf-8"))
+        # Keep one byte of the 3-byte U+2713: the tail no longer
+        # decodes as UTF-8 — the crash shape text-mode readers die on.
+        tear_tail(str(path), len(b'"}\n') + 2)
+        tail = path.read_bytes()
+        assert tail.endswith(b"\xe2")
+        with pytest.raises(UnicodeDecodeError):
+            tail.decode("utf-8")
+
+    def test_overlong_drop_clamps_to_empty(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(b"abc")
+        assert tear_tail(str(path), 99) == 0
+        assert path.read_bytes() == b""
+
+    def test_logs_carry_real_utf8(self, tmp_path):
+        # ensure_ascii=False is what makes mid-character tears a real
+        # failure mode rather than a theoretical one.
+        path = tmp_path / "log.jsonl"
+        _append(path, [{"label": "torn ✓"}])
+        assert "✓".encode("utf-8") in path.read_bytes()

@@ -1,0 +1,184 @@
+"""SNP7xx snapshot-coverage discipline: every mutable attribute of a
+checkpointed class must be classified by the snapshot field registry."""
+
+import os
+
+from repro.lint import lint_paths
+from repro.lint.rules import get_rule
+from repro.snapshot.registry import SNAPSHOT_REGISTRY, spec_for
+
+HERE = os.path.dirname(__file__)
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+FIXTURES = os.path.join(HERE, "fixtures", "dirtypkg")
+
+
+def _rules(report):
+    return [(f.rule_id, f.line) for f in report.findings]
+
+
+class TestSnp701Coverage:
+    def test_uncovered_self_assignment_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/core/kernel.py": """\
+                class StepKernel:
+                    def __init__(self, mesh):
+                        self.mesh = mesh
+                        self.time = 0
+                        self.shadow_state = {}
+                """,
+            }
+        )
+        report = lint_paths([root], select=["SNP701"])
+        assert _rules(report) == [("SNP701", 5)]
+        assert "shadow_state" in report.findings[0].message
+        assert "snapshot registry" in report.findings[0].message
+
+    def test_covered_fields_and_derived_are_clean(self, write_tree):
+        # Every attribute assigned here is in the registry's fields or
+        # derived set for core.kernel.StepKernel.
+        root = write_tree(
+            {
+                "pkg/core/kernel.py": """\
+                class StepKernel:
+                    def __init__(self, mesh, policy):
+                        self.mesh = mesh
+                        self.policy = policy
+                        self.time = 0
+                        self.in_flight = []
+                        self.delivered_total = 0
+                        self.abort = None
+                        self._dist = {}
+                """,
+            }
+        )
+        report = lint_paths([root], select=["SNP701"])
+        assert report.findings == []
+
+    def test_class_level_declaration_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/dynamic/sources.py": """\
+                class ImmediateInjection:
+                    drip_interval = 4
+
+                    def __init__(self, traffic):
+                        self.traffic = traffic
+                """,
+            }
+        )
+        report = lint_paths([root], select=["SNP701"])
+        assert _rules(report) == [("SNP701", 2)]
+        assert "drip_interval" in report.findings[0].message
+
+    def test_augmented_assignment_in_method_fires(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/faults/watchdog.py": """\
+                class RunWatchdog:
+                    def observe(self, kernel):
+                        self._stall_streak += 1
+                """,
+            }
+        )
+        report = lint_paths([root], select=["SNP701"])
+        assert _rules(report) == [("SNP701", 3)]
+
+    def test_each_attribute_reported_once(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/core/kernel.py": """\
+                class StepKernel:
+                    def __init__(self):
+                        self.ghost = 0
+
+                    def step(self):
+                        self.ghost += 1
+                """,
+            }
+        )
+        report = lint_paths([root], select=["SNP701"])
+        assert _rules(report) == [("SNP701", 3)]
+
+    def test_unregistered_class_is_clean(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/core/kernel.py": """\
+                class ScratchPad:
+                    def __init__(self):
+                        self.anything = []
+                """,
+            }
+        )
+        report = lint_paths([root], select=["SNP701"])
+        assert report.findings == []
+
+    def test_registered_name_in_other_module_is_clean(self, write_tree):
+        # Same class name, wrong module suffix: no contract applies.
+        root = write_tree(
+            {
+                "pkg/analysis/kernel.py": """\
+                class StepKernel:
+                    def __init__(self):
+                        self.anything = []
+                """,
+            }
+        )
+        report = lint_paths([root], select=["SNP701"])
+        assert report.findings == []
+
+    def test_upper_case_constants_and_dunders_are_clean(self, write_tree):
+        root = write_tree(
+            {
+                "pkg/core/kernel.py": """\
+                class StepKernel:
+                    MAX_RETRIES = 3
+                    __slots__ = ("time",)
+
+                    def __init__(self):
+                        self.time = 0
+                """,
+            }
+        )
+        report = lint_paths([root], select=["SNP701"])
+        assert report.findings == []
+
+
+class TestFixturePairAndRealTree:
+    def test_fixture_pair_fires_and_suppresses(self):
+        path = os.path.join(FIXTURES, "core", "engine.py")
+        report = lint_paths([path], select=["SNP701"])
+        hits = sorted(f.rule_id for f in report.findings)
+        # Three fires (class-level retry_budget, __init__'s
+        # _mystery_cache, step()'s _drift_total); the noqa'd
+        # _audited_cache twin and the unregistered class are absent.
+        assert hits == ["SNP701", "SNP701", "SNP701"]
+        attrs = sorted(
+            finding.message.split(" ", 1)[0]
+            for finding in report.findings
+        )
+        assert attrs == [
+            "HotPotatoEngine._drift_total",
+            "HotPotatoEngine._mystery_cache",
+            "HotPotatoEngine.retry_budget",
+        ]
+
+    def test_shipped_tree_is_clean(self):
+        report = lint_paths(
+            [os.path.join(REPO_ROOT, "src", "repro")],
+            select=["SNP701"],
+        )
+        assert report.findings == []
+
+    def test_rule_registered(self):
+        rule = get_rule("SNP701")
+        assert rule.name == "snapshot-coverage"
+
+    def test_registry_suffixes_resolve_to_shipped_modules(self):
+        # Every registry entry must match its real repro module —
+        # a renamed module would otherwise silently drop coverage.
+        for spec in SNAPSHOT_REGISTRY:
+            assert (
+                spec_for(f"repro.{spec.module_suffix}", spec.qualname)
+                is spec
+            )

@@ -1,0 +1,66 @@
+"""Golden snapshot fixtures: the schema and the streams, pinned.
+
+``golden.json`` was captured by ``regenerate.py`` and commits, per
+engine × backend, the snapshot at the first checkpoint boundary and
+the final-state capture of the finished reference run.  Equality here
+is *exact* — a change to the payload shape, the RNG encoding, a
+packet field, or any engine behavior shows up as a diff against the
+fixture, which is the point: snapshots written by one revision must
+resume under the next, or the schema version must change.
+"""
+
+import pytest
+
+from repro.snapshot import SNAPSHOT_SCHEMA_VERSION, engine_snapshot
+
+from .scenarios import (
+    ALL_COMBOS,
+    GOLDEN_EVERY,
+    drive,
+    load_golden,
+    make_engine,
+    roundtrip,
+)
+
+IDS = [f"{kind}-{backend}" for kind, backend in ALL_COMBOS]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_golden()
+
+
+@pytest.mark.parametrize("kind,backend", ALL_COMBOS, ids=IDS)
+def test_current_tree_reproduces_fixture(kind, backend, golden):
+    name = f"{kind}/{backend}"
+    assert name in golden, (
+        f"scenario {name!r} has no fixture; run "
+        "tests/snapshot/regenerate.py (only if the schema/behavior "
+        "change is intended and documented)"
+    )
+    snapshots = []
+    engine = make_engine(
+        kind, backend, every=GOLDEN_EVERY, on_checkpoint=snapshots.append
+    )
+    drive(engine, kind)
+    assert roundtrip(snapshots[0]) == golden[name]["mid"]
+    assert roundtrip(engine_snapshot(engine)) == golden[name]["final"]
+
+
+@pytest.mark.parametrize("kind,backend", ALL_COMBOS, ids=IDS)
+def test_resume_from_committed_payload(kind, backend, golden):
+    # Snapshots written by a past revision must resume on this one:
+    # the committed mid-run payload, continued to completion, lands
+    # exactly on the committed final state.
+    payload = golden[f"{kind}/{backend}"]
+    engine = make_engine(kind, backend)
+    engine.resume_from(payload["mid"])
+    drive(engine, kind)
+    assert roundtrip(engine_snapshot(engine)) == payload["final"]
+
+
+def test_fixture_inventory(golden):
+    assert set(golden) == {f"{k}/{b}" for k, b in ALL_COMBOS}
+    for name, payload in golden.items():
+        assert payload["mid"]["schema_version"] == SNAPSHOT_SCHEMA_VERSION, name
+        assert payload["mid"]["step"] == GOLDEN_EVERY, name
